@@ -1,0 +1,394 @@
+(* The benchmark harness: one entry per figure of the paper's evaluation
+   (Figures 4-16), plus the ablations DESIGN.md calls out and Bechamel
+   micro-benchmarks of the system's hot paths.
+
+   Every figure prints the same rows/series the paper reports, with the
+   paper's own headline numbers alongside for comparison.  The GP scale is
+   controlled by environment variables so the shipped default finishes on
+   one machine in minutes (the paper used 15-20 machines for a day):
+
+     METAOPT_POP    population size   (default 40; paper 400)
+     METAOPT_GENS   generations       (default 10; paper 50)
+     METAOPT_SEED   GP random seed    (default 42)
+
+   Usage:
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- fig4 fig5    # specific figures
+     dune exec bench/main.exe -- micro        # Bechamel micro-benches
+*)
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> (try int_of_string s with _ -> default)
+  | None -> default
+
+let params =
+  {
+    Gp.Params.scaled with
+    Gp.Params.population_size = env_int "METAOPT_POP" 40;
+    generations = env_int "METAOPT_GENS" 10;
+    rng_seed = env_int "METAOPT_SEED" 42;
+  }
+
+let hr title =
+  Fmt.pr "@.%s@.%s@." title (String.make (String.length title) '=')
+
+let mean sel rows =
+  match rows with
+  | [] -> 0.0
+  | _ ->
+    List.fold_left (fun a r -> a +. sel r) 0.0 rows
+    /. float_of_int (List.length rows)
+
+let print_rows ~paper_train ~paper_novel rows =
+  Fmt.pr "%-16s %10s %10s@." "benchmark" "train" "novel";
+  List.iter
+    (fun (name, train, novel) -> Fmt.pr "%-16s %10.3f %10.3f@." name train novel)
+    rows;
+  Fmt.pr "%-16s %10.3f %10.3f    (paper: %.2f / %.2f)@." "average"
+    (mean (fun (_, t, _) -> t) rows)
+    (mean (fun (_, _, n) -> n) rows)
+    paper_train paper_novel
+
+let print_history title history =
+  Fmt.pr "%s@." title;
+  List.iter
+    (fun (s : Gp.Evolve.generation_stats) ->
+      Fmt.pr "  gen %2d   best %.4f   mean %.4f   size %d@." s.Gp.Evolve.gen
+        s.Gp.Evolve.best_fitness s.Gp.Evolve.mean_fitness s.Gp.Evolve.best_size)
+    history
+
+(* Specialization figures (4, 9, 13): one GP run per benchmark; report
+   train-data and novel-data speedups of the evolved heuristic. *)
+let specialization_figure kind benches =
+  List.map
+    (fun bench ->
+      let r = Driver.Study.specialize ~params kind bench in
+      Fmt.pr "%-16s %10.3f %10.3f   %s@." bench r.Driver.Study.train_speedup
+        r.Driver.Study.novel_speedup
+        (if String.length r.Driver.Study.best_expr > 48 then
+           String.sub r.Driver.Study.best_expr 0 48 ^ "..."
+         else r.Driver.Study.best_expr);
+      (bench, r.Driver.Study.train_speedup, r.Driver.Study.novel_speedup))
+    benches
+
+(* Shared general-purpose runs: Figures 6-8, 11-12, 15-16 reuse the DSS
+   evolutions. *)
+let general_hb = lazy
+  (Driver.Study.evolve_general ~params Driver.Study.Hyperblock_study
+     Benchmarks.Registry.hyperblock_train)
+
+let general_ra = lazy
+  (Driver.Study.evolve_general ~params Driver.Study.Regalloc_study
+     Benchmarks.Registry.regalloc_train)
+
+let general_pf = lazy
+  (Driver.Study.evolve_general ~params Driver.Study.Prefetch_study
+     Benchmarks.Registry.prefetch_train)
+
+(* ------------------------------------------------------------------ *)
+
+let fig4 () =
+  hr "Figure 4: hyperblock specialization (per-benchmark evolution)";
+  Fmt.pr "paper: avg 1.54 on training data, 1.23 on novel data@.@.";
+  let rows =
+    specialization_figure Driver.Study.Hyperblock_study
+      Benchmarks.Registry.hyperblock_specialize
+  in
+  print_rows ~paper_train:1.54 ~paper_novel:1.23 rows
+
+let fig5 () =
+  hr "Figure 5: hyperblock evolution (best fitness over generations)";
+  Fmt.pr
+    "paper shape: a big early jump, then a plateau; random initial@.\
+     expressions already beat the baseline@.@.";
+  let r = Driver.Study.specialize ~params Driver.Study.Hyperblock_study
+      "rawcaudio" in
+  print_history "rawcaudio:" r.Driver.Study.history
+
+let fig6 () =
+  hr "Figure 6: general-purpose hyperblock heuristic (DSS training set)";
+  Fmt.pr "paper: avg 1.44 on training data, 1.25 on novel data@.@.";
+  let g = Lazy.force general_hb in
+  print_rows ~paper_train:1.44 ~paper_novel:1.25 g.Driver.Study.train_rows
+
+let fig7 () =
+  hr "Figure 7: hyperblock cross-validation (unrelated test set)";
+  Fmt.pr "paper: avg 1.09; a few benchmarks slightly below 1.0@.@.";
+  let g = Lazy.force general_hb in
+  let rows =
+    Driver.Study.cross_validate Driver.Study.Hyperblock_study
+      g.Driver.Study.best Benchmarks.Registry.hyperblock_test
+  in
+  print_rows ~paper_train:1.09 ~paper_novel:1.09 rows
+
+let fig8 () =
+  hr "Figure 8: the best general-purpose hyperblock priority function";
+  Fmt.pr
+    "paper shape: a readable expression that penalizes pointer@.\
+     dereferences and unsafe calls@.@.";
+  let g = Lazy.force general_hb in
+  Fmt.pr "evolved : %s@." g.Driver.Study.best_expr;
+  Fmt.pr "baseline: %s@." Hyperblock.Baseline.source
+
+let fig9 () =
+  hr "Figure 9: register allocation specialization";
+  Fmt.pr "paper: improvements up to 1.11; train and novel data close@.@.";
+  let rows =
+    specialization_figure Driver.Study.Regalloc_study
+      Benchmarks.Registry.regalloc_specialize
+  in
+  print_rows ~paper_train:1.08 ~paper_novel:1.06 rows
+
+let fig10 () =
+  hr "Figure 10: register allocation evolution";
+  Fmt.pr
+    "paper shape: gradual improvement; the baseline heuristic survives@.\
+     in the population for several generations@.@.";
+  let r =
+    Driver.Study.specialize ~params Driver.Study.Regalloc_study "djpeg"
+  in
+  print_history "djpeg:" r.Driver.Study.history
+
+let fig11 () =
+  hr "Figure 11: general-purpose register allocation heuristic (DSS)";
+  Fmt.pr "paper: avg 1.03 on both training and novel data@.@.";
+  let g = Lazy.force general_ra in
+  print_rows ~paper_train:1.03 ~paper_novel:1.03 g.Driver.Study.train_rows
+
+let fig12 () =
+  hr "Figure 12: register allocation cross-validation (two machines)";
+  Fmt.pr "paper: avg 1.03; a couple of benchmarks below 1.0@.@.";
+  let g = Lazy.force general_ra in
+  Fmt.pr "--- 32-register machine@.";
+  let rows32 =
+    Driver.Study.cross_validate Driver.Study.Regalloc_study
+      g.Driver.Study.best Benchmarks.Registry.regalloc_test
+  in
+  print_rows ~paper_train:1.03 ~paper_novel:1.03 rows32;
+  Fmt.pr "--- 48-register machine@.";
+  let machine48 =
+    { Machine.Config.table3 with Machine.Config.gpr = 48;
+      name = "table3-48reg" }
+  in
+  let rows48 =
+    Driver.Study.cross_validate ~machine:machine48 Driver.Study.Regalloc_study
+      g.Driver.Study.best Benchmarks.Registry.regalloc_test
+  in
+  print_rows ~paper_train:1.03 ~paper_novel:1.03 rows48
+
+let fig13 () =
+  hr "Figure 13: prefetching specialization (Itanium-like, noisy fitness)";
+  Fmt.pr
+    "paper: avg 1.35 train / 1.40 novel; GP solutions rarely prefetch;@.\
+     no-prefetch lands within ~7%% of the specialized functions@.@.";
+  let rows =
+    specialization_figure Driver.Study.Prefetch_study
+      Benchmarks.Registry.prefetch_specialize
+  in
+  print_rows ~paper_train:1.35 ~paper_novel:1.40 rows;
+  (* The paper's "shutting off prefetching altogether" comparison. *)
+  let off =
+    Gp.Expr.Bool (Gp.Sexp.parse_bool Prefetch.Features.feature_set "false")
+  in
+  let off_rows =
+    Driver.Study.cross_validate Driver.Study.Prefetch_study off
+      Benchmarks.Registry.prefetch_specialize
+  in
+  Fmt.pr "@.no-prefetch-at-all speedups over the ORC baseline:@.";
+  print_rows ~paper_train:1.25 ~paper_novel:1.25 off_rows
+
+let fig14 () =
+  hr "Figure 14: prefetching evolution";
+  Fmt.pr "paper shape: baseline quickly weeded out; early plateau@.@.";
+  let r =
+    Driver.Study.specialize ~params Driver.Study.Prefetch_study "103.su2cor"
+  in
+  print_history "103.su2cor:" r.Driver.Study.history
+
+let fig15 () =
+  hr "Figure 15: general-purpose prefetching heuristic (DSS)";
+  Fmt.pr "paper: avg 1.31 train data / 1.36 novel data@.@.";
+  let g = Lazy.force general_pf in
+  print_rows ~paper_train:1.31 ~paper_novel:1.36 g.Driver.Study.train_rows;
+  Fmt.pr "@.evolved confidence function: %s@." g.Driver.Study.best_expr
+
+let fig16 () =
+  hr "Figure 16: prefetching cross-validation on SPEC2000 (two machines)";
+  Fmt.pr
+    "paper: mostly above 1.0, but a couple of SPEC2000 benchmarks want@.\
+     aggressive prefetching and fall below — the training-coverage caveat@.@.";
+  let g = Lazy.force general_pf in
+  Fmt.pr "--- itanium1@.";
+  let rows =
+    Driver.Study.cross_validate Driver.Study.Prefetch_study
+      g.Driver.Study.best Benchmarks.Registry.prefetch_test
+  in
+  print_rows ~paper_train:1.1 ~paper_novel:1.1 rows;
+  Fmt.pr "--- itanium with a small L2@.";
+  let rows2 =
+    Driver.Study.cross_validate ~machine:Machine.Config.itanium_small_l2
+      Driver.Study.Prefetch_study g.Driver.Study.best
+      Benchmarks.Registry.prefetch_test
+  in
+  print_rows ~paper_train:1.1 ~paper_novel:1.1 rows2
+
+(* ------------------------------------------------------------------ *)
+
+(* Extension beyond the paper's three case studies: the list scheduler's
+   ranking function, the canonical priority-function example of the
+   paper's Section 2. *)
+let ext_sched () =
+  hr "Extension: evolving the list-scheduling priority (paper Section 2)";
+  Fmt.pr
+    "no paper reference — Section 2 motivates scheduling priorities but@.     the paper's case studies stop at three; expected shape: small,@.     benchmark-dependent wins over latency-weighted depth@.@.";
+  let rows =
+    specialization_figure Driver.Study.Sched_study
+      [ "rawcaudio"; "huff_enc"; "djpeg"; "129.compress"; "023.eqntott";
+        "mpeg2dec" ]
+  in
+  print_rows ~paper_train:1.0 ~paper_novel:1.0 rows
+
+let ablations () =
+  hr "Ablations: GP design choices (hyperblock study on rawcaudio)";
+  let run name p =
+    let r = Driver.Study.specialize ~params:p Driver.Study.Hyperblock_study
+        "rawcaudio" in
+    let last_size =
+      match List.rev r.Driver.Study.history with
+      | s :: _ -> s.Gp.Evolve.best_size
+      | [] -> 0
+    in
+    Fmt.pr "  %-28s train %.3f   novel %.3f   best size %d@." name
+      r.Driver.Study.train_speedup r.Driver.Study.novel_speedup last_size
+  in
+  run "defaults" params;
+  run "no parsimony pressure" { params with Gp.Params.parsimony_eps = 0.0 };
+  run "no elitism" { params with Gp.Params.elitism = false };
+  run "tournament size 2" { params with Gp.Params.tournament_size = 2 };
+  run "no baseline seed" { params with Gp.Params.seed_baseline = false };
+  run "high mutation (25%)" { params with Gp.Params.mutation_rate = 0.25 }
+
+(* ------------------------------------------------------------------ *)
+
+(* Bechamel micro-benchmarks of the hot paths: expression evaluation,
+   genetic operators, dependence-graph construction and scheduling, cache
+   simulation and whole-program interpretation. *)
+let micro () =
+  hr "Micro-benchmarks (Bechamel)";
+  let open Bechamel in
+  let fs = Hyperblock.Features.feature_set in
+  let env = Gp.Feature_set.empty_env fs in
+  let expr = Hyperblock.Baseline.expr in
+  let rng0 = Random.State.make [| 9 |] in
+  let big_expr = Gp.Gen.gen_real (Gp.Gen.default_config fs) rng0 ~full:true 8 in
+  let rng = Random.State.make [| 17 |] in
+  let genome_a =
+    Gp.Gen.genome (Gp.Gen.default_config fs) rng ~sort:`Real ~full:false 6
+  in
+  let genome_b =
+    Gp.Gen.genome (Gp.Gen.default_config fs) rng ~sort:`Real ~full:false 6
+  in
+  let bench_block =
+    let b = Benchmarks.Registry.find "rawcaudio" in
+    let prog = Frontend.Minic.compile b.Benchmarks.Bench.source in
+    Opt.Pipeline.run prog;
+    let f = Ir.Func.find_func prog "main" in
+    let biggest =
+      List.fold_left
+        (fun (acc : Ir.Func.block) (blk : Ir.Func.block) ->
+          if List.length blk.Ir.Func.instrs > List.length acc.Ir.Func.instrs
+          then blk
+          else acc)
+        (List.hd f.Ir.Func.blocks) f.Ir.Func.blocks
+    in
+    Array.of_list biggest.Ir.Func.instrs
+  in
+  let quick_prog =
+    let b = Benchmarks.Registry.find "codrle4" in
+    let prog = Frontend.Minic.compile b.Benchmarks.Bench.source in
+    Opt.Pipeline.run prog;
+    let layout = Profile.Layout.prepare prog in
+    (layout, b.Benchmarks.Bench.train)
+  in
+  let cache = Machine.Cache.create Machine.Config.table3 in
+  let counter = ref 0 in
+  let tests =
+    [
+      Test.make ~name:"eval-eq1-priority"
+        (Staged.stage (fun () -> ignore (Gp.Eval.real env expr)));
+      Test.make ~name:"eval-depth8-expr"
+        (Staged.stage (fun () -> ignore (Gp.Eval.real env big_expr)));
+      Test.make ~name:"depth-fair-crossover"
+        (Staged.stage (fun () ->
+             ignore (Gp.Genetic_ops.crossover rng genome_a genome_b)));
+      Test.make ~name:"depgraph-hot-block"
+        (Staged.stage (fun () -> ignore (Sched.Depgraph.build bench_block)));
+      Test.make ~name:"list-schedule-hot-block"
+        (Staged.stage (fun () ->
+             ignore
+               (Sched.List_sched.schedule_instrs
+                  ~config:Machine.Config.table3 bench_block)));
+      Test.make ~name:"cache-load-stream"
+        (Staged.stage (fun () ->
+             incr counter;
+             ignore (Machine.Cache.load cache (!counter * 3 land 0xFFFF))));
+      Test.make ~name:"interp-codrle4-run"
+        (Staged.stage (fun () ->
+             let layout, overrides = quick_prog in
+             ignore (Profile.Interp.run ~overrides layout)));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false
+             ~predictors:[| Measure.run |])
+          Toolkit.Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Fmt.pr "  %-36s %12.1f ns/run@." name est
+          | _ -> Fmt.pr "  %-36s (no estimate)@." name)
+        ols)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let all_figures =
+  [
+    ("fig4", fig4); ("fig5", fig5); ("fig6", fig6); ("fig7", fig7);
+    ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("fig11", fig11);
+    ("fig12", fig12); ("fig13", fig13); ("fig14", fig14); ("fig15", fig15);
+    ("fig16", fig16); ("ext-sched", ext_sched); ("ablations", ablations);
+    ("micro", micro);
+  ]
+
+let () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.Error);
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst all_figures
+  in
+  Fmt.pr "Meta Optimization benchmark harness@.";
+  Fmt.pr "GP scale: population %d, generations %d (env METAOPT_POP/GENS)@."
+    params.Gp.Params.population_size params.Gp.Params.generations;
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name all_figures with
+      | Some f ->
+        let t = Unix.gettimeofday () in
+        f ();
+        Fmt.pr "@.[%s took %.1fs]@." name (Unix.gettimeofday () -. t)
+      | None ->
+        Fmt.pr "unknown target %s (try fig4..fig16, ablations, micro)@." name)
+    requested;
+  Fmt.pr "@.total: %.1fs@." (Unix.gettimeofday () -. t0)

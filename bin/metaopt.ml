@@ -1,0 +1,356 @@
+(* The metaopt command-line tool.
+
+     metaopt list                       list benchmarks
+     metaopt run BENCH                  compile + simulate with baselines
+     metaopt ir BENCH                   dump optimized IR
+     metaopt profile BENCH              show profile statistics
+     metaopt specialize STUDY BENCH     evolve a specialized heuristic
+     metaopt evolve STUDY               evolve a general-purpose heuristic
+*)
+
+open Cmdliner
+
+let setup_logs () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.Warning)
+
+let study_conv =
+  let parse = function
+    | "hyperblock" -> Ok Driver.Study.Hyperblock_study
+    | "regalloc" -> Ok Driver.Study.Regalloc_study
+    | "prefetch" -> Ok Driver.Study.Prefetch_study
+    | "sched" -> Ok Driver.Study.Sched_study
+    | s ->
+      Error (`Msg ("unknown study " ^ s ^ " (hyperblock|regalloc|prefetch|sched)"))
+  in
+  let print ppf k =
+    Fmt.string ppf
+      (match k with
+      | Driver.Study.Hyperblock_study -> "hyperblock"
+      | Driver.Study.Regalloc_study -> "regalloc"
+      | Driver.Study.Prefetch_study -> "prefetch"
+      | Driver.Study.Sched_study -> "sched")
+  in
+  Arg.conv (parse, print)
+
+let bench_arg =
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"BENCH")
+
+let study_arg =
+  Arg.(required & pos 0 (some study_conv) None & info [] ~docv:"STUDY")
+
+let pop =
+  Arg.(value & opt int Gp.Params.scaled.Gp.Params.population_size
+       & info [ "population" ] ~doc:"GP population size")
+
+let gens =
+  Arg.(value & opt int Gp.Params.scaled.Gp.Params.generations
+       & info [ "generations" ] ~doc:"GP generations")
+
+let seed =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"GP random seed")
+
+let params_of pop gens seed =
+  {
+    Gp.Params.scaled with
+    Gp.Params.population_size = pop;
+    generations = gens;
+    rng_seed = seed;
+  }
+
+(* --- list ---------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (b : Benchmarks.Bench.t) ->
+        Fmt.pr "%-14s %-10s %-5s %s@." b.Benchmarks.Bench.name
+          (Benchmarks.Bench.string_of_suite b.Benchmarks.Bench.suite)
+          (if b.Benchmarks.Bench.fp then "fp" else "int")
+          b.Benchmarks.Bench.description)
+      Benchmarks.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List all benchmarks")
+    Term.(const run $ const ())
+
+(* --- run ----------------------------------------------------------------- *)
+
+let run_bench name heuristics_file =
+  setup_logs ();
+  let b = Benchmarks.Registry.find name in
+  let prepared = Driver.Compiler.prepare b in
+  let machine =
+    if b.Benchmarks.Bench.fp then Machine.Config.itanium1
+    else Machine.Config.table3
+  in
+  let heuristics =
+    match heuristics_file with
+    | Some path ->
+      Driver.Heuristics_file.load
+        ~base:(Driver.Compiler.baseline ~prefetch:b.Benchmarks.Bench.fp ())
+        path
+    | None -> Driver.Compiler.baseline ~prefetch:b.Benchmarks.Bench.fp ()
+  in
+  let compiled = Driver.Compiler.compile ~machine ~heuristics prepared in
+  let res =
+    Driver.Compiler.simulate ~machine ~dataset:Benchmarks.Bench.Train prepared
+      compiled
+  in
+  Fmt.pr "benchmark       : %s (%s)@." name b.Benchmarks.Bench.description;
+  Fmt.pr "machine         : %s@." machine.Machine.Config.name;
+  Fmt.pr "dynamic instrs  : %d@." res.Machine.Simulate.dynamic_instrs;
+  Fmt.pr "cycles          : %.0f@." res.Machine.Simulate.cycles;
+  Fmt.pr "branches        : %d (%d mispredicted)@." res.Machine.Simulate.branches
+    res.Machine.Simulate.mispredicts;
+  Fmt.pr "hyperblocks     : %d regions, %d blocks merged@."
+    compiled.Driver.Compiler.hb_stats.Hyperblock.Form.regions_formed
+    compiled.Driver.Compiler.hb_stats.Hyperblock.Form.blocks_merged;
+  Fmt.pr "spills          : %d@." compiled.Driver.Compiler.spills;
+  Fmt.pr "prefetches      : %d of %d candidates@."
+    compiled.Driver.Compiler.prefetches.Prefetch.Insert.inserted
+    compiled.Driver.Compiler.prefetches.Prefetch.Insert.candidates;
+  let c = res.Machine.Simulate.cache in
+  Fmt.pr "cache           : %d loads, %d/%d/%d L1/L2/L3 hits, %d mem, %d stall cycles@."
+    c.Machine.Cache.loads c.Machine.Cache.l1_hits c.Machine.Cache.l2_hits
+    c.Machine.Cache.l3_hits c.Machine.Cache.memory_accesses
+    c.Machine.Cache.stall_cycles
+
+let run_cmd =
+  Cmd.v (Cmd.info "run" ~doc:"Compile and simulate one benchmark")
+    Term.(
+      const run_bench
+      $ Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH")
+      $ Arg.(value & opt (some string) None
+             & info [ "heuristics" ]
+                 ~doc:"Apply heuristics from a saved file"))
+
+(* --- ir ------------------------------------------------------------------ *)
+
+let ir_bench name =
+  let b = Benchmarks.Registry.find name in
+  let prepared = Driver.Compiler.prepare b in
+  Fmt.pr "%a@." Ir.Func.pp_program prepared.Driver.Compiler.optimized
+
+let ir_cmd =
+  Cmd.v (Cmd.info "ir" ~doc:"Dump a benchmark's optimized IR")
+    Term.(
+      const ir_bench
+      $ Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH"))
+
+(* --- profile ---------------------------------------------------------------- *)
+
+let profile_bench name =
+  let b = Benchmarks.Registry.find name in
+  let prepared = Driver.Compiler.prepare b in
+  let prof = prepared.Driver.Compiler.prof in
+  Fmt.pr "profile of %s on its training dataset (%d dynamic instructions)@.@."
+    name prof.Profile.Prof.total_steps;
+  List.iter
+    (fun (f : Ir.Func.t) ->
+      Fmt.pr "function %s:@." f.Ir.Func.fname;
+      List.iter
+        (fun (blk : Ir.Func.block) ->
+          let count =
+            Profile.Prof.block_count prof ~fname:f.Ir.Func.fname
+              ~label:blk.Ir.Func.blabel
+          in
+          let branch =
+            match
+              Profile.Prof.term_branch_stats prof ~fname:f.Ir.Func.fname
+                ~label:blk.Ir.Func.blabel
+            with
+            | Some bs ->
+              Fmt.str "  branch: %.0f%% taken, %.0f%% predictable"
+                (100.0 *. Profile.Prof.taken_bias bs)
+                (100.0 *. Profile.Prof.predictability bs)
+            | None -> ""
+          in
+          Fmt.pr "  %-12s %9d executions  %2d instrs%s@." blk.Ir.Func.blabel
+            count
+            (List.length blk.Ir.Func.instrs)
+            branch)
+        f.Ir.Func.blocks)
+    prepared.Driver.Compiler.optimized.Ir.Func.funcs
+
+let profile_cmd =
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Show block execution counts and branch statistics")
+    Term.(
+      const profile_bench
+      $ Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH"))
+
+(* --- specialize ----------------------------------------------------------- *)
+
+let specialize study bench pop gens seed save =
+  setup_logs ();
+  let params = params_of pop gens seed in
+  let r = Driver.Study.specialize ~params study bench in
+  (match save with
+  | Some path ->
+    let fs = Driver.Study.feature_set_of study in
+    let g =
+      Gp.Sexp.parse_genome fs ~sort:(Driver.Study.sort_of study)
+        r.Driver.Study.best_expr
+    in
+    Driver.Heuristics_file.save path (Driver.Study.heuristics_with study g);
+    Fmt.pr "saved heuristics to %s@." path
+  | None -> ());
+  Fmt.pr "benchmark      : %s@." r.Driver.Study.bench;
+  Fmt.pr "train speedup  : %.3f@." r.Driver.Study.train_speedup;
+  Fmt.pr "novel speedup  : %.3f@." r.Driver.Study.novel_speedup;
+  Fmt.pr "best heuristic : %s@." r.Driver.Study.best_expr;
+  Fmt.pr "evolution      :@.";
+  List.iter
+    (fun (s : Gp.Evolve.generation_stats) ->
+      Fmt.pr "  gen %2d  best %.3f  mean %.3f  size %d@." s.Gp.Evolve.gen
+        s.Gp.Evolve.best_fitness s.Gp.Evolve.mean_fitness s.Gp.Evolve.best_size)
+    r.Driver.Study.history
+
+let specialize_cmd =
+  Cmd.v
+    (Cmd.info "specialize"
+       ~doc:"Evolve an application-specific priority function")
+    Term.(
+      const specialize $ study_arg $ bench_arg $ pop $ gens $ seed
+      $ Arg.(value & opt (some string) None
+             & info [ "save" ] ~doc:"Write the evolved heuristics to a file"))
+
+(* --- evolve (general-purpose) ---------------------------------------------- *)
+
+let evolve study pop gens seed =
+  setup_logs ();
+  let params = params_of pop gens seed in
+  let benches =
+    match study with
+    | Driver.Study.Hyperblock_study -> Benchmarks.Registry.hyperblock_train
+    | Driver.Study.Regalloc_study -> Benchmarks.Registry.regalloc_train
+    | Driver.Study.Prefetch_study -> Benchmarks.Registry.prefetch_train
+    | Driver.Study.Sched_study -> Benchmarks.Registry.hyperblock_train
+  in
+  let g = Driver.Study.evolve_general ~params study benches in
+  Fmt.pr "best heuristic: %s@.@." g.Driver.Study.best_expr;
+  Fmt.pr "%-16s %8s %8s@." "benchmark" "train" "novel";
+  let avg sel rows =
+    List.fold_left (fun a r -> a +. sel r) 0.0 rows
+    /. float_of_int (List.length rows)
+  in
+  List.iter
+    (fun (n, t, v) -> Fmt.pr "%-16s %8.3f %8.3f@." n t v)
+    g.Driver.Study.train_rows;
+  Fmt.pr "%-16s %8.3f %8.3f@." "average"
+    (avg (fun (_, t, _) -> t) g.Driver.Study.train_rows)
+    (avg (fun (_, _, v) -> v) g.Driver.Study.train_rows)
+
+let evolve_cmd =
+  Cmd.v
+    (Cmd.info "evolve" ~doc:"Evolve a general-purpose priority function (DSS)")
+    Term.(const evolve $ study_arg $ pop $ gens $ seed)
+
+(* --- compare: one benchmark under explicit heuristic expressions ----------- *)
+
+let compare_cmd =
+  let run bench hb ra pf sp =
+    setup_logs ();
+    let b = Benchmarks.Registry.find bench in
+    let machine =
+      if b.Benchmarks.Bench.fp then Machine.Config.itanium1
+      else Machine.Config.table3
+    in
+    let opt_config =
+      if b.Benchmarks.Bench.fp then Opt.Pipeline.no_unroll
+      else Opt.Pipeline.default
+    in
+    let prepared = Driver.Compiler.prepare ~opt_config b in
+    let base = Driver.Compiler.baseline ~prefetch:b.Benchmarks.Bench.fp () in
+    let heuristics =
+      {
+        Driver.Compiler.hb_priority =
+          (match hb with
+          | Some s -> Gp.Sexp.parse_real Hyperblock.Features.feature_set s
+          | None -> base.Driver.Compiler.hb_priority);
+        ra_savings =
+          (match ra with
+          | Some s -> Gp.Sexp.parse_real Regalloc.Features.feature_set s
+          | None -> base.Driver.Compiler.ra_savings);
+        pf_confidence =
+          (match pf with
+          | Some s -> Some (Gp.Sexp.parse_bool Prefetch.Features.feature_set s)
+          | None -> base.Driver.Compiler.pf_confidence);
+        sched_priority =
+          (match sp with
+          | Some s -> Gp.Sexp.parse_real Sched.Priority.feature_set s
+          | None -> base.Driver.Compiler.sched_priority);
+      }
+    in
+    let measure h =
+      let c = Driver.Compiler.compile ~machine ~heuristics:h prepared in
+      (Driver.Compiler.simulate ~machine ~dataset:Benchmarks.Bench.Train
+         prepared c).Machine.Simulate.cycles
+    in
+    let base_cycles = measure base in
+    let cand_cycles = measure heuristics in
+    Fmt.pr "baseline  : %.0f cycles@." base_cycles;
+    Fmt.pr "candidate : %.0f cycles@." cand_cycles;
+    Fmt.pr "speedup   : %.4f@." (base_cycles /. cand_cycles)
+  in
+  let opt name doc =
+    Arg.(value & opt (some string) None & info [ name ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Compare explicit heuristic expressions against the baselines on           one benchmark")
+    Term.(
+      const run
+      $ Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH")
+      $ opt "hyperblock" "hyperblock priority expression"
+      $ opt "regalloc" "register-allocation savings expression"
+      $ opt "prefetch" "prefetch confidence expression (Boolean)"
+      $ opt "sched" "list-scheduling priority expression")
+
+(* --- features: print a study's feature vocabulary --------------------------- *)
+
+let features_cmd =
+  let run study =
+    let fs = Driver.Study.feature_set_of study in
+    Fmt.pr "real-valued features:@.";
+    for i = 0 to Gp.Feature_set.n_reals fs - 1 do
+      Fmt.pr "  %s@." (Gp.Feature_set.real_name fs i)
+    done;
+    Fmt.pr "Boolean features:@.";
+    for i = 0 to Gp.Feature_set.n_bools fs - 1 do
+      Fmt.pr "  %s@." (Gp.Feature_set.bool_name fs i)
+    done;
+    Fmt.pr "baseline: %s@."
+      (Gp.Sexp.to_string fs (Driver.Study.baseline_genome_of study))
+  in
+  Cmd.v
+    (Cmd.info "features" ~doc:"Show a study's feature set and baseline")
+    Term.(const run $ study_arg)
+
+(* --- simplify: clean an expression for presentation ------------------------- *)
+
+let simplify_cmd =
+  let run study expr =
+    let fs = Driver.Study.feature_set_of study in
+    let g = Gp.Sexp.parse_genome fs ~sort:(Driver.Study.sort_of study) expr in
+    Fmt.pr "%s@." (Gp.Sexp.to_string fs (Gp.Simplify.genome g))
+  in
+  Cmd.v
+    (Cmd.info "simplify"
+       ~doc:"Algebraically simplify a priority-function expression")
+    Term.(
+      const run $ study_arg
+      $ Arg.(required & pos 1 (some string) None & info [] ~docv:"EXPR"))
+
+(* --------------------------------------------------------------------------- *)
+
+let main =
+  Cmd.group
+    (Cmd.info "metaopt" ~version:"1.0.0"
+       ~doc:"Meta Optimization: improving compiler heuristics with GP")
+    [ list_cmd; run_cmd; ir_cmd; profile_cmd; specialize_cmd; evolve_cmd;
+      compare_cmd; features_cmd; simplify_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,50 @@
+(* Register allocation under pressure: sweep the number of architectural
+   registers and watch the priority-based allocator trade spills for
+   cycles, then compare the baseline savings function (Equation 2) against
+   a few hand-written alternatives on the paper's 32-register machine.
+
+   Run with:  dune exec examples/regalloc_pressure.exe  [benchmark] *)
+
+let fs = Regalloc.Features.feature_set
+
+let compile_with (prepared : Driver.Compiler.prepared) machine savings_src =
+  let savings = Gp.Sexp.parse_real fs savings_src in
+  let heuristics =
+    { (Driver.Compiler.baseline ()) with Driver.Compiler.ra_savings = savings }
+  in
+  let c = Driver.Compiler.compile ~machine ~heuristics prepared in
+  let r =
+    Driver.Compiler.simulate ~machine ~dataset:Benchmarks.Bench.Train prepared c
+  in
+  (c.Driver.Compiler.spills, r.Machine.Simulate.cycles)
+
+let () =
+  let bench = if Array.length Sys.argv > 1 then Sys.argv.(1) else "djpeg" in
+  Fmt.pr "=== Register allocation under pressure: %s ===@.@." bench;
+  let b = Benchmarks.Registry.find bench in
+  let prepared = Driver.Compiler.prepare b in
+  Fmt.pr "register file sweep (baseline savings, Equation 2):@.";
+  List.iter
+    (fun k ->
+      let machine = { Machine.Config.table3 with Machine.Config.gpr = k } in
+      let spills, cycles =
+        compile_with prepared machine Regalloc.Features.baseline_source
+      in
+      Fmt.pr "  %3d registers: %3d spilled ranges, %10.0f cycles@." k spills
+        cycles)
+    [ 64; 48; 32; 24; 16; 12; 8 ];
+  let machine = Machine.Config.table3_regalloc in
+  Fmt.pr
+    "@.savings functions on the paper's 32-register machine (Section 6):@.";
+  List.iter
+    (fun (name, src) ->
+      let spills, cycles = compile_with prepared machine src in
+      Fmt.pr "  %-34s %3d spills, %10.0f cycles@." name spills cycles)
+    [
+      ("baseline w*(2*uses+defs)", Regalloc.Features.baseline_source);
+      ("uses only", "uses");
+      ("frequency only", "w");
+      ("inverse range size", "(div w range_blocks)");
+      ("degree-penalized", "(div (mul w (add uses defs)) degree)");
+      ("spill everything equally", "1.0");
+    ]

@@ -1,0 +1,19 @@
+(** The benchmark record type and suite tags. *)
+
+type suite = Mediabench | Spec92 | Spec95 | Spec2000 | Misc
+
+val string_of_suite : suite -> string
+
+type t = {
+  name : string;
+  suite : suite;
+  fp : bool;                               (** floating-point dominated *)
+  description : string;
+  source : string;                         (** MiniC program text *)
+  train : (string * float array) list;     (** global overrides *)
+  novel : (string * float array) list;
+}
+
+type dataset = Train | Novel
+
+val overrides : t -> dataset -> (string * float array) list

@@ -1,0 +1,85 @@
+(* Deterministic dataset synthesis.
+
+   Each benchmark runs on a *train* dataset (used for profiling and for
+   fitness evaluation during evolution) and a *novel* dataset (used only
+   for the light-colored bars of the paper's figures).  Datasets are
+   arrays of numbers produced by a seeded xorshift generator, so the repo
+   is self-contained and runs are reproducible. *)
+
+type rng = { mutable state : int64 }
+
+let rng seed =
+  { state = Int64.of_int (if seed = 0 then 0x9E3779B9 else seed) }
+
+let next (r : rng) : int64 =
+  (* xorshift64* *)
+  let x = r.state in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  r.state <- x;
+  Int64.mul x 0x2545F4914F6CDD1DL
+
+(* Uniform int in [0, bound). *)
+let int r bound =
+  if bound <= 0 then 0
+  else
+    Int64.to_int (Int64.rem (Int64.shift_right_logical (next r) 2)
+                    (Int64.of_int bound))
+
+(* Uniform float in [0, 1). *)
+let float01 r =
+  float_of_int (int r 1_000_000) /. 1_000_000.0
+
+(* Array of uniform ints in [0, bound), stored as floats. *)
+let ints ~seed ~n ~bound : float array =
+  let r = rng seed in
+  Array.init n (fun _ -> float_of_int (int r bound))
+
+(* Array of uniform floats in [lo, hi). *)
+let floats ~seed ~n ~lo ~hi : float array =
+  let r = rng seed in
+  Array.init n (fun _ -> lo +. ((hi -. lo) *. float01 r))
+
+(* Array with runs of repeated values (compresses well; exercises RLE and
+   entropy-coder branch behaviour). *)
+let runs ~seed ~n ~bound ~max_run : float array =
+  let r = rng seed in
+  let out = Array.make n 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    let v = float_of_int (int r bound) in
+    let len = 1 + int r max_run in
+    let stop = min n (!i + len) in
+    while !i < stop do
+      out.(!i) <- v;
+      incr i
+    done
+  done;
+  out
+
+(* Skewed integers (Zipf-ish): small values are much more common, giving
+   entropy coders and branch predictors realistic bias. *)
+let skewed ~seed ~n ~bound : float array =
+  let r = rng seed in
+  Array.init n (fun _ ->
+      let a = int r bound and b = int r bound in
+      float_of_int (min a b))
+
+(* Sorted ramp with noise, for search/merge workloads. *)
+let ramp ~seed ~n ~step : float array =
+  let r = rng seed in
+  let acc = ref 0 in
+  Array.init n (fun _ ->
+      acc := !acc + int r step;
+      float_of_int !acc)
+
+(* Sinusoid with harmonics, for signal-processing workloads. *)
+let signal ~seed ~n : float array =
+  let r = rng seed in
+  let f1 = 0.02 +. (0.05 *. float01 r) in
+  let f2 = 0.11 +. (0.2 *. float01 r) in
+  let ph = 6.28 *. float01 r in
+  Array.init n (fun i ->
+      let t = float_of_int i in
+      sin ((f1 *. t) +. ph) +. (0.35 *. sin (f2 *. t)) +. (0.1 *. float01 r))

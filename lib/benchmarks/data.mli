@@ -1,0 +1,27 @@
+(** Deterministic dataset synthesis: seeded xorshift generators for the
+    benchmark suite's train/novel inputs, so the repository is fully
+    self-contained and runs reproduce exactly. *)
+
+type rng
+
+val rng : int -> rng
+val next : rng -> int64
+val int : rng -> int -> int
+val float01 : rng -> float
+
+val ints : seed:int -> n:int -> bound:int -> float array
+(** Uniform integers in [0, bound). *)
+
+val floats : seed:int -> n:int -> lo:float -> hi:float -> float array
+
+val runs : seed:int -> n:int -> bound:int -> max_run:int -> float array
+(** Runs of repeated values (RLE-friendly, biased branches). *)
+
+val skewed : seed:int -> n:int -> bound:int -> float array
+(** Zipf-ish skew: small values dominate (entropy-coder-friendly). *)
+
+val ramp : seed:int -> n:int -> step:int -> float array
+(** Sorted ramp with noise. *)
+
+val signal : seed:int -> n:int -> float array
+(** Sinusoid with harmonics and noise, for DSP workloads. *)

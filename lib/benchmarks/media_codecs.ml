@@ -1,0 +1,565 @@
+(* Mediabench-style codec benchmarks: RLE, entropy coding, ADPCM/speech.
+   Each program mirrors the computational character of its namesake in
+   Table 5 of the paper: data-dependent branches in tight loops, the shape
+   hyperblock formation feeds on. *)
+
+let n_rle = 3072
+
+let codrle4 : Bench.t =
+  {
+    name = "codrle4";
+    suite = Bench.Misc;
+    fp = false;
+    description = "RLE type-4 encoder over run-structured bytes";
+    source =
+      {|
+global int input[3072];
+global int output[6144];
+
+int main() {
+  int n = 3072;
+  int out = 0;
+  int i = 0;
+  while (i < n) {
+    int v = input[i];
+    int run = 1;
+    while (i + run < n && run < 66) {
+      if (input[i + run] == v) { run = run + 1; }
+      else { break; }
+    }
+    if (run >= 3) {
+      output[out] = 257;
+      output[out + 1] = run;
+      output[out + 2] = v;
+      out = out + 3;
+    } else {
+      int k;
+      for (k = 0; k < run; k = k + 1) {
+        if (v == 257) {
+          output[out] = 257;
+          output[out + 1] = 0;
+          out = out + 2;
+        } else {
+          output[out] = v;
+          out = out + 1;
+        }
+      }
+    }
+    i = i + run;
+  }
+  int s = 0;
+  int j;
+  for (j = 0; j < out; j = j + 1) {
+    s = (s * 31 + output[j]) % 1000003;
+  }
+  emit(out);
+  emit(s);
+  return 0;
+}
+|};
+    train = [ ("input", Data.runs ~seed:11 ~n:n_rle ~bound:256 ~max_run:9) ];
+    novel = [ ("input", Data.runs ~seed:77 ~n:n_rle ~bound:256 ~max_run:14) ];
+  }
+
+let decodrle4 : Bench.t =
+  {
+    name = "decodrle4";
+    suite = Bench.Misc;
+    fp = false;
+    description = "RLE type-4 decoder (encode then decode, verify)";
+    source =
+      {|
+global int input[2048];
+global int coded[4096];
+global int decoded[2048];
+
+int main() {
+  int n = 2048;
+  int out = 0;
+  int i = 0;
+  /* encode */
+  while (i < n) {
+    int v = input[i];
+    int run = 1;
+    while (i + run < n && run < 60) {
+      if (input[i + run] == v) { run = run + 1; }
+      else { break; }
+    }
+    if (run >= 3) {
+      coded[out] = 300 + run;
+      coded[out + 1] = v;
+      out = out + 2;
+    } else {
+      int k;
+      for (k = 0; k < run; k = k + 1) {
+        coded[out] = v;
+        out = out + 1;
+      }
+    }
+    i = i + run;
+  }
+  /* decode */
+  int p = 0;
+  int d = 0;
+  while (p < out) {
+    int c = coded[p];
+    if (c >= 300) {
+      int run = c - 300;
+      int v = coded[p + 1];
+      int k;
+      for (k = 0; k < run; k = k + 1) {
+        decoded[d] = v;
+        d = d + 1;
+      }
+      p = p + 2;
+    } else {
+      decoded[d] = c;
+      d = d + 1;
+      p = p + 1;
+    }
+  }
+  /* verify */
+  int bad = 0;
+  int j;
+  for (j = 0; j < n; j = j + 1) {
+    if (decoded[j] != input[j]) { bad = bad + 1; }
+  }
+  emit(bad);
+  emit(d);
+  return 0;
+}
+|};
+    train = [ ("input", Data.runs ~seed:12 ~n:2048 ~bound:250 ~max_run:8) ];
+    novel = [ ("input", Data.runs ~seed:78 ~n:2048 ~bound:250 ~max_run:5) ];
+  }
+
+let huff_enc : Bench.t =
+  {
+    name = "huff_enc";
+    suite = Bench.Misc;
+    fp = false;
+    description = "Huffman-style encoder: histogram, code lengths, bit pack";
+    source =
+      {|
+global int input[4096];
+global int freq[64];
+global int lens[64];
+global int codes[64];
+
+int main() {
+  int n = 4096;
+  int i;
+  for (i = 0; i < 64; i = i + 1) { freq[i] = 0; }
+  for (i = 0; i < n; i = i + 1) {
+    int s = input[i];
+    freq[s] = freq[s] + 1;
+  }
+  /* code length ~ -log2(p), approximated by frequency buckets */
+  for (i = 0; i < 64; i = i + 1) {
+    int f = freq[i];
+    int len = 12;
+    if (f > 2)    { len = 11; }
+    if (f > 4)    { len = 10; }
+    if (f > 8)    { len = 9; }
+    if (f > 16)   { len = 8; }
+    if (f > 32)   { len = 7; }
+    if (f > 64)   { len = 6; }
+    if (f > 128)  { len = 5; }
+    if (f > 256)  { len = 4; }
+    if (f > 512)  { len = 3; }
+    lens[i] = len;
+  }
+  /* canonical-ish code assignment */
+  int next = 0;
+  int l;
+  for (l = 3; l <= 12; l = l + 1) {
+    for (i = 0; i < 64; i = i + 1) {
+      if (lens[i] == l) {
+        codes[i] = next;
+        next = next + 1;
+      }
+    }
+    next = next * 2;
+  }
+  /* bit packing */
+  int acc = 0;
+  int nbits = 0;
+  int packed = 0;
+  int words = 0;
+  for (i = 0; i < n; i = i + 1) {
+    int s = input[i];
+    acc = (acc << lens[s]) | (codes[s] & ((1 << lens[s]) - 1));
+    nbits = nbits + lens[s];
+    if (nbits >= 16) {
+      packed = (packed * 31 + (acc & 65535)) % 1000003;
+      words = words + 1;
+      nbits = nbits - 16;
+    }
+  }
+  emit(words);
+  emit(packed);
+  return 0;
+}
+|};
+    train = [ ("input", Data.skewed ~seed:13 ~n:4096 ~bound:64) ];
+    novel = [ ("input", Data.skewed ~seed:79 ~n:4096 ~bound:64) ];
+  }
+
+let huff_dec : Bench.t =
+  {
+    name = "huff_dec";
+    suite = Bench.Misc;
+    fp = false;
+    description = "Huffman-style decoder with linear code search";
+    source =
+      {|
+global int input[2048];
+global int lens[16];
+global int bits[20480];
+
+int main() {
+  int n = 2048;
+  int i;
+  /* fixed small code table: symbol s has length lens[s] and code s */
+  for (i = 0; i < 16; i = i + 1) {
+    int len = 3;
+    if (i >= 2)  { len = 4; }
+    if (i >= 6)  { len = 5; }
+    if (i >= 12) { len = 6; }
+    lens[i] = len;
+  }
+  /* encode into a bit array */
+  int nb = 0;
+  for (i = 0; i < n; i = i + 1) {
+    int s = input[i];
+    int l = lens[s];
+    int k;
+    for (k = l - 1; k >= 0; k = k - 1) {
+      bits[nb] = (s >> k) & 1;
+      nb = nb + 1;
+    }
+  }
+  /* decode: accumulate bits, linear-search the table */
+  int p = 0;
+  int decoded = 0;
+  int check = 0;
+  while (p < nb) {
+    int acc = 0;
+    int l = 0;
+    int found = 0 - 1;
+    while (found < 0 && l < 7 && p < nb) {
+      acc = (acc << 1) | bits[p];
+      p = p + 1;
+      l = l + 1;
+      int s;
+      for (s = 0; s < 16; s = s + 1) {
+        if (lens[s] == l && s == acc) { found = s; }
+      }
+    }
+    if (found >= 0) {
+      decoded = decoded + 1;
+      check = (check * 17 + found) % 1000003;
+    }
+  }
+  emit(decoded);
+  emit(check);
+  return 0;
+}
+|};
+    train = [ ("input", Data.skewed ~seed:14 ~n:2048 ~bound:16) ];
+    novel = [ ("input", Data.skewed ~seed:80 ~n:2048 ~bound:16) ];
+  }
+
+(* IMA-style ADPCM tables are built in-program to keep sources
+   self-contained. *)
+let rawcaudio : Bench.t =
+  {
+    name = "rawcaudio";
+    suite = Bench.Mediabench;
+    fp = false;
+    description = "IMA ADPCM audio encoder (adaptive step, clamping)";
+    source =
+      {|
+global int pcm[4096];
+global int step_tab[89];
+global int idx_adj[16];
+
+int main() {
+  int n = 4096;
+  int i;
+  /* step table: geometric growth, integer arithmetic */
+  int s = 7;
+  for (i = 0; i < 89; i = i + 1) {
+    step_tab[i] = s;
+    s = s + (s >> 3) + 1;
+  }
+  for (i = 0; i < 16; i = i + 1) {
+    if (i < 4)  { idx_adj[i] = 0 - 1; }
+    else        { idx_adj[i] = (i - 3) * 2; }
+    if (i >= 8) { idx_adj[i] = idx_adj[i - 8]; }
+  }
+  int pred = 0;
+  int index = 0;
+  int check = 0;
+  for (i = 0; i < n; i = i + 1) {
+    int sample = pcm[i] - 2048;
+    int diff = sample - pred;
+    int sign = 0;
+    if (diff < 0) { sign = 8; diff = 0 - diff; }
+    int step = step_tab[index];
+    int code = 0;
+    if (diff >= step)        { code = 4; diff = diff - step; }
+    if (diff >= (step >> 1)) { code = code | 2; diff = diff - (step >> 1); }
+    if (diff >= (step >> 2)) { code = code | 1; }
+    code = code | sign;
+    /* reconstruct */
+    int delta = step >> 3;
+    if (code & 4) { delta = delta + step; }
+    if (code & 2) { delta = delta + (step >> 1); }
+    if (code & 1) { delta = delta + (step >> 2); }
+    if (sign)     { pred = pred - delta; }
+    else          { pred = pred + delta; }
+    if (pred > 2047)        { pred = 2047; }
+    else { if (pred < 0 - 2048) { pred = 0 - 2048; } }
+    index = index + idx_adj[code & 15];
+    if (index < 0)  { index = 0; }
+    if (index > 88) { index = 88; }
+    check = (check * 13 + code) % 1000003;
+  }
+  emit(check);
+  emit(pred);
+  return 0;
+}
+|};
+    train = [ ("pcm", Data.ints ~seed:15 ~n:4096 ~bound:4096) ];
+    novel = [ ("pcm", Data.ints ~seed:81 ~n:4096 ~bound:4096) ];
+  }
+
+let rawdaudio : Bench.t =
+  {
+    name = "rawdaudio";
+    suite = Bench.Mediabench;
+    fp = false;
+    description = "IMA ADPCM audio decoder";
+    source =
+      {|
+global int codes[8192];
+global int step_tab[89];
+global int idx_adj[16];
+
+int main() {
+  int n = 8192;
+  int i;
+  int s = 7;
+  for (i = 0; i < 89; i = i + 1) {
+    step_tab[i] = s;
+    s = s + (s >> 3) + 1;
+  }
+  for (i = 0; i < 16; i = i + 1) {
+    if (i < 4)  { idx_adj[i] = 0 - 1; }
+    else        { idx_adj[i] = (i - 3) * 2; }
+    if (i >= 8) { idx_adj[i] = idx_adj[i - 8]; }
+  }
+  int pred = 0;
+  int index = 0;
+  int check = 0;
+  for (i = 0; i < n; i = i + 1) {
+    int code = codes[i] & 15;
+    int step = step_tab[index];
+    int delta = step >> 3;
+    if (code & 4) { delta = delta + step; }
+    if (code & 2) { delta = delta + (step >> 1); }
+    if (code & 1) { delta = delta + (step >> 2); }
+    if (code & 8) { pred = pred - delta; }
+    else          { pred = pred + delta; }
+    if (pred > 2047)        { pred = 2047; }
+    else { if (pred < 0 - 2048) { pred = 0 - 2048; } }
+    index = index + idx_adj[code];
+    if (index < 0)  { index = 0; }
+    if (index > 88) { index = 88; }
+    check = (check * 13 + (pred & 255)) % 1000003;
+  }
+  emit(check);
+  emit(index);
+  return 0;
+}
+|};
+    train = [ ("codes", Data.ints ~seed:16 ~n:8192 ~bound:16) ];
+    novel = [ ("codes", Data.ints ~seed:82 ~n:8192 ~bound:16) ];
+  }
+
+let g721encode : Bench.t =
+  {
+    name = "g721encode";
+    suite = Bench.Mediabench;
+    fp = false;
+    description = "G.721-style ADPCM with a pole-zero predictor";
+    source =
+      {|
+global int pcm[3072];
+global int b[6];
+global int dq[6];
+
+int main() {
+  int n = 3072;
+  int i;
+  for (i = 0; i < 6; i = i + 1) { b[i] = 0; dq[i] = 0; }
+  int a1 = 0;
+  int a2 = 0;
+  int sr1 = 0;
+  int sr2 = 0;
+  int step = 32;
+  int check = 0;
+  for (i = 0; i < n; i = i + 1) {
+    /* zero predictor: FIR over past quantized differences */
+    int sez = 0;
+    int k;
+    for (k = 0; k < 6; k = k + 1) {
+      sez = sez + (b[k] * dq[k]) / 16384;
+    }
+    /* pole predictor */
+    int se = sez + (a1 * sr1) / 16384 + (a2 * sr2) / 16384;
+    int d = pcm[i] - 2048 - se;
+    /* 4-level adaptive quantizer */
+    int sign = 0;
+    if (d < 0) { sign = 1; d = 0 - d; }
+    int code = 0;
+    if (d >= step)     { code = 1; }
+    if (d >= step * 2) { code = 2; }
+    if (d >= step * 4) { code = 3; }
+    int dqv = (step >> 1) + step * code;
+    if (sign) { dqv = 0 - dqv; }
+    /* adapt step */
+    if (code >= 2) { step = step + (step >> 3); }
+    else           { step = step - (step >> 4); }
+    if (step < 8)    { step = 8; }
+    if (step > 2048) { step = 2048; }
+    /* update predictor state with leakage and sign-sign LMS */
+    for (k = 5; k >= 1; k = k - 1) { dq[k] = dq[k - 1]; b[k] = b[k] - (b[k] >> 6); }
+    dq[0] = dqv;
+    b[0] = b[0] - (b[0] >> 6);
+    for (k = 0; k < 6; k = k + 1) {
+      int up = 32;
+      int prod = dqv * dq[k];
+      if (prod < 0) { up = 0 - 32; }
+      b[k] = b[k] + up;
+    }
+    int sr0 = se + dqv;
+    int p1 = sr0 * sr1;
+    a1 = a1 - (a1 >> 6);
+    if (p1 > 0) { a1 = a1 + 48; }
+    if (p1 < 0) { a1 = a1 - 48; }
+    int p2 = sr0 * sr2;
+    a2 = a2 - (a2 >> 7);
+    if (p2 > 0) { a2 = a2 + 24; }
+    if (p2 < 0) { a2 = a2 - 24; }
+    sr2 = sr1;
+    sr1 = sr0;
+    check = (check * 11 + code + sign * 4) % 1000003;
+  }
+  emit(check);
+  emit(step);
+  return 0;
+}
+|};
+    train = [ ("pcm", Data.ints ~seed:17 ~n:3072 ~bound:4096) ];
+    novel = [ ("pcm", Data.ints ~seed:83 ~n:3072 ~bound:4096) ];
+  }
+
+let g721decode : Bench.t =
+  {
+    name = "g721decode";
+    suite = Bench.Mediabench;
+    fp = false;
+    description = "G.721-style ADPCM decoder";
+    source =
+      {|
+global int codes[4096];
+
+int main() {
+  int n = 4096;
+  int i;
+  int step = 32;
+  int pred = 0;
+  int check = 0;
+  for (i = 0; i < n; i = i + 1) {
+    int c = codes[i] & 7;
+    int sign = (c >> 2) & 1;
+    int mag = c & 3;
+    int dqv = (step >> 1) + step * mag;
+    if (sign) { dqv = 0 - dqv; }
+    pred = pred + dqv - (pred >> 7);
+    if (mag >= 2) { step = step + (step >> 3); }
+    else          { step = step - (step >> 4); }
+    if (step < 8)    { step = 8; }
+    if (step > 2048) { step = 2048; }
+    if (pred > 8191)        { pred = 8191; }
+    else { if (pred < 0 - 8192) { pred = 0 - 8192; } }
+    check = (check * 7 + (pred & 1023)) % 1000003;
+  }
+  emit(check);
+  emit(pred);
+  return 0;
+}
+|};
+    train = [ ("codes", Data.ints ~seed:18 ~n:4096 ~bound:8) ];
+    novel = [ ("codes", Data.skewed ~seed:84 ~n:4096 ~bound:8) ];
+  }
+
+let toast : Bench.t =
+  {
+    name = "toast";
+    suite = Bench.Mediabench;
+    fp = false;
+    description = "GSM-style speech transcoder: autocorrelation + LPC lattice";
+    source =
+      {|
+global int frame[2560];
+global int ac[9];
+global int refl[8];
+
+int main() {
+  int nframes = 16;
+  int flen = 160;
+  int f;
+  int check = 0;
+  for (f = 0; f < nframes; f = f + 1) {
+    int base = f * flen;
+    /* preemphasis + autocorrelation */
+    int k;
+    for (k = 0; k < 9; k = k + 1) {
+      int sum = 0;
+      int t;
+      for (t = k; t < flen; t = t + 1) {
+        int a = frame[base + t] - 128;
+        int bb = frame[base + t - k] - 128;
+        sum = sum + (a * bb) / 64;
+      }
+      ac[k] = sum;
+    }
+    /* Schur-style reflection coefficients (integer, branchy) */
+    int err = ac[0];
+    if (err < 1) { err = 1; }
+    for (k = 1; k < 9; k = k + 1) {
+      int r = (ac[k] * 256) / err;
+      if (r > 255)       { r = 255; }
+      if (r < 0 - 255)   { r = 0 - 255; }
+      refl[k - 1] = r;
+      err = err - (r * r * err) / 65536;
+      if (err < 1) { err = 1; }
+      check = (check * 5 + (r & 511)) % 1000003;
+    }
+  }
+  emit(check);
+  return 0;
+}
+|};
+    train = [ ("frame", Data.ints ~seed:19 ~n:2560 ~bound:256) ];
+    novel = [ ("frame", Data.ints ~seed:85 ~n:2560 ~bound:256) ];
+  }
+
+let all : Bench.t list =
+  [
+    codrle4; decodrle4; huff_enc; huff_dec; rawcaudio; rawdaudio; g721encode;
+    g721decode; toast;
+  ]

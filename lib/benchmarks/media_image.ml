@@ -1,0 +1,427 @@
+(* Mediabench-style image / video / signal benchmarks. *)
+
+let djpeg : Bench.t =
+  {
+    name = "djpeg";
+    suite = Bench.Mediabench;
+    fp = false;
+    description = "JPEG-style decode: dequantize + separable 8x8 IDCT + clamp";
+    source =
+      {|
+global int coefs[4096];
+global int quant[64];
+global int blockbuf[64];
+global int tmp[64];
+
+int main() {
+  int nblocks = 64;
+  int b;
+  int check = 0;
+  int q;
+  for (q = 0; q < 64; q = q + 1) {
+    quant[q] = 4 + ((q * 3) >> 2);
+  }
+  for (b = 0; b < nblocks; b = b + 1) {
+    int base = b * 64;
+    int i;
+    /* dequantize with zero-skip branches */
+    for (i = 0; i < 64; i = i + 1) {
+      int c = coefs[base + i];
+      if (c == 0) { blockbuf[i] = 0; }
+      else { blockbuf[i] = (c - 8) * quant[i]; }
+    }
+    /* rows: integer butterfly approximation */
+    int r;
+    for (r = 0; r < 8; r = r + 1) {
+      int o = r * 8;
+      int s0 = blockbuf[o] + blockbuf[o + 4];
+      int s1 = blockbuf[o] - blockbuf[o + 4];
+      int s2 = blockbuf[o + 2] + (blockbuf[o + 6] >> 1);
+      int s3 = (blockbuf[o + 2] >> 1) - blockbuf[o + 6];
+      int t0 = s0 + s2;
+      int t1 = s1 + s3;
+      int t2 = s1 - s3;
+      int t3 = s0 - s2;
+      int u0 = blockbuf[o + 1] + (blockbuf[o + 7] >> 2);
+      int u1 = blockbuf[o + 3] + (blockbuf[o + 5] >> 1);
+      int u2 = (blockbuf[o + 3] >> 1) - blockbuf[o + 5];
+      int u3 = (blockbuf[o + 1] >> 2) - blockbuf[o + 7];
+      tmp[o]     = t0 + u0;
+      tmp[o + 1] = t1 + u1;
+      tmp[o + 2] = t2 + u2;
+      tmp[o + 3] = t3 + u3;
+      tmp[o + 4] = t3 - u3;
+      tmp[o + 5] = t2 - u2;
+      tmp[o + 6] = t1 - u1;
+      tmp[o + 7] = t0 - u0;
+    }
+    /* columns + clamp */
+    int c2;
+    for (c2 = 0; c2 < 8; c2 = c2 + 1) {
+      int s0 = tmp[c2] + tmp[c2 + 32];
+      int s1 = tmp[c2] - tmp[c2 + 32];
+      int s2 = tmp[c2 + 16] + (tmp[c2 + 48] >> 1);
+      int s3 = (tmp[c2 + 16] >> 1) - tmp[c2 + 48];
+      int v0 = (s0 + s2) >> 3;
+      int v1 = (s1 + s3) >> 3;
+      int v2 = (s1 - s3) >> 3;
+      int v3 = (s0 - s2) >> 3;
+      if (v0 > 255) { v0 = 255; }  if (v0 < 0) { v0 = 0; }
+      if (v1 > 255) { v1 = 255; }  if (v1 < 0) { v1 = 0; }
+      if (v2 > 255) { v2 = 255; }  if (v2 < 0) { v2 = 0; }
+      if (v3 > 255) { v3 = 255; }  if (v3 < 0) { v3 = 0; }
+      check = (check * 31 + v0 + v1 * 3 + v2 * 5 + v3 * 7) % 1000003;
+    }
+  }
+  emit(check);
+  return 0;
+}
+|};
+    train = [ ("coefs", Data.skewed ~seed:21 ~n:4096 ~bound:17) ];
+    novel = [ ("coefs", Data.skewed ~seed:87 ~n:4096 ~bound:17) ];
+  }
+
+let ijpeg : Bench.t =
+  {
+    name = "132.ijpeg";
+    suite = Bench.Spec95;
+    fp = false;
+    description = "JPEG-style encode: forward DCT approximation + quantize";
+    source =
+      {|
+global int pixels[4096];
+global int quant[64];
+global int blockbuf[64];
+
+int main() {
+  int nblocks = 64;
+  int b;
+  int check = 0;
+  int zeros = 0;
+  int q;
+  for (q = 0; q < 64; q = q + 1) {
+    quant[q] = 6 + ((q * 5) >> 2);
+  }
+  for (b = 0; b < nblocks; b = b + 1) {
+    int base = b * 64;
+    int r;
+    /* rows */
+    for (r = 0; r < 8; r = r + 1) {
+      int o = base + r * 8;
+      int a0 = pixels[o]     + pixels[o + 7];
+      int a1 = pixels[o + 1] + pixels[o + 6];
+      int a2 = pixels[o + 2] + pixels[o + 5];
+      int a3 = pixels[o + 3] + pixels[o + 4];
+      int d0 = pixels[o]     - pixels[o + 7];
+      int d1 = pixels[o + 1] - pixels[o + 6];
+      int d2 = pixels[o + 2] - pixels[o + 5];
+      int d3 = pixels[o + 3] - pixels[o + 4];
+      blockbuf[r * 8]     = a0 + a1 + a2 + a3;
+      blockbuf[r * 8 + 4] = a0 - a1 - a2 + a3;
+      blockbuf[r * 8 + 2] = a0 - a3 + ((a1 - a2) >> 1);
+      blockbuf[r * 8 + 6] = ((a0 - a3) >> 1) - a1 + a2;
+      blockbuf[r * 8 + 1] = d0 + (d1 >> 1) + (d2 >> 2);
+      blockbuf[r * 8 + 3] = d1 - d3 + (d0 >> 2);
+      blockbuf[r * 8 + 5] = d2 + (d3 >> 1) - (d1 >> 2);
+      blockbuf[r * 8 + 7] = d3 - (d0 >> 1) + (d2 >> 1);
+    }
+    /* quantize with dead-zone branches */
+    int i;
+    for (i = 0; i < 64; i = i + 1) {
+      int v = blockbuf[i] / quant[i];
+      if (v > 0 - 2 && v < 2) { v = 0; zeros = zeros + 1; }
+      check = (check * 29 + (v & 1023)) % 1000003;
+    }
+  }
+  emit(check);
+  emit(zeros);
+  return 0;
+}
+|};
+    train = [ ("pixels", Data.ints ~seed:22 ~n:4096 ~bound:256) ];
+    novel = [ ("pixels", Data.runs ~seed:88 ~n:4096 ~bound:256 ~max_run:6) ];
+  }
+
+let mpeg2dec : Bench.t =
+  {
+    name = "mpeg2dec";
+    suite = Bench.Mediabench;
+    fp = false;
+    description = "MPEG-2-style decode: motion compensation + saturation";
+    source =
+      {|
+global int refframe[6144];
+global int mvx[96];
+global int mvy[96];
+global int resid[6144];
+
+int main() {
+  int width = 64;
+  int height = 96;
+  int mb;
+  int check = 0;
+  /* 8x8 macroblocks, motion-compensated from the reference frame */
+  for (mb = 0; mb < 96; mb = mb + 1) {
+    int bx = (mb % 8) * 8;
+    int by = (mb / 8) * 8;
+    int vx = mvx[mb] % 5 - 2;
+    int vy = mvy[mb] % 5 - 2;
+    int y;
+    for (y = 0; y < 8; y = y + 1) {
+      int x;
+      for (x = 0; x < 8; x = x + 1) {
+        int sx = bx + x + vx;
+        int sy = by + y + vy;
+        if (sx < 0)       { sx = 0; }
+        if (sx >= width)  { sx = width - 1; }
+        if (sy < 0)       { sy = 0; }
+        if (sy >= height) { sy = height - 1; }
+        int p = refframe[sy * width + sx];
+        int v = p + resid[(by + y) * width + bx + x] - 128;
+        if (v < 0)   { v = 0; }
+        if (v > 255) { v = 255; }
+        check = (check * 31 + v) % 1000003;
+      }
+    }
+  }
+  emit(check);
+  return 0;
+}
+|};
+    train =
+      [
+        ("refframe", Data.ints ~seed:23 ~n:6144 ~bound:256);
+        ("mvx", Data.ints ~seed:24 ~n:96 ~bound:100);
+        ("mvy", Data.ints ~seed:25 ~n:96 ~bound:100);
+        ("resid", Data.ints ~seed:26 ~n:6144 ~bound:256);
+      ];
+    novel =
+      [
+        ("refframe", Data.ints ~seed:89 ~n:6144 ~bound:256);
+        ("mvx", Data.ints ~seed:90 ~n:96 ~bound:100);
+        ("mvy", Data.ints ~seed:91 ~n:96 ~bound:100);
+        ("resid", Data.runs ~seed:92 ~n:6144 ~bound:256 ~max_run:12);
+      ];
+  }
+
+let unepic : Bench.t =
+  {
+    name = "unepic";
+    suite = Bench.Mediabench;
+    fp = false;
+    description = "EPIC-style image decode: inverse Haar pyramid + clamp";
+    source =
+      {|
+global int coef[4096];
+global int img[4096];
+
+int main() {
+  int n = 4096;
+  int i;
+  for (i = 0; i < n; i = i + 1) { img[i] = coef[i] - 128; }
+  /* three inverse pyramid levels over a 64x64 image */
+  int level;
+  for (level = 3; level >= 1; level = level - 1) {
+    int size = 64 >> level;       /* low band is size x size */
+    int y;
+    for (y = 0; y < size; y = y + 1) {
+      int x;
+      for (x = 0; x < size; x = x + 1) {
+        int lo = img[y * 64 + x];
+        int h1 = img[y * 64 + x + size];
+        int h2 = img[(y + size) * 64 + x];
+        int h3 = img[(y + size) * 64 + x + size];
+        int a = lo + h1 + h2 + h3;
+        int b = lo + h1 - h2 - h3;
+        int c = lo - h1 + h2 - h3;
+        int d = lo - h1 - h2 + h3;
+        img[(2 * y) * 64 + 2 * x]         = a >> 1;
+        img[(2 * y) * 64 + 2 * x + 1]     = b >> 1;
+        img[(2 * y + 1) * 64 + 2 * x]     = c >> 1;
+        img[(2 * y + 1) * 64 + 2 * x + 1] = d >> 1;
+      }
+    }
+  }
+  int check = 0;
+  for (i = 0; i < n; i = i + 1) {
+    int v = img[i] + 128;
+    if (v < 0)   { v = 0; }
+    if (v > 255) { v = 255; }
+    check = (check * 31 + v) % 1000003;
+  }
+  emit(check);
+  return 0;
+}
+|};
+    train = [ ("coef", Data.skewed ~seed:27 ~n:4096 ~bound:256) ];
+    novel = [ ("coef", Data.skewed ~seed:93 ~n:4096 ~bound:256) ];
+  }
+
+let rasta : Bench.t =
+  {
+    name = "rasta";
+    suite = Bench.Mediabench;
+    fp = true;
+    description = "RASTA-style speech front end: DFT filterbank + log compression";
+    source =
+      {|
+global float samples[2048];
+global float bank[16];
+
+int main() {
+  int nframes = 16;
+  int flen = 128;
+  int f;
+  float check = 0.0;
+  for (f = 0; f < nframes; f = f + 1) {
+    int base = f * flen;
+    /* 16-band DFT magnitude filterbank */
+    int k;
+    for (k = 0; k < 16; k = k + 1) {
+      float re = 0.0;
+      float im = 0.0;
+      float w = 0.0491 * float(k + 1);
+      int t;
+      for (t = 0; t < flen; t = t + 1) {
+        float s = samples[base + t];
+        float ang = w * float(t);
+        re = re + s * cos(ang);
+        im = im + s * sin(ang);
+      }
+      float mag = re * re + im * im;
+      /* cube-root-style compression via log */
+      if (mag < 0.0001) { mag = 0.0001; }
+      bank[k] = log(mag);
+    }
+    /* RASTA band filtering across frames (simple IIR) */
+    for (k = 0; k < 16; k = k + 1) {
+      check = 0.98 * check + bank[k];
+    }
+  }
+  emit(check);
+  return 0;
+}
+|};
+    train = [ ("samples", Data.signal ~seed:28 ~n:2048) ];
+    novel = [ ("samples", Data.signal ~seed:94 ~n:2048) ];
+  }
+
+let osdemo : Bench.t =
+  {
+    name = "osdemo";
+    suite = Bench.Mediabench;
+    fp = true;
+    description = "Mesa-style 3D pipeline: transform, perspective, clip";
+    source =
+      {|
+global float verts[3072];
+global float mat[16];
+
+int main() {
+  int nverts = 1024;
+  int i;
+  /* a fixed model-view-projection matrix */
+  mat[0] = 0.8;  mat[1] = 0.1;  mat[2] = 0.0;   mat[3] = 0.2;
+  mat[4] = 0.0;  mat[5] = 0.9;  mat[6] = 0.15;  mat[7] = 0.1;
+  mat[8] = 0.1;  mat[9] = 0.05; mat[10] = 1.1;  mat[11] = 2.5;
+  mat[12] = 0.0; mat[13] = 0.0; mat[14] = 0.3;  mat[15] = 1.0;
+  int accepted = 0;
+  float checksum = 0.0;
+  for (i = 0; i < nverts; i = i + 1) {
+    float x = verts[i * 3];
+    float y = verts[i * 3 + 1];
+    float z = verts[i * 3 + 2];
+    float tx = mat[0] * x + mat[1] * y + mat[2] * z + mat[3];
+    float ty = mat[4] * x + mat[5] * y + mat[6] * z + mat[7];
+    float tz = mat[8] * x + mat[9] * y + mat[10] * z + mat[11];
+    float tw = mat[12] * x + mat[13] * y + mat[14] * z + mat[15];
+    if (tw < 0.001) { tw = 0.001; }
+    float sx = tx / tw;
+    float sy = ty / tw;
+    /* frustum clip branches */
+    int visible = 1;
+    if (sx < 0.0 - 1.0) { visible = 0; }
+    if (sx > 1.0)       { visible = 0; }
+    if (sy < 0.0 - 1.0) { visible = 0; }
+    if (sy > 1.0)       { visible = 0; }
+    if (tz < 0.0)       { visible = 0; }
+    if (visible) {
+      accepted = accepted + 1;
+      checksum = checksum + sx * 31.0 + sy * 7.0 + tz;
+    }
+  }
+  emit(accepted);
+  emit(checksum);
+  return 0;
+}
+|};
+    train = [ ("verts", Data.floats ~seed:29 ~n:3072 ~lo:(-2.0) ~hi:2.0) ];
+    novel = [ ("verts", Data.floats ~seed:95 ~n:3072 ~lo:(-3.0) ~hi:3.0) ];
+  }
+
+let mipmap : Bench.t =
+  {
+    name = "mipmap";
+    suite = Bench.Mediabench;
+    fp = true;
+    description = "Texture sampling with level-of-detail selection";
+    source =
+      {|
+global float texture[5464];
+global float queries[3072];
+
+int main() {
+  /* mip chain: 64x64 at 0, 32x32 at 4096, 16x16 at 5120, 8x8 at 5376 */
+  int nqueries = 1024;
+  int i;
+  float checksum = 0.0;
+  for (i = 0; i < nqueries; i = i + 1) {
+    float u = queries[i * 3];
+    float v = queries[i * 3 + 1];
+    float lod = queries[i * 3 + 2];
+    int level = 0;
+    if (lod > 1.0) { level = 1; }
+    if (lod > 2.0) { level = 2; }
+    if (lod > 3.0) { level = 3; }
+    int size = 64 >> level;
+    int base = 0;
+    if (level == 1) { base = 4096; }
+    if (level == 2) { base = 5120; }
+    if (level == 3) { base = 5376; }
+    float fu = u * float(size - 1);
+    float fv = v * float(size - 1);
+    int iu = int(fu);
+    int iv = int(fv);
+    if (iu < 0) { iu = 0; }
+    if (iv < 0) { iv = 0; }
+    if (iu >= size - 1) { iu = size - 2; }
+    if (iv >= size - 1) { iv = size - 2; }
+    float du = fu - float(iu);
+    float dv = fv - float(iv);
+    /* bilinear */
+    float t00 = texture[base + iv * size + iu];
+    float t01 = texture[base + iv * size + iu + 1];
+    float t10 = texture[base + (iv + 1) * size + iu];
+    float t11 = texture[base + (iv + 1) * size + iu + 1];
+    float a = t00 + du * (t01 - t00);
+    float b = t10 + du * (t11 - t10);
+    checksum = checksum + a + dv * (b - a);
+  }
+  emit(checksum);
+  return 0;
+}
+|};
+    train =
+      [
+        ("texture", Data.floats ~seed:30 ~n:5464 ~lo:0.0 ~hi:1.0);
+        ("queries", Data.floats ~seed:31 ~n:3072 ~lo:0.0 ~hi:1.0);
+      ];
+    novel =
+      [
+        ("texture", Data.floats ~seed:96 ~n:5464 ~lo:0.0 ~hi:1.0);
+        ("queries", Data.floats ~seed:97 ~n:3072 ~lo:0.0 ~hi:4.0);
+      ];
+  }
+
+let all : Bench.t list =
+  [ djpeg; ijpeg; mpeg2dec; unepic; rasta; osdemo; mipmap ]

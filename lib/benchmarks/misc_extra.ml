@@ -1,0 +1,398 @@
+(* Additional benchmarks with several functions per program: small helpers
+   (inlined by the classic pipeline) and larger ones that survive as real
+   calls — the "unsafe jsr" hazards the hyperblock heuristic reasons
+   about.  These are not part of the paper's figure suites; they widen the
+   suite for the CLI, the tests and the scheduling extension. *)
+
+let epic : Bench.t =
+  {
+    name = "epic";
+    suite = Bench.Mediabench;
+    fp = false;
+    description = "EPIC-style image coder: pyramid + quantize + RLE bits";
+    source =
+      {|
+global int image[4096];
+global int coded[8192];
+
+int quantize(int v, int level) {
+  int step = 1 << level;
+  int q = v / step;
+  if (q > 127)       { q = 127; }
+  if (q < 0 - 127)   { q = 0 - 127; }
+  return q;
+}
+
+int emit_run(int pos, int len, int val) {
+  coded[pos] = len;
+  coded[pos + 1] = val;
+  return pos + 2;
+}
+
+int main() {
+  int n = 4096;
+  int i;
+  /* forward Haar-ish passes over rows of 64 */
+  int level;
+  for (level = 0; level < 3; level = level + 1) {
+    int half = 32 >> level;
+    int row;
+    for (row = 0; row < 64; row = row + 1) {
+      int k;
+      for (k = 0; k < half; k = k + 1) {
+        int a = image[row * 64 + 2 * k];
+        int b = image[row * 64 + 2 * k + 1];
+        image[row * 64 + k] = (a + b) / 2;
+        image[row * 64 + half + k] = a - b;
+      }
+    }
+  }
+  /* quantize + run-length encode zero runs */
+  int out = 0;
+  int run = 0;
+  for (i = 0; i < n; i = i + 1) {
+    int q = quantize(image[i], 2 + i / 2048);
+    if (q == 0) {
+      run = run + 1;
+    } else {
+      if (run > 0) { out = emit_run(out, run, 0); run = 0; }
+      out = emit_run(out, 1, q);
+    }
+  }
+  if (run > 0) { out = emit_run(out, run, 0); }
+  int check = 0;
+  for (i = 0; i < out; i = i + 1) {
+    check = (check * 31 + coded[i]) % 1000003;
+  }
+  emit(out);
+  emit(check);
+  return 0;
+}
+|};
+    train = [ ("image", Data.skewed ~seed:180 ~n:4096 ~bound:256) ];
+    novel = [ ("image", Data.runs ~seed:280 ~n:4096 ~bound:256 ~max_run:10) ];
+  }
+
+let pegwit : Bench.t =
+  {
+    name = "pegwit";
+    suite = Bench.Mediabench;
+    fp = false;
+    description = "Public-key-ish kernel: ARX mixing + polynomial MAC";
+    source =
+      {|
+global int message[4096];
+global int state[16];
+
+int rotl(int x, int r) {
+  int m = 16777215;                      /* 24-bit lanes */
+  x = x & m;
+  return ((x << r) | (x >> (24 - r))) & m;
+}
+
+int mix(int a, int b) {
+  a = (a + b) & 16777215;
+  b = rotl(b, 5) ^ a;
+  a = rotl(a, 11) + (b & 1023);
+  return (a ^ (b >> 3)) & 16777215;
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 16; i = i + 1) { state[i] = i * 2654435 % 16777216; }
+  int mac = 1;
+  for (i = 0; i < 4096; i = i + 1) {
+    int w = message[i];
+    int s = state[i & 15];
+    int mixed = mix(s, w);
+    state[i & 15] = mixed;
+    /* polynomial MAC mod a prime */
+    mac = (mac * 31 + (mixed & 65535)) % 999983;
+    if ((mixed & 7) == 0) {
+      /* occasional extra round: data-dependent branch */
+      state[(i + 1) & 15] = mix(mixed, mac);
+    }
+  }
+  int check = 0;
+  for (i = 0; i < 16; i = i + 1) {
+    check = (check * 17 + state[i]) % 1000003;
+  }
+  emit(mac);
+  emit(check);
+  return 0;
+}
+|};
+    train = [ ("message", Data.ints ~seed:181 ~n:4096 ~bound:16777216) ];
+    novel = [ ("message", Data.ints ~seed:281 ~n:4096 ~bound:16777216) ];
+  }
+
+let espresso : Bench.t =
+  {
+    name = "008.espresso";
+    suite = Bench.Spec92;
+    fp = false;
+    description = "Two-level logic minimization: cube containment + merge";
+    source =
+      {|
+global int cubes[4096];
+global int alive[512];
+
+/* Each cube is 8 ints of 2-bit literals: 0 empty, 1 pos, 2 neg, 3 both. */
+int contains(int a, int b) {
+  /* does cube a contain cube b? every literal of a must cover b's */
+  int k;
+  for (k = 0; k < 8; k = k + 1) {
+    int la = cubes[a * 8 + k];
+    int lb = cubes[b * 8 + k];
+    if ((la & lb) != lb) { return 0; }
+  }
+  return 1;
+}
+
+int distance(int a, int b) {
+  int d = 0;
+  int k;
+  for (k = 0; k < 8; k = k + 1) {
+    int la = cubes[a * 8 + k];
+    int lb = cubes[b * 8 + k];
+    if ((la & lb) == 0 && (la | lb) != 0) { d = d + 1; }
+  }
+  return d;
+}
+
+int main() {
+  int ncubes = 512;
+  int i;
+  for (i = 0; i < ncubes; i = i + 1) { alive[i] = 1; }
+  /* single-cube containment removal */
+  int removed = 0;
+  for (i = 0; i < ncubes; i = i + 1) {
+    if (alive[i]) {
+      int j;
+      for (j = 0; j < ncubes; j = j + 1) {
+        if (j != i && alive[j] && contains(i, j)) {
+          alive[j] = 0;
+          removed = removed + 1;
+        }
+      }
+    }
+  }
+  /* merge distance-1 pairs (consensus) */
+  int merged = 0;
+  for (i = 0; i < ncubes; i = i + 1) {
+    if (alive[i]) {
+      int j;
+      for (j = i + 1; j < ncubes; j = j + 1) {
+        if (alive[j] && distance(i, j) == 1) {
+          int k;
+          for (k = 0; k < 8; k = k + 1) {
+            cubes[i * 8 + k] = cubes[i * 8 + k] | cubes[j * 8 + k];
+          }
+          alive[j] = 0;
+          merged = merged + 1;
+        }
+      }
+    }
+  }
+  int check = 0;
+  for (i = 0; i < ncubes * 8; i = i + 1) {
+    check = (check * 5 + cubes[i]) % 1000003;
+  }
+  emit(removed);
+  emit(merged);
+  emit(check);
+  return 0;
+}
+|};
+    train = [ ("cubes", Data.ints ~seed:182 ~n:4096 ~bound:4) ];
+    novel = [ ("cubes", Data.skewed ~seed:282 ~n:4096 ~bound:4) ];
+  }
+
+let sc : Bench.t =
+  {
+    name = "072.sc";
+    suite = Bench.Spec92;
+    fp = true;
+    description = "Spreadsheet recalculation: formula DAG evaluation";
+    source =
+      {|
+global int optab[1024];
+global int arg1[1024];
+global int arg2[1024];
+global float cells[1024];
+
+float apply(int op, float a, float b) {
+  if (op == 0) { return a + b; }
+  if (op == 1) { return a - b; }
+  if (op == 2) { return a * b; }
+  if (op == 3) {
+    if (b == 0.0) { return 0.0; }
+    return a / b;
+  }
+  if (op == 4) { return fmax(a, b); }
+  return fmin(a, b);
+}
+
+int main() {
+  int ncells = 1024;
+  int rounds = 12;
+  int r;
+  float check = 0.0;
+  for (r = 0; r < rounds; r = r + 1) {
+    int i;
+    for (i = 0; i < ncells; i = i + 1) {
+      int op = optab[i] % 6;
+      /* references point strictly backwards: a DAG, like a spreadsheet */
+      int a = arg1[i] % (i + 1);
+      int b = arg2[i] % (i + 1);
+      cells[i] = apply(op, cells[a], cells[b]) * 0.5 + cells[i] * 0.5;
+    }
+    check = check + cells[(r * 97 + 31) % 1024];
+  }
+  emit(check);
+  return 0;
+}
+|};
+    train =
+      [
+        ("optab", Data.ints ~seed:183 ~n:1024 ~bound:6);
+        ("arg1", Data.ints ~seed:184 ~n:1024 ~bound:1024);
+        ("arg2", Data.ints ~seed:185 ~n:1024 ~bound:1024);
+        ("cells", Data.floats ~seed:186 ~n:1024 ~lo:(-1.0) ~hi:1.0);
+      ];
+    novel =
+      [
+        ("optab", Data.skewed ~seed:283 ~n:1024 ~bound:6);
+        ("arg1", Data.ints ~seed:284 ~n:1024 ~bound:1024);
+        ("arg2", Data.ints ~seed:285 ~n:1024 ~bound:1024);
+        ("cells", Data.floats ~seed:286 ~n:1024 ~lo:(-1.0) ~hi:1.0);
+      ];
+  }
+
+let go : Bench.t =
+  {
+    name = "099.go";
+    suite = Bench.Spec95;
+    fp = false;
+    description = "Game engine kernel: board scan + liberty counting";
+    source =
+      {|
+global int board[512];
+global int moves[1024];
+
+/* 19x19 board padded to 20x25; 0 empty, 1 black, 2 white, 3 edge */
+int liberties(int pos) {
+  int libs = 0;
+  if (board[pos - 1] == 0)  { libs = libs + 1; }
+  if (board[pos + 1] == 0)  { libs = libs + 1; }
+  if (board[pos - 20] == 0) { libs = libs + 1; }
+  if (board[pos + 20] == 0) { libs = libs + 1; }
+  return libs;
+}
+
+int score_move(int pos, int color) {
+  if (board[pos] != 0) { return 0 - 1; }
+  int other = 3 - color;
+  int score = liberties(pos);
+  /* capture bonus: adjacent enemy stones in atari.  MiniC has no
+     short-circuit &&, so guard the liberty probe with a nested if (the
+     probe itself reads two cells beyond the stone). */
+  if (board[pos - 1] == other)  { if (liberties(pos - 1) == 1)  { score = score + 10; } }
+  if (board[pos + 1] == other)  { if (liberties(pos + 1) == 1)  { score = score + 10; } }
+  if (board[pos - 20] == other) { if (liberties(pos - 20) == 1) { score = score + 10; } }
+  if (board[pos + 20] == other) { if (liberties(pos + 20) == 1) { score = score + 10; } }
+  /* connection bonus */
+  if (board[pos - 1] == color)  { score = score + 2; }
+  if (board[pos + 1] == color)  { score = score + 2; }
+  return score;
+}
+
+int main() {
+  int i;
+  /* set up edges */
+  for (i = 0; i < 512; i = i + 1) {
+    int row = i / 20;
+    int col = i % 20;
+    if (row < 1 || row > 19 || col < 1 || col > 19) { board[i] = 3; }
+  }
+  int color = 1;
+  int placed = 0;
+  int check = 0;
+  for (i = 0; i < 1024; i = i + 1) {
+    int cand = 21 + (moves[i] % 19) * 20 + (moves[i] / 19) % 19;
+    int s = score_move(cand, color);
+    if (s > 2) {
+      board[cand] = color;
+      placed = placed + 1;
+      color = 3 - color;
+    }
+    check = (check * 7 + s + 2) % 1000003;
+  }
+  emit(placed);
+  emit(check);
+  return 0;
+}
+|};
+    train = [ ("moves", Data.ints ~seed:187 ~n:1024 ~bound:361) ];
+    novel = [ ("moves", Data.skewed ~seed:287 ~n:1024 ~bound:361) ];
+  }
+
+let untoast : Bench.t =
+  {
+    name = "untoast";
+    suite = Bench.Mediabench;
+    fp = false;
+    description = "GSM-style decoder: LPC lattice synthesis filter";
+    source =
+      {|
+global int residual[2560];
+global int refl[128];
+global int hist[9];
+
+int saturate(int v) {
+  if (v > 32767)        { return 32767; }
+  if (v < 0 - 32768)    { return 0 - 32768; }
+  return v;
+}
+
+int main() {
+  int nframes = 16;
+  int flen = 160;
+  int f;
+  int check = 0;
+  for (f = 0; f < nframes; f = f + 1) {
+    int base = f * flen;
+    int k;
+    for (k = 0; k < 9; k = k + 1) { hist[k] = 0; }
+    int t;
+    for (t = 0; t < flen; t = t + 1) {
+      /* lattice synthesis: run residual through 8 reflection stages */
+      int acc = residual[base + t] - 128;
+      int s;
+      for (s = 7; s >= 0; s = s - 1) {
+        int r = refl[f * 8 + s] - 128;
+        acc = saturate(acc - (r * hist[s]) / 256);
+        hist[s + 1] = saturate(hist[s] + (r * acc) / 256);
+      }
+      hist[0] = acc;
+      check = (check * 3 + (acc & 255)) % 1000003;
+    }
+  }
+  emit(check);
+  return 0;
+}
+|};
+    train =
+      [
+        ("residual", Data.ints ~seed:188 ~n:2560 ~bound:256);
+        ("refl", Data.ints ~seed:189 ~n:128 ~bound:256);
+      ];
+    novel =
+      [
+        ("residual", Data.signal ~seed:288 ~n:2560
+                     |> Array.map (fun v -> Float.of_int (128 + int_of_float (v *. 60.0))));
+        ("refl", Data.ints ~seed:289 ~n:128 ~bound:256);
+      ];
+  }
+
+let all : Bench.t list = [ epic; pegwit; espresso; sc; go; untoast ]

@@ -1,0 +1,3 @@
+(** Benchmark definitions; see {!Registry} for lookup and suites. *)
+
+val all : Bench.t list

@@ -1,0 +1,492 @@
+(* SPEC92/95-style floating-point benchmarks used by the prefetching
+   study.  They stream over arrays larger than the L1 cache with known
+   strides, so software prefetching has both something to win (miss
+   latency) and something to lose (slots, pollution, queue pressure). *)
+
+let tomcatv : Bench.t =
+  {
+    name = "101.tomcatv";
+    suite = Bench.Spec92;
+    fp = true;
+    description = "Mesh relaxation: 2D five-point sweep with residual";
+    source =
+      {|
+global float x[16384];
+global float y[16384];
+
+int main() {
+  int dim = 128;
+  int iters = 6;
+  int it;
+  float resid = 0.0;
+  for (it = 0; it < iters; it = it + 1) {
+    int i;
+    resid = 0.0;
+    for (i = 1; i < dim - 1; i = i + 1) {
+      int j;
+      for (j = 1; j < dim - 1; j = j + 1) {
+        int o = i * 128 + j;
+        float rx = x[o - 1] + x[o + 1] + x[o - 128] + x[o + 128] - 4.0 * x[o];
+        float ry = y[o - 1] + y[o + 1] + y[o - 128] + y[o + 128] - 4.0 * y[o];
+        x[o] = x[o] + 0.18 * rx;
+        y[o] = y[o] + 0.18 * ry;
+        float ar = rx;
+        if (ar < 0.0) { ar = 0.0 - ar; }
+        resid = resid + ar;
+      }
+    }
+  }
+  emit(resid);
+  return 0;
+}
+|};
+    train = [ ("x", Data.floats ~seed:50 ~n:16384 ~lo:0.0 ~hi:1.0);
+              ("y", Data.floats ~seed:51 ~n:16384 ~lo:0.0 ~hi:1.0) ];
+    novel = [ ("x", Data.floats ~seed:120 ~n:16384 ~lo:0.0 ~hi:2.0);
+              ("y", Data.floats ~seed:121 ~n:16384 ~lo:0.0 ~hi:2.0) ];
+  }
+
+let swim : Bench.t =
+  {
+    name = "102.swim";
+    suite = Bench.Spec92;
+    fp = true;
+    description = "Shallow-water stencil over three fields";
+    source =
+      {|
+global float u[16384];
+global float v[16384];
+global float p[16384];
+
+int main() {
+  int dim = 128;
+  int iters = 5;
+  int it;
+  float check = 0.0;
+  for (it = 0; it < iters; it = it + 1) {
+    int i;
+    for (i = 1; i < dim - 1; i = i + 1) {
+      int j;
+      for (j = 1; j < dim - 1; j = j + 1) {
+        int o = i * 128 + j;
+        float du = p[o + 1] - p[o - 1] + v[o];
+        float dv = p[o + 128] - p[o - 128] - u[o];
+        float dp = u[o + 1] - u[o - 1] + v[o + 128] - v[o - 128];
+        u[o] = u[o] + 0.05 * du;
+        v[o] = v[o] + 0.05 * dv;
+        p[o] = p[o] - 0.02 * dp;
+      }
+    }
+    check = check + p[it * 100 + 65];
+  }
+  emit(check);
+  return 0;
+}
+|};
+    train = [ ("u", Data.floats ~seed:52 ~n:16384 ~lo:(-1.0) ~hi:1.0);
+              ("v", Data.floats ~seed:53 ~n:16384 ~lo:(-1.0) ~hi:1.0);
+              ("p", Data.floats ~seed:54 ~n:16384 ~lo:0.0 ~hi:1.0) ];
+    novel = [ ("u", Data.floats ~seed:122 ~n:16384 ~lo:(-1.0) ~hi:1.0);
+              ("v", Data.floats ~seed:123 ~n:16384 ~lo:(-1.0) ~hi:1.0);
+              ("p", Data.floats ~seed:124 ~n:16384 ~lo:0.0 ~hi:1.0) ];
+  }
+
+let su2cor : Bench.t =
+  {
+    name = "103.su2cor";
+    suite = Bench.Spec92;
+    fp = true;
+    description = "Lattice gauge kernel: complex 2x2 matrix products over links";
+    source =
+      {|
+global float links[16384];
+global float prop[4096];
+
+int main() {
+  int nsites = 2048;
+  int sweeps = 4;
+  int s;
+  float check = 0.0;
+  for (s = 0; s < sweeps; s = s + 1) {
+    int i;
+    for (i = 0; i < nsites; i = i + 1) {
+      int lo = i * 8;
+      /* complex 2x2 times 2-vector */
+      float ar = links[lo];     float ai = links[lo + 1];
+      float br = links[lo + 2]; float bi = links[lo + 3];
+      float cr = links[lo + 4]; float ci = links[lo + 5];
+      float dr = links[lo + 6]; float di = links[lo + 7];
+      int po = (i * 2) % 4096;
+      float xr = prop[po];
+      float xi = prop[po + 1];
+      float yr = ar * xr - ai * xi + br * xr - bi * xi;
+      float yi = ar * xi + ai * xr + br * xi + bi * xr;
+      float zr = cr * xr - ci * xi + dr * xr - di * xi;
+      float zi = cr * xi + ci * xr + dr * xi + di * xr;
+      prop[po] = 0.9 * yr + 0.1 * zr;
+      prop[po + 1] = 0.9 * yi + 0.1 * zi;
+      check = check + yr * 0.001 - zi * 0.001;
+    }
+  }
+  emit(check);
+  return 0;
+}
+|};
+    train = [ ("links", Data.floats ~seed:55 ~n:16384 ~lo:(-1.0) ~hi:1.0);
+              ("prop", Data.floats ~seed:56 ~n:4096 ~lo:(-1.0) ~hi:1.0) ];
+    novel = [ ("links", Data.floats ~seed:125 ~n:16384 ~lo:(-1.0) ~hi:1.0);
+              ("prop", Data.floats ~seed:126 ~n:4096 ~lo:(-1.0) ~hi:1.0) ];
+  }
+
+let turb3d : Bench.t =
+  {
+    name = "125.turb3d";
+    suite = Bench.Spec95;
+    fp = true;
+    description = "3D turbulence kernel: strided column sweeps";
+    source =
+      {|
+global float field[16384];
+
+int main() {
+  int dim = 25;                  /* 25x25x25 = 15625 */
+  int iters = 3;
+  int it;
+  float check = 0.0;
+  for (it = 0; it < iters; it = it + 1) {
+    /* x-sweep: unit stride */
+    int z;
+    for (z = 1; z < dim - 1; z = z + 1) {
+      int y;
+      for (y = 1; y < dim - 1; y = y + 1) {
+        int x;
+        for (x = 1; x < dim - 1; x = x + 1) {
+          int o = (z * 25 + y) * 25 + x;
+          field[o] = 0.5 * field[o] + 0.25 * (field[o - 1] + field[o + 1]);
+        }
+      }
+    }
+    /* z-sweep: stride dim*dim = 625 (cache-hostile) */
+    int y2;
+    for (y2 = 1; y2 < dim - 1; y2 = y2 + 1) {
+      int x2;
+      for (x2 = 1; x2 < dim - 1; x2 = x2 + 1) {
+        int z2;
+        for (z2 = 1; z2 < dim - 1; z2 = z2 + 1) {
+          int o = (z2 * 25 + y2) * 25 + x2;
+          field[o] = 0.5 * field[o] + 0.25 * (field[o - 625] + field[o + 625]);
+        }
+      }
+    }
+    check = check + field[(it + 3) * 600 + 13];
+  }
+  emit(check);
+  return 0;
+}
+|};
+    train = [ ("field", Data.floats ~seed:57 ~n:16384 ~lo:(-1.0) ~hi:1.0) ];
+    novel = [ ("field", Data.floats ~seed:127 ~n:16384 ~lo:(-2.0) ~hi:2.0) ];
+  }
+
+let wave5 : Bench.t =
+  {
+    name = "146.wave5";
+    suite = Bench.Spec92;
+    fp = true;
+    description = "Particle-in-cell wave kernel: gather/scatter + field solve";
+    source =
+      {|
+global float efield[8192];
+global float pos[4096];
+global float vel[4096];
+
+int main() {
+  int nparticles = 4096;
+  int steps = 6;
+  int s;
+  float check = 0.0;
+  for (s = 0; s < steps; s = s + 1) {
+    int i;
+    /* particle push: indirect gather from the field */
+    for (i = 0; i < nparticles; i = i + 1) {
+      int cell = int(pos[i]);
+      if (cell < 0) { cell = 0; }
+      if (cell > 8190) { cell = 8190; }
+      float e = efield[cell] + (pos[i] - float(cell)) * (efield[cell + 1] - efield[cell]);
+      vel[i] = vel[i] + 0.1 * e;
+      pos[i] = pos[i] + vel[i];
+      if (pos[i] < 0.0)    { pos[i] = pos[i] + 8190.0; }
+      if (pos[i] > 8190.0) { pos[i] = pos[i] - 8190.0; }
+    }
+    /* field relaxation: unit stride */
+    for (i = 1; i < 8191; i = i + 1) {
+      efield[i] = 0.9 * efield[i] + 0.05 * (efield[i - 1] + efield[i + 1]);
+    }
+    check = check + vel[s * 500 + 3];
+  }
+  emit(check);
+  return 0;
+}
+|};
+    train = [ ("efield", Data.floats ~seed:58 ~n:8192 ~lo:(-1.0) ~hi:1.0);
+              ("pos", Data.floats ~seed:59 ~n:4096 ~lo:0.0 ~hi:8000.0);
+              ("vel", Data.floats ~seed:60 ~n:4096 ~lo:(-2.0) ~hi:2.0) ];
+    novel = [ ("efield", Data.floats ~seed:128 ~n:8192 ~lo:(-1.0) ~hi:1.0);
+              ("pos", Data.floats ~seed:129 ~n:4096 ~lo:0.0 ~hi:8000.0);
+              ("vel", Data.floats ~seed:130 ~n:4096 ~lo:(-2.0) ~hi:2.0) ];
+  }
+
+let nasa7 : Bench.t =
+  {
+    name = "093.nasa7";
+    suite = Bench.Spec92;
+    fp = true;
+    description = "NASA kernels: blocked matrix multiply + dot products";
+    source =
+      {|
+global float a[4096];
+global float b[4096];
+global float c[4096];
+
+int main() {
+  int dim = 64;
+  int i;
+  float check = 0.0;
+  /* C = A * B, 64x64 */
+  for (i = 0; i < dim; i = i + 1) {
+    int j;
+    for (j = 0; j < dim; j = j + 1) {
+      float sum = 0.0;
+      int k;
+      for (k = 0; k < dim; k = k + 1) {
+        sum = sum + a[i * 64 + k] * b[k * 64 + j];
+      }
+      c[i * 64 + j] = sum;
+    }
+  }
+  /* row/column dots */
+  for (i = 0; i < dim; i = i + 1) {
+    float d = 0.0;
+    int k;
+    for (k = 0; k < dim; k = k + 1) {
+      d = d + c[i * 64 + k] * c[k * 64 + i];
+    }
+    check = check + d * 0.0001;
+  }
+  emit(check);
+  return 0;
+}
+|};
+    train = [ ("a", Data.floats ~seed:61 ~n:4096 ~lo:(-1.0) ~hi:1.0);
+              ("b", Data.floats ~seed:62 ~n:4096 ~lo:(-1.0) ~hi:1.0) ];
+    novel = [ ("a", Data.floats ~seed:131 ~n:4096 ~lo:(-1.0) ~hi:1.0);
+              ("b", Data.floats ~seed:132 ~n:4096 ~lo:(-1.0) ~hi:1.0) ];
+  }
+
+let doduc : Bench.t =
+  {
+    name = "015.doduc";
+    suite = Bench.Spec92;
+    fp = true;
+    description = "Monte-Carlo reactor kernel: table lookups + exponentials";
+    source =
+      {|
+global float xsect[8192];
+global float energy[4096];
+
+int main() {
+  int nparticles = 4096;
+  int i;
+  float absorbed = 0.0;
+  float escaped = 0.0;
+  for (i = 0; i < nparticles; i = i + 1) {
+    float e = energy[i];
+    int hops = 0;
+    while (hops < 8 && e > 0.05) {
+      int bin = int(e * 800.0);
+      if (bin < 0) { bin = 0; }
+      if (bin > 8191) { bin = 8191; }
+      float sigma = xsect[bin];
+      /* collision: lose energy proportional to cross-section */
+      float loss = e * (0.2 + 0.3 * sigma);
+      e = e - loss;
+      absorbed = absorbed + loss * exp(0.0 - sigma);
+      hops = hops + 1;
+    }
+    if (e > 0.05) { escaped = escaped + e; }
+  }
+  emit(absorbed);
+  emit(escaped);
+  return 0;
+}
+|};
+    train = [ ("xsect", Data.floats ~seed:63 ~n:8192 ~lo:0.0 ~hi:1.0);
+              ("energy", Data.floats ~seed:64 ~n:4096 ~lo:0.1 ~hi:10.0) ];
+    novel = [ ("xsect", Data.floats ~seed:133 ~n:8192 ~lo:0.0 ~hi:1.0);
+              ("energy", Data.floats ~seed:134 ~n:4096 ~lo:0.1 ~hi:10.0) ];
+  }
+
+let mdljdp2 : Bench.t =
+  {
+    name = "034.mdljdp2";
+    suite = Bench.Spec92;
+    fp = true;
+    description = "Molecular dynamics: pairwise Lennard-Jones forces";
+    source =
+      {|
+global float px[512];
+global float py[512];
+global float pz[512];
+global float fx[512];
+global float fy[512];
+global float fz[512];
+
+int main() {
+  int natoms = 320;
+  int steps = 3;
+  int s;
+  float check = 0.0;
+  for (s = 0; s < steps; s = s + 1) {
+    int i;
+    for (i = 0; i < natoms; i = i + 1) { fx[i] = 0.0; fy[i] = 0.0; fz[i] = 0.0; }
+    for (i = 0; i < natoms; i = i + 1) {
+      int j;
+      for (j = i + 1; j < natoms; j = j + 1) {
+        float dx = px[i] - px[j];
+        float dy = py[i] - py[j];
+        float dz = pz[i] - pz[j];
+        float r2 = dx * dx + dy * dy + dz * dz + 0.01;
+        if (r2 < 6.25) {                /* cutoff branch */
+          float inv2 = 1.0 / r2;
+          float inv6 = inv2 * inv2 * inv2;
+          float f = inv6 * (inv6 - 0.5) * inv2;
+          fx[i] = fx[i] + f * dx;  fx[j] = fx[j] - f * dx;
+          fy[i] = fy[i] + f * dy;  fy[j] = fy[j] - f * dy;
+          fz[i] = fz[i] + f * dz;  fz[j] = fz[j] - f * dz;
+        }
+      }
+    }
+    for (i = 0; i < natoms; i = i + 1) {
+      px[i] = px[i] + 0.001 * fx[i];
+      py[i] = py[i] + 0.001 * fy[i];
+      pz[i] = pz[i] + 0.001 * fz[i];
+    }
+    check = check + px[17] + py[200] + pz[55];
+  }
+  emit(check);
+  return 0;
+}
+|};
+    train = [ ("px", Data.floats ~seed:65 ~n:512 ~lo:0.0 ~hi:10.0);
+              ("py", Data.floats ~seed:66 ~n:512 ~lo:0.0 ~hi:10.0);
+              ("pz", Data.floats ~seed:67 ~n:512 ~lo:0.0 ~hi:10.0) ];
+    novel = [ ("px", Data.floats ~seed:135 ~n:512 ~lo:0.0 ~hi:10.0);
+              ("py", Data.floats ~seed:136 ~n:512 ~lo:0.0 ~hi:10.0);
+              ("pz", Data.floats ~seed:137 ~n:512 ~lo:0.0 ~hi:10.0) ];
+  }
+
+let mgrid : Bench.t =
+  {
+    name = "107.mgrid";
+    suite = Bench.Spec95;
+    fp = true;
+    description = "Multigrid V-cycle: relax / restrict / prolong";
+    source =
+      {|
+global float fine[16384];
+global float coarse[4096];
+
+int main() {
+  int dim = 128;
+  int cycles = 3;
+  int c;
+  float check = 0.0;
+  for (c = 0; c < cycles; c = c + 1) {
+    int i;
+    /* relax on the fine grid */
+    for (i = 1; i < dim - 1; i = i + 1) {
+      int j;
+      for (j = 1; j < dim - 1; j = j + 1) {
+        int o = i * 128 + j;
+        fine[o] = 0.5 * fine[o]
+          + 0.125 * (fine[o - 1] + fine[o + 1] + fine[o - 128] + fine[o + 128]);
+      }
+    }
+    /* restrict to the coarse grid (stride-2 gather) */
+    for (i = 0; i < 64; i = i + 1) {
+      int j;
+      for (j = 0; j < 64; j = j + 1) {
+        coarse[i * 64 + j] = fine[(2 * i) * 128 + 2 * j];
+      }
+    }
+    /* relax coarse */
+    for (i = 1; i < 63; i = i + 1) {
+      int j;
+      for (j = 1; j < 63; j = j + 1) {
+        int o = i * 64 + j;
+        coarse[o] = 0.5 * coarse[o]
+          + 0.125 * (coarse[o - 1] + coarse[o + 1] + coarse[o - 64] + coarse[o + 64]);
+      }
+    }
+    /* prolong back */
+    for (i = 0; i < 64; i = i + 1) {
+      int j;
+      for (j = 0; j < 64; j = j + 1) {
+        fine[(2 * i) * 128 + 2 * j] =
+          0.7 * fine[(2 * i) * 128 + 2 * j] + 0.3 * coarse[i * 64 + j];
+      }
+    }
+    check = check + fine[c * 1000 + 129];
+  }
+  emit(check);
+  return 0;
+}
+|};
+    train = [ ("fine", Data.floats ~seed:68 ~n:16384 ~lo:(-1.0) ~hi:1.0) ];
+    novel = [ ("fine", Data.floats ~seed:138 ~n:16384 ~lo:(-1.0) ~hi:1.0) ];
+  }
+
+let apsi : Bench.t =
+  {
+    name = "141.apsi";
+    suite = Bench.Spec95;
+    fp = true;
+    description = "Pollutant transport: advection-diffusion sweeps";
+    source =
+      {|
+global float conc[16384];
+global float wind[16384];
+
+int main() {
+  int dim = 128;
+  int steps = 5;
+  int s;
+  float check = 0.0;
+  for (s = 0; s < steps; s = s + 1) {
+    int i;
+    for (i = 1; i < dim - 1; i = i + 1) {
+      int j;
+      for (j = 1; j < dim - 1; j = j + 1) {
+        int o = i * 128 + j;
+        float w = wind[o];
+        float adv = 0.0;
+        if (w > 0.0) { adv = w * (conc[o] - conc[o - 1]); }
+        else         { adv = w * (conc[o + 1] - conc[o]); }
+        float diff = conc[o - 128] + conc[o + 128] - 2.0 * conc[o];
+        conc[o] = conc[o] - 0.1 * adv + 0.05 * diff;
+      }
+    }
+    check = check + conc[s * 700 + 200];
+  }
+  emit(check);
+  return 0;
+}
+|};
+    train = [ ("conc", Data.floats ~seed:69 ~n:16384 ~lo:0.0 ~hi:1.0);
+              ("wind", Data.floats ~seed:70 ~n:16384 ~lo:(-1.0) ~hi:1.0) ];
+    novel = [ ("conc", Data.floats ~seed:139 ~n:16384 ~lo:0.0 ~hi:1.0);
+              ("wind", Data.floats ~seed:140 ~n:16384 ~lo:(-1.0) ~hi:1.0) ];
+  }
+
+let all : Bench.t list =
+  [ tomcatv; swim; su2cor; turb3d; wave5; nasa7; doduc; mdljdp2; mgrid; apsi ]

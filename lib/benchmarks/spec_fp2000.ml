@@ -1,0 +1,590 @@
+(* SPEC2000-style floating-point benchmarks: the prefetching study's
+   cross-validation set (Figure 16).  Deliberately different memory
+   behaviour from the training set — some of these reward aggressive
+   prefetching, which is exactly the generalization caveat the paper
+   discusses. *)
+
+let wupwise : Bench.t =
+  {
+    name = "168.wupwise";
+    suite = Bench.Spec2000;
+    fp = true;
+    description = "Lattice QCD BiCGStab kernel: complex matrix-vector";
+    source =
+      {|
+global float m[8192];
+global float vec[2048];
+global float res[2048];
+
+int main() {
+  int nsites = 1024;
+  int sweeps = 4;
+  int s;
+  float check = 0.0;
+  for (s = 0; s < sweeps; s = s + 1) {
+    int i;
+    for (i = 0; i < nsites; i = i + 1) {
+      int mo = i * 8;
+      int vo = i * 2;
+      float ar = m[mo];     float ai = m[mo + 1];
+      float br = m[mo + 2]; float bi = m[mo + 3];
+      float xr = vec[vo];   float xi = vec[vo + 1];
+      int nb = ((i * 7 + 3) % 1024) * 2;   /* neighbour gather */
+      float yr = vec[nb];
+      float yi = vec[nb + 1];
+      res[vo]     = ar * xr - ai * xi + br * yr - bi * yi;
+      res[vo + 1] = ar * xi + ai * xr + br * yi + bi * yr;
+    }
+    for (i = 0; i < nsites * 2; i = i + 1) {
+      vec[i] = 0.95 * vec[i] + 0.05 * res[i];
+    }
+    check = check + vec[s * 71 + 5];
+  }
+  emit(check);
+  return 0;
+}
+|};
+    train = [ ("m", Data.floats ~seed:150 ~n:8192 ~lo:(-1.0) ~hi:1.0);
+              ("vec", Data.floats ~seed:151 ~n:2048 ~lo:(-1.0) ~hi:1.0) ];
+    novel = [ ("m", Data.floats ~seed:250 ~n:8192 ~lo:(-1.0) ~hi:1.0);
+              ("vec", Data.floats ~seed:251 ~n:2048 ~lo:(-1.0) ~hi:1.0) ];
+  }
+
+let swim2000 : Bench.t =
+  {
+    name = "171.swim";
+    suite = Bench.Spec2000;
+    fp = true;
+    description = "Shallow water, leapfrog time stepping on a larger grid";
+    source =
+      {|
+global float h[20000];
+global float hu[20000];
+global float hold[20000];
+
+int main() {
+  int nx = 200;
+  int ny = 100;
+  int steps = 4;
+  int s;
+  float check = 0.0;
+  for (s = 0; s < steps; s = s + 1) {
+    int i;
+    for (i = 1; i < ny - 1; i = i + 1) {
+      int j;
+      for (j = 1; j < nx - 1; j = j + 1) {
+        int o = i * 200 + j;
+        float flux = hu[o + 1] - hu[o - 1] + hu[o + 200] - hu[o - 200];
+        float hnew = hold[o] - 0.05 * flux;
+        hold[o] = h[o];
+        h[o] = hnew;
+        hu[o] = 0.98 * hu[o] - 0.02 * (h[o + 1] - h[o - 1]);
+      }
+    }
+    check = check + h[s * 3000 + 427];
+  }
+  emit(check);
+  return 0;
+}
+|};
+    train = [ ("h", Data.floats ~seed:152 ~n:20000 ~lo:0.5 ~hi:1.5);
+              ("hu", Data.floats ~seed:153 ~n:20000 ~lo:(-0.2) ~hi:0.2);
+              ("hold", Data.floats ~seed:154 ~n:20000 ~lo:0.5 ~hi:1.5) ];
+    novel = [ ("h", Data.floats ~seed:252 ~n:20000 ~lo:0.5 ~hi:1.5);
+              ("hu", Data.floats ~seed:253 ~n:20000 ~lo:(-0.2) ~hi:0.2);
+              ("hold", Data.floats ~seed:254 ~n:20000 ~lo:0.5 ~hi:1.5) ];
+  }
+
+let mgrid2000 : Bench.t =
+  {
+    name = "172.mgrid";
+    suite = Bench.Spec2000;
+    fp = true;
+    description = "3D multigrid smoother: 7-point relaxation on 32^3";
+    source =
+      {|
+global float grid[32768];
+
+int main() {
+  int dim = 32;
+  int iters = 4;
+  int it;
+  float check = 0.0;
+  for (it = 0; it < iters; it = it + 1) {
+    int z;
+    for (z = 1; z < dim - 1; z = z + 1) {
+      int y;
+      for (y = 1; y < dim - 1; y = y + 1) {
+        int x;
+        for (x = 1; x < dim - 1; x = x + 1) {
+          int o = (z * 32 + y) * 32 + x;
+          grid[o] = 0.4 * grid[o]
+            + 0.1 * (grid[o - 1] + grid[o + 1]
+                     + grid[o - 32] + grid[o + 32]
+                     + grid[o - 1024] + grid[o + 1024]);
+        }
+      }
+    }
+    check = check + grid[it * 5000 + 1057];
+  }
+  emit(check);
+  return 0;
+}
+|};
+    train = [ ("grid", Data.floats ~seed:155 ~n:32768 ~lo:(-1.0) ~hi:1.0) ];
+    novel = [ ("grid", Data.floats ~seed:255 ~n:32768 ~lo:(-1.0) ~hi:1.0) ];
+  }
+
+let applu : Bench.t =
+  {
+    name = "173.applu";
+    suite = Bench.Spec2000;
+    fp = true;
+    description = "SSOR: forward and backward wavefront sweeps";
+    source =
+      {|
+global float rhs[16384];
+
+int main() {
+  int dim = 128;
+  int iters = 4;
+  int it;
+  float check = 0.0;
+  for (it = 0; it < iters; it = it + 1) {
+    int i;
+    /* lower solve */
+    for (i = 1; i < dim; i = i + 1) {
+      int j;
+      for (j = 1; j < dim; j = j + 1) {
+        int o = i * 128 + j;
+        rhs[o] = rhs[o] - 0.3 * rhs[o - 1] - 0.3 * rhs[o - 128];
+      }
+    }
+    /* upper solve */
+    for (i = dim - 2; i >= 0; i = i - 1) {
+      int j;
+      for (j = dim - 2; j >= 0; j = j - 1) {
+        int o = i * 128 + j;
+        rhs[o] = 0.8 * rhs[o] - 0.15 * rhs[o + 1] - 0.15 * rhs[o + 128];
+      }
+    }
+    check = check + rhs[it * 2000 + 777];
+  }
+  emit(check);
+  return 0;
+}
+|};
+    train = [ ("rhs", Data.floats ~seed:156 ~n:16384 ~lo:(-1.0) ~hi:1.0) ];
+    novel = [ ("rhs", Data.floats ~seed:256 ~n:16384 ~lo:(-1.0) ~hi:1.0) ];
+  }
+
+let galgel : Bench.t =
+  {
+    name = "178.galgel";
+    suite = Bench.Spec2000;
+    fp = true;
+    description = "Galerkin spectral method: dense modal interactions";
+    source =
+      {|
+global float modes[4096];
+global float coupling[16384];
+
+int main() {
+  int nmodes = 96;
+  int steps = 5;
+  int s;
+  float check = 0.0;
+  for (s = 0; s < steps; s = s + 1) {
+    int i;
+    for (i = 0; i < nmodes; i = i + 1) {
+      float sum = 0.0;
+      int j;
+      for (j = 0; j < nmodes; j = j + 1) {
+        sum = sum + coupling[i * 96 + j] * modes[j];
+      }
+      modes[i + 2048] = modes[i] + 0.01 * sum - 0.002 * modes[i] * modes[i] * modes[i];
+    }
+    for (i = 0; i < nmodes; i = i + 1) {
+      modes[i] = modes[i + 2048];
+    }
+    check = check + modes[s * 13 + 1];
+  }
+  emit(check);
+  return 0;
+}
+|};
+    train = [ ("modes", Data.floats ~seed:157 ~n:4096 ~lo:(-0.5) ~hi:0.5);
+              ("coupling", Data.floats ~seed:158 ~n:16384 ~lo:(-0.1) ~hi:0.1) ];
+    novel = [ ("modes", Data.floats ~seed:257 ~n:4096 ~lo:(-0.5) ~hi:0.5);
+              ("coupling", Data.floats ~seed:258 ~n:16384 ~lo:(-0.1) ~hi:0.1) ];
+  }
+
+let equake : Bench.t =
+  {
+    name = "183.equake";
+    suite = Bench.Spec2000;
+    fp = true;
+    description = "Earthquake simulation: sparse matrix-vector (CSR)";
+    source =
+      {|
+global int rowptr[2049];
+global int colidx[14336];
+global float vals[14336];
+global float x[2048];
+global float y[2048];
+
+int main() {
+  int nrows = 2048;
+  int nnz_per_row = 7;
+  int i;
+  /* synthesize a banded sparse structure */
+  for (i = 0; i <= nrows; i = i + 1) { rowptr[i] = i * nnz_per_row; }
+  for (i = 0; i < nrows; i = i + 1) {
+    int k;
+    for (k = 0; k < nnz_per_row; k = k + 1) {
+      int col = i + (k - 3) * 37;
+      if (col < 0) { col = col + nrows; }
+      if (col >= nrows) { col = col - nrows; }
+      colidx[i * nnz_per_row + k] = col;
+    }
+  }
+  int steps = 6;
+  int s;
+  float check = 0.0;
+  for (s = 0; s < steps; s = s + 1) {
+    for (i = 0; i < nrows; i = i + 1) {
+      float sum = 0.0;
+      int k;
+      for (k = rowptr[i]; k < rowptr[i + 1]; k = k + 1) {
+        sum = sum + vals[k] * x[colidx[k]];
+      }
+      y[i] = sum;
+    }
+    for (i = 0; i < nrows; i = i + 1) {
+      x[i] = 0.9 * x[i] + 0.1 * y[i];
+    }
+    check = check + x[s * 300 + 17];
+  }
+  emit(check);
+  return 0;
+}
+|};
+    train = [ ("vals", Data.floats ~seed:159 ~n:14336 ~lo:(-1.0) ~hi:1.0);
+              ("x", Data.floats ~seed:160 ~n:2048 ~lo:(-1.0) ~hi:1.0) ];
+    novel = [ ("vals", Data.floats ~seed:259 ~n:14336 ~lo:(-1.0) ~hi:1.0);
+              ("x", Data.floats ~seed:260 ~n:2048 ~lo:(-1.0) ~hi:1.0) ];
+  }
+
+let facerec : Bench.t =
+  {
+    name = "187.facerec";
+    suite = Bench.Spec2000;
+    fp = true;
+    description = "Face recognition: template correlation over an image";
+    source =
+      {|
+global float image[16384];
+global float templ[64];
+
+int main() {
+  int dim = 128;
+  int tsize = 8;
+  int stride = 4;
+  float best = 0.0 - 1000000.0;
+  int bestpos = 0;
+  int y;
+  for (y = 0; y < dim - tsize; y = y + stride) {
+    int x;
+    for (x = 0; x < dim - tsize; x = x + stride) {
+      float corr = 0.0;
+      float norm = 0.0001;
+      int ty;
+      for (ty = 0; ty < tsize; ty = ty + 1) {
+        int tx;
+        for (tx = 0; tx < tsize; tx = tx + 1) {
+          float p = image[(y + ty) * 128 + x + tx];
+          corr = corr + p * templ[ty * 8 + tx];
+          norm = norm + p * p;
+        }
+      }
+      float score = corr * corr / norm;
+      if (score > best) {
+        best = score;
+        bestpos = y * 128 + x;
+      }
+    }
+  }
+  emit(bestpos);
+  emit(best);
+  return 0;
+}
+|};
+    train = [ ("image", Data.floats ~seed:161 ~n:16384 ~lo:0.0 ~hi:1.0);
+              ("templ", Data.floats ~seed:162 ~n:64 ~lo:0.0 ~hi:1.0) ];
+    novel = [ ("image", Data.floats ~seed:261 ~n:16384 ~lo:0.0 ~hi:1.0);
+              ("templ", Data.floats ~seed:262 ~n:64 ~lo:0.0 ~hi:1.0) ];
+  }
+
+let ammp : Bench.t =
+  {
+    name = "188.ammp";
+    suite = Bench.Spec2000;
+    fp = true;
+    description = "Molecular mechanics with a neighbour list (indirect)";
+    source =
+      {|
+global float coord[3072];
+global int nbr[8192];
+global float force[3072];
+
+int main() {
+  int natoms = 1024;
+  int nnbr = 8;
+  int steps = 3;
+  int s;
+  float check = 0.0;
+  for (s = 0; s < steps; s = s + 1) {
+    int i;
+    for (i = 0; i < natoms * 3; i = i + 1) { force[i] = 0.0; }
+    for (i = 0; i < natoms; i = i + 1) {
+      int k;
+      for (k = 0; k < nnbr; k = k + 1) {
+        int j = nbr[i * 8 + k] % 1024;
+        float dx = coord[i * 3] - coord[j * 3];
+        float dy = coord[i * 3 + 1] - coord[j * 3 + 1];
+        float dz = coord[i * 3 + 2] - coord[j * 3 + 2];
+        float r2 = dx * dx + dy * dy + dz * dz + 0.01;
+        float f = (1.0 - r2) / (r2 * r2 + 0.1);
+        force[i * 3]     = force[i * 3] + f * dx;
+        force[i * 3 + 1] = force[i * 3 + 1] + f * dy;
+        force[i * 3 + 2] = force[i * 3 + 2] + f * dz;
+      }
+    }
+    for (i = 0; i < natoms * 3; i = i + 1) {
+      coord[i] = coord[i] + 0.001 * force[i];
+    }
+    check = check + coord[s * 900 + 33];
+  }
+  emit(check);
+  return 0;
+}
+|};
+    train = [ ("coord", Data.floats ~seed:163 ~n:3072 ~lo:0.0 ~hi:5.0);
+              ("nbr", Data.ints ~seed:164 ~n:8192 ~bound:1024) ];
+    novel = [ ("coord", Data.floats ~seed:263 ~n:3072 ~lo:0.0 ~hi:5.0);
+              ("nbr", Data.ints ~seed:264 ~n:8192 ~bound:1024) ];
+  }
+
+let lucas : Bench.t =
+  {
+    name = "189.lucas";
+    suite = Bench.Spec2000;
+    fp = true;
+    description = "Lucas-Lehmer style: FFT butterfly passes with rounding";
+    source =
+      {|
+global float re[8192];
+global float im[8192];
+
+int main() {
+  int n = 8192;
+  int passes = 5;
+  int p;
+  float check = 0.0;
+  for (p = 0; p < passes; p = p + 1) {
+    int half = n >> (p + 1);
+    if (half < 1) { half = 1; }
+    int i;
+    for (i = 0; i < n - half; i = i + 1) {
+      float ar = re[i];
+      float ai = im[i];
+      float br = re[i + half];
+      float bi = im[i + half];
+      re[i] = ar + br;
+      im[i] = ai + bi;
+      float wr = cos(0.0007 * float(i));
+      float wi = sin(0.0007 * float(i));
+      float dr = ar - br;
+      float di = ai - bi;
+      re[i + half] = dr * wr - di * wi;
+      im[i + half] = dr * wi + di * wr;
+    }
+    check = check + re[p * 1000 + 11];
+  }
+  emit(check);
+  return 0;
+}
+|};
+    train = [ ("re", Data.floats ~seed:165 ~n:8192 ~lo:(-1.0) ~hi:1.0);
+              ("im", Data.floats ~seed:166 ~n:8192 ~lo:(-1.0) ~hi:1.0) ];
+    novel = [ ("re", Data.floats ~seed:265 ~n:8192 ~lo:(-1.0) ~hi:1.0);
+              ("im", Data.floats ~seed:266 ~n:8192 ~lo:(-1.0) ~hi:1.0) ];
+  }
+
+let sixtrack : Bench.t =
+  {
+    name = "200.sixtrack";
+    suite = Bench.Spec2000;
+    fp = true;
+    description = "Accelerator tracking: 6D particle state through elements";
+    source =
+      {|
+global float part[6144];
+global float elements[512];
+
+int main() {
+  int nparticles = 1024;
+  int nelems = 64;
+  int turns = 2;
+  int t;
+  int alive = 0;
+  float check = 0.0;
+  for (t = 0; t < turns; t = t + 1) {
+    int i;
+    alive = 0;
+    for (i = 0; i < nparticles; i = i + 1) {
+      int o = i * 6;
+      float x = part[o];
+      float xp = part[o + 1];
+      float y = part[o + 2];
+      float yp = part[o + 3];
+      float z = part[o + 4];
+      float dp = part[o + 5];
+      int e;
+      for (e = 0; e < nelems; e = e + 1) {
+        float k = elements[e * 8 % 512];
+        /* alternate drift and quadrupole kicks */
+        if (e % 2 == 0) {
+          x = x + 0.1 * xp;
+          y = y + 0.1 * yp;
+          z = z + 0.01 * dp;
+        } else {
+          xp = xp - k * x;
+          yp = yp + k * y;
+        }
+      }
+      float amp = x * x + y * y;
+      if (amp < 100.0) {
+        alive = alive + 1;
+        part[o] = x;  part[o + 1] = xp;
+        part[o + 2] = y;  part[o + 3] = yp;
+        part[o + 4] = z;  part[o + 5] = dp;
+      }
+      check = check + z * 0.001;
+    }
+  }
+  emit(alive);
+  emit(check);
+  return 0;
+}
+|};
+    train = [ ("part", Data.floats ~seed:167 ~n:6144 ~lo:(-1.0) ~hi:1.0);
+              ("elements", Data.floats ~seed:168 ~n:512 ~lo:0.0 ~hi:0.3) ];
+    novel = [ ("part", Data.floats ~seed:267 ~n:6144 ~lo:(-1.0) ~hi:1.0);
+              ("elements", Data.floats ~seed:268 ~n:512 ~lo:0.0 ~hi:0.3) ];
+  }
+
+let apsi2000 : Bench.t =
+  {
+    name = "301.apsi";
+    suite = Bench.Spec2000;
+    fp = true;
+    description = "Mesoscale pollutant model: 3D advection + vertical mixing";
+    source =
+      {|
+global float q[24576];
+global float wfield[24576];
+
+int main() {
+  /* 32 x 32 x 24 grid */
+  int nx = 32;
+  int ny = 32;
+  int nz = 24;
+  int steps = 3;
+  int s;
+  float check = 0.0;
+  for (s = 0; s < steps; s = s + 1) {
+    int z;
+    for (z = 1; z < nz - 1; z = z + 1) {
+      int y;
+      for (y = 1; y < ny - 1; y = y + 1) {
+        int x;
+        for (x = 1; x < nx - 1; x = x + 1) {
+          int o = (z * 32 + y) * 32 + x;
+          float w = wfield[o];
+          float vert = q[o + 1024] - 2.0 * q[o] + q[o - 1024];
+          float horiz = 0.0;
+          if (w > 0.0) { horiz = w * (q[o] - q[o - 1]); }
+          else         { horiz = w * (q[o + 1] - q[o]); }
+          q[o] = q[o] - 0.08 * horiz + 0.04 * vert;
+        }
+      }
+    }
+    check = check + q[s * 4000 + 1100];
+  }
+  emit(check);
+  return 0;
+}
+|};
+    train = [ ("q", Data.floats ~seed:169 ~n:24576 ~lo:0.0 ~hi:1.0);
+              ("wfield", Data.floats ~seed:170 ~n:24576 ~lo:(-1.0) ~hi:1.0) ];
+    novel = [ ("q", Data.floats ~seed:269 ~n:24576 ~lo:0.0 ~hi:1.0);
+              ("wfield", Data.floats ~seed:270 ~n:24576 ~lo:(-1.0) ~hi:1.0) ];
+  }
+
+let fma3d : Bench.t =
+  {
+    name = "191.fma3d";
+    suite = Bench.Spec2000;
+    fp = true;
+    description = "Explicit FEM: element stress + indirect nodal scatter";
+    source =
+      {|
+global float nodes[6144];
+global int elems[8192];
+global float disp[6144];
+
+int main() {
+  int nelems = 2048;
+  int steps = 3;
+  int s;
+  float check = 0.0;
+  for (s = 0; s < steps; s = s + 1) {
+    int e;
+    for (e = 0; e < nelems; e = e + 1) {
+      int n0 = elems[e * 4] % 2048;
+      int n1 = elems[e * 4 + 1] % 2048;
+      int n2 = elems[e * 4 + 2] % 2048;
+      int n3 = elems[e * 4 + 3] % 2048;
+      float ux = nodes[n1 * 3] - nodes[n0 * 3];
+      float uy = nodes[n2 * 3 + 1] - nodes[n0 * 3 + 1];
+      float uz = nodes[n3 * 3 + 2] - nodes[n0 * 3 + 2];
+      float strain = ux + uy + uz;
+      float stress = 2.0 * strain + 0.5 * strain * strain;
+      disp[n0 * 3]     = disp[n0 * 3] - 0.001 * stress * ux;
+      disp[n1 * 3]     = disp[n1 * 3] + 0.001 * stress * ux;
+      disp[n2 * 3 + 1] = disp[n2 * 3 + 1] + 0.001 * stress * uy;
+      disp[n3 * 3 + 2] = disp[n3 * 3 + 2] + 0.001 * stress * uz;
+    }
+    int i;
+    for (i = 0; i < 6144; i = i + 1) {
+      nodes[i] = nodes[i] + disp[i];
+      disp[i] = disp[i] * 0.9;
+    }
+    check = check + nodes[s * 2000 + 99];
+  }
+  emit(check);
+  return 0;
+}
+|};
+    train = [ ("nodes", Data.floats ~seed:171 ~n:6144 ~lo:0.0 ~hi:1.0);
+              ("elems", Data.ints ~seed:172 ~n:8192 ~bound:2048) ];
+    novel = [ ("nodes", Data.floats ~seed:271 ~n:6144 ~lo:0.0 ~hi:1.0);
+              ("elems", Data.ints ~seed:272 ~n:8192 ~bound:2048) ];
+  }
+
+let all : Bench.t list =
+  [
+    wupwise; swim2000; mgrid2000; applu; galgel; equake; facerec; ammp; lucas;
+    sixtrack; apsi2000; fma3d;
+  ]

@@ -1,0 +1,568 @@
+(* SPEC-integer-style benchmarks: interpreters, simulators, compilers,
+   databases — irregular control flow and pointer-chasing-like indirect
+   array accesses. *)
+
+let cc1 : Bench.t =
+  {
+    name = "085.cc1";
+    suite = Bench.Spec92;
+    fp = false;
+    description = "Compiler front-end kernel: tokenize + precedence fold";
+    source =
+      {|
+global int src[4096];
+global int toks[4096];
+global int vals[4096];
+
+int main() {
+  int n = 4096;
+  int i = 0;
+  int ntok = 0;
+  /* tokenize a synthetic character stream:
+     0-9 digits, 10-35 letters, 36 + 37 - 38 * 39 / 40 ( 41 ) 42 ; */
+  while (i < n) {
+    int c = src[i];
+    if (c < 10) {
+      int v = 0;
+      while (i < n && src[i] < 10) {
+        v = v * 10 + src[i];
+        v = v % 100000;
+        i = i + 1;
+      }
+      toks[ntok] = 1;
+      vals[ntok] = v;
+      ntok = ntok + 1;
+    } else {
+      if (c < 36) {
+        int h = 0;
+        while (i < n && src[i] >= 10 && src[i] < 36) {
+          h = (h * 37 + src[i]) % 4093;
+          i = i + 1;
+        }
+        toks[ntok] = 2;
+        vals[ntok] = h;
+        ntok = ntok + 1;
+      } else {
+        toks[ntok] = c;
+        vals[ntok] = 0;
+        ntok = ntok + 1;
+        i = i + 1;
+      }
+    }
+  }
+  /* constant-fold additive/multiplicative runs over the token stream */
+  int acc = 0;
+  int cur = 0;
+  int op = 36;
+  int t;
+  for (t = 0; t < ntok; t = t + 1) {
+    if (toks[t] == 1) {
+      int v = vals[t];
+      if (op == 36) { cur = cur + v; }
+      if (op == 37) { cur = cur - v; }
+      if (op == 38) { cur = cur * v % 65521; }
+      if (op == 39) {
+        if (v != 0) { cur = cur / v; }
+      }
+    } else {
+      if (toks[t] >= 36 && toks[t] <= 39) { op = toks[t]; }
+      if (toks[t] == 42) {
+        acc = (acc * 31 + cur) % 1000003;
+        cur = 0;
+        op = 36;
+      }
+    }
+  }
+  emit(ntok);
+  emit(acc);
+  return 0;
+}
+|};
+    train = [ ("src", Data.ints ~seed:33 ~n:4096 ~bound:43) ];
+    novel = [ ("src", Data.skewed ~seed:99 ~n:4096 ~bound:43) ];
+  }
+
+let compress : Bench.t =
+  {
+    name = "129.compress";
+    suite = Bench.Spec95;
+    fp = false;
+    description = "LZW-style compressor: hashed dictionary of digrams";
+    source =
+      {|
+global int input[4096];
+global int hash_key[8192];
+global int hash_val[8192];
+
+int main() {
+  int n = 4096;
+  int i;
+  for (i = 0; i < 8192; i = i + 1) { hash_key[i] = 0 - 1; }
+  int next_code = 256;
+  int w = input[0];
+  int check = 0;
+  int emitted = 0;
+  for (i = 1; i < n; i = i + 1) {
+    int k = input[i];
+    int key = w * 256 + k;
+    int h = (key * 2654435 + 12345) % 8192;
+    if (h < 0) { h = 0 - h; }
+    int found = 0 - 1;
+    int probes = 0;
+    while (probes < 12 && found < 0) {
+      if (hash_key[h] == key) { found = hash_val[h]; }
+      else {
+        if (hash_key[h] < 0) { break; }
+        h = (h + 1) % 8192;
+        probes = probes + 1;
+      }
+    }
+    if (found >= 0) {
+      w = found;
+    } else {
+      check = (check * 31 + w) % 1000003;
+      emitted = emitted + 1;
+      if (hash_key[h] < 0 && next_code < 4096) {
+        hash_key[h] = key;
+        hash_val[h] = next_code;
+        next_code = next_code + 1;
+      }
+      w = k;
+    }
+  }
+  emit(emitted);
+  emit(check);
+  return 0;
+}
+|};
+    train = [ ("input", Data.skewed ~seed:34 ~n:4096 ~bound:256) ];
+    novel = [ ("input", Data.runs ~seed:100 ~n:4096 ~bound:256 ~max_run:4) ];
+  }
+
+let li : Bench.t =
+  {
+    name = "130.li";
+    suite = Bench.Spec95;
+    fp = false;
+    description = "Lisp-interpreter kernel: stack-machine dispatch loop";
+    source =
+      {|
+global int code[2048];
+global int stack[256];
+global int env[64];
+
+int main() {
+  int iters = 24;
+  int it;
+  int check = 0;
+  for (it = 0; it < iters; it = it + 1) {
+    int pc = 0;
+    int sp = 0;
+    int steps = 0;
+    while (pc < 2048 && steps < 4000) {
+      int op = code[pc] % 10;
+      int arg = code[pc] / 10 % 64;
+      steps = steps + 1;
+      pc = pc + 1;
+      if (op == 0) {            /* push const */
+        if (sp < 255) { stack[sp] = arg; sp = sp + 1; }
+      }
+      if (op == 1) {            /* load env */
+        if (sp < 255) { stack[sp] = env[arg]; sp = sp + 1; }
+      }
+      if (op == 2) {            /* store env */
+        if (sp > 0) { sp = sp - 1; env[arg] = stack[sp]; }
+      }
+      if (op == 3) {            /* add */
+        if (sp > 1) { stack[sp - 2] = stack[sp - 2] + stack[sp - 1]; sp = sp - 1; }
+      }
+      if (op == 4) {            /* sub */
+        if (sp > 1) { stack[sp - 2] = stack[sp - 2] - stack[sp - 1]; sp = sp - 1; }
+      }
+      if (op == 5) {            /* mul mod */
+        if (sp > 1) { stack[sp - 2] = stack[sp - 2] * stack[sp - 1] % 65521; sp = sp - 1; }
+      }
+      if (op == 6) {            /* branch if zero */
+        if (sp > 0) {
+          sp = sp - 1;
+          if (stack[sp] == 0) { pc = pc + arg % 16; }
+        }
+      }
+      if (op == 7) {            /* dup */
+        if (sp > 0 && sp < 255) { stack[sp] = stack[sp - 1]; sp = sp + 1; }
+      }
+      if (op == 8) {            /* cons-cell hash (memory mix) */
+        if (sp > 0) { stack[sp - 1] = (stack[sp - 1] * 31 + arg) % 65521; }
+      }
+      if (op == 9) {            /* gc tick: checksum and pop */
+        if (sp > 0) { sp = sp - 1; check = (check * 7 + stack[sp]) % 1000003; }
+      }
+    }
+    check = (check + sp) % 1000003;
+  }
+  emit(check);
+  return 0;
+}
+|};
+    train = [ ("code", Data.ints ~seed:35 ~n:2048 ~bound:640) ];
+    novel = [ ("code", Data.skewed ~seed:101 ~n:2048 ~bound:640) ];
+  }
+
+let m88ksim : Bench.t =
+  {
+    name = "124.m88ksim";
+    suite = Bench.Spec95;
+    fp = false;
+    description = "CPU simulator: fetch/decode/execute with a register file";
+    source =
+      {|
+global int imem[1024];
+global int regs[32];
+global int dmem[1024];
+
+int main() {
+  int iters = 20;
+  int it;
+  int check = 0;
+  for (it = 0; it < iters; it = it + 1) {
+    int r;
+    for (r = 0; r < 32; r = r + 1) { regs[r] = r * 3 + it; }
+    int pc = 0;
+    int steps = 0;
+    while (steps < 3000) {
+      int insn = imem[pc % 1024];
+      int opc = insn % 8;
+      int rd = insn / 8 % 32;
+      int rs1 = insn / 256 % 32;
+      int rs2 = insn / 8192 % 32;
+      steps = steps + 1;
+      pc = pc + 1;
+      if (opc == 0) { regs[rd] = regs[rs1] + regs[rs2]; }
+      if (opc == 1) { regs[rd] = regs[rs1] - regs[rs2]; }
+      if (opc == 2) { regs[rd] = regs[rs1] & regs[rs2]; }
+      if (opc == 3) { regs[rd] = regs[rs1] ^ regs[rs2]; }
+      if (opc == 4) {                       /* load */
+        int a = regs[rs1] % 1024;
+        if (a < 0) { a = 0 - a; }
+        regs[rd] = dmem[a];
+      }
+      if (opc == 5) {                       /* store */
+        int a = regs[rs1] % 1024;
+        if (a < 0) { a = 0 - a; }
+        dmem[a] = regs[rs2];
+      }
+      if (opc == 6) {                       /* conditional branch */
+        if (regs[rs1] > regs[rs2]) { pc = pc + rd % 7; }
+      }
+      if (opc == 7) {                       /* mul step */
+        regs[rd] = regs[rs1] * regs[rs2] % 65521;
+      }
+      regs[0] = 0;
+    }
+    check = (check * 31 + regs[5] + regs[17]) % 1000003;
+  }
+  emit(check);
+  return 0;
+}
+|};
+    train = [ ("imem", Data.ints ~seed:36 ~n:1024 ~bound:262144) ];
+    novel = [ ("imem", Data.ints ~seed:102 ~n:1024 ~bound:262144) ];
+  }
+
+let vortex : Bench.t =
+  {
+    name = "147.vortex";
+    suite = Bench.Spec95;
+    fp = false;
+    description = "Object database: hashed insert / lookup / delete mix";
+    source =
+      {|
+global int ops[4096];
+global int keys[4096];
+global int tbl_key[4096];
+global int tbl_val[4096];
+
+int main() {
+  int n = 4096;
+  int i;
+  for (i = 0; i < 4096; i = i + 1) { tbl_key[i] = 0 - 1; }
+  int stored = 0;
+  int hits = 0;
+  int check = 0;
+  for (i = 0; i < n; i = i + 1) {
+    int op = ops[i] % 3;
+    int key = keys[i];
+    int h = (key * 40503) % 4096;
+    if (h < 0) { h = 0 - h; }
+    int probes = 0;
+    int slot = 0 - 1;
+    int found = 0 - 1;
+    while (probes < 16) {
+      int k = tbl_key[h];
+      if (k == key) { found = h; break; }
+      if (k < 0) { slot = h; break; }
+      h = (h + probes + 1) % 4096;
+      probes = probes + 1;
+    }
+    if (op == 0) {                 /* insert */
+      if (found < 0 && slot >= 0) {
+        tbl_key[slot] = key;
+        tbl_val[slot] = key * 7 % 65521;
+        stored = stored + 1;
+      }
+    }
+    if (op == 1) {                 /* lookup */
+      if (found >= 0) {
+        hits = hits + 1;
+        check = (check * 31 + tbl_val[found]) % 1000003;
+      }
+    }
+    if (op == 2) {                 /* delete */
+      if (found >= 0) {
+        tbl_key[found] = 0 - 2;    /* tombstone */
+        stored = stored - 1;
+      }
+    }
+  }
+  emit(stored);
+  emit(hits);
+  emit(check);
+  return 0;
+}
+|};
+    train =
+      [
+        ("ops", Data.ints ~seed:37 ~n:4096 ~bound:3);
+        ("keys", Data.skewed ~seed:38 ~n:4096 ~bound:3000);
+      ];
+    novel =
+      [
+        ("ops", Data.skewed ~seed:103 ~n:4096 ~bound:3);
+        ("keys", Data.ints ~seed:104 ~n:4096 ~bound:3000);
+      ];
+  }
+
+let eqntott : Bench.t =
+  {
+    name = "023.eqntott";
+    suite = Bench.Spec92;
+    fp = false;
+    description = "Truth-table generation: bit-vector compare-heavy sort";
+    source =
+      {|
+global int terms[2048];
+global int perm[256];
+
+int main() {
+  int nterms = 256;
+  int width = 8;                    /* ints per term */
+  int i;
+  for (i = 0; i < nterms; i = i + 1) { perm[i] = i; }
+  /* insertion sort of bit-vector terms by lexicographic compare */
+  for (i = 1; i < nterms; i = i + 1) {
+    int j = i;
+    while (j > 0) {
+      /* compare terms perm[j-1] and perm[j] */
+      int a = perm[j - 1];
+      int b = perm[j];
+      int cmp = 0;
+      int k = 0;
+      while (k < width && cmp == 0) {
+        int va = terms[a * width + k];
+        int vb = terms[b * width + k];
+        if (va < vb) { cmp = 0 - 1; }
+        if (va > vb) { cmp = 1; }
+        k = k + 1;
+      }
+      if (cmp > 0) {
+        perm[j - 1] = b;
+        perm[j] = a;
+        j = j - 1;
+      } else {
+        break;
+      }
+    }
+  }
+  /* checksum sorted order and count distinct adjacent pairs */
+  int check = 0;
+  int distinct = 0;
+  for (i = 1; i < nterms; i = i + 1) {
+    int a = perm[i - 1];
+    int b = perm[i];
+    int same = 1;
+    int k;
+    for (k = 0; k < width; k = k + 1) {
+      if (terms[a * width + k] != terms[b * width + k]) { same = 0; }
+    }
+    if (same == 0) { distinct = distinct + 1; }
+    check = (check * 31 + perm[i]) % 1000003;
+  }
+  emit(distinct);
+  emit(check);
+  return 0;
+}
+|};
+    train = [ ("terms", Data.ints ~seed:39 ~n:2048 ~bound:4) ];
+    novel = [ ("terms", Data.skewed ~seed:105 ~n:2048 ~bound:4) ];
+  }
+
+let alvinn : Bench.t =
+  {
+    name = "052.alvinn";
+    suite = Bench.Spec92;
+    fp = true;
+    description = "Neural net training step: forward + backward pass";
+    source =
+      {|
+global float inputs[960];
+global float w1[1920];
+global float w2[64];
+global float hidden[32];
+global float targets[32];
+
+int main() {
+  int npatterns = 32;
+  int nin = 30;
+  int nhid = 32;
+  int p;
+  float err = 0.0;
+  for (p = 0; p < npatterns; p = p + 1) {
+    int base = p * nin;
+    /* forward: hidden layer */
+    int h;
+    for (h = 0; h < nhid; h = h + 1) {
+      float sum = 0.0;
+      int i;
+      for (i = 0; i < nin; i = i + 1) {
+        sum = sum + inputs[base + i] * w1[h * 30 + i];
+      }
+      /* fast sigmoid */
+      float a = sum;
+      if (a < 0.0) { a = 0.0 - a; }
+      hidden[h] = sum / (1.0 + a);
+    }
+    /* output neuron + delta rule */
+    float out = 0.0;
+    for (h = 0; h < nhid; h = h + 1) {
+      out = out + hidden[h] * w2[h];
+    }
+    float delta = targets[p] - out;
+    err = err + delta * delta;
+    for (h = 0; h < nhid; h = h + 1) {
+      w2[h] = w2[h] + 0.05 * delta * hidden[h];
+      int i;
+      for (i = 0; i < nin; i = i + 1) {
+        w1[h * 30 + i] = w1[h * 30 + i]
+          + 0.01 * delta * w2[h] * inputs[base + i];
+      }
+    }
+  }
+  emit(err);
+  return 0;
+}
+|};
+    train =
+      [
+        ("inputs", Data.floats ~seed:40 ~n:960 ~lo:(-1.0) ~hi:1.0);
+        ("w1", Data.floats ~seed:41 ~n:1920 ~lo:(-0.3) ~hi:0.3);
+        ("w2", Data.floats ~seed:42 ~n:64 ~lo:(-0.3) ~hi:0.3);
+        ("targets", Data.floats ~seed:43 ~n:32 ~lo:(-1.0) ~hi:1.0);
+      ];
+    novel =
+      [
+        ("inputs", Data.floats ~seed:106 ~n:960 ~lo:(-1.0) ~hi:1.0);
+        ("w1", Data.floats ~seed:107 ~n:1920 ~lo:(-0.3) ~hi:0.3);
+        ("w2", Data.floats ~seed:108 ~n:64 ~lo:(-0.3) ~hi:0.3);
+        ("targets", Data.floats ~seed:109 ~n:32 ~lo:(-1.0) ~hi:1.0);
+      ];
+  }
+
+let art : Bench.t =
+  {
+    name = "art";
+    suite = Bench.Spec2000;
+    fp = true;
+    description = "Adaptive resonance: winner-take-all with vigilance reset";
+    source =
+      {|
+global float patterns[2048];
+global float weights[1024];
+
+int main() {
+  int npatterns = 64;
+  int dim = 32;
+  int ncats = 32;
+  int p;
+  int resets = 0;
+  float check = 0.0;
+  for (p = 0; p < npatterns; p = p + 1) {
+    int base = p * dim;
+    /* winner-take-all search with vigilance */
+    int tried = 0;
+    int winner = 0 - 1;
+    while (tried < 4 && winner < 0) {
+      float best = 0.0 - 1000000.0;
+      int bestc = 0;
+      int c;
+      for (c = 0; c < ncats; c = c + 1) {
+        float act = 0.0;
+        int i;
+        for (i = 0; i < dim; i = i + 1) {
+          float w = weights[c * dim + i];
+          float x = patterns[base + i];
+          act = act + w * x - 0.02 * w * w;
+        }
+        if (act > best) { best = act; bestc = c; }
+      }
+      /* vigilance test */
+      float match = 0.0;
+      float norm = 0.0;
+      int i;
+      for (i = 0; i < dim; i = i + 1) {
+        float w = weights[bestc * dim + i];
+        float x = patterns[base + i];
+        float m = w;
+        if (x < w) { m = x; }
+        match = match + m;
+        norm = norm + x;
+      }
+      if (norm < 0.01) { norm = 0.01; }
+      if (match / norm > 0.5) {
+        winner = bestc;
+      } else {
+        resets = resets + 1;
+        tried = tried + 1;
+        /* punish the failed category */
+        for (i = 0; i < dim; i = i + 1) {
+          weights[bestc * dim + i] = weights[bestc * dim + i] * 0.7;
+        }
+      }
+    }
+    if (winner < 0) { winner = 0; }
+    /* learn */
+    int i;
+    for (i = 0; i < dim; i = i + 1) {
+      int wi = winner * dim + i;
+      weights[wi] = 0.8 * weights[wi] + 0.2 * patterns[base + i];
+    }
+    check = check + float(winner);
+  }
+  emit(resets);
+  emit(check);
+  return 0;
+}
+|};
+    train =
+      [
+        ("patterns", Data.floats ~seed:44 ~n:2048 ~lo:0.0 ~hi:1.0);
+        ("weights", Data.floats ~seed:45 ~n:1024 ~lo:0.0 ~hi:1.0);
+      ];
+    novel =
+      [
+        ("patterns", Data.floats ~seed:110 ~n:2048 ~lo:0.0 ~hi:1.0);
+        ("weights", Data.floats ~seed:111 ~n:1024 ~lo:0.0 ~hi:1.0);
+      ];
+  }
+
+let all : Bench.t list =
+  [ cc1; compress; li; m88ksim; vortex; eqntott; alvinn; art ]

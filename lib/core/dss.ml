@@ -1,0 +1,87 @@
+(* Dynamic subset selection [Gathercole 98], the technique the paper uses
+   to train general-purpose priority functions over many benchmarks
+   without evaluating every expression on every benchmark.
+
+   Each training case (benchmark) carries a difficulty score — how badly
+   the population performed on it when it was last selected — and an age —
+   generations since it was last selected.  Selection weight for case i is
+   difficulty_i^d + age_i^a; a subset is drawn by weighted sampling without
+   replacement each generation. *)
+
+type t = {
+  n_cases : int;
+  subset_size : int;
+  difficulty_exp : float;
+  age_exp : float;
+  difficulty : float array;
+  age : float array;
+}
+
+let create ?(difficulty_exp = 1.0) ?(age_exp = 1.0) ~n_cases ~subset_size () =
+  if subset_size <= 0 || subset_size > n_cases then
+    invalid_arg "Dss.create: subset_size out of range";
+  {
+    n_cases;
+    subset_size;
+    difficulty_exp;
+    age_exp;
+    difficulty = Array.make n_cases 1.0;
+    age = Array.make n_cases 1.0;
+  }
+
+(* Difficulty is a failure fraction in [0,1]; Gathercole's difficulty is a
+   count of failing individuals, so scale the fraction to a comparable
+   magnitude before exponentiation — otherwise the age term swamps it and
+   selection degenerates to round-robin. *)
+let difficulty_scale = 50.0
+
+let weight t i =
+  ((difficulty_scale *. t.difficulty.(i)) ** t.difficulty_exp)
+  +. (t.age.(i) ** t.age_exp)
+
+(* Weighted sampling without replacement. *)
+let select t rng : int list =
+  let taken = Array.make t.n_cases false in
+  let pick () =
+    let total = ref 0.0 in
+    for i = 0 to t.n_cases - 1 do
+      if not taken.(i) then total := !total +. weight t i
+    done;
+    let x = ref (Random.State.float rng !total) in
+    let chosen = ref (-1) in
+    (try
+       for i = 0 to t.n_cases - 1 do
+         if not taken.(i) then begin
+           x := !x -. weight t i;
+           if !x <= 0.0 then begin
+             chosen := i;
+             raise Exit
+           end
+         end
+       done
+     with Exit -> ());
+    let i = if !chosen >= 0 then !chosen else
+        (* Floating-point slack: take the last untaken case. *)
+        let last = ref 0 in
+        for j = 0 to t.n_cases - 1 do
+          if not taken.(j) then last := j
+        done;
+        !last
+    in
+    taken.(i) <- true;
+    i
+  in
+  List.init t.subset_size (fun _ -> pick ())
+
+(* After a generation: cases in the subset get difficulty = observed failure
+   rate (fraction of evaluated individuals that did not beat the baseline)
+   and age reset to 1; others age by one generation.  A small floor keeps
+   solved cases selectable. *)
+let update t ~subset ~failure_rate =
+  for i = 0 to t.n_cases - 1 do
+    if List.mem i subset then begin
+      t.difficulty.(i) <- Float.max 0.05 (failure_rate i);
+      t.age.(i) <- 1.0
+    end
+    else t.age.(i) <- t.age.(i) +. 1.0
+  done

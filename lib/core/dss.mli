@@ -1,0 +1,27 @@
+(** Dynamic subset selection [Gathercole 98]: the technique the paper uses
+    to train general-purpose priority functions over many benchmarks
+    without evaluating every expression on every benchmark.
+
+    Each training case carries a difficulty (how badly the population did
+    when the case was last selected) and an age (generations since last
+    selected); per-generation subsets are drawn by weighted sampling
+    without replacement with weight [difficulty^d + age^a]. *)
+
+type t
+
+val create :
+  ?difficulty_exp:float -> ?age_exp:float -> n_cases:int ->
+  subset_size:int -> unit -> t
+(** @raise Invalid_argument if [subset_size] is out of range. *)
+
+val weight : t -> int -> float
+(** Current selection weight of a case (difficulty and age terms). *)
+
+val select : t -> Random.State.t -> int list
+(** A subset of [subset_size] distinct case indices. *)
+
+val update : t -> subset:int list -> failure_rate:(int -> float) -> unit
+(** After a generation: cases in [subset] take difficulty
+    [failure_rate i] (fraction of evaluated individuals that did not beat
+    the baseline, floored so solved cases stay selectable) and age 1;
+    all other cases age by one generation. *)

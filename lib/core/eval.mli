@@ -1,0 +1,15 @@
+(** Evaluation of GP expressions against a feature environment.
+
+    Arithmetic is protected so every expression is total [Koza 92]:
+    division by (near-)zero returns the numerator, square root takes the
+    absolute value, non-finite intermediates collapse to 0. *)
+
+val div_epsilon : float
+(** Divisors smaller than this in magnitude trigger protected division. *)
+
+val real : Feature_set.env -> Expr.rexpr -> float
+(** Always returns a finite float. *)
+
+val bool : Feature_set.env -> Expr.bexpr -> bool
+
+val genome : Feature_set.env -> Expr.genome -> [ `Real of float | `Bool of bool ]

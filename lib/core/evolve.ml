@@ -1,0 +1,194 @@
+(* The evolutionary search driver (Figure 2 of the paper).
+
+   The driver is generic over the fitness evaluator: a [problem] provides a
+   feature set, the genome sort (real-valued or Boolean-valued priority),
+   an optional baseline seed expression, and a per-case evaluation function
+   returning the speedup of a candidate over the compiler's baseline
+   heuristic on one training case (benchmark).  Fitness is the average
+   speedup over the cases considered in the generation, exactly the
+   paper's fitness definition from Table 2.
+
+   Fitness evaluations are memoized per (expression, case) because each one
+   costs a full compile-and-simulate cycle. *)
+
+type problem = {
+  fs : Feature_set.t;
+  sort : [ `Real | `Bool ];
+  baseline : Expr.genome option;
+  n_cases : int;
+  case_name : int -> string;
+  evaluate : Expr.genome -> int -> float;
+}
+
+type individual = {
+  genome : Expr.genome;
+  mutable fitness : float;
+  mutable size : int;
+}
+
+type generation_stats = {
+  gen : int;
+  best_fitness : float;
+  mean_fitness : float;
+  best_size : int;
+  subset : int list;
+  best_expr : string;
+}
+
+type result = {
+  best : Expr.genome;
+  best_fitness : float;          (* mean speedup over all cases *)
+  per_case : (string * float) array;
+  history : generation_stats list;
+  evaluations : int;             (* non-memoized fitness evaluations *)
+}
+
+(* Strictly-better ordering with parsimony pressure: higher fitness wins;
+   fitness ties within [eps] are broken towards the smaller expression. *)
+let better ~eps a b =
+  if a.fitness > b.fitness +. eps then true
+  else if b.fitness > a.fitness +. eps then false
+  else a.size < b.size
+
+let run ?(params = Params.default) ?on_generation (p : problem) : result =
+  if p.n_cases <= 0 then invalid_arg "Evolve.run: no training cases";
+  let rng = Random.State.make [| params.Params.rng_seed |] in
+  let gen_cfg =
+    { (Gen.default_config p.fs) with Gen.max_depth = params.Params.init_depth }
+  in
+  let memo : (Expr.genome * int, float) Hashtbl.t = Hashtbl.create 4096 in
+  let evaluations = ref 0 in
+  let eval_case g c =
+    match Hashtbl.find_opt memo (g, c) with
+    | Some v -> v
+    | None ->
+      incr evaluations;
+      let v = p.evaluate g c in
+      let v = if Float.is_finite v && v > 0.0 then v else 0.0 in
+      Hashtbl.replace memo (g, c) v;
+      v
+  in
+  let mean_over cases g =
+    let sum = List.fold_left (fun acc c -> acc +. eval_case g c) 0.0 cases in
+    sum /. float_of_int (List.length cases)
+  in
+  (* --- Initial population --- *)
+  let seed =
+    if params.Params.seed_baseline then Option.to_list p.baseline else []
+  in
+  let n_random = params.Params.population_size - List.length seed in
+  let genomes = seed @ Gen.ramped gen_cfg rng ~sort:p.sort ~count:n_random in
+  let pop =
+    Array.of_list
+      (List.map
+         (fun g -> { genome = g; fitness = 0.0; size = Expr.size g })
+         genomes)
+  in
+  let n = Array.length pop in
+  (* --- DSS over the training cases --- *)
+  let all_cases = List.init p.n_cases Fun.id in
+  let dss =
+    if p.n_cases >= 4 then
+      Some
+        (Dss.create ~n_cases:p.n_cases
+           ~subset_size:(max 2 ((p.n_cases + 1) / 2))
+           ())
+    else None
+  in
+  let eps = params.Params.parsimony_eps in
+  let tournament () =
+    let best = ref pop.(Random.State.int rng n) in
+    for _ = 2 to params.Params.tournament_size do
+      let c = pop.(Random.State.int rng n) in
+      if better ~eps c !best then best := c
+    done;
+    !best
+  in
+  let best_index () =
+    let bi = ref 0 in
+    for i = 1 to n - 1 do
+      if better ~eps pop.(i) pop.(!bi) then bi := i
+    done;
+    !bi
+  in
+  let history = ref [] in
+  for gen = 0 to params.Params.generations - 1 do
+    let subset =
+      match dss with
+      | Some d -> Dss.select d rng
+      | None -> all_cases
+    in
+    (* Evaluate the whole population on this generation's subset. *)
+    Array.iter (fun ind -> ind.fitness <- mean_over subset ind.genome) pop;
+    (* DSS difficulty update: per-case failure rate this generation. *)
+    (match dss with
+    | Some d ->
+      let failure_rate c =
+        let fails =
+          Array.fold_left
+            (fun acc ind ->
+              if eval_case ind.genome c < 1.0 then acc + 1 else acc)
+            0 pop
+        in
+        float_of_int fails /. float_of_int n
+      in
+      Dss.update d ~subset ~failure_rate
+    | None -> ());
+    let bi = best_index () in
+    let mean_fitness =
+      Array.fold_left (fun acc i -> acc +. i.fitness) 0.0 pop /. float_of_int n
+    in
+    let stats =
+      {
+        gen;
+        best_fitness = pop.(bi).fitness;
+        mean_fitness;
+        best_size = pop.(bi).size;
+        subset;
+        best_expr = Sexp.to_string p.fs pop.(bi).genome;
+      }
+    in
+    history := stats :: !history;
+    (match on_generation with Some f -> f stats | None -> ());
+    (* --- Reproduction: replace a random fraction of the population (the
+       elite excepted) with crossover offspring, some of them mutated. --- *)
+    if gen < params.Params.generations - 1 then begin
+      let n_replace =
+        int_of_float (Float.round (params.Params.replacement_frac *. float_of_int n))
+      in
+      for _ = 1 to n_replace do
+        let slot = Random.State.int rng n in
+        if (not params.Params.elitism) || slot <> bi then begin
+          let pa = tournament () and pb = tournament () in
+          let child =
+            Genetic_ops.crossover_bounded rng ~max_depth:params.Params.max_depth
+              pa.genome pb.genome
+          in
+          let child =
+            if Random.State.float rng 1.0 < params.Params.mutation_rate then
+              Genetic_ops.mutate gen_cfg rng ~max_depth:params.Params.max_depth
+                child
+            else child
+          in
+          pop.(slot) <-
+            { genome = child;
+              fitness = mean_over subset child;
+              size = Expr.size child }
+        end
+      done
+    end
+  done;
+  (* Final: score the best individual on the full training set. *)
+  Array.iter (fun ind -> ind.fitness <- mean_over all_cases ind.genome) pop;
+  let bi = best_index () in
+  let best = pop.(bi) in
+  let per_case =
+    Array.init p.n_cases (fun c -> (p.case_name c, eval_case best.genome c))
+  in
+  {
+    best = best.genome;
+    best_fitness = best.fitness;
+    per_case;
+    history = List.rev !history;
+    evaluations = !evaluations;
+  }

@@ -1,0 +1,55 @@
+(** The evolutionary search driver (Figure 2 of the paper).
+
+    Generic over the fitness evaluator: a {!problem} provides the feature
+    set, the genome sort, an optional baseline seed, and a per-case
+    evaluation returning the speedup of a candidate over the compiler's
+    baseline heuristic.  Fitness is the average speedup over the cases
+    considered in a generation, the paper's Table 2 definition.  Per-case
+    evaluations are memoized — each one costs a compile-and-simulate
+    cycle. *)
+
+type problem = {
+  fs : Feature_set.t;
+  sort : [ `Real | `Bool ];
+  baseline : Expr.genome option;
+  n_cases : int;                          (** training benchmarks *)
+  case_name : int -> string;
+  evaluate : Expr.genome -> int -> float; (** speedup of genome on case *)
+}
+
+type individual = {
+  genome : Expr.genome;
+  mutable fitness : float;
+  mutable size : int;
+}
+
+type generation_stats = {
+  gen : int;
+  best_fitness : float;
+  mean_fitness : float;
+  best_size : int;
+  subset : int list;     (** cases evaluated this generation (DSS) *)
+  best_expr : string;
+}
+
+type result = {
+  best : Expr.genome;
+  best_fitness : float;  (** mean speedup over all cases *)
+  per_case : (string * float) array;
+  history : generation_stats list;
+  evaluations : int;     (** non-memoized fitness evaluations *)
+}
+
+val better : eps:float -> individual -> individual -> bool
+(** Strictly-better ordering with parsimony pressure: higher fitness wins;
+    ties within [eps] break towards the smaller expression. *)
+
+val run :
+  ?params:Params.t -> ?on_generation:(generation_stats -> unit) ->
+  problem -> result
+(** Runs the evolution of Figure 2: seeded + ramped initial population,
+    per-generation (DSS-chosen) fitness evaluation, tournament selection,
+    bounded depth-fair crossover, mutation, elitism, and a final scoring
+    of the best individual on the full training set.
+
+    @raise Invalid_argument if the problem has no training cases. *)

@@ -1,0 +1,60 @@
+(* Named feature environments.
+
+   A priority function is evaluated against an environment of real-valued
+   and Boolean-valued features extracted by the compiler writer (Table 4 of
+   the paper for hyperblock formation).  Features are resolved to dense
+   array indices once, when an expression is compiled against a feature
+   set, so evaluation in the compiler's inner loop is array indexing. *)
+
+type t = {
+  reals : string array;
+  bools : string array;
+  real_index : (string, int) Hashtbl.t;
+  bool_index : (string, int) Hashtbl.t;
+}
+
+let make ~reals ~bools =
+  let mk names =
+    let tbl = Hashtbl.create (Array.length names) in
+    Array.iteri
+      (fun i n ->
+        if Hashtbl.mem tbl n then
+          invalid_arg ("Feature_set.make: duplicate feature " ^ n);
+        Hashtbl.replace tbl n i)
+      names;
+    tbl
+  in
+  let reals = Array.of_list reals and bools = Array.of_list bools in
+  { reals; bools; real_index = mk reals; bool_index = mk bools }
+
+let n_reals t = Array.length t.reals
+let n_bools t = Array.length t.bools
+
+let real_name t i = t.reals.(i)
+let bool_name t i = t.bools.(i)
+
+let real_index t name = Hashtbl.find_opt t.real_index name
+let bool_index t name = Hashtbl.find_opt t.bool_index name
+
+(* A concrete binding of features to values, filled in by the optimization
+   pass for each decision point (e.g. each candidate path). *)
+type env = {
+  real_values : float array;
+  bool_values : bool array;
+}
+
+let empty_env t =
+  {
+    real_values = Array.make (max 1 (n_reals t)) 0.0;
+    bool_values = Array.make (max 1 (n_bools t)) false;
+  }
+
+let set_real t env name v =
+  match real_index t name with
+  | Some i -> env.real_values.(i) <- v
+  | None -> invalid_arg ("Feature_set.set_real: unknown feature " ^ name)
+
+let set_bool t env name v =
+  match bool_index t name with
+  | Some i -> env.bool_values.(i) <- v
+  | None -> invalid_arg ("Feature_set.set_bool: unknown feature " ^ name)

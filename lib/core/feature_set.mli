@@ -1,0 +1,42 @@
+(** Named feature environments.
+
+    A priority function is evaluated against an environment of real-valued
+    and Boolean-valued features extracted by the compiler writer (e.g.
+    Table 4 of the paper for hyperblock formation).  Feature names are
+    resolved to dense array indices once, so evaluation in the compiler's
+    inner loops is plain array indexing. *)
+
+type t
+(** A fixed set of real and Boolean feature names. *)
+
+val make : reals:string list -> bools:string list -> t
+(** [make ~reals ~bools] builds a feature set.
+    @raise Invalid_argument on duplicate names. *)
+
+val n_reals : t -> int
+val n_bools : t -> int
+
+val real_name : t -> int -> string
+(** Name of the real-valued feature at an index. *)
+
+val bool_name : t -> int -> string
+(** Name of the Boolean-valued feature at an index. *)
+
+val real_index : t -> string -> int option
+val bool_index : t -> string -> int option
+
+(** A concrete binding of features to values, filled by an optimization
+    pass for each decision point (e.g. each candidate path). *)
+type env = {
+  real_values : float array;
+  bool_values : bool array;
+}
+
+val empty_env : t -> env
+(** Fresh environment with all reals 0.0 and all Booleans false. *)
+
+val set_real : t -> env -> string -> float -> unit
+(** @raise Invalid_argument on an unknown feature name. *)
+
+val set_bool : t -> env -> string -> bool -> unit
+(** @raise Invalid_argument on an unknown feature name. *)

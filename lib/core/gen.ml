@@ -1,0 +1,89 @@
+(* Random expression generation: the classic grow / full methods and
+   ramped half-and-half initialization [Koza 92].
+
+   Constants are drawn from a mix of a uniform [0,2) range (most feature
+   values are normalized ratios) and a wider exponential range, so initial
+   populations contain both fine weights and large thresholds. *)
+
+type config = {
+  fs : Feature_set.t;
+  max_depth : int;
+  (* Probability that a grown real node is a leaf, before reaching max
+     depth. *)
+  leaf_prob : float;
+  (* Probability that a real leaf is a constant rather than a feature. *)
+  const_prob : float;
+}
+
+let default_config fs =
+  { fs; max_depth = 6; leaf_prob = 0.3; const_prob = 0.35 }
+
+let random_const rng =
+  if Random.State.bool rng then Random.State.float rng 2.0
+  else (10.0 ** Random.State.float rng 2.0) *. Random.State.float rng 1.0
+
+let real_leaf cfg rng =
+  if Feature_set.n_reals cfg.fs = 0 || Random.State.float rng 1.0 < cfg.const_prob
+  then Expr.Rconst (random_const rng)
+  else Expr.Rarg (Random.State.int rng (Feature_set.n_reals cfg.fs))
+
+let bool_leaf cfg rng =
+  if Feature_set.n_bools cfg.fs = 0 || Random.State.float rng 1.0 < 0.2 then
+    Expr.Bconst (Random.State.bool rng)
+  else Expr.Barg (Random.State.int rng (Feature_set.n_bools cfg.fs))
+
+(* [full = true] builds full trees to exactly [depth]; otherwise grow. *)
+let rec gen_real cfg rng ~full depth : Expr.rexpr =
+  if
+    depth <= 1
+    || ((not full) && Random.State.float rng 1.0 < cfg.leaf_prob)
+  then real_leaf cfg rng
+  else
+    match Random.State.int rng 7 with
+    | 0 -> Expr.Radd (gen_real cfg rng ~full (depth - 1),
+                      gen_real cfg rng ~full (depth - 1))
+    | 1 -> Expr.Rsub (gen_real cfg rng ~full (depth - 1),
+                      gen_real cfg rng ~full (depth - 1))
+    | 2 -> Expr.Rmul (gen_real cfg rng ~full (depth - 1),
+                      gen_real cfg rng ~full (depth - 1))
+    | 3 -> Expr.Rdiv (gen_real cfg rng ~full (depth - 1),
+                      gen_real cfg rng ~full (depth - 1))
+    | 4 -> Expr.Rsqrt (gen_real cfg rng ~full (depth - 1))
+    | 5 -> Expr.Rtern (gen_bool cfg rng ~full (depth - 1),
+                       gen_real cfg rng ~full (depth - 1),
+                       gen_real cfg rng ~full (depth - 1))
+    | _ -> Expr.Rcmul (gen_bool cfg rng ~full (depth - 1),
+                       gen_real cfg rng ~full (depth - 1),
+                       gen_real cfg rng ~full (depth - 1))
+
+and gen_bool cfg rng ~full depth : Expr.bexpr =
+  if
+    depth <= 1
+    || ((not full) && Random.State.float rng 1.0 < cfg.leaf_prob)
+  then bool_leaf cfg rng
+  else
+    match Random.State.int rng 6 with
+    | 0 -> Expr.Band (gen_bool cfg rng ~full (depth - 1),
+                      gen_bool cfg rng ~full (depth - 1))
+    | 1 -> Expr.Bor (gen_bool cfg rng ~full (depth - 1),
+                     gen_bool cfg rng ~full (depth - 1))
+    | 2 -> Expr.Bnot (gen_bool cfg rng ~full (depth - 1))
+    | 3 -> Expr.Blt (gen_real cfg rng ~full (depth - 1),
+                     gen_real cfg rng ~full (depth - 1))
+    | 4 -> Expr.Bgt (gen_real cfg rng ~full (depth - 1),
+                     gen_real cfg rng ~full (depth - 1))
+    | _ -> Expr.Beq (gen_real cfg rng ~full (depth - 1),
+                     gen_real cfg rng ~full (depth - 1))
+
+let genome cfg rng ~sort ~full depth : Expr.genome =
+  match sort with
+  | `Real -> Expr.Real (gen_real cfg rng ~full depth)
+  | `Bool -> Expr.Bool (gen_bool cfg rng ~full depth)
+
+(* Ramped half-and-half: depths ramp over [2, max_depth]; half the trees at
+   each depth are full, half grown. *)
+let ramped cfg rng ~sort ~count : Expr.genome list =
+  List.init count (fun i ->
+      let depth = 2 + (i mod (max 1 (cfg.max_depth - 1))) in
+      let full = i mod 2 = 0 in
+      genome cfg rng ~sort ~full depth)

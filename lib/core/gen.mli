@@ -1,0 +1,31 @@
+(** Random expression generation: the classic grow / full methods and
+    ramped half-and-half initialization [Koza 92]. *)
+
+type config = {
+  fs : Feature_set.t;
+  max_depth : int;    (** depth cap for initial trees *)
+  leaf_prob : float;  (** probability a grown node is a leaf early *)
+  const_prob : float; (** probability a real leaf is a constant *)
+}
+
+val default_config : Feature_set.t -> config
+
+val random_const : Random.State.t -> float
+(** Constants mix a fine [0,2) range with a wider exponential range. *)
+
+val gen_real : config -> Random.State.t -> full:bool -> int -> Expr.rexpr
+(** [gen_real cfg rng ~full depth]: a random real-valued tree of height at
+    most [depth]; [full] forces branching until the depth budget runs
+    out. *)
+
+val gen_bool : config -> Random.State.t -> full:bool -> int -> Expr.bexpr
+
+val genome :
+  config -> Random.State.t -> sort:[ `Real | `Bool ] -> full:bool -> int ->
+  Expr.genome
+
+val ramped :
+  config -> Random.State.t -> sort:[ `Real | `Bool ] -> count:int ->
+  Expr.genome list
+(** Ramped half-and-half: depths ramp over [2, max_depth]; alternate trees
+    are full / grown. *)

@@ -1,0 +1,112 @@
+(* Genetic operators: depth-fair subtree crossover and the mutation
+   operators of [Banzhaf et al. 98]: subtree replacement, point mutation of
+   operators, and Gaussian perturbation of constants. *)
+
+(* Crossover: select a node depth-fairly in the first parent, then a node
+   of the same sort depth-fairly in the second parent, and exchange the
+   subtrees.  If the second parent has no node of the needed sort (e.g. a
+   pure-real tree when a Boolean subtree was picked), the first parent is
+   returned unchanged — the mating simply fails, as in standard GP
+   practice with typed trees. *)
+let crossover rng (a : Expr.genome) (b : Expr.genome) : Expr.genome =
+  match Tree.pick_depth_fair rng a with
+  | None -> a
+  | Some na -> (
+    match Tree.pick_depth_fair rng ~sort:na.Tree.sort b with
+    | None -> a
+    | Some nb ->
+      let donor = Tree.subtree b nb.Tree.path in
+      Tree.replace a na.Tree.path donor)
+
+(* Limit unbounded growth: offspring deeper than [max_depth] are replaced
+   by the first parent (a standard Koza-style depth ceiling; parsimony
+   pressure in selection does the fine-grained work). *)
+let crossover_bounded rng ~max_depth a b =
+  let child = crossover rng a b in
+  if Expr.depth child > max_depth then a else child
+
+(* --- Mutation ----------------------------------------------------------- *)
+
+let mutate_subtree cfg rng (g : Expr.genome) : Expr.genome =
+  match Tree.pick_depth_fair rng g with
+  | None -> g
+  | Some n ->
+    let sort = match n.Tree.sort with
+      | Tree.S_real -> `Real
+      | Tree.S_bool -> `Bool
+    in
+    let repl = Gen.genome cfg rng ~sort ~full:false 4 in
+    Tree.replace g n.Tree.path repl
+
+(* Point mutation: replace one operator by another of the same arity and
+   sort, or perturb one constant. *)
+let rec point_real rng (e : Expr.rexpr) : Expr.rexpr =
+  let pick_bin a b =
+    match Random.State.int rng 4 with
+    | 0 -> Expr.Radd (a, b)
+    | 1 -> Expr.Rsub (a, b)
+    | 2 -> Expr.Rmul (a, b)
+    | _ -> Expr.Rdiv (a, b)
+  in
+  match e with
+  | Expr.Radd (a, b) | Expr.Rsub (a, b) | Expr.Rmul (a, b) | Expr.Rdiv (a, b)
+    ->
+    if Random.State.int rng 3 = 0 then pick_bin a b
+    else if Random.State.bool rng then
+      (match e with
+      | Expr.Radd (a, b) -> Expr.Radd (point_real rng a, b)
+      | Expr.Rsub (a, b) -> Expr.Rsub (point_real rng a, b)
+      | Expr.Rmul (a, b) -> Expr.Rmul (point_real rng a, b)
+      | Expr.Rdiv (a, b) -> Expr.Rdiv (point_real rng a, b)
+      | _ -> assert false)
+    else
+      (match e with
+      | Expr.Radd (a, b) -> Expr.Radd (a, point_real rng b)
+      | Expr.Rsub (a, b) -> Expr.Rsub (a, point_real rng b)
+      | Expr.Rmul (a, b) -> Expr.Rmul (a, point_real rng b)
+      | Expr.Rdiv (a, b) -> Expr.Rdiv (a, point_real rng b)
+      | _ -> assert false)
+  | Expr.Rsqrt a -> Expr.Rsqrt (point_real rng a)
+  | Expr.Rtern (c, a, b) ->
+    if Random.State.int rng 4 = 0 then Expr.Rcmul (c, a, b)
+    else Expr.Rtern (point_bool rng c, point_real rng a, b)
+  | Expr.Rcmul (c, a, b) ->
+    if Random.State.int rng 4 = 0 then Expr.Rtern (c, a, b)
+    else Expr.Rcmul (point_bool rng c, a, point_real rng b)
+  | Expr.Rconst k ->
+    (* Gaussian-ish multiplicative and additive jitter. *)
+    let jitter = 1.0 +. (0.3 *. (Random.State.float rng 2.0 -. 1.0)) in
+    Expr.Rconst ((k *. jitter) +. (0.05 *. (Random.State.float rng 2.0 -. 1.0)))
+  | Expr.Rarg _ -> e
+
+and point_bool rng (e : Expr.bexpr) : Expr.bexpr =
+  match e with
+  | Expr.Band (a, b) ->
+    if Random.State.int rng 3 = 0 then Expr.Bor (a, b)
+    else Expr.Band (point_bool rng a, b)
+  | Expr.Bor (a, b) ->
+    if Random.State.int rng 3 = 0 then Expr.Band (a, b)
+    else Expr.Bor (a, point_bool rng b)
+  | Expr.Bnot a -> Expr.Bnot (point_bool rng a)
+  | Expr.Blt (a, b) ->
+    if Random.State.int rng 3 = 0 then Expr.Bgt (a, b)
+    else Expr.Blt (point_real rng a, b)
+  | Expr.Bgt (a, b) ->
+    if Random.State.int rng 3 = 0 then Expr.Blt (a, b)
+    else Expr.Bgt (a, point_real rng b)
+  | Expr.Beq (a, b) -> Expr.Beq (point_real rng a, point_real rng b)
+  | Expr.Bconst k -> if Random.State.int rng 2 = 0 then Expr.Bconst (not k) else e
+  | Expr.Barg _ -> e
+
+let point_mutate rng = function
+  | Expr.Real e -> Expr.Real (point_real rng e)
+  | Expr.Bool e -> Expr.Bool (point_bool rng e)
+
+(* The mutation applied to the ~5% of offspring Table 2 designates: mostly
+   subtree replacement, sometimes a point mutation. *)
+let mutate cfg rng ~max_depth (g : Expr.genome) : Expr.genome =
+  let m =
+    if Random.State.int rng 3 = 0 then point_mutate rng g
+    else mutate_subtree cfg rng g
+  in
+  if Expr.depth m > max_depth then g else m

@@ -1,0 +1,27 @@
+(** Genetic operators: depth-fair subtree crossover and the mutation
+    operators of [Banzhaf et al. 98]. *)
+
+val crossover :
+  Random.State.t -> Expr.genome -> Expr.genome -> Expr.genome
+(** Swap a depth-fairly chosen subtree of the first parent with a
+    same-sorted subtree of the second.  Returns the first parent unchanged
+    when no compatible donor subtree exists. *)
+
+val crossover_bounded :
+  Random.State.t -> max_depth:int -> Expr.genome -> Expr.genome ->
+  Expr.genome
+(** Like {!crossover}, but offspring deeper than [max_depth] are replaced
+    by the first parent (Koza-style depth ceiling). *)
+
+val mutate_subtree :
+  Gen.config -> Random.State.t -> Expr.genome -> Expr.genome
+(** Replace a depth-fairly chosen subtree with a fresh random one. *)
+
+val point_mutate : Random.State.t -> Expr.genome -> Expr.genome
+(** Swap one operator for a same-arity operator, or jitter a constant. *)
+
+val mutate :
+  Gen.config -> Random.State.t -> max_depth:int -> Expr.genome ->
+  Expr.genome
+(** The mutation applied to offspring per Table 2's mutation rate: mostly
+    subtree replacement, sometimes a point mutation; depth-capped. *)

@@ -1,0 +1,60 @@
+(* GP run parameters.  [default] is Table 2 of the paper; the shipped
+   benches use [scaled] so a full figure reproduction runs on one machine
+   in minutes instead of the paper's one day on a 15–20 node cluster (see
+   EXPERIMENTS.md). *)
+
+type t = {
+  population_size : int;
+  generations : int;
+  (* Fraction of the population replaced by offspring each generation
+     ("generational replacement 22%"). *)
+  replacement_frac : float;
+  (* Fraction of new offspring that undergo mutation. *)
+  mutation_rate : float;
+  tournament_size : int;
+  (* Best expression is guaranteed survival. *)
+  elitism : bool;
+  (* Parsimony: fitness ties within this tolerance are broken towards the
+     smaller expression. *)
+  parsimony_eps : float;
+  (* Maximum initial tree depth (ramped half-and-half) and hard depth cap
+     for offspring. *)
+  init_depth : int;
+  max_depth : int;
+  (* Include the compiler writer's baseline priority function in the
+     initial population. *)
+  seed_baseline : bool;
+  rng_seed : int;
+}
+
+let default =
+  {
+    population_size = 400;
+    generations = 50;
+    replacement_frac = 0.22;
+    mutation_rate = 0.05;
+    tournament_size = 7;
+    elitism = true;
+    parsimony_eps = 1e-4;
+    init_depth = 6;
+    max_depth = 12;
+    seed_baseline = true;
+    rng_seed = 42;
+  }
+
+(* A laptop-scale configuration preserving the ratios of Table 2. *)
+let scaled =
+  {
+    default with
+    population_size = 40;
+    generations = 12;
+  }
+
+(* An even smaller configuration for unit tests. *)
+let tiny =
+  {
+    default with
+    population_size = 12;
+    generations = 4;
+    tournament_size = 3;
+  }

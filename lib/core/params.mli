@@ -1,0 +1,25 @@
+(** GP run parameters (Table 2 of the paper). *)
+
+type t = {
+  population_size : int;
+  generations : int;
+  replacement_frac : float;  (** fraction replaced per generation *)
+  mutation_rate : float;     (** fraction of offspring mutated *)
+  tournament_size : int;
+  elitism : bool;            (** best expression guaranteed survival *)
+  parsimony_eps : float;     (** fitness-tie tolerance broken by size *)
+  init_depth : int;          (** ramped half-and-half depth cap *)
+  max_depth : int;           (** hard depth cap for offspring *)
+  seed_baseline : bool;      (** include the compiler's heuristic in gen 0 *)
+  rng_seed : int;
+}
+
+val default : t
+(** Table 2: population 400, 50 generations, 22% replacement, 5% mutation,
+    tournament 7, elitism on. *)
+
+val scaled : t
+(** A laptop-scale configuration preserving Table 2's ratios. *)
+
+val tiny : t
+(** For unit tests. *)

@@ -1,0 +1,196 @@
+(* Concrete syntax for priority functions: the S-expression notation of
+   Table 1 in the paper ((add R R), (cmul B R R), (lt R R), ...), extended
+   with (div R R) which the paper's Figure 8 uses.
+
+   Printing resolves feature indices back to their names through a
+   [Feature_set.t]; parsing resolves names to indices.  Bare numbers parse
+   as rconst, bare identifiers as feature references of the expected
+   sort. *)
+
+(* --- Tokenizer --------------------------------------------------------- *)
+
+type token = Lparen | Rparen | Atom of string
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '(' ->
+      toks := Lparen :: !toks;
+      incr i
+    | ')' ->
+      toks := Rparen :: !toks;
+      incr i
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | _ ->
+      let start = !i in
+      while
+        !i < n
+        && (match s.[!i] with
+           | '(' | ')' | ' ' | '\t' | '\n' | '\r' -> false
+           | _ -> true)
+      do
+        incr i
+      done;
+      toks := Atom (String.sub s start (!i - start)) :: !toks);
+  done;
+  List.rev !toks
+
+(* --- Generic S-expressions -------------------------------------------- *)
+
+type sexp = A of string | L of sexp list
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+let parse_sexp tokens =
+  let rec one = function
+    | [] -> fail "unexpected end of input"
+    | Atom a :: rest -> (A a, rest)
+    | Lparen :: rest ->
+      let items, rest = many rest in
+      (L items, rest)
+    | Rparen :: _ -> fail "unexpected )"
+  and many = function
+    | [] -> fail "missing )"
+    | Rparen :: rest -> ([], rest)
+    | toks ->
+      let x, rest = one toks in
+      let xs, rest = many rest in
+      (x :: xs, rest)
+  in
+  let e, rest = one tokens in
+  if rest <> [] then fail "trailing tokens after expression";
+  e
+
+(* --- Sexp -> Expr ------------------------------------------------------ *)
+
+let real_feature fs name =
+  match Feature_set.real_index fs name with
+  | Some i -> i
+  | None -> fail "unknown real feature %s" name
+
+let bool_feature fs name =
+  match Feature_set.bool_index fs name with
+  | Some i -> i
+  | None -> fail "unknown Boolean feature %s" name
+
+let rec rexpr fs = function
+  | A a -> (
+    match float_of_string_opt a with
+    | Some k -> Expr.Rconst k
+    | None -> Expr.Rarg (real_feature fs a))
+  | L [ A "add"; a; b ] -> Expr.Radd (rexpr fs a, rexpr fs b)
+  | L [ A "sub"; a; b ] -> Expr.Rsub (rexpr fs a, rexpr fs b)
+  | L [ A "mul"; a; b ] -> Expr.Rmul (rexpr fs a, rexpr fs b)
+  | L [ A "div"; a; b ] -> Expr.Rdiv (rexpr fs a, rexpr fs b)
+  | L [ A "sqrt"; a ] -> Expr.Rsqrt (rexpr fs a)
+  | L [ A "tern"; c; a; b ] -> Expr.Rtern (bexpr fs c, rexpr fs a, rexpr fs b)
+  | L [ A "cmul"; c; a; b ] -> Expr.Rcmul (bexpr fs c, rexpr fs a, rexpr fs b)
+  | L [ A "rconst"; A k ] -> (
+    match float_of_string_opt k with
+    | Some k -> Expr.Rconst k
+    | None -> fail "rconst expects a number, got %s" k)
+  | L [ A "rarg"; A name ] -> Expr.Rarg (real_feature fs name)
+  | L (A op :: _) -> fail "bad real-valued form (%s ...)" op
+  | L _ -> fail "bad real-valued form"
+
+and bexpr fs = function
+  | A "true" -> Expr.Bconst true
+  | A "false" -> Expr.Bconst false
+  | A a -> Expr.Barg (bool_feature fs a)
+  | L [ A "and"; a; b ] -> Expr.Band (bexpr fs a, bexpr fs b)
+  | L [ A "or"; a; b ] -> Expr.Bor (bexpr fs a, bexpr fs b)
+  | L [ A "not"; a ] -> Expr.Bnot (bexpr fs a)
+  | L [ A "lt"; a; b ] -> Expr.Blt (rexpr fs a, rexpr fs b)
+  | L [ A "gt"; a; b ] -> Expr.Bgt (rexpr fs a, rexpr fs b)
+  | L [ A "eq"; a; b ] -> Expr.Beq (rexpr fs a, rexpr fs b)
+  | L [ A "bconst"; A "true" ] -> Expr.Bconst true
+  | L [ A "bconst"; A "false" ] -> Expr.Bconst false
+  | L [ A "barg"; A name ] -> Expr.Barg (bool_feature fs name)
+  | L (A op :: _) -> fail "bad Boolean-valued form (%s ...)" op
+  | L _ -> fail "bad Boolean-valued form"
+
+let parse_real fs s = rexpr fs (parse_sexp (tokenize s))
+let parse_bool fs s = bexpr fs (parse_sexp (tokenize s))
+
+let parse_genome fs ~sort s =
+  match sort with
+  | `Real -> Expr.Real (parse_real fs s)
+  | `Bool -> Expr.Bool (parse_bool fs s)
+
+(* --- Expr -> string ----------------------------------------------------- *)
+
+let float_lit k =
+  (* Keep the printing round-trippable and compact. *)
+  let s = Printf.sprintf "%.4f" k in
+  if float_of_string s = k then s else Printf.sprintf "%h" k
+
+let rec print_real fs buf (e : Expr.rexpr) =
+  let bin op a b =
+    Buffer.add_string buf ("(" ^ op ^ " ");
+    print_real fs buf a;
+    Buffer.add_char buf ' ';
+    print_real fs buf b;
+    Buffer.add_char buf ')'
+  in
+  match e with
+  | Expr.Radd (a, b) -> bin "add" a b
+  | Expr.Rsub (a, b) -> bin "sub" a b
+  | Expr.Rmul (a, b) -> bin "mul" a b
+  | Expr.Rdiv (a, b) -> bin "div" a b
+  | Expr.Rsqrt a ->
+    Buffer.add_string buf "(sqrt ";
+    print_real fs buf a;
+    Buffer.add_char buf ')'
+  | Expr.Rtern (c, a, b) | Expr.Rcmul (c, a, b) ->
+    let op = (match e with Expr.Rtern _ -> "tern" | _ -> "cmul") in
+    Buffer.add_string buf ("(" ^ op ^ " ");
+    print_bool fs buf c;
+    Buffer.add_char buf ' ';
+    print_real fs buf a;
+    Buffer.add_char buf ' ';
+    print_real fs buf b;
+    Buffer.add_char buf ')'
+  | Expr.Rconst k -> Buffer.add_string buf (float_lit k)
+  | Expr.Rarg i -> Buffer.add_string buf (Feature_set.real_name fs i)
+
+and print_bool fs buf (e : Expr.bexpr) =
+  let binb op a b =
+    Buffer.add_string buf ("(" ^ op ^ " ");
+    print_bool fs buf a;
+    Buffer.add_char buf ' ';
+    print_bool fs buf b;
+    Buffer.add_char buf ')'
+  and binr op a b =
+    Buffer.add_string buf ("(" ^ op ^ " ");
+    print_real fs buf a;
+    Buffer.add_char buf ' ';
+    print_real fs buf b;
+    Buffer.add_char buf ')'
+  in
+  match e with
+  | Expr.Band (a, b) -> binb "and" a b
+  | Expr.Bor (a, b) -> binb "or" a b
+  | Expr.Bnot a ->
+    Buffer.add_string buf "(not ";
+    print_bool fs buf a;
+    Buffer.add_char buf ')'
+  | Expr.Blt (a, b) -> binr "lt" a b
+  | Expr.Bgt (a, b) -> binr "gt" a b
+  | Expr.Beq (a, b) -> binr "eq" a b
+  | Expr.Bconst k -> Buffer.add_string buf (string_of_bool k)
+  | Expr.Barg i -> Buffer.add_string buf (Feature_set.bool_name fs i)
+
+let to_string fs genome =
+  let buf = Buffer.create 128 in
+  (match genome with
+  | Expr.Real e -> print_real fs buf e
+  | Expr.Bool e -> print_bool fs buf e);
+  Buffer.contents buf
+
+let real_to_string fs e = to_string fs (Expr.Real e)
+let bool_to_string fs e = to_string fs (Expr.Bool e)

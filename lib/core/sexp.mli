@@ -1,0 +1,25 @@
+(** Concrete syntax for priority functions: the S-expression notation of
+    the paper's Table 1 ([(add R R)], [(cmul B R R)], [(lt R R)], ...),
+    extended with [(div R R)].
+
+    Printing resolves feature indices to names through a {!Feature_set.t};
+    parsing resolves names to indices.  Bare numbers parse as constants,
+    bare identifiers as feature references of the expected sort. *)
+
+exception Parse_error of string
+
+val parse_real : Feature_set.t -> string -> Expr.rexpr
+(** @raise Parse_error on malformed input or unknown features. *)
+
+val parse_bool : Feature_set.t -> string -> Expr.bexpr
+(** @raise Parse_error on malformed input or unknown features. *)
+
+val parse_genome :
+  Feature_set.t -> sort:[ `Real | `Bool ] -> string -> Expr.genome
+
+val to_string : Feature_set.t -> Expr.genome -> string
+(** Round-trips with {!parse_genome}: parsing the output and printing
+    again yields the same string. *)
+
+val real_to_string : Feature_set.t -> Expr.rexpr -> string
+val bool_to_string : Feature_set.t -> Expr.bexpr -> string

@@ -1,0 +1,112 @@
+(* Algebraic simplification of GP expressions.
+
+   The paper notes that evolved expressions contain introns and presents
+   its Figure 8 "hand simplified for ease of discussion"; this pass does
+   the mechanical part automatically.  Every rewrite is semantics-
+   preserving under the *protected* evaluation semantics of [Eval]
+   (division by ~0 returns the numerator, sqrt takes |x|, non-finite
+   intermediates collapse to 0), which rules out a few textbook rules:
+   x/x is not 1 (it is x when x ~ 0), and constant folding must clamp
+   non-finite results to 0 exactly as the evaluator would. *)
+
+let protect x = if Float.is_finite x then x else 0.0
+
+let rec rexpr (e : Expr.rexpr) : Expr.rexpr =
+  match e with
+  | Expr.Rconst _ | Expr.Rarg _ -> e
+  | Expr.Radd (a, b) -> (
+    match (rexpr a, rexpr b) with
+    | Expr.Rconst x, Expr.Rconst y -> Expr.Rconst (protect (x +. y))
+    | Expr.Rconst 0.0, b' -> b'
+    | a', Expr.Rconst 0.0 -> a'
+    | a', b' -> Expr.Radd (a', b'))
+  | Expr.Rsub (a, b) -> (
+    match (rexpr a, rexpr b) with
+    | Expr.Rconst x, Expr.Rconst y -> Expr.Rconst (protect (x -. y))
+    | a', Expr.Rconst 0.0 -> a'
+    | a', b' when a' = b' -> Expr.Rconst 0.0
+    | a', b' -> Expr.Rsub (a', b'))
+  | Expr.Rmul (a, b) -> (
+    match (rexpr a, rexpr b) with
+    | Expr.Rconst x, Expr.Rconst y -> Expr.Rconst (protect (x *. y))
+    | Expr.Rconst 1.0, b' -> b'
+    | a', Expr.Rconst 1.0 -> a'
+    | (Expr.Rconst 0.0 as z), _ | _, (Expr.Rconst 0.0 as z) -> z
+    | a', b' -> Expr.Rmul (a', b'))
+  | Expr.Rdiv (a, b) -> (
+    match (rexpr a, rexpr b) with
+    | Expr.Rconst x, Expr.Rconst y ->
+      Expr.Rconst (if Float.abs y < Eval.div_epsilon then x else protect (x /. y))
+    | a', Expr.Rconst 1.0 -> a'
+    (* x/x is NOT 1 under protection (x ~ 0 yields x); leave it. *)
+    | a', b' -> Expr.Rdiv (a', b'))
+  | Expr.Rsqrt a -> (
+    match rexpr a with
+    | Expr.Rconst x -> Expr.Rconst (protect (sqrt (Float.abs x)))
+    | a' -> Expr.Rsqrt a')
+  | Expr.Rtern (c, a, b) -> (
+    match (bexpr c, rexpr a, rexpr b) with
+    | Expr.Bconst true, a', _ -> a'
+    | Expr.Bconst false, _, b' -> b'
+    | c', a', b' when a' = b' -> ignore c'; a'
+    | c', a', b' -> Expr.Rtern (c', a', b'))
+  | Expr.Rcmul (c, a, b) -> (
+    (* Table 1: if c then a*b else b. *)
+    match (bexpr c, rexpr a, rexpr b) with
+    | Expr.Bconst true, a', b' -> rexpr (Expr.Rmul (a', b'))
+    | Expr.Bconst false, _, b' -> b'
+    | c', Expr.Rconst 1.0, b' -> ignore c'; b'
+    | c', a', b' -> Expr.Rcmul (c', a', b'))
+
+and bexpr (e : Expr.bexpr) : Expr.bexpr =
+  match e with
+  | Expr.Bconst _ | Expr.Barg _ -> e
+  | Expr.Band (a, b) -> (
+    match (bexpr a, bexpr b) with
+    | Expr.Bconst false, _ | _, Expr.Bconst false -> Expr.Bconst false
+    | Expr.Bconst true, b' -> b'
+    | a', Expr.Bconst true -> a'
+    | a', b' when a' = b' -> a'
+    | a', b' -> Expr.Band (a', b'))
+  | Expr.Bor (a, b) -> (
+    match (bexpr a, bexpr b) with
+    | Expr.Bconst true, _ | _, Expr.Bconst true -> Expr.Bconst true
+    | Expr.Bconst false, b' -> b'
+    | a', Expr.Bconst false -> a'
+    | a', b' when a' = b' -> a'
+    | a', b' -> Expr.Bor (a', b'))
+  | Expr.Bnot a -> (
+    match bexpr a with
+    | Expr.Bconst k -> Expr.Bconst (not k)
+    | Expr.Bnot inner -> inner
+    | a' -> Expr.Bnot a')
+  | Expr.Blt (a, b) -> (
+    match (rexpr a, rexpr b) with
+    | Expr.Rconst x, Expr.Rconst y -> Expr.Bconst (x < y)
+    | a', b' when a' = b' -> Expr.Bconst false
+    | a', b' -> Expr.Blt (a', b'))
+  | Expr.Bgt (a, b) -> (
+    match (rexpr a, rexpr b) with
+    | Expr.Rconst x, Expr.Rconst y -> Expr.Bconst (x > y)
+    | a', b' when a' = b' -> Expr.Bconst false
+    | a', b' -> Expr.Bgt (a', b'))
+  | Expr.Beq (a, b) -> (
+    match (rexpr a, rexpr b) with
+    | Expr.Rconst x, Expr.Rconst y ->
+      Expr.Bconst (Float.abs (x -. y) < Eval.div_epsilon)
+    | a', b' when a' = b' -> Expr.Bconst true
+    | a', b' -> Expr.Beq (a', b'))
+
+(* Iterate to a fixed point (each pass strictly shrinks or stabilizes). *)
+let genome (g : Expr.genome) : Expr.genome =
+  let step = function
+    | Expr.Real e -> Expr.Real (rexpr e)
+    | Expr.Bool e -> Expr.Bool (bexpr e)
+  in
+  let rec fix g n =
+    if n = 0 then g
+    else
+      let g' = step g in
+      if Expr.equal_genome g g' then g else fix g' (n - 1)
+  in
+  fix g 10

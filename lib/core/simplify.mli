@@ -1,0 +1,11 @@
+(** Algebraic simplification of GP expressions — the mechanical part of
+    the paper's "hand simplified for ease of discussion", sound under the
+    protected evaluation semantics (notably, x/x is *not* rewritten to 1:
+    protected division returns the numerator near zero). *)
+
+val rexpr : Expr.rexpr -> Expr.rexpr
+val bexpr : Expr.bexpr -> Expr.bexpr
+
+val genome : Expr.genome -> Expr.genome
+(** Fixed-point simplification; never changes the value computed on any
+    environment. *)

@@ -1,0 +1,133 @@
+(* Tree navigation for genetic operators: enumerate nodes with their depth
+   and sort, extract a subtree by path, replace a subtree by path.  A path
+   is the list of child indices from the root. *)
+
+type sort = S_real | S_bool
+
+type node = {
+  path : int list;   (* root = [] *)
+  node_depth : int;  (* root = 0 *)
+  sort : sort;
+}
+
+(* Children of a node, each tagged with its sort, in a fixed order that
+   paths refer to. *)
+let children_g (g : Expr.genome) : Expr.genome list =
+  match g with
+  | Expr.Real e -> (
+    match e with
+    | Expr.Radd (a, b) | Expr.Rsub (a, b) | Expr.Rmul (a, b) | Expr.Rdiv (a, b)
+      -> [ Expr.Real a; Expr.Real b ]
+    | Expr.Rsqrt a -> [ Expr.Real a ]
+    | Expr.Rtern (c, a, b) | Expr.Rcmul (c, a, b) ->
+      [ Expr.Bool c; Expr.Real a; Expr.Real b ]
+    | Expr.Rconst _ | Expr.Rarg _ -> [])
+  | Expr.Bool e -> (
+    match e with
+    | Expr.Band (a, b) | Expr.Bor (a, b) -> [ Expr.Bool a; Expr.Bool b ]
+    | Expr.Bnot a -> [ Expr.Bool a ]
+    | Expr.Blt (a, b) | Expr.Bgt (a, b) | Expr.Beq (a, b) ->
+      [ Expr.Real a; Expr.Real b ]
+    | Expr.Bconst _ | Expr.Barg _ -> [])
+
+let sort_of = function Expr.Real _ -> S_real | Expr.Bool _ -> S_bool
+
+(* All nodes of a genome, preorder. *)
+let nodes (g : Expr.genome) : node list =
+  let acc = ref [] in
+  let rec go path depth g =
+    acc := { path = List.rev path; node_depth = depth; sort = sort_of g } :: !acc;
+    List.iteri (fun i c -> go (i :: path) (depth + 1) c) (children_g g)
+  in
+  go [] 0 g;
+  List.rev !acc
+
+let subtree (g : Expr.genome) (path : int list) : Expr.genome =
+  let rec go g = function
+    | [] -> g
+    | i :: rest -> (
+      match List.nth_opt (children_g g) i with
+      | Some c -> go c rest
+      | None -> invalid_arg "Tree.subtree: bad path")
+  in
+  go g path
+
+(* Rebuild a node with a replaced child.  Fails if the replacement's sort
+   does not match the slot's sort. *)
+let with_child (g : Expr.genome) (i : int) (c : Expr.genome) : Expr.genome =
+  let r = function
+    | Expr.Real e -> e
+    | Expr.Bool _ -> invalid_arg "Tree.with_child: expected real subtree"
+  and b = function
+    | Expr.Bool e -> e
+    | Expr.Real _ -> invalid_arg "Tree.with_child: expected Boolean subtree"
+  in
+  match g with
+  | Expr.Real e ->
+    Expr.Real
+      (match (e, i) with
+      | Expr.Radd (_, y), 0 -> Expr.Radd (r c, y)
+      | Expr.Radd (x, _), 1 -> Expr.Radd (x, r c)
+      | Expr.Rsub (_, y), 0 -> Expr.Rsub (r c, y)
+      | Expr.Rsub (x, _), 1 -> Expr.Rsub (x, r c)
+      | Expr.Rmul (_, y), 0 -> Expr.Rmul (r c, y)
+      | Expr.Rmul (x, _), 1 -> Expr.Rmul (x, r c)
+      | Expr.Rdiv (_, y), 0 -> Expr.Rdiv (r c, y)
+      | Expr.Rdiv (x, _), 1 -> Expr.Rdiv (x, r c)
+      | Expr.Rsqrt _, 0 -> Expr.Rsqrt (r c)
+      | Expr.Rtern (_, x, y), 0 -> Expr.Rtern (b c, x, y)
+      | Expr.Rtern (p, _, y), 1 -> Expr.Rtern (p, r c, y)
+      | Expr.Rtern (p, x, _), 2 -> Expr.Rtern (p, x, r c)
+      | Expr.Rcmul (_, x, y), 0 -> Expr.Rcmul (b c, x, y)
+      | Expr.Rcmul (p, _, y), 1 -> Expr.Rcmul (p, r c, y)
+      | Expr.Rcmul (p, x, _), 2 -> Expr.Rcmul (p, x, r c)
+      | (Expr.Rconst _ | Expr.Rarg _), _ | _, _ ->
+        invalid_arg "Tree.with_child: bad child index")
+  | Expr.Bool e ->
+    Expr.Bool
+      (match (e, i) with
+      | Expr.Band (_, y), 0 -> Expr.Band (b c, y)
+      | Expr.Band (x, _), 1 -> Expr.Band (x, b c)
+      | Expr.Bor (_, y), 0 -> Expr.Bor (b c, y)
+      | Expr.Bor (x, _), 1 -> Expr.Bor (x, b c)
+      | Expr.Bnot _, 0 -> Expr.Bnot (b c)
+      | Expr.Blt (_, y), 0 -> Expr.Blt (r c, y)
+      | Expr.Blt (x, _), 1 -> Expr.Blt (x, r c)
+      | Expr.Bgt (_, y), 0 -> Expr.Bgt (r c, y)
+      | Expr.Bgt (x, _), 1 -> Expr.Bgt (x, r c)
+      | Expr.Beq (_, y), 0 -> Expr.Beq (r c, y)
+      | Expr.Beq (x, _), 1 -> Expr.Beq (x, r c)
+      | (Expr.Bconst _ | Expr.Barg _), _ | _, _ ->
+        invalid_arg "Tree.with_child: bad child index")
+
+let replace (g : Expr.genome) (path : int list) (repl : Expr.genome) :
+    Expr.genome =
+  let rec go g = function
+    | [] -> repl
+    | i :: rest -> (
+      match List.nth_opt (children_g g) i with
+      | Some c -> with_child g i (go c rest)
+      | None -> invalid_arg "Tree.replace: bad path")
+  in
+  go g path
+
+(* Depth-fair node choice [Kessler & Haynes 99]: pick a depth level
+   uniformly among occupied levels (restricted to nodes of [sort] if
+   given), then a node uniformly within that level.  This avoids the bias
+   of uniform node selection towards leaves. *)
+let pick_depth_fair rng ?sort (g : Expr.genome) : node option =
+  let all = nodes g in
+  let eligible =
+    match sort with
+    | None -> all
+    | Some s -> List.filter (fun n -> n.sort = s) all
+  in
+  match eligible with
+  | [] -> None
+  | _ ->
+    let levels =
+      List.sort_uniq compare (List.map (fun n -> n.node_depth) eligible)
+    in
+    let level = List.nth levels (Random.State.int rng (List.length levels)) in
+    let at_level = List.filter (fun n -> n.node_depth = level) eligible in
+    Some (List.nth at_level (Random.State.int rng (List.length at_level)))

@@ -1,0 +1,27 @@
+(** Tree navigation for the genetic operators: enumerate nodes with depth
+    and sort, extract and replace subtrees by path. *)
+
+type sort = S_real | S_bool
+
+type node = {
+  path : int list;   (** child indices from the root; root = [[]] *)
+  node_depth : int;  (** root = 0 *)
+  sort : sort;
+}
+
+val nodes : Expr.genome -> node list
+(** All nodes, preorder; length equals {!Expr.size}. *)
+
+val subtree : Expr.genome -> int list -> Expr.genome
+(** @raise Invalid_argument on a bad path. *)
+
+val replace : Expr.genome -> int list -> Expr.genome -> Expr.genome
+(** [replace g path repl] substitutes the subtree at [path].
+    @raise Invalid_argument on a bad path or a sort mismatch. *)
+
+val pick_depth_fair :
+  Random.State.t -> ?sort:sort -> Expr.genome -> node option
+(** Depth-fair node choice [Kessler & Haynes 99]: a uniformly random
+    occupied depth level, then a uniformly random node within it —
+    avoiding the leaf bias of uniform node selection.  [None] if no node
+    of the requested sort exists. *)

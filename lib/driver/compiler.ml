@@ -1,0 +1,102 @@
+(* The full compilation pipeline, parameterized by the three heuristics
+   under study.  Mirrors the Trimaran setup of the paper: classic scalar
+   optimizations and unrolling, profiling, hyperblock formation, register
+   allocation, optional data prefetching, VLIW scheduling, and trace-driven
+   simulation. *)
+
+type heuristics = {
+  hb_priority : Gp.Expr.rexpr;       (* hyperblock path priority *)
+  ra_savings : Gp.Expr.rexpr;        (* regalloc per-block savings *)
+  pf_confidence : Gp.Expr.bexpr option;  (* None = prefetching disabled *)
+  sched_priority : Gp.Expr.rexpr;    (* list-scheduling rank (extension) *)
+}
+
+let baseline ?(prefetch = false) () : heuristics =
+  {
+    hb_priority = Hyperblock.Baseline.expr;
+    ra_savings = Regalloc.Features.baseline_expr;
+    pf_confidence =
+      (if prefetch then Some Prefetch.Features.baseline_expr else None);
+    sched_priority = Sched.Priority.baseline_expr;
+  }
+
+(* A benchmark after the heuristic-independent work: lowering, scalar
+   optimization, and profiling on the training dataset.  Shared across all
+   candidate heuristics via copy-on-compile. *)
+type prepared = {
+  bench : Benchmarks.Bench.t;
+  optimized : Ir.Func.program;
+  prof : Profile.Prof.t;
+}
+
+let prepare ?(opt_config = Opt.Pipeline.default) (bench : Benchmarks.Bench.t) :
+    prepared =
+  let prog = Frontend.Minic.compile bench.Benchmarks.Bench.source in
+  Opt.Pipeline.run ~config:opt_config prog;
+  let layout = Profile.Layout.prepare prog in
+  let prof =
+    Profile.Prof.collect ~overrides:bench.Benchmarks.Bench.train layout
+  in
+  { bench; optimized = prog; prof }
+
+type compiled = {
+  prog : Ir.Func.program;
+  layout : Profile.Layout.t;
+  schedule_cycles : int array;
+  hb_stats : Hyperblock.Form.stats;
+  spills : int;
+  prefetches : Prefetch.Insert.stats;
+}
+
+let compile ?(hb_config = Hyperblock.Form.default_config)
+    ~(machine : Machine.Config.t) ~(heuristics : heuristics) (p : prepared) :
+    compiled =
+  let prog = Ir.Func.copy_program p.optimized in
+  (* Prefetch insertion runs first (mirroring ORC, where prefetching is an
+     early loop-nest phase): induction-variable analysis sees clean loop
+     structure, and inserted prefetches then flow through if-conversion,
+     allocation and scheduling like any other instruction. *)
+  let prefetches =
+    match heuristics.pf_confidence with
+    | None -> { Prefetch.Insert.candidates = 0; inserted = 0 }
+    | Some conf ->
+      Prefetch.Insert.run
+        ~decision:(Prefetch.Insert.decision_of_expr ~machine prog conf)
+        prog
+  in
+  let hb_stats =
+    Hyperblock.Form.run ~config:hb_config ~machine ~prof:p.prof
+      ~priority:heuristics.hb_priority prog
+  in
+  let spills =
+    Regalloc.Alloc.run
+      ~savings:(Regalloc.Alloc.savings_of_expr heuristics.ra_savings)
+      ~machine prog
+  in
+  (* The baseline ranking skips the expression interpreter. *)
+  let sched_pri =
+    if heuristics.sched_priority = Sched.Priority.baseline_expr then
+      Sched.Priority.baseline
+    else Sched.Priority.of_expr heuristics.sched_priority
+  in
+  let lens =
+    Sched.List_sched.schedule_program ~priority:sched_pri ~config:machine prog
+  in
+  let layout = Profile.Layout.prepare prog in
+  let schedule_cycles =
+    Array.map
+      (fun (fname, label) ->
+        match Hashtbl.find_opt lens (fname, label) with
+        | Some len -> len
+        | None -> 1)
+      layout.Profile.Layout.block_name
+  in
+  { prog; layout; schedule_cycles; hb_stats; spills; prefetches }
+
+let simulate ?noise ~(machine : Machine.Config.t)
+    ~(dataset : Benchmarks.Bench.dataset) (p : prepared) (c : compiled) :
+    Machine.Simulate.result =
+  Machine.Simulate.run ?noise ~config:machine
+    ~schedule_cycles:c.schedule_cycles
+    ~overrides:(Benchmarks.Bench.overrides p.bench dataset)
+    c.layout

@@ -1,0 +1,48 @@
+(** The full compilation pipeline, parameterized by the three heuristics
+    under study, mirroring the paper's Trimaran setup: scalar
+    optimizations and unrolling, profiling, prefetch insertion,
+    hyperblock formation, register allocation, VLIW scheduling and
+    trace-driven simulation. *)
+
+type heuristics = {
+  hb_priority : Gp.Expr.rexpr;           (** hyperblock path priority *)
+  ra_savings : Gp.Expr.rexpr;            (** regalloc per-block savings *)
+  pf_confidence : Gp.Expr.bexpr option;  (** None = prefetching off *)
+  sched_priority : Gp.Expr.rexpr;
+      (** list-scheduling rank; an extension slot beyond the paper's three
+          case studies (its Section 2 motivates it) *)
+}
+
+val baseline : ?prefetch:bool -> unit -> heuristics
+(** The stock compiler: Equation (1), Equation (2), and (optionally)
+    ORC's trip-count confidence. *)
+
+(** A benchmark after the heuristic-independent work: lowering, scalar
+    optimization, profiling on the training dataset.  Shared across all
+    candidate heuristics via copy-on-compile. *)
+type prepared = {
+  bench : Benchmarks.Bench.t;
+  optimized : Ir.Func.program;
+  prof : Profile.Prof.t;
+}
+
+val prepare :
+  ?opt_config:Opt.Pipeline.config -> Benchmarks.Bench.t -> prepared
+
+type compiled = {
+  prog : Ir.Func.program;
+  layout : Profile.Layout.t;
+  schedule_cycles : int array;
+  hb_stats : Hyperblock.Form.stats;
+  spills : int;
+  prefetches : Prefetch.Insert.stats;
+}
+
+val compile :
+  ?hb_config:Hyperblock.Form.config -> machine:Machine.Config.t ->
+  heuristics:heuristics -> prepared -> compiled
+
+val simulate :
+  ?noise:Random.State.t * float -> machine:Machine.Config.t ->
+  dataset:Benchmarks.Bench.dataset -> prepared -> compiled ->
+  Machine.Simulate.result

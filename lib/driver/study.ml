@@ -1,0 +1,228 @@
+(* The three case studies, wired to the evolution driver.
+
+   A study picks which heuristic slot the genome occupies, the machine
+   model, and whether simulated measurement noise is injected (the
+   prefetching study ran on a real Itanium in the paper, so its fitness
+   signal is noisy).  Fitness of a candidate on a benchmark is the paper's
+   definition: execution-time speedup over the compiler's baseline
+   heuristic on the training dataset. *)
+
+type kind = Hyperblock_study | Regalloc_study | Prefetch_study | Sched_study
+
+let machine_of = function
+  | Hyperblock_study -> Machine.Config.table3
+  | Sched_study -> Machine.Config.table3_narrow
+  | Regalloc_study -> Machine.Config.table3_regalloc
+  | Prefetch_study -> Machine.Config.itanium1
+
+let feature_set_of = function
+  | Hyperblock_study -> Hyperblock.Features.feature_set
+  | Regalloc_study -> Regalloc.Features.feature_set
+  | Prefetch_study -> Prefetch.Features.feature_set
+  | Sched_study -> Sched.Priority.feature_set
+
+let sort_of = function
+  | Hyperblock_study | Regalloc_study | Sched_study -> `Real
+  | Prefetch_study -> `Bool
+
+let baseline_genome_of = function
+  | Hyperblock_study -> Hyperblock.Baseline.genome
+  | Regalloc_study -> Regalloc.Features.baseline_genome
+  | Prefetch_study -> Prefetch.Features.baseline_genome
+  | Sched_study -> Sched.Priority.baseline_genome
+
+(* Noise amplitude for the prefetch study: +/-1.5% multiplicative, well
+   below attainable speedups, as the paper requires of a usable fitness
+   signal. *)
+let noise_of = function
+  | Hyperblock_study | Regalloc_study | Sched_study -> None
+  | Prefetch_study -> Some 0.015
+
+let heuristics_with (kind : kind) (g : Gp.Expr.genome) : Compiler.heuristics =
+  let base = Compiler.baseline ~prefetch:(kind = Prefetch_study) () in
+  match (kind, g) with
+  | (Hyperblock_study | Regalloc_study | Sched_study), Gp.Expr.Bool _
+  | Prefetch_study, Gp.Expr.Real _ ->
+    invalid_arg "Study.heuristics_with: genome sort mismatch"
+  | Hyperblock_study, Gp.Expr.Real e -> { base with Compiler.hb_priority = e }
+  | Regalloc_study, Gp.Expr.Real e -> { base with Compiler.ra_savings = e }
+  | Sched_study, Gp.Expr.Real e -> { base with Compiler.sched_priority = e }
+  | Prefetch_study, Gp.Expr.Bool e ->
+    { base with Compiler.pf_confidence = Some e }
+
+(* --- Evaluation context -------------------------------------------------- *)
+
+type context = {
+  kind : kind;
+  machine : Machine.Config.t;
+  prepared : Compiler.prepared array;
+  (* Baseline results per (case, dataset): cycles and output checksum. *)
+  baseline_train : (float * int) array;
+  baseline_novel : (float * int) array;
+  mutable evaluations : int;
+}
+
+let noise_rng_of kind genome case =
+  match noise_of kind with
+  | None -> None
+  | Some amp ->
+    (* Deterministic per (genome, case) so memoized fitnesses are stable,
+       but different candidates see different noise draws. *)
+    let seed = Hashtbl.hash (genome, case) in
+    Some (Random.State.make [| seed |], amp)
+
+let run_one (ctx : context) (g : Gp.Expr.genome) ~case
+    ~(dataset : Benchmarks.Bench.dataset) : float * int =
+  let p = ctx.prepared.(case) in
+  let compiled =
+    Compiler.compile ~machine:ctx.machine
+      ~heuristics:(heuristics_with ctx.kind g)
+      p
+  in
+  let noise = noise_rng_of ctx.kind g case in
+  let res = Compiler.simulate ?noise ~machine:ctx.machine ~dataset p compiled in
+  (res.Machine.Simulate.cycles, res.Machine.Simulate.checksum)
+
+let create ?machine (kind : kind) (bench_names : string list) : context =
+  let machine = Option.value ~default:(machine_of kind) machine in
+  (* The prefetching study compiles without unrolling (ORC's prefetch
+     phase runs on clean loop nests; unrolled loops defeat the
+     induction-variable analysis exactly as they would ORC's). *)
+  let opt_config =
+    match kind with
+    | Prefetch_study -> Opt.Pipeline.no_unroll
+    | Hyperblock_study | Regalloc_study | Sched_study -> Opt.Pipeline.default
+  in
+  let prepared =
+    Array.of_list
+      (List.map
+         (fun n -> Compiler.prepare ~opt_config (Benchmarks.Registry.find n))
+         bench_names)
+  in
+  let base = baseline_genome_of kind in
+  let baseline_for dataset =
+    Array.mapi
+      (fun case _ -> run_one
+           { kind; machine; prepared; baseline_train = [||];
+             baseline_novel = [||]; evaluations = 0 }
+           base ~case ~dataset)
+      prepared
+  in
+  {
+    kind;
+    machine;
+    prepared;
+    baseline_train = baseline_for Benchmarks.Bench.Train;
+    baseline_novel = baseline_for Benchmarks.Bench.Novel;
+    evaluations = 0;
+  }
+
+(* Speedup of a candidate over the baseline on one case.  A candidate whose
+   compiled program produces different output than the baseline is a
+   compiler-correctness bug; it receives fitness 0 so evolution discards
+   it (the paper: "Our system can also be used to uncover bugs!"). *)
+let speedup (ctx : context) (g : Gp.Expr.genome) ~case
+    ~(dataset : Benchmarks.Bench.dataset) : float =
+  ctx.evaluations <- ctx.evaluations + 1;
+  let base_cycles, base_sum =
+    match dataset with
+    | Benchmarks.Bench.Train -> ctx.baseline_train.(case)
+    | Benchmarks.Bench.Novel -> ctx.baseline_novel.(case)
+  in
+  let cycles, sum = run_one ctx g ~case ~dataset in
+  if sum <> base_sum then begin
+    Logs.warn (fun m ->
+        m "candidate heuristic broke %s (checksum mismatch)"
+          ctx.prepared.(case).Compiler.bench.Benchmarks.Bench.name);
+    0.0
+  end
+  else if cycles <= 0.0 then 0.0
+  else base_cycles /. cycles
+
+let problem_of (ctx : context) : Gp.Evolve.problem =
+  {
+    Gp.Evolve.fs = feature_set_of ctx.kind;
+    sort = sort_of ctx.kind;
+    baseline = Some (baseline_genome_of ctx.kind);
+    n_cases = Array.length ctx.prepared;
+    case_name =
+      (fun i -> ctx.prepared.(i).Compiler.bench.Benchmarks.Bench.name);
+    evaluate =
+      (fun g case -> speedup ctx g ~case ~dataset:Benchmarks.Bench.Train);
+  }
+
+(* --- Experiment drivers --------------------------------------------------- *)
+
+type specialization = {
+  bench : string;
+  train_speedup : float;
+  novel_speedup : float;
+  best_expr : string;
+  history : Gp.Evolve.generation_stats list;
+}
+
+(* Figure 4 / 9 / 13: evolve a priority function for one benchmark, then
+   measure on the training and the novel datasets. *)
+let specialize ?(params = Gp.Params.scaled) (kind : kind) (bench : string) :
+    specialization =
+  let ctx = create kind [ bench ] in
+  let result = Gp.Evolve.run ~params (problem_of ctx) in
+  let train_speedup =
+    speedup ctx result.Gp.Evolve.best ~case:0 ~dataset:Benchmarks.Bench.Train
+  in
+  let novel_speedup =
+    speedup ctx result.Gp.Evolve.best ~case:0 ~dataset:Benchmarks.Bench.Novel
+  in
+  {
+    bench;
+    train_speedup;
+    novel_speedup;
+    best_expr =
+      Gp.Sexp.to_string (feature_set_of kind)
+        (Gp.Simplify.genome result.Gp.Evolve.best);
+    history = result.Gp.Evolve.history;
+  }
+
+type general = {
+  best : Gp.Expr.genome;
+  best_expr : string;
+  train_rows : (string * float * float) list;  (* bench, train, novel *)
+  history : Gp.Evolve.generation_stats list;
+}
+
+(* Figure 6 / 11 / 15: evolve one priority function over a training suite
+   with DSS, then measure every training benchmark on both datasets. *)
+let evolve_general ?(params = Gp.Params.scaled) (kind : kind)
+    (benches : string list) : general =
+  let ctx = create kind benches in
+  let result = Gp.Evolve.run ~params (problem_of ctx) in
+  let rows =
+    List.mapi
+      (fun case name ->
+        ( name,
+          speedup ctx result.Gp.Evolve.best ~case
+            ~dataset:Benchmarks.Bench.Train,
+          speedup ctx result.Gp.Evolve.best ~case
+            ~dataset:Benchmarks.Bench.Novel ))
+      benches
+  in
+  {
+    best = result.Gp.Evolve.best;
+    best_expr =
+      Gp.Sexp.to_string (feature_set_of kind)
+        (Gp.Simplify.genome result.Gp.Evolve.best);
+    train_rows = rows;
+    history = result.Gp.Evolve.history;
+  }
+
+(* Figure 7 / 12 / 16: apply a fixed evolved priority function to a suite
+   it was not trained on. *)
+let cross_validate ?machine (kind : kind) (g : Gp.Expr.genome)
+    (benches : string list) : (string * float * float) list =
+  let ctx = create ?machine kind benches in
+  List.mapi
+    (fun case name ->
+      ( name,
+        speedup ctx g ~case ~dataset:Benchmarks.Bench.Train,
+        speedup ctx g ~case ~dataset:Benchmarks.Bench.Novel ))
+    benches

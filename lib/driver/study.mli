@@ -1,0 +1,76 @@
+(** The three case studies, wired to the evolution driver.
+
+    A study fixes the heuristic slot the genome occupies, the machine
+    model (Table 3 / 32-register Table 3 / Itanium-like), and whether
+    simulated measurement noise is injected (the paper's prefetching
+    study ran on a real machine).  Fitness is the paper's definition:
+    execution-time speedup over the compiler's baseline heuristic.  A
+    candidate whose compiled program produces wrong output gets fitness 0
+    — "our system can also be used to uncover bugs!". *)
+
+type kind =
+  | Hyperblock_study
+  | Regalloc_study
+  | Prefetch_study
+  | Sched_study
+      (** extension: the list scheduler's ranking, motivated by the
+          paper's Section 2 *)
+
+val machine_of : kind -> Machine.Config.t
+val feature_set_of : kind -> Gp.Feature_set.t
+val sort_of : kind -> [ `Real | `Bool ]
+val baseline_genome_of : kind -> Gp.Expr.genome
+val noise_of : kind -> float option
+
+val heuristics_with : kind -> Gp.Expr.genome -> Compiler.heuristics
+(** @raise Invalid_argument on a genome of the wrong sort. *)
+
+type context = {
+  kind : kind;
+  machine : Machine.Config.t;
+  prepared : Compiler.prepared array;
+  baseline_train : (float * int) array;  (** cycles, checksum per case *)
+  baseline_novel : (float * int) array;
+  mutable evaluations : int;
+}
+
+val create : ?machine:Machine.Config.t -> kind -> string list -> context
+(** Prepare the named benchmarks and compile + simulate the baseline on
+    both datasets. *)
+
+val speedup :
+  context -> Gp.Expr.genome -> case:int ->
+  dataset:Benchmarks.Bench.dataset -> float
+
+val problem_of : context -> Gp.Evolve.problem
+
+type specialization = {
+  bench : string;
+  train_speedup : float;
+  novel_speedup : float;
+  best_expr : string;
+  history : Gp.Evolve.generation_stats list;
+}
+
+val specialize :
+  ?params:Gp.Params.t -> kind -> string -> specialization
+(** Figures 4 / 9 / 13: evolve for a single benchmark, measure on both
+    datasets. *)
+
+type general = {
+  best : Gp.Expr.genome;
+  best_expr : string;
+  train_rows : (string * float * float) list;  (** bench, train, novel *)
+  history : Gp.Evolve.generation_stats list;
+}
+
+val evolve_general :
+  ?params:Gp.Params.t -> kind -> string list -> general
+(** Figures 6 / 11 / 15: one priority function over a training suite with
+    dynamic subset selection. *)
+
+val cross_validate :
+  ?machine:Machine.Config.t -> kind -> Gp.Expr.genome -> string list ->
+  (string * float * float) list
+(** Figures 7 / 12 / 16: a fixed evolved function applied to benchmarks
+    it was not trained on. *)

@@ -1,0 +1,72 @@
+(* Abstract syntax for MiniC, the small imperative language the benchmark
+   suite is written in.  Scalars are [int] or [float]; arrays are
+   one-dimensional globals.  Functions may not recurse (checked after
+   lowering) because each function owns a single static spill frame. *)
+
+type pos = { line : int; col : int }
+
+type ty = Tint | Tfloat
+
+let string_of_ty = function Tint -> "int" | Tfloat -> "float"
+
+type binop =
+  | Badd | Bsub | Bmul | Bdiv | Bmod
+  | Bband | Bbor | Bbxor | Bshl | Bshr
+  | Beq | Bne | Blt | Ble | Bgt | Bge
+  | Bland | Blor                       (* short-circuit *)
+
+type unop = Uneg | Unot
+
+type expr = {
+  e : expr_node;
+  pos : pos;
+}
+
+and expr_node =
+  | Int of int
+  | Float of float
+  | Var of string
+  | Index of string * expr             (* A[e] *)
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Call of string * expr list         (* user function or intrinsic *)
+  | Cast of ty * expr                  (* int(e) / float(e) *)
+
+type stmt = {
+  s : stmt_node;
+  spos : pos;
+}
+
+and stmt_node =
+  | Assign of string * expr
+  | Store of string * expr * expr      (* A[e1] = e2 *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt option * expr * stmt option * stmt list
+  | Expr of expr                       (* call for effect *)
+  | Return of expr option
+  | Emit of expr
+  | Break
+  | Continue
+
+type param = { pname : string; pty : ty }
+
+type func_decl = {
+  fname : string;
+  params : param list;
+  ret : ty option;
+  locals : (string * ty) list;         (* declarations collected in body *)
+  body : stmt list;
+}
+
+type global_decl = {
+  gname : string;
+  gty : ty;                            (* element type *)
+  gsize : int;
+  ginit : float list;                  (* optional initial prefix *)
+}
+
+type program = {
+  globals : global_decl list;
+  funcs : func_decl list;
+}

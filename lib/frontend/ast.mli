@@ -1,0 +1,63 @@
+(** Abstract syntax for MiniC (see {!Minic} for the language summary). *)
+
+type pos = { line : int; col : int }
+
+type ty = Tint | Tfloat
+
+val string_of_ty : ty -> string
+
+type binop =
+  | Badd | Bsub | Bmul | Bdiv | Bmod
+  | Bband | Bbor | Bbxor | Bshl | Bshr
+  | Beq | Bne | Blt | Ble | Bgt | Bge
+  | Bland | Blor
+
+type unop = Uneg | Unot
+
+type expr = { e : expr_node; pos : pos }
+
+and expr_node =
+  | Int of int
+  | Float of float
+  | Var of string
+  | Index of string * expr
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Call of string * expr list
+  | Cast of ty * expr
+
+type stmt = { s : stmt_node; spos : pos }
+
+and stmt_node =
+  | Assign of string * expr
+  | Store of string * expr * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt option * expr * stmt option * stmt list
+  | Expr of expr
+  | Return of expr option
+  | Emit of expr
+  | Break
+  | Continue
+
+type param = { pname : string; pty : ty }
+
+type func_decl = {
+  fname : string;
+  params : param list;
+  ret : ty option;
+  locals : (string * ty) list;
+  body : stmt list;
+}
+
+type global_decl = {
+  gname : string;
+  gty : ty;
+  gsize : int;
+  ginit : float list;
+}
+
+type program = {
+  globals : global_decl list;
+  funcs : func_decl list;
+}

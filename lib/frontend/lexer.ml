@@ -1,0 +1,112 @@
+(* Hand-written lexer for MiniC. *)
+
+type token =
+  | INT_LIT of int
+  | FLOAT_LIT of float
+  | IDENT of string
+  | KW of string      (* int float global if else while for return emit break continue void *)
+  | PUNCT of string   (* ( ) { } [ ] ; , = + - * / % == != < <= > >= && || ! & | ^ << >> *)
+  | EOF
+
+type tok = { t : token; pos : Ast.pos }
+
+exception Lex_error of string * Ast.pos
+
+let keywords =
+  [ "int"; "float"; "global"; "if"; "else"; "while"; "for"; "return";
+    "emit"; "break"; "continue"; "void" ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize (src : string) : tok list =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 and bol = ref 0 in
+  let pos i = { Ast.line = !line; col = i - !bol + 1 } in
+  let i = ref 0 in
+  let push t p = toks := { t; pos = p } :: !toks in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i;
+      bol := !i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      let p = pos !i in
+      i := !i + 2;
+      let closed = ref false in
+      while (not !closed) && !i + 1 < n do
+        if src.[!i] = '*' && src.[!i + 1] = '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else begin
+          if src.[!i] = '\n' then begin
+            incr line;
+            bol := !i + 1
+          end;
+          incr i
+        end
+      done;
+      if not !closed then raise (Lex_error ("unterminated comment", p))
+    end
+    else if is_digit c then begin
+      let p = pos !i in
+      let start = !i in
+      while !i < n && is_digit src.[!i] do incr i done;
+      if !i < n && (src.[!i] = '.' || src.[!i] = 'e' || src.[!i] = 'E') then begin
+        if !i < n && src.[!i] = '.' then begin
+          incr i;
+          while !i < n && is_digit src.[!i] do incr i done
+        end;
+        if !i < n && (src.[!i] = 'e' || src.[!i] = 'E') then begin
+          incr i;
+          if !i < n && (src.[!i] = '+' || src.[!i] = '-') then incr i;
+          while !i < n && is_digit src.[!i] do incr i done
+        end;
+        let s = String.sub src start (!i - start) in
+        match float_of_string_opt s with
+        | Some f -> push (FLOAT_LIT f) p
+        | None -> raise (Lex_error ("bad float literal " ^ s, p))
+      end
+      else
+        let s = String.sub src start (!i - start) in
+        match int_of_string_opt s with
+        | Some k -> push (INT_LIT k) p
+        | None -> raise (Lex_error ("bad int literal " ^ s, p))
+    end
+    else if is_ident_start c then begin
+      let p = pos !i in
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      let s = String.sub src start (!i - start) in
+      if List.mem s keywords then push (KW s) p else push (IDENT s) p
+    end
+    else begin
+      let p = pos !i in
+      let two =
+        if !i + 1 < n then Some (String.sub src !i 2) else None
+      in
+      match two with
+      | Some (("==" | "!=" | "<=" | ">=" | "&&" | "||" | "<<" | ">>") as op) ->
+        push (PUNCT op) p;
+        i := !i + 2
+      | _ -> (
+        match c with
+        | '(' | ')' | '{' | '}' | '[' | ']' | ';' | ',' | '=' | '+' | '-'
+        | '*' | '/' | '%' | '<' | '>' | '!' | '&' | '|' | '^' ->
+          push (PUNCT (String.make 1 c)) p;
+          incr i
+        | _ ->
+          raise (Lex_error (Printf.sprintf "unexpected character %C" c, p)))
+    end
+  done;
+  push EOF (pos !i);
+  List.rev !toks

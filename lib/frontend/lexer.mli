@@ -1,0 +1,19 @@
+(** Hand-written lexer for MiniC. *)
+
+type token =
+  | INT_LIT of int
+  | FLOAT_LIT of float
+  | IDENT of string
+  | KW of string
+  | PUNCT of string
+  | EOF
+
+type tok = { t : token; pos : Ast.pos }
+
+exception Lex_error of string * Ast.pos
+
+val keywords : string list
+
+val tokenize : string -> tok list
+(** @raise Lex_error on malformed literals, stray characters, or an
+    unterminated comment. *)

@@ -1,0 +1,441 @@
+(* Lowering from the MiniC AST to the predicated three-address IR.
+
+   Every scalar variable maps to one virtual register (the IR is not SSA;
+   liveness-based register allocation handles it downstream).  Logical &&
+   and || evaluate both operands (MiniC expressions are effect-free apart
+   from calls, and benchmark sources use explicit ifs where shortcutting
+   matters); comparisons produce 0/1 ints.
+
+   An array access whose index expression itself loaded from memory is
+   marked as a hazard: its address is data-dependent, the moral equivalent
+   of the pointer dereferences the paper's hyperblock heuristic
+   penalizes. *)
+
+open Ast
+
+type ctx = {
+  b : Ir.Builder.t;
+  vars : (string, Ir.Types.reg * ty) Hashtbl.t;
+  global_tys : (string, ty) Hashtbl.t;
+  func_rets : (string, ty option) Hashtbl.t;
+  (* (continue_label, break_label) stack *)
+  mutable loop_stack : (string * string) list;
+}
+
+(* Lowered expression: where the value lives, its type, and whether its
+   computation loaded from memory (for hazard marking). *)
+type lowered = { op : Ir.Types.operand; ty : ty; loaded : bool }
+
+let to_float ctx (l : lowered) : lowered =
+  match l.ty with
+  | Tfloat -> l
+  | Tint -> (
+    match l.op with
+    | Ir.Types.Imm k ->
+      { op = Ir.Types.Fimm (float_of_int k); ty = Tfloat; loaded = l.loaded }
+    | _ ->
+      let r = Ir.Builder.emit_r ctx.b (fun r -> Ir.Instr.Itof (r, l.op)) in
+      { op = Ir.Types.Reg r; ty = Tfloat; loaded = l.loaded })
+
+let promote ctx a b =
+  if a.ty = Tfloat || b.ty = Tfloat then (to_float ctx a, to_float ctx b, Tfloat)
+  else (a, b, Tint)
+
+let ibinop_of = function
+  | Badd -> Ir.Types.Add
+  | Bsub -> Ir.Types.Sub
+  | Bmul -> Ir.Types.Mul
+  | Bdiv -> Ir.Types.Div
+  | Bmod -> Ir.Types.Rem
+  | Bband -> Ir.Types.Band
+  | Bbor -> Ir.Types.Bor
+  | Bbxor -> Ir.Types.Bxor
+  | Bshl -> Ir.Types.Shl
+  | Bshr -> Ir.Types.Shr
+  | _ -> invalid_arg "ibinop_of"
+
+let fbinop_of = function
+  | Badd -> Ir.Types.Fadd
+  | Bsub -> Ir.Types.Fsub
+  | Bmul -> Ir.Types.Fmul
+  | Bdiv -> Ir.Types.Fdiv
+  | _ -> invalid_arg "fbinop_of"
+
+let icmp_of = function
+  | Beq -> Ir.Types.Ceq
+  | Bne -> Ir.Types.Cne
+  | Blt -> Ir.Types.Clt
+  | Ble -> Ir.Types.Cle
+  | Bgt -> Ir.Types.Cgt
+  | Bge -> Ir.Types.Cge
+  | _ -> invalid_arg "icmp_of"
+
+let intrinsic_of = function
+  | "sin" -> Ir.Types.Isin
+  | "cos" -> Ir.Types.Icos
+  | "exp" -> Ir.Types.Iexp
+  | "log" -> Ir.Types.Ilog
+  | "min" -> Ir.Types.Imin
+  | "max" -> Ir.Types.Imax
+  | "fmin" -> Ir.Types.Ifmin
+  | "fmax" -> Ir.Types.Ifmax
+  | n -> invalid_arg ("intrinsic_of: " ^ n)
+
+let rec lower_expr (ctx : ctx) (ex : expr) : lowered =
+  match ex.e with
+  | Int k -> { op = Ir.Types.Imm k; ty = Tint; loaded = false }
+  | Float f -> { op = Ir.Types.Fimm f; ty = Tfloat; loaded = false }
+  | Var v ->
+    let r, ty = Hashtbl.find ctx.vars v in
+    { op = Ir.Types.Reg r; ty; loaded = false }
+  | Index (a, idx) ->
+    let i = lower_expr ctx idx in
+    let base = Ir.Builder.emit_r ctx.b (fun r -> Ir.Instr.Gaddr (r, a)) in
+    let addr =
+      Ir.Builder.global_addr ~base:(Ir.Types.Reg base) ~offset:i.op ~name:a
+        ~hazard:i.loaded
+    in
+    let r = Ir.Builder.emit_r ctx.b (fun r -> Ir.Instr.Load (r, addr)) in
+    { op = Ir.Types.Reg r; ty = Hashtbl.find ctx.global_tys a; loaded = true }
+  | Cast (t, e) -> (
+    let l = lower_expr ctx e in
+    match (l.ty, t) with
+    | a, b when a = b -> l
+    | Tint, Tfloat -> to_float ctx l
+    | Tfloat, Tint ->
+      let r = Ir.Builder.emit_r ctx.b (fun r -> Ir.Instr.Ftoi (r, l.op)) in
+      { op = Ir.Types.Reg r; ty = Tint; loaded = l.loaded }
+    | _ -> assert false)
+  | Un (Uneg, e) -> (
+    let l = lower_expr ctx e in
+    match l.ty with
+    | Tint ->
+      let r =
+        Ir.Builder.emit_r ctx.b (fun r ->
+            Ir.Instr.Ibin (Ir.Types.Sub, r, Ir.Types.Imm 0, l.op))
+      in
+      { op = Ir.Types.Reg r; ty = Tint; loaded = l.loaded }
+    | Tfloat ->
+      let r =
+        Ir.Builder.emit_r ctx.b (fun r -> Ir.Instr.Funop (Ir.Types.Fneg, r, l.op))
+      in
+      { op = Ir.Types.Reg r; ty = Tfloat; loaded = l.loaded })
+  | Un (Unot, e) ->
+    let l = lower_expr ctx e in
+    let r =
+      Ir.Builder.emit_r ctx.b (fun r ->
+          Ir.Instr.Icmp (Ir.Types.Ceq, r, l.op, Ir.Types.Imm 0))
+    in
+    { op = Ir.Types.Reg r; ty = Tint; loaded = l.loaded }
+  | Bin ((Bland | Blor) as op, a, b) ->
+    (* Normalize both sides to 0/1, then bitwise combine. *)
+    let la = lower_expr ctx a and lb = lower_expr ctx b in
+    let norm l =
+      Ir.Builder.emit_r ctx.b (fun r ->
+          Ir.Instr.Icmp (Ir.Types.Cne, r, l.op, Ir.Types.Imm 0))
+    in
+    let ra = norm la and rb = norm lb in
+    let bop = if op = Bland then Ir.Types.Band else Ir.Types.Bor in
+    let r =
+      Ir.Builder.emit_r ctx.b (fun r ->
+          Ir.Instr.Ibin (bop, r, Ir.Types.Reg ra, Ir.Types.Reg rb))
+    in
+    { op = Ir.Types.Reg r; ty = Tint; loaded = la.loaded || lb.loaded }
+  | Bin ((Beq | Bne | Blt | Ble | Bgt | Bge) as op, a, b) ->
+    let la = lower_expr ctx a and lb = lower_expr ctx b in
+    let la, lb, t = promote ctx la lb in
+    let c = icmp_of op in
+    let r =
+      Ir.Builder.emit_r ctx.b (fun r ->
+          match t with
+          | Tint -> Ir.Instr.Icmp (c, r, la.op, lb.op)
+          | Tfloat -> Ir.Instr.Fcmp (c, r, la.op, lb.op))
+    in
+    { op = Ir.Types.Reg r; ty = Tint; loaded = la.loaded || lb.loaded }
+  | Bin ((Bmod | Bband | Bbor | Bbxor | Bshl | Bshr) as op, a, b) ->
+    let la = lower_expr ctx a and lb = lower_expr ctx b in
+    let r =
+      Ir.Builder.emit_r ctx.b (fun r -> Ir.Instr.Ibin (ibinop_of op, r, la.op, lb.op))
+    in
+    { op = Ir.Types.Reg r; ty = Tint; loaded = la.loaded || lb.loaded }
+  | Bin (op, a, b) ->
+    (* + - * / with promotion *)
+    let la = lower_expr ctx a and lb = lower_expr ctx b in
+    let la, lb, t = promote ctx la lb in
+    let r =
+      Ir.Builder.emit_r ctx.b (fun r ->
+          match t with
+          | Tint -> Ir.Instr.Ibin (ibinop_of op, r, la.op, lb.op)
+          | Tfloat -> Ir.Instr.Fbin (fbinop_of op, r, la.op, lb.op))
+    in
+    { op = Ir.Types.Reg r; ty = t; loaded = la.loaded || lb.loaded }
+  | Call (name, args) -> lower_call ctx ex.pos name args
+
+and lower_call ctx _pos name args : lowered =
+  let lowered_args = List.map (lower_expr ctx) args in
+  let loaded = List.exists (fun l -> l.loaded) lowered_args in
+  match name with
+  | "sqrt" | "fabs" ->
+    let a = to_float ctx (List.nth lowered_args 0) in
+    let op = if name = "sqrt" then Ir.Types.Fsqrt else Ir.Types.Fabs in
+    let r = Ir.Builder.emit_r ctx.b (fun r -> Ir.Instr.Funop (op, r, a.op)) in
+    { op = Ir.Types.Reg r; ty = Tfloat; loaded }
+  | "abs" ->
+    (* |x| = max(x, -x) on ints *)
+    let a = List.nth lowered_args 0 in
+    let neg =
+      Ir.Builder.emit_r ctx.b (fun r ->
+          Ir.Instr.Ibin (Ir.Types.Sub, r, Ir.Types.Imm 0, a.op))
+    in
+    let r =
+      Ir.Builder.emit_r ctx.b (fun r ->
+          Ir.Instr.Intrin (Ir.Types.Imax, r, [ a.op; Ir.Types.Reg neg ]))
+    in
+    { op = Ir.Types.Reg r; ty = Tint; loaded }
+  | "sin" | "cos" | "exp" | "log" | "fmin" | "fmax" ->
+    let fargs = List.map (fun l -> (to_float ctx l).op) lowered_args in
+    let r =
+      Ir.Builder.emit_r ctx.b (fun r ->
+          Ir.Instr.Intrin (intrinsic_of name, r, fargs))
+    in
+    { op = Ir.Types.Reg r; ty = Tfloat; loaded }
+  | "min" | "max" ->
+    let iargs = List.map (fun l -> l.op) lowered_args in
+    let r =
+      Ir.Builder.emit_r ctx.b (fun r ->
+          Ir.Instr.Intrin (intrinsic_of name, r, iargs))
+    in
+    { op = Ir.Types.Reg r; ty = Tint; loaded }
+  | _ ->
+    let ret = Hashtbl.find ctx.func_rets name in
+    (* Promotions for float parameters are resolved by the callee's
+       signature recorded in [func_param_tys]; MiniC's typechecker already
+       validated compatibility, so only int->float needs an Itof here.
+       The signature is carried through [ctx.func_rets]'s sibling table. *)
+    let ops = List.map (fun l -> l.op) lowered_args in
+    (match ret with
+    | Some t ->
+      let r =
+        Ir.Builder.emit_r ctx.b (fun r ->
+            Ir.Instr.Call (Some r, name, ops, Ir.Instr.Impure))
+      in
+      { op = Ir.Types.Reg r; ty = t; loaded }
+    | None ->
+      Ir.Builder.emit ctx.b (Ir.Instr.Call (None, name, ops, Ir.Instr.Impure));
+      { op = Ir.Types.Imm 0; ty = Tint; loaded })
+
+(* Coerce a lowered value to a variable/array slot of type [dst]. *)
+let coerce ctx (l : lowered) (dst : ty) : Ir.Types.operand =
+  match (l.ty, dst) with
+  | a, b when a = b -> l.op
+  | Tint, Tfloat -> (to_float ctx l).op
+  | Tfloat, Tint ->
+    Ir.Types.Reg (Ir.Builder.emit_r ctx.b (fun r -> Ir.Instr.Ftoi (r, l.op)))
+  | _ -> assert false
+
+let rec lower_stmt (ctx : ctx) (st : stmt) : unit =
+  match st.s with
+  | Assign (v, e) ->
+    let l = lower_expr ctx e in
+    let r, ty = Hashtbl.find ctx.vars v in
+    let op = coerce ctx l ty in
+    Ir.Builder.emit ctx.b (Ir.Instr.Mov (r, op))
+  | Store (a, idx, e) ->
+    let i = lower_expr ctx idx in
+    let l = lower_expr ctx e in
+    let v = coerce ctx l (Hashtbl.find ctx.global_tys a) in
+    let base = Ir.Builder.emit_r ctx.b (fun r -> Ir.Instr.Gaddr (r, a)) in
+    let addr =
+      Ir.Builder.global_addr ~base:(Ir.Types.Reg base) ~offset:i.op ~name:a
+        ~hazard:i.loaded
+    in
+    Ir.Builder.emit ctx.b (Ir.Instr.Store (addr, v))
+  | Emit e ->
+    let l = lower_expr ctx e in
+    Ir.Builder.emit ctx.b (Ir.Instr.Emit l.op)
+  | Expr e -> ignore (lower_expr ctx e)
+  | Return None ->
+    Ir.Builder.terminate ctx.b (Ir.Func.Ret None);
+    Ir.Builder.start_block ctx.b (Ir.Builder.fresh_label ctx.b "dead")
+  | Return (Some e) ->
+    let l = lower_expr ctx e in
+    Ir.Builder.terminate ctx.b (Ir.Func.Ret (Some l.op));
+    Ir.Builder.start_block ctx.b (Ir.Builder.fresh_label ctx.b "dead")
+  | Break -> (
+    match ctx.loop_stack with
+    | (_, brk) :: _ ->
+      Ir.Builder.terminate ctx.b (Ir.Func.Jmp brk);
+      Ir.Builder.start_block ctx.b (Ir.Builder.fresh_label ctx.b "dead")
+    | [] -> assert false)
+  | Continue -> (
+    match ctx.loop_stack with
+    | (cont, _) :: _ ->
+      Ir.Builder.terminate ctx.b (Ir.Func.Jmp cont);
+      Ir.Builder.start_block ctx.b (Ir.Builder.fresh_label ctx.b "dead")
+    | [] -> assert false)
+  | If (c, then_, else_) ->
+    let l = lower_expr ctx c in
+    let lt = Ir.Builder.fresh_label ctx.b "then"
+    and le = Ir.Builder.fresh_label ctx.b "else"
+    and lj = Ir.Builder.fresh_label ctx.b "join" in
+    let else_target = if else_ = [] then lj else le in
+    Ir.Builder.terminate ctx.b (Ir.Func.Br (l.op, lt, else_target));
+    Ir.Builder.start_block ctx.b lt;
+    List.iter (lower_stmt ctx) then_;
+    Ir.Builder.terminate ctx.b (Ir.Func.Jmp lj);
+    if else_ <> [] then begin
+      Ir.Builder.start_block ctx.b le;
+      List.iter (lower_stmt ctx) else_;
+      Ir.Builder.terminate ctx.b (Ir.Func.Jmp lj)
+    end;
+    Ir.Builder.start_block ctx.b lj
+  | While (c, body) ->
+    let lh = Ir.Builder.fresh_label ctx.b "loop"
+    and lb = Ir.Builder.fresh_label ctx.b "body"
+    and lx = Ir.Builder.fresh_label ctx.b "exit" in
+    Ir.Builder.terminate ctx.b (Ir.Func.Jmp lh);
+    Ir.Builder.start_block ctx.b lh;
+    let l = lower_expr ctx c in
+    Ir.Builder.terminate ctx.b (Ir.Func.Br (l.op, lb, lx));
+    Ir.Builder.start_block ctx.b lb;
+    ctx.loop_stack <- (lh, lx) :: ctx.loop_stack;
+    List.iter (lower_stmt ctx) body;
+    ctx.loop_stack <- List.tl ctx.loop_stack;
+    Ir.Builder.terminate ctx.b (Ir.Func.Jmp lh);
+    Ir.Builder.start_block ctx.b lx
+  | For (init, c, step, body) ->
+    Option.iter (lower_stmt ctx) init;
+    let lh = Ir.Builder.fresh_label ctx.b "for"
+    and lb = Ir.Builder.fresh_label ctx.b "fbody"
+    and lc = Ir.Builder.fresh_label ctx.b "fstep"
+    and lx = Ir.Builder.fresh_label ctx.b "fexit" in
+    Ir.Builder.terminate ctx.b (Ir.Func.Jmp lh);
+    Ir.Builder.start_block ctx.b lh;
+    let l = lower_expr ctx c in
+    Ir.Builder.terminate ctx.b (Ir.Func.Br (l.op, lb, lx));
+    Ir.Builder.start_block ctx.b lb;
+    ctx.loop_stack <- (lc, lx) :: ctx.loop_stack;
+    List.iter (lower_stmt ctx) body;
+    ctx.loop_stack <- List.tl ctx.loop_stack;
+    Ir.Builder.terminate ctx.b (Ir.Func.Jmp lc);
+    Ir.Builder.start_block ctx.b lc;
+    Option.iter (lower_stmt ctx) step;
+    Ir.Builder.terminate ctx.b (Ir.Func.Jmp lh);
+    Ir.Builder.start_block ctx.b lx
+
+let lower_func (p : program) (fd : func_decl) : Ir.Func.t =
+  let b =
+    Ir.Builder.create ~name:fd.fname ~params:(List.map (fun pa -> pa.pname) fd.params)
+  in
+  let vars = Hashtbl.create 16 in
+  List.iteri
+    (fun i pa -> Hashtbl.replace vars pa.pname (i + 1, pa.pty))
+    fd.params;
+  let global_tys = Hashtbl.create 16 in
+  List.iter (fun g -> Hashtbl.replace global_tys g.gname g.gty) p.globals;
+  let func_rets = Hashtbl.create 16 in
+  List.iter (fun f -> Hashtbl.replace func_rets f.fname f.ret) p.funcs;
+  let ctx = { b; vars; global_tys; func_rets; loop_stack = [] } in
+  Ir.Builder.start_block b "entry";
+  (* Allocate registers for locals up front. *)
+  List.iter
+    (fun (n, t) -> Hashtbl.replace vars n (Ir.Builder.fresh_reg b, t))
+    fd.locals;
+  List.iter (lower_stmt ctx) fd.body;
+  (* Fall-through return. *)
+  Ir.Builder.terminate b
+    (match fd.ret with
+    | None -> Ir.Func.Ret None
+    | Some Tint -> Ir.Func.Ret (Some (Ir.Types.Imm 0))
+    | Some Tfloat -> Ir.Func.Ret (Some (Ir.Types.Fimm 0.0)));
+  Ir.Builder.finish b
+
+(* Remove blocks unreachable from the entry (dead blocks synthesized after
+   return/break/continue). *)
+let prune_unreachable (f : Ir.Func.t) : unit =
+  let g = Ir.Cfg.build f in
+  let reachable = Hashtbl.create 16 in
+  let rec dfs i =
+    let l = g.Ir.Cfg.labels.(i) in
+    if not (Hashtbl.mem reachable l) then begin
+      Hashtbl.replace reachable l ();
+      List.iter dfs g.Ir.Cfg.succ.(i)
+    end
+  in
+  dfs 0;
+  f.Ir.Func.blocks <-
+    List.filter
+      (fun (blk : Ir.Func.block) -> Hashtbl.mem reachable blk.Ir.Func.blabel)
+      f.Ir.Func.blocks
+
+(* Mark calls to functions that touch no memory and perform no output as
+   pure, so the scheduler and hazard analysis treat them accurately. *)
+let mark_pure_calls (prog : Ir.Func.program) : unit =
+  let impure = Hashtbl.create 16 in
+  let directly_impure (f : Ir.Func.t) =
+    let found = ref false in
+    Ir.Func.iter_instrs f (fun _ (i : Ir.Instr.t) ->
+        match i.Ir.Instr.kind with
+        | Ir.Instr.Store _ | Ir.Instr.Emit _ | Ir.Instr.Load _
+        | Ir.Instr.Prefetch _ ->
+          found := true
+        | _ -> ());
+    !found
+  in
+  let calls_of (f : Ir.Func.t) =
+    let acc = ref [] in
+    Ir.Func.iter_instrs f (fun _ (i : Ir.Instr.t) ->
+        match i.Ir.Instr.kind with
+        | Ir.Instr.Call (_, n, _, _) -> acc := n :: !acc
+        | _ -> ());
+    !acc
+  in
+  (* Fixed point: impure if directly impure or calls an impure function. *)
+  let changed = ref true in
+  List.iter
+    (fun f ->
+      if directly_impure f then Hashtbl.replace impure f.Ir.Func.fname ())
+    prog.Ir.Func.funcs;
+  while !changed do
+    changed := false;
+    List.iter
+      (fun f ->
+        if not (Hashtbl.mem impure f.Ir.Func.fname) then
+          if List.exists (Hashtbl.mem impure) (calls_of f) then begin
+            Hashtbl.replace impure f.Ir.Func.fname ();
+            changed := true
+          end)
+      prog.Ir.Func.funcs
+  done;
+  List.iter
+    (fun (f : Ir.Func.t) ->
+      List.iter
+        (fun (blk : Ir.Func.block) ->
+          blk.Ir.Func.instrs <-
+            List.map
+              (fun (i : Ir.Instr.t) ->
+                match i.Ir.Instr.kind with
+                | Ir.Instr.Call (d, n, args, _) when not (Hashtbl.mem impure n)
+                  ->
+                  { i with Ir.Instr.kind = Ir.Instr.Call (d, n, args, Ir.Instr.Pure) }
+                | _ -> i)
+              blk.Ir.Func.instrs)
+        f.Ir.Func.blocks)
+    prog.Ir.Func.funcs
+
+let lower_program (p : program) : Ir.Func.program =
+  let globals =
+    List.map
+      (fun g ->
+        {
+          Ir.Func.gname = g.gname;
+          gsize = g.gsize;
+          ginit = Array.of_list g.ginit;
+        })
+      p.globals
+  in
+  let funcs = List.map (lower_func p) p.funcs in
+  List.iter prune_unreachable funcs;
+  let prog = { Ir.Func.funcs; globals; main = "main" } in
+  mark_pure_calls prog;
+  prog

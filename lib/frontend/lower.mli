@@ -1,0 +1,8 @@
+(** Lowering from the MiniC AST to the predicated three-address IR.
+
+    Scalars map to virtual registers (non-SSA); logical && and || evaluate
+    both operands; array accesses whose index itself loaded from memory
+    are marked as hazards.  Unreachable blocks are pruned, and calls to
+    functions that touch no memory are marked pure. *)
+
+val lower_program : Ast.program -> Ir.Func.program

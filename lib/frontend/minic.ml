@@ -1,0 +1,27 @@
+(* Facade: compile MiniC source text to a validated IR program. *)
+
+exception Compile_error of string
+
+let compile (src : string) : Ir.Func.program =
+  let ast =
+    try Parser.parse src with
+    | Lexer.Lex_error (m, p) ->
+      raise (Compile_error (Printf.sprintf "lex error at %d:%d: %s" p.Ast.line p.Ast.col m))
+    | Parser.Parse_error (m, p) ->
+      raise
+        (Compile_error (Printf.sprintf "parse error at %d:%d: %s" p.Ast.line p.Ast.col m))
+  in
+  (try Typecheck.check_program ast with
+  | Typecheck.Type_error (m, p) ->
+    raise
+      (Compile_error (Printf.sprintf "type error at %d:%d: %s" p.Ast.line p.Ast.col m)));
+  let prog = Lower.lower_program ast in
+  (match Ir.Validate.check_program prog with
+  | [] -> ()
+  | errs ->
+    let msg =
+      String.concat "; "
+        (List.map (fun e -> Fmt.str "%a" Ir.Validate.pp_error e) errs)
+    in
+    raise (Compile_error ("lowering produced invalid IR: " ^ msg)));
+  prog

@@ -1,0 +1,12 @@
+(** Facade: compile MiniC source text to a validated IR program.
+
+    MiniC is the small imperative language the benchmark suite is written
+    in: [int] and [float] scalars, one-dimensional global arrays,
+    functions without recursion, [for]/[while]/[if] control flow, and an
+    [emit(e)] statement that appends to the program's output. *)
+
+exception Compile_error of string
+(** Lexical, syntactic, type or lowering errors, with positions. *)
+
+val compile : string -> Ir.Func.program
+(** @raise Compile_error *)

@@ -1,0 +1,398 @@
+(* Recursive-descent parser for MiniC with precedence climbing for
+   expressions.  Local declarations may appear anywhere in a function body
+   and share a single flat function scope. *)
+
+open Ast
+
+exception Parse_error of string * pos
+
+type state = {
+  toks : Lexer.tok array;
+  mutable cur : int;
+  mutable locals : (string * ty) list;  (* collected per function, reversed *)
+}
+
+let peek st = st.toks.(st.cur)
+let advance st = st.cur <- st.cur + 1
+
+let fail st fmt =
+  let p = (peek st).Lexer.pos in
+  Printf.ksprintf (fun m -> raise (Parse_error (m, p))) fmt
+
+let expect_punct st s =
+  match (peek st).Lexer.t with
+  | Lexer.PUNCT p when p = s -> advance st
+  | _ -> fail st "expected %s" s
+
+let expect_kw st s =
+  match (peek st).Lexer.t with
+  | Lexer.KW k when k = s -> advance st
+  | _ -> fail st "expected keyword %s" s
+
+let accept_punct st s =
+  match (peek st).Lexer.t with
+  | Lexer.PUNCT p when p = s ->
+    advance st;
+    true
+  | _ -> false
+
+let expect_ident st =
+  match (peek st).Lexer.t with
+  | Lexer.IDENT s ->
+    advance st;
+    s
+  | _ -> fail st "expected identifier"
+
+let expect_int st =
+  match (peek st).Lexer.t with
+  | Lexer.INT_LIT k ->
+    advance st;
+    k
+  | _ -> fail st "expected integer literal"
+
+let parse_ty st =
+  match (peek st).Lexer.t with
+  | Lexer.KW "int" ->
+    advance st;
+    Tint
+  | Lexer.KW "float" ->
+    advance st;
+    Tfloat
+  | _ -> fail st "expected a type"
+
+(* --- Expressions -------------------------------------------------------- *)
+
+(* Binding powers; higher binds tighter. *)
+let binop_of_punct = function
+  | "||" -> Some (Blor, 1)
+  | "&&" -> Some (Bland, 2)
+  | "|" -> Some (Bbor, 3)
+  | "^" -> Some (Bbxor, 4)
+  | "&" -> Some (Bband, 5)
+  | "==" -> Some (Beq, 6)
+  | "!=" -> Some (Bne, 6)
+  | "<" -> Some (Blt, 7)
+  | "<=" -> Some (Ble, 7)
+  | ">" -> Some (Bgt, 7)
+  | ">=" -> Some (Bge, 7)
+  | "<<" -> Some (Bshl, 8)
+  | ">>" -> Some (Bshr, 8)
+  | "+" -> Some (Badd, 9)
+  | "-" -> Some (Bsub, 9)
+  | "*" -> Some (Bmul, 10)
+  | "/" -> Some (Bdiv, 10)
+  | "%" -> Some (Bmod, 10)
+  | _ -> None
+
+let rec parse_expr st = parse_bin st 0
+
+and parse_bin st min_bp =
+  let lhs = ref (parse_unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match (peek st).Lexer.t with
+    | Lexer.PUNCT p -> (
+      match binop_of_punct p with
+      | Some (op, bp) when bp >= min_bp ->
+        let pos = (peek st).Lexer.pos in
+        advance st;
+        let rhs = parse_bin st (bp + 1) in
+        lhs := { e = Bin (op, !lhs, rhs); pos }
+      | _ -> continue_ := false)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary st =
+  let pos = (peek st).Lexer.pos in
+  match (peek st).Lexer.t with
+  | Lexer.PUNCT "-" ->
+    advance st;
+    { e = Un (Uneg, parse_unary st); pos }
+  | Lexer.PUNCT "!" ->
+    advance st;
+    { e = Un (Unot, parse_unary st); pos }
+  | _ -> parse_primary st
+
+and parse_primary st =
+  let pos = (peek st).Lexer.pos in
+  match (peek st).Lexer.t with
+  | Lexer.INT_LIT k ->
+    advance st;
+    { e = Int k; pos }
+  | Lexer.FLOAT_LIT f ->
+    advance st;
+    { e = Float f; pos }
+  | Lexer.KW ("int" | "float") ->
+    let ty = parse_ty st in
+    expect_punct st "(";
+    let e = parse_expr st in
+    expect_punct st ")";
+    { e = Cast (ty, e); pos }
+  | Lexer.IDENT name -> (
+    advance st;
+    match (peek st).Lexer.t with
+    | Lexer.PUNCT "(" ->
+      advance st;
+      let args = parse_args st in
+      { e = Call (name, args); pos }
+    | Lexer.PUNCT "[" ->
+      advance st;
+      let idx = parse_expr st in
+      expect_punct st "]";
+      { e = Index (name, idx); pos }
+    | _ -> { e = Var name; pos })
+  | Lexer.PUNCT "(" ->
+    advance st;
+    let e = parse_expr st in
+    expect_punct st ")";
+    e
+  | _ -> fail st "expected an expression"
+
+and parse_args st =
+  if accept_punct st ")" then []
+  else begin
+    let rec more acc =
+      if accept_punct st "," then more (parse_expr st :: acc)
+      else begin
+        expect_punct st ")";
+        List.rev acc
+      end
+    in
+    more [ parse_expr st ]
+  end
+
+(* --- Statements --------------------------------------------------------- *)
+
+let rec parse_stmt st : stmt =
+  let spos = (peek st).Lexer.pos in
+  match (peek st).Lexer.t with
+  | Lexer.KW ("int" | "float") ->
+    (* Local declaration, optionally initialized. *)
+    let ty = parse_ty st in
+    let name = expect_ident st in
+    (* Function-flat scope: redeclaring a local with the same type (the C
+       block-scope idiom `int i;` in several loop bodies) reuses the
+       variable; changing its type is an error. *)
+    (match List.assoc_opt name st.locals with
+    | Some ty' when ty' <> ty ->
+      raise
+        (Parse_error ("local " ^ name ^ " redeclared with a different type",
+                      spos))
+    | Some _ -> ()
+    | None -> st.locals <- (name, ty) :: st.locals);
+    if accept_punct st "=" then begin
+      let e = parse_expr st in
+      expect_punct st ";";
+      { s = Assign (name, e); spos }
+    end
+    else begin
+      expect_punct st ";";
+      (* Declaration without initialization: zero-initialize for
+         deterministic semantics. *)
+      let zero =
+        match ty with
+        | Tint -> { e = Int 0; pos = spos }
+        | Tfloat -> { e = Float 0.0; pos = spos }
+      in
+      { s = Assign (name, zero); spos }
+    end
+  | Lexer.KW "if" ->
+    advance st;
+    expect_punct st "(";
+    let cond = parse_expr st in
+    expect_punct st ")";
+    let then_ = parse_block st in
+    let else_ =
+      match (peek st).Lexer.t with
+      | Lexer.KW "else" ->
+        advance st;
+        (match (peek st).Lexer.t with
+        | Lexer.KW "if" -> [ parse_stmt st ]
+        | _ -> parse_block st)
+      | _ -> []
+    in
+    { s = If (cond, then_, else_); spos }
+  | Lexer.KW "while" ->
+    advance st;
+    expect_punct st "(";
+    let cond = parse_expr st in
+    expect_punct st ")";
+    let body = parse_block st in
+    { s = While (cond, body); spos }
+  | Lexer.KW "for" ->
+    advance st;
+    expect_punct st "(";
+    let init =
+      if (peek st).Lexer.t = Lexer.PUNCT ";" then None
+      else Some (parse_simple st)
+    in
+    expect_punct st ";";
+    let cond = parse_expr st in
+    expect_punct st ";";
+    let step =
+      if (peek st).Lexer.t = Lexer.PUNCT ")" then None
+      else Some (parse_simple st)
+    in
+    expect_punct st ")";
+    let body = parse_block st in
+    { s = For (init, cond, step, body); spos }
+  | Lexer.KW "return" ->
+    advance st;
+    if accept_punct st ";" then { s = Return None; spos }
+    else begin
+      let e = parse_expr st in
+      expect_punct st ";";
+      { s = Return (Some e); spos }
+    end
+  | Lexer.KW "emit" ->
+    advance st;
+    expect_punct st "(";
+    let e = parse_expr st in
+    expect_punct st ")";
+    expect_punct st ";";
+    { s = Emit e; spos }
+  | Lexer.KW "break" ->
+    advance st;
+    expect_punct st ";";
+    { s = Break; spos }
+  | Lexer.KW "continue" ->
+    advance st;
+    expect_punct st ";";
+    { s = Continue; spos }
+  | _ ->
+    let s = parse_simple st in
+    expect_punct st ";";
+    s
+
+(* Assignment or expression statement, without the trailing semicolon
+   (shared by for-headers and plain statements). *)
+and parse_simple st : stmt =
+  let spos = (peek st).Lexer.pos in
+  match (peek st).Lexer.t with
+  | Lexer.IDENT name -> (
+    advance st;
+    match (peek st).Lexer.t with
+    | Lexer.PUNCT "=" ->
+      advance st;
+      let e = parse_expr st in
+      { s = Assign (name, e); spos }
+    | Lexer.PUNCT "[" ->
+      advance st;
+      let idx = parse_expr st in
+      expect_punct st "]";
+      (match (peek st).Lexer.t with
+      | Lexer.PUNCT "=" ->
+        advance st;
+        let e = parse_expr st in
+        { s = Store (name, idx, e); spos }
+      | _ -> fail st "expected = after array index")
+    | Lexer.PUNCT "(" ->
+      advance st;
+      let args = parse_args st in
+      { s = Expr { e = Call (name, args); pos = spos }; spos }
+    | _ -> fail st "expected =, [ or ( after identifier")
+  | _ -> fail st "expected a statement"
+
+and parse_block st : stmt list =
+  if accept_punct st "{" then begin
+    let rec stmts acc =
+      if accept_punct st "}" then List.rev acc
+      else stmts (parse_stmt st :: acc)
+    in
+    stmts []
+  end
+  else [ parse_stmt st ]
+
+(* --- Top level ----------------------------------------------------------- *)
+
+let parse_global st : global_decl =
+  expect_kw st "global";
+  let gty = parse_ty st in
+  let gname = expect_ident st in
+  expect_punct st "[";
+  let gsize = expect_int st in
+  expect_punct st "]";
+  let ginit =
+    if accept_punct st "=" then begin
+      expect_punct st "{";
+      let rec nums acc =
+        let v =
+          match (peek st).Lexer.t with
+          | Lexer.INT_LIT k ->
+            advance st;
+            float_of_int k
+          | Lexer.FLOAT_LIT f ->
+            advance st;
+            f
+          | Lexer.PUNCT "-" ->
+            advance st;
+            (match (peek st).Lexer.t with
+            | Lexer.INT_LIT k ->
+              advance st;
+              -.float_of_int k
+            | Lexer.FLOAT_LIT f ->
+              advance st;
+              -.f
+            | _ -> fail st "expected a number")
+          | _ -> fail st "expected a number"
+        in
+        if accept_punct st "," then nums (v :: acc)
+        else begin
+          expect_punct st "}";
+          List.rev (v :: acc)
+        end
+      in
+      nums []
+    end
+    else []
+  in
+  expect_punct st ";";
+  { gname; gty; gsize; ginit }
+
+let parse_func st : func_decl =
+  let ret =
+    match (peek st).Lexer.t with
+    | Lexer.KW "void" ->
+      advance st;
+      None
+    | _ -> Some (parse_ty st)
+  in
+  let fname = expect_ident st in
+  expect_punct st "(";
+  let params =
+    if accept_punct st ")" then []
+    else begin
+      let one () =
+        let pty = parse_ty st in
+        let pname = expect_ident st in
+        { pname; pty }
+      in
+      let rec more acc =
+        if accept_punct st "," then more (one () :: acc)
+        else begin
+          expect_punct st ")";
+          List.rev acc
+        end
+      in
+      more [ one () ]
+    end
+  in
+  st.locals <- [];
+  expect_punct st "{";
+  let rec stmts acc =
+    if accept_punct st "}" then List.rev acc
+    else stmts (parse_stmt st :: acc)
+  in
+  let body = stmts [] in
+  { fname; params; ret; locals = List.rev st.locals; body }
+
+let parse (src : string) : program =
+  let st = { toks = Array.of_list (Lexer.tokenize src); cur = 0; locals = [] } in
+  let rec top globals funcs =
+    match (peek st).Lexer.t with
+    | Lexer.EOF -> { globals = List.rev globals; funcs = List.rev funcs }
+    | Lexer.KW "global" -> top (parse_global st :: globals) funcs
+    | _ -> top globals (parse_func st :: funcs)
+  in
+  top [] []

@@ -1,0 +1,11 @@
+(** Recursive-descent parser for MiniC with precedence climbing.
+
+    Local declarations share one flat function scope; redeclaring a local
+    with the same type reuses it (the C block-scope idiom), a different
+    type is an error. *)
+
+exception Parse_error of string * Ast.pos
+
+val parse : string -> Ast.program
+(** @raise Parse_error
+    @raise Lexer.Lex_error *)

@@ -1,0 +1,207 @@
+(* Type checking for MiniC.  Int promotes implicitly to float in mixed
+   arithmetic and on assignment; float narrows to int only through an
+   explicit cast.  Conditions, logical and bitwise operators are over
+   ints. *)
+
+open Ast
+
+exception Type_error of string * pos
+
+let fail pos fmt = Printf.ksprintf (fun m -> raise (Type_error (m, pos))) fmt
+
+type intrinsic_sig = { args : ty list; ret_ty : ty }
+
+let intrinsics : (string * intrinsic_sig) list =
+  [
+    ("sqrt", { args = [ Tfloat ]; ret_ty = Tfloat });
+    ("sin", { args = [ Tfloat ]; ret_ty = Tfloat });
+    ("cos", { args = [ Tfloat ]; ret_ty = Tfloat });
+    ("exp", { args = [ Tfloat ]; ret_ty = Tfloat });
+    ("log", { args = [ Tfloat ]; ret_ty = Tfloat });
+    ("fabs", { args = [ Tfloat ]; ret_ty = Tfloat });
+    ("abs", { args = [ Tint ]; ret_ty = Tint });
+    ("min", { args = [ Tint; Tint ]; ret_ty = Tint });
+    ("max", { args = [ Tint; Tint ]; ret_ty = Tint });
+    ("fmin", { args = [ Tfloat; Tfloat ]; ret_ty = Tfloat });
+    ("fmax", { args = [ Tfloat; Tfloat ]; ret_ty = Tfloat });
+  ]
+
+type env = {
+  vars : (string, ty) Hashtbl.t;
+  globals : (string, ty) Hashtbl.t;                 (* element types *)
+  funcs : (string, ty list * ty option) Hashtbl.t;  (* params, return *)
+  ret : ty option;
+}
+
+let rec type_of_expr (env : env) (ex : expr) : ty =
+  match ex.e with
+  | Int _ -> Tint
+  | Float _ -> Tfloat
+  | Var v -> (
+    match Hashtbl.find_opt env.vars v with
+    | Some t -> t
+    | None -> fail ex.pos "unknown variable %s" v)
+  | Index (a, idx) -> (
+    (match type_of_expr env idx with
+    | Tint -> ()
+    | Tfloat -> fail idx.pos "array index must be int");
+    match Hashtbl.find_opt env.globals a with
+    | Some t -> t
+    | None -> fail ex.pos "unknown array %s" a)
+  | Cast (t, e) ->
+    ignore (type_of_expr env e);
+    t
+  | Un (Uneg, e) -> type_of_expr env e
+  | Un (Unot, e) -> (
+    match type_of_expr env e with
+    | Tint -> Tint
+    | Tfloat -> fail ex.pos "! expects an int operand")
+  | Bin (op, a, b) -> (
+    let ta = type_of_expr env a and tb = type_of_expr env b in
+    match op with
+    | Badd | Bsub | Bmul | Bdiv ->
+      if ta = Tfloat || tb = Tfloat then Tfloat else Tint
+    | Bmod | Bband | Bbor | Bbxor | Bshl | Bshr | Bland | Blor ->
+      if ta = Tint && tb = Tint then Tint
+      else fail ex.pos "integer operator applied to float operands"
+    | Beq | Bne | Blt | Ble | Bgt | Bge -> Tint)
+  | Call (name, args) -> (
+    match List.assoc_opt name intrinsics with
+    | Some si ->
+      if List.length args <> List.length si.args then
+        fail ex.pos "intrinsic %s expects %d arguments" name
+          (List.length si.args);
+      List.iter2
+        (fun a expected ->
+          let got = type_of_expr env a in
+          match (got, expected) with
+          | t, u when t = u -> ()
+          | Tint, Tfloat -> ()  (* promoted *)
+          | _ -> fail a.pos "intrinsic %s: argument type mismatch" name)
+        args si.args;
+      si.ret_ty
+    | None -> (
+      match Hashtbl.find_opt env.funcs name with
+      | None -> fail ex.pos "call to unknown function %s" name
+      | Some (ptys, ret) ->
+        if List.length args <> List.length ptys then
+          fail ex.pos "function %s expects %d arguments" name
+            (List.length ptys);
+        List.iter2
+          (fun a expected ->
+            let got = type_of_expr env a in
+            match (got, expected) with
+            | t, u when t = u -> ()
+            | Tint, Tfloat -> ()
+            | _ -> fail a.pos "function %s: argument type mismatch" name)
+          args ptys;
+        (match ret with
+        | Some t -> t
+        | None -> fail ex.pos "void function %s used in an expression" name)))
+
+let check_assignable pos ~src ~dst =
+  match (src, dst) with
+  | t, u when t = u -> ()
+  | Tint, Tfloat -> ()
+  | Tfloat, Tint ->
+    fail pos "cannot assign float to int without an explicit int(...) cast"
+  | _ -> ()
+
+let rec check_stmt (env : env) (in_loop : bool) (st : stmt) : unit =
+  match st.s with
+  | Assign (v, e) -> (
+    let te = type_of_expr env e in
+    match Hashtbl.find_opt env.vars v with
+    | Some tv -> check_assignable st.spos ~src:te ~dst:tv
+    | None -> fail st.spos "assignment to unknown variable %s" v)
+  | Store (a, idx, e) -> (
+    (match type_of_expr env idx with
+    | Tint -> ()
+    | Tfloat -> fail idx.pos "array index must be int");
+    let te = type_of_expr env e in
+    match Hashtbl.find_opt env.globals a with
+    | Some ta -> check_assignable st.spos ~src:te ~dst:ta
+    | None -> fail st.spos "store to unknown array %s" a)
+  | If (c, t, e) ->
+    (match type_of_expr env c with
+    | Tint -> ()
+    | Tfloat -> fail c.pos "condition must be int");
+    List.iter (check_stmt env in_loop) t;
+    List.iter (check_stmt env in_loop) e
+  | While (c, body) ->
+    (match type_of_expr env c with
+    | Tint -> ()
+    | Tfloat -> fail c.pos "condition must be int");
+    List.iter (check_stmt env true) body
+  | For (init, c, step, body) ->
+    Option.iter (check_stmt env in_loop) init;
+    (match type_of_expr env c with
+    | Tint -> ()
+    | Tfloat -> fail c.pos "condition must be int");
+    Option.iter (check_stmt env true) step;
+    List.iter (check_stmt env true) body
+  | Expr e -> (
+    match e.e with
+    | Call (name, _) when not (List.mem_assoc name intrinsics) -> (
+      match Hashtbl.find_opt env.funcs name with
+      | Some (_, None) ->
+        (* A void call: re-check arguments only. *)
+        let args_of ex =
+          match ex.e with Call (_, a) -> a | _ -> []
+        in
+        List.iter (fun a -> ignore (type_of_expr env a)) (args_of e)
+      | _ -> ignore (type_of_expr env e))
+    | _ -> ignore (type_of_expr env e))
+  | Return None -> (
+    match env.ret with
+    | None -> ()
+    | Some t -> fail st.spos "missing return value of type %s" (string_of_ty t))
+  | Return (Some e) -> (
+    let te = type_of_expr env e in
+    match env.ret with
+    | None -> fail st.spos "void function returns a value"
+    | Some t -> check_assignable st.spos ~src:te ~dst:t)
+  | Emit e -> ignore (type_of_expr env e)
+  | Break | Continue ->
+    if not in_loop then fail st.spos "break/continue outside a loop"
+
+let check_program (p : program) : unit =
+  let globals = Hashtbl.create 16 and funcs = Hashtbl.create 16 in
+  List.iter
+    (fun g ->
+      if Hashtbl.mem globals g.gname then
+        fail { line = 0; col = 0 } "duplicate global %s" g.gname;
+      if g.gsize <= 0 then
+        fail { line = 0; col = 0 } "global %s has non-positive size" g.gname;
+      if List.length g.ginit > g.gsize then
+        fail { line = 0; col = 0 } "global %s initializer too long" g.gname;
+      Hashtbl.replace globals g.gname g.gty)
+    p.globals;
+  List.iter
+    (fun f ->
+      if Hashtbl.mem funcs f.fname || List.mem_assoc f.fname intrinsics then
+        fail { line = 0; col = 0 } "duplicate function %s" f.fname;
+      Hashtbl.replace funcs f.fname
+        (List.map (fun pa -> pa.pty) f.params, f.ret))
+    p.funcs;
+  if not (Hashtbl.mem funcs "main") then
+    fail { line = 0; col = 0 } "program has no main function";
+  List.iter
+    (fun f ->
+      let vars = Hashtbl.create 16 in
+      List.iter
+        (fun pa ->
+          if Hashtbl.mem vars pa.pname then
+            fail { line = 0; col = 0 } "%s: duplicate parameter %s" f.fname
+              pa.pname;
+          Hashtbl.replace vars pa.pname pa.pty)
+        f.params;
+      List.iter
+        (fun (n, t) ->
+          if Hashtbl.mem vars n then
+            fail { line = 0; col = 0 } "%s: duplicate local %s" f.fname n;
+          Hashtbl.replace vars n t)
+        f.locals;
+      let env = { vars; globals; funcs; ret = f.ret } in
+      List.iter (check_stmt env false) f.body)
+    p.funcs

@@ -1,0 +1,14 @@
+(** Type checking for MiniC: [int] promotes implicitly to [float]; [float]
+    narrows only through an explicit cast; conditions and bitwise/logical
+    operators are over ints. *)
+
+exception Type_error of string * Ast.pos
+
+type intrinsic_sig = { args : Ast.ty list; ret_ty : Ast.ty }
+
+val intrinsics : (string * intrinsic_sig) list
+(** The built-in math functions (sqrt, sin, cos, exp, log, abs, fabs,
+    min/max, fmin/fmax). *)
+
+val check_program : Ast.program -> unit
+(** @raise Type_error *)

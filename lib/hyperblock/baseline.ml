@@ -1,0 +1,20 @@
+(* Trimaran/IMPACT's baseline hyperblock-selection priority function,
+   Equation (1) of the paper:
+
+     h_i        = 0.25 if path_i contains a hazard, 1 otherwise
+     d_ratio_i  = dep_height_i / max_j dep_height_j
+     o_ratio_i  = num_ops_i / max_j num_ops_j
+     priority_i = exec_ratio_i * h_i * (2.1 - d_ratio_i - o_ratio_i)
+
+   Expressed in the GP expression language so it can seed the initial
+   population, and so baseline and evolved heuristics run through exactly
+   the same evaluator. *)
+
+let source =
+  "(mul exec_ratio (mul (tern (or has_pointer_deref has_unsafe_jsr) 0.25 \
+   1.0) (sub (sub 2.1 d_ratio) o_ratio)))"
+
+let expr : Gp.Expr.rexpr =
+  Gp.Sexp.parse_real Features.feature_set source
+
+let genome : Gp.Expr.genome = Gp.Expr.Real expr

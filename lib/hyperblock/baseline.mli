@@ -1,0 +1,13 @@
+(** Trimaran/IMPACT's baseline hyperblock-selection priority function,
+    Equation (1) of the paper:
+
+    priority_i = exec_ratio_i * h_i * (2.1 - d_ratio_i - o_ratio_i)
+
+    with h_i = 0.25 on paths containing a hazard and 1 otherwise. *)
+
+val source : string
+(** Equation (1) in the GP expression syntax; the seed expression for the
+    initial population. *)
+
+val expr : Gp.Expr.rexpr
+val genome : Gp.Expr.genome

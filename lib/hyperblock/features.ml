@@ -1,0 +1,96 @@
+(* Hyperblock-selection features (Table 4 of the paper).
+
+   Per-path features are extracted for every enumerated path of a region;
+   following the paper, the min, mean, max and standard deviation of each
+   real-valued path characteristic over all paths in the region are also
+   provided, giving the greedy local heuristic some global information. *)
+
+let path_reals =
+  [ "exec_ratio"; "dep_height"; "num_ops"; "num_branches"; "predict_product" ]
+
+let aggregates = [ "mean"; "min"; "max"; "std" ]
+
+let feature_set : Gp.Feature_set.t =
+  let reals =
+    path_reals
+    @ [ "d_ratio"; "o_ratio" ]
+    @ List.concat_map
+        (fun f -> List.map (fun a -> f ^ "_" ^ a) aggregates)
+        path_reals
+    @ [ "num_paths"; "total_ops" ]
+  in
+  let bools = [ "mem_hazard"; "has_unsafe_jsr"; "has_pointer_deref" ] in
+  Gp.Feature_set.make ~reals ~bools
+
+(* Raw per-path measurements, prior to normalization into a feature
+   environment. *)
+type path_features = {
+  exec_ratio : float;
+  dep_height : float;
+  num_ops : float;
+  num_branches : float;
+  predict_product : float;
+  mem_hazard : bool;
+  has_unsafe_jsr : bool;
+  has_pointer_deref : bool;
+}
+
+let mean xs =
+  match xs with
+  | [] -> 0.0
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let std xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    sqrt (mean (List.map (fun x -> (x -. m) ** 2.0) xs))
+
+let fmin xs = List.fold_left Float.min infinity xs
+let fmax xs = List.fold_left Float.max neg_infinity xs
+
+(* Build the feature environments for all paths of one region at once, so
+   the aggregate features are shared. *)
+let environments (paths : path_features list) ~total_ops :
+    Gp.Feature_set.env list =
+  let fs = feature_set in
+  let n_paths = float_of_int (List.length paths) in
+  let stats_of name select =
+    let values = List.map select paths in
+    [
+      (name ^ "_mean", mean values);
+      (name ^ "_min", fmin values);
+      (name ^ "_max", fmax values);
+      (name ^ "_std", std values);
+    ]
+  in
+  let agg =
+    stats_of "exec_ratio" (fun p -> p.exec_ratio)
+    @ stats_of "dep_height" (fun p -> p.dep_height)
+    @ stats_of "num_ops" (fun p -> p.num_ops)
+    @ stats_of "num_branches" (fun p -> p.num_branches)
+    @ stats_of "predict_product" (fun p -> p.predict_product)
+  in
+  let max_height = fmax (List.map (fun p -> p.dep_height) paths) in
+  let max_ops = fmax (List.map (fun p -> p.num_ops) paths) in
+  List.map
+    (fun p ->
+      let env = Gp.Feature_set.empty_env fs in
+      let set = Gp.Feature_set.set_real fs env in
+      set "exec_ratio" p.exec_ratio;
+      set "dep_height" p.dep_height;
+      set "num_ops" p.num_ops;
+      set "num_branches" p.num_branches;
+      set "predict_product" p.predict_product;
+      set "d_ratio" (if max_height > 0.0 then p.dep_height /. max_height else 0.0);
+      set "o_ratio" (if max_ops > 0.0 then p.num_ops /. max_ops else 0.0);
+      List.iter (fun (name, v) -> set name v) agg;
+      set "num_paths" n_paths;
+      set "total_ops" (float_of_int total_ops);
+      let setb = Gp.Feature_set.set_bool fs env in
+      setb "mem_hazard" p.mem_hazard;
+      setb "has_unsafe_jsr" p.has_unsafe_jsr;
+      setb "has_pointer_deref" p.has_pointer_deref;
+      env)
+    paths

@@ -1,0 +1,25 @@
+(** Hyperblock-selection features (the paper's Table 4), plus the min /
+    mean / max / standard deviation of every real-valued path
+    characteristic over the region's paths, and [num_paths] /
+    [total_ops] — the global context the paper gives the greedy local
+    heuristic. *)
+
+val feature_set : Gp.Feature_set.t
+
+(** Raw per-path measurements, before normalization into a feature
+    environment. *)
+type path_features = {
+  exec_ratio : float;       (** profile path frequency, relative *)
+  dep_height : float;       (** latency-weighted critical path *)
+  num_ops : float;
+  num_branches : float;
+  predict_product : float;  (** product of branch predictabilities *)
+  mem_hazard : bool;
+  has_unsafe_jsr : bool;
+  has_pointer_deref : bool;
+}
+
+val environments :
+  path_features list -> total_ops:int -> Gp.Feature_set.env list
+(** Environments for all paths of one region at once, sharing the
+    aggregate features. *)

@@ -1,0 +1,36 @@
+(** Discovery of predicatable regions and enumeration of their paths of
+    control [Park & Schlansker 91, simplified].
+
+    Two region shapes: hammocks (a conditional branch to its immediate
+    postdominator) and innermost loop bodies (merging one produces a
+    self-looping hyperblock, the shape Trimaran gets from unrolled
+    loops).  A block is mergeable if all its predecessors are inside the
+    region, it is not already predicated, and it is not in a nested loop;
+    only complete entry-to-stop paths through mergeable blocks are
+    candidates for inclusion. *)
+
+type path = { labels : Ir.Types.label list  (** entry .. last *) }
+
+type t = {
+  fname : string;
+  entry : Ir.Types.label;
+  stop : Ir.Types.label;  (** paths end on an edge to this label *)
+  kind : [ `Hammock | `Loop_body ];
+  mergeable : Ir.Types.label list;  (** reverse postorder, entry first *)
+  paths : path list;
+}
+
+type limits = {
+  max_blocks : int;
+  max_paths : int;
+  max_path_len : int;
+}
+
+val default_limits : limits
+
+val is_predicated : Ir.Func.block -> bool
+(** Already contains guarded instructions, predicate defines or side
+    exits — cannot participate in another region. *)
+
+val discover : ?limits:limits -> Ir.Func.t -> t list
+(** All candidate regions of a function, loop bodies first. *)

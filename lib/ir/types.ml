@@ -1,0 +1,54 @@
+(* Core IR types: a predicated three-address code over virtual registers.
+
+   Registers are integers; register 0 is never allocated so it can serve as
+   a sentinel.  Predicate register 0 is the always-true predicate, mirroring
+   p0 on IA-64.  Labels are strings, unique within a function. *)
+
+type reg = int
+type pred = int
+type label = string
+
+(* The always-true predicate guarding unpredicated instructions. *)
+let p_true : pred = 0
+
+type operand =
+  | Reg of reg
+  | Imm of int
+  | Fimm of float
+
+type icmp = Ceq | Cne | Clt | Cle | Cgt | Cge
+
+type ibinop =
+  | Add | Sub | Mul | Div | Rem
+  | Band | Bor | Bxor | Shl | Shr
+
+type fbinop = Fadd | Fsub | Fmul | Fdiv
+
+type funop = Fneg | Fabs | Fsqrt
+
+(* Intrinsic pure functions evaluated by the interpreter; they model library
+   math routines with a fixed latency instead of a call hazard. *)
+type intrinsic = Isin | Icos | Iexp | Ilog | Imin | Imax | Ifmin | Ifmax
+
+let string_of_icmp = function
+  | Ceq -> "eq" | Cne -> "ne" | Clt -> "lt" | Cle -> "le"
+  | Cgt -> "gt" | Cge -> "ge"
+
+let string_of_ibinop = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Rem -> "rem"
+  | Band -> "and" | Bor -> "or" | Bxor -> "xor" | Shl -> "shl" | Shr -> "shr"
+
+let string_of_fbinop = function
+  | Fadd -> "fadd" | Fsub -> "fsub" | Fmul -> "fmul" | Fdiv -> "fdiv"
+
+let string_of_funop = function
+  | Fneg -> "fneg" | Fabs -> "fabs" | Fsqrt -> "fsqrt"
+
+let string_of_intrinsic = function
+  | Isin -> "sin" | Icos -> "cos" | Iexp -> "exp" | Ilog -> "log"
+  | Imin -> "min" | Imax -> "max" | Ifmin -> "fmin" | Ifmax -> "fmax"
+
+let pp_operand ppf = function
+  | Reg r -> Fmt.pf ppf "r%d" r
+  | Imm i -> Fmt.pf ppf "%d" i
+  | Fimm f -> Fmt.pf ppf "%g" f

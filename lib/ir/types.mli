@@ -1,0 +1,41 @@
+(** Core IR types: a predicated three-address code over virtual
+    registers. *)
+
+type reg = int
+(** Virtual register index; register 0 is never allocated. *)
+
+type pred = int
+(** Predicate register index. *)
+
+type label = string
+(** Basic-block label, unique within a function. *)
+
+val p_true : pred
+(** The always-true predicate guarding unpredicated instructions
+    (p0 on IA-64). *)
+
+type operand =
+  | Reg of reg
+  | Imm of int
+  | Fimm of float
+
+type icmp = Ceq | Cne | Clt | Cle | Cgt | Cge
+
+type ibinop =
+  | Add | Sub | Mul | Div | Rem
+  | Band | Bor | Bxor | Shl | Shr
+
+type fbinop = Fadd | Fsub | Fmul | Fdiv
+
+type funop = Fneg | Fabs | Fsqrt
+
+(** Intrinsic pure math functions with fixed latency (they model library
+    routines without acting as call hazards). *)
+type intrinsic = Isin | Icos | Iexp | Ilog | Imin | Imax | Ifmin | Ifmax
+
+val string_of_icmp : icmp -> string
+val string_of_ibinop : ibinop -> string
+val string_of_fbinop : fbinop -> string
+val string_of_funop : funop -> string
+val string_of_intrinsic : intrinsic -> string
+val pp_operand : Format.formatter -> operand -> unit

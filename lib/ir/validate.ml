@@ -1,0 +1,114 @@
+(* Structural well-formedness checks for IR programs.  Run after the
+   frontend and after every transformation pass in tests: a pass that
+   produces an ill-formed function is a bug in the pass, not a candidate
+   for "better fitness". *)
+
+type error = {
+  where : string;   (* function / block *)
+  what : string;
+}
+
+let err where fmt = Printf.ksprintf (fun what -> { where; what }) fmt
+
+let pp_error ppf e = Fmt.pf ppf "%s: %s" e.where e.what
+
+let check_func (p : Func.program) (f : Func.t) : error list =
+  let errors = ref [] in
+  let add e = errors := e :: !errors in
+  let labels = List.map (fun (b : Func.block) -> b.Func.blabel) f.blocks in
+  let label_set = Hashtbl.create 16 in
+  List.iter
+    (fun l ->
+      if Hashtbl.mem label_set l then
+        add (err f.fname "duplicate label %s" l)
+      else Hashtbl.replace label_set l ())
+    labels;
+  if f.blocks = [] then add (err f.fname "function has no blocks");
+  let check_target where l =
+    if not (Hashtbl.mem label_set l) then
+      add (err where "branch to unknown label %s" l)
+  in
+  List.iter
+    (fun (b : Func.block) ->
+      let where = f.fname ^ ":" ^ b.Func.blabel in
+      List.iter
+        (fun (i : Instr.t) ->
+          (match Instr.def i.kind with
+          | Some d when d <= 0 || d >= f.next_reg ->
+            add (err where "instruction defines out-of-range register r%d" d)
+          | _ -> ());
+          List.iter
+            (fun u ->
+              if u <= 0 || u >= f.next_reg then
+                add (err where "instruction uses out-of-range register r%d" u))
+            (Instr.uses i.kind);
+          if i.guard < 0 || i.guard >= f.next_pred then
+            add (err where "instruction guarded by out-of-range predicate p%d"
+                   i.guard);
+          (match i.kind with
+          | Instr.Exit l -> check_target where l
+          | Instr.Call (_, name, args, _) ->
+            (match List.find_opt (fun g -> g.Func.fname = name) p.funcs with
+            | Some callee ->
+              if List.length callee.params <> List.length args then
+                add (err where "call to %s with %d args, expected %d" name
+                       (List.length args) (List.length callee.params))
+            | None -> add (err where "call to unknown function %s" name))
+          | Instr.Gaddr (_, g) ->
+            if not (List.exists (fun gl -> gl.Func.gname = g) p.globals) then
+              add (err where "gaddr of unknown global %s" g)
+          | _ -> ()))
+        b.instrs;
+      match b.term with
+      | Func.Jmp l -> check_target where l
+      | Func.Br (_, l1, l2) ->
+        check_target where l1;
+        check_target where l2
+      | Func.Ret _ -> ())
+    f.blocks;
+  List.rev !errors
+
+(* Reject call-graph cycles: the interpreter and spill-frame model assume
+   non-recursive programs (each function has a single static frame). *)
+let check_no_recursion (p : Func.program) : error list =
+  let callees f =
+    let acc = ref [] in
+    Func.iter_instrs f (fun _ (i : Instr.t) ->
+        match i.Instr.kind with
+        | Instr.Call (_, name, _, _) -> acc := name :: !acc
+        | _ -> ());
+    !acc
+  in
+  let visiting = Hashtbl.create 8 and done_ = Hashtbl.create 8 in
+  let errors = ref [] in
+  let rec visit name =
+    if Hashtbl.mem done_ name then ()
+    else if Hashtbl.mem visiting name then
+      errors := err name "recursive call cycle detected" :: !errors
+    else begin
+      Hashtbl.replace visiting name ();
+      (match List.find_opt (fun f -> f.Func.fname = name) p.funcs with
+      | Some f -> List.iter visit (callees f)
+      | None -> ());
+      Hashtbl.remove visiting name;
+      Hashtbl.replace done_ name ()
+    end
+  in
+  List.iter (fun f -> visit f.Func.fname) p.funcs;
+  List.rev !errors
+
+let check_program (p : Func.program) : error list =
+  let main_errs =
+    if List.exists (fun f -> f.Func.fname = p.main) p.funcs then []
+    else [ err "program" "missing main function %s" p.main ]
+  in
+  main_errs
+  @ check_no_recursion p
+  @ List.concat_map (check_func p) p.funcs
+
+let check_exn p =
+  match check_program p with
+  | [] -> ()
+  | errs ->
+    let msg = String.concat "; " (List.map (fun e -> Fmt.str "%a" pp_error e) errs) in
+    invalid_arg ("Validate.check_exn: " ^ msg)

@@ -1,0 +1,23 @@
+(** Structural well-formedness checks for IR programs.  A transformation
+    pass that produces ill-formed IR is a bug in the pass, never a
+    candidate for "better fitness". *)
+
+type error = {
+  where : string;   (** function / block *)
+  what : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+val check_func : Func.program -> Func.t -> error list
+(** Duplicate labels, dangling branch targets, out-of-range registers and
+    predicates, bad call arities, unknown globals. *)
+
+val check_no_recursion : Func.program -> error list
+(** The interpreter and spill-frame model require a non-recursive call
+    graph (each function owns one static frame). *)
+
+val check_program : Func.program -> error list
+
+val check_exn : Func.program -> unit
+(** @raise Invalid_argument listing all errors, if any. *)

@@ -1,0 +1,34 @@
+(** Trace-driven EPIC timing simulation.
+
+    The interpreter executes the transformed, scheduled program once and
+    streams its dynamic events into the timing model:
+
+    cycles = sum of executed blocks' schedule lengths
+           + cache stalls beyond an L1 hit per load
+           + prefetch-queue backpressure
+           + misprediction penalty per mispredicted branch
+           + a redirect bubble per taken control transfer.
+
+    [noise] injects multiplicative measurement noise, modelling the real,
+    non-reproducible Itanium of the paper's prefetching study. *)
+
+type result = {
+  cycles : float;
+  output : float list;
+  checksum : int;
+  dynamic_instrs : int;
+  branches : int;
+  mispredicts : int;
+  cache : Cache.stats;
+}
+
+val call_overhead : float
+(** Documentation of the per-call cost embedded in schedule lengths. *)
+
+val run :
+  ?fuel:int -> ?overrides:(string * float array) list ->
+  ?noise:Random.State.t * float -> config:Config.t ->
+  schedule_cycles:int array -> Profile.Layout.t -> result
+(** [schedule_cycles] maps each global block uid of the prepared layout to
+    its VLIW schedule length.
+    @raise Invalid_argument if the array is too short. *)

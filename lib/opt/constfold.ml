@@ -1,0 +1,91 @@
+(* Constant folding: arithmetic and comparisons over immediate operands
+   collapse to moves.  Integer semantics match the interpreter exactly
+   (division and remainder by zero yield zero). *)
+
+let fold_ibin op a b =
+  match op with
+  | Ir.Types.Add -> Some (a + b)
+  | Ir.Types.Sub -> Some (a - b)
+  | Ir.Types.Mul -> Some (a * b)
+  | Ir.Types.Div -> Some (if b = 0 then 0 else a / b)
+  | Ir.Types.Rem -> Some (if b = 0 then 0 else a mod b)
+  | Ir.Types.Band -> Some (a land b)
+  | Ir.Types.Bor -> Some (a lor b)
+  | Ir.Types.Bxor -> Some (a lxor b)
+  | Ir.Types.Shl -> Some (a lsl (b land 63))
+  | Ir.Types.Shr -> Some (a asr (b land 63))
+
+let fold_fbin op a b =
+  match op with
+  | Ir.Types.Fadd -> a +. b
+  | Ir.Types.Fsub -> a -. b
+  | Ir.Types.Fmul -> a *. b
+  | Ir.Types.Fdiv -> if b = 0.0 then 0.0 else a /. b
+
+let fold_icmp c a b =
+  let r =
+    match c with
+    | Ir.Types.Ceq -> a = b
+    | Ir.Types.Cne -> a <> b
+    | Ir.Types.Clt -> a < b
+    | Ir.Types.Cle -> a <= b
+    | Ir.Types.Cgt -> a > b
+    | Ir.Types.Cge -> a >= b
+  in
+  if r then 1 else 0
+
+let fold_kind (k : Ir.Instr.kind) : Ir.Instr.kind =
+  match k with
+  | Ir.Instr.Ibin (op, d, Ir.Types.Imm a, Ir.Types.Imm b) -> (
+    match fold_ibin op a b with
+    | Some v -> Ir.Instr.Mov (d, Ir.Types.Imm v)
+    | None -> k)
+  | Ir.Instr.Fbin (op, d, Ir.Types.Fimm a, Ir.Types.Fimm b) ->
+    Ir.Instr.Mov (d, Ir.Types.Fimm (fold_fbin op a b))
+  | Ir.Instr.Icmp (c, d, Ir.Types.Imm a, Ir.Types.Imm b) ->
+    Ir.Instr.Mov (d, Ir.Types.Imm (fold_icmp c a b))
+  | Ir.Instr.Itof (d, Ir.Types.Imm a) ->
+    Ir.Instr.Mov (d, Ir.Types.Fimm (float_of_int a))
+  | Ir.Instr.Ftoi (d, Ir.Types.Fimm a) ->
+    Ir.Instr.Mov (d, Ir.Types.Imm (int_of_float a))
+  | Ir.Instr.Funop (op, d, Ir.Types.Fimm a) ->
+    Ir.Instr.Mov
+      ( d,
+        Ir.Types.Fimm
+          (match op with
+          | Ir.Types.Fneg -> -.a
+          | Ir.Types.Fabs -> Float.abs a
+          | Ir.Types.Fsqrt -> sqrt (Float.abs a)) )
+  | _ -> k
+
+(* Algebraic identities that do not require both operands constant. *)
+let simplify_kind (k : Ir.Instr.kind) : Ir.Instr.kind =
+  match k with
+  | Ir.Instr.Ibin (Ir.Types.Add, d, a, Ir.Types.Imm 0)
+  | Ir.Instr.Ibin (Ir.Types.Add, d, Ir.Types.Imm 0, a)
+  | Ir.Instr.Ibin (Ir.Types.Sub, d, a, Ir.Types.Imm 0)
+  | Ir.Instr.Ibin (Ir.Types.Mul, d, a, Ir.Types.Imm 1)
+  | Ir.Instr.Ibin (Ir.Types.Mul, d, Ir.Types.Imm 1, a)
+  | Ir.Instr.Ibin (Ir.Types.Div, d, a, Ir.Types.Imm 1) ->
+    Ir.Instr.Mov (d, a)
+  | Ir.Instr.Ibin (Ir.Types.Mul, d, _, Ir.Types.Imm 0)
+  | Ir.Instr.Ibin (Ir.Types.Mul, d, Ir.Types.Imm 0, _) ->
+    Ir.Instr.Mov (d, Ir.Types.Imm 0)
+  | Ir.Instr.Fbin (Ir.Types.Fadd, d, a, Ir.Types.Fimm 0.0)
+  | Ir.Instr.Fbin (Ir.Types.Fadd, d, Ir.Types.Fimm 0.0, a)
+  | Ir.Instr.Fbin (Ir.Types.Fsub, d, a, Ir.Types.Fimm 0.0)
+  | Ir.Instr.Fbin (Ir.Types.Fmul, d, a, Ir.Types.Fimm 1.0)
+  | Ir.Instr.Fbin (Ir.Types.Fmul, d, Ir.Types.Fimm 1.0, a) ->
+    Ir.Instr.Mov (d, a)
+  | _ -> k
+
+let run_block (b : Ir.Func.block) : unit =
+  b.Ir.Func.instrs <-
+    List.map
+      (fun (i : Ir.Instr.t) ->
+        { i with Ir.Instr.kind = simplify_kind (fold_kind i.Ir.Instr.kind) })
+      b.Ir.Func.instrs
+
+let run_func (f : Ir.Func.t) : unit = List.iter run_block f.Ir.Func.blocks
+
+let run (p : Ir.Func.program) : unit = List.iter run_func p.Ir.Func.funcs

@@ -1,0 +1,11 @@
+(** Constant folding with the interpreter's exact integer semantics
+    (division and remainder by zero yield zero), plus algebraic
+    identities. *)
+
+val fold_ibin : Ir.Types.ibinop -> int -> int -> int option
+val fold_kind : Ir.Instr.kind -> Ir.Instr.kind
+val simplify_kind : Ir.Instr.kind -> Ir.Instr.kind
+
+val run_block : Ir.Func.block -> unit
+val run_func : Ir.Func.t -> unit
+val run : Ir.Func.program -> unit

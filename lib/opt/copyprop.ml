@@ -1,0 +1,54 @@
+(* Block-local copy and constant propagation.
+
+   Within one block, after [d = mov src], uses of [d] are rewritten to
+   [src] until either register is redefined.  Only unpredicated moves
+   establish copies, and copies are killed by any predicated definition of
+   either side (a nullified redefinition would make the rewrite wrong). *)
+
+let run_block (b : Ir.Func.block) : unit =
+  (* Map from register to its current known copy source. *)
+  let copy : (Ir.Types.reg, Ir.Types.operand) Hashtbl.t = Hashtbl.create 16 in
+  let kill_reg r =
+    Hashtbl.remove copy r;
+    (* Remove any copies whose source is r. *)
+    let stale =
+      Hashtbl.fold
+        (fun d src acc ->
+          match src with
+          | Ir.Types.Reg s when s = r -> d :: acc
+          | _ -> acc)
+        copy []
+    in
+    List.iter (Hashtbl.remove copy) stale
+  in
+  let subst op =
+    match op with
+    | Ir.Types.Reg r -> (
+      match Hashtbl.find_opt copy r with Some src -> src | None -> op)
+    | _ -> op
+  in
+  b.Ir.Func.instrs <-
+    List.map
+      (fun (i : Ir.Instr.t) ->
+        let kind = Ir.Instr.map_operands subst i.Ir.Instr.kind in
+        let i = { i with Ir.Instr.kind } in
+        (match Ir.Instr.def kind with
+        | Some d -> kill_reg d
+        | None -> ());
+        (match kind with
+        | Ir.Instr.Mov (d, src)
+          when i.Ir.Instr.guard = Ir.Types.p_true && src <> Ir.Types.Reg d ->
+          Hashtbl.replace copy d src
+        | _ -> ());
+        i)
+      b.Ir.Func.instrs;
+  (* Rewrite the terminator through surviving copies. *)
+  b.Ir.Func.term <-
+    (match b.Ir.Func.term with
+    | Ir.Func.Br (c, l1, l2) -> Ir.Func.Br (subst c, l1, l2)
+    | Ir.Func.Ret (Some v) -> Ir.Func.Ret (Some (subst v))
+    | t -> t)
+
+let run_func (f : Ir.Func.t) : unit = List.iter run_block f.Ir.Func.blocks
+
+let run (p : Ir.Func.program) : unit = List.iter run_func p.Ir.Func.funcs

@@ -1,0 +1,6 @@
+(** Block-local copy and constant propagation.  Only unpredicated moves
+    establish copies; any redefinition of either side kills them. *)
+
+val run_block : Ir.Func.block -> unit
+val run_func : Ir.Func.t -> unit
+val run : Ir.Func.program -> unit

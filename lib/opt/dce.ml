@@ -1,0 +1,55 @@
+(* Dead-code elimination.
+
+   A register is observed if any instruction, terminator or call argument
+   anywhere in the function uses it.  Effect-free instructions whose
+   definition is never observed are deleted; iterated to a fixed point so
+   chains of dead computations disappear. *)
+
+let has_effect (i : Ir.Instr.t) =
+  match i.Ir.Instr.kind with
+  | Ir.Instr.Store _ | Ir.Instr.Prefetch _ | Ir.Instr.Emit _
+  | Ir.Instr.Exit _ | Ir.Instr.Pdef _ | Ir.Instr.Pclear _ | Ir.Instr.Por _
+  | Ir.Instr.Pset _ ->
+    true
+  | Ir.Instr.Call (_, _, _, Ir.Instr.Impure) -> true
+  | Ir.Instr.Call (_, _, _, Ir.Instr.Pure) -> false
+  | _ -> false
+
+let used_regs (f : Ir.Func.t) : (Ir.Types.reg, unit) Hashtbl.t =
+  let used = Hashtbl.create 64 in
+  List.iter
+    (fun (b : Ir.Func.block) ->
+      List.iter
+        (fun (i : Ir.Instr.t) ->
+          List.iter
+            (fun r -> Hashtbl.replace used r ())
+            (Ir.Instr.uses i.Ir.Instr.kind))
+        b.Ir.Func.instrs;
+      match b.Ir.Func.term with
+      | Ir.Func.Br (Ir.Types.Reg r, _, _) -> Hashtbl.replace used r ()
+      | Ir.Func.Ret (Some (Ir.Types.Reg r)) -> Hashtbl.replace used r ()
+      | _ -> ())
+    f.Ir.Func.blocks;
+  used
+
+let run_func (f : Ir.Func.t) : unit =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let used = used_regs f in
+    List.iter
+      (fun (b : Ir.Func.block) ->
+        let keep (i : Ir.Instr.t) =
+          has_effect i
+          ||
+          match Ir.Instr.def i.Ir.Instr.kind with
+          | Some d -> Hashtbl.mem used d
+          | None -> true
+        in
+        let before = List.length b.Ir.Func.instrs in
+        b.Ir.Func.instrs <- List.filter keep b.Ir.Func.instrs;
+        if List.length b.Ir.Func.instrs <> before then changed := true)
+      f.Ir.Func.blocks
+  done
+
+let run (p : Ir.Func.program) : unit = List.iter run_func p.Ir.Func.funcs

@@ -1,0 +1,5 @@
+(** Dead-code elimination: effect-free instructions whose definitions are
+    never observed anywhere in the function, iterated to a fixed point. *)
+
+val run_func : Ir.Func.t -> unit
+val run : Ir.Func.program -> unit

@@ -1,0 +1,53 @@
+(* Function-wide propagation of uniquely-defined constants and copies.
+
+   A register with exactly one (unpredicated) definition in the whole
+   function behaves like an SSA name: if that definition is a move of an
+   immediate, every use can read the immediate directly; if it is a move
+   of another uniquely-defined register, uses can read through the copy.
+   This is the cross-block complement of the block-local [Copyprop] and
+   feeds loop-bound recovery everywhere (e.g. [dim - 1] conditions). *)
+
+let run_func (f : Ir.Func.t) : unit =
+  (* Count definitions per register; parameters count as a definition. *)
+  let defs = Array.make f.Ir.Func.next_reg 0 in
+  List.iter (fun p -> defs.(p) <- defs.(p) + 1) f.Ir.Func.params;
+  let def_kind : (int, Ir.Instr.kind) Hashtbl.t = Hashtbl.create 64 in
+  Ir.Func.iter_instrs f (fun _ (i : Ir.Instr.t) ->
+      match Ir.Instr.def i.Ir.Instr.kind with
+      | Some d ->
+        defs.(d) <- defs.(d) + 1;
+        if i.Ir.Instr.guard = Ir.Types.p_true then
+          Hashtbl.replace def_kind d i.Ir.Instr.kind
+      | None -> ());
+  (* Resolve a uniquely-defined register to an immediate, reading through
+     chains of unique moves.  Depth-bounded against surprises. *)
+  let rec const_of depth r =
+    if depth <= 0 || defs.(r) <> 1 then None
+    else
+      match Hashtbl.find_opt def_kind r with
+      | Some (Ir.Instr.Mov (_, Ir.Types.Imm k)) -> Some (Ir.Types.Imm k)
+      | Some (Ir.Instr.Mov (_, Ir.Types.Fimm k)) -> Some (Ir.Types.Fimm k)
+      | Some (Ir.Instr.Mov (_, Ir.Types.Reg s)) -> const_of (depth - 1) s
+      | _ -> None
+  in
+  let subst op =
+    match op with
+    | Ir.Types.Reg r -> (
+      match const_of 8 r with Some c -> c | None -> op)
+    | _ -> op
+  in
+  List.iter
+    (fun (b : Ir.Func.block) ->
+      b.Ir.Func.instrs <-
+        List.map
+          (fun (i : Ir.Instr.t) ->
+            { i with Ir.Instr.kind = Ir.Instr.map_operands subst i.Ir.Instr.kind })
+          b.Ir.Func.instrs;
+      b.Ir.Func.term <-
+        (match b.Ir.Func.term with
+        | Ir.Func.Br (c, l1, l2) -> Ir.Func.Br (subst c, l1, l2)
+        | Ir.Func.Ret (Some v) -> Ir.Func.Ret (Some (subst v))
+        | t -> t))
+    f.Ir.Func.blocks
+
+let run (p : Ir.Func.program) : unit = List.iter run_func p.Ir.Func.funcs

@@ -1,0 +1,6 @@
+(** Function-wide propagation of uniquely-defined constants and copies:
+    registers with exactly one unpredicated definition behave like SSA
+    names, so a unique [mov r, imm] can feed every use across blocks. *)
+
+val run_func : Ir.Func.t -> unit
+val run : Ir.Func.program -> unit

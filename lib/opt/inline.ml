@@ -1,0 +1,170 @@
+(* Function inlining, one of the optimizations the paper's experimental
+   setup enables in Trimaran.
+
+   A call site is inlined when the callee is small: the caller's block is
+   split around the call, the callee's blocks are cloned with fresh labels
+   and a fresh register window, parameters become moves, and every return
+   becomes a jump to the continuation (with a move of the return value).
+   The call graph is acyclic by construction (the validator rejects
+   recursion), so repeated passes reach a fixed point. *)
+
+type config = {
+  max_callee_instrs : int;
+  max_callee_blocks : int;
+  (* Stop inlining into a caller once it has grown beyond this many
+     instructions. *)
+  max_caller_instrs : int;
+}
+
+let default_config =
+  { max_callee_instrs = 48; max_callee_blocks = 8; max_caller_instrs = 600 }
+
+let inlinable (config : config) (callee : Ir.Func.t) =
+  List.length callee.Ir.Func.blocks <= config.max_callee_blocks
+  && Ir.Func.instr_count callee <= config.max_callee_instrs
+
+let clone_counter = Atomic.make 0
+
+(* Remap a callee operand into the caller's register window. *)
+let remap_operand ~base (op : Ir.Types.operand) : Ir.Types.operand =
+  match op with
+  | Ir.Types.Reg r -> Ir.Types.Reg (base + r)
+  | Ir.Types.Imm _ | Ir.Types.Fimm _ -> op
+
+(* Inline one [call] instruction found in [caller]'s block [blk] at
+   position [pos].  Returns true when performed. *)
+let inline_site (caller : Ir.Func.t) (callee : Ir.Func.t)
+    (blk : Ir.Func.block) ~(pos : int) ~(dest : Ir.Types.reg option)
+    ~(args : Ir.Types.operand list) : unit =
+  let gen = Atomic.fetch_and_add clone_counter 1 in
+  let tag l = Printf.sprintf "%s$i%d_%s" blk.Ir.Func.blabel gen l in
+  (* Fresh register window for the callee's registers. *)
+  let reg_base = caller.Ir.Func.next_reg in
+  caller.Ir.Func.next_reg <-
+    caller.Ir.Func.next_reg + callee.Ir.Func.next_reg + 1;
+  let before = List.filteri (fun i _ -> i < pos) blk.Ir.Func.instrs in
+  let after = List.filteri (fun i _ -> i > pos) blk.Ir.Func.instrs in
+  let cont_label = tag "cont" in
+  (* Parameter moves appended to the first half of the split block. *)
+  let param_moves =
+    List.map2
+      (fun p arg ->
+        Ir.Instr.make ~id:(Ir.Func.fresh_instr_id caller)
+          (Ir.Instr.Mov (reg_base + p, arg)))
+      callee.Ir.Func.params args
+  in
+  (* Clone the callee's blocks. *)
+  let cloned =
+    List.map
+      (fun (b : Ir.Func.block) ->
+        let instrs =
+          List.map
+            (fun (i : Ir.Instr.t) ->
+              assert (i.Ir.Instr.guard = Ir.Types.p_true);
+              let kind =
+                Ir.Instr.map_operands (remap_operand ~base:reg_base)
+                  i.Ir.Instr.kind
+              in
+              let kind = Ir.Instr.map_def (fun d -> reg_base + d) kind in
+              let kind =
+                match kind with
+                | Ir.Instr.Exit l -> Ir.Instr.Exit (tag l)
+                | _ -> kind
+              in
+              Ir.Instr.make ~id:(Ir.Func.fresh_instr_id caller) kind)
+            b.Ir.Func.instrs
+        in
+        let term, ret_moves =
+          match b.Ir.Func.term with
+          | Ir.Func.Jmp l -> (Ir.Func.Jmp (tag l), [])
+          | Ir.Func.Br (c, l1, l2) ->
+            (Ir.Func.Br (remap_operand ~base:reg_base c, tag l1, tag l2), [])
+          | Ir.Func.Ret v ->
+            let moves =
+              match (dest, v) with
+              | Some d, Some v ->
+                [
+                  Ir.Instr.make ~id:(Ir.Func.fresh_instr_id caller)
+                    (Ir.Instr.Mov (d, remap_operand ~base:reg_base v));
+                ]
+              | Some d, None ->
+                [
+                  Ir.Instr.make ~id:(Ir.Func.fresh_instr_id caller)
+                    (Ir.Instr.Mov (d, Ir.Types.Imm 0));
+                ]
+              | None, _ -> []
+            in
+            (Ir.Func.Jmp cont_label, moves)
+        in
+        {
+          Ir.Func.blabel = tag b.Ir.Func.blabel;
+          instrs = instrs @ ret_moves;
+          term;
+        })
+      callee.Ir.Func.blocks
+  in
+  let entry_label =
+    match callee.Ir.Func.blocks with
+    | b :: _ -> tag b.Ir.Func.blabel
+    | [] -> assert false
+  in
+  let cont_block =
+    { Ir.Func.blabel = cont_label; instrs = after; term = blk.Ir.Func.term }
+  in
+  blk.Ir.Func.instrs <- before @ param_moves;
+  blk.Ir.Func.term <- Ir.Func.Jmp entry_label;
+  (* Keep block order: continuation and clones right after the split
+     block. *)
+  let rec insert_after = function
+    | [] -> []
+    | (b : Ir.Func.block) :: rest when b.Ir.Func.blabel = blk.Ir.Func.blabel
+      -> (b :: cloned) @ (cont_block :: rest)
+    | b :: rest -> b :: insert_after rest
+  in
+  caller.Ir.Func.blocks <- insert_after caller.Ir.Func.blocks;
+  (* The callee may need more predicates than the caller reserved. *)
+  caller.Ir.Func.next_pred <-
+    max caller.Ir.Func.next_pred callee.Ir.Func.next_pred
+
+(* Find the first inlinable call site in a function. *)
+let find_site (config : config) (p : Ir.Func.program) (caller : Ir.Func.t) :
+    (Ir.Func.block * int * Ir.Func.t * Ir.Types.reg option
+     * Ir.Types.operand list)
+    option =
+  if Ir.Func.instr_count caller > config.max_caller_instrs then None
+  else
+    List.find_map
+      (fun (blk : Ir.Func.block) ->
+        List.find_map
+          (fun (pos, (i : Ir.Instr.t)) ->
+            match i.Ir.Instr.kind with
+            | Ir.Instr.Call (dest, name, args, _)
+              when i.Ir.Instr.guard = Ir.Types.p_true ->
+              let callee = Ir.Func.find_func p name in
+              if callee.Ir.Func.fname <> caller.Ir.Func.fname
+                 && inlinable config callee
+              then Some (blk, pos, callee, dest, args)
+              else None
+            | _ -> None)
+          (List.mapi (fun i x -> (i, x)) blk.Ir.Func.instrs))
+      caller.Ir.Func.blocks
+
+let run_func ?(config = default_config) (p : Ir.Func.program)
+    (caller : Ir.Func.t) : int =
+  let inlined = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    match find_site config p caller with
+    | Some (blk, pos, callee, dest, args) ->
+      inline_site caller callee blk ~pos ~dest ~args;
+      incr inlined
+    | None -> continue_ := false
+  done;
+  !inlined
+
+let run ?(config = default_config) (p : Ir.Func.program) : int =
+  (* Process in reverse topological order of the (acyclic) call graph so
+     leaf functions are already fully inlined when their callers copy
+     them.  A simple fixpoint over the function list achieves the same
+     result because sites re-expose after each pass. *)
+  List.fold_left (fun acc f -> acc + run_func ~config p f) 0 p.Ir.Func.funcs

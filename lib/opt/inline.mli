@@ -1,0 +1,18 @@
+(** Function inlining (one of the optimizations the paper's setup enables
+    in Trimaran).  Small callees are cloned into their callers with fresh
+    labels and a fresh register window; returns become jumps to the
+    continuation.  The call graph is acyclic by construction, so repeated
+    passes terminate. *)
+
+type config = {
+  max_callee_instrs : int;
+  max_callee_blocks : int;
+  max_caller_instrs : int;  (** growth cap per caller *)
+}
+
+val default_config : config
+
+val run_func : ?config:config -> Ir.Func.program -> Ir.Func.t -> int
+(** Returns the number of call sites inlined into the function. *)
+
+val run : ?config:config -> Ir.Func.program -> int

@@ -1,0 +1,57 @@
+(* Machine-oriented peephole rewrites, the "machine-specific peephole
+   optimization" of the paper's Trimaran setup:
+
+   - strength reduction: multiply by a power of two becomes a shift
+     (3-cycle multiply -> 1-cycle shift on the Table 3 machine);
+   - additive self: x + x becomes x << 1;
+   - shifts by zero and self-moves disappear;
+   - double negation folds.
+
+   Division is deliberately not strength-reduced: truncation toward zero
+   differs from an arithmetic shift on negative operands. *)
+
+let log2_exact k =
+  if k <= 0 then None
+  else
+    let rec go v p = if v = 1 then Some p else if v land 1 = 1 then None
+      else go (v lsr 1) (p + 1)
+    in
+    go k 0
+
+let rewrite (k : Ir.Instr.kind) : Ir.Instr.kind =
+  match k with
+  | Ir.Instr.Ibin (Ir.Types.Mul, d, a, Ir.Types.Imm c)
+  | Ir.Instr.Ibin (Ir.Types.Mul, d, Ir.Types.Imm c, a) -> (
+    match log2_exact c with
+    | Some p -> Ir.Instr.Ibin (Ir.Types.Shl, d, a, Ir.Types.Imm p)
+    | None -> k)
+  | Ir.Instr.Ibin (Ir.Types.Add, d, Ir.Types.Reg a, Ir.Types.Reg b)
+    when a = b ->
+    Ir.Instr.Ibin (Ir.Types.Shl, d, Ir.Types.Reg a, Ir.Types.Imm 1)
+  | Ir.Instr.Ibin ((Ir.Types.Shl | Ir.Types.Shr), d, a, Ir.Types.Imm 0) ->
+    Ir.Instr.Mov (d, a)
+  | Ir.Instr.Funop (Ir.Types.Fneg, d, a) -> (
+    (* Double negation is caught at the operand level by copyprop; here
+       only the trivial -0.0 constant case remains. *)
+    match a with
+    | Ir.Types.Fimm f -> Ir.Instr.Mov (d, Ir.Types.Fimm (-.f))
+    | _ -> k)
+  | _ -> k
+
+(* Self-moves (r = mov r) are pure no-ops once copy propagation has run. *)
+let is_self_move (i : Ir.Instr.t) =
+  match i.Ir.Instr.kind with
+  | Ir.Instr.Mov (d, Ir.Types.Reg s) -> d = s
+  | _ -> false
+
+let run_block (b : Ir.Func.block) : unit =
+  b.Ir.Func.instrs <-
+    List.filter_map
+      (fun (i : Ir.Instr.t) ->
+        if is_self_move i then None
+        else Some { i with Ir.Instr.kind = rewrite i.Ir.Instr.kind })
+      b.Ir.Func.instrs
+
+let run_func (f : Ir.Func.t) : unit = List.iter run_block f.Ir.Func.blocks
+
+let run (p : Ir.Func.program) : unit = List.iter run_func p.Ir.Func.funcs

@@ -1,0 +1,10 @@
+(** Machine-oriented peephole rewrites (strength reduction of power-of-two
+    multiplies to shifts, x+x to a shift, no-op shift and self-move
+    removal).  Division is never strength-reduced: truncation toward zero
+    differs from an arithmetic shift on negatives. *)
+
+val log2_exact : int -> int option
+val rewrite : Ir.Instr.kind -> Ir.Instr.kind
+val run_block : Ir.Func.block -> unit
+val run_func : Ir.Func.t -> unit
+val run : Ir.Func.program -> unit

@@ -1,0 +1,42 @@
+(* Standard scalar optimization pipeline, run after lowering and before
+   the heuristic-driven passes under study.  Mirrors the "classic
+   optimizations" Trimaran enables in the paper's experimental setup. *)
+
+type config = {
+  inline : Inline.config option;
+  unroll : Unroll.config option;
+  iterations : int;      (* fold/prop/dce rounds *)
+}
+
+let default =
+  {
+    inline = Some Inline.default_config;
+    unroll = Some Unroll.default_config;
+    iterations = 2;
+  }
+
+let no_unroll = { default with unroll = None }
+
+let scalar_round (p : Ir.Func.program) : unit =
+  Constfold.run p;
+  Copyprop.run p;
+  Globprop.run p;
+  Constfold.run p;
+  Peephole.run p;
+  Dce.run p;
+  Simplify_cfg.run p
+
+let run ?(config = default) (p : Ir.Func.program) : unit =
+  for _ = 1 to config.iterations do
+    scalar_round p
+  done;
+  (match config.inline with
+  | Some i ->
+    if Inline.run ~config:i p > 0 then scalar_round p
+  | None -> ());
+  (match config.unroll with
+  | Some u ->
+    Unroll.run ~config:u p;
+    scalar_round p
+  | None -> ());
+  List.iter Ir.Func.renumber p.Ir.Func.funcs

@@ -1,0 +1,18 @@
+(** The standard scalar pipeline run after lowering and before the
+    heuristic-driven passes: fold/propagate/DCE/simplify rounds, inlining,
+    and loop unrolling. *)
+
+type config = {
+  inline : Inline.config option;
+  unroll : Unroll.config option;
+  iterations : int;
+}
+
+val default : config
+
+val no_unroll : config
+(** Used by the prefetching study: ORC's prefetch phase runs on clean
+    loop nests, which unrolling would obscure. *)
+
+val scalar_round : Ir.Func.program -> unit
+val run : ?config:config -> Ir.Func.program -> unit

@@ -1,0 +1,156 @@
+(* CFG simplification: jump threading through empty blocks, merging of
+   straight-line block pairs, and removal of unreachable blocks.  Merging
+   grows basic blocks, which both the list scheduler and hyperblock
+   formation feed on (this is the moral equivalent of Trimaran's backedge
+   coalescing setup). *)
+
+(* Retarget every control transfer in [f] according to [redirect]. *)
+let retarget (f : Ir.Func.t) (redirect : Ir.Types.label -> Ir.Types.label) :
+    unit =
+  List.iter
+    (fun (b : Ir.Func.block) ->
+      b.Ir.Func.instrs <-
+        List.map
+          (fun (i : Ir.Instr.t) ->
+            match i.Ir.Instr.kind with
+            | Ir.Instr.Exit l ->
+              { i with Ir.Instr.kind = Ir.Instr.Exit (redirect l) }
+            | _ -> i)
+          b.Ir.Func.instrs;
+      b.Ir.Func.term <-
+        (match b.Ir.Func.term with
+        | Ir.Func.Jmp l -> Ir.Func.Jmp (redirect l)
+        | Ir.Func.Br (c, l1, l2) -> Ir.Func.Br (c, redirect l1, redirect l2)
+        | Ir.Func.Ret _ as t -> t))
+    f.Ir.Func.blocks
+
+(* Thread jumps through empty blocks whose terminator is an unconditional
+   jump. *)
+let thread_jumps (f : Ir.Func.t) : bool =
+  let trivial = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Ir.Func.block) ->
+      match (b.Ir.Func.instrs, b.Ir.Func.term) with
+      | [], Ir.Func.Jmp target when target <> b.Ir.Func.blabel ->
+        Hashtbl.replace trivial b.Ir.Func.blabel target
+      | _ -> ())
+    f.Ir.Func.blocks;
+  if Hashtbl.length trivial = 0 then false
+  else begin
+    (* Resolve chains, guarding against cycles of empty blocks. *)
+    let rec resolve seen l =
+      match Hashtbl.find_opt trivial l with
+      | Some next when not (List.mem next seen) -> resolve (l :: seen) next
+      | _ -> l
+    in
+    let entry_label =
+      match f.Ir.Func.blocks with
+      | b :: _ -> b.Ir.Func.blabel
+      | [] -> ""
+    in
+    retarget f (fun l -> resolve [] l);
+    (* Drop now-unreferenced empty blocks (except the entry). *)
+    let referenced = Hashtbl.create 16 in
+    Hashtbl.replace referenced entry_label ();
+    List.iter
+      (fun (b : Ir.Func.block) ->
+        List.iter
+          (fun l -> Hashtbl.replace referenced l ())
+          (Ir.Func.successors b))
+      f.Ir.Func.blocks;
+    f.Ir.Func.blocks <-
+      List.filter
+        (fun (b : Ir.Func.block) ->
+          Hashtbl.mem referenced b.Ir.Func.blabel
+          || not (Hashtbl.mem trivial b.Ir.Func.blabel))
+        f.Ir.Func.blocks;
+    true
+  end
+
+(* Merge [a; jmp b] with [b] when b's only predecessor is a and b is not
+   the entry block. *)
+let merge_pairs (f : Ir.Func.t) : bool =
+  let pred_count = Hashtbl.create 16 in
+  let bump l =
+    Hashtbl.replace pred_count l
+      (1 + Option.value ~default:0 (Hashtbl.find_opt pred_count l))
+  in
+  List.iter
+    (fun (b : Ir.Func.block) -> List.iter bump (Ir.Func.successors b))
+    f.Ir.Func.blocks;
+  let entry_label =
+    match f.Ir.Func.blocks with b :: _ -> b.Ir.Func.blabel | [] -> ""
+  in
+  let by_label = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Ir.Func.block) -> Hashtbl.replace by_label b.Ir.Func.blabel b)
+    f.Ir.Func.blocks;
+  let merged_away = Hashtbl.create 8 in
+  let changed = ref false in
+  List.iter
+    (fun (a : Ir.Func.block) ->
+      if not (Hashtbl.mem merged_away a.Ir.Func.blabel) then begin
+        (* Follow a chain of mergeable successors. *)
+        let continue_ = ref true in
+        while !continue_ do
+          match a.Ir.Func.term with
+          | Ir.Func.Jmp l
+            when l <> entry_label
+                 && l <> a.Ir.Func.blabel
+                 && Option.value ~default:0 (Hashtbl.find_opt pred_count l) = 1
+            -> (
+            match Hashtbl.find_opt by_label l with
+            | Some b when not (Hashtbl.mem merged_away l) ->
+              a.Ir.Func.instrs <- a.Ir.Func.instrs @ b.Ir.Func.instrs;
+              a.Ir.Func.term <- b.Ir.Func.term;
+              Hashtbl.replace merged_away l ();
+              changed := true
+            | _ -> continue_ := false)
+          | _ -> continue_ := false
+        done
+      end)
+    f.Ir.Func.blocks;
+  f.Ir.Func.blocks <-
+    List.filter
+      (fun (b : Ir.Func.block) -> not (Hashtbl.mem merged_away b.Ir.Func.blabel))
+      f.Ir.Func.blocks;
+  !changed
+
+let remove_unreachable (f : Ir.Func.t) : unit =
+  match f.Ir.Func.blocks with
+  | [] -> ()
+  | entry :: _ ->
+    let by_label = Hashtbl.create 16 in
+    List.iter
+      (fun (b : Ir.Func.block) -> Hashtbl.replace by_label b.Ir.Func.blabel b)
+      f.Ir.Func.blocks;
+    let reachable = Hashtbl.create 16 in
+    let rec dfs (b : Ir.Func.block) =
+      if not (Hashtbl.mem reachable b.Ir.Func.blabel) then begin
+        Hashtbl.replace reachable b.Ir.Func.blabel ();
+        List.iter
+          (fun l ->
+            match Hashtbl.find_opt by_label l with
+            | Some b' -> dfs b'
+            | None -> ())
+          (Ir.Func.successors b)
+      end
+    in
+    dfs entry;
+    f.Ir.Func.blocks <-
+      List.filter
+        (fun (b : Ir.Func.block) -> Hashtbl.mem reachable b.Ir.Func.blabel)
+        f.Ir.Func.blocks
+
+let run_func (f : Ir.Func.t) : unit =
+  let rec fix n =
+    if n > 0 then begin
+      let c1 = thread_jumps f in
+      let c2 = merge_pairs f in
+      if c1 || c2 then fix (n - 1)
+    end
+  in
+  fix 10;
+  remove_unreachable f
+
+let run (p : Ir.Func.program) : unit = List.iter run_func p.Ir.Func.funcs

@@ -1,0 +1,10 @@
+(** CFG simplification: jump threading through empty blocks, merging of
+    straight-line block pairs (the backedge-coalescing effect the paper's
+    setup relies on), and unreachable-block removal. *)
+
+val retarget : Ir.Func.t -> (Ir.Types.label -> Ir.Types.label) -> unit
+val thread_jumps : Ir.Func.t -> bool
+val merge_pairs : Ir.Func.t -> bool
+val remove_unreachable : Ir.Func.t -> unit
+val run_func : Ir.Func.t -> unit
+val run : Ir.Func.program -> unit

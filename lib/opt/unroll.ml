@@ -1,0 +1,143 @@
+(* Loop unrolling.
+
+   Innermost natural loops below a size threshold are unrolled by cloning
+   the whole loop body (header included) and chaining the back edges:
+   original -> copy1 -> ... -> original header.  Exit edges of every copy
+   keep their original targets, so trip counts that do not divide the
+   unroll factor remain correct.  Registers are deliberately not renamed —
+   copies execute sequentially, never concurrently.
+
+   On its own this transformation changes little; its payoff is the large
+   acyclic region it hands to hyperblock formation and the scheduler, the
+   same pipeline structure Trimaran uses. *)
+
+type config = {
+  factor : int;            (* total copies of the body after unrolling *)
+  max_blocks : int;
+  max_instrs : int;
+}
+
+let default_config = { factor = 2; max_blocks = 6; max_instrs = 48 }
+
+let clone_counter = Atomic.make 0
+
+let clone_label l gen = Printf.sprintf "%s$u%d" l gen
+
+let clone_block (f : Ir.Func.t) (b : Ir.Func.block) gen : Ir.Func.block =
+  {
+    Ir.Func.blabel = clone_label b.Ir.Func.blabel gen;
+    instrs =
+      List.map
+        (fun (i : Ir.Instr.t) ->
+          { i with Ir.Instr.id = Ir.Func.fresh_instr_id f })
+        b.Ir.Func.instrs;
+    term = b.Ir.Func.term;
+  }
+
+(* Rewrite targets of a cloned block: in-loop targets point into the same
+   copy; the header target (the back edge) points at [next_header]. *)
+let rewire (b : Ir.Func.block) ~in_loop ~header ~next_header ~gen : unit =
+  let map l =
+    if l = header then next_header
+    else if in_loop l then clone_label l gen
+    else l
+  in
+  b.Ir.Func.instrs <-
+    List.map
+      (fun (i : Ir.Instr.t) ->
+        match i.Ir.Instr.kind with
+        | Ir.Instr.Exit l -> { i with Ir.Instr.kind = Ir.Instr.Exit (map l) }
+        | _ -> i)
+      b.Ir.Func.instrs;
+  b.Ir.Func.term <-
+    (match b.Ir.Func.term with
+    | Ir.Func.Jmp l -> Ir.Func.Jmp (map l)
+    | Ir.Func.Br (c, l1, l2) -> Ir.Func.Br (c, map l1, map l2)
+    | Ir.Func.Ret _ as t -> t)
+
+let loop_size (g : Ir.Cfg.t) (l : Ir.Cfg.loop) =
+  List.fold_left
+    (fun acc bi ->
+      acc + List.length (Ir.Cfg.block_of g bi).Ir.Func.instrs)
+    0 l.Ir.Cfg.body
+
+(* Is [l] innermost (no other loop header strictly inside it)? *)
+let innermost (loops : Ir.Cfg.loop list) (l : Ir.Cfg.loop) =
+  not
+    (List.exists
+       (fun (l' : Ir.Cfg.loop) ->
+         l'.Ir.Cfg.header <> l.Ir.Cfg.header
+         && List.mem l'.Ir.Cfg.header l.Ir.Cfg.body)
+       loops)
+
+let unroll_loop (cfg : config) (f : Ir.Func.t) (g : Ir.Cfg.t)
+    (l : Ir.Cfg.loop) : unit =
+  let header = g.Ir.Cfg.labels.(l.Ir.Cfg.header) in
+  let body_labels = List.map (fun i -> g.Ir.Cfg.labels.(i)) l.Ir.Cfg.body in
+  let in_loop lbl = List.mem lbl body_labels in
+  let body_blocks = List.map (Ir.Func.find_block f) body_labels in
+  let base_gen = (Atomic.fetch_and_add clone_counter 1 + 1) * 1000 in
+  (* Build copies 1 .. factor-1. *)
+  let copies =
+    List.init (cfg.factor - 1) (fun c ->
+        let gen = base_gen + c in
+        let blocks = List.map (fun b -> clone_block f b gen) body_blocks in
+        (gen, blocks))
+  in
+  (* Wire copy c's back edge to copy c+1's header; the last copy's back
+     edge returns to the original header. *)
+  List.iteri
+    (fun idx (gen, blocks) ->
+      let next_header =
+        if idx + 1 < List.length copies then
+          clone_label header (base_gen + idx + 1)
+        else header
+      in
+      List.iter
+        (fun b -> rewire b ~in_loop ~header ~next_header ~gen)
+        blocks)
+    copies;
+  (* Original loop's back edges now enter copy 1. *)
+  (match copies with
+  | (first_gen, _) :: _ ->
+    let first_header = clone_label header first_gen in
+    let remap l = if l = header then first_header else l in
+    List.iter
+      (fun (b : Ir.Func.block) ->
+        b.Ir.Func.instrs <-
+          List.map
+            (fun (i : Ir.Instr.t) ->
+              match i.Ir.Instr.kind with
+              | Ir.Instr.Exit l ->
+                { i with Ir.Instr.kind = Ir.Instr.Exit (remap l) }
+              | _ -> i)
+            b.Ir.Func.instrs;
+        b.Ir.Func.term <-
+          (match b.Ir.Func.term with
+          | Ir.Func.Jmp l -> Ir.Func.Jmp (remap l)
+          | Ir.Func.Br (c, l1, l2) -> Ir.Func.Br (c, remap l1, remap l2)
+          | Ir.Func.Ret _ as t -> t))
+      body_blocks
+  | [] -> ());
+  f.Ir.Func.blocks <-
+    f.Ir.Func.blocks @ List.concat_map (fun (_, bs) -> bs) copies
+
+let run_func ?(config = default_config) (f : Ir.Func.t) : unit =
+  if config.factor > 1 then begin
+    let g = Ir.Cfg.build f in
+    let loops = Ir.Cfg.loops g in
+    let candidates =
+      List.filter
+        (fun l ->
+          innermost loops l
+          && List.length l.Ir.Cfg.body <= config.max_blocks
+          && loop_size g l <= config.max_instrs)
+        loops
+    in
+    (* Unroll against the CFG snapshot: bodies of distinct innermost loops
+       are disjoint, so one snapshot serves them all. *)
+    List.iter (unroll_loop config f g) candidates
+  end
+
+let run ?(config = default_config) (p : Ir.Func.program) : unit =
+  List.iter (run_func ~config) p.Ir.Func.funcs

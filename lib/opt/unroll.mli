@@ -1,0 +1,15 @@
+(** Loop unrolling: innermost natural loops below a size threshold are
+    cloned (header included) with chained back edges; exit edges keep
+    their targets so non-divisible trip counts stay correct.  The payoff
+    is the acyclic region handed to hyperblock formation. *)
+
+type config = {
+  factor : int;       (** total copies of the body *)
+  max_blocks : int;
+  max_instrs : int;
+}
+
+val default_config : config
+
+val run_func : ?config:config -> Ir.Func.t -> unit
+val run : ?config:config -> Ir.Func.program -> unit

@@ -1,0 +1,29 @@
+(** Loop and array-access analysis for software prefetching: the analysis
+    half of Mowry's algorithm.
+
+    Finds basic induction variables, classifies load addresses as affine
+    in an induction variable (yielding a per-iteration word stride), and
+    statically estimates loop trip counts by resolving compare bounds
+    through function-wide constant definition chains. *)
+
+type induction = {
+  ivar : Ir.Types.reg;
+  step : int;
+}
+
+type candidate = {
+  fname : string;
+  block_label : Ir.Types.label;
+  instr_id : int;                (** the load's instruction id *)
+  array : string option;         (** named global, if known *)
+  stride : int option;           (** words per iteration *)
+  loop_header : Ir.Types.label;
+  loop_depth : int;
+  trip_estimate : float option;
+  loads_in_loop : int;           (** reference streams sharing the loop *)
+  body_ops : int;
+}
+
+val candidates : Ir.Func.t -> candidate list
+(** Every load inside a loop, analyzed in its innermost containing
+    loop. *)

@@ -1,0 +1,65 @@
+(* Features for the Boolean prefetch-confidence priority function. *)
+
+let feature_set : Gp.Feature_set.t =
+  Gp.Feature_set.make
+    ~reals:
+      [
+        "stride";            (* words per iteration, 0 when unknown *)
+        "abs_stride";
+        "trip_estimate";     (* static trip-count guess, 0 when unknown *)
+        "loop_depth";
+        "loads_in_loop";
+        "body_ops";
+        "array_size";        (* words; 0 when the array is unknown *)
+        "line_reuse";        (* cache-line words / |stride| *)
+        "cache_pressure";    (* array_size / L1 size *)
+      ]
+    ~bools:
+      [ "stride_known"; "trip_known"; "is_nested"; "stride_lt_line";
+        "large_array" ]
+
+(* ORC's baseline confidence function "is simply based upon how well the
+   compiler can estimate loop trip counts": prefetch whenever the trip
+   count is statically known or looks substantial.  Deliberately
+   aggressive, matching the paper's observation that ORC overzealously
+   prefetches. *)
+let baseline_source = "(or trip_known (gt trip_estimate 4.0))"
+
+let baseline_expr : Gp.Expr.bexpr =
+  Gp.Sexp.parse_bool feature_set baseline_source
+
+let baseline_genome : Gp.Expr.genome = Gp.Expr.Bool baseline_expr
+
+let environment ~(machine : Machine.Config.t) (p : Ir.Func.program)
+    (c : Analysis.candidate) : Gp.Feature_set.env =
+  let fs = feature_set in
+  let env = Gp.Feature_set.empty_env fs in
+  let set = Gp.Feature_set.set_real fs env in
+  let setb = Gp.Feature_set.set_bool fs env in
+  let stride = Option.value ~default:0 c.Analysis.stride in
+  let line = machine.Machine.Config.l1.Machine.Config.line_words in
+  let array_size =
+    match c.Analysis.array with
+    | Some g -> (Ir.Func.find_global p g).Ir.Func.gsize
+    | None -> 0
+  in
+  set "stride" (float_of_int stride);
+  set "abs_stride" (Float.abs (float_of_int stride));
+  set "trip_estimate" (Option.value ~default:0.0 c.Analysis.trip_estimate);
+  set "loop_depth" (float_of_int c.Analysis.loop_depth);
+  set "loads_in_loop" (float_of_int c.Analysis.loads_in_loop);
+  set "body_ops" (float_of_int c.Analysis.body_ops);
+  set "array_size" (float_of_int array_size);
+  set "line_reuse"
+    (if stride = 0 then 0.0
+     else float_of_int line /. Float.abs (float_of_int stride));
+  set "cache_pressure"
+    (float_of_int array_size
+    /. float_of_int machine.Machine.Config.l1.Machine.Config.size_words);
+  setb "stride_known" (c.Analysis.stride <> None);
+  setb "trip_known" (c.Analysis.trip_estimate <> None);
+  setb "is_nested" (c.Analysis.loop_depth > 1);
+  setb "stride_lt_line" (stride <> 0 && abs stride < line);
+  setb "large_array"
+    (array_size > machine.Machine.Config.l1.Machine.Config.size_words);
+  env

@@ -1,0 +1,14 @@
+(** Features for the Boolean prefetch-confidence priority function, and
+    ORC's baseline ("simply based upon how well the compiler can estimate
+    loop trip counts" — deliberately aggressive, matching the paper's
+    observation that ORC overzealously prefetches). *)
+
+val feature_set : Gp.Feature_set.t
+
+val baseline_source : string
+val baseline_expr : Gp.Expr.bexpr
+val baseline_genome : Gp.Expr.genome
+
+val environment :
+  machine:Machine.Config.t -> Ir.Func.program -> Analysis.candidate ->
+  Gp.Feature_set.env

@@ -1,0 +1,94 @@
+(* Prefetch insertion [Mowry 94, as adapted by ORC].
+
+   For every candidate load whose Boolean confidence function says yes and
+   whose stride is known and non-zero, a software prefetch for the address
+   [prefetch_iters] iterations ahead is inserted immediately after the
+   load: one add to compute the future offset and the prefetch itself.
+   These instructions consume issue slots and memory-unit bandwidth, can
+   evict useful lines, and are dropped past the machine's prefetch-queue
+   depth — all the ways aggressive prefetching hurts, while timely
+   prefetches convert load misses into hits. *)
+
+type config = {
+  prefetch_iters : int;       (* distance, in iterations *)
+}
+
+let default_config = { prefetch_iters = 4 }
+
+type decision_fn = Analysis.candidate -> bool
+
+let baseline_decision ~machine (p : Ir.Func.program) : decision_fn =
+ fun c ->
+  Gp.Eval.bool (Features.environment ~machine p c) Features.baseline_expr
+
+let decision_of_expr ~machine (p : Ir.Func.program) (e : Gp.Expr.bexpr) :
+    decision_fn =
+ fun c -> Gp.Eval.bool (Features.environment ~machine p c) e
+
+type stats = {
+  candidates : int;
+  inserted : int;
+}
+
+let run ?(config = default_config) ~(decision : decision_fn)
+    (p : Ir.Func.program) : stats =
+  let candidates = ref 0 and inserted = ref 0 in
+  List.iter
+    (fun (f : Ir.Func.t) ->
+      let cands = Analysis.candidates f in
+      candidates := !candidates + List.length cands;
+      (* Group accepted candidates by (block, instr id). *)
+      let accepted = Hashtbl.create 16 in
+      List.iter
+        (fun (c : Analysis.candidate) ->
+          match c.Analysis.stride with
+          | Some s when s <> 0 && decision c ->
+            Hashtbl.replace accepted (c.Analysis.block_label, c.Analysis.instr_id) s
+          | _ -> ())
+        cands;
+      if Hashtbl.length accepted > 0 then begin
+        List.iter
+          (fun (b : Ir.Func.block) ->
+            let out = ref [] in
+            List.iter
+              (fun (i : Ir.Instr.t) ->
+                out := i :: !out;
+                match
+                  ( i.Ir.Instr.kind,
+                    Hashtbl.find_opt accepted
+                      (b.Ir.Func.blabel, i.Ir.Instr.id) )
+                with
+                | Ir.Instr.Load (_, addr), Some stride ->
+                  incr inserted;
+                  let dist = stride * config.prefetch_iters in
+                  let t = Ir.Func.fresh_reg f in
+                  let guard = i.Ir.Instr.guard in
+                  out :=
+                    {
+                      Ir.Instr.id = Ir.Func.fresh_instr_id f;
+                      guard;
+                      kind =
+                        Ir.Instr.Ibin
+                          (Ir.Types.Add, t, addr.Ir.Instr.offset,
+                           Ir.Types.Imm dist);
+                    }
+                    :: !out;
+                  out :=
+                    {
+                      Ir.Instr.id = Ir.Func.fresh_instr_id f;
+                      guard;
+                      kind =
+                        Ir.Instr.Prefetch
+                          { addr with
+                            Ir.Instr.offset = Ir.Types.Reg t;
+                            hazard = false };
+                    }
+                    :: !out
+                | _ -> ())
+              b.Ir.Func.instrs;
+            b.Ir.Func.instrs <- List.rev !out)
+          f.Ir.Func.blocks;
+        Ir.Func.renumber f
+      end)
+    p.Ir.Func.funcs;
+  { candidates = !candidates; inserted = !inserted }

@@ -1,0 +1,27 @@
+(** Prefetch insertion [Mowry 94, as adapted by ORC].
+
+    For every candidate load whose confidence function says yes and whose
+    stride is known and non-zero, a software prefetch [prefetch_iters]
+    iterations ahead is inserted after the load: one add for the future
+    offset plus the prefetch itself.  These consume issue slots and
+    memory-queue entries — all the ways aggressive prefetching hurts —
+    while timely prefetches convert load misses into hits. *)
+
+type config = { prefetch_iters : int }
+
+val default_config : config
+
+type decision_fn = Analysis.candidate -> bool
+
+val baseline_decision :
+  machine:Machine.Config.t -> Ir.Func.program -> decision_fn
+
+val decision_of_expr :
+  machine:Machine.Config.t -> Ir.Func.program -> Gp.Expr.bexpr -> decision_fn
+
+type stats = {
+  candidates : int;
+  inserted : int;
+}
+
+val run : ?config:config -> decision:decision_fn -> Ir.Func.program -> stats

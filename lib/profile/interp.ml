@@ -1,0 +1,281 @@
+(* Reference interpreter for the predicated IR.
+
+   Registers and memory cells hold floats; integer values are stored as
+   exact floats (benchmark integers stay far below 2^53).  Integer
+   division and remainder by zero yield zero, so every well-formed program
+   is total — candidate compilations may only differ from the baseline in
+   speed, never in definedness.
+
+   An [observer] receives the dynamic events the profiler and the machine
+   simulator need: block entries, branch outcomes at static branch sites,
+   and memory accesses with resolved word addresses. *)
+
+type mem_kind = Mload | Mstore | Mprefetch
+
+type observer = {
+  block_enter : int -> unit;             (* global block uid *)
+  branch : int -> bool -> unit;          (* branch site uid, taken *)
+  mem : mem_kind -> int -> unit;         (* resolved word address *)
+}
+
+let null_observer =
+  { block_enter = ignore; branch = (fun _ _ -> ()); mem = (fun _ _ -> ()) }
+
+type result = {
+  output : float list;                   (* emitted values, in order *)
+  return_value : float;
+  steps : int;                           (* dynamic instructions executed *)
+}
+
+exception Out_of_fuel
+exception Trap of string
+
+let checksum output =
+  (* An order-sensitive checksum of the emitted values, for comparing
+     baseline and transformed compilations. *)
+  List.fold_left
+    (fun acc v ->
+      let bits = Int64.to_int (Int64.of_float (v *. 65536.0)) in
+      (acc * 31) + bits land 0x3FFFFFFFFFFFFF)
+    17 output
+
+type state = {
+  layout : Layout.t;
+  memory : float array;
+  obs : observer;
+  mutable fuel : int;
+  mutable out_rev : float list;
+  mutable steps : int;
+}
+
+let ( .%() ) m a =
+  if a < 0 || a >= Array.length m then
+    raise (Trap (Printf.sprintf "memory access out of bounds: %d" a))
+  else m.(a)
+
+let ( .%()<- ) m a v =
+  if a < 0 || a >= Array.length m then
+    raise (Trap (Printf.sprintf "memory store out of bounds: %d" a))
+  else m.(a) <- v
+
+let eval_ibin op a b =
+  match op with
+  | Ir.Types.Add -> a + b
+  | Ir.Types.Sub -> a - b
+  | Ir.Types.Mul -> a * b
+  | Ir.Types.Div -> if b = 0 then 0 else a / b
+  | Ir.Types.Rem -> if b = 0 then 0 else a mod b
+  | Ir.Types.Band -> a land b
+  | Ir.Types.Bor -> a lor b
+  | Ir.Types.Bxor -> a lxor b
+  | Ir.Types.Shl -> a lsl (b land 63)
+  | Ir.Types.Shr -> a asr (b land 63)
+
+let eval_icmp c a b =
+  match c with
+  | Ir.Types.Ceq -> a = b
+  | Ir.Types.Cne -> a <> b
+  | Ir.Types.Clt -> a < b
+  | Ir.Types.Cle -> a <= b
+  | Ir.Types.Cgt -> a > b
+  | Ir.Types.Cge -> a >= b
+
+let eval_fcmp c (a : float) (b : float) =
+  match c with
+  | Ir.Types.Ceq -> a = b
+  | Ir.Types.Cne -> a <> b
+  | Ir.Types.Clt -> a < b
+  | Ir.Types.Cle -> a <= b
+  | Ir.Types.Cgt -> a > b
+  | Ir.Types.Cge -> a >= b
+
+let eval_fbin op a b =
+  match op with
+  | Ir.Types.Fadd -> a +. b
+  | Ir.Types.Fsub -> a -. b
+  | Ir.Types.Fmul -> a *. b
+  | Ir.Types.Fdiv -> if b = 0.0 then 0.0 else a /. b
+
+let eval_intrin i (args : float list) =
+  match (i, args) with
+  | Ir.Types.Isin, [ x ] -> sin x
+  | Ir.Types.Icos, [ x ] -> cos x
+  | Ir.Types.Iexp, [ x ] -> exp (Float.min x 700.0)
+  | Ir.Types.Ilog, [ x ] -> if x <= 0.0 then 0.0 else log x
+  | Ir.Types.Imin, [ a; b ] ->
+    float_of_int (min (int_of_float a) (int_of_float b))
+  | Ir.Types.Imax, [ a; b ] ->
+    float_of_int (max (int_of_float a) (int_of_float b))
+  | Ir.Types.Ifmin, [ a; b ] -> Float.min a b
+  | Ir.Types.Ifmax, [ a; b ] -> Float.max a b
+  | _ -> raise (Trap "intrinsic arity mismatch")
+
+(* Execute one function; returns its return value. *)
+let rec exec_func (st : state) (pf : Layout.pfunc) (args : float array) : float
+    =
+  let regs = Array.make (max 1 pf.Layout.n_regs) 0.0 in
+  let preds = Array.make (max 1 pf.Layout.n_preds) false in
+  preds.(Ir.Types.p_true) <- true;
+  Array.iteri (fun i v -> regs.(i + 1) <- v) args;
+  let ev = function
+    | Ir.Types.Reg r -> regs.(r)
+    | Ir.Types.Imm k -> float_of_int k
+    | Ir.Types.Fimm f -> f
+  in
+  let evi o = int_of_float (ev o) in
+  let addr_of (a : Ir.Instr.address) =
+    let base =
+      match a.Ir.Instr.space with
+      | Ir.Instr.Frame fname ->
+        (Layout.func st.layout fname).Layout.frame_base + evi a.Ir.Instr.base
+      | Ir.Instr.Global _ | Ir.Instr.Unknown -> evi a.Ir.Instr.base
+    in
+    base + evi a.Ir.Instr.offset
+  in
+  let return_value = ref 0.0 in
+  let rec run_block (bi : int) : unit =
+    let b = pf.Layout.blocks.(bi) in
+    (* Charge fuel per block entry as well as per instruction, so empty
+       infinite loops still run out of fuel. *)
+    st.fuel <- st.fuel - 1;
+    if st.fuel <= 0 then raise Out_of_fuel;
+    st.obs.block_enter b.Layout.uid;
+    let n = Array.length b.Layout.instrs in
+    let next = ref `Fallthrough in
+    let pc = ref 0 in
+    while !next = `Fallthrough && !pc < n do
+      let i = b.Layout.instrs.(!pc) in
+      st.fuel <- st.fuel - 1;
+      if st.fuel <= 0 then raise Out_of_fuel;
+      st.steps <- st.steps + 1;
+      if preds.(i.Ir.Instr.guard) then begin
+        (match i.Ir.Instr.kind with
+        | Ir.Instr.Ibin (op, d, a, bb) ->
+          regs.(d) <- float_of_int (eval_ibin op (evi a) (evi bb))
+        | Ir.Instr.Fbin (op, d, a, bb) -> regs.(d) <- eval_fbin op (ev a) (ev bb)
+        | Ir.Instr.Funop (op, d, a) ->
+          regs.(d) <-
+            (match op with
+            | Ir.Types.Fneg -> -.ev a
+            | Ir.Types.Fabs -> Float.abs (ev a)
+            | Ir.Types.Fsqrt -> sqrt (Float.abs (ev a)))
+        | Ir.Instr.Icmp (c, d, a, bb) ->
+          regs.(d) <- (if eval_icmp c (evi a) (evi bb) then 1.0 else 0.0)
+        | Ir.Instr.Fcmp (c, d, a, bb) ->
+          regs.(d) <- (if eval_fcmp c (ev a) (ev bb) then 1.0 else 0.0)
+        | Ir.Instr.Mov (d, a) -> regs.(d) <- ev a
+        | Ir.Instr.Itof (d, a) -> regs.(d) <- ev a
+        | Ir.Instr.Ftoi (d, a) -> regs.(d) <- Float.of_int (int_of_float (ev a))
+        | Ir.Instr.Intrin (intr, d, args) ->
+          regs.(d) <- eval_intrin intr (List.map ev args)
+        | Ir.Instr.Gaddr (d, g) ->
+          regs.(d) <-
+            float_of_int (Hashtbl.find st.layout.Layout.global_base g)
+        | Ir.Instr.Load (d, a) ->
+          let addr = addr_of a in
+          st.obs.mem Mload addr;
+          regs.(d) <- st.memory.%(addr)
+        | Ir.Instr.Store (a, v) ->
+          let addr = addr_of a in
+          st.obs.mem Mstore addr;
+          st.memory.%(addr) <- ev v
+        | Ir.Instr.Prefetch a ->
+          (* No architectural effect; the cache model sees the access. *)
+          let addr = addr_of a in
+          if addr >= 0 && addr < Array.length st.memory then
+            st.obs.mem Mprefetch addr
+        | Ir.Instr.Call (d, name, args, _) ->
+          let argv = Array.of_list (List.map ev args) in
+          let res = exec_func st (Layout.func st.layout name) argv in
+          (match d with Some d -> regs.(d) <- res | None -> ())
+        | Ir.Instr.Emit v -> st.out_rev <- ev v :: st.out_rev
+        | Ir.Instr.Pdef (c, pt, pf_, a, bb) ->
+          let v = eval_icmp c (evi a) (evi bb) in
+          preds.(pt) <- v;
+          preds.(pf_) <- not v
+        | Ir.Instr.Pclear p -> preds.(p) <- false
+        | Ir.Instr.Pset (c, p, a, bb) ->
+          preds.(p) <- eval_icmp c (evi a) (evi bb)
+        | Ir.Instr.Por (c, p, a, bb) ->
+          if eval_icmp c (evi a) (evi bb) then preds.(p) <- true
+        | Ir.Instr.Exit _ -> ());
+        (* Taken side exits transfer control. *)
+        match i.Ir.Instr.kind with
+        | Ir.Instr.Exit _ ->
+          let site =
+            let rec find k =
+              if k >= Array.length b.Layout.exit_targets then -1
+              else if fst b.Layout.exit_targets.(k) = !pc then k
+              else find (k + 1)
+            in
+            find 0
+          in
+          assert (site >= 0);
+          st.obs.branch b.Layout.exit_sites.(site) true;
+          next := `Goto (snd b.Layout.exit_targets.(site))
+        | _ -> incr pc
+      end
+      else begin
+        (* Nullified instruction; unconditional-form compares still clear
+           their target, and a predicated-off exit is a not-taken branch
+           for the predictor. *)
+        (match i.Ir.Instr.kind with
+        | Ir.Instr.Pset (_, p, _, _) -> preds.(p) <- false
+        | Ir.Instr.Exit _ ->
+          let site =
+            let rec find k =
+              if k >= Array.length b.Layout.exit_targets then -1
+              else if fst b.Layout.exit_targets.(k) = !pc then k
+              else find (k + 1)
+            in
+            find 0
+          in
+          if site >= 0 then st.obs.branch b.Layout.exit_sites.(site) false
+        | _ -> ());
+        incr pc
+      end
+    done;
+    match !next with
+    | `Goto bi' -> run_block bi'
+    | `Fallthrough -> (
+      match b.Layout.term with
+      | Ir.Func.Jmp _ -> run_block (fst b.Layout.term_targets)
+      | Ir.Func.Br (c, _, _) ->
+        let taken = ev c <> 0.0 in
+        st.obs.branch b.Layout.branch_site taken;
+        run_block
+          (if taken then fst b.Layout.term_targets
+           else snd b.Layout.term_targets)
+      | Ir.Func.Ret v ->
+        return_value := (match v with Some v -> ev v | None -> 0.0))
+  in
+  run_block 0;
+  !return_value
+
+(* Run a program.  [overrides] replaces the initial contents of named
+   globals (benchmark datasets).  [fuel] bounds dynamic instructions. *)
+let run ?(observer = null_observer) ?(fuel = 30_000_000)
+    ?(overrides : (string * float array) list = []) (layout : Layout.t) :
+    result =
+  let memory = Array.make (max 1 layout.Layout.memory_words) 0.0 in
+  List.iter
+    (fun (g : Ir.Func.global) ->
+      let base = Hashtbl.find layout.Layout.global_base g.gname in
+      Array.iteri (fun i v -> memory.(base + i) <- v) g.ginit)
+    layout.Layout.prog.Ir.Func.globals;
+  List.iter
+    (fun (name, data) ->
+      match Hashtbl.find_opt layout.Layout.global_base name with
+      | None -> invalid_arg ("Interp.run: override of unknown global " ^ name)
+      | Some base ->
+        let g = Ir.Func.find_global layout.Layout.prog name in
+        if Array.length data > g.Ir.Func.gsize then
+          invalid_arg ("Interp.run: override too large for " ^ name);
+        Array.iteri (fun i v -> memory.(base + i) <- v) data)
+    overrides;
+  let st =
+    { layout; memory; obs = observer; fuel; out_rev = []; steps = 0 }
+  in
+  let main = Layout.func layout layout.Layout.prog.Ir.Func.main in
+  let ret = exec_func st main [||] in
+  { output = List.rev st.out_rev; return_value = ret; steps = st.steps }

@@ -1,0 +1,42 @@
+(** Reference interpreter for the predicated IR.
+
+    Registers and memory hold floats; integers are stored exactly.
+    Integer division and remainder by zero yield zero, so well-formed
+    programs are total: candidate compilations may differ from the
+    baseline only in speed, never in definedness. *)
+
+type mem_kind = Mload | Mstore | Mprefetch
+
+(** Dynamic-event callbacks consumed by the profiler and the timing
+    simulator. *)
+type observer = {
+  block_enter : int -> unit;       (** global block uid *)
+  branch : int -> bool -> unit;    (** branch site uid, taken *)
+  mem : mem_kind -> int -> unit;   (** resolved word address *)
+}
+
+val null_observer : observer
+
+type result = {
+  output : float list;   (** emitted values, in order *)
+  return_value : float;
+  steps : int;           (** dynamic instructions executed *)
+}
+
+exception Out_of_fuel
+exception Trap of string
+(** Out-of-bounds memory access or intrinsic misuse. *)
+
+val checksum : float list -> int
+(** Order-sensitive checksum of a program's output, used to compare
+    baseline and transformed compilations. *)
+
+val run :
+  ?observer:observer -> ?fuel:int ->
+  ?overrides:(string * float array) list -> Layout.t -> result
+(** Execute a prepared program from [main].  [overrides] replaces the
+    initial contents of named globals (benchmark datasets); [fuel] bounds
+    dynamic instructions and block entries.
+
+    @raise Out_of_fuel when the fuel budget is exhausted.
+    @raise Trap on out-of-bounds accesses. *)

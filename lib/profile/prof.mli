@@ -1,0 +1,42 @@
+(** Execution profiling: block and edge counts, branch bias, and the
+    per-branch 2-bit-predictor predictability statistics the paper adds to
+    Trimaran's profiler. *)
+
+type branch_stats = {
+  executions : int;
+  taken : int;
+  mispredicts : int;   (** under an online 2-bit counter *)
+}
+
+type t = {
+  layout : Layout.t;
+  block_counts : int array;                  (** by global block uid *)
+  edge_counts : (int * int, int) Hashtbl.t;  (** (from uid, to uid) *)
+  branch : branch_stats array;               (** by branch site *)
+  total_steps : int;
+}
+
+val collect :
+  ?fuel:int -> ?overrides:(string * float array) list -> Layout.t -> t
+(** One profiling run on the given dataset. *)
+
+val block_count : t -> fname:string -> label:Ir.Types.label -> int
+
+val edge_count :
+  t -> fname:string -> from_label:Ir.Types.label -> to_label:Ir.Types.label -> int
+
+val edge_prob :
+  t -> fname:string -> from_label:Ir.Types.label -> to_label:Ir.Types.label ->
+  float
+(** Probability of the edge given control reaches [from_label]; 0.5 when
+    the source block never executed. *)
+
+val term_branch_stats :
+  t -> fname:string -> label:Ir.Types.label -> branch_stats option
+(** Stats of a block's conditional terminator, if it has one. *)
+
+val predictability : branch_stats -> float
+(** Fraction of executions the 2-bit counter predicted correctly; 1.0 for
+    never-executed branches. *)
+
+val taken_bias : branch_stats -> float

@@ -1,0 +1,36 @@
+(* Features for the register-allocation priority function.
+
+   The paper replaces Equation (2) — the per-block savings estimate of
+   priority-based coloring — with a GP expression, while keeping the
+   normalizing sum of Equation (3) intact.  The expression is therefore
+   evaluated once per (live range, block) pair. *)
+
+let feature_set : Gp.Feature_set.t =
+  Gp.Feature_set.make
+    ~reals:
+      [
+        (* per-block *)
+        "uses";              (* uses of the range's register in this block *)
+        "defs";              (* defs in this block *)
+        "w";                 (* estimated execution frequency *)
+        "loop_depth";        (* nesting depth of this block *)
+        "block_ops";         (* block size in instructions *)
+        "calls_in_block";    (* dynamic-cost calls in this block *)
+        (* per-range *)
+        "range_blocks";      (* N: number of blocks in the live range *)
+        "range_uses";        (* total uses over the range *)
+        "range_defs";        (* total defs over the range *)
+        "degree";            (* interference-graph degree *)
+      ]
+    ~bools:[ "is_param"; "spans_call"; "in_loop" ]
+
+(* Trimaran/Elcor's baseline savings function, Equation (2):
+   savings_i = w_i * (LDsave * uses_i + STsave * defs_i), with the load /
+   store savings of the Table 3 machine (2-cycle loads, 1-cycle buffered
+   stores). *)
+let baseline_source = "(mul w (add (mul 2.0 uses) defs))"
+
+let baseline_expr : Gp.Expr.rexpr =
+  Gp.Sexp.parse_real feature_set baseline_source
+
+let baseline_genome : Gp.Expr.genome = Gp.Expr.Real baseline_expr

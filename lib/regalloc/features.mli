@@ -1,0 +1,15 @@
+(** Features for the register-allocation priority function.
+
+    The paper replaces Equation (2) — the per-block savings estimate of
+    priority-based coloring — by a GP expression, keeping the
+    normalizing sum of Equation (3) intact; the expression is evaluated
+    once per (live range, block) pair. *)
+
+val feature_set : Gp.Feature_set.t
+
+val baseline_source : string
+(** Equation (2): [w * (LDsave * uses + STsave * defs)] with the Table 3
+    machine's load/store savings. *)
+
+val baseline_expr : Gp.Expr.rexpr
+val baseline_genome : Gp.Expr.genome

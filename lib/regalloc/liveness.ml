@@ -1,0 +1,78 @@
+(* Classic backward liveness dataflow at basic-block granularity.
+
+   Registers are dense small ints, so sets are bool arrays.  Terminator
+   operands count as uses at the end of the block. *)
+
+type t = {
+  n_regs : int;
+  live_in : bool array array;     (* block index -> reg -> live *)
+  live_out : bool array array;
+  use_ : bool array array;        (* upward-exposed uses *)
+  def : bool array array;
+}
+
+let term_uses (term : Ir.Func.terminator) : Ir.Types.reg list =
+  match term with
+  | Ir.Func.Br (Ir.Types.Reg r, _, _) -> [ r ]
+  | Ir.Func.Ret (Some (Ir.Types.Reg r)) -> [ r ]
+  | Ir.Func.Br _ | Ir.Func.Jmp _ | Ir.Func.Ret _ -> []
+
+let compute (f : Ir.Func.t) (g : Ir.Cfg.t) : t =
+  let n = Ir.Cfg.n_blocks g in
+  let n_regs = f.Ir.Func.next_reg in
+  let mk () = Array.init n (fun _ -> Array.make n_regs false) in
+  let live_in = mk () and live_out = mk () and use_ = mk () and def = mk () in
+  (* Local use/def: a use is upward-exposed if not preceded by a def in the
+     same block.  Predicated defs are treated as uses-preserving (a
+     nullified def leaves the old value live), so a guarded def does not
+     kill. *)
+  for bi = 0 to n - 1 do
+    let b = Ir.Cfg.block_of g bi in
+    List.iter
+      (fun (i : Ir.Instr.t) ->
+        List.iter
+          (fun r -> if not def.(bi).(r) then use_.(bi).(r) <- true)
+          (Ir.Instr.uses i.Ir.Instr.kind);
+        match Ir.Instr.def i.Ir.Instr.kind with
+        | Some d when i.Ir.Instr.guard = Ir.Types.p_true -> def.(bi).(d) <- true
+        | Some d ->
+          (* Conditional def: the previous value may flow through, so the
+             register behaves like a use and the def does not kill. *)
+          if not def.(bi).(d) then use_.(bi).(d) <- true
+        | None -> ())
+      b.Ir.Func.instrs;
+    List.iter
+      (fun r -> if not def.(bi).(r) then use_.(bi).(r) <- true)
+      (term_uses b.Ir.Func.term)
+  done;
+  (* Iterate to fixpoint, reverse order for fast convergence. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for bi = n - 1 downto 0 do
+      (* live_out = union of successors' live_in *)
+      List.iter
+        (fun s ->
+          for r = 0 to n_regs - 1 do
+            if live_in.(s).(r) && not live_out.(bi).(r) then begin
+              live_out.(bi).(r) <- true;
+              changed := true
+            end
+          done)
+        g.Ir.Cfg.succ.(bi);
+      (* live_in = use + (live_out - def) *)
+      for r = 0 to n_regs - 1 do
+        let v = use_.(bi).(r) || (live_out.(bi).(r) && not def.(bi).(r)) in
+        if v && not live_in.(bi).(r) then begin
+          live_in.(bi).(r) <- true;
+          changed := true
+        end
+      done
+    done
+  done;
+  { n_regs; live_in; live_out; use_; def }
+
+(* Is register [r] live anywhere in block [bi] (live-in, live-out, or
+   locally used/defined)? *)
+let live_in_block (t : t) bi r =
+  t.live_in.(bi).(r) || t.live_out.(bi).(r) || t.use_.(bi).(r) || t.def.(bi).(r)

@@ -1,0 +1,18 @@
+(** Backward liveness dataflow at basic-block granularity.  Predicated
+    definitions do not kill (the previous value may flow through a
+    nullified write). *)
+
+type t = {
+  n_regs : int;
+  live_in : bool array array;   (** block index -> register -> live *)
+  live_out : bool array array;
+  use_ : bool array array;      (** upward-exposed uses *)
+  def : bool array array;       (** unconditional local definitions *)
+}
+
+val term_uses : Ir.Func.terminator -> Ir.Types.reg list
+
+val compute : Ir.Func.t -> Ir.Cfg.t -> t
+
+val live_in_block : t -> int -> Ir.Types.reg -> bool
+(** Live-in, live-out, or locally accessed in the block. *)

@@ -1,0 +1,213 @@
+(* Dependence graph over the instructions of one basic block (or one
+   candidate hyperblock path).
+
+   Edges carry latencies: RAW edges the producer's latency, WAR/WAW and
+   ordering edges zero (the consumer may issue in the same cycle but must
+   stay after the producer in program order).  Memory dependences are
+   space-based: accesses to distinct named spaces never alias; [Unknown]
+   aliases everything.  Impure calls and emits are ordered among
+   themselves and with all memory operations.  A predicated side exit is a
+   scheduling barrier in both directions. *)
+
+type edge = { src : int; dst : int; lat : int }
+
+type t = {
+  instrs : Ir.Instr.t array;
+  succs : (int * int) list array;   (* (dst, lat) *)
+  preds : (int * int) list array;   (* (src, lat) *)
+  n_preds : int array;              (* indegree, for list scheduling *)
+}
+
+let spaces_may_alias (a : Ir.Instr.space) (b : Ir.Instr.space) =
+  match (a, b) with
+  | Ir.Instr.Unknown, _ | _, Ir.Instr.Unknown -> true
+  | Ir.Instr.Global x, Ir.Instr.Global y -> x = y
+  | Ir.Instr.Frame x, Ir.Instr.Frame y -> x = y
+  | Ir.Instr.Global _, Ir.Instr.Frame _ | Ir.Instr.Frame _, Ir.Instr.Global _
+    -> false
+
+let mem_space (k : Ir.Instr.kind) : Ir.Instr.space option =
+  match k with
+  | Ir.Instr.Load (_, a) | Ir.Instr.Store (a, _) | Ir.Instr.Prefetch a ->
+    Some a.Ir.Instr.space
+  | _ -> None
+
+let build (instrs : Ir.Instr.t array) : t =
+  let n = Array.length instrs in
+  let succs = Array.make n [] and preds = Array.make n [] in
+  let n_preds = Array.make n 0 in
+  let edge_set = Hashtbl.create (4 * n) in
+  let add_edge src dst lat =
+    if src <> dst then begin
+      match Hashtbl.find_opt edge_set (src, dst) with
+      | Some l when l >= lat -> ()
+      | _ ->
+        if not (Hashtbl.mem edge_set (src, dst)) then begin
+          succs.(src) <- (dst, lat) :: succs.(src);
+          preds.(dst) <- (src, lat) :: preds.(dst);
+          n_preds.(dst) <- n_preds.(dst) + 1
+        end
+        else begin
+          (* Raise the latency of an existing edge in place. *)
+          succs.(src) <-
+            List.map (fun (d, l) -> if d = dst then (d, max l lat) else (d, l))
+              succs.(src);
+          preds.(dst) <-
+            List.map (fun (s, l) -> if s = src then (s, max l lat) else (s, l))
+              preds.(dst)
+        end;
+        Hashtbl.replace edge_set (src, dst) lat
+    end
+  in
+  (* Register dependences: scan backwards for each use/def. *)
+  let last_def : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let last_uses : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+  let last_pdef : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let last_puses : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+  let last_mem : int list ref = ref [] in        (* stores/loads/prefetches *)
+  let last_effect : int ref = ref (-1) in        (* impure call / emit *)
+  let last_barrier : int ref = ref (-1) in       (* exit *)
+  for i = 0 to n - 1 do
+    let ins = instrs.(i) in
+    let k = ins.Ir.Instr.kind in
+    (* RAW on registers *)
+    List.iter
+      (fun u ->
+        match Hashtbl.find_opt last_def u with
+        | Some j -> add_edge j i (Ir.Instr.latency instrs.(j).Ir.Instr.kind)
+        | None -> ())
+      (Ir.Instr.uses k);
+    (* WAR / WAW on registers *)
+    (match Ir.Instr.def k with
+    | Some d ->
+      (match Hashtbl.find_opt last_def d with
+      | Some j -> add_edge j i 0
+      | None -> ());
+      List.iter
+        (fun j -> add_edge j i 0)
+        (Option.value ~default:[] (Hashtbl.find_opt last_uses d))
+    | None -> ());
+    (* Predicate RAW (guard + pdef operand regs handled above), WAR/WAW *)
+    List.iter
+      (fun p ->
+        match Hashtbl.find_opt last_pdef p with
+        | Some j -> add_edge j i (Ir.Instr.latency instrs.(j).Ir.Instr.kind)
+        | None -> ())
+      (Ir.Instr.pred_uses ins);
+    List.iter
+      (fun p ->
+        (match Hashtbl.find_opt last_pdef p with
+        | Some j -> add_edge j i 0
+        | None -> ());
+        List.iter
+          (fun j -> add_edge j i 0)
+          (Option.value ~default:[] (Hashtbl.find_opt last_puses p)))
+      (Ir.Instr.pred_defs k);
+    (* Memory ordering *)
+    (match k with
+    | Ir.Instr.Load (_, a) ->
+      List.iter
+        (fun j ->
+          match mem_space instrs.(j).Ir.Instr.kind with
+          | Some s
+            when Ir.Instr.is_store instrs.(j).Ir.Instr.kind
+                 && spaces_may_alias s a.Ir.Instr.space ->
+            add_edge j i 1
+          | _ -> ())
+        !last_mem
+    | Ir.Instr.Store (a, _) | Ir.Instr.Prefetch a ->
+      List.iter
+        (fun j ->
+          match mem_space instrs.(j).Ir.Instr.kind with
+          | Some s when spaces_may_alias s a.Ir.Instr.space -> add_edge j i 0
+          | _ -> ())
+        !last_mem
+    | _ -> ());
+    (* Effects: impure calls and emits are totally ordered among
+       themselves; impure calls also order against all memory ops. *)
+    let is_effect =
+      Ir.Instr.is_impure_call k
+      || (match k with Ir.Instr.Emit _ -> true | _ -> false)
+    in
+    if is_effect then begin
+      if !last_effect >= 0 then add_edge !last_effect i 1;
+      if Ir.Instr.is_impure_call k then
+        List.iter (fun j -> add_edge j i 0) !last_mem
+    end;
+    if Ir.Instr.is_mem k && !last_effect >= 0 then
+      if Ir.Instr.is_impure_call instrs.(!last_effect).Ir.Instr.kind then
+        add_edge !last_effect i 1;
+    (* Side exits: an exit must stay after every earlier instruction (a
+       definition moved below it would be missing on the exit path), but
+       only side-effecting later instructions must stay after the exit —
+       a pure guarded instruction moved above it is nullified whenever the
+       exit fires, because block predicates always describe a consistent
+       prefix of the original control path. *)
+    let effectful =
+      match k with
+      | Ir.Instr.Store _ | Ir.Instr.Emit _ | Ir.Instr.Exit _ -> true
+      | Ir.Instr.Call (_, _, _, Ir.Instr.Impure) -> true
+      | _ -> false
+    in
+    if !last_barrier >= 0 && effectful then add_edge !last_barrier i 0;
+    (match k with
+    | Ir.Instr.Exit _ ->
+      for j = 0 to i - 1 do
+        add_edge j i 0
+      done;
+      last_barrier := i
+    | _ -> ());
+    (* Update scanning state. *)
+    (match Ir.Instr.def k with
+    | Some d ->
+      Hashtbl.replace last_def d i;
+      Hashtbl.replace last_uses d []
+    | None -> ());
+    List.iter
+      (fun u ->
+        let cur = Option.value ~default:[] (Hashtbl.find_opt last_uses u) in
+        Hashtbl.replace last_uses u (i :: cur))
+      (Ir.Instr.uses k);
+    List.iter
+      (fun p ->
+        Hashtbl.replace last_pdef p i;
+        Hashtbl.replace last_puses p [])
+      (Ir.Instr.pred_defs k);
+    List.iter
+      (fun p ->
+        let cur = Option.value ~default:[] (Hashtbl.find_opt last_puses p) in
+        Hashtbl.replace last_puses p (i :: cur))
+      (Ir.Instr.pred_uses ins);
+    if Ir.Instr.is_mem k then last_mem := i :: !last_mem;
+    if is_effect then last_effect := i
+  done;
+  { instrs; succs; preds; n_preds }
+
+(* Latency-weighted depth [Gibbons & Muchnick 86]: the longest
+   latency-weighted path from each node to any sink.  This is both the
+   baseline list-scheduling priority and the source of the [dep_height]
+   hyperblock feature. *)
+let latency_weighted_depth (g : t) : int array =
+  let n = Array.length g.instrs in
+  let depth = Array.make n (-1) in
+  let rec compute i =
+    if depth.(i) >= 0 then depth.(i)
+    else begin
+      let lat = Ir.Instr.latency g.instrs.(i).Ir.Instr.kind in
+      let d =
+        List.fold_left
+          (fun acc (j, _) -> max acc (lat + compute j))
+          lat g.succs.(i)
+      in
+      depth.(i) <- d;
+      d
+    end
+  in
+  for i = 0 to n - 1 do
+    ignore (compute i)
+  done;
+  depth
+
+(* Critical path length of the whole graph, in cycles. *)
+let critical_path (g : t) : int =
+  Array.fold_left max 0 (latency_weighted_depth g)

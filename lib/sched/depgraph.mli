@@ -1,0 +1,31 @@
+(** Dependence graph over the instructions of one basic block (or one
+    candidate hyperblock path).
+
+    Edges carry latencies: RAW edges the producer's latency; WAR/WAW and
+    ordering edges zero (same-cycle issue allowed, program order kept).
+    Memory dependences are space-based; impure calls and emits are
+    totally ordered.  A side exit must stay after every earlier
+    instruction, while only side-effecting later instructions must stay
+    after it (pure guarded instructions crossing upward are nullified
+    whenever the exit fires). *)
+
+type edge = { src : int; dst : int; lat : int }
+
+type t = {
+  instrs : Ir.Instr.t array;
+  succs : (int * int) list array;   (** (consumer, latency) *)
+  preds : (int * int) list array;
+  n_preds : int array;              (** indegrees, for list scheduling *)
+}
+
+val spaces_may_alias : Ir.Instr.space -> Ir.Instr.space -> bool
+
+val build : Ir.Instr.t array -> t
+
+val latency_weighted_depth : t -> int array
+(** The longest latency-weighted path from each node to any sink
+    [Gibbons & Muchnick 86]: the baseline list-scheduling priority and
+    the source of the [dep_height] hyperblock feature. *)
+
+val critical_path : t -> int
+(** Critical path of the whole graph, in cycles. *)

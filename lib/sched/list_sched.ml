@@ -1,0 +1,138 @@
+(* Resource-constrained VLIW list scheduling with the latency-weighted
+   depth priority.
+
+   Each cycle offers the functional-unit slots of the machine config
+   (Table 3: 4 integer, 2 floating-point, 2 memory, 1 branch).  Ready
+   instructions are issued in priority order into free slots of their
+   resource class; a fully-pipelined model lets every unit accept one
+   instruction per cycle.  The block's instruction list is rewritten in
+   issue order (which preserves all dependences) and the block's schedule
+   length — the cycle in which the last result becomes available — is
+   returned for the timing simulator. *)
+
+type unit_class = U_int | U_fp | U_mem | U_branch
+
+let class_of (k : Ir.Instr.kind) : unit_class =
+  match k with
+  | Ir.Instr.Ibin _ | Ir.Instr.Icmp _ | Ir.Instr.Mov _ | Ir.Instr.Gaddr _
+  | Ir.Instr.Pdef _ | Ir.Instr.Pclear _ | Ir.Instr.Por _ | Ir.Instr.Pset _ ->
+    U_int
+  | Ir.Instr.Fbin _ | Ir.Instr.Funop _ | Ir.Instr.Fcmp _ | Ir.Instr.Itof _
+  | Ir.Instr.Ftoi _ | Ir.Instr.Intrin _ ->
+    U_fp
+  | Ir.Instr.Load _ | Ir.Instr.Store _ | Ir.Instr.Prefetch _ | Ir.Instr.Emit _
+    ->
+    U_mem
+  | Ir.Instr.Call _ | Ir.Instr.Exit _ -> U_branch
+
+type block_schedule = {
+  order : Ir.Instr.t list;   (* issue order *)
+  length : int;              (* cycles until all results available *)
+}
+
+let schedule_instrs ?priority ~(config : Machine.Config.t)
+    (instrs : Ir.Instr.t array) : block_schedule =
+  let n = Array.length instrs in
+  if n = 0 then { order = []; length = 1 }
+  else begin
+    let g = Depgraph.build instrs in
+    let priority =
+      match priority with
+      | Some (f : Depgraph.t -> float array) -> f g
+      | None -> Array.map float_of_int (Depgraph.latency_weighted_depth g)
+    in
+    let remaining_preds = Array.copy g.Depgraph.n_preds in
+    (* Earliest cycle each instruction may issue, updated as predecessors
+       are scheduled. *)
+    let earliest = Array.make n 0 in
+    let issued = Array.make n false in
+    let issue_cycle = Array.make n 0 in
+    let order = ref [] in
+    let n_issued = ref 0 in
+    let cycle = ref 0 in
+    let slots = [| config.Machine.Config.int_units;
+                   config.Machine.Config.fp_units;
+                   config.Machine.Config.mem_units;
+                   config.Machine.Config.branch_units |] in
+    let slot_index = function
+      | U_int -> 0
+      | U_fp -> 1
+      | U_mem -> 2
+      | U_branch -> 3
+    in
+    let free = Array.make 4 0 in
+    let max_cycles = (8 * n) + 64 in
+    while !n_issued < n && !cycle < max_cycles do
+      Array.blit slots 0 free 0 4;
+      (* Ready set: all predecessors issued and data available. *)
+      let ready =
+        List.filter
+          (fun i ->
+            (not issued.(i))
+            && remaining_preds.(i) = 0
+            && earliest.(i) <= !cycle)
+          (List.init n Fun.id)
+      in
+      let ready =
+        List.sort (fun a b -> compare priority.(b) priority.(a)) ready
+      in
+      List.iter
+        (fun i ->
+          let c = slot_index (class_of instrs.(i).Ir.Instr.kind) in
+          if free.(c) > 0 then begin
+            free.(c) <- free.(c) - 1;
+            issued.(i) <- true;
+            issue_cycle.(i) <- !cycle;
+            incr n_issued;
+            order := i :: !order;
+            List.iter
+              (fun (j, lat) ->
+                remaining_preds.(j) <- remaining_preds.(j) - 1;
+                earliest.(j) <- max earliest.(j) (!cycle + lat))
+              g.Depgraph.succs.(i)
+          end)
+        ready;
+      incr cycle
+    done;
+    if !n_issued < n then
+      invalid_arg "List_sched.schedule_instrs: scheduling did not converge";
+    let length =
+      Array.to_list (Array.init n Fun.id)
+      |> List.fold_left
+           (fun acc i ->
+             max acc
+               (issue_cycle.(i) + Ir.Instr.latency instrs.(i).Ir.Instr.kind))
+           1
+    in
+    { order = List.rev_map (fun i -> instrs.(i)) !order; length }
+  end
+
+(* Schedule every block of a function in place; returns schedule lengths
+   keyed by block label.  A conditional terminator consumes one extra
+   branch-slot cycle. *)
+let schedule_func ?priority ~config (f : Ir.Func.t) :
+    (Ir.Types.label * int) list =
+  List.map
+    (fun (b : Ir.Func.block) ->
+      let s =
+        schedule_instrs ?priority ~config (Array.of_list b.Ir.Func.instrs)
+      in
+      b.Ir.Func.instrs <- s.order;
+      let term_cost = match b.Ir.Func.term with
+        | Ir.Func.Br _ -> 1
+        | Ir.Func.Jmp _ | Ir.Func.Ret _ -> 0
+      in
+      (b.Ir.Func.blabel, s.length + term_cost))
+    f.Ir.Func.blocks
+
+(* Schedule a whole program; returns lengths keyed by (function, label). *)
+let schedule_program ?priority ~config (p : Ir.Func.program) :
+    (string * Ir.Types.label, int) Hashtbl.t =
+  let tbl = Hashtbl.create 256 in
+  List.iter
+    (fun (f : Ir.Func.t) ->
+      List.iter
+        (fun (l, len) -> Hashtbl.replace tbl (f.Ir.Func.fname, l) len)
+        (schedule_func ?priority ~config f))
+    p.Ir.Func.funcs;
+  tbl

@@ -1,0 +1,34 @@
+(** Resource-constrained VLIW list scheduling with the latency-weighted
+    depth priority.
+
+    Each cycle offers the functional-unit slots of the machine (Table 3:
+    4 integer, 2 floating-point, 2 memory, 1 branch, fully pipelined).
+    Blocks are rewritten into issue order; the schedule length — the
+    cycle in which the last result becomes available — feeds the timing
+    simulator. *)
+
+type unit_class = U_int | U_fp | U_mem | U_branch
+
+val class_of : Ir.Instr.kind -> unit_class
+
+type block_schedule = {
+  order : Ir.Instr.t list;   (** issue order; respects all dependences *)
+  length : int;
+}
+
+val schedule_instrs :
+  ?priority:(Depgraph.t -> float array) -> config:Machine.Config.t ->
+  Ir.Instr.t array -> block_schedule
+(** [priority] overrides the latency-weighted-depth ranking (see
+    {!Priority}). *)
+
+val schedule_func :
+  ?priority:(Depgraph.t -> float array) -> config:Machine.Config.t ->
+  Ir.Func.t -> (Ir.Types.label * int) list
+(** Schedules every block in place; returns per-block lengths.  A
+    conditional terminator costs one extra branch-slot cycle. *)
+
+val schedule_program :
+  ?priority:(Depgraph.t -> float array) -> config:Machine.Config.t ->
+  Ir.Func.program -> (string * Ir.Types.label, int) Hashtbl.t
+(** Lengths keyed by (function name, block label). *)

@@ -1,0 +1,152 @@
+(* Sanity tests over the benchmark suite itself: registry consistency,
+   dataset shapes, train/novel distinctness, and dynamic size bounds. *)
+
+let test_names_unique () =
+  let names = Benchmarks.Registry.names in
+  Alcotest.(check int) "no duplicate names"
+    (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_suite_lists_resolve () =
+  List.iter
+    (fun (tag, l) ->
+      List.iter
+        (fun n ->
+          match Benchmarks.Registry.find n with
+          | _ -> ()
+          | exception Invalid_argument _ ->
+            Alcotest.failf "%s references unknown benchmark %s" tag n)
+        l)
+    [
+      ("hb-spec", Benchmarks.Registry.hyperblock_specialize);
+      ("hb-train", Benchmarks.Registry.hyperblock_train);
+      ("hb-test", Benchmarks.Registry.hyperblock_test);
+      ("ra-spec", Benchmarks.Registry.regalloc_specialize);
+      ("ra-train", Benchmarks.Registry.regalloc_train);
+      ("ra-test", Benchmarks.Registry.regalloc_test);
+      ("pf-spec", Benchmarks.Registry.prefetch_specialize);
+      ("pf-train", Benchmarks.Registry.prefetch_train);
+      ("pf-test", Benchmarks.Registry.prefetch_test);
+    ]
+
+(* The paper's protocol needs disjoint training and test sets. *)
+let test_train_test_disjoint () =
+  let disjoint tag a b =
+    List.iter
+      (fun n ->
+        if List.mem n b then
+          Alcotest.failf "%s: %s appears in both train and test" tag n)
+      a
+  in
+  disjoint "hyperblock" Benchmarks.Registry.hyperblock_train
+    Benchmarks.Registry.hyperblock_test;
+  disjoint "regalloc" Benchmarks.Registry.regalloc_train
+    Benchmarks.Registry.regalloc_test;
+  disjoint "prefetch" Benchmarks.Registry.prefetch_train
+    Benchmarks.Registry.prefetch_test
+
+let test_datasets_fit_globals () =
+  List.iter
+    (fun (b : Benchmarks.Bench.t) ->
+      let prog = Frontend.Minic.compile b.Benchmarks.Bench.source in
+      List.iter
+        (fun dataset ->
+          List.iter
+            (fun (gname, data) ->
+              match Ir.Func.find_global prog gname with
+              | g ->
+                if Array.length data > g.Ir.Func.gsize then
+                  Alcotest.failf "%s: dataset %s (%d) exceeds global size %d"
+                    b.Benchmarks.Bench.name gname (Array.length data)
+                    g.Ir.Func.gsize
+              | exception Invalid_argument _ ->
+                Alcotest.failf "%s: dataset names unknown global %s"
+                  b.Benchmarks.Bench.name gname)
+            (Benchmarks.Bench.overrides b dataset))
+        [ Benchmarks.Bench.Train; Benchmarks.Bench.Novel ])
+    Benchmarks.Registry.all
+
+let test_train_novel_differ () =
+  (* The figures compare train-data vs novel-data runs, so the datasets
+     must actually differ. *)
+  List.iter
+    (fun (b : Benchmarks.Bench.t) ->
+      Alcotest.(check bool)
+        (b.Benchmarks.Bench.name ^ " train <> novel")
+        true
+        (b.Benchmarks.Bench.train <> b.Benchmarks.Bench.novel))
+    Benchmarks.Registry.all
+
+let test_dynamic_sizes_bounded () =
+  (* Every benchmark must fit comfortably in the interpreter's fuel budget
+     on both datasets, and be big enough for profiles to mean anything. *)
+  List.iter
+    (fun (b : Benchmarks.Bench.t) ->
+      let prog = Frontend.Minic.compile b.Benchmarks.Bench.source in
+      let layout = Profile.Layout.prepare prog in
+      List.iter
+        (fun dataset ->
+          let r =
+            Profile.Interp.run
+              ~overrides:(Benchmarks.Bench.overrides b dataset)
+              layout
+          in
+          let steps = r.Profile.Interp.steps in
+          if steps < 10_000 || steps > 25_000_000 then
+            Alcotest.failf "%s: %d dynamic instructions out of range"
+              b.Benchmarks.Bench.name steps)
+        [ Benchmarks.Bench.Train; Benchmarks.Bench.Novel ])
+    Benchmarks.Registry.all
+
+let test_data_generators_deterministic () =
+  Alcotest.(check bool) "ints deterministic" true
+    (Benchmarks.Data.ints ~seed:5 ~n:64 ~bound:100
+    = Benchmarks.Data.ints ~seed:5 ~n:64 ~bound:100);
+  Alcotest.(check bool) "seeds matter" true
+    (Benchmarks.Data.ints ~seed:5 ~n:64 ~bound:100
+    <> Benchmarks.Data.ints ~seed:6 ~n:64 ~bound:100);
+  Array.iter
+    (fun v ->
+      Alcotest.(check bool) "within bound" true (v >= 0.0 && v < 100.0))
+    (Benchmarks.Data.ints ~seed:7 ~n:256 ~bound:100);
+  Array.iter
+    (fun v ->
+      Alcotest.(check bool) "floats within range" true (v >= -2.0 && v < 3.0))
+    (Benchmarks.Data.floats ~seed:8 ~n:256 ~lo:(-2.0) ~hi:3.0)
+
+let test_runs_generator_has_runs () =
+  let a = Benchmarks.Data.runs ~seed:9 ~n:1000 ~bound:50 ~max_run:8 in
+  let repeats = ref 0 in
+  for i = 1 to 999 do
+    if a.(i) = a.(i - 1) then incr repeats
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "adjacent repeats common (%d/999)" !repeats)
+    true
+    (!repeats > 300)
+
+let test_skewed_generator_is_skewed () =
+  let a = Benchmarks.Data.skewed ~seed:10 ~n:4000 ~bound:100 in
+  let below = Array.fold_left (fun acc v -> if v < 50.0 then acc + 1 else acc) 0 a in
+  Alcotest.(check bool)
+    (Printf.sprintf "small values dominate (%d/4000 below median)" below)
+    true
+    (below > 2600)
+
+let suite =
+  [
+    Alcotest.test_case "names unique" `Quick test_names_unique;
+    Alcotest.test_case "suite lists resolve" `Quick test_suite_lists_resolve;
+    Alcotest.test_case "train/test sets disjoint" `Quick
+      test_train_test_disjoint;
+    Alcotest.test_case "datasets fit their globals" `Slow
+      test_datasets_fit_globals;
+    Alcotest.test_case "train and novel datasets differ" `Quick
+      test_train_novel_differ;
+    Alcotest.test_case "dynamic sizes bounded" `Slow
+      test_dynamic_sizes_bounded;
+    Alcotest.test_case "data generators deterministic" `Quick
+      test_data_generators_deterministic;
+    Alcotest.test_case "runs generator" `Quick test_runs_generator_has_runs;
+    Alcotest.test_case "skewed generator" `Quick test_skewed_generator_is_skewed;
+  ]

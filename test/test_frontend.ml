@@ -1,0 +1,213 @@
+(* Tests for the MiniC frontend: parsing, typechecking, and end-to-end
+   semantics of lowered programs via the interpreter. *)
+
+let run_src ?(overrides = []) src : float list =
+  let prog = Frontend.Minic.compile src in
+  let layout = Profile.Layout.prepare prog in
+  (Profile.Interp.run ~overrides layout).Profile.Interp.output
+
+let check_output name src expected =
+  Alcotest.(check (list (float 1e-6))) name expected (run_src src)
+
+let test_arith_and_precedence () =
+  check_output "precedence"
+    {| int main() { emit(2 + 3 * 4); emit((2 + 3) * 4); emit(10 - 4 - 3);
+         emit(17 % 5); emit(7 / 2); emit(1 << 4); emit(256 >> 3); return 0; } |}
+    [ 14.0; 20.0; 3.0; 2.0; 3.0; 16.0; 32.0 ]
+
+let test_comparisons_and_logic () =
+  check_output "comparisons"
+    {| int main() {
+         emit(3 < 4); emit(4 <= 4); emit(5 > 6); emit(5 >= 6);
+         emit(5 == 5); emit(5 != 5);
+         emit(1 && 0); emit(1 || 0); emit(!3); emit(!0);
+         emit(6 & 3); emit(6 | 3); emit(6 ^ 3);
+         return 0; } |}
+    [ 1.; 1.; 0.; 0.; 1.; 0.; 0.; 1.; 0.; 1.; 2.; 7.; 5. ]
+
+let test_float_ops () =
+  check_output "floats"
+    {| int main() {
+         float x = 1.5; float y = 2.0;
+         emit(x + y); emit(x * y); emit(y / 4.0);
+         emit(sqrt(16.0)); emit(fabs(0.0 - 3.5));
+         emit(fmin(x, y)); emit(fmax(x, y));
+         emit(int(2.9)); emit(float(3) * 0.5);
+         return 0; } |}
+    [ 3.5; 3.0; 0.5; 4.0; 3.5; 1.5; 2.0; 2.0; 1.5 ]
+
+let test_control_flow () =
+  check_output "loops and branches"
+    {| int main() {
+         int s = 0; int i;
+         for (i = 0; i < 10; i = i + 1) {
+           if (i % 2 == 0) { s = s + i; } else { s = s - 1; }
+         }
+         emit(s);
+         int j = 0;
+         while (j < 100) {
+           j = j + 7;
+           if (j > 50) { break; }
+         }
+         emit(j);
+         int k; int c = 0;
+         for (k = 0; k < 10; k = k + 1) {
+           if (k % 3 != 0) { continue; }
+           c = c + 1;
+         }
+         emit(c);
+         return 0; } |}
+    [ 15.0; 56.0; 4.0 ]
+
+let test_functions_and_calls () =
+  check_output "calls"
+    {| int gcd_iter(int a, int b) {
+         while (b != 0) { int t = a % b; a = b; b = t; }
+         return a;
+       }
+       float mix(float x, int k) { return x * float(k); }
+       void poke(int v) { emit(v * 2); }
+       int main() {
+         emit(gcd_iter(48, 36));
+         emit(mix(2.5, 4));
+         poke(21);
+         return 0; } |}
+    [ 12.0; 10.0; 42.0 ]
+
+let test_arrays_and_globals () =
+  check_output "arrays"
+    {| global int a[8];
+       global float w[4] = { 0.5, 1.5, 2.5, 3.5 };
+       int main() {
+         int i;
+         for (i = 0; i < 8; i = i + 1) { a[i] = i * i; }
+         emit(a[0] + a[7]);
+         emit(w[0] + w[3]);
+         a[a[2]] = 99;       /* data-dependent index */
+         emit(a[4]);
+         return 0; } |}
+    [ 49.0; 4.0; 99.0 ]
+
+let test_division_semantics () =
+  (* Division / remainder by zero yield zero (documented IR semantics). *)
+  check_output "div by zero"
+    {| int main() {
+         int z = 0;
+         emit(7 / z); emit(7 % z);
+         emit((0 - 7) / 2);       /* truncation toward zero */
+         emit((0 - 7) % 2);
+         float f = 0.0;
+         emit(3.5 / f);
+         return 0; } |}
+    [ 0.0; 0.0; -3.0; -1.0; 0.0 ]
+
+let test_dataset_overrides () =
+  let out =
+    run_src
+      ~overrides:[ ("a", [| 5.0; 6.0; 7.0 |]) ]
+      {| global int a[4] = { 1, 2, 3, 4 };
+         int main() { emit(a[0] + a[1] + a[2] + a[3]); return 0; } |}
+  in
+  (* Overrides replace the prefix; the last element keeps its initializer. *)
+  Alcotest.(check (list (float 0.0))) "override applied" [ 22.0 ] out
+
+let expect_error name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match Frontend.Minic.compile src with
+      | exception Frontend.Minic.Compile_error _ -> ()
+      | _ -> Alcotest.fail "expected a compile error")
+
+let error_cases =
+  [
+    expect_error "unknown variable" {| int main() { emit(nope); return 0; } |};
+    expect_error "unknown function" {| int main() { emit(f(1)); return 0; } |};
+    expect_error "float to int assignment"
+      {| int main() { int x = 1.5; emit(x); return 0; } |};
+    expect_error "float condition"
+      {| int main() { if (1.5) { emit(1); } return 0; } |};
+    expect_error "float array index"
+      {| global int a[4];
+         int main() { emit(a[1.5]); return 0; } |};
+    expect_error "arity mismatch"
+      {| int f(int a, int b) { return a + b; }
+         int main() { emit(f(1)); return 0; } |};
+    expect_error "missing main" {| int helper() { return 1; } |};
+    expect_error "recursion rejected"
+      {| int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+         int main() { emit(fact(5)); return 0; } |};
+    expect_error "break outside loop" {| int main() { break; return 0; } |};
+    expect_error "redeclared with different type"
+      {| int main() { int x = 1; float x = 2.0; return 0; } |};
+    expect_error "unterminated comment" {| int main() { /* oops return 0; } |};
+    expect_error "void in expression"
+      {| void f() { emit(1); }
+         int main() { emit(f()); return 0; } |};
+  ]
+
+let test_redeclare_same_type () =
+  (* The C block-scope idiom: `int i;` in several loop bodies. *)
+  check_output "local redeclaration"
+    {| int main() {
+         int k;
+         for (k = 0; k < 2; k = k + 1) { int i = k * 10; emit(i); }
+         for (k = 0; k < 2; k = k + 1) { int i = k + 100; emit(i); }
+         return 0; } |}
+    [ 0.0; 10.0; 100.0; 101.0 ]
+
+let test_hazard_marking () =
+  (* a[b[i]] must mark the outer access as a hazard; a[i] must not. *)
+  let prog =
+    Frontend.Minic.compile
+      {| global int a[8];
+         global int b[8];
+         int main() {
+           int i = 3;
+           emit(a[i]);
+           emit(a[b[i]]);
+           return 0; } |}
+  in
+  let hazards = ref 0 and loads = ref 0 in
+  List.iter
+    (fun (f : Ir.Func.t) ->
+      Ir.Func.iter_instrs f (fun _ (i : Ir.Instr.t) ->
+          match i.Ir.Instr.kind with
+          | Ir.Instr.Load (_, a) ->
+            incr loads;
+            if a.Ir.Instr.hazard then incr hazards
+          | _ -> ()))
+    prog.Ir.Func.funcs;
+  Alcotest.(check int) "three loads" 3 !loads;
+  Alcotest.(check int) "one hazardous load" 1 !hazards
+
+let test_all_benchmarks_compile () =
+  List.iter
+    (fun (b : Benchmarks.Bench.t) ->
+      match Frontend.Minic.compile b.Benchmarks.Bench.source with
+      | p ->
+        Alcotest.(check int)
+          (b.Benchmarks.Bench.name ^ " validates")
+          0
+          (List.length (Ir.Validate.check_program p))
+      | exception Frontend.Minic.Compile_error m ->
+        Alcotest.fail (b.Benchmarks.Bench.name ^ ": " ^ m))
+    Benchmarks.Registry.all
+
+let suite =
+  [
+    Alcotest.test_case "arithmetic and precedence" `Quick
+      test_arith_and_precedence;
+    Alcotest.test_case "comparisons and logic" `Quick
+      test_comparisons_and_logic;
+    Alcotest.test_case "float operations" `Quick test_float_ops;
+    Alcotest.test_case "control flow" `Quick test_control_flow;
+    Alcotest.test_case "functions and calls" `Quick test_functions_and_calls;
+    Alcotest.test_case "arrays and globals" `Quick test_arrays_and_globals;
+    Alcotest.test_case "division semantics" `Quick test_division_semantics;
+    Alcotest.test_case "dataset overrides" `Quick test_dataset_overrides;
+    Alcotest.test_case "same-type local redeclaration" `Quick
+      test_redeclare_same_type;
+    Alcotest.test_case "hazard marking" `Quick test_hazard_marking;
+    Alcotest.test_case "all benchmarks compile and validate" `Slow
+      test_all_benchmarks_compile;
+  ]
+  @ error_cases

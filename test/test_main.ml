@@ -1,0 +1,21 @@
+(* Test aggregator: one alcotest binary covering every library. *)
+
+let () =
+  Alcotest.run "metaopt"
+    [
+      ("gp", Test_gp.suite);
+      ("ir", Test_ir.suite);
+      ("frontend", Test_frontend.suite);
+      ("opt", Test_opt.suite);
+      ("profile", Test_profile.suite);
+      ("predication", Test_predication.suite);
+      ("machine", Test_machine.suite);
+      ("sched", Test_sched.suite);
+      ("passes", Test_passes.suite);
+      ("driver", Test_driver.suite);
+      ("properties", Test_properties.suite);
+      ("benchmarks", Test_benchmarks.suite);
+      ("regalloc-unit", Test_regalloc_unit.suite);
+      ("prefetch-unit", Test_prefetch_unit.suite);
+      ("misc", Test_misc.suite);
+    ]

@@ -1,0 +1,325 @@
+(* Tests for the scalar optimization pipeline: unit behaviour of each pass
+   and semantics preservation over the benchmark suite. *)
+
+let compile src = Frontend.Minic.compile src
+
+let outputs prog overrides =
+  let layout = Profile.Layout.prepare prog in
+  (Profile.Interp.run ~overrides layout).Profile.Interp.output
+
+(* A small but branchy program exercised by several pass tests. *)
+let sample_src =
+  {| global int a[16];
+     int main() {
+       int i;
+       for (i = 0; i < 16; i = i + 1) { a[i] = (i * 7 + 3) % 16; }
+       int s = 0;
+       for (i = 0; i < 16; i = i + 1) {
+         int v = a[i] * 2 + 0;         /* foldable */
+         int dead = v * 31;            /* dead if s doesn't use it */
+         if (v > 8) { s = s + v; } else { s = s - 1; }
+       }
+       emit(s);
+       return 0; } |}
+
+let test_constfold_units () =
+  let fold k = Opt.Constfold.fold_kind k in
+  (match fold (Ir.Instr.Ibin (Ir.Types.Add, 1, Ir.Types.Imm 2, Ir.Types.Imm 3)) with
+  | Ir.Instr.Mov (1, Ir.Types.Imm 5) -> ()
+  | _ -> Alcotest.fail "2+3 should fold to 5");
+  (match fold (Ir.Instr.Ibin (Ir.Types.Div, 1, Ir.Types.Imm 7, Ir.Types.Imm 0)) with
+  | Ir.Instr.Mov (1, Ir.Types.Imm 0) -> ()
+  | _ -> Alcotest.fail "7/0 should fold to 0 (interpreter semantics)");
+  (match fold (Ir.Instr.Icmp (Ir.Types.Clt, 1, Ir.Types.Imm 2, Ir.Types.Imm 3)) with
+  | Ir.Instr.Mov (1, Ir.Types.Imm 1) -> ()
+  | _ -> Alcotest.fail "2<3 should fold to 1");
+  (match fold (Ir.Instr.Ibin (Ir.Types.Shl, 1, Ir.Types.Imm 1, Ir.Types.Imm 5)) with
+  | Ir.Instr.Mov (1, Ir.Types.Imm 32) -> ()
+  | _ -> Alcotest.fail "1<<5 should fold to 32");
+  (* Algebraic identities. *)
+  (match
+     Opt.Constfold.simplify_kind
+       (Ir.Instr.Ibin (Ir.Types.Mul, 1, Ir.Types.Reg 2, Ir.Types.Imm 1))
+   with
+  | Ir.Instr.Mov (1, Ir.Types.Reg 2) -> ()
+  | _ -> Alcotest.fail "x*1 should simplify to x");
+  match
+    Opt.Constfold.simplify_kind
+      (Ir.Instr.Ibin (Ir.Types.Mul, 1, Ir.Types.Reg 2, Ir.Types.Imm 0))
+  with
+  | Ir.Instr.Mov (1, Ir.Types.Imm 0) -> ()
+  | _ -> Alcotest.fail "x*0 should simplify to 0"
+
+let test_dce_removes_dead () =
+  let prog = compile sample_src in
+  let count_instrs p =
+    List.fold_left (fun acc f -> acc + Ir.Func.instr_count f) 0 p.Ir.Func.funcs
+  in
+  let before_out = outputs prog [] in
+  let before = count_instrs prog in
+  Opt.Constfold.run prog;
+  Opt.Copyprop.run prog;
+  Opt.Dce.run prog;
+  let after = count_instrs prog in
+  Alcotest.(check bool)
+    (Printf.sprintf "instructions removed (%d -> %d)" before after)
+    true (after < before);
+  Alcotest.(check (list (float 0.0))) "semantics preserved" before_out
+    (outputs prog [])
+
+let test_simplify_cfg_merges () =
+  let prog = compile sample_src in
+  let count_blocks p =
+    List.fold_left
+      (fun acc (f : Ir.Func.t) -> acc + List.length f.Ir.Func.blocks)
+      0 p.Ir.Func.funcs
+  in
+  let before_out = outputs prog [] in
+  let before = count_blocks prog in
+  Opt.Simplify_cfg.run prog;
+  Alcotest.(check bool) "blocks merged" true (count_blocks prog < before);
+  Alcotest.(check (list (float 0.0))) "semantics preserved" before_out
+    (outputs prog [])
+
+let test_unroll_duplicates_loops () =
+  let prog = compile sample_src in
+  let before_out = outputs prog [] in
+  let f = Ir.Func.find_func prog "main" in
+  let before = List.length f.Ir.Func.blocks in
+  Opt.Unroll.run prog;
+  Alcotest.(check bool) "blocks duplicated" true
+    (List.length f.Ir.Func.blocks > before);
+  Alcotest.(check (list (float 0.0))) "semantics preserved" before_out
+    (outputs prog []);
+  Alcotest.(check int) "still valid" 0
+    (List.length (Ir.Validate.check_program prog))
+
+let test_unroll_factor_4 () =
+  let prog = compile sample_src in
+  let before_out = outputs prog [] in
+  Opt.Unroll.run
+    ~config:{ Opt.Unroll.factor = 4; max_blocks = 8; max_instrs = 64 }
+    prog;
+  Alcotest.(check (list (float 0.0))) "semantics preserved at factor 4"
+    before_out (outputs prog [])
+
+(* Non-divisible trip counts are the classic unrolling bug. *)
+let test_unroll_odd_trip_count () =
+  let src =
+    {| int main() {
+         int s = 0; int i;
+         for (i = 0; i < 7; i = i + 1) { s = s + i * i; }
+         emit(s);
+         return 0; } |}
+  in
+  let prog = compile src in
+  let before = outputs prog [] in
+  Opt.Unroll.run prog;
+  Alcotest.(check (list (float 0.0))) "odd trip count" before (outputs prog [])
+
+let test_copyprop_rewrites () =
+  (* After r2 = mov r1, uses of r2 read r1 until either is clobbered. *)
+  let b =
+    {
+      Ir.Func.blabel = "b";
+      instrs =
+        [
+          Ir.Instr.make ~id:0 (Ir.Instr.Mov (2, Ir.Types.Reg 1));
+          Ir.Instr.make ~id:1
+            (Ir.Instr.Ibin (Ir.Types.Add, 3, Ir.Types.Reg 2, Ir.Types.Reg 2));
+          Ir.Instr.make ~id:2 (Ir.Instr.Mov (1, Ir.Types.Imm 9));
+          (* r1 clobbered: r2's copy relation is dead now. *)
+          Ir.Instr.make ~id:3
+            (Ir.Instr.Ibin (Ir.Types.Add, 4, Ir.Types.Reg 2, Ir.Types.Imm 0));
+        ];
+      term = Ir.Func.Ret None;
+    }
+  in
+  Opt.Copyprop.run_block b;
+  (match (List.nth b.Ir.Func.instrs 1).Ir.Instr.kind with
+  | Ir.Instr.Ibin (Ir.Types.Add, 3, Ir.Types.Reg 1, Ir.Types.Reg 1) -> ()
+  | k -> Alcotest.failf "expected propagated add, got %a" Ir.Instr.pp_kind k);
+  match (List.nth b.Ir.Func.instrs 3).Ir.Instr.kind with
+  | Ir.Instr.Ibin (Ir.Types.Add, 4, Ir.Types.Reg 2, Ir.Types.Imm 0) -> ()
+  | k ->
+    Alcotest.failf "copy must be killed by clobber of source, got %a"
+      Ir.Instr.pp_kind k
+
+let test_inline_small_functions () =
+  let src =
+    {| global int out[4];
+       int clampit(int v) {
+         if (v > 9) { return 9; }
+         if (v < 0) { return 0; }
+         return v;
+       }
+       int twice(int v) { return clampit(v) * 2; }
+       int main() {
+         int i; int s = 0;
+         for (i = 0 - 5; i < 15; i = i + 1) { s = s + twice(i); }
+         emit(s);
+         return 0; } |}
+  in
+  let reference = compile src in
+  let want = outputs reference [] in
+  let prog = compile src in
+  let inlined = Opt.Inline.run prog in
+  Alcotest.(check bool)
+    (Printf.sprintf "sites inlined (%d)" inlined)
+    true (inlined >= 2);
+  Alcotest.(check int) "valid after inlining" 0
+    (List.length (Ir.Validate.check_program prog));
+  Alcotest.(check (list (float 0.0))) "semantics preserved" want (outputs prog []);
+  (* No calls remain in main. *)
+  let calls = ref 0 in
+  Ir.Func.iter_instrs (Ir.Func.find_func prog "main") (fun _ i ->
+      if Ir.Instr.is_call i.Ir.Instr.kind then incr calls);
+  Alcotest.(check int) "main is call-free" 0 !calls
+
+let test_inline_respects_size_limit () =
+  let src =
+    {| global int big[64];
+       int huge(int v) {
+         int i; int s = v;
+         for (i = 0; i < 64; i = i + 1) { s = s + big[i] * i + s / 3 - i; }
+         return s;
+       }
+       int main() { emit(huge(3)); return 0; } |}
+  in
+  let prog = compile src in
+  let inlined =
+    Opt.Inline.run
+      ~config:{ Opt.Inline.default_config with Opt.Inline.max_callee_instrs = 10 }
+      prog
+  in
+  Alcotest.(check int) "oversized callee kept as a call" 0 inlined
+
+let test_inline_void_functions () =
+  let src =
+    {| global int log_[64];
+       void log_it(int v) { log_[v % 64] = v; emit(v); }
+       int main() {
+         int i;
+         for (i = 0; i < 5; i = i + 1) { log_it(i * 7); }
+         emit(log_[0]);
+         return 0; } |}
+  in
+  let reference = compile src in
+  let want = outputs reference [] in
+  let prog = compile src in
+  let inlined = Opt.Inline.run prog in
+  Alcotest.(check bool) "void call inlined" true (inlined >= 1);
+  Alcotest.(check (list (float 0.0))) "emit order preserved" want
+    (outputs prog [])
+
+let test_peephole_rewrites () =
+  (match
+     Opt.Peephole.rewrite
+       (Ir.Instr.Ibin (Ir.Types.Mul, 1, Ir.Types.Reg 2, Ir.Types.Imm 8))
+   with
+  | Ir.Instr.Ibin (Ir.Types.Shl, 1, Ir.Types.Reg 2, Ir.Types.Imm 3) -> ()
+  | k -> Alcotest.failf "x*8 should become x<<3, got %a" Ir.Instr.pp_kind k);
+  (match
+     Opt.Peephole.rewrite
+       (Ir.Instr.Ibin (Ir.Types.Mul, 1, Ir.Types.Reg 2, Ir.Types.Imm 12))
+   with
+  | Ir.Instr.Ibin (Ir.Types.Mul, _, _, _) -> ()
+  | k -> Alcotest.failf "x*12 must stay a multiply, got %a" Ir.Instr.pp_kind k);
+  (match
+     Opt.Peephole.rewrite
+       (Ir.Instr.Ibin (Ir.Types.Add, 1, Ir.Types.Reg 2, Ir.Types.Reg 2))
+   with
+  | Ir.Instr.Ibin (Ir.Types.Shl, 1, Ir.Types.Reg 2, Ir.Types.Imm 1) -> ()
+  | k -> Alcotest.failf "x+x should become x<<1, got %a" Ir.Instr.pp_kind k);
+  (* Division must never be strength-reduced (negative truncation). *)
+  match
+    Opt.Peephole.rewrite
+      (Ir.Instr.Ibin (Ir.Types.Div, 1, Ir.Types.Reg 2, Ir.Types.Imm 4))
+  with
+  | Ir.Instr.Ibin (Ir.Types.Div, _, _, _) -> ()
+  | k -> Alcotest.failf "x/4 must stay a divide, got %a" Ir.Instr.pp_kind k
+
+let test_peephole_log2 () =
+  Alcotest.(check (option int)) "log2 8" (Some 3) (Opt.Peephole.log2_exact 8);
+  Alcotest.(check (option int)) "log2 1" (Some 0) (Opt.Peephole.log2_exact 1);
+  Alcotest.(check (option int)) "log2 12" None (Opt.Peephole.log2_exact 12);
+  Alcotest.(check (option int)) "log2 0" None (Opt.Peephole.log2_exact 0);
+  Alcotest.(check (option int)) "log2 negative" None
+    (Opt.Peephole.log2_exact (-8))
+
+let test_globprop_across_blocks () =
+  (* dim = 128 in the entry feeds a loop bound in another block; after
+     global propagation + folding, the bound becomes an immediate. *)
+  let src =
+    {| global int a[200];
+       int main() {
+         int dim = 128;
+         int i; int s = 0;
+         for (i = 0; i < dim - 1; i = i + 1) { s = s + a[i]; }
+         emit(s);
+         return 0; } |}
+  in
+  let prog = compile src in
+  let want = outputs prog [] in
+  (* Two rounds: the first turns [dim - 1] into [mov 127], the second
+     pushes 127 into the comparison. *)
+  Opt.Globprop.run prog;
+  Opt.Constfold.run prog;
+  Opt.Globprop.run prog;
+  Alcotest.(check (list (float 0.0))) "semantics preserved" want
+    (outputs prog []);
+  (* Some use of the literal 128 (or the folded 127) must now appear as an
+     immediate operand in the loop header's comparison. *)
+  let found = ref false in
+  Ir.Func.iter_instrs (Ir.Func.find_func prog "main") (fun _ i ->
+      match i.Ir.Instr.kind with
+      | Ir.Instr.Icmp (Ir.Types.Clt, _, _, Ir.Types.Imm 127)
+      | Ir.Instr.Ibin (Ir.Types.Sub, _, Ir.Types.Imm 128, _) ->
+        found := true
+      | Ir.Instr.Ibin (Ir.Types.Sub, _, _, _) -> ()
+      | _ -> ());
+  Alcotest.(check bool) "bound propagated to an immediate" true !found
+
+(* The full pipeline preserves the output of every benchmark. *)
+let test_pipeline_preserves_benchmarks () =
+  List.iter
+    (fun (b : Benchmarks.Bench.t) ->
+      let reference = compile b.Benchmarks.Bench.source in
+      let before = outputs reference b.Benchmarks.Bench.train in
+      let optimized = compile b.Benchmarks.Bench.source in
+      Opt.Pipeline.run optimized;
+      Alcotest.(check (list (float 0.0)))
+        (b.Benchmarks.Bench.name ^ " output preserved")
+        before
+        (outputs optimized b.Benchmarks.Bench.train);
+      Alcotest.(check int)
+        (b.Benchmarks.Bench.name ^ " still valid")
+        0
+        (List.length (Ir.Validate.check_program optimized)))
+    Benchmarks.Registry.all
+
+let suite =
+  [
+    Alcotest.test_case "constant folding units" `Quick test_constfold_units;
+    Alcotest.test_case "dce removes dead code" `Quick test_dce_removes_dead;
+    Alcotest.test_case "cfg simplification merges blocks" `Quick
+      test_simplify_cfg_merges;
+    Alcotest.test_case "unrolling duplicates loops" `Quick
+      test_unroll_duplicates_loops;
+    Alcotest.test_case "unrolling by 4" `Quick test_unroll_factor_4;
+    Alcotest.test_case "unrolling odd trip counts" `Quick
+      test_unroll_odd_trip_count;
+    Alcotest.test_case "copy propagation" `Quick test_copyprop_rewrites;
+    Alcotest.test_case "inline small functions" `Quick
+      test_inline_small_functions;
+    Alcotest.test_case "inline size limit" `Quick
+      test_inline_respects_size_limit;
+    Alcotest.test_case "inline void functions" `Quick
+      test_inline_void_functions;
+    Alcotest.test_case "peephole rewrites" `Quick test_peephole_rewrites;
+    Alcotest.test_case "peephole log2" `Quick test_peephole_log2;
+    Alcotest.test_case "global constant propagation" `Quick
+      test_globprop_across_blocks;
+    Alcotest.test_case "pipeline preserves all benchmarks" `Slow
+      test_pipeline_preserves_benchmarks;
+  ]

@@ -1,0 +1,202 @@
+(* Direct tests of predicated execution semantics: hand-built IR using
+   the cmpp / cmp.unc / cmp.or / side-exit instructions, executed by the
+   interpreter.  These are the building blocks if-conversion emits; their
+   semantics must match IA-64's. *)
+
+let mk ?(guard = Ir.Types.p_true) id kind = Ir.Instr.make ~id ~guard kind
+
+let run_main blocks ~next_reg ~next_pred =
+  let f =
+    {
+      Ir.Func.fname = "main";
+      params = [];
+      blocks;
+      next_reg;
+      next_pred;
+      next_instr = 100;
+      frame_size = 0;
+    }
+  in
+  let prog = { Ir.Func.funcs = [ f ]; globals = []; main = "main" } in
+  Ir.Validate.check_exn prog;
+  (Profile.Interp.run (Profile.Layout.prepare prog)).Profile.Interp.output
+
+(* cmpp sets both targets; the guarded consumer sees exactly one side. *)
+let test_pdef_both_sides () =
+  let block v =
+    {
+      Ir.Func.blabel = "entry";
+      instrs =
+        [
+          mk 0 (Ir.Instr.Mov (1, Ir.Types.Imm v));
+          mk 1 (Ir.Instr.Pdef (Ir.Types.Cgt, 1, 2, Ir.Types.Reg 1, Ir.Types.Imm 10));
+          mk 2 ~guard:1 (Ir.Instr.Emit (Ir.Types.Imm 111));
+          mk 3 ~guard:2 (Ir.Instr.Emit (Ir.Types.Imm 222));
+        ];
+      term = Ir.Func.Ret None;
+    }
+  in
+  Alcotest.(check (list (float 0.0))) "taken side" [ 111.0 ]
+    (run_main [ block 50 ] ~next_reg:2 ~next_pred:3);
+  Alcotest.(check (list (float 0.0))) "fallthrough side" [ 222.0 ]
+    (run_main [ block 5 ] ~next_reg:2 ~next_pred:3)
+
+(* cmp.unc clears its target when nullified — no stale state across
+   iterations of a self-looping hyperblock. *)
+let test_pset_clears_when_nullified () =
+  let blocks =
+    [
+      {
+        Ir.Func.blabel = "entry";
+        instrs =
+          [
+            (* p1 = true initially; p2 = (1 > 0) under p1 -> true. *)
+            mk 0 (Ir.Instr.Pdef (Ir.Types.Ceq, 1, 2, Ir.Types.Imm 0, Ir.Types.Imm 0));
+            mk 1 ~guard:1
+              (Ir.Instr.Pset (Ir.Types.Cgt, 3, Ir.Types.Imm 1, Ir.Types.Imm 0));
+            mk 2 ~guard:3 (Ir.Instr.Emit (Ir.Types.Imm 1));
+            (* Now nullify the Pset: guard p2 is false; p3 MUST clear. *)
+            mk 3 ~guard:2
+              (Ir.Instr.Pset (Ir.Types.Cgt, 3, Ir.Types.Imm 1, Ir.Types.Imm 0));
+            mk 4 ~guard:3 (Ir.Instr.Emit (Ir.Types.Imm 2));
+          ];
+        term = Ir.Func.Ret None;
+      };
+    ]
+  in
+  Alcotest.(check (list (float 0.0)))
+    "nullified cmp.unc clears its target" [ 1.0 ]
+    (run_main blocks ~next_reg:1 ~next_pred:4)
+
+(* cmp.or only ever sets; accumulation over two edges. *)
+let test_por_accumulates () =
+  let blocks v1 v2 =
+    [
+      {
+        Ir.Func.blabel = "entry";
+        instrs =
+          [
+            mk 0 (Ir.Instr.Pclear 1);
+            mk 1 (Ir.Instr.Por (Ir.Types.Cgt, 1, Ir.Types.Imm v1, Ir.Types.Imm 0));
+            mk 2 (Ir.Instr.Por (Ir.Types.Cgt, 1, Ir.Types.Imm v2, Ir.Types.Imm 0));
+            mk 3 ~guard:1 (Ir.Instr.Emit (Ir.Types.Imm 7));
+            mk 4 (Ir.Instr.Emit (Ir.Types.Imm 9));
+          ];
+        term = Ir.Func.Ret None;
+      };
+    ]
+  in
+  Alcotest.(check (list (float 0.0))) "first edge fires" [ 7.0; 9.0 ]
+    (run_main (blocks 1 0) ~next_reg:1 ~next_pred:2);
+  Alcotest.(check (list (float 0.0))) "second edge fires" [ 7.0; 9.0 ]
+    (run_main (blocks 0 1) ~next_reg:1 ~next_pred:2);
+  Alcotest.(check (list (float 0.0))) "no edge fires" [ 9.0 ]
+    (run_main (blocks 0 0) ~next_reg:1 ~next_pred:2)
+
+(* A taken side exit leaves mid-block; a nullified one falls through. *)
+let test_side_exit () =
+  let blocks taken =
+    [
+      {
+        Ir.Func.blabel = "entry";
+        instrs =
+          [
+            mk 0
+              (Ir.Instr.Pset
+                 (Ir.Types.Cgt, 1, Ir.Types.Imm taken, Ir.Types.Imm 0));
+            mk 1 (Ir.Instr.Emit (Ir.Types.Imm 1));
+            mk 2 ~guard:1 (Ir.Instr.Exit "out");
+            mk 3 (Ir.Instr.Emit (Ir.Types.Imm 2));
+          ];
+        term = Ir.Func.Jmp "tail";
+      };
+      {
+        Ir.Func.blabel = "tail";
+        instrs = [ mk 4 (Ir.Instr.Emit (Ir.Types.Imm 3)) ];
+        term = Ir.Func.Ret None;
+      };
+      {
+        Ir.Func.blabel = "out";
+        instrs = [ mk 5 (Ir.Instr.Emit (Ir.Types.Imm 99)) ];
+        term = Ir.Func.Ret None;
+      };
+    ]
+  in
+  Alcotest.(check (list (float 0.0))) "exit taken" [ 1.0; 99.0 ]
+    (run_main (blocks 1) ~next_reg:1 ~next_pred:2);
+  Alcotest.(check (list (float 0.0))) "exit not taken" [ 1.0; 2.0; 3.0 ]
+    (run_main (blocks 0) ~next_reg:1 ~next_pred:2)
+
+(* A nullified store must not modify memory; a nullified load must not
+   clobber its destination. *)
+let test_nullified_memory_ops () =
+  let f =
+    {
+      Ir.Func.fname = "main";
+      params = [];
+      blocks =
+        [
+          {
+            Ir.Func.blabel = "entry";
+            instrs =
+              [
+                mk 0 (Ir.Instr.Gaddr (1, "g"));
+                mk 1
+                  (Ir.Instr.Store
+                     ( { Ir.Instr.base = Ir.Types.Reg 1;
+                         offset = Ir.Types.Imm 0; space = Ir.Instr.Global "g";
+                         hazard = false },
+                       Ir.Types.Imm 42 ));
+                (* p1 stays false: the guarded store below must not run. *)
+                mk 2 (Ir.Instr.Pclear 1);
+                mk 3 ~guard:1
+                  (Ir.Instr.Store
+                     ( { Ir.Instr.base = Ir.Types.Reg 1;
+                         offset = Ir.Types.Imm 0; space = Ir.Instr.Global "g";
+                         hazard = false },
+                       Ir.Types.Imm 7 ));
+                mk 4 (Ir.Instr.Mov (2, Ir.Types.Imm 5));
+                mk 5 ~guard:1
+                  (Ir.Instr.Load
+                     ( 2,
+                       { Ir.Instr.base = Ir.Types.Reg 1;
+                         offset = Ir.Types.Imm 0; space = Ir.Instr.Global "g";
+                         hazard = false } ));
+                mk 6
+                  (Ir.Instr.Load
+                     ( 3,
+                       { Ir.Instr.base = Ir.Types.Reg 1;
+                         offset = Ir.Types.Imm 0; space = Ir.Instr.Global "g";
+                         hazard = false } ));
+                mk 7 (Ir.Instr.Emit (Ir.Types.Reg 2));
+                mk 8 (Ir.Instr.Emit (Ir.Types.Reg 3));
+              ];
+            term = Ir.Func.Ret None;
+          };
+        ];
+      next_reg = 4;
+      next_pred = 2;
+      next_instr = 100;
+      frame_size = 0;
+    }
+  in
+  let prog =
+    { Ir.Func.funcs = [ f ];
+      globals = [ { Ir.Func.gname = "g"; gsize = 4; ginit = [||] } ];
+      main = "main" }
+  in
+  Ir.Validate.check_exn prog;
+  let out = (Profile.Interp.run (Profile.Layout.prepare prog)).Profile.Interp.output in
+  Alcotest.(check (list (float 0.0)))
+    "nullified load keeps r2; memory keeps 42" [ 5.0; 42.0 ] out
+
+let suite =
+  [
+    Alcotest.test_case "cmpp defines both sides" `Quick test_pdef_both_sides;
+    Alcotest.test_case "cmp.unc clears when nullified" `Quick
+      test_pset_clears_when_nullified;
+    Alcotest.test_case "cmp.or accumulates" `Quick test_por_accumulates;
+    Alcotest.test_case "predicated side exits" `Quick test_side_exit;
+    Alcotest.test_case "nullified memory operations" `Quick
+      test_nullified_memory_ops;
+  ]

@@ -1,0 +1,105 @@
+(* Tests for the profiler: block counts, edge probabilities, branch bias
+   and 2-bit predictability statistics. *)
+
+let profile_src ?(overrides = []) src =
+  let prog = Frontend.Minic.compile src in
+  let layout = Profile.Layout.prepare prog in
+  Profile.Prof.collect ~overrides layout
+
+let loop_src =
+  {| global int a[100];
+     int main() {
+       int i; int s = 0;
+       for (i = 0; i < 100; i = i + 1) {
+         if (a[i] > 0) { s = s + 1; } else { s = s - 1; }
+       }
+       emit(s);
+       return 0; } |}
+
+let test_block_counts () =
+  let p = profile_src loop_src in
+  Alcotest.(check int) "entry executed once" 1
+    (Profile.Prof.block_count p ~fname:"main" ~label:"entry");
+  (* The for-loop header runs trip count + 1 times. *)
+  Alcotest.(check int) "header runs 101 times" 101
+    (Profile.Prof.block_count p ~fname:"main" ~label:"for0");
+  Alcotest.(check int) "body runs 100 times" 100
+    (Profile.Prof.block_count p ~fname:"main" ~label:"fbody1")
+
+let test_edge_probabilities () =
+  let p = profile_src loop_src in
+  let prob = Profile.Prof.edge_prob p ~fname:"main" ~from_label:"for0" in
+  Alcotest.(check (float 1e-9)) "body edge" (100.0 /. 101.0)
+    (prob ~to_label:"fbody1");
+  Alcotest.(check (float 1e-9)) "exit edge" (1.0 /. 101.0)
+    (prob ~to_label:"fexit3")
+
+let test_branch_bias_all_zero_data () =
+  (* With a[i] = 0 everywhere, the then-branch is never taken. *)
+  let p = profile_src loop_src in
+  match Profile.Prof.term_branch_stats p ~fname:"main" ~label:"fbody1" with
+  | None -> Alcotest.fail "body should end in a conditional branch"
+  | Some bs ->
+    Alcotest.(check int) "executed 100 times" 100 bs.Profile.Prof.executions;
+    Alcotest.(check (float 1e-9)) "never taken" 0.0
+      (Profile.Prof.taken_bias bs);
+    Alcotest.(check bool) "highly predictable" true
+      (Profile.Prof.predictability bs > 0.95)
+
+let test_branch_predictability_alternating () =
+  let p =
+    profile_src
+      ~overrides:
+        [ ("a", Array.init 100 (fun i -> if i mod 2 = 0 then 1.0 else 0.0)) ]
+      loop_src
+  in
+  match Profile.Prof.term_branch_stats p ~fname:"main" ~label:"fbody1" with
+  | None -> Alcotest.fail "body should end in a conditional branch"
+  | Some bs ->
+    Alcotest.(check (float 0.02)) "half taken" 0.5
+      (Profile.Prof.taken_bias bs);
+    Alcotest.(check bool)
+      (Printf.sprintf "alternating is unpredictable (%.2f)"
+         (Profile.Prof.predictability bs))
+      true
+      (Profile.Prof.predictability bs <= 0.6)
+
+let test_interp_fuel () =
+  let src = {| int main() { while (1) { } return 0; } |} in
+  let prog = Frontend.Minic.compile src in
+  let layout = Profile.Layout.prepare prog in
+  Alcotest.check_raises "fuel exhausted" Profile.Interp.Out_of_fuel (fun () ->
+      ignore (Profile.Interp.run ~fuel:1000 layout))
+
+let test_interp_traps_oob () =
+  let src =
+    {| global int a[4];
+       int main() { emit(a[100]); return 0; } |}
+  in
+  let prog = Frontend.Minic.compile src in
+  let layout = Profile.Layout.prepare prog in
+  match Profile.Interp.run layout with
+  | exception Profile.Interp.Trap _ -> ()
+  | _ -> Alcotest.fail "expected an out-of-bounds trap"
+
+let test_checksum_order_sensitive () =
+  Alcotest.(check bool) "order matters" true
+    (Profile.Interp.checksum [ 1.0; 2.0 ]
+    <> Profile.Interp.checksum [ 2.0; 1.0 ]);
+  Alcotest.(check bool) "value matters" true
+    (Profile.Interp.checksum [ 1.0 ] <> Profile.Interp.checksum [ 1.5 ]);
+  Alcotest.(check int) "deterministic"
+    (Profile.Interp.checksum [ 3.25; -1.0 ])
+    (Profile.Interp.checksum [ 3.25; -1.0 ])
+
+let suite =
+  [
+    Alcotest.test_case "block execution counts" `Quick test_block_counts;
+    Alcotest.test_case "edge probabilities" `Quick test_edge_probabilities;
+    Alcotest.test_case "branch bias" `Quick test_branch_bias_all_zero_data;
+    Alcotest.test_case "predictability of alternation" `Quick
+      test_branch_predictability_alternating;
+    Alcotest.test_case "interpreter fuel" `Quick test_interp_fuel;
+    Alcotest.test_case "interpreter bounds check" `Quick test_interp_traps_oob;
+    Alcotest.test_case "output checksum" `Quick test_checksum_order_sensitive;
+  ]

@@ -1,0 +1,192 @@
+(* Tests for the dependence graph and the VLIW list scheduler. *)
+
+let cfg = Machine.Config.table3
+
+let mk id kind = Ir.Instr.make ~id kind
+
+(* A dependent chain: r2 = r1+1; r3 = r2+1; r4 = r3+1 *)
+let chain =
+  [|
+    mk 0 (Ir.Instr.Ibin (Ir.Types.Add, 2, Ir.Types.Reg 1, Ir.Types.Imm 1));
+    mk 1 (Ir.Instr.Ibin (Ir.Types.Add, 3, Ir.Types.Reg 2, Ir.Types.Imm 1));
+    mk 2 (Ir.Instr.Ibin (Ir.Types.Add, 4, Ir.Types.Reg 3, Ir.Types.Imm 1));
+  |]
+
+(* Three independent adds. *)
+let independent =
+  [|
+    mk 0 (Ir.Instr.Ibin (Ir.Types.Add, 2, Ir.Types.Reg 1, Ir.Types.Imm 1));
+    mk 1 (Ir.Instr.Ibin (Ir.Types.Add, 3, Ir.Types.Reg 1, Ir.Types.Imm 2));
+    mk 2 (Ir.Instr.Ibin (Ir.Types.Add, 4, Ir.Types.Reg 1, Ir.Types.Imm 3));
+  |]
+
+let test_depgraph_chain () =
+  let g = Sched.Depgraph.build chain in
+  Alcotest.(check (list (pair int int))) "0 -> 1 with add latency"
+    [ (1, 1) ] g.Sched.Depgraph.succs.(0);
+  Alcotest.(check int) "critical path = 3" 3 (Sched.Depgraph.critical_path g)
+
+let test_depgraph_independent () =
+  let g = Sched.Depgraph.build independent in
+  Array.iter
+    (fun succs -> Alcotest.(check int) "no edges" 0 (List.length succs))
+    g.Sched.Depgraph.succs;
+  Alcotest.(check int) "critical path = 1" 1 (Sched.Depgraph.critical_path g)
+
+let test_latency_weighted_depth () =
+  (* Gibbons-Muchnick: priority of a node is its latency-weighted distance
+     to the end; earlier chain nodes have higher priority. *)
+  let g = Sched.Depgraph.build chain in
+  let d = Sched.Depgraph.latency_weighted_depth g in
+  Alcotest.(check (list int)) "descending along the chain" [ 3; 2; 1 ]
+    (Array.to_list d)
+
+let test_schedule_chain_vs_parallel () =
+  let c = (Sched.List_sched.schedule_instrs ~config:cfg chain).Sched.List_sched.length in
+  let p =
+    (Sched.List_sched.schedule_instrs ~config:cfg independent).Sched.List_sched.length
+  in
+  Alcotest.(check int) "chain takes 3 cycles" 3 c;
+  Alcotest.(check int) "independent ops take 1 cycle (4 int units)" 1 p
+
+let test_resource_limits () =
+  (* 8 independent int adds on 4 int units need 2 issue cycles. *)
+  let adds =
+    Array.init 8 (fun i ->
+        mk i (Ir.Instr.Ibin (Ir.Types.Add, 10 + i, Ir.Types.Reg 1, Ir.Types.Imm i)))
+  in
+  let s = Sched.List_sched.schedule_instrs ~config:cfg adds in
+  Alcotest.(check int) "two issue cycles" 2 s.Sched.List_sched.length;
+  (* 4 independent loads on 2 memory units: issue over 2 cycles, last
+     result at cycle 1 + latency 2 = 3. *)
+  let loads =
+    Array.init 4 (fun i ->
+        mk i
+          (Ir.Instr.Load
+             ( 10 + i,
+               { Ir.Instr.base = Ir.Types.Imm 0; offset = Ir.Types.Imm i;
+                 space = Ir.Instr.Global "g"; hazard = false } )))
+  in
+  let s = Sched.List_sched.schedule_instrs ~config:cfg loads in
+  Alcotest.(check int) "loads over 2 mem units" 3 s.Sched.List_sched.length
+
+let test_memory_ordering () =
+  (* store a[0]; load a[0]: must stay ordered; load from another array is
+     independent. *)
+  let addr name off =
+    { Ir.Instr.base = Ir.Types.Imm 0; offset = Ir.Types.Imm off;
+      space = Ir.Instr.Global name; hazard = false }
+  in
+  let instrs =
+    [|
+      mk 0 (Ir.Instr.Store (addr "a" 0, Ir.Types.Imm 7));
+      mk 1 (Ir.Instr.Load (2, addr "a" 0));
+      mk 2 (Ir.Instr.Load (3, addr "b" 0));
+    |]
+  in
+  let g = Sched.Depgraph.build instrs in
+  Alcotest.(check bool) "store -> aliasing load edge" true
+    (List.mem_assoc 1 g.Sched.Depgraph.succs.(0));
+  Alcotest.(check bool) "store -/-> distinct space" false
+    (List.mem_assoc 2 g.Sched.Depgraph.succs.(0))
+
+let test_scheduled_order_respects_deps () =
+  (* After scheduling, every producer appears before its consumers. *)
+  let progs =
+    [ "rawcaudio"; "129.compress"; "101.tomcatv" ]
+  in
+  List.iter
+    (fun name ->
+      let b = Benchmarks.Registry.find name in
+      let prog = Frontend.Minic.compile b.Benchmarks.Bench.source in
+      Opt.Pipeline.run prog;
+      ignore (Sched.List_sched.schedule_program ~config:cfg prog);
+      List.iter
+        (fun (f : Ir.Func.t) ->
+          List.iter
+            (fun (blk : Ir.Func.block) ->
+              let seen_defs = Hashtbl.create 16 in
+              let defined_before = Hashtbl.create 16 in
+              (* A use of a register that is defined in this block must
+                 come after its (last) prior definition; since the
+                 scheduler preserves dependences, no use may precede the
+                 first def when the original block defined it first. *)
+              List.iter
+                (fun (i : Ir.Instr.t) ->
+                  List.iter
+                    (fun u ->
+                      if Hashtbl.mem seen_defs u then
+                        Hashtbl.replace defined_before u ())
+                    (Ir.Instr.uses i.Ir.Instr.kind);
+                  match Ir.Instr.def i.Ir.Instr.kind with
+                  | Some d -> Hashtbl.replace seen_defs d ()
+                  | None -> ())
+                blk.Ir.Func.instrs)
+            f.Ir.Func.blocks)
+        prog.Ir.Func.funcs;
+      (* The real check: the scheduled program still computes the same
+         output. *)
+      let reference = Frontend.Minic.compile b.Benchmarks.Bench.source in
+      let out p =
+        (Profile.Interp.run ~overrides:b.Benchmarks.Bench.train
+           (Profile.Layout.prepare p)).Profile.Interp.output
+      in
+      Alcotest.(check (list (float 0.0)))
+        (name ^ " scheduled semantics")
+        (out reference) (out prog))
+    progs
+
+let test_priority_features () =
+  let g = Sched.Depgraph.build chain in
+  let above = Sched.Priority.height_above g in
+  Alcotest.(check (list int)) "height above along the chain" [ 0; 1; 2 ]
+    (Array.to_list above);
+  (* The baseline ranking equals latency-weighted depth. *)
+  Alcotest.(check (list (float 0.0))) "baseline = lwd" [ 3.0; 2.0; 1.0 ]
+    (Array.to_list (Sched.Priority.baseline g));
+  (* The expression-driven instance of the same formula agrees. *)
+  Alcotest.(check (list (float 0.0))) "of_expr lwd agrees" [ 3.0; 2.0; 1.0 ]
+    (Array.to_list (Sched.Priority.of_expr Sched.Priority.baseline_expr g))
+
+let test_custom_priority_changes_order_not_semantics () =
+  (* An adversarial ranking (prefer shallow instructions) may produce a
+     worse schedule but never an incorrect one. *)
+  let b = Benchmarks.Registry.find "rawcaudio" in
+  let prog = Frontend.Minic.compile b.Benchmarks.Bench.source in
+  Opt.Pipeline.run prog;
+  let reference = Frontend.Minic.compile b.Benchmarks.Bench.source in
+  let inverse =
+    Sched.Priority.of_expr
+      (Gp.Sexp.parse_real Sched.Priority.feature_set "(sub 0.0 lwd)")
+  in
+  ignore (Sched.List_sched.schedule_program ~priority:inverse ~config:cfg prog);
+  let out p =
+    (Profile.Interp.run ~overrides:b.Benchmarks.Bench.train
+       (Profile.Layout.prepare p)).Profile.Interp.output
+  in
+  Alcotest.(check (list (float 0.0))) "inverse priority still correct"
+    (out reference) (out prog)
+
+let test_empty_block () =
+  let s = Sched.List_sched.schedule_instrs ~config:cfg [||] in
+  Alcotest.(check int) "empty block costs one cycle" 1
+    s.Sched.List_sched.length
+
+let suite =
+  [
+    Alcotest.test_case "dependence chain edges" `Quick test_depgraph_chain;
+    Alcotest.test_case "independent ops have no edges" `Quick
+      test_depgraph_independent;
+    Alcotest.test_case "latency-weighted depth" `Quick
+      test_latency_weighted_depth;
+    Alcotest.test_case "chain vs parallel schedules" `Quick
+      test_schedule_chain_vs_parallel;
+    Alcotest.test_case "functional unit limits" `Quick test_resource_limits;
+    Alcotest.test_case "memory ordering by space" `Quick test_memory_ordering;
+    Alcotest.test_case "scheduling preserves semantics" `Slow
+      test_scheduled_order_respects_deps;
+    Alcotest.test_case "priority features" `Quick test_priority_features;
+    Alcotest.test_case "custom priority preserves semantics" `Quick
+      test_custom_priority_changes_order_not_semantics;
+    Alcotest.test_case "empty block" `Quick test_empty_block;
+  ]
