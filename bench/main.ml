@@ -10,10 +10,12 @@
      METAOPT_POP    population size   (default 40; paper 400)
      METAOPT_GENS   generations       (default 10; paper 50)
      METAOPT_SEED   GP random seed    (default 42)
+     METAOPT_JOBS   evaluation workers (default 1; the paper's cluster)
 
    Usage:
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- fig4 fig5    # specific figures
+     dune exec bench/main.exe -- par          # parallel-engine comparison
      dune exec bench/main.exe -- micro        # Bechamel micro-benches
 *)
 
@@ -29,6 +31,8 @@ let params =
     generations = env_int "METAOPT_GENS" 10;
     rng_seed = env_int "METAOPT_SEED" 42;
   }
+
+let jobs = env_int "METAOPT_JOBS" 1
 
 let hr title =
   Fmt.pr "@.%s@.%s@." title (String.make (String.length title) '=')
@@ -63,7 +67,7 @@ let print_history title history =
 let specialization_figure kind benches =
   List.map
     (fun bench ->
-      let r = Driver.Study.specialize ~params kind bench in
+      let r = Driver.Study.specialize ~params ~jobs kind bench in
       Fmt.pr "%-16s %10.3f %10.3f   %s@." bench r.Driver.Study.train_speedup
         r.Driver.Study.novel_speedup
         (if String.length r.Driver.Study.best_expr > 48 then
@@ -75,15 +79,15 @@ let specialization_figure kind benches =
 (* Shared general-purpose runs: Figures 6-8, 11-12, 15-16 reuse the DSS
    evolutions. *)
 let general_hb = lazy
-  (Driver.Study.evolve_general ~params Driver.Study.Hyperblock_study
+  (Driver.Study.evolve_general ~params ~jobs Driver.Study.Hyperblock_study
      Benchmarks.Registry.hyperblock_train)
 
 let general_ra = lazy
-  (Driver.Study.evolve_general ~params Driver.Study.Regalloc_study
+  (Driver.Study.evolve_general ~params ~jobs Driver.Study.Regalloc_study
      Benchmarks.Registry.regalloc_train)
 
 let general_pf = lazy
-  (Driver.Study.evolve_general ~params Driver.Study.Prefetch_study
+  (Driver.Study.evolve_general ~params ~jobs Driver.Study.Prefetch_study
      Benchmarks.Registry.prefetch_train)
 
 (* ------------------------------------------------------------------ *)
@@ -102,7 +106,7 @@ let fig5 () =
   Fmt.pr
     "paper shape: a big early jump, then a plateau; random initial@.\
      expressions already beat the baseline@.@.";
-  let r = Driver.Study.specialize ~params Driver.Study.Hyperblock_study
+  let r = Driver.Study.specialize ~params ~jobs Driver.Study.Hyperblock_study
       "rawcaudio" in
   print_history "rawcaudio:" r.Driver.Study.history
 
@@ -117,7 +121,7 @@ let fig7 () =
   Fmt.pr "paper: avg 1.09; a few benchmarks slightly below 1.0@.@.";
   let g = Lazy.force general_hb in
   let rows =
-    Driver.Study.cross_validate Driver.Study.Hyperblock_study
+    Driver.Study.cross_validate ~jobs Driver.Study.Hyperblock_study
       g.Driver.Study.best Benchmarks.Registry.hyperblock_test
   in
   print_rows ~paper_train:1.09 ~paper_novel:1.09 rows
@@ -146,7 +150,7 @@ let fig10 () =
     "paper shape: gradual improvement; the baseline heuristic survives@.\
      in the population for several generations@.@.";
   let r =
-    Driver.Study.specialize ~params Driver.Study.Regalloc_study "djpeg"
+    Driver.Study.specialize ~params ~jobs Driver.Study.Regalloc_study "djpeg"
   in
   print_history "djpeg:" r.Driver.Study.history
 
@@ -162,7 +166,7 @@ let fig12 () =
   let g = Lazy.force general_ra in
   Fmt.pr "--- 32-register machine@.";
   let rows32 =
-    Driver.Study.cross_validate Driver.Study.Regalloc_study
+    Driver.Study.cross_validate ~jobs Driver.Study.Regalloc_study
       g.Driver.Study.best Benchmarks.Registry.regalloc_test
   in
   print_rows ~paper_train:1.03 ~paper_novel:1.03 rows32;
@@ -172,7 +176,7 @@ let fig12 () =
       name = "table3-48reg" }
   in
   let rows48 =
-    Driver.Study.cross_validate ~machine:machine48 Driver.Study.Regalloc_study
+    Driver.Study.cross_validate ~jobs ~machine:machine48 Driver.Study.Regalloc_study
       g.Driver.Study.best Benchmarks.Registry.regalloc_test
   in
   print_rows ~paper_train:1.03 ~paper_novel:1.03 rows48
@@ -192,7 +196,7 @@ let fig13 () =
     Gp.Expr.Bool (Gp.Sexp.parse_bool Prefetch.Features.feature_set "false")
   in
   let off_rows =
-    Driver.Study.cross_validate Driver.Study.Prefetch_study off
+    Driver.Study.cross_validate ~jobs Driver.Study.Prefetch_study off
       Benchmarks.Registry.prefetch_specialize
   in
   Fmt.pr "@.no-prefetch-at-all speedups over the ORC baseline:@.";
@@ -202,7 +206,7 @@ let fig14 () =
   hr "Figure 14: prefetching evolution";
   Fmt.pr "paper shape: baseline quickly weeded out; early plateau@.@.";
   let r =
-    Driver.Study.specialize ~params Driver.Study.Prefetch_study "103.su2cor"
+    Driver.Study.specialize ~params ~jobs Driver.Study.Prefetch_study "103.su2cor"
   in
   print_history "103.su2cor:" r.Driver.Study.history
 
@@ -221,13 +225,13 @@ let fig16 () =
   let g = Lazy.force general_pf in
   Fmt.pr "--- itanium1@.";
   let rows =
-    Driver.Study.cross_validate Driver.Study.Prefetch_study
+    Driver.Study.cross_validate ~jobs Driver.Study.Prefetch_study
       g.Driver.Study.best Benchmarks.Registry.prefetch_test
   in
   print_rows ~paper_train:1.1 ~paper_novel:1.1 rows;
   Fmt.pr "--- itanium with a small L2@.";
   let rows2 =
-    Driver.Study.cross_validate ~machine:Machine.Config.itanium_small_l2
+    Driver.Study.cross_validate ~jobs ~machine:Machine.Config.itanium_small_l2
       Driver.Study.Prefetch_study g.Driver.Study.best
       Benchmarks.Registry.prefetch_test
   in
@@ -252,7 +256,7 @@ let ext_sched () =
 let ablations () =
   hr "Ablations: GP design choices (hyperblock study on rawcaudio)";
   let run name p =
-    let r = Driver.Study.specialize ~params:p Driver.Study.Hyperblock_study
+    let r = Driver.Study.specialize ~params:p ~jobs Driver.Study.Hyperblock_study
         "rawcaudio" in
     let last_size =
       match List.rev r.Driver.Study.history with
@@ -270,6 +274,46 @@ let ablations () =
   run "high mutation (25%)" { params with Gp.Params.mutation_rate = 0.25 }
 
 (* ------------------------------------------------------------------ *)
+
+(* The parallel, cached fitness engine: the same small evolve_general run
+   at -j 1 and -j 4 must produce identical evolved results for the same
+   seed; wall-clock improves with the core count (the container running
+   this may be single-core, in which case forking buys nothing and the
+   ratio honestly reports ~1x). *)
+let par () =
+  hr "Parallel fitness engine: evolve_general at -j 1 vs -j 4";
+  Fmt.pr "same seed, identical results required; speedup scales with cores@.";
+  Fmt.pr "(detected cores: %d)@.@."
+    (try
+       let ic = Unix.open_process_in "getconf _NPROCESSORS_ONLN" in
+       let n = int_of_string (String.trim (input_line ic)) in
+       ignore (Unix.close_process_in ic);
+       n
+     with _ -> 1);
+  let p =
+    { params with Gp.Params.population_size = min 24 params.Gp.Params.population_size;
+      generations = min 6 params.Gp.Params.generations }
+  in
+  let benches = [ "codrle4"; "decodrle4"; "rawcaudio"; "huff_enc" ] in
+  let timed j =
+    let t = Unix.gettimeofday () in
+    let g = Driver.Study.evolve_general ~params:p ~jobs:j
+        Driver.Study.Hyperblock_study benches in
+    (Unix.gettimeofday () -. t, g)
+  in
+  let t1, g1 = timed 1 in
+  let t4, g4 = timed 4 in
+  let same =
+    g1.Driver.Study.best_expr = g4.Driver.Study.best_expr
+    && List.for_all2
+         (fun (n1, tr1, no1) (n2, tr2, no2) ->
+           n1 = n2 && tr1 = tr2 && no1 = no2)
+         g1.Driver.Study.train_rows g4.Driver.Study.train_rows
+  in
+  Fmt.pr "-j 1: %6.2fs@." t1;
+  Fmt.pr "-j 4: %6.2fs   speedup %.2fx@." t4 (t1 /. t4);
+  Fmt.pr "identical evolved results: %s@." (if same then "yes" else "NO!");
+  Fmt.pr "best: %s@." g1.Driver.Study.best_expr
 
 (* Bechamel micro-benchmarks of the hot paths: expression evaluation,
    genetic operators, dependence-graph construction and scheduling, cache
@@ -366,7 +410,7 @@ let all_figures =
     ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("fig11", fig11);
     ("fig12", fig12); ("fig13", fig13); ("fig14", fig14); ("fig15", fig15);
     ("fig16", fig16); ("ext-sched", ext_sched); ("ablations", ablations);
-    ("micro", micro);
+    ("par", par); ("micro", micro);
   ]
 
 let () =
@@ -378,8 +422,10 @@ let () =
     | _ -> List.map fst all_figures
   in
   Fmt.pr "Meta Optimization benchmark harness@.";
-  Fmt.pr "GP scale: population %d, generations %d (env METAOPT_POP/GENS)@."
-    params.Gp.Params.population_size params.Gp.Params.generations;
+  Fmt.pr
+    "GP scale: population %d, generations %d, %d evaluation worker(s)@.\
+     (env METAOPT_POP/GENS/JOBS)@."
+    params.Gp.Params.population_size params.Gp.Params.generations jobs;
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun name ->

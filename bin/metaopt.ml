@@ -23,14 +23,7 @@ let study_conv =
     | s ->
       Error (`Msg ("unknown study " ^ s ^ " (hyperblock|regalloc|prefetch|sched)"))
   in
-  let print ppf k =
-    Fmt.string ppf
-      (match k with
-      | Driver.Study.Hyperblock_study -> "hyperblock"
-      | Driver.Study.Regalloc_study -> "regalloc"
-      | Driver.Study.Prefetch_study -> "prefetch"
-      | Driver.Study.Sched_study -> "sched")
-  in
+  let print ppf k = Fmt.string ppf (Driver.Study.kind_name k) in
   Arg.conv (parse, print)
 
 let bench_arg =
@@ -49,6 +42,20 @@ let gens =
 
 let seed =
   Arg.(value & opt int 42 & info [ "seed" ] ~doc:"GP random seed")
+
+let jobs =
+  Arg.(value & opt int 1
+       & info [ "j"; "jobs" ]
+           ~doc:"Evaluate candidates on $(docv) forked workers (1 = sequential)"
+           ~docv:"N")
+
+let cache_dir =
+  Arg.(value & opt (some string) None
+       & info [ "cache-dir" ]
+           ~doc:"Persist the fitness cache in $(docv) so identical \
+                 (heuristic, benchmark, dataset) evaluations are reused \
+                 across runs"
+           ~docv:"DIR")
 
 let params_of pop gens seed =
   {
@@ -182,10 +189,10 @@ let profile_cmd =
 
 (* --- specialize ----------------------------------------------------------- *)
 
-let specialize study bench pop gens seed save =
+let specialize study bench pop gens seed jobs cache_dir save =
   setup_logs ();
   let params = params_of pop gens seed in
-  let r = Driver.Study.specialize ~params study bench in
+  let r = Driver.Study.specialize ~params ~jobs ?cache_dir study bench in
   (match save with
   | Some path ->
     let fs = Driver.Study.feature_set_of study in
@@ -212,13 +219,14 @@ let specialize_cmd =
     (Cmd.info "specialize"
        ~doc:"Evolve an application-specific priority function")
     Term.(
-      const specialize $ study_arg $ bench_arg $ pop $ gens $ seed
+      const specialize $ study_arg $ bench_arg $ pop $ gens $ seed $ jobs
+      $ cache_dir
       $ Arg.(value & opt (some string) None
              & info [ "save" ] ~doc:"Write the evolved heuristics to a file"))
 
 (* --- evolve (general-purpose) ---------------------------------------------- *)
 
-let evolve study pop gens seed =
+let evolve study pop gens seed jobs cache_dir =
   setup_logs ();
   let params = params_of pop gens seed in
   let benches =
@@ -228,7 +236,7 @@ let evolve study pop gens seed =
     | Driver.Study.Prefetch_study -> Benchmarks.Registry.prefetch_train
     | Driver.Study.Sched_study -> Benchmarks.Registry.hyperblock_train
   in
-  let g = Driver.Study.evolve_general ~params study benches in
+  let g = Driver.Study.evolve_general ~params ~jobs ?cache_dir study benches in
   Fmt.pr "best heuristic: %s@.@." g.Driver.Study.best_expr;
   Fmt.pr "%-16s %8s %8s@." "benchmark" "train" "novel";
   let avg sel rows =
@@ -245,7 +253,7 @@ let evolve study pop gens seed =
 let evolve_cmd =
   Cmd.v
     (Cmd.info "evolve" ~doc:"Evolve a general-purpose priority function (DSS)")
-    Term.(const evolve $ study_arg $ pop $ gens $ seed)
+    Term.(const evolve $ study_arg $ pop $ gens $ seed $ jobs $ cache_dir)
 
 (* --- compare: one benchmark under explicit heuristic expressions ----------- *)
 

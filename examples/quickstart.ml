@@ -8,10 +8,19 @@
      3. report the evolved expression and its speedup on the training and
         on the novel dataset.
 
-   Run with:  dune exec examples/quickstart.exe  [benchmark] *)
+   Run with:  dune exec examples/quickstart.exe  [benchmark] [jobs]
+
+   The second argument fans candidate evaluation out over that many
+   forked workers (the single-machine analogue of the paper's 15-20
+   machine cluster); results are identical at any worker count. *)
 
 let () =
   let bench = if Array.length Sys.argv > 1 then Sys.argv.(1) else "rawcaudio" in
+  let jobs =
+    if Array.length Sys.argv > 2 then
+      try int_of_string Sys.argv.(2) with _ -> 1
+    else 1
+  in
   Fmt.pr "=== Meta Optimization quickstart: %s ===@.@." bench;
   let b = Benchmarks.Registry.find bench in
   Fmt.pr "benchmark : %s (%s, %s)@." b.Benchmarks.Bench.name
@@ -26,10 +35,10 @@ let () =
       generations = 8;
     }
   in
-  Fmt.pr "evolving (population %d, %d generations)...@."
-    params.Gp.Params.population_size params.Gp.Params.generations;
+  Fmt.pr "evolving (population %d, %d generations, %d worker(s))...@."
+    params.Gp.Params.population_size params.Gp.Params.generations jobs;
   let result =
-    Driver.Study.specialize ~params Driver.Study.Hyperblock_study bench
+    Driver.Study.specialize ~params ~jobs Driver.Study.Hyperblock_study bench
   in
   Fmt.pr "@.generation history (best fitness = speedup over baseline):@.";
   List.iter

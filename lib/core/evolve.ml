@@ -2,14 +2,48 @@
 
    The driver is generic over the fitness evaluator: a [problem] provides a
    feature set, the genome sort (real-valued or Boolean-valued priority),
-   an optional baseline seed expression, and a per-case evaluation function
-   returning the speedup of a candidate over the compiler's baseline
-   heuristic on one training case (benchmark).  Fitness is the average
-   speedup over the cases considered in the generation, exactly the
-   paper's fitness definition from Table 2.
+   an optional baseline seed expression, and a batch [evaluator] returning
+   the speedup of each candidate over the compiler's baseline heuristic on
+   each requested training case.  Fitness is the average speedup over the
+   cases considered in the generation, exactly the paper's fitness
+   definition from Table 2.
 
-   Fitness evaluations are memoized per (expression, case) because each one
-   costs a full compile-and-simulate cycle. *)
+   Each generation is evaluated as one batch so a parallel evaluator can
+   fan the whole population out at once.  Evaluators memoize per
+   (canonical genome, case) because each evaluation costs a full
+   compile-and-simulate cycle. *)
+
+type evaluator = {
+  evaluate_batch : Expr.genome array -> cases:int list -> float array array;
+  evaluations : unit -> int;
+}
+
+let sanitize v = if Float.is_finite v && v > 0.0 then v else 0.0
+
+(* Memoization is keyed on the simplified genome, so crossover products
+   that reduce to an already-seen expression are cache hits; [f] is called
+   on the canonical form for the same reason. *)
+let evaluator_of_fn f =
+  let memo : (Expr.genome * int, float) Hashtbl.t = Hashtbl.create 4096 in
+  let count = ref 0 in
+  let evaluate_batch genomes ~cases =
+    Array.map
+      (fun g ->
+        let cg = Simplify.genome g in
+        Array.of_list
+          (List.map
+             (fun c ->
+               match Hashtbl.find_opt memo (cg, c) with
+               | Some v -> v
+               | None ->
+                 incr count;
+                 let v = sanitize (f cg c) in
+                 Hashtbl.replace memo (cg, c) v;
+                 v)
+             cases))
+      genomes
+  in
+  { evaluate_batch; evaluations = (fun () -> !count) }
 
 type problem = {
   fs : Feature_set.t;
@@ -17,7 +51,7 @@ type problem = {
   baseline : Expr.genome option;
   n_cases : int;
   case_name : int -> string;
-  evaluate : Expr.genome -> int -> float;
+  evaluator : evaluator;
 }
 
 type individual = {
@@ -52,25 +86,10 @@ let better ~eps a b =
 
 let run ?(params = Params.default) ?on_generation (p : problem) : result =
   if p.n_cases <= 0 then invalid_arg "Evolve.run: no training cases";
+  let evaluations0 = p.evaluator.evaluations () in
   let rng = Random.State.make [| params.Params.rng_seed |] in
   let gen_cfg =
     { (Gen.default_config p.fs) with Gen.max_depth = params.Params.init_depth }
-  in
-  let memo : (Expr.genome * int, float) Hashtbl.t = Hashtbl.create 4096 in
-  let evaluations = ref 0 in
-  let eval_case g c =
-    match Hashtbl.find_opt memo (g, c) with
-    | Some v -> v
-    | None ->
-      incr evaluations;
-      let v = p.evaluate g c in
-      let v = if Float.is_finite v && v > 0.0 then v else 0.0 in
-      Hashtbl.replace memo (g, c) v;
-      v
-  in
-  let mean_over cases g =
-    let sum = List.fold_left (fun acc c -> acc +. eval_case g c) 0.0 cases in
-    sum /. float_of_int (List.length cases)
   in
   (* --- Initial population --- *)
   let seed =
@@ -96,10 +115,12 @@ let run ?(params = Params.default) ?on_generation (p : problem) : result =
     else None
   in
   let eps = params.Params.parsimony_eps in
-  let tournament () =
-    let best = ref pop.(Random.State.int rng n) in
+  (* Tournament over a snapshot of the evaluated generation: offspring
+     never compete as parents until they have been batch-scored. *)
+  let tournament pool =
+    let best = ref pool.(Random.State.int rng n) in
     for _ = 2 to params.Params.tournament_size do
-      let c = pop.(Random.State.int rng n) in
+      let c = pool.(Random.State.int rng n) in
       if better ~eps c !best then best := c
     done;
     !best
@@ -111,6 +132,21 @@ let run ?(params = Params.default) ?on_generation (p : problem) : result =
     done;
     !bi
   in
+  (* One batch per generation: the whole population against the subset.
+     Returns the fitness matrix (row per individual, column per case). *)
+  let evaluate_population cases =
+    let matrix =
+      p.evaluator.evaluate_batch
+        (Array.map (fun ind -> ind.genome) pop)
+        ~cases
+    in
+    let k = float_of_int (List.length cases) in
+    Array.iteri
+      (fun i ind ->
+        ind.fitness <- Array.fold_left ( +. ) 0.0 matrix.(i) /. k)
+      pop;
+    matrix
+  in
   let history = ref [] in
   for gen = 0 to params.Params.generations - 1 do
     let subset =
@@ -118,17 +154,18 @@ let run ?(params = Params.default) ?on_generation (p : problem) : result =
       | Some d -> Dss.select d rng
       | None -> all_cases
     in
-    (* Evaluate the whole population on this generation's subset. *)
-    Array.iter (fun ind -> ind.fitness <- mean_over subset ind.genome) pop;
-    (* DSS difficulty update: per-case failure rate this generation. *)
+    let matrix = evaluate_population subset in
+    (* DSS difficulty update: per-case failure rate this generation, read
+       straight off the fitness matrix. *)
     (match dss with
     | Some d ->
+      let columns = List.mapi (fun j c -> (c, j)) subset in
       let failure_rate c =
+        let j = List.assoc c columns in
         let fails =
           Array.fold_left
-            (fun acc ind ->
-              if eval_case ind.genome c < 1.0 then acc + 1 else acc)
-            0 pop
+            (fun acc row -> if row.(j) < 1.0 then acc + 1 else acc)
+            0 matrix
         in
         float_of_int fails /. float_of_int n
       in
@@ -151,15 +188,18 @@ let run ?(params = Params.default) ?on_generation (p : problem) : result =
     history := stats :: !history;
     (match on_generation with Some f -> f stats | None -> ());
     (* --- Reproduction: replace a random fraction of the population (the
-       elite excepted) with crossover offspring, some of them mutated. --- *)
+       elite excepted) with crossover offspring, some of them mutated.
+       Parents come from the evaluated snapshot; offspring are scored by
+       the next generation's batch. --- *)
     if gen < params.Params.generations - 1 then begin
+      let parents = Array.copy pop in
       let n_replace =
         int_of_float (Float.round (params.Params.replacement_frac *. float_of_int n))
       in
       for _ = 1 to n_replace do
         let slot = Random.State.int rng n in
         if (not params.Params.elitism) || slot <> bi then begin
-          let pa = tournament () and pb = tournament () in
+          let pa = tournament parents and pb = tournament parents in
           let child =
             Genetic_ops.crossover_bounded rng ~max_depth:params.Params.max_depth
               pa.genome pb.genome
@@ -171,24 +211,22 @@ let run ?(params = Params.default) ?on_generation (p : problem) : result =
             else child
           in
           pop.(slot) <-
-            { genome = child;
-              fitness = mean_over subset child;
-              size = Expr.size child }
+            { genome = child; fitness = 0.0; size = Expr.size child }
         end
       done
     end
   done;
-  (* Final: score the best individual on the full training set. *)
-  Array.iter (fun ind -> ind.fitness <- mean_over all_cases ind.genome) pop;
+  (* Final: score the whole population on the full training set. *)
+  let final = evaluate_population all_cases in
   let bi = best_index () in
   let best = pop.(bi) in
   let per_case =
-    Array.init p.n_cases (fun c -> (p.case_name c, eval_case best.genome c))
+    Array.init p.n_cases (fun c -> (p.case_name c, final.(bi).(c)))
   in
   {
     best = best.genome;
     best_fitness = best.fitness;
     per_case;
     history = List.rev !history;
-    evaluations = !evaluations;
+    evaluations = p.evaluator.evaluations () - evaluations0;
   }

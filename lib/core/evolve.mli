@@ -1,12 +1,36 @@
 (** The evolutionary search driver (Figure 2 of the paper).
 
     Generic over the fitness evaluator: a {!problem} provides the feature
-    set, the genome sort, an optional baseline seed, and a per-case
-    evaluation returning the speedup of a candidate over the compiler's
-    baseline heuristic.  Fitness is the average speedup over the cases
-    considered in a generation, the paper's Table 2 definition.  Per-case
-    evaluations are memoized — each one costs a compile-and-simulate
-    cycle. *)
+    set, the genome sort, an optional baseline seed, and a batch
+    {!evaluator} returning the speedup of each candidate over the
+    compiler's baseline heuristic on each requested case.  Fitness is the
+    average speedup over the cases considered in a generation, the
+    paper's Table 2 definition.
+
+    The driver evaluates each population as one batch, so an evaluator
+    backed by a process pool (see [Driver.Evaluator]) parallelizes a whole
+    generation at once — the single-machine analogue of the paper's
+    15-20 machine cluster. *)
+
+(** A batch fitness engine.  Implementations are expected to memoize per
+    (canonical genome, case) — each evaluation costs a compile-and-simulate
+    cycle — and to return sanitized values: finite, non-negative, with any
+    failure scoring 0 (the paper's "wrong output gets fitness 0" rule). *)
+type evaluator = {
+  evaluate_batch : Expr.genome array -> cases:int list -> float array array;
+      (** [evaluate_batch pop ~cases] returns one row per genome, one
+          column per case, in the order given. *)
+  evaluations : unit -> int;
+      (** Cumulative count of non-memoized evaluations performed. *)
+}
+
+val evaluator_of_fn : (Expr.genome -> int -> float) -> evaluator
+(** A sequential, memoizing evaluator over a per-(genome, case) fitness
+    function, for tests and synthetic problems.  Memoization is keyed on
+    the {!Simplify.genome}-canonical form, so semantically identical
+    candidates share one evaluation; [f] is invoked on the canonical
+    genome and must be a function of the genome's value.  Non-finite and
+    negative results are clamped to 0. *)
 
 type problem = {
   fs : Feature_set.t;
@@ -14,7 +38,7 @@ type problem = {
   baseline : Expr.genome option;
   n_cases : int;                          (** training benchmarks *)
   case_name : int -> string;
-  evaluate : Expr.genome -> int -> float; (** speedup of genome on case *)
+  evaluator : evaluator;                  (** batch fitness engine *)
 }
 
 type individual = {
@@ -37,7 +61,7 @@ type result = {
   best_fitness : float;  (** mean speedup over all cases *)
   per_case : (string * float) array;
   history : generation_stats list;
-  evaluations : int;     (** non-memoized fitness evaluations *)
+  evaluations : int;     (** non-memoized fitness evaluations this run *)
 }
 
 val better : eps:float -> individual -> individual -> bool
@@ -48,8 +72,9 @@ val run :
   ?params:Params.t -> ?on_generation:(generation_stats -> unit) ->
   problem -> result
 (** Runs the evolution of Figure 2: seeded + ramped initial population,
-    per-generation (DSS-chosen) fitness evaluation, tournament selection,
-    bounded depth-fair crossover, mutation, elitism, and a final scoring
-    of the best individual on the full training set.
+    per-generation (DSS-chosen) batch fitness evaluation, tournament
+    selection over the evaluated generation, bounded depth-fair
+    crossover, mutation, elitism, and a final batch scoring of the
+    population on the full training set.
 
     @raise Invalid_argument if the problem has no training cases. *)

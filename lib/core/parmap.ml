@@ -1,0 +1,61 @@
+(* A minimal fork-based process pool.
+
+   Tasks are dealt round-robin: worker [w] owns indices w, w+jobs, ...
+   Each worker writes [(index, result)] pairs to its pipe as they
+   complete, flushing after every task, so a worker that dies mid-chunk
+   loses only the tasks it had not yet flushed — the parent fills those
+   with [fallback].  The parent drains the workers one at a time; pipes
+   buffer in the kernel, so slower workers simply block on write until
+   their turn, and no deadlock is possible with single-reader pipes. *)
+
+let available = Sys.unix
+
+let sequential ~fallback f xs =
+  Array.map (fun x -> try f x with _ -> fallback) xs
+
+let map ?(jobs = 1) ~fallback f xs =
+  let n = Array.length xs in
+  let jobs = if available then min jobs (max 1 n) else 1 in
+  if n = 0 || jobs <= 1 then sequential ~fallback f xs
+  else begin
+    (* Anything buffered in the parent must not be replayed by children
+       (children exit through [Unix._exit], which skips flushing). *)
+    flush stdout;
+    flush stderr;
+    let results = Array.make n fallback in
+    let spawn w =
+      let rd, wr = Unix.pipe () in
+      match Unix.fork () with
+      | 0 ->
+        Unix.close rd;
+        let oc = Unix.out_channel_of_descr wr in
+        (try
+           let i = ref w in
+           while !i < n do
+             let v = try f xs.(!i) with _ -> fallback in
+             Marshal.to_channel oc (!i, v) [];
+             flush oc;
+             i := !i + jobs
+           done;
+           close_out oc
+         with _ -> ());
+        Unix._exit 0
+      | pid ->
+        Unix.close wr;
+        (pid, rd)
+    in
+    let workers = Array.init jobs spawn in
+    Array.iter
+      (fun (pid, rd) ->
+        let ic = Unix.in_channel_of_descr rd in
+        (try
+           while true do
+             let (i, v) : int * _ = Marshal.from_channel ic in
+             if i >= 0 && i < n then results.(i) <- v
+           done
+         with End_of_file | Failure _ -> ());
+        (try close_in ic with _ -> ());
+        (try ignore (Unix.waitpid [] pid) with _ -> ()))
+      workers;
+    results
+  end

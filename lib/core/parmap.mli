@@ -1,0 +1,28 @@
+(** A minimal [Unix.fork]-based process pool for fitness evaluation.
+
+    The paper ran its fitness loop on a 15-20 machine cluster; this module
+    is the single-machine analogue: [map] fans an array of independent
+    tasks out over [jobs] forked workers and reassembles the results in
+    input order.  Workers inherit the parent's heap, so tasks need no
+    input serialization — only results cross a pipe, via [Marshal], and
+    must therefore contain no closures.
+
+    Failure isolation: a task that raises, or a worker that dies outright
+    (segfault, [kill -9]), never takes the run down.  Every result the
+    worker managed to flush before dying is kept; the missing ones become
+    [fallback] — the paper's "wrong output gets fitness 0" rule at the
+    process level. *)
+
+val available : bool
+(** Whether forking is supported on this platform.  When [false], [map]
+    always degrades to the sequential path. *)
+
+val map : ?jobs:int -> fallback:'b -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs ~fallback f xs] is [Array.map f xs], computed by [jobs]
+    forked workers (tasks are dealt round-robin).  Results arrive in input
+    order.  Any task whose result cannot be obtained — [f] raised, or its
+    worker crashed — yields [fallback] instead.
+
+    [jobs <= 1] (the default) runs sequentially in-process, with the same
+    per-task exception isolation and no forking.  Results must be
+    marshalable when [jobs > 1].  Not reentrant from inside a task. *)

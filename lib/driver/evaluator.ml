@@ -1,0 +1,148 @@
+(* The parallel, cached fitness engine.  See evaluator.mli for the
+   batch-request pipeline: canonicalize -> cache lookup -> Parmap fan-out
+   -> cache fill. *)
+
+type t = {
+  jobs : int;
+  fs : Gp.Feature_set.t;
+  scope : string;
+  case_name : int -> string;
+  eval : Gp.Expr.genome -> int -> float;
+  memo : (string * int, float) Hashtbl.t;   (* (canonical key, case) *)
+  disk : (string, float) Hashtbl.t;         (* digest -> fitness *)
+  cache_file : string option;
+  mutable evaluations : int;
+}
+
+let sanitize v = if Float.is_finite v && v > 0.0 then v else 0.0
+
+(* The persistent key folds in everything fitness depends on besides the
+   expression itself: the caller's scope (study, machine, dataset) and the
+   case's benchmark name. *)
+let digest_key t key case =
+  Digest.to_hex
+    (Digest.string (t.scope ^ "\x00" ^ t.case_name case ^ "\x00" ^ key))
+
+(* One "digest value" pair per line, hex floats for exact round-trips.
+   Unparsable lines (e.g. a torn write from a killed run) are skipped. *)
+let load_disk path tbl =
+  match open_in path with
+  | exception Sys_error _ -> ()
+  | ic ->
+    (try
+       while true do
+         let line = input_line ic in
+         match String.index_opt line ' ' with
+         | Some i ->
+           (try
+              Hashtbl.replace tbl
+                (String.sub line 0 i)
+                (float_of_string
+                   (String.sub line (i + 1) (String.length line - i - 1)))
+            with _ -> ())
+         | None -> ()
+       done
+     with End_of_file -> ());
+    close_in ic
+
+let append_disk t entries =
+  match t.cache_file with
+  | None -> ()
+  | Some path ->
+    (try
+       let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+       List.iter
+         (fun (digest, v) -> Printf.fprintf oc "%s %h\n" digest v)
+         entries;
+       close_out oc
+     with Sys_error e ->
+       Logs.warn (fun m -> m "fitness cache not written: %s" e))
+
+let create ?(jobs = 1) ?cache_dir ~fs ~scope ~case_name ~eval () =
+  let cache_file =
+    Option.map
+      (fun dir ->
+        (try if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+         with Unix.Unix_error _ -> ());
+        Filename.concat dir "fitness-cache.tsv")
+      cache_dir
+  in
+  let disk = Hashtbl.create 1024 in
+  Option.iter (fun p -> if Sys.file_exists p then load_disk p disk) cache_file;
+  {
+    jobs = max 1 jobs;
+    fs;
+    scope;
+    case_name;
+    eval;
+    memo = Hashtbl.create 4096;
+    disk;
+    cache_file;
+    evaluations = 0;
+  }
+
+let jobs t = t.jobs
+
+let canon t g =
+  let cg = Gp.Simplify.genome g in
+  (cg, Gp.Sexp.to_string t.fs cg)
+
+let lookup t key case =
+  match Hashtbl.find_opt t.memo (key, case) with
+  | Some _ as hit -> hit
+  | None when t.cache_file <> None -> (
+    match Hashtbl.find_opt t.disk (digest_key t key case) with
+    | Some v ->
+      Hashtbl.replace t.memo (key, case) v;
+      Some v
+    | None -> None)
+  | None -> None
+
+let evaluate_batch t genomes ~cases =
+  let keyed = Array.map (canon t) genomes in
+  (* Unique (key, case) pairs not already cached, in first-seen order. *)
+  let pending : (string * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let tasks = ref [] in
+  Array.iter
+    (fun (cg, key) ->
+      List.iter
+        (fun case ->
+          if lookup t key case = None && not (Hashtbl.mem pending (key, case))
+          then begin
+            Hashtbl.add pending (key, case) ();
+            tasks := (cg, key, case) :: !tasks
+          end)
+        cases)
+    keyed;
+  let tasks = Array.of_list (List.rev !tasks) in
+  let results =
+    Gp.Parmap.map ~jobs:t.jobs ~fallback:0.0
+      (fun (cg, _, case) -> sanitize (t.eval cg case))
+      tasks
+  in
+  let entries = ref [] in
+  Array.iteri
+    (fun i (_, key, case) ->
+      t.evaluations <- t.evaluations + 1;
+      Hashtbl.replace t.memo (key, case) results.(i);
+      if t.cache_file <> None then
+        entries := (digest_key t key case, results.(i)) :: !entries)
+    tasks;
+  if !entries <> [] then append_disk t (List.rev !entries);
+  Array.map
+    (fun (_, key) ->
+      Array.of_list
+        (List.map
+           (fun case -> Option.value ~default:0.0 (lookup t key case))
+           cases))
+    keyed
+
+let evaluate t g case = (evaluate_batch t [| g |] ~cases:[ case ]).(0).(0)
+
+let evaluations t = t.evaluations
+
+let evolve_evaluator t =
+  {
+    Gp.Evolve.evaluate_batch = (fun genomes ~cases -> evaluate_batch t genomes ~cases);
+    evaluations = (fun () -> t.evaluations);
+  }

@@ -1,0 +1,54 @@
+(** The parallel, cached fitness engine behind {!Gp.Evolve.evaluator}.
+
+    A batch request is served in four steps:
+
+    + every genome is canonicalized through {!Gp.Simplify} and keyed by
+      its printed canonical form, so semantically identical candidates —
+      crossover products that reduce to an already-seen expression —
+      share one compile;
+    + (key, case) pairs already known to the in-memory memo or the
+      optional on-disk cache are answered without compiling;
+    + the remaining unique tasks fan out over a {!Gp.Parmap} process pool
+      ([jobs] workers; sequential at 1) with per-worker failure
+      isolation: a crashed candidate compile scores fitness 0 instead of
+      killing the run, the paper's "wrong output gets fitness 0" rule;
+    + fresh results are folded back into both caches.
+
+    The on-disk cache is a flat append-only file under [cache_dir], keyed
+    by a digest of (scope, case name, canonical expression), so it
+    survives across runs and is shared by any study pointing at the same
+    directory.  It assumes one writing process per directory. *)
+
+type t
+
+val create :
+  ?jobs:int ->
+  ?cache_dir:string ->
+  fs:Gp.Feature_set.t ->
+  scope:string ->
+  case_name:(int -> string) ->
+  eval:(Gp.Expr.genome -> int -> float) ->
+  unit -> t
+(** [create ~jobs ~cache_dir ~fs ~scope ~case_name ~eval ()] builds an
+    engine over the raw single evaluation [eval] (one compile-and-simulate
+    cycle; called on the canonical genome, in a worker process when
+    [jobs > 1], so it must not rely on observable global mutation).
+    [scope] namespaces the persistent cache — include everything the
+    fitness depends on besides the genome and case: study, machine,
+    dataset.  Results are sanitized: non-finite or negative values, and
+    evaluations that raise or crash their worker, score 0. *)
+
+val jobs : t -> int
+
+val evaluate_batch :
+  t -> Gp.Expr.genome array -> cases:int list -> float array array
+(** One row per genome, one column per case, in the order given. *)
+
+val evaluate : t -> Gp.Expr.genome -> int -> float
+(** A batch of one; same caching and sanitization. *)
+
+val evaluations : t -> int
+(** Non-memoized evaluations performed so far (disk hits don't count). *)
+
+val evolve_evaluator : t -> Gp.Evolve.evaluator
+(** The engine as an {!Gp.Evolve.evaluator}, for {!Gp.Evolve.problem}. *)

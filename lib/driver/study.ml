@@ -5,9 +5,21 @@
    prefetching study ran on a real Itanium in the paper, so its fitness
    signal is noisy).  Fitness of a candidate on a benchmark is the paper's
    definition: execution-time speedup over the compiler's baseline
-   heuristic on the training dataset. *)
+   heuristic on the training dataset.
+
+   All candidate evaluation is routed through the batch Evaluator engine:
+   one engine per (context, dataset), sharing the context's jobs and
+   cache-dir settings, so evolution, the final measurements and
+   cross-validation all benefit from the same canonicalization, caching
+   and process pool. *)
 
 type kind = Hyperblock_study | Regalloc_study | Prefetch_study | Sched_study
+
+let kind_name = function
+  | Hyperblock_study -> "hyperblock"
+  | Regalloc_study -> "regalloc"
+  | Prefetch_study -> "prefetch"
+  | Sched_study -> "sched"
 
 let machine_of = function
   | Hyperblock_study -> Machine.Config.table3
@@ -59,7 +71,8 @@ type context = {
   (* Baseline results per (case, dataset): cycles and output checksum. *)
   baseline_train : (float * int) array;
   baseline_novel : (float * int) array;
-  mutable evaluations : int;
+  eval_train : Evaluator.t;
+  eval_novel : Evaluator.t;
 }
 
 let noise_rng_of kind genome case =
@@ -67,23 +80,45 @@ let noise_rng_of kind genome case =
   | None -> None
   | Some amp ->
     (* Deterministic per (genome, case) so memoized fitnesses are stable,
-       but different candidates see different noise draws. *)
+       but different candidates see different noise draws.  The Evaluator
+       always passes the canonical genome here, which keeps the draw
+       independent of evaluation order and worker count. *)
     let seed = Hashtbl.hash (genome, case) in
     Some (Random.State.make [| seed |], amp)
 
-let run_one (ctx : context) (g : Gp.Expr.genome) ~case
-    ~(dataset : Benchmarks.Bench.dataset) : float * int =
-  let p = ctx.prepared.(case) in
+let run_raw ~kind ~machine ~(prepared : Compiler.prepared array)
+    (g : Gp.Expr.genome) ~case ~(dataset : Benchmarks.Bench.dataset) :
+    float * int =
+  let p = prepared.(case) in
   let compiled =
-    Compiler.compile ~machine:ctx.machine
-      ~heuristics:(heuristics_with ctx.kind g)
-      p
+    Compiler.compile ~machine ~heuristics:(heuristics_with kind g) p
   in
-  let noise = noise_rng_of ctx.kind g case in
-  let res = Compiler.simulate ?noise ~machine:ctx.machine ~dataset p compiled in
+  let noise = noise_rng_of kind g case in
+  let res = Compiler.simulate ?noise ~machine ~dataset p compiled in
   (res.Machine.Simulate.cycles, res.Machine.Simulate.checksum)
 
-let create ?machine (kind : kind) (bench_names : string list) : context =
+(* Speedup over a precomputed baseline.  A candidate whose compiled
+   program produces different output than the baseline is a
+   compiler-correctness bug; it receives fitness 0 so evolution discards
+   it (the paper: "Our system can also be used to uncover bugs!"). *)
+let speedup_against ~kind ~machine ~prepared ~baselines g ~case ~dataset =
+  let base_cycles, base_sum = baselines.(case) in
+  let cycles, sum = run_raw ~kind ~machine ~prepared g ~case ~dataset in
+  if sum <> base_sum then begin
+    Logs.warn (fun m ->
+        m "candidate heuristic broke %s (checksum mismatch)"
+          prepared.(case).Compiler.bench.Benchmarks.Bench.name);
+    0.0
+  end
+  else if cycles <= 0.0 then 0.0
+  else base_cycles /. cycles
+
+let dataset_name = function
+  | Benchmarks.Bench.Train -> "train"
+  | Benchmarks.Bench.Novel -> "novel"
+
+let create ?machine ?(jobs = 1) ?cache_dir (kind : kind)
+    (bench_names : string list) : context =
   let machine = Option.value ~default:(machine_of kind) machine in
   (* The prefetching study compiles without unrolling (ORC's prefetch
      phase runs on clean loop nests; unrolled loops defeat the
@@ -101,43 +136,59 @@ let create ?machine (kind : kind) (bench_names : string list) : context =
   in
   let base = baseline_genome_of kind in
   let baseline_for dataset =
+    (* Parallel like any other batch; a failed cell (worker crash) is
+       recomputed sequentially because baselines must exist. *)
+    let cells =
+      Gp.Parmap.map ~jobs ~fallback:(Float.nan, 0)
+        (fun case -> run_raw ~kind ~machine ~prepared base ~case ~dataset)
+        (Array.init (Array.length prepared) Fun.id)
+    in
     Array.mapi
-      (fun case _ -> run_one
-           { kind; machine; prepared; baseline_train = [||];
-             baseline_novel = [||]; evaluations = 0 }
-           base ~case ~dataset)
-      prepared
+      (fun case cell ->
+        if Float.is_nan (fst cell) then
+          run_raw ~kind ~machine ~prepared base ~case ~dataset
+        else cell)
+      cells
+  in
+  let baseline_train = baseline_for Benchmarks.Bench.Train in
+  let baseline_novel = baseline_for Benchmarks.Bench.Novel in
+  let evaluator_for baselines dataset =
+    Evaluator.create ~jobs ?cache_dir ~fs:(feature_set_of kind)
+      ~scope:
+        (Printf.sprintf "%s/%s/%s" (kind_name kind)
+           machine.Machine.Config.name (dataset_name dataset))
+      ~case_name:(fun i ->
+        prepared.(i).Compiler.bench.Benchmarks.Bench.name)
+      ~eval:(fun g case ->
+        speedup_against ~kind ~machine ~prepared ~baselines g ~case ~dataset)
+      ()
   in
   {
     kind;
     machine;
     prepared;
-    baseline_train = baseline_for Benchmarks.Bench.Train;
-    baseline_novel = baseline_for Benchmarks.Bench.Novel;
-    evaluations = 0;
+    baseline_train;
+    baseline_novel;
+    eval_train = evaluator_for baseline_train Benchmarks.Bench.Train;
+    eval_novel = evaluator_for baseline_novel Benchmarks.Bench.Novel;
   }
 
-(* Speedup of a candidate over the baseline on one case.  A candidate whose
-   compiled program produces different output than the baseline is a
-   compiler-correctness bug; it receives fitness 0 so evolution discards
-   it (the paper: "Our system can also be used to uncover bugs!"). *)
+let evaluator_of (ctx : context) = function
+  | Benchmarks.Bench.Train -> ctx.eval_train
+  | Benchmarks.Bench.Novel -> ctx.eval_novel
+
+(* A raw, uncached single measurement (diagnostics and tests).  Note the
+   noise draw is keyed on the genome exactly as given; the cached engines
+   canonicalize first. *)
 let speedup (ctx : context) (g : Gp.Expr.genome) ~case
     ~(dataset : Benchmarks.Bench.dataset) : float =
-  ctx.evaluations <- ctx.evaluations + 1;
-  let base_cycles, base_sum =
+  let baselines =
     match dataset with
-    | Benchmarks.Bench.Train -> ctx.baseline_train.(case)
-    | Benchmarks.Bench.Novel -> ctx.baseline_novel.(case)
+    | Benchmarks.Bench.Train -> ctx.baseline_train
+    | Benchmarks.Bench.Novel -> ctx.baseline_novel
   in
-  let cycles, sum = run_one ctx g ~case ~dataset in
-  if sum <> base_sum then begin
-    Logs.warn (fun m ->
-        m "candidate heuristic broke %s (checksum mismatch)"
-          ctx.prepared.(case).Compiler.bench.Benchmarks.Bench.name);
-    0.0
-  end
-  else if cycles <= 0.0 then 0.0
-  else base_cycles /. cycles
+  speedup_against ~kind:ctx.kind ~machine:ctx.machine ~prepared:ctx.prepared
+    ~baselines g ~case ~dataset
 
 let problem_of (ctx : context) : Gp.Evolve.problem =
   {
@@ -147,11 +198,25 @@ let problem_of (ctx : context) : Gp.Evolve.problem =
     n_cases = Array.length ctx.prepared;
     case_name =
       (fun i -> ctx.prepared.(i).Compiler.bench.Benchmarks.Bench.name);
-    evaluate =
-      (fun g case -> speedup ctx g ~case ~dataset:Benchmarks.Bench.Train);
+    evaluator = Evaluator.evolve_evaluator ctx.eval_train;
   }
 
 (* --- Experiment drivers --------------------------------------------------- *)
+
+(* Measure one fixed genome on every case of both datasets, through the
+   cached engines (the train row is usually a cache hit from evolution's
+   final scoring). *)
+let measure_rows (ctx : context) (g : Gp.Expr.genome) :
+    (string * float * float) list =
+  let cases = List.init (Array.length ctx.prepared) Fun.id in
+  let train = (Evaluator.evaluate_batch ctx.eval_train [| g |] ~cases).(0) in
+  let novel = (Evaluator.evaluate_batch ctx.eval_novel [| g |] ~cases).(0) in
+  List.map
+    (fun i ->
+      ( ctx.prepared.(i).Compiler.bench.Benchmarks.Bench.name,
+        train.(i),
+        novel.(i) ))
+    cases
 
 type specialization = {
   bench : string;
@@ -163,16 +228,12 @@ type specialization = {
 
 (* Figure 4 / 9 / 13: evolve a priority function for one benchmark, then
    measure on the training and the novel datasets. *)
-let specialize ?(params = Gp.Params.scaled) (kind : kind) (bench : string) :
-    specialization =
-  let ctx = create kind [ bench ] in
+let specialize ?(params = Gp.Params.scaled) ?jobs ?cache_dir (kind : kind)
+    (bench : string) : specialization =
+  let ctx = create ?jobs ?cache_dir kind [ bench ] in
   let result = Gp.Evolve.run ~params (problem_of ctx) in
-  let train_speedup =
-    speedup ctx result.Gp.Evolve.best ~case:0 ~dataset:Benchmarks.Bench.Train
-  in
-  let novel_speedup =
-    speedup ctx result.Gp.Evolve.best ~case:0 ~dataset:Benchmarks.Bench.Novel
-  in
+  let train_speedup = Evaluator.evaluate ctx.eval_train result.Gp.Evolve.best 0 in
+  let novel_speedup = Evaluator.evaluate ctx.eval_novel result.Gp.Evolve.best 0 in
   {
     bench;
     train_speedup;
@@ -192,37 +253,24 @@ type general = {
 
 (* Figure 6 / 11 / 15: evolve one priority function over a training suite
    with DSS, then measure every training benchmark on both datasets. *)
-let evolve_general ?(params = Gp.Params.scaled) (kind : kind)
+let evolve_general ?(params = Gp.Params.scaled) ?jobs ?cache_dir (kind : kind)
     (benches : string list) : general =
-  let ctx = create kind benches in
+  let ctx = create ?jobs ?cache_dir kind benches in
   let result = Gp.Evolve.run ~params (problem_of ctx) in
-  let rows =
-    List.mapi
-      (fun case name ->
-        ( name,
-          speedup ctx result.Gp.Evolve.best ~case
-            ~dataset:Benchmarks.Bench.Train,
-          speedup ctx result.Gp.Evolve.best ~case
-            ~dataset:Benchmarks.Bench.Novel ))
-      benches
-  in
   {
     best = result.Gp.Evolve.best;
     best_expr =
       Gp.Sexp.to_string (feature_set_of kind)
         (Gp.Simplify.genome result.Gp.Evolve.best);
-    train_rows = rows;
+    train_rows = measure_rows ctx result.Gp.Evolve.best;
     history = result.Gp.Evolve.history;
   }
 
 (* Figure 7 / 12 / 16: apply a fixed evolved priority function to a suite
-   it was not trained on. *)
-let cross_validate ?machine (kind : kind) (g : Gp.Expr.genome)
-    (benches : string list) : (string * float * float) list =
-  let ctx = create ?machine kind benches in
-  List.mapi
-    (fun case name ->
-      ( name,
-        speedup ctx g ~case ~dataset:Benchmarks.Bench.Train,
-        speedup ctx g ~case ~dataset:Benchmarks.Bench.Novel ))
-    benches
+   it was not trained on.  [?params] is accepted for prefix uniformity
+   with the other drivers; no evolution happens here. *)
+let cross_validate ?params:(_ : Gp.Params.t option) ?jobs ?cache_dir ?machine
+    (kind : kind) (g : Gp.Expr.genome) (benches : string list) :
+    (string * float * float) list =
+  let ctx = create ?machine ?jobs ?cache_dir kind benches in
+  measure_rows ctx g

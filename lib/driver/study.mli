@@ -6,7 +6,12 @@
     study ran on a real machine).  Fitness is the paper's definition:
     execution-time speedup over the compiler's baseline heuristic.  A
     candidate whose compiled program produces wrong output gets fitness 0
-    — "our system can also be used to uncover bugs!". *)
+    — "our system can also be used to uncover bugs!".
+
+    All candidate evaluation goes through the batch {!Evaluator} engine:
+    the experiment drivers below share a uniform
+    [?params ?jobs ?cache_dir] prefix controlling GP scale, the process
+    pool width and the persistent fitness cache. *)
 
 type kind =
   | Hyperblock_study
@@ -15,6 +20,9 @@ type kind =
   | Sched_study
       (** extension: the list scheduler's ranking, motivated by the
           paper's Section 2 *)
+
+val kind_name : kind -> string
+(** ["hyperblock" | "regalloc" | "prefetch" | "sched"]. *)
 
 val machine_of : kind -> Machine.Config.t
 val feature_set_of : kind -> Gp.Feature_set.t
@@ -31,18 +39,28 @@ type context = {
   prepared : Compiler.prepared array;
   baseline_train : (float * int) array;  (** cycles, checksum per case *)
   baseline_novel : (float * int) array;
-  mutable evaluations : int;
+  eval_train : Evaluator.t;  (** cached batch engine, training dataset *)
+  eval_novel : Evaluator.t;  (** cached batch engine, novel dataset *)
 }
 
-val create : ?machine:Machine.Config.t -> kind -> string list -> context
-(** Prepare the named benchmarks and compile + simulate the baseline on
-    both datasets. *)
+val create :
+  ?machine:Machine.Config.t -> ?jobs:int -> ?cache_dir:string ->
+  kind -> string list -> context
+(** Prepare the named benchmarks, compile + simulate the baseline on both
+    datasets ([jobs]-wide), and build one cached batch evaluator per
+    dataset. *)
+
+val evaluator_of : context -> Benchmarks.Bench.dataset -> Evaluator.t
 
 val speedup :
   context -> Gp.Expr.genome -> case:int ->
   dataset:Benchmarks.Bench.dataset -> float
+(** A raw, uncached single measurement (diagnostics and tests); prefer
+    the context's evaluators for anything repeated. *)
 
 val problem_of : context -> Gp.Evolve.problem
+(** The evolution problem over the context's training-dataset engine; no
+    caller builds a raw per-(genome, case) closure anymore. *)
 
 type specialization = {
   bench : string;
@@ -53,7 +71,8 @@ type specialization = {
 }
 
 val specialize :
-  ?params:Gp.Params.t -> kind -> string -> specialization
+  ?params:Gp.Params.t -> ?jobs:int -> ?cache_dir:string ->
+  kind -> string -> specialization
 (** Figures 4 / 9 / 13: evolve for a single benchmark, measure on both
     datasets. *)
 
@@ -65,12 +84,15 @@ type general = {
 }
 
 val evolve_general :
-  ?params:Gp.Params.t -> kind -> string list -> general
+  ?params:Gp.Params.t -> ?jobs:int -> ?cache_dir:string ->
+  kind -> string list -> general
 (** Figures 6 / 11 / 15: one priority function over a training suite with
     dynamic subset selection. *)
 
 val cross_validate :
+  ?params:Gp.Params.t -> ?jobs:int -> ?cache_dir:string ->
   ?machine:Machine.Config.t -> kind -> Gp.Expr.genome -> string list ->
   (string * float * float) list
 (** Figures 7 / 12 / 16: a fixed evolved function applied to benchmarks
-    it was not trained on. *)
+    it was not trained on.  [?params] is accepted only for prefix
+    uniformity. *)

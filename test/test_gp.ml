@@ -254,39 +254,42 @@ let test_dss_difficulty_bias () =
 (* Fitness: how well the expression approximates x*y + 1 over sample
    points; the optimum is reachable and random search plus crossover finds
    a good approximation quickly. *)
-let synthetic_problem () =
+let synthetic_eval g _case =
   let samples =
     List.init 16 (fun i ->
         let x = float_of_int (i mod 4) and y = float_of_int (i / 4) in
         (x, y, (x *. y) +. 1.0))
   in
+  match g with
+  | Gp.Expr.Bool _ -> 0.0
+  | Gp.Expr.Real e ->
+    let err =
+      List.fold_left
+        (fun acc (x, y, want) ->
+          let env = env_with ~x ~y () in
+          acc +. Float.abs (Gp.Eval.real env e -. want))
+        0.0 samples
+    in
+    1.0 /. (1.0 +. err)
+
+let synthetic_problem_of eval =
   {
     Gp.Evolve.fs;
     sort = `Real;
     baseline = Some (Gp.Expr.Real (parse_r "(add x y)"));
     n_cases = 1;
     case_name = (fun _ -> "synthetic");
-    evaluate =
-      (fun g _ ->
-        match g with
-        | Gp.Expr.Bool _ -> 0.0
-        | Gp.Expr.Real e ->
-          let err =
-            List.fold_left
-              (fun acc (x, y, want) ->
-                let env = env_with ~x ~y () in
-                acc +. Float.abs (Gp.Eval.real env e -. want))
-              0.0 samples
-          in
-          1.0 /. (1.0 +. err));
+    evaluator = Gp.Evolve.evaluator_of_fn eval;
   }
+
+let synthetic_problem () = synthetic_problem_of synthetic_eval
 
 let test_evolve_improves () =
   let p = synthetic_problem () in
   let params = { Gp.Params.tiny with Gp.Params.population_size = 60;
                  generations = 15 } in
   let r = Gp.Evolve.run ~params p in
-  let baseline_fitness = p.Gp.Evolve.evaluate (Option.get p.Gp.Evolve.baseline) 0 in
+  let baseline_fitness = synthetic_eval (Option.get p.Gp.Evolve.baseline) 0 in
   Alcotest.(check bool)
     (Printf.sprintf "evolved (%.3f) beats seed (%.3f)" r.Gp.Evolve.best_fitness
        baseline_fitness)
@@ -308,50 +311,91 @@ let test_evolve_improves () =
 let test_evolve_memoizes () =
   let count = ref 0 in
   let p =
-    { (synthetic_problem ()) with
-      Gp.Evolve.evaluate =
-        (fun g _ ->
-          incr count;
-          match g with
-          | Gp.Expr.Real e ->
-            let env = env_with ~x:2.0 ~y:3.0 () in
-            1.0 /. (1.0 +. Float.abs (Gp.Eval.real env e -. 7.0))
-          | Gp.Expr.Bool _ -> 0.0) }
+    synthetic_problem_of (fun g _ ->
+        incr count;
+        match g with
+        | Gp.Expr.Real e ->
+          let env = env_with ~x:2.0 ~y:3.0 () in
+          1.0 /. (1.0 +. Float.abs (Gp.Eval.real env e -. 7.0))
+        | Gp.Expr.Bool _ -> 0.0)
   in
   let params = Gp.Params.tiny in
   let r = Gp.Evolve.run ~params p in
-  (* Non-memoized evaluations are bounded by distinct genomes, far fewer
-     than generations * population re-evaluations. *)
+  (* result.evaluations counts exactly the non-memoized evaluations, and
+     those are bounded by distinct genomes, far fewer than generations *
+     population re-evaluations. *)
+  Alcotest.(check int) "evaluations counts only non-memoized calls" !count
+    r.Gp.Evolve.evaluations;
   Alcotest.(check bool)
-    (Printf.sprintf "memoized (%d calls vs %d reported)" !count
-       r.Gp.Evolve.evaluations)
+    (Printf.sprintf "memoized (%d calls)" !count)
     true
-    (!count = r.Gp.Evolve.evaluations
-    && !count
-       <= params.Gp.Params.population_size
-          * (params.Gp.Params.generations + 2))
+    (!count
+    <= params.Gp.Params.population_size
+       * (params.Gp.Params.generations + 2))
+
+(* The bugfix satellite: memoization is keyed on the *simplified* genome,
+   so a crossover product that reduces to an already-seen expression is a
+   cache hit, not a recompile. *)
+let test_batch_memo_on_simplified_genome () =
+  let count = ref 0 in
+  let ev =
+    Gp.Evolve.evaluator_of_fn (fun g _ ->
+        incr count;
+        match g with
+        | Gp.Expr.Real e -> Gp.Eval.real (env_with ~x:4.0 ()) e
+        | Gp.Expr.Bool _ -> 0.0)
+  in
+  let plain = Gp.Expr.Real (parse_r "x") in
+  let intron = Gp.Expr.Real (parse_r "(add (mul 0.0 y) x)") in
+  let m = ev.Gp.Evolve.evaluate_batch [| intron; plain |] ~cases:[ 0 ] in
+  Alcotest.(check int) "rows" 2 (Array.length m);
+  Alcotest.(check (float 1e-9)) "intron row" 4.0 m.(0).(0);
+  Alcotest.(check (float 1e-9)) "plain row" 4.0 m.(1).(0);
+  Alcotest.(check int) "one evaluation for both" 1 !count;
+  Alcotest.(check int) "evaluations() agrees" 1 (ev.Gp.Evolve.evaluations ());
+  (* A second batch over the same semantics costs nothing. *)
+  let m2 = ev.Gp.Evolve.evaluate_batch [| plain |] ~cases:[ 0 ] in
+  Alcotest.(check (float 1e-9)) "cache hit" 4.0 m2.(0).(0);
+  Alcotest.(check int) "still one evaluation" 1 !count
+
+let test_batch_shape () =
+  let ev =
+    Gp.Evolve.evaluator_of_fn (fun g c ->
+        match g with
+        | Gp.Expr.Real e ->
+          Gp.Eval.real (env_with ~x:(float_of_int c) ()) e +. 1.0
+        | Gp.Expr.Bool _ -> 0.0)
+  in
+  let m =
+    ev.Gp.Evolve.evaluate_batch
+      [| Gp.Expr.Real (parse_r "x"); Gp.Expr.Real (parse_r "(mul x 2.0)") |]
+      ~cases:[ 2; 0; 1 ]
+  in
+  (* Row per genome, column per case, in the order given. *)
+  Alcotest.(check (float 1e-9)) "row0 case2" 3.0 m.(0).(0);
+  Alcotest.(check (float 1e-9)) "row0 case0" 1.0 m.(0).(1);
+  Alcotest.(check (float 1e-9)) "row0 case1" 2.0 m.(0).(2);
+  Alcotest.(check (float 1e-9)) "row1 case2" 5.0 m.(1).(0);
+  Alcotest.(check (float 1e-9)) "row1 case1" 3.0 m.(1).(2)
 
 (* The paper: "GP can handle noisy environments, as long as the level of
    noise is smaller than attainable speedups" — verify on the synthetic
    problem with multiplicative noise injected into fitness. *)
 let test_evolve_under_noise () =
-  let clean = synthetic_problem () in
   let noise_rng = Random.State.make [| 99 |] in
   let noisy =
-    { clean with
-      Gp.Evolve.evaluate =
-        (fun g c ->
-          let v = clean.Gp.Evolve.evaluate g c in
-          v *. (1.0 +. (0.02 *. (Random.State.float noise_rng 2.0 -. 1.0)))) }
+    synthetic_problem_of (fun g c ->
+        let v = synthetic_eval g c in
+        v *. (1.0 +. (0.02 *. (Random.State.float noise_rng 2.0 -. 1.0))))
   in
   let params =
     { Gp.Params.tiny with Gp.Params.population_size = 40; generations = 10 }
   in
   let r = Gp.Evolve.run ~params noisy in
   let baseline_clean =
-    clean.Gp.Evolve.evaluate (Option.get clean.Gp.Evolve.baseline) 0
+    synthetic_eval (Option.get noisy.Gp.Evolve.baseline) 0
   in
-  let best_clean = clean.Gp.Evolve.evaluate r.Gp.Evolve.best 0 in
+  let best_clean = synthetic_eval r.Gp.Evolve.best 0 in
   Alcotest.(check bool)
     (Printf.sprintf "evolved under noise still good (%.3f vs seed %.3f)"
        best_clean baseline_clean)
@@ -442,6 +486,9 @@ let suite =
     Alcotest.test_case "dss difficulty bias" `Quick test_dss_difficulty_bias;
     Alcotest.test_case "evolution improves fitness" `Slow test_evolve_improves;
     Alcotest.test_case "fitness memoization" `Quick test_evolve_memoizes;
+    Alcotest.test_case "batch memo keys on simplified genome" `Quick
+      test_batch_memo_on_simplified_genome;
+    Alcotest.test_case "batch evaluator shape" `Quick test_batch_shape;
     Alcotest.test_case "parsimony pressure" `Quick test_parsimony_prefers_small;
     Alcotest.test_case "simplification rules" `Quick test_simplify_rules;
     Alcotest.test_case "evolution under noise" `Slow test_evolve_under_noise;

@@ -4,6 +4,7 @@ let () =
   Alcotest.run "metaopt"
     [
       ("gp", Test_gp.suite);
+      ("parmap", Test_parmap.suite);
       ("ir", Test_ir.suite);
       ("frontend", Test_frontend.suite);
       ("opt", Test_opt.suite);

@@ -1,0 +1,162 @@
+(* Tests for the fork-based process pool and the parallel fitness engine:
+   result ordering, the j=1 fallback, failure isolation (both raising
+   tasks and hard worker crashes), the persistent cache, and bit-identical
+   determinism of a parallel evolution run against a sequential one. *)
+
+let squares n = Array.init n (fun i -> i * i)
+
+let test_ordering () =
+  let xs = Array.init 100 Fun.id in
+  let out = Gp.Parmap.map ~jobs:3 ~fallback:(-1) (fun x -> x * x) xs in
+  Alcotest.(check (array int)) "ordered results at j=3" (squares 100) out;
+  let out7 = Gp.Parmap.map ~jobs:7 ~fallback:(-1) (fun x -> x * x) xs in
+  Alcotest.(check (array int)) "ordered results at j=7" (squares 100) out7
+
+let test_sequential_fallback () =
+  let xs = Array.init 10 Fun.id in
+  let out = Gp.Parmap.map ~jobs:1 ~fallback:(-1) (fun x -> x + 1) xs in
+  Alcotest.(check (array int)) "j=1 maps in-process"
+    (Array.init 10 (fun i -> i + 1)) out;
+  let out0 = Gp.Parmap.map ~fallback:(-1) (fun x -> x + 1) xs in
+  Alcotest.(check (array int)) "default is sequential"
+    (Array.init 10 (fun i -> i + 1)) out0
+
+let test_empty_and_oversubscribed () =
+  Alcotest.(check (array int)) "empty input" [||]
+    (Gp.Parmap.map ~jobs:4 ~fallback:0 (fun x -> x) [||]);
+  let out = Gp.Parmap.map ~jobs:64 ~fallback:(-1) (fun x -> x * 2) [| 1; 2 |] in
+  Alcotest.(check (array int)) "more jobs than tasks" [| 2; 4 |] out
+
+let test_exception_isolation () =
+  let f x = if x mod 3 = 0 then failwith "boom" else x in
+  let want = Array.init 12 (fun x -> if x mod 3 = 0 then -7 else x) in
+  Alcotest.(check (array int)) "raise -> fallback at j=1" want
+    (Gp.Parmap.map ~jobs:1 ~fallback:(-7) f (Array.init 12 Fun.id));
+  Alcotest.(check (array int)) "raise -> fallback at j=4" want
+    (Gp.Parmap.map ~jobs:4 ~fallback:(-7) f (Array.init 12 Fun.id))
+
+(* A worker that dies outright (SIGKILL mid-task) loses its unflushed
+   tail; every result it already flushed survives, the rest fall back.
+   With round-robin dealing at j=2, worker 1 owns 1,3,5,7,9 and dies at
+   5, so 5, 7 and 9 score the fallback — the paper's "crashed compile
+   gets fitness 0" rule at the process level. *)
+let test_worker_crash () =
+  let f x =
+    if x = 5 then Unix.kill (Unix.getpid ()) Sys.sigkill;
+    x + 1
+  in
+  let out = Gp.Parmap.map ~jobs:2 ~fallback:0 f (Array.init 10 Fun.id) in
+  Alcotest.(check (array int)) "crash loses only the unflushed tail"
+    [| 1; 2; 3; 4; 5; 0; 7; 0; 9; 0 |] out
+
+(* --- The driver-level engine --------------------------------------------- *)
+
+let tiny_params =
+  { Gp.Params.tiny with Gp.Params.population_size = 8; generations = 3 }
+
+(* The determinism satellite: a parallel run must be bit-identical to a
+   sequential run with the same seed — same best fitness, same per-case
+   speedups, same history. *)
+let test_parallel_run_is_deterministic () =
+  let run jobs =
+    let ctx =
+      Driver.Study.create ~jobs Driver.Study.Hyperblock_study
+        [ "codrle4"; "decodrle4" ]
+    in
+    Gp.Evolve.run ~params:tiny_params (Driver.Study.problem_of ctx)
+  in
+  let seq = run 1 and par = run 4 in
+  Alcotest.(check (float 0.0)) "best_fitness identical"
+    seq.Gp.Evolve.best_fitness par.Gp.Evolve.best_fitness;
+  Alcotest.(check (array (pair string (float 0.0)))) "per_case identical"
+    seq.Gp.Evolve.per_case par.Gp.Evolve.per_case;
+  Alcotest.(check int) "same evaluation count" seq.Gp.Evolve.evaluations
+    par.Gp.Evolve.evaluations;
+  List.iter2
+    (fun (a : Gp.Evolve.generation_stats) (b : Gp.Evolve.generation_stats) ->
+      Alcotest.(check (float 0.0)) "history best" a.Gp.Evolve.best_fitness
+        b.Gp.Evolve.best_fitness;
+      Alcotest.(check (float 0.0)) "history mean" a.Gp.Evolve.mean_fitness
+        b.Gp.Evolve.mean_fitness;
+      Alcotest.(check string) "history expr" a.Gp.Evolve.best_expr
+        b.Gp.Evolve.best_expr)
+    seq.Gp.Evolve.history par.Gp.Evolve.history
+
+(* The noisy prefetch study draws its noise from the canonical genome, so
+   it is order- and worker-independent too. *)
+let test_parallel_noisy_study_deterministic () =
+  let measure jobs =
+    let ctx =
+      Driver.Study.create ~jobs Driver.Study.Prefetch_study [ "015.doduc" ]
+    in
+    Driver.Evaluator.evaluate ctx.Driver.Study.eval_train
+      Prefetch.Features.baseline_genome 0
+  in
+  Alcotest.(check (float 0.0)) "noise independent of jobs" (measure 1)
+    (measure 3)
+
+let test_disk_cache_roundtrip () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "metaopt-cache-%d" (Unix.getpid ()))
+  in
+  let count = ref 0 in
+  let mk () =
+    Driver.Evaluator.create ~cache_dir:dir
+      ~fs:Hyperblock.Features.feature_set ~scope:"test/scope"
+      ~case_name:(fun i -> "case" ^ string_of_int i)
+      ~eval:(fun _ c ->
+        incr count;
+        2.0 +. float_of_int c)
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      let file = Filename.concat dir "fitness-cache.tsv" in
+      if Sys.file_exists file then Sys.remove file;
+      if Sys.file_exists dir then Unix.rmdir dir)
+    (fun () ->
+      let g = Hyperblock.Baseline.genome in
+      let e1 = mk () in
+      let m =
+        Driver.Evaluator.evaluate_batch e1 [| g |] ~cases:[ 0; 1 ]
+      in
+      Alcotest.(check (float 0.0)) "computed" 2.0 m.(0).(0);
+      Alcotest.(check int) "two compiles" 2 !count;
+      Alcotest.(check int) "evaluations counted" 2
+        (Driver.Evaluator.evaluations e1);
+      (* A fresh engine over the same cache dir answers from disk. *)
+      let e2 = mk () in
+      let m2 = Driver.Evaluator.evaluate_batch e2 [| g |] ~cases:[ 0; 1 ] in
+      Alcotest.(check (float 0.0)) "disk hit value" 3.0 m2.(0).(1);
+      Alcotest.(check int) "no new compiles" 2 !count;
+      Alcotest.(check int) "disk hits are not evaluations" 0
+        (Driver.Evaluator.evaluations e2);
+      (* A different scope misses. *)
+      let e3 =
+        Driver.Evaluator.create ~cache_dir:dir
+          ~fs:Hyperblock.Features.feature_set ~scope:"other/scope"
+          ~case_name:(fun i -> "case" ^ string_of_int i)
+          ~eval:(fun _ c ->
+            incr count;
+            9.0 +. float_of_int c)
+          ()
+      in
+      let m3 = Driver.Evaluator.evaluate_batch e3 [| g |] ~cases:[ 0 ] in
+      Alcotest.(check (float 0.0)) "scoped apart" 9.0 m3.(0).(0);
+      Alcotest.(check int) "recompiled under new scope" 3 !count)
+
+let suite =
+  [
+    Alcotest.test_case "ordered results" `Quick test_ordering;
+    Alcotest.test_case "sequential fallback" `Quick test_sequential_fallback;
+    Alcotest.test_case "empty / oversubscribed" `Quick
+      test_empty_and_oversubscribed;
+    Alcotest.test_case "exception isolation" `Quick test_exception_isolation;
+    Alcotest.test_case "worker crash -> fallback" `Quick test_worker_crash;
+    Alcotest.test_case "parallel run deterministic" `Slow
+      test_parallel_run_is_deterministic;
+    Alcotest.test_case "noisy study deterministic" `Quick
+      test_parallel_noisy_study_deterministic;
+    Alcotest.test_case "disk cache round-trip" `Quick test_disk_cache_roundtrip;
+  ]
