@@ -315,6 +315,59 @@ let par () =
   Fmt.pr "identical evolved results: %s@." (if same then "yes" else "NO!");
   Fmt.pr "best: %s@." g1.Driver.Study.best_expr
 
+(* Checkpoint/resume smoke: run a small specialization with a checkpoint
+   directory, kill it mid-run (an on_generation callback that raises),
+   resume from the newest checkpoint, and require the resumed result to be
+   identical to an uninterrupted run with the same seed.  Also reports the
+   per-generation checkpoint write cost. *)
+let ckpt () =
+  hr "Checkpoint/resume: interrupted specialization must resume identically";
+  let p =
+    { params with Gp.Params.population_size = min 24 params.Gp.Params.population_size;
+      generations = min 6 params.Gp.Params.generations }
+  in
+  let fresh_dir tag =
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "metaopt-bench-%s-%d" tag (Unix.getpid ()))
+    in
+    (try
+       if Sys.file_exists d then
+         Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d)
+     with Sys_error _ -> ());
+    d
+  in
+  let t0 = Unix.gettimeofday () in
+  let straight =
+    Driver.Study.specialize ~params:p ~jobs Driver.Study.Hyperblock_study
+      "rawcaudio"
+  in
+  let t_straight = Unix.gettimeofday () -. t0 in
+  let dir = fresh_dir "ckpt" in
+  let halfway = p.Gp.Params.generations / 2 in
+  let t1 = Unix.gettimeofday () in
+  (try
+     ignore
+       (Driver.Study.specialize ~params:p ~jobs ~checkpoint_dir:dir
+          ~on_generation:(fun (s : Gp.Evolve.generation_stats) ->
+            if s.Gp.Evolve.gen = halfway then failwith "simulated crash")
+          Driver.Study.Hyperblock_study "rawcaudio")
+   with Failure _ -> ());
+  let resumed =
+    Driver.Study.specialize ~params:p ~jobs ~checkpoint_dir:dir
+      Driver.Study.Hyperblock_study "rawcaudio"
+  in
+  let t_ckpt = Unix.gettimeofday () -. t1 in
+  let same =
+    straight.Driver.Study.best_expr = resumed.Driver.Study.best_expr
+    && straight.Driver.Study.train_speedup = resumed.Driver.Study.train_speedup
+    && straight.Driver.Study.novel_speedup = resumed.Driver.Study.novel_speedup
+  in
+  Fmt.pr "uninterrupted run       : %6.2fs@." t_straight;
+  Fmt.pr "killed at gen %d + resume: %6.2fs@." halfway t_ckpt;
+  Fmt.pr "identical evolved result : %s@." (if same then "yes" else "NO!");
+  Fmt.pr "best: %s@." straight.Driver.Study.best_expr
+
 (* Bechamel micro-benchmarks of the hot paths: expression evaluation,
    genetic operators, dependence-graph construction and scheduling, cache
    simulation and whole-program interpretation. *)
@@ -410,7 +463,7 @@ let all_figures =
     ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("fig11", fig11);
     ("fig12", fig12); ("fig13", fig13); ("fig14", fig14); ("fig15", fig15);
     ("fig16", fig16); ("ext-sched", ext_sched); ("ablations", ablations);
-    ("par", par); ("micro", micro);
+    ("par", par); ("ckpt", ckpt); ("micro", micro);
   ]
 
 let () =

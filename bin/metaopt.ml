@@ -57,6 +57,32 @@ let cache_dir =
                  across runs"
            ~docv:"DIR")
 
+let checkpoint_dir =
+  Arg.(value & opt (some string) None
+       & info [ "checkpoint-dir" ]
+           ~doc:"Write a checkpoint to $(docv) after every generation and \
+                 resume from the newest valid one, so an interrupted run \
+                 loses at most one generation"
+           ~docv:"DIR")
+
+let eval_timeout =
+  Arg.(value & opt (some float) None
+       & info [ "eval-timeout" ]
+           ~doc:"Kill any single candidate evaluation after $(docv) \
+                 seconds of wall clock (it is retried, then scored 0)"
+           ~docv:"SECONDS")
+
+let eval_retries =
+  Arg.(value & opt int 1
+       & info [ "eval-retries" ]
+           ~doc:"Retry a crashed or hung candidate evaluation $(docv) \
+                 times on a fresh worker before giving it fitness 0")
+
+let print_faults (f : Driver.Evaluator.fault_stats) =
+  Fmt.pr "faults         : %d crashed, %d timed out, %d gave up, %d retried@."
+    f.Driver.Evaluator.crashed f.Driver.Evaluator.timed_out
+    f.Driver.Evaluator.gave_up f.Driver.Evaluator.retried
+
 let params_of pop gens seed =
   {
     Gp.Params.scaled with
@@ -189,10 +215,14 @@ let profile_cmd =
 
 (* --- specialize ----------------------------------------------------------- *)
 
-let specialize study bench pop gens seed jobs cache_dir save =
+let specialize study bench pop gens seed jobs cache_dir checkpoint_dir
+    eval_timeout eval_retries save =
   setup_logs ();
   let params = params_of pop gens seed in
-  let r = Driver.Study.specialize ~params ~jobs ?cache_dir study bench in
+  let r =
+    Driver.Study.specialize ~params ~jobs ?cache_dir ?checkpoint_dir
+      ?timeout_s:eval_timeout ~retries:eval_retries study bench
+  in
   (match save with
   | Some path ->
     let fs = Driver.Study.feature_set_of study in
@@ -207,6 +237,7 @@ let specialize study bench pop gens seed jobs cache_dir save =
   Fmt.pr "train speedup  : %.3f@." r.Driver.Study.train_speedup;
   Fmt.pr "novel speedup  : %.3f@." r.Driver.Study.novel_speedup;
   Fmt.pr "best heuristic : %s@." r.Driver.Study.best_expr;
+  print_faults r.Driver.Study.faults;
   Fmt.pr "evolution      :@.";
   List.iter
     (fun (s : Gp.Evolve.generation_stats) ->
@@ -220,13 +251,14 @@ let specialize_cmd =
        ~doc:"Evolve an application-specific priority function")
     Term.(
       const specialize $ study_arg $ bench_arg $ pop $ gens $ seed $ jobs
-      $ cache_dir
+      $ cache_dir $ checkpoint_dir $ eval_timeout $ eval_retries
       $ Arg.(value & opt (some string) None
              & info [ "save" ] ~doc:"Write the evolved heuristics to a file"))
 
 (* --- evolve (general-purpose) ---------------------------------------------- *)
 
-let evolve study pop gens seed jobs cache_dir =
+let evolve study pop gens seed jobs cache_dir checkpoint_dir eval_timeout
+    eval_retries =
   setup_logs ();
   let params = params_of pop gens seed in
   let benches =
@@ -236,8 +268,12 @@ let evolve study pop gens seed jobs cache_dir =
     | Driver.Study.Prefetch_study -> Benchmarks.Registry.prefetch_train
     | Driver.Study.Sched_study -> Benchmarks.Registry.hyperblock_train
   in
-  let g = Driver.Study.evolve_general ~params ~jobs ?cache_dir study benches in
+  let g =
+    Driver.Study.evolve_general ~params ~jobs ?cache_dir ?checkpoint_dir
+      ?timeout_s:eval_timeout ~retries:eval_retries study benches
+  in
   Fmt.pr "best heuristic: %s@.@." g.Driver.Study.best_expr;
+  print_faults g.Driver.Study.faults;
   Fmt.pr "%-16s %8s %8s@." "benchmark" "train" "novel";
   let avg sel rows =
     List.fold_left (fun a r -> a +. sel r) 0.0 rows
@@ -253,7 +289,9 @@ let evolve study pop gens seed jobs cache_dir =
 let evolve_cmd =
   Cmd.v
     (Cmd.info "evolve" ~doc:"Evolve a general-purpose priority function (DSS)")
-    Term.(const evolve $ study_arg $ pop $ gens $ seed $ jobs $ cache_dir)
+    Term.(
+      const evolve $ study_arg $ pop $ gens $ seed $ jobs $ cache_dir
+      $ checkpoint_dir $ eval_timeout $ eval_retries)
 
 (* --- compare: one benchmark under explicit heuristic expressions ----------- *)
 

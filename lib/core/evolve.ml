@@ -84,36 +84,155 @@ let better ~eps a b =
   else if b.fitness > a.fitness +. eps then false
   else a.size < b.size
 
-let run ?(params = Params.default) ?on_generation (p : problem) : result =
+(* --- Checkpoint / resume -------------------------------------------------
+
+   One file per completed generation, [gen-NNNNN.ckpt], written atomically
+   (tmp + rename) at the end of the generation's loop body: it captures
+   everything the next generation depends on — the RNG state after
+   reproduction, the offspring population (as s-expressions, which
+   round-trip exactly), the stats history, and the DSS difficulty/age
+   state.  Resuming replays nothing: the run continues at [ck_next_gen]
+   with bit-identical state, so an interrupted run and an uninterrupted
+   one produce the same final best genome.
+
+   Checkpoints are versioned and fingerprinted over (params, n_cases,
+   sort); a file from another format version or another run configuration
+   is ignored with a warning, as is a torn or corrupt file — the loader
+   walks newest-first until it finds a valid one. *)
+
+let checkpoint_version = 1
+
+type checkpoint = {
+  ck_version : int;
+  ck_fingerprint : string;
+  ck_next_gen : int; (* first generation still to run *)
+  ck_rng : Random.State.t;
+  ck_pop : string array; (* genome s-expressions *)
+  ck_history : generation_stats list; (* newest first *)
+  ck_dss : Dss.t option;
+}
+
+let fingerprint (params : Params.t) (p : problem) =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          (params, p.n_cases, match p.sort with `Real -> 0 | `Bool -> 1)
+          []))
+
+let checkpoint_file dir gen =
+  Filename.concat dir (Printf.sprintf "gen-%05d.ckpt" gen)
+
+let write_checkpoint dir ck =
+  (try if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+   with Unix.Unix_error _ -> ());
+  let final = checkpoint_file dir ck.ck_next_gen in
+  let tmp = final ^ ".tmp" in
+  match open_out_bin tmp with
+  | exception Sys_error e ->
+    Logs.warn (fun m -> m "checkpoint not written: %s" e)
+  | oc ->
+    Marshal.to_channel oc ck [];
+    close_out oc;
+    (try Sys.rename tmp final
+     with Sys_error e -> Logs.warn (fun m -> m "checkpoint rename failed: %s" e))
+
+let load_checkpoint ~fingerprint:fp path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    let ck =
+      try Some (Marshal.from_channel ic : checkpoint) with _ -> None
+    in
+    close_in ic;
+    (match ck with
+    | Some ck when ck.ck_version = checkpoint_version && ck.ck_fingerprint = fp
+      ->
+      Some ck
+    | Some _ ->
+      Logs.warn (fun m ->
+          m "ignoring checkpoint %s (version or run fingerprint mismatch)"
+            path);
+      None
+    | None ->
+      Logs.warn (fun m -> m "ignoring corrupt checkpoint %s" path);
+      None)
+
+(* Newest first: higher generation numbers are tried before lower ones, so
+   a corrupt latest checkpoint costs one generation, not the run. *)
+let latest_checkpoint dir ~fingerprint =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> None
+  | files ->
+    let parse_gen f =
+      if
+        String.length f = String.length "gen-00000.ckpt"
+        && String.sub f 0 4 = "gen-"
+        && Filename.check_suffix f ".ckpt"
+      then int_of_string_opt (String.sub f 4 5)
+      else None
+    in
+    Array.to_list files
+    |> List.filter_map parse_gen
+    |> List.sort (fun a b -> compare b a)
+    |> List.find_map (fun gen ->
+           load_checkpoint ~fingerprint (checkpoint_file dir gen))
+
+let run ?(params = Params.default) ?on_generation ?checkpoint_dir
+    (p : problem) : result =
   if p.n_cases <= 0 then invalid_arg "Evolve.run: no training cases";
   let evaluations0 = p.evaluator.evaluations () in
-  let rng = Random.State.make [| params.Params.rng_seed |] in
   let gen_cfg =
     { (Gen.default_config p.fs) with Gen.max_depth = params.Params.init_depth }
   in
-  (* --- Initial population --- *)
-  let seed =
-    if params.Params.seed_baseline then Option.to_list p.baseline else []
+  let fp =
+    match checkpoint_dir with Some _ -> fingerprint params p | None -> ""
   in
-  let n_random = params.Params.population_size - List.length seed in
-  let genomes = seed @ Gen.ramped gen_cfg rng ~sort:p.sort ~count:n_random in
-  let pop =
-    Array.of_list
-      (List.map
-         (fun g -> { genome = g; fitness = 0.0; size = Expr.size g })
-         genomes)
+  let resumed =
+    Option.bind checkpoint_dir (fun dir -> latest_checkpoint dir ~fingerprint:fp)
+  in
+  let rng, pop, dss, history, start_gen =
+    match resumed with
+    | Some ck ->
+      Logs.info (fun m ->
+          m "resuming evolution from checkpoint at generation %d"
+            ck.ck_next_gen);
+      let pop =
+        Array.map
+          (fun s ->
+            let g = Sexp.parse_genome p.fs ~sort:p.sort s in
+            { genome = g; fitness = 0.0; size = Expr.size g })
+          ck.ck_pop
+      in
+      (ck.ck_rng, pop, ck.ck_dss, ref ck.ck_history, ck.ck_next_gen)
+    | None ->
+      let rng = Random.State.make [| params.Params.rng_seed |] in
+      (* --- Initial population --- *)
+      let seed =
+        if params.Params.seed_baseline then Option.to_list p.baseline else []
+      in
+      let n_random = params.Params.population_size - List.length seed in
+      let genomes =
+        seed @ Gen.ramped gen_cfg rng ~sort:p.sort ~count:n_random
+      in
+      let pop =
+        Array.of_list
+          (List.map
+             (fun g -> { genome = g; fitness = 0.0; size = Expr.size g })
+             genomes)
+      in
+      (* --- DSS over the training cases --- *)
+      let dss =
+        if p.n_cases >= 4 then
+          Some
+            (Dss.create ~n_cases:p.n_cases
+               ~subset_size:(max 2 ((p.n_cases + 1) / 2))
+               ())
+        else None
+      in
+      (rng, pop, dss, ref [], 0)
   in
   let n = Array.length pop in
-  (* --- DSS over the training cases --- *)
   let all_cases = List.init p.n_cases Fun.id in
-  let dss =
-    if p.n_cases >= 4 then
-      Some
-        (Dss.create ~n_cases:p.n_cases
-           ~subset_size:(max 2 ((p.n_cases + 1) / 2))
-           ())
-    else None
-  in
   let eps = params.Params.parsimony_eps in
   (* Tournament over a snapshot of the evaluated generation: offspring
      never compete as parents until they have been batch-scored. *)
@@ -147,8 +266,7 @@ let run ?(params = Params.default) ?on_generation (p : problem) : result =
       pop;
     matrix
   in
-  let history = ref [] in
-  for gen = 0 to params.Params.generations - 1 do
+  for gen = start_gen to params.Params.generations - 1 do
     let subset =
       match dss with
       | Some d -> Dss.select d rng
@@ -214,7 +332,22 @@ let run ?(params = Params.default) ?on_generation (p : problem) : result =
             { genome = child; fitness = 0.0; size = Expr.size child }
         end
       done
-    end
+    end;
+    (* The generation is complete (stats recorded, offspring in place):
+       snapshot everything generation [gen + 1] depends on. *)
+    (match checkpoint_dir with
+    | Some dir ->
+      write_checkpoint dir
+        {
+          ck_version = checkpoint_version;
+          ck_fingerprint = fp;
+          ck_next_gen = gen + 1;
+          ck_rng = rng;
+          ck_pop = Array.map (fun ind -> Sexp.to_string p.fs ind.genome) pop;
+          ck_history = !history;
+          ck_dss = dss;
+        }
+    | None -> ())
   done;
   (* Final: score the whole population on the full training set. *)
   let final = evaluate_population all_cases in

@@ -70,11 +70,24 @@ val better : eps:float -> individual -> individual -> bool
 
 val run :
   ?params:Params.t -> ?on_generation:(generation_stats -> unit) ->
-  problem -> result
+  ?checkpoint_dir:string -> problem -> result
 (** Runs the evolution of Figure 2: seeded + ramped initial population,
     per-generation (DSS-chosen) batch fitness evaluation, tournament
     selection over the evaluated generation, bounded depth-fair
     crossover, mutation, elitism, and a final batch scoring of the
     population on the full training set.
+
+    With [checkpoint_dir], the engine writes one versioned checkpoint
+    file ([gen-NNNNN.ckpt]) per completed generation, atomically
+    (tmp + rename): RNG state, population s-expressions, generation
+    number, stats history and DSS state.  A later [run] over the same
+    directory with the same params and problem shape resumes from the
+    newest valid checkpoint, skipping completed generations and producing
+    a bit-identical result to an uninterrupted run (evaluations are pure
+    per (genome, case); only the [evaluations] counter, which restarts
+    with the process, may differ).  Corrupt or mismatched checkpoint
+    files are skipped with a warning; checkpoint I/O failures degrade to
+    warnings and never abort the run.  One run configuration per
+    directory: files are named by generation and will be overwritten.
 
     @raise Invalid_argument if the problem has no training cases. *)

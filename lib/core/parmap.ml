@@ -1,14 +1,26 @@
-(* A minimal fork-based process pool.
+(* A minimal fork-based process pool, in two flavours.
 
-   Tasks are dealt round-robin: worker [w] owns indices w, w+jobs, ...
-   Each worker writes [(index, result)] pairs to its pipe as they
-   complete, flushing after every task, so a worker that dies mid-chunk
-   loses only the tasks it had not yet flushed — the parent fills those
-   with [fallback].  The parent drains the workers one at a time; pipes
-   buffer in the kernel, so slower workers simply block on write until
-   their turn, and no deadlock is possible with single-reader pipes. *)
+   [map] is the original streaming pool: tasks are dealt round-robin,
+   worker [w] owns indices w, w+jobs, ...  Each worker writes
+   [(index, result)] pairs to its pipe as they complete, flushing after
+   every task, so a worker that dies mid-chunk loses only the tasks it
+   had not yet flushed — the parent fills those with [fallback].  The
+   parent drains the workers one at a time; pipes buffer in the kernel,
+   so slower workers simply block on write until their turn, and no
+   deadlock is possible with single-reader pipes.
+
+   [supervised] is the fault-tolerant pool: one fork per attempt, a
+   wall-clock deadline enforced from the parent (a worker stuck in a
+   tight loop or a blocking C call cannot be trusted to deliver its own
+   SIGALRM), exponential-backoff retries on a fresh worker, and a typed
+   outcome per task instead of a silent fallback. *)
 
 let available = Sys.unix
+
+let describe_status = function
+  | Unix.WEXITED c -> Printf.sprintf "exited with code %d" c
+  | Unix.WSIGNALED s -> Printf.sprintf "killed by signal %d" s
+  | Unix.WSTOPPED s -> Printf.sprintf "stopped by signal %d" s
 
 let sequential ~fallback f xs =
   Array.map (fun x -> try f x with _ -> fallback) xs
@@ -53,9 +65,277 @@ let map ?(jobs = 1) ~fallback f xs =
              let (i, v) : int * _ = Marshal.from_channel ic in
              if i >= 0 && i < n then results.(i) <- v
            done
-         with End_of_file | Failure _ -> ());
+         with
+        | End_of_file -> ()
+        | Failure msg ->
+          (* A truncated [Marshal] header or payload: the worker died
+             mid-write.  Clean EOF ends at a message boundary; a torn
+             stream means in-flight work was lost. *)
+          Logs.warn (fun m ->
+              m "parmap: torn result stream from worker %d (%s)" pid msg));
         (try close_in ic with _ -> ());
-        (try ignore (Unix.waitpid [] pid) with _ -> ()))
+        (match Unix.waitpid [] pid with
+        | _, Unix.WEXITED 0 -> ()
+        | _, status ->
+          Logs.warn (fun m ->
+              m "parmap: worker %d %s" pid (describe_status status))
+        | exception Unix.Unix_error _ -> ()))
       workers;
     results
+  end
+
+(* --- Supervised evaluation ---------------------------------------------- *)
+
+type 'b outcome = Ok of 'b | Crashed of string | Timed_out | Gave_up
+
+type stats = {
+  completed : int;
+  crashes : int;
+  timeouts : int;
+  retries : int;
+}
+
+(* Worker -> parent message.  A worker that dies before writing a full
+   message (signal, [exit], runaway allocation) is detected by the parent
+   as a truncated buffer at EOF. *)
+type 'b reply = Value of 'b | Raised of string
+
+type slot = {
+  pid : int;
+  fd : Unix.file_descr;
+  task : int;
+  attempt : int; (* 0-based *)
+  deadline : float; (* absolute; [infinity] when no timeout *)
+  buf : Buffer.t;
+}
+
+let insert_delayed ((t, _, _) as entry) l =
+  let rec go = function
+    | [] -> [ entry ]
+    | ((t', _, _) as e) :: rest ->
+      if t <= t' then entry :: e :: rest else e :: go rest
+  in
+  go l
+
+let supervised ?(jobs = 1) ?timeout_s ?(retries = 1) ?(backoff_s = 0.05) f xs =
+  let n = Array.length xs in
+  let outcomes = Array.make n Gave_up in
+  let completed = ref 0 in
+  let crashes = ref 0 in
+  let timeouts = ref 0 in
+  let retried = ref 0 in
+  let mk_stats () =
+    {
+      completed = !completed;
+      crashes = !crashes;
+      timeouts = !timeouts;
+      retries = !retried;
+    }
+  in
+  if n = 0 then ([||], mk_stats ())
+  else if not available then begin
+    (* No fork: in-process degradation.  Exceptions still isolate per
+       task, but hangs cannot be interrupted and retries are pointless
+       against a deterministic in-process failure. *)
+    Array.iteri
+      (fun i x ->
+        outcomes.(i) <-
+          (match f x with
+          | v ->
+            incr completed;
+            Ok v
+          | exception e ->
+            incr crashes;
+            Crashed (Printexc.to_string e)))
+      xs;
+    (outcomes, mk_stats ())
+  end
+  else begin
+    flush stdout;
+    flush stderr;
+    let jobs = max 1 (min jobs n) in
+    let now () = Unix.gettimeofday () in
+    (* Tasks awaiting dispatch, FIFO; failed attempts wait out their
+       backoff in [delayed] (sorted by wake-up time). *)
+    let ready : (int * int) Queue.t = Queue.create () in
+    for i = 0 to n - 1 do
+      Queue.add (i, 0) ready
+    done;
+    let delayed = ref [] in
+    let active = ref [] in
+    let remaining = ref n in
+    let chunk = Bytes.create 65536 in
+    let wait_status pid =
+      match Unix.waitpid [] pid with
+      | _, status -> Some status
+      | exception Unix.Unix_error _ -> None
+    in
+    let finish_failure slot kind =
+      (match kind with
+      | `Crash msg ->
+        incr crashes;
+        Logs.warn (fun m ->
+            m "parmap: task %d attempt %d crashed: %s" slot.task
+              (slot.attempt + 1) msg)
+      | `Timeout ->
+        incr timeouts;
+        Logs.warn (fun m ->
+            m "parmap: task %d attempt %d timed out after %.1fs" slot.task
+              (slot.attempt + 1)
+              (Option.value ~default:0.0 timeout_s)));
+      if slot.attempt < retries then begin
+        incr retried;
+        let delay = backoff_s *. (2.0 ** float_of_int slot.attempt) in
+        delayed :=
+          insert_delayed (now () +. delay, slot.task, slot.attempt + 1) !delayed
+      end
+      else begin
+        outcomes.(slot.task) <-
+          (if retries = 0 then
+             match kind with
+             | `Crash msg -> Crashed msg
+             | `Timeout -> Timed_out
+           else Gave_up);
+        decr remaining
+      end
+    in
+    let finish_eof slot =
+      (try Unix.close slot.fd with Unix.Unix_error _ -> ());
+      let status = wait_status slot.pid in
+      let data = Buffer.to_bytes slot.buf in
+      let reply =
+        if Bytes.length data = 0 then None
+        else
+          match (Marshal.from_bytes data 0 : _ reply) with
+          | r -> Some r
+          | exception _ -> None
+      in
+      match reply with
+      | Some (Value v) ->
+        outcomes.(slot.task) <- Ok v;
+        incr completed;
+        decr remaining
+      | Some (Raised msg) -> finish_failure slot (`Crash ("task raised: " ^ msg))
+      | None ->
+        let msg =
+          match status with
+          | Some (Unix.WEXITED 0) -> "worker exited before writing a result"
+          | Some status -> "worker " ^ describe_status status
+          | None -> "worker vanished"
+        in
+        finish_failure slot (`Crash msg)
+    in
+    let kill_slot slot =
+      (try Unix.kill slot.pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try Unix.close slot.fd with Unix.Unix_error _ -> ());
+      ignore (wait_status slot.pid)
+    in
+    let spawn (task, attempt) =
+      let rd, wr = Unix.pipe () in
+      match Unix.fork () with
+      | exception Unix.Unix_error _ ->
+        (* Fork pressure (EAGAIN): try again shortly, no attempt charged. *)
+        Unix.close rd;
+        Unix.close wr;
+        delayed := insert_delayed (now () +. 0.05, task, attempt) !delayed
+      | 0 ->
+        Unix.close rd;
+        List.iter
+          (fun s -> try Unix.close s.fd with Unix.Unix_error _ -> ())
+          !active;
+        let reply =
+          match f xs.(task) with
+          | v -> Value v
+          | exception e -> Raised (Printexc.to_string e)
+        in
+        let b = Marshal.to_bytes (reply : _ reply) [] in
+        let len = Bytes.length b in
+        (try
+           let off = ref 0 in
+           while !off < len do
+             off := !off + Unix.write wr b !off (len - !off)
+           done;
+           Unix.close wr
+         with _ -> ());
+        Unix._exit 0
+      | pid ->
+        Unix.close wr;
+        let deadline =
+          match timeout_s with Some t -> now () +. t | None -> infinity
+        in
+        active :=
+          { pid; fd = rd; task; attempt; deadline; buf = Buffer.create 256 }
+          :: !active
+    in
+    while !remaining > 0 do
+      let t = now () in
+      (* Promote delayed retries whose backoff has elapsed. *)
+      let rec promote () =
+        match !delayed with
+        | (nb, task, att) :: rest when nb <= t ->
+          delayed := rest;
+          Queue.add (task, att) ready;
+          promote ()
+        | _ -> ()
+      in
+      promote ();
+      while (not (Queue.is_empty ready)) && List.length !active < jobs do
+        spawn (Queue.pop ready)
+      done;
+      if !active = [] then begin
+        match !delayed with
+        | (nb, _, _) :: _ ->
+          let d = nb -. now () in
+          if d > 0.0 then Unix.sleepf d
+        | [] ->
+          (* Unreachable: remaining > 0 implies work somewhere. *)
+          remaining := 0
+      end
+      else begin
+        let fds = List.map (fun s -> s.fd) !active in
+        let nearest_deadline =
+          List.fold_left (fun acc s -> Float.min acc s.deadline) infinity
+            !active
+        in
+        let nearest_retry =
+          match !delayed with (nb, _, _) :: _ -> nb | [] -> infinity
+        in
+        let until = Float.min nearest_deadline nearest_retry in
+        let tmo =
+          if until = infinity then -1.0 else Float.max 0.0 (until -. now ())
+        in
+        let readable =
+          match Unix.select fds [] [] tmo with
+          | r, _, _ -> r
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+        in
+        List.iter
+          (fun fd ->
+            match List.find_opt (fun s -> s.fd = fd) !active with
+            | None -> ()
+            | Some slot -> (
+              match Unix.read fd chunk 0 (Bytes.length chunk) with
+              | 0 ->
+                active := List.filter (fun s -> s != slot) !active;
+                finish_eof slot
+              | k -> Buffer.add_subbytes slot.buf chunk 0 k
+              | exception Unix.Unix_error _ ->
+                active := List.filter (fun s -> s != slot) !active;
+                (try Unix.close fd with Unix.Unix_error _ -> ());
+                ignore (wait_status slot.pid);
+                finish_failure slot (`Crash "read error on result pipe")))
+          readable;
+        let t = now () in
+        let expired, alive =
+          List.partition (fun s -> s.deadline <= t) !active
+        in
+        active := alive;
+        List.iter
+          (fun slot ->
+            kill_slot slot;
+            finish_failure slot `Timeout)
+          expired
+      end
+    done;
+    (outcomes, mk_stats ())
   end

@@ -11,18 +11,71 @@
     (segfault, [kill -9]), never takes the run down.  Every result the
     worker managed to flush before dying is kept; the missing ones become
     [fallback] — the paper's "wrong output gets fitness 0" rule at the
-    process level. *)
+    process level.
+
+    [supervised] adds the fault model long evolution runs need: per-task
+    wall-clock deadlines enforced by the parent, retries with exponential
+    backoff on a respawned worker, and a typed {!outcome} per task so the
+    caller can tell an infrastructure failure from a genuinely bad
+    candidate. *)
 
 val available : bool
 (** Whether forking is supported on this platform.  When [false], [map]
-    always degrades to the sequential path. *)
+    always degrades to the sequential path and [supervised] runs
+    in-process (exception isolation only — no timeouts). *)
 
 val map : ?jobs:int -> fallback:'b -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ~jobs ~fallback f xs] is [Array.map f xs], computed by [jobs]
     forked workers (tasks are dealt round-robin).  Results arrive in input
     order.  Any task whose result cannot be obtained — [f] raised, or its
-    worker crashed — yields [fallback] instead.
+    worker crashed — yields [fallback] instead.  A worker that exits
+    abnormally (non-zero code or signal) or tears its result stream
+    mid-write is reported through [Logs.warn].
 
     [jobs <= 1] (the default) runs sequentially in-process, with the same
     per-task exception isolation and no forking.  Results must be
     marshalable when [jobs > 1].  Not reentrant from inside a task. *)
+
+(** The outcome of one supervised task.
+
+    - [Ok v]: some attempt returned [v].
+    - [Crashed msg]: [retries = 0] and the single attempt failed —
+      the task raised, or its worker died ([msg] says how).
+    - [Timed_out]: [retries = 0] and the single attempt exceeded
+      [timeout_s].
+    - [Gave_up]: [retries >= 1] and every one of the [1 + retries]
+      attempts failed (each attempt's crash or timeout is logged and
+      counted in {!stats}). *)
+type 'b outcome = Ok of 'b | Crashed of string | Timed_out | Gave_up
+
+(** Attempt-level telemetry for one [supervised] call: [completed] tasks
+    returned a value; [crashes] and [timeouts] count {e attempts} (a task
+    retried twice after crashing contributes 2 to [crashes]); [retries]
+    counts rescheduled attempts. *)
+type stats = {
+  completed : int;
+  crashes : int;
+  timeouts : int;
+  retries : int;
+}
+
+val supervised :
+  ?jobs:int ->
+  ?timeout_s:float ->
+  ?retries:int ->
+  ?backoff_s:float ->
+  ('a -> 'b) ->
+  'a array ->
+  'b outcome array * stats
+(** [supervised ~jobs ~timeout_s ~retries f xs] evaluates every task in a
+    disposable forked worker (one fork per attempt; [jobs] concurrent
+    workers, default 1) under a wall-clock deadline of [timeout_s] seconds
+    (default: none), checked and enforced from the parent: a worker that
+    hangs or dies is SIGKILLed and its task is retried on a fresh worker
+    up to [retries] times (default 1) with exponential backoff starting at
+    [backoff_s] seconds (default 0.05, doubling per attempt).
+
+    Results arrive in input order as typed outcomes; no fallback value is
+    ever invented.  [f] runs in a child process, so its side effects are
+    invisible to the parent — even at [jobs = 1].  Deterministic for pure
+    [f]: outcomes depend only on [f] and [xs], not on scheduling. *)

@@ -1,9 +1,32 @@
 (* The parallel, cached fitness engine.  See evaluator.mli for the
    batch-request pipeline: canonicalize -> cache lookup -> Parmap fan-out
-   -> cache fill. *)
+   -> cache fill, and for the fault model: infrastructure failures
+   (crashed, hung or abandoned evaluations) score 0 like a bad candidate
+   but are counted separately and never persisted. *)
+
+type fault_stats = {
+  crashed : int;
+  timed_out : int;
+  gave_up : int;
+  retried : int;
+}
+
+let no_faults = { crashed = 0; timed_out = 0; gave_up = 0; retried = 0 }
+
+let merge_faults a b =
+  {
+    crashed = a.crashed + b.crashed;
+    timed_out = a.timed_out + b.timed_out;
+    gave_up = a.gave_up + b.gave_up;
+    retried = a.retried + b.retried;
+  }
+
+let total_faults f = f.crashed + f.timed_out + f.gave_up
 
 type t = {
   jobs : int;
+  timeout_s : float option;
+  retries : int;
   fs : Gp.Feature_set.t;
   scope : string;
   case_name : int -> string;
@@ -12,6 +35,10 @@ type t = {
   disk : (string, float) Hashtbl.t;         (* digest -> fitness *)
   cache_file : string option;
   mutable evaluations : int;
+  mutable f_crashed : int;
+  mutable f_timed_out : int;
+  mutable f_gave_up : int;
+  mutable f_retried : int;
 }
 
 let sanitize v = if Float.is_finite v && v > 0.0 then v else 0.0
@@ -24,11 +51,15 @@ let digest_key t key case =
     (Digest.string (t.scope ^ "\x00" ^ t.case_name case ^ "\x00" ^ key))
 
 (* One "digest value" pair per line, hex floats for exact round-trips.
-   Unparsable lines (e.g. a torn write from a killed run) are skipped. *)
+   Unparsable lines (e.g. a torn write from a killed run) are skipped.
+   The shared read lock pairs with the writer's exclusive lock below so a
+   concurrent append is never observed half-written. *)
 let load_disk path tbl =
-  match open_in path with
-  | exception Sys_error _ -> ()
-  | ic ->
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.lockf fd Unix.F_RLOCK 0 with Unix.Unix_error _ -> ());
+    let ic = Unix.in_channel_of_descr fd in
     (try
        while true do
          let line = input_line ic in
@@ -45,20 +76,40 @@ let load_disk path tbl =
      with End_of_file -> ());
     close_in ic
 
+(* Append under an advisory [lockf] so two runs sharing a --cache-dir
+   cannot interleave torn lines; the whole batch goes out in one write.
+   Closing the descriptor releases the lock. *)
 let append_disk t entries =
   match t.cache_file with
   | None -> ()
   | Some path ->
     (try
-       let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
-       List.iter
-         (fun (digest, v) -> Printf.fprintf oc "%s %h\n" digest v)
-         entries;
-       close_out oc
-     with Sys_error e ->
-       Logs.warn (fun m -> m "fitness cache not written: %s" e))
+       let fd =
+         Unix.openfile path
+           [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ]
+           0o644
+       in
+       Fun.protect
+         ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+         (fun () ->
+           (try Unix.lockf fd Unix.F_LOCK 0 with Unix.Unix_error _ -> ());
+           let buf = Buffer.create 256 in
+           List.iter
+             (fun (digest, v) ->
+               Buffer.add_string buf (Printf.sprintf "%s %h\n" digest v))
+             entries;
+           let b = Buffer.to_bytes buf in
+           let len = Bytes.length b in
+           let off = ref 0 in
+           while !off < len do
+             off := !off + Unix.write fd b !off (len - !off)
+           done)
+     with Unix.Unix_error (e, _, _) ->
+       Logs.warn (fun m ->
+           m "fitness cache not written: %s" (Unix.error_message e)))
 
-let create ?(jobs = 1) ?cache_dir ~fs ~scope ~case_name ~eval () =
+let create ?(jobs = 1) ?cache_dir ?timeout_s ?(retries = 1) ~fs ~scope
+    ~case_name ~eval () =
   let cache_file =
     Option.map
       (fun dir ->
@@ -71,6 +122,8 @@ let create ?(jobs = 1) ?cache_dir ~fs ~scope ~case_name ~eval () =
   Option.iter (fun p -> if Sys.file_exists p then load_disk p disk) cache_file;
   {
     jobs = max 1 jobs;
+    timeout_s;
+    retries = max 0 retries;
     fs;
     scope;
     case_name;
@@ -79,9 +132,21 @@ let create ?(jobs = 1) ?cache_dir ~fs ~scope ~case_name ~eval () =
     disk;
     cache_file;
     evaluations = 0;
+    f_crashed = 0;
+    f_timed_out = 0;
+    f_gave_up = 0;
+    f_retried = 0;
   }
 
 let jobs t = t.jobs
+
+let faults t =
+  {
+    crashed = t.f_crashed;
+    timed_out = t.f_timed_out;
+    gave_up = t.f_gave_up;
+    retried = t.f_retried;
+  }
 
 let canon t g =
   let cg = Gp.Simplify.genome g in
@@ -97,6 +162,12 @@ let lookup t key case =
       Some v
     | None -> None)
   | None -> None
+
+(* A task's worker is supervised whenever its failure would otherwise be
+   invisible or fatal: any multi-worker run, or any run with a deadline.
+   Plain sequential evaluation stays in-process (cheap, side effects
+   observable — tests rely on it) with exception isolation only. *)
+let supervision_on t = Gp.Parmap.available && (t.jobs > 1 || t.timeout_s <> None)
 
 let evaluate_batch t genomes ~cases =
   let keyed = Array.map (canon t) genomes in
@@ -115,19 +186,64 @@ let evaluate_batch t genomes ~cases =
         cases)
     keyed;
   let tasks = Array.of_list (List.rev !tasks) in
-  let results =
-    Gp.Parmap.map ~jobs:t.jobs ~fallback:0.0
-      (fun (cg, _, case) -> sanitize (t.eval cg case))
-      tasks
-  in
   let entries = ref [] in
-  Array.iteri
-    (fun i (_, key, case) ->
-      t.evaluations <- t.evaluations + 1;
-      Hashtbl.replace t.memo (key, case) results.(i);
-      if t.cache_file <> None then
-        entries := (digest_key t key case, results.(i)) :: !entries)
-    tasks;
+  (* A real result: sanitized, memoized, persisted, and counted as an
+     evaluation.  Genuinely bad candidates (wrong output, non-finite
+     cycles) come through here as 0 and are cached like any result. *)
+  let record_ok (_, key, case) v =
+    let v = sanitize v in
+    t.evaluations <- t.evaluations + 1;
+    Hashtbl.replace t.memo (key, case) v;
+    if t.cache_file <> None then
+      entries := (digest_key t key case, v) :: !entries
+  in
+  (* An infrastructure failure: scores 0 so evolution discards the
+     candidate, is memoized so one hung genome cannot stall every
+     generation of this run, but is never written to the disk cache — a
+     transient OOM or timeout must not poison future runs. *)
+  let record_fault (_, key, case) what =
+    (match what with
+    | `Crashed msg ->
+      t.f_crashed <- t.f_crashed + 1;
+      Logs.warn (fun m ->
+          m "evaluation on %s crashed (fitness 0, not cached): %s"
+            (t.case_name case) msg)
+    | `Timed_out ->
+      t.f_timed_out <- t.f_timed_out + 1;
+      Logs.warn (fun m ->
+          m "evaluation on %s timed out (fitness 0, not cached)"
+            (t.case_name case))
+    | `Gave_up ->
+      t.f_gave_up <- t.f_gave_up + 1;
+      Logs.warn (fun m ->
+          m "evaluation on %s abandoned after retries (fitness 0, not cached)"
+            (t.case_name case)));
+    Hashtbl.replace t.memo (key, case) 0.0
+  in
+  if supervision_on t then begin
+    let outcomes, stats =
+      Gp.Parmap.supervised ~jobs:t.jobs ?timeout_s:t.timeout_s
+        ~retries:t.retries
+        (fun (cg, _, case) -> t.eval cg case)
+        tasks
+    in
+    t.f_retried <- t.f_retried + stats.Gp.Parmap.retries;
+    Array.iteri
+      (fun i task ->
+        match outcomes.(i) with
+        | Gp.Parmap.Ok v -> record_ok task v
+        | Gp.Parmap.Crashed msg -> record_fault task (`Crashed msg)
+        | Gp.Parmap.Timed_out -> record_fault task `Timed_out
+        | Gp.Parmap.Gave_up -> record_fault task `Gave_up)
+      tasks
+  end
+  else
+    Array.iter
+      (fun ((cg, _, case) as task) ->
+        match t.eval cg case with
+        | v -> record_ok task v
+        | exception e -> record_fault task (`Crashed (Printexc.to_string e)))
+      tasks;
   if !entries <> [] then append_disk t (List.rev !entries);
   Array.map
     (fun (_, key) ->

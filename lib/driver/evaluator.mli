@@ -8,37 +8,76 @@
       share one compile;
     + (key, case) pairs already known to the in-memory memo or the
       optional on-disk cache are answered without compiling;
-    + the remaining unique tasks fan out over a {!Gp.Parmap} process pool
-      ([jobs] workers; sequential at 1) with per-worker failure
-      isolation: a crashed candidate compile scores fitness 0 instead of
-      killing the run, the paper's "wrong output gets fitness 0" rule;
+    + the remaining unique tasks fan out over a {!Gp.Parmap} pool
+      ([jobs] workers) — supervised whenever [jobs > 1] or a [timeout_s]
+      is set: each task runs in a disposable forked worker under a
+      wall-clock deadline and is retried on a fresh worker (exponential
+      backoff) when its worker crashes or hangs;
     + fresh results are folded back into both caches.
+
+    The fault model separates candidate failures from infrastructure
+    failures.  A candidate whose compiled program produces wrong output
+    or non-finite cycles {e returns} 0 from [eval] — a real, cacheable
+    result.  An evaluation that crashes its worker, times out, or
+    exhausts its retries {e scores} 0 so evolution discards it, is
+    counted in {!fault_stats}, is memoized for this run only, and is
+    never written to the disk cache — a transient OOM or hang must not
+    poison future runs.  Only real results increment {!evaluations}.
 
     The on-disk cache is a flat append-only file under [cache_dir], keyed
     by a digest of (scope, case name, canonical expression), so it
     survives across runs and is shared by any study pointing at the same
-    directory.  It assumes one writing process per directory. *)
+    directory.  Appends hold an advisory [lockf] and go out in a single
+    write, so concurrent runs sharing a cache directory cannot interleave
+    torn lines. *)
 
 type t
+
+(** Counts of evaluation-level faults since {!create}: tasks whose final
+    outcome was a crash, a timeout, or retry exhaustion, plus the number
+    of retry attempts made.  Faulted tasks score fitness 0 but are not
+    evaluations and are not persisted. *)
+type fault_stats = {
+  crashed : int;
+  timed_out : int;
+  gave_up : int;
+  retried : int;
+}
+
+val no_faults : fault_stats
+val merge_faults : fault_stats -> fault_stats -> fault_stats
+
+val total_faults : fault_stats -> int
+(** [crashed + timed_out + gave_up] (retries are attempts, not tasks). *)
 
 val create :
   ?jobs:int ->
   ?cache_dir:string ->
+  ?timeout_s:float ->
+  ?retries:int ->
   fs:Gp.Feature_set.t ->
   scope:string ->
   case_name:(int -> string) ->
   eval:(Gp.Expr.genome -> int -> float) ->
   unit -> t
-(** [create ~jobs ~cache_dir ~fs ~scope ~case_name ~eval ()] builds an
-    engine over the raw single evaluation [eval] (one compile-and-simulate
-    cycle; called on the canonical genome, in a worker process when
-    [jobs > 1], so it must not rely on observable global mutation).
-    [scope] namespaces the persistent cache — include everything the
-    fitness depends on besides the genome and case: study, machine,
-    dataset.  Results are sanitized: non-finite or negative values, and
-    evaluations that raise or crash their worker, score 0. *)
+(** [create ~jobs ~cache_dir ~timeout_s ~retries ~fs ~scope ~case_name
+    ~eval ()] builds an engine over the raw single evaluation [eval] (one
+    compile-and-simulate cycle; called on the canonical genome, in a
+    worker process when supervised, so it must not rely on observable
+    global mutation).  [scope] namespaces the persistent cache — include
+    everything the fitness depends on besides the genome and case: study,
+    machine, dataset.  [timeout_s] (default: none) bounds one evaluation's
+    wall clock; [retries] (default 1) is how many times a crashed or hung
+    evaluation is re-run on a fresh worker before being abandoned.
+    Results are sanitized: non-finite or negative values score 0.  With
+    [jobs <= 1] and no [timeout_s], evaluation is sequential in-process
+    (side effects of [eval] remain observable; a raising [eval] is
+    recorded as a crash fault). *)
 
 val jobs : t -> int
+
+val faults : t -> fault_stats
+(** Fault counters accumulated over this engine's lifetime. *)
 
 val evaluate_batch :
   t -> Gp.Expr.genome array -> cases:int list -> float array array
@@ -48,7 +87,8 @@ val evaluate : t -> Gp.Expr.genome -> int -> float
 (** A batch of one; same caching and sanitization. *)
 
 val evaluations : t -> int
-(** Non-memoized evaluations performed so far (disk hits don't count). *)
+(** Non-memoized evaluations that produced a real result so far (disk
+    hits and faulted tasks don't count). *)
 
 val evolve_evaluator : t -> Gp.Evolve.evaluator
 (** The engine as an {!Gp.Evolve.evaluator}, for {!Gp.Evolve.problem}. *)

@@ -117,7 +117,7 @@ let dataset_name = function
   | Benchmarks.Bench.Train -> "train"
   | Benchmarks.Bench.Novel -> "novel"
 
-let create ?machine ?(jobs = 1) ?cache_dir (kind : kind)
+let create ?machine ?(jobs = 1) ?cache_dir ?timeout_s ?retries (kind : kind)
     (bench_names : string list) : context =
   let machine = Option.value ~default:(machine_of kind) machine in
   (* The prefetching study compiles without unrolling (ORC's prefetch
@@ -153,7 +153,8 @@ let create ?machine ?(jobs = 1) ?cache_dir (kind : kind)
   let baseline_train = baseline_for Benchmarks.Bench.Train in
   let baseline_novel = baseline_for Benchmarks.Bench.Novel in
   let evaluator_for baselines dataset =
-    Evaluator.create ~jobs ?cache_dir ~fs:(feature_set_of kind)
+    Evaluator.create ~jobs ?cache_dir ?timeout_s ?retries
+      ~fs:(feature_set_of kind)
       ~scope:
         (Printf.sprintf "%s/%s/%s" (kind_name kind)
            machine.Machine.Config.name (dataset_name dataset))
@@ -176,6 +177,11 @@ let create ?machine ?(jobs = 1) ?cache_dir (kind : kind)
 let evaluator_of (ctx : context) = function
   | Benchmarks.Bench.Train -> ctx.eval_train
   | Benchmarks.Bench.Novel -> ctx.eval_novel
+
+let faults (ctx : context) =
+  Evaluator.merge_faults
+    (Evaluator.faults ctx.eval_train)
+    (Evaluator.faults ctx.eval_novel)
 
 (* A raw, uncached single measurement (diagnostics and tests).  Note the
    noise draw is keyed on the genome exactly as given; the cached engines
@@ -224,14 +230,18 @@ type specialization = {
   novel_speedup : float;
   best_expr : string;
   history : Gp.Evolve.generation_stats list;
+  faults : Evaluator.fault_stats;
 }
 
 (* Figure 4 / 9 / 13: evolve a priority function for one benchmark, then
    measure on the training and the novel datasets. *)
-let specialize ?(params = Gp.Params.scaled) ?jobs ?cache_dir (kind : kind)
-    (bench : string) : specialization =
-  let ctx = create ?jobs ?cache_dir kind [ bench ] in
-  let result = Gp.Evolve.run ~params (problem_of ctx) in
+let specialize ?(params = Gp.Params.scaled) ?jobs ?cache_dir ?timeout_s
+    ?retries ?checkpoint_dir ?on_generation (kind : kind) (bench : string) :
+    specialization =
+  let ctx = create ?jobs ?cache_dir ?timeout_s ?retries kind [ bench ] in
+  let result =
+    Gp.Evolve.run ~params ?on_generation ?checkpoint_dir (problem_of ctx)
+  in
   let train_speedup = Evaluator.evaluate ctx.eval_train result.Gp.Evolve.best 0 in
   let novel_speedup = Evaluator.evaluate ctx.eval_novel result.Gp.Evolve.best 0 in
   {
@@ -242,6 +252,7 @@ let specialize ?(params = Gp.Params.scaled) ?jobs ?cache_dir (kind : kind)
       Gp.Sexp.to_string (feature_set_of kind)
         (Gp.Simplify.genome result.Gp.Evolve.best);
     history = result.Gp.Evolve.history;
+    faults = faults ctx;
   }
 
 type general = {
@@ -249,14 +260,18 @@ type general = {
   best_expr : string;
   train_rows : (string * float * float) list;  (* bench, train, novel *)
   history : Gp.Evolve.generation_stats list;
+  faults : Evaluator.fault_stats;
 }
 
 (* Figure 6 / 11 / 15: evolve one priority function over a training suite
    with DSS, then measure every training benchmark on both datasets. *)
-let evolve_general ?(params = Gp.Params.scaled) ?jobs ?cache_dir (kind : kind)
+let evolve_general ?(params = Gp.Params.scaled) ?jobs ?cache_dir ?timeout_s
+    ?retries ?checkpoint_dir ?on_generation (kind : kind)
     (benches : string list) : general =
-  let ctx = create ?jobs ?cache_dir kind benches in
-  let result = Gp.Evolve.run ~params (problem_of ctx) in
+  let ctx = create ?jobs ?cache_dir ?timeout_s ?retries kind benches in
+  let result =
+    Gp.Evolve.run ~params ?on_generation ?checkpoint_dir (problem_of ctx)
+  in
   {
     best = result.Gp.Evolve.best;
     best_expr =
@@ -264,13 +279,14 @@ let evolve_general ?(params = Gp.Params.scaled) ?jobs ?cache_dir (kind : kind)
         (Gp.Simplify.genome result.Gp.Evolve.best);
     train_rows = measure_rows ctx result.Gp.Evolve.best;
     history = result.Gp.Evolve.history;
+    faults = faults ctx;
   }
 
 (* Figure 7 / 12 / 16: apply a fixed evolved priority function to a suite
    it was not trained on.  [?params] is accepted for prefix uniformity
    with the other drivers; no evolution happens here. *)
-let cross_validate ?params:(_ : Gp.Params.t option) ?jobs ?cache_dir ?machine
-    (kind : kind) (g : Gp.Expr.genome) (benches : string list) :
-    (string * float * float) list =
-  let ctx = create ?machine ?jobs ?cache_dir kind benches in
+let cross_validate ?params:(_ : Gp.Params.t option) ?jobs ?cache_dir
+    ?timeout_s ?retries ?machine (kind : kind) (g : Gp.Expr.genome)
+    (benches : string list) : (string * float * float) list =
+  let ctx = create ?machine ?jobs ?cache_dir ?timeout_s ?retries kind benches in
   measure_rows ctx g

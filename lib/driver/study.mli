@@ -45,12 +45,19 @@ type context = {
 
 val create :
   ?machine:Machine.Config.t -> ?jobs:int -> ?cache_dir:string ->
+  ?timeout_s:float -> ?retries:int ->
   kind -> string list -> context
 (** Prepare the named benchmarks, compile + simulate the baseline on both
     datasets ([jobs]-wide), and build one cached batch evaluator per
-    dataset. *)
+    dataset.  [timeout_s] and [retries] configure the evaluators'
+    supervision (see {!Evaluator.create}): a candidate compile that hangs
+    or crashes its worker is killed, retried, and ultimately scored 0
+    without poisoning the persistent cache. *)
 
 val evaluator_of : context -> Benchmarks.Bench.dataset -> Evaluator.t
+
+val faults : context -> Evaluator.fault_stats
+(** Combined fault counters of both dataset evaluators. *)
 
 val speedup :
   context -> Gp.Expr.genome -> case:int ->
@@ -68,29 +75,40 @@ type specialization = {
   novel_speedup : float;
   best_expr : string;
   history : Gp.Evolve.generation_stats list;
+  faults : Evaluator.fault_stats;  (** infra failures during the run *)
 }
 
 val specialize :
   ?params:Gp.Params.t -> ?jobs:int -> ?cache_dir:string ->
+  ?timeout_s:float -> ?retries:int -> ?checkpoint_dir:string ->
+  ?on_generation:(Gp.Evolve.generation_stats -> unit) ->
   kind -> string -> specialization
 (** Figures 4 / 9 / 13: evolve for a single benchmark, measure on both
-    datasets. *)
+    datasets.  [checkpoint_dir] enables per-generation checkpointing and
+    resume, and [on_generation] is forwarded to the evolution loop (see
+    {!Gp.Evolve.run}). *)
 
 type general = {
   best : Gp.Expr.genome;
   best_expr : string;
   train_rows : (string * float * float) list;  (** bench, train, novel *)
   history : Gp.Evolve.generation_stats list;
+  faults : Evaluator.fault_stats;  (** infra failures during the run *)
 }
 
 val evolve_general :
   ?params:Gp.Params.t -> ?jobs:int -> ?cache_dir:string ->
+  ?timeout_s:float -> ?retries:int -> ?checkpoint_dir:string ->
+  ?on_generation:(Gp.Evolve.generation_stats -> unit) ->
   kind -> string list -> general
 (** Figures 6 / 11 / 15: one priority function over a training suite with
-    dynamic subset selection. *)
+    dynamic subset selection.  [checkpoint_dir] enables per-generation
+    checkpointing and resume, and [on_generation] is forwarded to the
+    evolution loop (see {!Gp.Evolve.run}). *)
 
 val cross_validate :
   ?params:Gp.Params.t -> ?jobs:int -> ?cache_dir:string ->
+  ?timeout_s:float -> ?retries:int ->
   ?machine:Machine.Config.t -> kind -> Gp.Expr.genome -> string list ->
   (string * float * float) list
 (** Figures 7 / 12 / 16: a fixed evolved function applied to benchmarks

@@ -1,0 +1,69 @@
+(* Deterministic fault injection for the supervised pool and the
+   evaluator's fault accounting.  Injected tasks run in forked workers,
+   where in-memory counters are invisible to the parent, so attempts are
+   counted through the filesystem: every attempt appends one byte to a
+   per-task file, and that file's size is the attempt count — visible
+   from any process, and still there after the run. *)
+
+type fault =
+  | Hang  (* never return; must be killed by the deadline *)
+  | Raise of string  (* the task raises inside the worker *)
+  | Exit of int  (* the worker exits without replying *)
+  | Kill of int  (* the worker kills itself with this signal *)
+
+let fresh_dir tag =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "metaopt-test-%s-%d" tag (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  dir
+
+let cleanup dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let attempt_file dir task = Filename.concat dir (Printf.sprintf "task-%d" task)
+
+(* Record one attempt of [task]; returns this attempt's 1-based number.
+   Only one attempt of a given task is ever in flight, so the append
+   needs no locking. *)
+let record_attempt dir task =
+  let fd =
+    Unix.openfile (attempt_file dir task)
+      [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ]
+      0o644
+  in
+  ignore (Unix.write fd (Bytes.make 1 '.') 0 1);
+  let n = (Unix.fstat fd).Unix.st_size in
+  Unix.close fd;
+  n
+
+(* How many attempts [task] has made so far (parent-side inspection). *)
+let attempts dir task =
+  try (Unix.stat (attempt_file dir task)).Unix.st_size
+  with Unix.Unix_error _ -> 0
+
+let trigger = function
+  | Hang ->
+    while true do
+      Unix.sleepf 60.0
+    done
+  | Raise msg -> failwith msg
+  | Exit code -> Unix._exit code
+  | Kill signal ->
+    Unix.kill (Unix.getpid ()) signal;
+    Unix.sleepf 60.0 (* a catchable signal may take a moment to land *)
+
+(* [wrap ~dir ~plan f] records an attempt for every integer task, injects
+   [plan task attempt] when it yields a fault (the attempt number is
+   1-based, so "fail the first two times" is
+   [fun _ n -> if n <= 2 then Some fault else None]), and otherwise
+   computes [f task]. *)
+let wrap ~dir ~plan f task =
+  let n = record_attempt dir task in
+  (match plan task n with Some fault -> trigger fault | None -> ());
+  f task

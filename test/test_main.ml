@@ -5,6 +5,8 @@ let () =
     [
       ("gp", Test_gp.suite);
       ("parmap", Test_parmap.suite);
+      ("faults", Test_faults.suite);
+      ("checkpoint", Test_checkpoint.suite);
       ("ir", Test_ir.suite);
       ("frontend", Test_frontend.suite);
       ("opt", Test_opt.suite);

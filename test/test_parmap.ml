@@ -146,6 +146,99 @@ let test_disk_cache_roundtrip () =
       Alcotest.(check (float 0.0)) "scoped apart" 9.0 m3.(0).(0);
       Alcotest.(check int) "recompiled under new scope" 3 !count)
 
+(* Two concurrent runs appending to one shared --cache-dir: the advisory
+   [lockf] plus single-write appends must keep every line whole.  Each
+   forked child writes 50 single-entry batches under its own scope; the
+   parent then checks the file line by line and round-trips both scopes
+   through fresh engines without recomputing anything. *)
+let test_concurrent_cache_writers () =
+  if Gp.Parmap.available then begin
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "metaopt-shared-cache-%d" (Unix.getpid ()))
+    in
+    let file = Filename.concat dir "fitness-cache.tsv" in
+    let read_lines path =
+      let ic = open_in path in
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file ->
+          close_in ic;
+          List.rev acc
+      in
+      go []
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        if Sys.file_exists file then Sys.remove file;
+        if Sys.file_exists dir then Unix.rmdir dir)
+      (fun () ->
+        let g = Hyperblock.Baseline.genome in
+        let engine scope eval =
+          Driver.Evaluator.create ~cache_dir:dir
+            ~fs:Hyperblock.Features.feature_set ~scope
+            ~case_name:(fun i -> "case" ^ string_of_int i)
+            ~eval ()
+        in
+        flush stdout;
+        flush stderr;
+        let writer scope base =
+          match Unix.fork () with
+          | 0 ->
+            (try
+               let e = engine scope (fun _ c -> base +. float_of_int c) in
+               for c = 0 to 49 do
+                 ignore (Driver.Evaluator.evaluate_batch e [| g |] ~cases:[ c ])
+               done;
+               Unix._exit 0
+             with _ -> Unix._exit 1)
+          | pid -> pid
+        in
+        let p1 = writer "w1/scope" 100.0 in
+        let p2 = writer "w2/scope" 200.0 in
+        let clean pid =
+          match Unix.waitpid [] pid with
+          | _, Unix.WEXITED 0 -> true
+          | _ -> false
+        in
+        Alcotest.(check bool) "writer 1 exited cleanly" true (clean p1);
+        Alcotest.(check bool) "writer 2 exited cleanly" true (clean p2);
+        (* Every line survived whole: 32-hex digest, one space, a float. *)
+        let lines = read_lines file in
+        Alcotest.(check int) "one line per evaluation" 100 (List.length lines);
+        List.iter
+          (fun line ->
+            match String.index_opt line ' ' with
+            | Some 32 -> (
+              match
+                float_of_string_opt
+                  (String.sub line 33 (String.length line - 33))
+              with
+              | Some _ -> ()
+              | None -> Alcotest.failf "torn value in %S" line)
+            | _ -> Alcotest.failf "torn line %S" line)
+          lines;
+        (* Fresh engines answer both scopes purely from disk. *)
+        let check_scope scope base =
+          let e = engine scope (fun _ _ -> 999.0) in
+          let row =
+            (Driver.Evaluator.evaluate_batch e [| g |]
+               ~cases:(List.init 50 Fun.id)).(0)
+          in
+          Array.iteri
+            (fun c v ->
+              Alcotest.(check (float 0.0))
+                (Printf.sprintf "%s case %d from disk" scope c)
+                (base +. float_of_int c) v)
+            row;
+          Alcotest.(check int) "nothing recomputed" 0
+            (Driver.Evaluator.evaluations e)
+        in
+        check_scope "w1/scope" 100.0;
+        check_scope "w2/scope" 200.0)
+  end
+
 let suite =
   [
     Alcotest.test_case "ordered results" `Quick test_ordering;
@@ -159,4 +252,6 @@ let suite =
     Alcotest.test_case "noisy study deterministic" `Quick
       test_parallel_noisy_study_deterministic;
     Alcotest.test_case "disk cache round-trip" `Quick test_disk_cache_roundtrip;
+    Alcotest.test_case "concurrent cache writers" `Quick
+      test_concurrent_cache_writers;
   ]
