@@ -16,6 +16,7 @@
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- fig4 fig5    # specific figures
      dune exec bench/main.exe -- par          # parallel-engine comparison
+     dune exec bench/main.exe -- report       # BENCH_metaopt.json report
      dune exec bench/main.exe -- micro        # Bechamel micro-benches
 *)
 
@@ -368,6 +369,150 @@ let ckpt () =
   Fmt.pr "identical evolved result : %s@." (if same then "yes" else "NO!");
   Fmt.pr "best: %s@." straight.Driver.Study.best_expr
 
+(* The observability report: run a small evolve twice (cold and warm
+   cache) at -j 1 and once at -j 4 with telemetry capturing every record,
+   then write BENCH_metaopt.json — per-phase wall-clock timings,
+   end-to-end speedups (parallel over sequential, warm cache over cold),
+   the full metric registry, and record counts.  The file is re-read and
+   schema-validated before the target reports success, so CI can fail on
+   a malformed report rather than archiving garbage. *)
+let report () =
+  hr "Observability report: phase timings + speedups -> BENCH_metaopt.json";
+  let out =
+    Option.value ~default:"BENCH_metaopt.json"
+      (Sys.getenv_opt "METAOPT_BENCH_OUT")
+  in
+  let p =
+    { params with
+      Gp.Params.population_size = min 16 params.Gp.Params.population_size;
+      generations = min 4 params.Gp.Params.generations }
+  in
+  let benches = [ "codrle4"; "decodrle4" ] in
+  let sink, records = Gp.Telemetry.memory_sink () in
+  Gp.Telemetry.set_sink (Some sink);
+  let phase name f =
+    let t = Unix.gettimeofday () in
+    let v = f () in
+    let dt = Unix.gettimeofday () -. t in
+    Fmt.pr "  %-24s %8.2fs@." name dt;
+    ((name, dt), v)
+  in
+  let run_on ctx =
+    Gp.Evolve.run ~params:p (Driver.Study.problem_of ctx)
+  in
+  let ctx1 = Driver.Study.create ~jobs:1 Driver.Study.Hyperblock_study benches in
+  let ph_cold, r_cold = phase "evolve -j1 (cold)" (fun () -> run_on ctx1) in
+  (* Same engine, same params: every request is a memo hit. *)
+  let ph_warm, r_warm = phase "evolve -j1 (warm cache)" (fun () -> run_on ctx1) in
+  let ctx4 = Driver.Study.create ~jobs:4 Driver.Study.Hyperblock_study benches in
+  let ph_par, r_par = phase "evolve -j4 (cold)" (fun () -> run_on ctx4) in
+  let registry = Gp.Telemetry.registry_json () in
+  let recs = records () in
+  Gp.Telemetry.set_sink None;
+  let identical =
+    r_cold.Gp.Evolve.best_fitness = r_warm.Gp.Evolve.best_fitness
+    && r_cold.Gp.Evolve.best_fitness = r_par.Gp.Evolve.best_fitness
+  in
+  let count kind =
+    List.length
+      (List.filter
+         (fun r ->
+           Gp.Telemetry.member "kind" r = Some (Gp.Telemetry.String kind))
+         recs)
+  in
+  let seconds (_, s) = s in
+  let speedup num den = if den > 0.0 then num /. den else 0.0 in
+  let doc =
+    Gp.Telemetry.Obj
+      [
+        ("schema_version", Gp.Telemetry.Int 1);
+        ( "config",
+          Gp.Telemetry.Obj
+            [
+              ("population", Gp.Telemetry.Int p.Gp.Params.population_size);
+              ("generations", Gp.Telemetry.Int p.Gp.Params.generations);
+              ("seed", Gp.Telemetry.Int p.Gp.Params.rng_seed);
+              ( "benches",
+                Gp.Telemetry.List
+                  (List.map (fun b -> Gp.Telemetry.String b) benches) );
+            ] );
+        ( "phases",
+          Gp.Telemetry.List
+            (List.map
+               (fun (name, s) ->
+                 Gp.Telemetry.Obj
+                   [
+                     ("name", Gp.Telemetry.String name);
+                     ("seconds", Gp.Telemetry.Float s);
+                   ])
+               [ ph_cold; ph_warm; ph_par ]) );
+        ( "speedups",
+          Gp.Telemetry.Obj
+            [
+              ( "parallel_j4_over_j1",
+                Gp.Telemetry.Float (speedup (seconds ph_cold) (seconds ph_par)) );
+              ( "warm_cache_over_cold",
+                Gp.Telemetry.Float (speedup (seconds ph_cold) (seconds ph_warm))
+              );
+            ] );
+        ("identical_results", Gp.Telemetry.Bool identical);
+        ( "records",
+          Gp.Telemetry.Obj
+            [
+              ("generation", Gp.Telemetry.Int (count "generation"));
+              ("pool", Gp.Telemetry.Int (count "pool"));
+              ("cache", Gp.Telemetry.Int (count "cache"));
+            ] );
+        ("telemetry", registry);
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (Gp.Telemetry.json_to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  (* Validate what actually landed on disk. *)
+  let ic = open_in out in
+  let len = in_channel_length ic in
+  let body = really_input_string ic len in
+  close_in ic;
+  let fail msg = failwith ("BENCH_metaopt.json schema invalid: " ^ msg) in
+  (match Gp.Telemetry.json_of_string (String.trim body) with
+  | Error e -> fail e
+  | Ok j ->
+    let require k =
+      match Gp.Telemetry.member k j with
+      | Some v -> v
+      | None -> fail ("missing key " ^ k)
+    in
+    (match require "schema_version" with
+    | Gp.Telemetry.Int 1 -> ()
+    | _ -> fail "schema_version <> 1");
+    (match require "phases" with
+    | Gp.Telemetry.List (_ :: _ as ps) ->
+      List.iter
+        (fun ph ->
+          match
+            (Gp.Telemetry.member "name" ph, Gp.Telemetry.member "seconds" ph)
+          with
+          | Some (Gp.Telemetry.String _), Some (Gp.Telemetry.Float _) -> ()
+          | _ -> fail "phase entry without name/seconds")
+        ps
+    | _ -> fail "phases missing or empty");
+    (match require "speedups" with
+    | Gp.Telemetry.Obj _ -> ()
+    | _ -> fail "speedups not an object");
+    ignore (require "config");
+    ignore (require "records");
+    ignore (require "telemetry"));
+  Fmt.pr "@.speedups: parallel %.2fx, warm cache %.2fx@."
+    (speedup (seconds ph_cold) (seconds ph_par))
+    (speedup (seconds ph_cold) (seconds ph_warm));
+  Fmt.pr "identical evolved results across engines: %s@."
+    (if identical then "yes" else "NO!");
+  Fmt.pr "records: %d generation, %d pool, %d cache@." (count "generation")
+    (count "pool") (count "cache");
+  Fmt.pr "wrote %s (schema ok)@." out
+
 (* Bechamel micro-benchmarks of the hot paths: expression evaluation,
    genetic operators, dependence-graph construction and scheduling, cache
    simulation and whole-program interpretation. *)
@@ -463,7 +608,7 @@ let all_figures =
     ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("fig11", fig11);
     ("fig12", fig12); ("fig13", fig13); ("fig14", fig14); ("fig15", fig15);
     ("fig16", fig16); ("ext-sched", ext_sched); ("ablations", ablations);
-    ("par", par); ("ckpt", ckpt); ("micro", micro);
+    ("par", par); ("ckpt", ckpt); ("report", report); ("micro", micro);
   ]
 
 let () =

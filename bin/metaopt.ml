@@ -78,6 +78,39 @@ let eval_retries =
            ~doc:"Retry a crashed or hung candidate evaluation $(docv) \
                  times on a fresh worker before giving it fitness 0")
 
+let metrics_out =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ]
+           ~doc:"Append one JSONL telemetry record per line to $(docv): \
+                 per-generation fitness/size statistics, worker-pool \
+                 latency and utilization, cache hit rates, and a run \
+                 summary"
+           ~docv:"FILE")
+
+let trace =
+  Arg.(value & flag
+       & info [ "trace" ]
+           ~doc:"With --metrics-out, also emit one span record per timed \
+                 section (compile, simulate), for fine-grained traces")
+
+(* Install the sink for the rest of the process; [at_exit] closes it so
+   the last record is flushed even on an exception path. *)
+let setup_metrics study params jobs metrics_out trace =
+  match metrics_out with
+  | None -> ()
+  | Some path ->
+    Gp.Telemetry.set_sink (Some (Gp.Telemetry.jsonl_sink path));
+    Gp.Telemetry.set_trace trace;
+    at_exit (fun () -> Gp.Telemetry.set_sink None);
+    Gp.Telemetry.emit ~kind:"run_start"
+      [
+        ("study", Gp.Telemetry.String (Driver.Study.kind_name study));
+        ("population", Gp.Telemetry.Int params.Gp.Params.population_size);
+        ("generations", Gp.Telemetry.Int params.Gp.Params.generations);
+        ("seed", Gp.Telemetry.Int params.Gp.Params.rng_seed);
+        ("jobs", Gp.Telemetry.Int jobs);
+      ]
+
 let print_faults (f : Driver.Evaluator.fault_stats) =
   Fmt.pr "faults         : %d crashed, %d timed out, %d gave up, %d retried@."
     f.Driver.Evaluator.crashed f.Driver.Evaluator.timed_out
@@ -216,9 +249,10 @@ let profile_cmd =
 (* --- specialize ----------------------------------------------------------- *)
 
 let specialize study bench pop gens seed jobs cache_dir checkpoint_dir
-    eval_timeout eval_retries save =
+    eval_timeout eval_retries metrics_out trace save =
   setup_logs ();
   let params = params_of pop gens seed in
+  setup_metrics study params jobs metrics_out trace;
   let r =
     Driver.Study.specialize ~params ~jobs ?cache_dir ?checkpoint_dir
       ?timeout_s:eval_timeout ~retries:eval_retries study bench
@@ -252,15 +286,17 @@ let specialize_cmd =
     Term.(
       const specialize $ study_arg $ bench_arg $ pop $ gens $ seed $ jobs
       $ cache_dir $ checkpoint_dir $ eval_timeout $ eval_retries
+      $ metrics_out $ trace
       $ Arg.(value & opt (some string) None
              & info [ "save" ] ~doc:"Write the evolved heuristics to a file"))
 
 (* --- evolve (general-purpose) ---------------------------------------------- *)
 
 let evolve study pop gens seed jobs cache_dir checkpoint_dir eval_timeout
-    eval_retries =
+    eval_retries metrics_out trace =
   setup_logs ();
   let params = params_of pop gens seed in
+  setup_metrics study params jobs metrics_out trace;
   let benches =
     match study with
     | Driver.Study.Hyperblock_study -> Benchmarks.Registry.hyperblock_train
@@ -291,7 +327,7 @@ let evolve_cmd =
     (Cmd.info "evolve" ~doc:"Evolve a general-purpose priority function (DSS)")
     Term.(
       const evolve $ study_arg $ pop $ gens $ seed $ jobs $ cache_dir
-      $ checkpoint_dir $ eval_timeout $ eval_retries)
+      $ checkpoint_dir $ eval_timeout $ eval_retries $ metrics_out $ trace)
 
 (* --- compare: one benchmark under explicit heuristic expressions ----------- *)
 

@@ -20,6 +20,26 @@ type evaluator = {
 
 let sanitize v = if Float.is_finite v && v > 0.0 then v else 0.0
 
+(* [k] distinct indices in [0, n) by rejection sampling.  The first draw
+   of each position is exactly the draw the with-replacement sampler
+   would have made, so on the (common) collision-free path the RNG
+   consumption — and therefore every downstream decision — is unchanged;
+   only an actual collision costs extra draws. *)
+let sample_distinct rng ~n ~k =
+  if k > n then invalid_arg "Evolve.sample_distinct: k > n";
+  if k < 0 then invalid_arg "Evolve.sample_distinct: negative k";
+  let out = Array.make (max k 1) 0 in
+  let out = if k = 0 then [||] else out in
+  for i = 0 to k - 1 do
+    let rec draw () =
+      let c = Random.State.int rng n in
+      let rec dup j = j < i && (out.(j) = c || dup (j + 1)) in
+      if dup 0 then draw () else c
+    in
+    out.(i) <- draw ()
+  done;
+  out
+
 (* Memoization is keyed on the simplified genome, so crossover products
    that reduce to an already-seen expression are cache hits; [f] is called
    on the canonical form for the same reason. *)
@@ -206,11 +226,18 @@ let run ?(params = Params.default) ?on_generation ?checkpoint_dir
       (ck.ck_rng, pop, ck.ck_dss, ref ck.ck_history, ck.ck_next_gen)
     | None ->
       let rng = Random.State.make [| params.Params.rng_seed |] in
-      (* --- Initial population --- *)
+      (* --- Initial population ---
+         The seed list never exceeds the population: with a tiny
+         [population_size] the seeds are truncated and the random count
+         clamps at 0, so [Gen.ramped] is never asked for a negative
+         count. *)
       let seed =
         if params.Params.seed_baseline then Option.to_list p.baseline else []
       in
-      let n_random = params.Params.population_size - List.length seed in
+      let seed = List.filteri (fun i _ -> i < params.Params.population_size) seed in
+      let n_random =
+        max 0 (params.Params.population_size - List.length seed)
+      in
       let genomes =
         seed @ Gen.ramped gen_cfg rng ~sort:p.sort ~count:n_random
       in
@@ -235,14 +262,30 @@ let run ?(params = Params.default) ?on_generation ?checkpoint_dir
   let all_cases = List.init p.n_cases Fun.id in
   let eps = params.Params.parsimony_eps in
   (* Tournament over a snapshot of the evaluated generation: offspring
-     never compete as parents until they have been batch-scored. *)
+     never compete as parents until they have been batch-scored.
+     Contestants are drawn without replacement whenever the population
+     can support it — a duplicate draw would silently shrink the
+     effective tournament size and weaken selection pressure.  Smaller
+     populations keep the historical with-replacement draws. *)
   let tournament pool =
-    let best = ref pool.(Random.State.int rng n) in
-    for _ = 2 to params.Params.tournament_size do
-      let c = pool.(Random.State.int rng n) in
-      if better ~eps c !best then best := c
-    done;
-    !best
+    let t = params.Params.tournament_size in
+    if n >= t && t > 0 then begin
+      let idx = sample_distinct rng ~n ~k:t in
+      let best = ref pool.(idx.(0)) in
+      for i = 1 to t - 1 do
+        let c = pool.(idx.(i)) in
+        if better ~eps c !best then best := c
+      done;
+      !best
+    end
+    else begin
+      let best = ref pool.(Random.State.int rng n) in
+      for _ = 2 to t do
+        let c = pool.(Random.State.int rng n) in
+        if better ~eps c !best then best := c
+      done;
+      !best
+    end
   in
   let best_index () =
     let bi = ref 0 in
@@ -267,6 +310,7 @@ let run ?(params = Params.default) ?on_generation ?checkpoint_dir
     matrix
   in
   for gen = start_gen to params.Params.generations - 1 do
+    let t_gen = if Telemetry.enabled () then Telemetry.now_s () else 0.0 in
     let subset =
       match dss with
       | Some d -> Dss.select d rng
@@ -305,6 +349,48 @@ let run ?(params = Params.default) ?on_generation ?checkpoint_dir
     in
     history := stats :: !history;
     (match on_generation with Some f -> f stats | None -> ());
+    (* One record per generation.  Everything here is derived from state
+       the loop already computed; none of it touches [rng], so a run with
+       telemetry on is bit-identical to one with it off. *)
+    if Telemetry.enabled () then begin
+      let nf = float_of_int n in
+      let std_fitness =
+        let acc =
+          Array.fold_left
+            (fun a i ->
+              let d = i.fitness -. mean_fitness in
+              a +. (d *. d))
+            0.0 pop
+        in
+        sqrt (acc /. nf)
+      in
+      let size_min =
+        Array.fold_left (fun a i -> min a i.size) max_int pop
+      in
+      let size_max = Array.fold_left (fun a i -> max a i.size) 0 pop in
+      let size_mean =
+        Array.fold_left (fun a i -> a +. float_of_int i.size) 0.0 pop /. nf
+      in
+      let elapsed = Telemetry.now_s () -. t_gen in
+      Telemetry.observe "evolve.generation_s" elapsed;
+      Telemetry.emit ~kind:"generation"
+        [
+          ("gen", Telemetry.Int gen);
+          ("best_fitness", Telemetry.Float stats.best_fitness);
+          ("mean_fitness", Telemetry.Float mean_fitness);
+          ("std_fitness", Telemetry.Float std_fitness);
+          ("best_size", Telemetry.Int stats.best_size);
+          ("size_min", Telemetry.Int size_min);
+          ("size_mean", Telemetry.Float size_mean);
+          ("size_max", Telemetry.Int size_max);
+          ("population", Telemetry.Int n);
+          ("subset_size", Telemetry.Int (List.length subset));
+          ( "evaluations",
+            Telemetry.Int (p.evaluator.evaluations () - evaluations0) );
+          ("elapsed_s", Telemetry.Float elapsed);
+          ("best_expr", Telemetry.String stats.best_expr);
+        ]
+    end;
     (* --- Reproduction: replace a random fraction of the population (the
        elite excepted) with crossover offspring, some of them mutated.
        Parents come from the evaluated snapshot; offspring are scored by

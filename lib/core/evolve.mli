@@ -68,6 +68,15 @@ val better : eps:float -> individual -> individual -> bool
 (** Strictly-better ordering with parsimony pressure: higher fitness wins;
     ties within [eps] break towards the smaller expression. *)
 
+val sample_distinct : Random.State.t -> n:int -> k:int -> int array
+(** [k] distinct indices in [0, n) by rejection sampling — the sampler
+    behind tournament selection, exported for testability.  The first
+    draw of each position matches the with-replacement sampler's draw, so
+    collision-free paths consume the RNG identically; requires
+    [0 <= k <= n].
+
+    @raise Invalid_argument when [k > n] or [k < 0]. *)
+
 val run :
   ?params:Params.t -> ?on_generation:(generation_stats -> unit) ->
   ?checkpoint_dir:string -> problem -> result
@@ -89,5 +98,12 @@ val run :
     files are skipped with a warning; checkpoint I/O failures degrade to
     warnings and never abort the run.  One run configuration per
     directory: files are named by generation and will be overwritten.
+
+    With {!Telemetry} enabled, the driver emits one [kind = "generation"]
+    record per generation (fitness best/mean/std, genome size
+    min/mean/max, cumulative evaluations, elapsed seconds) and observes
+    per-generation wall clock in the [evolve.generation_s] histogram.
+    None of it reads the RNG: a telemetered run is bit-identical to a
+    silent one.
 
     @raise Invalid_argument if the problem has no training cases. *)

@@ -17,6 +17,16 @@
 
 let available = Sys.unix
 
+(* Every blocking syscall goes through here: a signal delivered while the
+   parent is reaping or draining (SIGCHLD, a profiler's SIGPROF, an
+   interval timer) makes the call fail with EINTR, and treating that as a
+   real failure misreports a healthy worker as lost.  Restart the call
+   instead. *)
+let rec retry_eintr f =
+  match f () with
+  | v -> v
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> retry_eintr f
+
 let describe_status = function
   | Unix.WEXITED c -> Printf.sprintf "exited with code %d" c
   | Unix.WSIGNALED s -> Printf.sprintf "killed by signal %d" s
@@ -34,11 +44,16 @@ let map ?(jobs = 1) ~fallback f xs =
        (children exit through [Unix._exit], which skips flushing). *)
     flush stdout;
     flush stderr;
+    let tel = Telemetry.enabled () in
+    let t_start = if tel then Telemetry.now_s () else 0.0 in
     let results = Array.make n fallback in
     let spawn w =
       let rd, wr = Unix.pipe () in
       match Unix.fork () with
       | 0 ->
+        (* The child inherits the parent's sink descriptor; writing to it
+           would interleave torn lines into the parent's stream. *)
+        Telemetry.set_sink None;
         Unix.close rd;
         let oc = Unix.out_channel_of_descr wr in
         (try
@@ -74,13 +89,24 @@ let map ?(jobs = 1) ~fallback f xs =
           Logs.warn (fun m ->
               m "parmap: torn result stream from worker %d (%s)" pid msg));
         (try close_in ic with _ -> ());
-        (match Unix.waitpid [] pid with
+        (match retry_eintr (fun () -> Unix.waitpid [] pid) with
         | _, Unix.WEXITED 0 -> ()
         | _, status ->
           Logs.warn (fun m ->
               m "parmap: worker %d %s" pid (describe_status status))
         | exception Unix.Unix_error _ -> ()))
       workers;
+    if tel then begin
+      let wall = Telemetry.now_s () -. t_start in
+      Telemetry.observe "parmap.map_wall_s" wall;
+      Telemetry.emit ~kind:"pool"
+        [
+          ("mode", Telemetry.String "map");
+          ("jobs", Telemetry.Int jobs);
+          ("tasks", Telemetry.Int n);
+          ("wall_s", Telemetry.Float wall);
+        ]
+    end;
     results
   end
 
@@ -106,6 +132,7 @@ type slot = {
   task : int;
   attempt : int; (* 0-based *)
   deadline : float; (* absolute; [infinity] when no timeout *)
+  spawned : float; (* absolute; 0 when telemetry is off *)
   buf : Buffer.t;
 }
 
@@ -155,18 +182,37 @@ let supervised ?(jobs = 1) ?timeout_s ?(retries = 1) ?(backoff_s = 0.05) f xs =
     flush stderr;
     let jobs = max 1 (min jobs n) in
     let now () = Unix.gettimeofday () in
-    (* Tasks awaiting dispatch, FIFO; failed attempts wait out their
-       backoff in [delayed] (sorted by wake-up time). *)
-    let ready : (int * int) Queue.t = Queue.create () in
+    (* Telemetry: per-task latency and queue wait are observed from the
+       parent (spawn-to-EOF wall clock), so they cover the forked path the
+       in-process spans cannot see.  All of it is guarded: when disabled,
+       the pool never reads the clock on its behalf. *)
+    let tel = Telemetry.enabled () in
+    let t_start = if tel then Telemetry.now_s () else 0.0 in
+    let task_hist = Telemetry.Histogram.create () in
+    let queue_hist = Telemetry.Histogram.create () in
+    let busy = ref 0.0 in
+    let note_done slot =
+      if tel && slot.spawned > 0.0 then begin
+        let d = now () -. slot.spawned in
+        Telemetry.Histogram.add task_hist d;
+        Telemetry.observe "parmap.task_s" d;
+        busy := !busy +. d
+      end
+    in
+    (* Tasks awaiting dispatch, FIFO, stamped with the time they became
+       ready; failed attempts wait out their backoff in [delayed] (sorted
+       by wake-up time). *)
+    let ready : (int * int * float) Queue.t = Queue.create () in
+    let enq0 = if tel then now () else 0.0 in
     for i = 0 to n - 1 do
-      Queue.add (i, 0) ready
+      Queue.add (i, 0, enq0) ready
     done;
     let delayed = ref [] in
     let active = ref [] in
     let remaining = ref n in
     let chunk = Bytes.create 65536 in
     let wait_status pid =
-      match Unix.waitpid [] pid with
+      match retry_eintr (fun () -> Unix.waitpid [] pid) with
       | _, status -> Some status
       | exception Unix.Unix_error _ -> None
     in
@@ -230,7 +276,7 @@ let supervised ?(jobs = 1) ?timeout_s ?(retries = 1) ?(backoff_s = 0.05) f xs =
       (try Unix.close slot.fd with Unix.Unix_error _ -> ());
       ignore (wait_status slot.pid)
     in
-    let spawn (task, attempt) =
+    let spawn (task, attempt, enq) =
       let rd, wr = Unix.pipe () in
       match Unix.fork () with
       | exception Unix.Unix_error _ ->
@@ -239,6 +285,7 @@ let supervised ?(jobs = 1) ?timeout_s ?(retries = 1) ?(backoff_s = 0.05) f xs =
         Unix.close wr;
         delayed := insert_delayed (now () +. 0.05, task, attempt) !delayed
       | 0 ->
+        Telemetry.set_sink None;
         Unix.close rd;
         List.iter
           (fun s -> try Unix.close s.fd with Unix.Unix_error _ -> ())
@@ -253,18 +300,25 @@ let supervised ?(jobs = 1) ?timeout_s ?(retries = 1) ?(backoff_s = 0.05) f xs =
         (try
            let off = ref 0 in
            while !off < len do
-             off := !off + Unix.write wr b !off (len - !off)
+             off := !off + retry_eintr (fun () -> Unix.write wr b !off (len - !off))
            done;
            Unix.close wr
          with _ -> ());
         Unix._exit 0
       | pid ->
         Unix.close wr;
+        let spawned = if tel then now () else 0.0 in
+        if tel && enq > 0.0 then begin
+          let w = spawned -. enq in
+          Telemetry.Histogram.add queue_hist w;
+          Telemetry.observe "parmap.queue_wait_s" w
+        end;
         let deadline =
           match timeout_s with Some t -> now () +. t | None -> infinity
         in
         active :=
-          { pid; fd = rd; task; attempt; deadline; buf = Buffer.create 256 }
+          { pid; fd = rd; task; attempt; deadline; spawned;
+            buf = Buffer.create 256 }
           :: !active
     in
     while !remaining > 0 do
@@ -274,7 +328,7 @@ let supervised ?(jobs = 1) ?timeout_s ?(retries = 1) ?(backoff_s = 0.05) f xs =
         match !delayed with
         | (nb, task, att) :: rest when nb <= t ->
           delayed := rest;
-          Queue.add (task, att) ready;
+          Queue.add (task, att, if tel then t else 0.0) ready;
           promote ()
         | _ -> ()
       in
@@ -286,7 +340,11 @@ let supervised ?(jobs = 1) ?timeout_s ?(retries = 1) ?(backoff_s = 0.05) f xs =
         match !delayed with
         | (nb, _, _) :: _ ->
           let d = nb -. now () in
-          if d > 0.0 then Unix.sleepf d
+          if d > 0.0 then (
+            (* An interrupted sleep just re-enters the loop, which
+               recomputes the remaining backoff. *)
+            try Unix.sleepf d
+            with Unix.Unix_error (Unix.EINTR, _, _) -> ())
         | [] ->
           (* Unreachable: remaining > 0 implies work somewhere. *)
           remaining := 0
@@ -314,15 +372,17 @@ let supervised ?(jobs = 1) ?timeout_s ?(retries = 1) ?(backoff_s = 0.05) f xs =
             match List.find_opt (fun s -> s.fd = fd) !active with
             | None -> ()
             | Some slot -> (
-              match Unix.read fd chunk 0 (Bytes.length chunk) with
+              match retry_eintr (fun () -> Unix.read fd chunk 0 (Bytes.length chunk)) with
               | 0 ->
                 active := List.filter (fun s -> s != slot) !active;
+                note_done slot;
                 finish_eof slot
               | k -> Buffer.add_subbytes slot.buf chunk 0 k
               | exception Unix.Unix_error _ ->
                 active := List.filter (fun s -> s != slot) !active;
                 (try Unix.close fd with Unix.Unix_error _ -> ());
                 ignore (wait_status slot.pid);
+                note_done slot;
                 finish_failure slot (`Crash "read error on result pipe")))
           readable;
         let t = now () in
@@ -333,9 +393,39 @@ let supervised ?(jobs = 1) ?timeout_s ?(retries = 1) ?(backoff_s = 0.05) f xs =
         List.iter
           (fun slot ->
             kill_slot slot;
+            note_done slot;
             finish_failure slot `Timeout)
           expired
       end
     done;
+    if tel then begin
+      let wall = Telemetry.now_s () -. t_start in
+      Telemetry.incr ~by:!crashes "parmap.crashes";
+      Telemetry.incr ~by:!timeouts "parmap.timeouts";
+      Telemetry.incr ~by:!retried "parmap.retries";
+      let pct h p = Telemetry.Histogram.percentile h p in
+      Telemetry.emit ~kind:"pool"
+        [
+          ("mode", Telemetry.String "supervised");
+          ("jobs", Telemetry.Int jobs);
+          ("tasks", Telemetry.Int n);
+          ("completed", Telemetry.Int !completed);
+          ("crashes", Telemetry.Int !crashes);
+          ("timeouts", Telemetry.Int !timeouts);
+          ("retries", Telemetry.Int !retried);
+          ("wall_s", Telemetry.Float wall);
+          ("busy_s", Telemetry.Float !busy);
+          ( "utilization",
+            Telemetry.Float
+              (if wall > 0.0 then !busy /. (wall *. float_of_int jobs) else 0.0)
+          );
+          ("task_p50_s", Telemetry.Float (pct task_hist 50.0));
+          ("task_p95_s", Telemetry.Float (pct task_hist 95.0));
+          ("task_max_s", Telemetry.Float (Telemetry.Histogram.max task_hist));
+          ("queue_p50_s", Telemetry.Float (pct queue_hist 50.0));
+          ("queue_p95_s", Telemetry.Float (pct queue_hist 95.0));
+          ("queue_max_s", Telemetry.Float (Telemetry.Histogram.max queue_hist));
+        ]
+    end;
     (outcomes, mk_stats ())
   end

@@ -24,6 +24,14 @@ val available : bool
     always degrades to the sequential path and [supervised] runs
     in-process (exception isolation only — no timeouts). *)
 
+val retry_eintr : (unit -> 'a) -> 'a
+(** [retry_eintr f] runs [f], restarting it as long as it fails with
+    [Unix.Unix_error (EINTR, _, _)].  Every blocking syscall in this
+    module (reaping, pipe reads and writes) goes through it, so a signal
+    delivered mid-call — SIGCHLD, an interval timer, a profiler — cannot
+    misreport a healthy worker as lost.  Exported because callers doing
+    their own [waitpid]/[read] around a pool need the same discipline. *)
+
 val map : ?jobs:int -> fallback:'b -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ~jobs ~fallback f xs] is [Array.map f xs], computed by [jobs]
     forked workers (tasks are dealt round-robin).  Results arrive in input
@@ -78,4 +86,11 @@ val supervised :
     Results arrive in input order as typed outcomes; no fallback value is
     ever invented.  [f] runs in a child process, so its side effects are
     invisible to the parent — even at [jobs = 1].  Deterministic for pure
-    [f]: outcomes depend only on [f] and [xs], not on scheduling. *)
+    [f]: outcomes depend only on [f] and [xs], not on scheduling.
+
+    With {!Telemetry} enabled, both pools emit one [kind = "pool"] record
+    per call; [supervised] additionally observes parent-measured per-task
+    latency ([parmap.task_s]) and dispatch queue wait
+    ([parmap.queue_wait_s]), and reports worker utilization (busy time
+    over [wall * jobs]).  Forked workers drop the inherited sink, so
+    child-side instrumentation never reaches the parent's stream. *)

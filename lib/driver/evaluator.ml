@@ -39,7 +39,14 @@ type t = {
   mutable f_timed_out : int;
   mutable f_gave_up : int;
   mutable f_retried : int;
+  (* Batch-time request classification (memo hit / disk hit / miss),
+     cumulative since [create]. *)
+  mutable h_memo : int;
+  mutable h_disk : int;
+  mutable h_miss : int;
 }
+
+type cache_stats = { memo_hits : int; disk_hits : int; misses : int }
 
 let sanitize v = if Float.is_finite v && v > 0.0 then v else 0.0
 
@@ -51,29 +58,54 @@ let digest_key t key case =
     (Digest.string (t.scope ^ "\x00" ^ t.case_name case ^ "\x00" ^ key))
 
 (* One "digest value" pair per line, hex floats for exact round-trips.
-   Unparsable lines (e.g. a torn write from a killed run) are skipped.
    The shared read lock pairs with the writer's exclusive lock below so a
    concurrent append is never observed half-written. *)
+
+(* Strict line validation: the digest must be exactly the 32 lowercase
+   hex characters [digest_key] produces and the value must parse to a
+   finite float.  Anything else — a line torn by a killed pre-lockf
+   writer, a truncated final line, binary junk — is rejected rather than
+   poisoning the table with a half-digest key or a garbage fitness. *)
+let is_hex_digest s =
+  String.length s = 32
+  && String.for_all
+       (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+       s
+
+let parse_cache_line line =
+  match String.index_opt line ' ' with
+  | None -> None
+  | Some i ->
+    let digest = String.sub line 0 i in
+    let value = String.sub line (i + 1) (String.length line - i - 1) in
+    if not (is_hex_digest digest) then None
+    else (
+      match float_of_string_opt value with
+      | Some v when Float.is_finite v -> Some (digest, v)
+      | _ -> None)
+
 let load_disk path tbl =
   match Unix.openfile path [ Unix.O_RDONLY ] 0 with
   | exception Unix.Unix_error _ -> ()
   | fd ->
     (try Unix.lockf fd Unix.F_RLOCK 0 with Unix.Unix_error _ -> ());
     let ic = Unix.in_channel_of_descr fd in
+    let malformed = ref 0 in
     (try
        while true do
          let line = input_line ic in
-         match String.index_opt line ' ' with
-         | Some i ->
-           (try
-              Hashtbl.replace tbl
-                (String.sub line 0 i)
-                (float_of_string
-                   (String.sub line (i + 1) (String.length line - i - 1)))
-            with _ -> ())
-         | None -> ()
+         if line <> "" then
+           match parse_cache_line line with
+           | Some (digest, v) -> Hashtbl.replace tbl digest v
+           | None -> incr malformed
        done
      with End_of_file -> ());
+    if !malformed > 0 then
+      Logs.warn (fun m ->
+          m "fitness cache %s: skipped %d malformed line%s (torn or \
+             truncated writes from an earlier run)"
+            path !malformed
+            (if !malformed = 1 then "" else "s"));
     close_in ic
 
 (* Append under an advisory [lockf] so two runs sharing a --cache-dir
@@ -136,6 +168,9 @@ let create ?(jobs = 1) ?cache_dir ?timeout_s ?(retries = 1) ~fs ~scope
     f_timed_out = 0;
     f_gave_up = 0;
     f_retried = 0;
+    h_memo = 0;
+    h_disk = 0;
+    h_miss = 0;
   }
 
 let jobs t = t.jobs
@@ -148,9 +183,35 @@ let faults t =
     retried = t.f_retried;
   }
 
+let cache_stats t =
+  { memo_hits = t.h_memo; disk_hits = t.h_disk; misses = t.h_miss }
+
 let canon t g =
   let cg = Gp.Simplify.genome g in
   (cg, Gp.Sexp.to_string t.fs cg)
+
+(* Like [lookup], but classifies the request and bumps the hit/miss
+   counters — used only during batch task collection, so the final
+   result-assembly pass doesn't double-count every request as a memo
+   hit. *)
+let lookup_counted t key case =
+  match Hashtbl.find_opt t.memo (key, case) with
+  | Some _ ->
+    t.h_memo <- t.h_memo + 1;
+    true
+  | None -> (
+    match
+      if t.cache_file <> None then
+        Hashtbl.find_opt t.disk (digest_key t key case)
+      else None
+    with
+    | Some v ->
+      t.h_disk <- t.h_disk + 1;
+      Hashtbl.replace t.memo (key, case) v;
+      true
+    | None ->
+      t.h_miss <- t.h_miss + 1;
+      false)
 
 let lookup t key case =
   match Hashtbl.find_opt t.memo (key, case) with
@@ -170,6 +231,11 @@ let lookup t key case =
 let supervision_on t = Gp.Parmap.available && (t.jobs > 1 || t.timeout_s <> None)
 
 let evaluate_batch t genomes ~cases =
+  let tel = Gp.Telemetry.enabled () in
+  let t_batch = if tel then Gp.Telemetry.now_s () else 0.0 in
+  let evals0 = t.evaluations in
+  let faults0 = t.f_crashed + t.f_timed_out + t.f_gave_up in
+  let stats0 = cache_stats t in
   let keyed = Array.map (canon t) genomes in
   (* Unique (key, case) pairs not already cached, in first-seen order. *)
   let pending : (string * int, unit) Hashtbl.t = Hashtbl.create 64 in
@@ -178,7 +244,9 @@ let evaluate_batch t genomes ~cases =
     (fun (cg, key) ->
       List.iter
         (fun case ->
-          if lookup t key case = None && not (Hashtbl.mem pending (key, case))
+          if
+            (not (lookup_counted t key case))
+            && not (Hashtbl.mem pending (key, case))
           then begin
             Hashtbl.add pending (key, case) ();
             tasks := (cg, key, case) :: !tasks
@@ -245,6 +313,38 @@ let evaluate_batch t genomes ~cases =
         | exception e -> record_fault task (`Crashed (Printexc.to_string e)))
       tasks;
   if !entries <> [] then append_disk t (List.rev !entries);
+  if tel then begin
+    let wall = Gp.Telemetry.now_s () -. t_batch in
+    let s = cache_stats t in
+    let memo_hits = s.memo_hits - stats0.memo_hits in
+    let disk_hits = s.disk_hits - stats0.disk_hits in
+    let misses = s.misses - stats0.misses in
+    let requests = memo_hits + disk_hits + misses in
+    Gp.Telemetry.observe "evaluator.batch_s" wall;
+    Gp.Telemetry.incr ~by:memo_hits "evaluator.memo_hits";
+    Gp.Telemetry.incr ~by:disk_hits "evaluator.disk_hits";
+    Gp.Telemetry.incr ~by:misses "evaluator.misses";
+    Gp.Telemetry.emit ~kind:"cache"
+      [
+        ("scope", Gp.Telemetry.String t.scope);
+        ("genomes", Gp.Telemetry.Int (Array.length genomes));
+        ("cases", Gp.Telemetry.Int (List.length cases));
+        ("requests", Gp.Telemetry.Int requests);
+        ("memo_hits", Gp.Telemetry.Int memo_hits);
+        ("disk_hits", Gp.Telemetry.Int disk_hits);
+        ("misses", Gp.Telemetry.Int misses);
+        ( "hit_rate",
+          Gp.Telemetry.Float
+            (if requests > 0 then
+               float_of_int (memo_hits + disk_hits) /. float_of_int requests
+             else 0.0) );
+        ("evaluated", Gp.Telemetry.Int (t.evaluations - evals0));
+        ( "faults",
+          Gp.Telemetry.Int
+            (t.f_crashed + t.f_timed_out + t.f_gave_up - faults0) );
+        ("wall_s", Gp.Telemetry.Float wall);
+      ]
+  end;
   Array.map
     (fun (_, key) ->
       Array.of_list

@@ -29,7 +29,15 @@
     survives across runs and is shared by any study pointing at the same
     directory.  Appends hold an advisory [lockf] and go out in a single
     write, so concurrent runs sharing a cache directory cannot interleave
-    torn lines. *)
+    torn lines.  The reader validates every line (32-hex digest, finite
+    value) and skips anything torn or truncated — e.g. the partial final
+    line of a cache written by a killed pre-lockf run — with one summary
+    warning rather than aborting the run.
+
+    With {!Gp.Telemetry} enabled, every batch emits one [kind = "cache"]
+    record (memo/disk hit counts, misses, hit rate, evaluations, faults,
+    wall clock) and feeds the [evaluator.batch_s] histogram; cumulative
+    classification is also available in-process via {!cache_stats}. *)
 
 type t
 
@@ -46,6 +54,14 @@ type fault_stats = {
 
 val no_faults : fault_stats
 val merge_faults : fault_stats -> fault_stats -> fault_stats
+
+(** Request-level cache classification accumulated over this engine's
+    lifetime, counted once per (genome, case) request at batch-collection
+    time: answered by the in-memory memo, by the on-disk cache, or
+    needing a fresh evaluation. *)
+type cache_stats = { memo_hits : int; disk_hits : int; misses : int }
+
+val cache_stats : t -> cache_stats
 
 val total_faults : fault_stats -> int
 (** [crashed + timed_out + gave_up] (retries are attempts, not tasks). *)

@@ -86,15 +86,24 @@ let noise_rng_of kind genome case =
     let seed = Hashtbl.hash (genome, case) in
     Some (Random.State.make [| seed |], amp)
 
+(* The compile and simulate spans land in the [study.compile_s] /
+   [study.simulate_s] histograms.  In a supervised (forked) pool they are
+   recorded in the worker and die with it — the parent-side per-task
+   latency from [Gp.Parmap] covers that path instead; the sequential
+   path (tests, [-j 1], bench report) gets the full split. *)
 let run_raw ~kind ~machine ~(prepared : Compiler.prepared array)
     (g : Gp.Expr.genome) ~case ~(dataset : Benchmarks.Bench.dataset) :
     float * int =
   let p = prepared.(case) in
   let compiled =
-    Compiler.compile ~machine ~heuristics:(heuristics_with kind g) p
+    Gp.Telemetry.span "study.compile_s" (fun () ->
+        Compiler.compile ~machine ~heuristics:(heuristics_with kind g) p)
   in
   let noise = noise_rng_of kind g case in
-  let res = Compiler.simulate ?noise ~machine ~dataset p compiled in
+  let res =
+    Gp.Telemetry.span "study.simulate_s" (fun () ->
+        Compiler.simulate ?noise ~machine ~dataset p compiled)
+  in
   (res.Machine.Simulate.cycles, res.Machine.Simulate.checksum)
 
 (* Speedup over a precomputed baseline.  A candidate whose compiled
@@ -233,24 +242,71 @@ type specialization = {
   faults : Evaluator.fault_stats;
 }
 
+(* One [kind = "run_summary"] record per experiment driver call: the
+   aggregate a run's JSONL stream is read backwards from. *)
+let emit_run_summary ~driver ~kind ~benches ~ctx ~elapsed_s ~evaluations
+    ~best_expr ~best_fitness =
+  if Gp.Telemetry.enabled () then begin
+    let f = faults ctx in
+    let merge_cache (a : Evaluator.cache_stats) (b : Evaluator.cache_stats) =
+      Evaluator.
+        {
+          memo_hits = a.memo_hits + b.memo_hits;
+          disk_hits = a.disk_hits + b.disk_hits;
+          misses = a.misses + b.misses;
+        }
+    in
+    let cs =
+      merge_cache
+        (Evaluator.cache_stats ctx.eval_train)
+        (Evaluator.cache_stats ctx.eval_novel)
+    in
+    Gp.Telemetry.emit ~kind:"run_summary"
+      [
+        ("driver", Gp.Telemetry.String driver);
+        ("study", Gp.Telemetry.String (kind_name kind));
+        ( "benches",
+          Gp.Telemetry.List
+            (List.map (fun b -> Gp.Telemetry.String b) benches) );
+        ("elapsed_s", Gp.Telemetry.Float elapsed_s);
+        ("evaluations", Gp.Telemetry.Int evaluations);
+        ("memo_hits", Gp.Telemetry.Int cs.Evaluator.memo_hits);
+        ("disk_hits", Gp.Telemetry.Int cs.Evaluator.disk_hits);
+        ("misses", Gp.Telemetry.Int cs.Evaluator.misses);
+        ("faults_crashed", Gp.Telemetry.Int f.crashed);
+        ("faults_timed_out", Gp.Telemetry.Int f.timed_out);
+        ("faults_gave_up", Gp.Telemetry.Int f.gave_up);
+        ("faults_retried", Gp.Telemetry.Int f.retried);
+        ("best_fitness", Gp.Telemetry.Float best_fitness);
+        ("best_expr", Gp.Telemetry.String best_expr);
+      ]
+  end
+
 (* Figure 4 / 9 / 13: evolve a priority function for one benchmark, then
    measure on the training and the novel datasets. *)
 let specialize ?(params = Gp.Params.scaled) ?jobs ?cache_dir ?timeout_s
     ?retries ?checkpoint_dir ?on_generation (kind : kind) (bench : string) :
     specialization =
+  let t0 = if Gp.Telemetry.enabled () then Gp.Telemetry.now_s () else 0.0 in
   let ctx = create ?jobs ?cache_dir ?timeout_s ?retries kind [ bench ] in
   let result =
     Gp.Evolve.run ~params ?on_generation ?checkpoint_dir (problem_of ctx)
   in
   let train_speedup = Evaluator.evaluate ctx.eval_train result.Gp.Evolve.best 0 in
   let novel_speedup = Evaluator.evaluate ctx.eval_novel result.Gp.Evolve.best 0 in
+  let best_expr =
+    Gp.Sexp.to_string (feature_set_of kind)
+      (Gp.Simplify.genome result.Gp.Evolve.best)
+  in
+  emit_run_summary ~driver:"specialize" ~kind ~benches:[ bench ] ~ctx
+    ~elapsed_s:(if Gp.Telemetry.enabled () then Gp.Telemetry.now_s () -. t0 else 0.0)
+    ~evaluations:result.Gp.Evolve.evaluations ~best_expr
+    ~best_fitness:result.Gp.Evolve.best_fitness;
   {
     bench;
     train_speedup;
     novel_speedup;
-    best_expr =
-      Gp.Sexp.to_string (feature_set_of kind)
-        (Gp.Simplify.genome result.Gp.Evolve.best);
+    best_expr;
     history = result.Gp.Evolve.history;
     faults = faults ctx;
   }
@@ -268,16 +324,24 @@ type general = {
 let evolve_general ?(params = Gp.Params.scaled) ?jobs ?cache_dir ?timeout_s
     ?retries ?checkpoint_dir ?on_generation (kind : kind)
     (benches : string list) : general =
+  let t0 = if Gp.Telemetry.enabled () then Gp.Telemetry.now_s () else 0.0 in
   let ctx = create ?jobs ?cache_dir ?timeout_s ?retries kind benches in
   let result =
     Gp.Evolve.run ~params ?on_generation ?checkpoint_dir (problem_of ctx)
   in
+  let best_expr =
+    Gp.Sexp.to_string (feature_set_of kind)
+      (Gp.Simplify.genome result.Gp.Evolve.best)
+  in
+  let train_rows = measure_rows ctx result.Gp.Evolve.best in
+  emit_run_summary ~driver:"evolve_general" ~kind ~benches ~ctx
+    ~elapsed_s:(if Gp.Telemetry.enabled () then Gp.Telemetry.now_s () -. t0 else 0.0)
+    ~evaluations:result.Gp.Evolve.evaluations ~best_expr
+    ~best_fitness:result.Gp.Evolve.best_fitness;
   {
     best = result.Gp.Evolve.best;
-    best_expr =
-      Gp.Sexp.to_string (feature_set_of kind)
-        (Gp.Simplify.genome result.Gp.Evolve.best);
-    train_rows = measure_rows ctx result.Gp.Evolve.best;
+    best_expr;
+    train_rows;
     history = result.Gp.Evolve.history;
     faults = faults ctx;
   }

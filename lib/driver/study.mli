@@ -86,7 +86,10 @@ val specialize :
 (** Figures 4 / 9 / 13: evolve for a single benchmark, measure on both
     datasets.  [checkpoint_dir] enables per-generation checkpointing and
     resume, and [on_generation] is forwarded to the evolution loop (see
-    {!Gp.Evolve.run}). *)
+    {!Gp.Evolve.run}).  With {!Gp.Telemetry} enabled, emits one
+    [kind = "run_summary"] record (evaluations, cache hit counts, fault
+    counters, elapsed seconds, best expression) at the end of the run,
+    as does {!evolve_general}. *)
 
 type general = {
   best : Gp.Expr.genome;

@@ -417,6 +417,95 @@ let test_parsimony_prefers_small () =
   Alcotest.(check bool) "fitness dominates size" true
     (Gp.Evolve.better ~eps:1e-4 { b with Gp.Evolve.fitness = 1.1 } a)
 
+(* The tiny-population bugfix: population_size = 1 used to ask Gen.ramped
+   for a negative number of random individuals (the baseline seed alone
+   already filled the population) and die in List.init.  The seed list is
+   now truncated and the random count clamped to 0. *)
+let test_population_of_one () =
+  let params =
+    { Gp.Params.tiny with Gp.Params.population_size = 1; generations = 2 }
+  in
+  let r = Gp.Evolve.run ~params (synthetic_problem ()) in
+  Alcotest.(check int) "one stats entry per generation" 2
+    (List.length r.Gp.Evolve.history);
+  (* The only individual is the baseline seed, so the champion is at least
+     as fit as the baseline (mutation may improve it). *)
+  let baseline_fitness =
+    synthetic_eval (Option.get (synthetic_problem ()).Gp.Evolve.baseline) 0
+  in
+  Alcotest.(check bool) "champion no worse than the seed" true
+    (r.Gp.Evolve.best_fitness >= baseline_fitness -. 1e-9);
+  (* Without the baseline seed the single slot is a random individual. *)
+  let unseeded =
+    { params with Gp.Params.seed_baseline = false; rng_seed = 5 }
+  in
+  let r2 = Gp.Evolve.run ~params:unseeded (synthetic_problem ()) in
+  Alcotest.(check bool) "unseeded run completes" true
+    (Float.is_finite r2.Gp.Evolve.best_fitness)
+
+(* The tournament sampler: distinct contestants whenever the population
+   can supply them. *)
+let test_sample_distinct () =
+  let rng = Random.State.make [| 1234 |] in
+  for _ = 1 to 200 do
+    let n = 1 + Random.State.int rng 20 in
+    let k = Random.State.int rng (n + 1) in
+    let out = Gp.Evolve.sample_distinct rng ~n ~k in
+    Alcotest.(check int) "length" k (Array.length out);
+    let seen = Hashtbl.create 8 in
+    Array.iter
+      (fun i ->
+        Alcotest.(check bool) "in range" true (i >= 0 && i < n);
+        if Hashtbl.mem seen i then Alcotest.failf "duplicate index %d" i;
+        Hashtbl.add seen i ())
+      out
+  done;
+  Alcotest.(check (array int)) "k = 0" [||]
+    (Gp.Evolve.sample_distinct rng ~n:5 ~k:0);
+  let perm = Gp.Evolve.sample_distinct rng ~n:6 ~k:6 in
+  let sorted = Array.copy perm in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "k = n is a permutation" (Array.init 6 Fun.id)
+    sorted;
+  (* The first draw of each slot is the with-replacement sampler's draw,
+     so collision-free tournaments consume the RNG identically to the old
+     code. *)
+  let r1 = Random.State.make [| 7 |] and r2 = Random.State.make [| 7 |] in
+  let one = Gp.Evolve.sample_distinct r1 ~n:50 ~k:1 in
+  Alcotest.(check int) "first draw matches a plain draw"
+    (Random.State.int r2 50) one.(0);
+  Alcotest.check_raises "k > n" (Invalid_argument "Evolve.sample_distinct: k > n")
+    (fun () -> ignore (Gp.Evolve.sample_distinct rng ~n:3 ~k:4));
+  Alcotest.check_raises "k < 0"
+    (Invalid_argument "Evolve.sample_distinct: negative k") (fun () ->
+      ignore (Gp.Evolve.sample_distinct rng ~n:3 ~k:(-1)))
+
+(* Golden determinism: the tournament rework must not make runs depend on
+   anything but the seed — two identical runs produce identical output,
+   including when the tournament is larger than the population (the
+   with-replacement path). *)
+let test_evolve_reproducible () =
+  let check_twice params =
+    let run () = Gp.Evolve.run ~params (synthetic_problem ()) in
+    let a = run () and b = run () in
+    Alcotest.(check (float 0.0)) "same best fitness" a.Gp.Evolve.best_fitness
+      b.Gp.Evolve.best_fitness;
+    Alcotest.(check int) "same evaluation count" a.Gp.Evolve.evaluations
+      b.Gp.Evolve.evaluations;
+    List.iter2
+      (fun (x : Gp.Evolve.generation_stats) (y : Gp.Evolve.generation_stats) ->
+        Alcotest.(check string) "same champion" x.Gp.Evolve.best_expr
+          y.Gp.Evolve.best_expr;
+        Alcotest.(check (float 0.0)) "same mean" x.Gp.Evolve.mean_fitness
+          y.Gp.Evolve.mean_fitness)
+      a.Gp.Evolve.history b.Gp.Evolve.history
+  in
+  check_twice Gp.Params.tiny;
+  (* Tournament larger than the population: sampling falls back to
+     with-replacement draws. *)
+  check_twice
+    { Gp.Params.tiny with Gp.Params.population_size = 4; tournament_size = 9 }
+
 (* --- Simplification ------------------------------------------------------ *)
 
 let test_simplify_rules () =
@@ -490,6 +579,10 @@ let suite =
       test_batch_memo_on_simplified_genome;
     Alcotest.test_case "batch evaluator shape" `Quick test_batch_shape;
     Alcotest.test_case "parsimony pressure" `Quick test_parsimony_prefers_small;
+    Alcotest.test_case "population of one" `Quick test_population_of_one;
+    Alcotest.test_case "tournament sampling without replacement" `Quick
+      test_sample_distinct;
+    Alcotest.test_case "evolution reproducible" `Quick test_evolve_reproducible;
     Alcotest.test_case "simplification rules" `Quick test_simplify_rules;
     Alcotest.test_case "evolution under noise" `Slow test_evolve_under_noise;
   ]

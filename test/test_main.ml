@@ -4,6 +4,7 @@ let () =
   Alcotest.run "metaopt"
     [
       ("gp", Test_gp.suite);
+      ("telemetry", Test_telemetry.suite);
       ("parmap", Test_parmap.suite);
       ("faults", Test_faults.suite);
       ("checkpoint", Test_checkpoint.suite);

@@ -49,6 +49,58 @@ let test_worker_crash () =
   Alcotest.(check (array int)) "crash loses only the unflushed tail"
     [| 1; 2; 3; 4; 5; 0; 7; 0; 9; 0 |] out
 
+(* The EINTR bugfix: a signal delivered while the parent blocks in
+   waitpid/read used to bubble up as Unix_error (EINTR, ...) and could
+   misreport a healthy worker as lost.  Drive both pools under a SIGALRM
+   storm (an interval timer firing every 2ms into a no-op handler — the
+   timer is not inherited across fork, so only the parent is stormed) and
+   require every result to come back clean. *)
+let test_eintr_storm () =
+  if Gp.Parmap.available then begin
+    (* retry_eintr itself: restarts on EINTR, returns the first value. *)
+    let attempts = ref 0 in
+    let flaky () =
+      incr attempts;
+      if !attempts < 3 then raise (Unix.Unix_error (Unix.EINTR, "test", ""))
+      else !attempts
+    in
+    Alcotest.(check int) "retry_eintr restarts" 3 (Gp.Parmap.retry_eintr flaky);
+    let old_handler =
+      Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> ()))
+    in
+    let storm = { Unix.it_interval = 0.002; it_value = 0.002 } in
+    ignore (Unix.setitimer Unix.ITIMER_REAL storm);
+    Fun.protect
+      ~finally:(fun () ->
+        ignore
+          (Unix.setitimer Unix.ITIMER_REAL
+             { Unix.it_interval = 0.0; it_value = 0.0 });
+        Sys.set_signal Sys.sigalrm old_handler)
+      (fun () ->
+        let xs = Array.init 12 Fun.id in
+        let slow x =
+          ignore (Unix.select [] [] [] 0.01);
+          x * x
+        in
+        let out = Gp.Parmap.map ~jobs:3 ~fallback:(-1) slow xs in
+        Alcotest.(check (array int)) "map survives the storm" (squares 12) out;
+        let outcomes, stats =
+          Gp.Parmap.supervised ~jobs:3 ~timeout_s:10.0 slow xs
+        in
+        Array.iteri
+          (fun i o ->
+            match o with
+            | Gp.Parmap.Ok v ->
+              Alcotest.(check int) (Printf.sprintf "task %d value" i) (i * i) v
+            | Gp.Parmap.Crashed m ->
+              Alcotest.failf "task %d misreported as crashed: %s" i m
+            | Gp.Parmap.Timed_out -> Alcotest.failf "task %d misreported as timeout" i
+            | Gp.Parmap.Gave_up -> Alcotest.failf "task %d gave up" i)
+          outcomes;
+        Alcotest.(check int) "no spurious crashes" 0 stats.Gp.Parmap.crashes;
+        Alcotest.(check int) "no spurious timeouts" 0 stats.Gp.Parmap.timeouts)
+  end
+
 (* --- The driver-level engine --------------------------------------------- *)
 
 let tiny_params =
@@ -145,6 +197,63 @@ let test_disk_cache_roundtrip () =
       let m3 = Driver.Evaluator.evaluate_batch e3 [| g |] ~cases:[ 0 ] in
       Alcotest.(check (float 0.0)) "scoped apart" 9.0 m3.(0).(0);
       Alcotest.(check int) "recompiled under new scope" 3 !count)
+
+(* The cache-reader bugfix: a torn or garbage line in the persistent cache
+   — a half-written final line from a killed run, an editor accident, a
+   file written before the lockf discipline — must not take the run down.
+   The loader skips every malformed flavour with a warning and still
+   answers the intact entries from disk. *)
+let test_corrupted_cache_lines () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "metaopt-corrupt-cache-%d" (Unix.getpid ()))
+  in
+  let file = Filename.concat dir "fitness-cache.tsv" in
+  let count = ref 0 in
+  let mk () =
+    Driver.Evaluator.create ~cache_dir:dir
+      ~fs:Hyperblock.Features.feature_set ~scope:"corrupt/scope"
+      ~case_name:(fun i -> "case" ^ string_of_int i)
+      ~eval:(fun _ c ->
+        incr count;
+        4.0 +. float_of_int c)
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists file then Sys.remove file;
+      if Sys.file_exists dir then Unix.rmdir dir)
+    (fun () ->
+      let g = Hyperblock.Baseline.genome in
+      let e1 = mk () in
+      ignore (Driver.Evaluator.evaluate_batch e1 [| g |] ~cases:[ 0; 1 ]);
+      Alcotest.(check int) "two computed" 2 !count;
+      (* Corrupt the file with every malformed flavour the reader must
+         survive: free text, a short digest, non-hex, a non-finite value,
+         an unparsable value, binary junk, an empty line, and a truncated
+         final line with no newline. *)
+      let oc = open_out_gen [ Open_append ] 0o644 file in
+      output_string oc "this is not a cache line\n";
+      output_string oc "0123456789abcdef 1.5\n";
+      output_string oc "XYZJKLMNOPQRSTUVWXYZ0123456789ab 2.0\n";
+      output_string oc "00112233445566778899aabbccddeeff nan\n";
+      output_string oc "00112233445566778899aabbccddeeff not-a-float\n";
+      output_string oc "\x00\x01\x7f binary junk\n";
+      output_string oc "\n";
+      output_string oc "00112233445566778899aabbccddeef";
+      close_out oc;
+      (* A fresh engine over the damaged file loads without raising and
+         still serves the two intact entries from disk. *)
+      let e2 = mk () in
+      let m = Driver.Evaluator.evaluate_batch e2 [| g |] ~cases:[ 0; 1 ] in
+      Alcotest.(check (float 0.0)) "case 0 from disk" 4.0 m.(0).(0);
+      Alcotest.(check (float 0.0)) "case 1 from disk" 5.0 m.(0).(1);
+      Alcotest.(check int) "nothing recomputed" 2 !count;
+      Alcotest.(check int) "no evaluations on the fresh engine" 0
+        (Driver.Evaluator.evaluations e2);
+      let cs = Driver.Evaluator.cache_stats e2 in
+      Alcotest.(check int) "both were disk hits" 2 cs.Driver.Evaluator.disk_hits;
+      Alcotest.(check int) "no misses" 0 cs.Driver.Evaluator.misses)
 
 (* Two concurrent runs appending to one shared --cache-dir: the advisory
    [lockf] plus single-write appends must keep every line whole.  Each
@@ -247,11 +356,14 @@ let suite =
       test_empty_and_oversubscribed;
     Alcotest.test_case "exception isolation" `Quick test_exception_isolation;
     Alcotest.test_case "worker crash -> fallback" `Quick test_worker_crash;
+    Alcotest.test_case "EINTR storm" `Quick test_eintr_storm;
     Alcotest.test_case "parallel run deterministic" `Slow
       test_parallel_run_is_deterministic;
     Alcotest.test_case "noisy study deterministic" `Quick
       test_parallel_noisy_study_deterministic;
     Alcotest.test_case "disk cache round-trip" `Quick test_disk_cache_roundtrip;
+    Alcotest.test_case "corrupted cache lines skipped" `Quick
+      test_corrupted_cache_lines;
     Alcotest.test_case "concurrent cache writers" `Quick
       test_concurrent_cache_writers;
   ]
