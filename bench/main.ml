@@ -16,6 +16,7 @@
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- fig4 fig5    # specific figures
      dune exec bench/main.exe -- par          # parallel-engine comparison
+     dune exec bench/main.exe -- sim          # simulation fast paths
      dune exec bench/main.exe -- report       # BENCH_metaopt.json report
      dune exec bench/main.exe -- micro        # Bechamel micro-benches
 *)
@@ -369,6 +370,133 @@ let ckpt () =
   Fmt.pr "identical evolved result : %s@." (if same then "yes" else "NO!");
   Fmt.pr "best: %s@." straight.Driver.Study.best_expr
 
+(* Simulation fast paths (DESIGN.md §10): interpreter throughput of the
+   reference vs the pre-decoded engine, trace-replay speedup over a full
+   simulation, the end-to-end effect of the fast paths on a sched-study
+   smoke evolution (identical evolved results required), and the
+   artifact-cache hit rate of a hyperblock smoke run.  Returns the
+   telemetry JSON embedded in the report target. *)
+let sim_measurements p =
+  let best_of n f =
+    let rec go best i =
+      if i >= n then best
+      else begin
+        let t = Unix.gettimeofday () in
+        f ();
+        go (min best (Unix.gettimeofday () -. t)) (i + 1)
+      end
+    in
+    go infinity 0
+  in
+  (* Interpreter throughput on the largest dynamic footprint in the
+     suite. *)
+  let tp_bench = "023.eqntott" in
+  let prep = Driver.Compiler.prepare (Benchmarks.Registry.find tp_bench) in
+  let machine = Driver.Study.machine_of Driver.Study.Sched_study in
+  let heuristics =
+    Driver.Study.heuristics_with Driver.Study.Sched_study
+      (Driver.Study.baseline_genome_of Driver.Study.Sched_study)
+  in
+  let c = Driver.Compiler.compile ~machine ~heuristics prep in
+  let overrides =
+    Benchmarks.Bench.overrides prep.Driver.Compiler.bench
+      Benchmarks.Bench.Train
+  in
+  let run engine () =
+    ignore
+      (Machine.Simulate.run ~engine ~config:machine
+         ~schedule_cycles:c.Driver.Compiler.schedule_cycles ~overrides
+         c.Driver.Compiler.layout)
+  in
+  let res, tr =
+    Machine.Simulate.run_traced ~config:machine
+      ~schedule_cycles:c.Driver.Compiler.schedule_cycles ~overrides
+      c.Driver.Compiler.layout
+  in
+  let dyn = float_of_int res.Machine.Simulate.dynamic_instrs in
+  let t_ref = best_of 3 (run `Reference) in
+  let t_fast = best_of 3 (run `Fast) in
+  let t_replay =
+    match tr with
+    | None -> infinity
+    | Some tr ->
+      best_of 5 (fun () ->
+          ignore
+            (Machine.Simulate.replay ~config:machine
+               ~schedule_cycles:c.Driver.Compiler.schedule_cycles tr))
+  in
+  (* End-to-end: the sched-study smoke evolution with the fast paths on
+     vs off must produce identical results, faster. *)
+  let evo_bench = "129.compress" in
+  let timed f =
+    let t = Unix.gettimeofday () in
+    let v = f () in
+    (Unix.gettimeofday () -. t, v)
+  in
+  let t_on, r_on =
+    timed (fun () ->
+        Driver.Study.specialize ~params:p ~jobs ~fast_sim:true
+          Driver.Study.Sched_study evo_bench)
+  in
+  let t_off, r_off =
+    timed (fun () ->
+        Driver.Study.specialize ~params:p ~jobs ~fast_sim:false
+          Driver.Study.Sched_study evo_bench)
+  in
+  let identical =
+    r_on.Driver.Study.train_speedup = r_off.Driver.Study.train_speedup
+    && r_on.Driver.Study.novel_speedup = r_off.Driver.Study.novel_speedup
+    && r_on.Driver.Study.best_expr = r_off.Driver.Study.best_expr
+  in
+  (* Artifact-cache behaviour of a hyperblock smoke evolution. *)
+  let ctx = Driver.Study.create Driver.Study.Hyperblock_study [ "codrle4" ] in
+  ignore (Gp.Evolve.run ~params:p (Driver.Study.problem_of ctx));
+  let st = Driver.Simcache.stats ctx.Driver.Study.sim in
+  let lookups =
+    st.Driver.Simcache.artifact_hits + st.Driver.Simcache.replays
+    + st.Driver.Simcache.simulations
+  in
+  let hit_rate =
+    float_of_int st.Driver.Simcache.artifact_hits
+    /. float_of_int (max 1 lookups)
+  in
+  Fmt.pr "  interpreter  : reference %.1f Minstr/s, pre-decoded %.1f (%.2fx)@."
+    (dyn /. t_ref /. 1e6) (dyn /. t_fast /. 1e6) (t_ref /. t_fast);
+  Fmt.pr "  trace replay : %.2fx over a full fast-engine simulation@."
+    (t_fast /. t_replay);
+  Fmt.pr "  sched smoke  : fast %.2fs, slow %.2fs (%.2fx), identical: %s@."
+    t_on t_off (t_off /. t_on) (if identical then "yes" else "NO!");
+  Fmt.pr
+    "  artifact cache: %d hits / %d replays / %d simulations (hit rate %.2f)@."
+    st.Driver.Simcache.artifact_hits st.Driver.Simcache.replays
+    st.Driver.Simcache.simulations hit_rate;
+  Gp.Telemetry.Obj
+    [
+      ("throughput_bench", Gp.Telemetry.String tp_bench);
+      ("reference_minstr_s", Gp.Telemetry.Float (dyn /. t_ref /. 1e6));
+      ("fast_minstr_s", Gp.Telemetry.Float (dyn /. t_fast /. 1e6));
+      ("engine_speedup", Gp.Telemetry.Float (t_ref /. t_fast));
+      ("replay_speedup", Gp.Telemetry.Float (t_fast /. t_replay));
+      ("evolution_bench", Gp.Telemetry.String evo_bench);
+      ("evolution_fast_s", Gp.Telemetry.Float t_on);
+      ("evolution_slow_s", Gp.Telemetry.Float t_off);
+      ("evolution_speedup", Gp.Telemetry.Float (t_off /. t_on));
+      ("evolution_identical", Gp.Telemetry.Bool identical);
+      ("artifact_hits", Gp.Telemetry.Int st.Driver.Simcache.artifact_hits);
+      ("replays", Gp.Telemetry.Int st.Driver.Simcache.replays);
+      ("simulations", Gp.Telemetry.Int st.Driver.Simcache.simulations);
+      ("artifact_hit_rate", Gp.Telemetry.Float hit_rate);
+    ]
+
+let sim () =
+  hr "Simulation fast paths: pre-decoded interpreter, replay, artifact cache";
+  let p =
+    { params with
+      Gp.Params.population_size = min 16 params.Gp.Params.population_size;
+      generations = min 4 params.Gp.Params.generations }
+  in
+  ignore (sim_measurements p)
+
 (* The observability report: run a small evolve twice (cold and warm
    cache) at -j 1 and once at -j 4 with telemetry capturing every record,
    then write BENCH_metaopt.json — per-phase wall-clock timings,
@@ -406,6 +534,10 @@ let report () =
   let ph_warm, r_warm = phase "evolve -j1 (warm cache)" (fun () -> run_on ctx1) in
   let ctx4 = Driver.Study.create ~jobs:4 Driver.Study.Hyperblock_study benches in
   let ph_par, r_par = phase "evolve -j4 (cold)" (fun () -> run_on ctx4) in
+  Fmt.pr "  simulation fast paths:@.";
+  let ph_sim, sim_doc =
+    phase "sim fast paths" (fun () -> sim_measurements p)
+  in
   let registry = Gp.Telemetry.registry_json () in
   let recs = records () in
   Gp.Telemetry.set_sink None;
@@ -445,7 +577,7 @@ let report () =
                      ("name", Gp.Telemetry.String name);
                      ("seconds", Gp.Telemetry.Float s);
                    ])
-               [ ph_cold; ph_warm; ph_par ]) );
+               [ ph_cold; ph_warm; ph_par; ph_sim ]) );
         ( "speedups",
           Gp.Telemetry.Obj
             [
@@ -456,6 +588,7 @@ let report () =
               );
             ] );
         ("identical_results", Gp.Telemetry.Bool identical);
+        ("sim", sim_doc);
         ( "records",
           Gp.Telemetry.Obj
             [
@@ -503,7 +636,19 @@ let report () =
     | _ -> fail "speedups not an object");
     ignore (require "config");
     ignore (require "records");
-    ignore (require "telemetry"));
+    ignore (require "telemetry");
+    (match require "sim" with
+    | Gp.Telemetry.Obj _ as s ->
+      List.iter
+        (fun k ->
+          match Gp.Telemetry.member k s with
+          | Some _ -> ()
+          | None -> fail ("sim section missing key " ^ k))
+        [
+          "engine_speedup"; "replay_speedup"; "evolution_speedup";
+          "evolution_identical"; "artifact_hit_rate";
+        ]
+    | _ -> fail "sim not an object"));
   Fmt.pr "@.speedups: parallel %.2fx, warm cache %.2fx@."
     (speedup (seconds ph_cold) (seconds ph_par))
     (speedup (seconds ph_cold) (seconds ph_warm));
@@ -608,7 +753,8 @@ let all_figures =
     ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("fig11", fig11);
     ("fig12", fig12); ("fig13", fig13); ("fig14", fig14); ("fig15", fig15);
     ("fig16", fig16); ("ext-sched", ext_sched); ("ablations", ablations);
-    ("par", par); ("ckpt", ckpt); ("report", report); ("micro", micro);
+    ("par", par); ("ckpt", ckpt); ("sim", sim); ("report", report);
+    ("micro", micro);
   ]
 
 let () =

@@ -78,6 +78,15 @@ let eval_retries =
            ~doc:"Retry a crashed or hung candidate evaluation $(docv) \
                  times on a fresh worker before giving it fitness 0")
 
+let no_fast_sim =
+  Arg.(value & flag
+       & info [ "no-fast-sim" ]
+           ~doc:"Disable the simulation fast paths (artifact-keyed result \
+                 sharing, trace replay, pre-decoded interpreter) and \
+                 measure every candidate with a fresh reference-engine \
+                 simulation.  Results are bit-identical either way; this \
+                 flag only trades speed for the golden slow path")
+
 let metrics_out =
   Arg.(value & opt (some string) None
        & info [ "metrics-out" ]
@@ -249,13 +258,14 @@ let profile_cmd =
 (* --- specialize ----------------------------------------------------------- *)
 
 let specialize study bench pop gens seed jobs cache_dir checkpoint_dir
-    eval_timeout eval_retries metrics_out trace save =
+    eval_timeout eval_retries no_fast_sim metrics_out trace save =
   setup_logs ();
   let params = params_of pop gens seed in
   setup_metrics study params jobs metrics_out trace;
   let r =
     Driver.Study.specialize ~params ~jobs ?cache_dir ?checkpoint_dir
-      ?timeout_s:eval_timeout ~retries:eval_retries study bench
+      ?timeout_s:eval_timeout ~retries:eval_retries
+      ~fast_sim:(not no_fast_sim) study bench
   in
   (match save with
   | Some path ->
@@ -286,14 +296,14 @@ let specialize_cmd =
     Term.(
       const specialize $ study_arg $ bench_arg $ pop $ gens $ seed $ jobs
       $ cache_dir $ checkpoint_dir $ eval_timeout $ eval_retries
-      $ metrics_out $ trace
+      $ no_fast_sim $ metrics_out $ trace
       $ Arg.(value & opt (some string) None
              & info [ "save" ] ~doc:"Write the evolved heuristics to a file"))
 
 (* --- evolve (general-purpose) ---------------------------------------------- *)
 
 let evolve study pop gens seed jobs cache_dir checkpoint_dir eval_timeout
-    eval_retries metrics_out trace =
+    eval_retries no_fast_sim metrics_out trace =
   setup_logs ();
   let params = params_of pop gens seed in
   setup_metrics study params jobs metrics_out trace;
@@ -306,7 +316,8 @@ let evolve study pop gens seed jobs cache_dir checkpoint_dir eval_timeout
   in
   let g =
     Driver.Study.evolve_general ~params ~jobs ?cache_dir ?checkpoint_dir
-      ?timeout_s:eval_timeout ~retries:eval_retries study benches
+      ?timeout_s:eval_timeout ~retries:eval_retries
+      ~fast_sim:(not no_fast_sim) study benches
   in
   Fmt.pr "best heuristic: %s@.@." g.Driver.Study.best_expr;
   print_faults g.Driver.Study.faults;
@@ -327,7 +338,8 @@ let evolve_cmd =
     (Cmd.info "evolve" ~doc:"Evolve a general-purpose priority function (DSS)")
     Term.(
       const evolve $ study_arg $ pop $ gens $ seed $ jobs $ cache_dir
-      $ checkpoint_dir $ eval_timeout $ eval_retries $ metrics_out $ trace)
+      $ checkpoint_dir $ eval_timeout $ eval_retries $ no_fast_sim
+      $ metrics_out $ trace)
 
 (* --- compare: one benchmark under explicit heuristic expressions ----------- *)
 

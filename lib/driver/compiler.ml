@@ -79,18 +79,14 @@ let compile ?(hb_config = Hyperblock.Form.default_config)
       Sched.Priority.baseline
     else Sched.Priority.of_expr heuristics.sched_priority
   in
-  let lens =
-    Sched.List_sched.schedule_program ~priority:sched_pri ~config:machine prog
+  (* The scheduler emits lengths in the same traversal order Layout.prepare
+     assigns block uids, so the array needs no per-candidate label hashing. *)
+  let schedule_cycles =
+    Sched.List_sched.schedule_program_cycles ~priority:sched_pri
+      ~config:machine prog
   in
   let layout = Profile.Layout.prepare prog in
-  let schedule_cycles =
-    Array.map
-      (fun (fname, label) ->
-        match Hashtbl.find_opt lens (fname, label) with
-        | Some len -> len
-        | None -> 1)
-      layout.Profile.Layout.block_name
-  in
+  assert (Array.length schedule_cycles = layout.Profile.Layout.n_blocks);
   { prog; layout; schedule_cycles; hb_stats; spills; prefetches }
 
 let simulate ?noise ~(machine : Machine.Config.t)

@@ -1,0 +1,50 @@
+(** Artifact-keyed simulation sharing and trace replay.
+
+    Most candidate heuristics compile to artifacts the run has already
+    measured.  This cache keys noise-free simulation results on a digest
+    of everything cycle-relevant (canonical transformed program,
+    event-instruction order, bench + dataset, machine config, schedule
+    lengths) so identical artifacts share one simulation, and keeps the
+    recorded dynamic-event trace of recent programs so artifacts that
+    differ only in schedule lengths (the scheduling study) are re-timed
+    by replaying the event array instead of re-interpreting.  Both paths
+    return bit-identical cycles and checksums to a fresh simulation;
+    noise is never stored — layer {!Machine.Simulate.jittered} on top. *)
+
+type stats = {
+  mutable artifact_hits : int;
+  mutable replays : int;
+  mutable simulations : int;  (** full interpreter runs *)
+}
+
+type t
+
+val create :
+  ?enabled:bool -> ?max_artifacts:int -> ?max_traces:int -> unit -> t
+(** [enabled = false] turns every {!simulate} into a fresh
+    reference-engine simulation — the golden slow path the fast paths
+    are tested against.  Table sizes are bounded: artifacts reset at
+    [max_artifacts] (default 8192), traces evict oldest-first past
+    [max_traces] (default 8). *)
+
+val stats : t -> stats
+
+val trace_key :
+  dataset:Benchmarks.Bench.dataset -> Compiler.prepared -> Compiler.compiled ->
+  string
+(** Digest identifying the dynamic event stream: canonical program (each
+    block's instructions sorted by scheduling-invariant id) plus the
+    actual program order of event-emitting instructions, bench and
+    dataset.  Exposed for tests. *)
+
+val artifact_key : machine:Machine.Config.t -> string -> int array -> string
+(** [artifact_key ~machine trace_key schedule_cycles]: the result-sharing
+    key; same key implies the same noise-free simulation result. *)
+
+val simulate :
+  t -> machine:Machine.Config.t -> dataset:Benchmarks.Bench.dataset ->
+  Compiler.prepared -> Compiler.compiled -> Machine.Simulate.result
+(** One noise-free measurement, through artifact sharing, then trace
+    replay, then a full (traced) fast-engine simulation.  Telemetry:
+    bumps [evaluator.artifact_hits] / [study.replayed] counters and
+    records [study.simulate_s] / [study.replay_s] spans. *)

@@ -73,6 +73,7 @@ type context = {
   baseline_novel : (float * int) array;
   eval_train : Evaluator.t;
   eval_novel : Evaluator.t;
+  sim : Simcache.t;
 }
 
 let noise_rng_of kind genome case =
@@ -86,33 +87,40 @@ let noise_rng_of kind genome case =
     let seed = Hashtbl.hash (genome, case) in
     Some (Random.State.make [| seed |], amp)
 
-(* The compile and simulate spans land in the [study.compile_s] /
-   [study.simulate_s] histograms.  In a supervised (forked) pool they are
-   recorded in the worker and die with it — the parent-side per-task
-   latency from [Gp.Parmap] covers that path instead; the sequential
-   path (tests, [-j 1], bench report) gets the full split. *)
+(* The compile, simulate and replay spans land in the [study.compile_s] /
+   [study.simulate_s] / [study.replay_s] histograms.  In a supervised
+   (forked) pool they are recorded in the worker and die with it — the
+   parent-side per-task latency from [Gp.Parmap] covers that path
+   instead; the sequential path (tests, [-j 1], bench report) gets the
+   full split.
+
+   Simulation goes through the [Simcache] fast paths: artifact-identical
+   compilations share one noise-free measurement, and schedule-only
+   variations replay the recorded event trace.  The noise jitter is
+   layered on top here, per (genome, case), with the exact float
+   operations the direct simulation would perform — so sharing is sound
+   under noise and a candidate whose artifact equals the baseline's
+   scores speedup exactly 1.0 in the noise-free studies. *)
 let run_raw ~kind ~machine ~(prepared : Compiler.prepared array)
-    (g : Gp.Expr.genome) ~case ~(dataset : Benchmarks.Bench.dataset) :
-    float * int =
+    ~(sim : Simcache.t) (g : Gp.Expr.genome) ~case
+    ~(dataset : Benchmarks.Bench.dataset) : float * int =
   let p = prepared.(case) in
   let compiled =
     Gp.Telemetry.span "study.compile_s" (fun () ->
         Compiler.compile ~machine ~heuristics:(heuristics_with kind g) p)
   in
+  let res = Simcache.simulate sim ~machine ~dataset p compiled in
   let noise = noise_rng_of kind g case in
-  let res =
-    Gp.Telemetry.span "study.simulate_s" (fun () ->
-        Compiler.simulate ?noise ~machine ~dataset p compiled)
-  in
-  (res.Machine.Simulate.cycles, res.Machine.Simulate.checksum)
+  ( Machine.Simulate.jittered ?noise res.Machine.Simulate.cycles,
+    res.Machine.Simulate.checksum )
 
 (* Speedup over a precomputed baseline.  A candidate whose compiled
    program produces different output than the baseline is a
    compiler-correctness bug; it receives fitness 0 so evolution discards
    it (the paper: "Our system can also be used to uncover bugs!"). *)
-let speedup_against ~kind ~machine ~prepared ~baselines g ~case ~dataset =
+let speedup_against ~kind ~machine ~prepared ~sim ~baselines g ~case ~dataset =
   let base_cycles, base_sum = baselines.(case) in
-  let cycles, sum = run_raw ~kind ~machine ~prepared g ~case ~dataset in
+  let cycles, sum = run_raw ~kind ~machine ~prepared ~sim g ~case ~dataset in
   if sum <> base_sum then begin
     Logs.warn (fun m ->
         m "candidate heuristic broke %s (checksum mismatch)"
@@ -126,9 +134,10 @@ let dataset_name = function
   | Benchmarks.Bench.Train -> "train"
   | Benchmarks.Bench.Novel -> "novel"
 
-let create ?machine ?(jobs = 1) ?cache_dir ?timeout_s ?retries (kind : kind)
-    (bench_names : string list) : context =
+let create ?machine ?(jobs = 1) ?cache_dir ?timeout_s ?retries
+    ?(fast_sim = true) (kind : kind) (bench_names : string list) : context =
   let machine = Option.value ~default:(machine_of kind) machine in
+  let sim = Simcache.create ~enabled:fast_sim () in
   (* The prefetching study compiles without unrolling (ORC's prefetch
      phase runs on clean loop nests; unrolled loops defeat the
      induction-variable analysis exactly as they would ORC's). *)
@@ -149,13 +158,13 @@ let create ?machine ?(jobs = 1) ?cache_dir ?timeout_s ?retries (kind : kind)
        recomputed sequentially because baselines must exist. *)
     let cells =
       Gp.Parmap.map ~jobs ~fallback:(Float.nan, 0)
-        (fun case -> run_raw ~kind ~machine ~prepared base ~case ~dataset)
+        (fun case -> run_raw ~kind ~machine ~prepared ~sim base ~case ~dataset)
         (Array.init (Array.length prepared) Fun.id)
     in
     Array.mapi
       (fun case cell ->
         if Float.is_nan (fst cell) then
-          run_raw ~kind ~machine ~prepared base ~case ~dataset
+          run_raw ~kind ~machine ~prepared ~sim base ~case ~dataset
         else cell)
       cells
   in
@@ -170,7 +179,8 @@ let create ?machine ?(jobs = 1) ?cache_dir ?timeout_s ?retries (kind : kind)
       ~case_name:(fun i ->
         prepared.(i).Compiler.bench.Benchmarks.Bench.name)
       ~eval:(fun g case ->
-        speedup_against ~kind ~machine ~prepared ~baselines g ~case ~dataset)
+        speedup_against ~kind ~machine ~prepared ~sim ~baselines g ~case
+          ~dataset)
       ()
   in
   {
@@ -181,6 +191,7 @@ let create ?machine ?(jobs = 1) ?cache_dir ?timeout_s ?retries (kind : kind)
     baseline_novel;
     eval_train = evaluator_for baseline_train Benchmarks.Bench.Train;
     eval_novel = evaluator_for baseline_novel Benchmarks.Bench.Novel;
+    sim;
   }
 
 let evaluator_of (ctx : context) = function
@@ -203,7 +214,7 @@ let speedup (ctx : context) (g : Gp.Expr.genome) ~case
     | Benchmarks.Bench.Novel -> ctx.baseline_novel
   in
   speedup_against ~kind:ctx.kind ~machine:ctx.machine ~prepared:ctx.prepared
-    ~baselines g ~case ~dataset
+    ~sim:ctx.sim ~baselines g ~case ~dataset
 
 let problem_of (ctx : context) : Gp.Evolve.problem =
   {
@@ -277,6 +288,23 @@ let emit_run_summary ~driver ~kind ~benches ~ctx ~elapsed_s ~evaluations
         ("faults_timed_out", Gp.Telemetry.Int f.timed_out);
         ("faults_gave_up", Gp.Telemetry.Int f.gave_up);
         ("faults_retried", Gp.Telemetry.Int f.retried);
+        (* Where the sequential-path time went: heuristic-dependent
+           compilation vs full simulation vs trace replay, plus the
+           simulation-sharing counters. *)
+        ( "compile_s",
+          Gp.Telemetry.Float
+            (Gp.Telemetry.Histogram.sum (Gp.Telemetry.histogram "study.compile_s")) );
+        ( "simulate_s",
+          Gp.Telemetry.Float
+            (Gp.Telemetry.Histogram.sum (Gp.Telemetry.histogram "study.simulate_s")) );
+        ( "replay_s",
+          Gp.Telemetry.Float
+            (Gp.Telemetry.Histogram.sum (Gp.Telemetry.histogram "study.replay_s")) );
+        ( "artifact_hits",
+          Gp.Telemetry.Int (Simcache.stats ctx.sim).Simcache.artifact_hits );
+        ("replayed", Gp.Telemetry.Int (Simcache.stats ctx.sim).Simcache.replays);
+        ( "simulations",
+          Gp.Telemetry.Int (Simcache.stats ctx.sim).Simcache.simulations );
         ("best_fitness", Gp.Telemetry.Float best_fitness);
         ("best_expr", Gp.Telemetry.String best_expr);
       ]
@@ -285,10 +313,12 @@ let emit_run_summary ~driver ~kind ~benches ~ctx ~elapsed_s ~evaluations
 (* Figure 4 / 9 / 13: evolve a priority function for one benchmark, then
    measure on the training and the novel datasets. *)
 let specialize ?(params = Gp.Params.scaled) ?jobs ?cache_dir ?timeout_s
-    ?retries ?checkpoint_dir ?on_generation (kind : kind) (bench : string) :
-    specialization =
+    ?retries ?checkpoint_dir ?on_generation ?fast_sim (kind : kind)
+    (bench : string) : specialization =
   let t0 = if Gp.Telemetry.enabled () then Gp.Telemetry.now_s () else 0.0 in
-  let ctx = create ?jobs ?cache_dir ?timeout_s ?retries kind [ bench ] in
+  let ctx =
+    create ?jobs ?cache_dir ?timeout_s ?retries ?fast_sim kind [ bench ]
+  in
   let result =
     Gp.Evolve.run ~params ?on_generation ?checkpoint_dir (problem_of ctx)
   in
@@ -322,10 +352,10 @@ type general = {
 (* Figure 6 / 11 / 15: evolve one priority function over a training suite
    with DSS, then measure every training benchmark on both datasets. *)
 let evolve_general ?(params = Gp.Params.scaled) ?jobs ?cache_dir ?timeout_s
-    ?retries ?checkpoint_dir ?on_generation (kind : kind)
+    ?retries ?checkpoint_dir ?on_generation ?fast_sim (kind : kind)
     (benches : string list) : general =
   let t0 = if Gp.Telemetry.enabled () then Gp.Telemetry.now_s () else 0.0 in
-  let ctx = create ?jobs ?cache_dir ?timeout_s ?retries kind benches in
+  let ctx = create ?jobs ?cache_dir ?timeout_s ?retries ?fast_sim kind benches in
   let result =
     Gp.Evolve.run ~params ?on_generation ?checkpoint_dir (problem_of ctx)
   in
@@ -350,7 +380,9 @@ let evolve_general ?(params = Gp.Params.scaled) ?jobs ?cache_dir ?timeout_s
    it was not trained on.  [?params] is accepted for prefix uniformity
    with the other drivers; no evolution happens here. *)
 let cross_validate ?params:(_ : Gp.Params.t option) ?jobs ?cache_dir
-    ?timeout_s ?retries ?machine (kind : kind) (g : Gp.Expr.genome)
+    ?timeout_s ?retries ?machine ?fast_sim (kind : kind) (g : Gp.Expr.genome)
     (benches : string list) : (string * float * float) list =
-  let ctx = create ?machine ?jobs ?cache_dir ?timeout_s ?retries kind benches in
+  let ctx =
+    create ?machine ?jobs ?cache_dir ?timeout_s ?retries ?fast_sim kind benches
+  in
   measure_rows ctx g

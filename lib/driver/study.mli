@@ -41,18 +41,23 @@ type context = {
   baseline_novel : (float * int) array;
   eval_train : Evaluator.t;  (** cached batch engine, training dataset *)
   eval_novel : Evaluator.t;  (** cached batch engine, novel dataset *)
+  sim : Simcache.t;  (** shared artifact/trace simulation cache *)
 }
 
 val create :
   ?machine:Machine.Config.t -> ?jobs:int -> ?cache_dir:string ->
-  ?timeout_s:float -> ?retries:int ->
+  ?timeout_s:float -> ?retries:int -> ?fast_sim:bool ->
   kind -> string list -> context
 (** Prepare the named benchmarks, compile + simulate the baseline on both
     datasets ([jobs]-wide), and build one cached batch evaluator per
     dataset.  [timeout_s] and [retries] configure the evaluators'
     supervision (see {!Evaluator.create}): a candidate compile that hangs
     or crashes its worker is killed, retried, and ultimately scored 0
-    without poisoning the persistent cache. *)
+    without poisoning the persistent cache.  [fast_sim] (default true)
+    enables the {!Simcache} fast paths — artifact-keyed result sharing,
+    trace replay, and the pre-decoded interpreter; disabling it routes
+    every measurement through a fresh reference-engine simulation.
+    Results are bit-identical either way. *)
 
 val evaluator_of : context -> Benchmarks.Bench.dataset -> Evaluator.t
 
@@ -81,7 +86,7 @@ type specialization = {
 val specialize :
   ?params:Gp.Params.t -> ?jobs:int -> ?cache_dir:string ->
   ?timeout_s:float -> ?retries:int -> ?checkpoint_dir:string ->
-  ?on_generation:(Gp.Evolve.generation_stats -> unit) ->
+  ?on_generation:(Gp.Evolve.generation_stats -> unit) -> ?fast_sim:bool ->
   kind -> string -> specialization
 (** Figures 4 / 9 / 13: evolve for a single benchmark, measure on both
     datasets.  [checkpoint_dir] enables per-generation checkpointing and
@@ -102,7 +107,7 @@ type general = {
 val evolve_general :
   ?params:Gp.Params.t -> ?jobs:int -> ?cache_dir:string ->
   ?timeout_s:float -> ?retries:int -> ?checkpoint_dir:string ->
-  ?on_generation:(Gp.Evolve.generation_stats -> unit) ->
+  ?on_generation:(Gp.Evolve.generation_stats -> unit) -> ?fast_sim:bool ->
   kind -> string list -> general
 (** Figures 6 / 11 / 15: one priority function over a training suite with
     dynamic subset selection.  [checkpoint_dir] enables per-generation
@@ -112,7 +117,8 @@ val evolve_general :
 val cross_validate :
   ?params:Gp.Params.t -> ?jobs:int -> ?cache_dir:string ->
   ?timeout_s:float -> ?retries:int ->
-  ?machine:Machine.Config.t -> kind -> Gp.Expr.genome -> string list ->
+  ?machine:Machine.Config.t -> ?fast_sim:bool ->
+  kind -> Gp.Expr.genome -> string list ->
   (string * float * float) list
 (** Figures 7 / 12 / 16: a fixed evolved function applied to benchmarks
     it was not trained on.  [?params] is accepted only for prefix

@@ -27,6 +27,9 @@ type t = {
   memory_extra_latency : int;
   prefetch_queue : int;
       (** outstanding prefetch fills; overflow = drop + backpressure *)
+  call_overhead_cycles : float;
+      (** extra cycles per dynamic call, on top of the call latency the
+          scheduler embeds in schedule lengths; 0 on all stock machines *)
 }
 
 val issue_width : t -> int

@@ -6,13 +6,20 @@
      cycles = sum over executed blocks of the block's schedule length
             + per-load cache stalls beyond an L1 hit
             + mispredict penalty per mispredicted branch
-            + a fixed call/return overhead per dynamic call.
+            + redirect bubble per taken control transfer
+            + config.call_overhead_cycles per dynamic call (0 on stock
+              machines: the scheduler already embeds call latency in
+              schedule lengths).
 
    Schedule lengths come from the VLIW list scheduler and are indexed by
    the global block uid of the prepared layout.  This decoupled model
    captures the first-order effects the paper's heuristics trade off:
    issue slots and dependence height (schedule lengths), memory latency
    (cache stalls), and control transfer costs (mispredictions).
+
+   The same timing observer can be driven by either interpreter engine
+   ([run]) or by a recorded event trace ([replay]); because the event
+   sequence is identical, cycles are bit-identical across all three.
 
    [noise] injects multiplicative measurement noise, used by the
    prefetching study to model a real, non-reproducible machine. *)
@@ -27,57 +34,118 @@ type result = {
   cache : Cache.stats;
 }
 
-let call_overhead = 12.0
+type engine = [ `Fast | `Reference ]
 
-let run ?(fuel = 30_000_000) ?(overrides = []) ?noise ~(config : Config.t)
-    ~(schedule_cycles : int array) (layout : Profile.Layout.t) : result =
+(* The timing model as an observer over dynamic events. *)
+let timing_observer ~(config : Config.t) ~(schedule_cycles : int array)
+    ~(cache : Cache.t) ~(predictor : Profile.Predictor.t) (cycles : float ref)
+    : Profile.Interp.observer =
+  let penalty = float_of_int config.Config.mispredict_penalty in
+  let redirect = float_of_int config.Config.taken_branch_redirect in
+  let call_overhead = config.Config.call_overhead_cycles in
+  {
+    Profile.Interp.block_enter =
+      (fun uid -> cycles := !cycles +. float_of_int schedule_cycles.(uid));
+    branch =
+      (fun site taken ->
+        if taken then cycles := !cycles +. redirect;
+        if Profile.Predictor.observe predictor ~site ~taken then
+          cycles := !cycles +. penalty);
+    mem =
+      (fun kind addr ->
+        match kind with
+        | Profile.Interp.Mload ->
+          cycles := !cycles +. float_of_int (Cache.load cache addr)
+        | Profile.Interp.Mstore -> Cache.store cache addr
+        | Profile.Interp.Mprefetch ->
+          cycles := !cycles +. float_of_int (Cache.prefetch cache addr));
+    call =
+      (fun _ ->
+        if call_overhead > 0.0 then cycles := !cycles +. call_overhead);
+  }
+
+let jittered ?noise cycles =
+  match noise with
+  | None -> cycles
+  | Some (rng, amplitude) ->
+    let jitter = 1.0 +. (amplitude *. (Random.State.float rng 2.0 -. 1.0)) in
+    cycles *. jitter
+
+let check_lengths ~schedule_cycles (layout : Profile.Layout.t) =
   if Array.length schedule_cycles < layout.Profile.Layout.n_blocks then
-    invalid_arg "Simulate.run: schedule_cycles too short";
+    invalid_arg "Simulate.run: schedule_cycles too short"
+
+let assemble ~cycles ~output ~dynamic_instrs ~(predictor : Profile.Predictor.t)
+    ~cache =
+  {
+    cycles;
+    output;
+    checksum = Profile.Interp.checksum output;
+    dynamic_instrs;
+    branches = predictor.Profile.Predictor.branches;
+    mispredicts = predictor.Profile.Predictor.mispredicts;
+    cache = Cache.stats cache;
+  }
+
+let run ?(engine = `Fast) ?(fuel = 30_000_000) ?(overrides = []) ?noise
+    ~(config : Config.t) ~(schedule_cycles : int array)
+    (layout : Profile.Layout.t) : result =
+  check_lengths ~schedule_cycles layout;
   let cache = Cache.create config in
   let predictor =
     Profile.Predictor.create ~n_sites:layout.Profile.Layout.n_branch_sites
   in
   let cycles = ref 0.0 in
-  let penalty = float_of_int config.Config.mispredict_penalty in
-  let redirect = float_of_int config.Config.taken_branch_redirect in
-  let observer =
-    {
-      Profile.Interp.block_enter =
-        (fun uid ->
-          cycles := !cycles +. float_of_int schedule_cycles.(uid));
-      branch =
-        (fun site taken ->
-          if taken then cycles := !cycles +. redirect;
-          if Profile.Predictor.observe predictor ~site ~taken then
-            cycles := !cycles +. penalty);
-      mem =
-        (fun kind addr ->
-          match kind with
-          | Profile.Interp.Mload ->
-            cycles := !cycles +. float_of_int (Cache.load cache addr)
-          | Profile.Interp.Mstore -> Cache.store cache addr
-          | Profile.Interp.Mprefetch ->
-            cycles := !cycles +. float_of_int (Cache.prefetch cache addr));
-    }
+  let observer = timing_observer ~config ~schedule_cycles ~cache ~predictor cycles in
+  let interp =
+    match engine with
+    | `Fast -> Profile.Interp.run
+    | `Reference -> Profile.Interp.run_reference
   in
+  let res = interp ~observer ~fuel ~overrides layout in
+  assemble
+    ~cycles:(jittered ?noise !cycles)
+    ~output:res.Profile.Interp.output
+    ~dynamic_instrs:res.Profile.Interp.steps ~predictor ~cache
+
+(* Simulate and record the dynamic event stream.  Returns the noise-free
+   result plus the trace when it fit the event budget; the recording
+   wrapper forwards events unchanged, so the result is bit-identical to
+   [run] without noise. *)
+let run_traced ?(fuel = 30_000_000) ?(overrides = []) ?max_trace_events
+    ~(config : Config.t) ~(schedule_cycles : int array)
+    (layout : Profile.Layout.t) : result * Trace.t option =
+  check_lengths ~schedule_cycles layout;
+  let cache = Cache.create config in
+  let predictor =
+    Profile.Predictor.create ~n_sites:layout.Profile.Layout.n_branch_sites
+  in
+  let cycles = ref 0.0 in
+  let timing = timing_observer ~config ~schedule_cycles ~cache ~predictor cycles in
+  let tr =
+    Trace.create ?max_events:max_trace_events
+      ~n_blocks:layout.Profile.Layout.n_blocks
+      ~n_branch_sites:layout.Profile.Layout.n_branch_sites ()
+  in
+  let observer = Trace.recording_observer tr timing in
   let res = Profile.Interp.run ~observer ~fuel ~overrides layout in
-  (* Dynamic call overhead: counted from the interpreter's step count of
-     Call instructions is not directly exposed; approximate by charging it
-     inside schedule lengths instead (the scheduler assigns calls a long
-     latency).  Here we only add stochastic noise if requested. *)
-  let cycles =
-    match noise with
-    | None -> !cycles
-    | Some (rng, amplitude) ->
-      let jitter = 1.0 +. (amplitude *. ((Random.State.float rng 2.0) -. 1.0)) in
-      !cycles *. jitter
+  Trace.finish tr res;
+  let result =
+    assemble ~cycles:!cycles ~output:res.Profile.Interp.output
+      ~dynamic_instrs:res.Profile.Interp.steps ~predictor ~cache
   in
-  {
-    cycles;
-    output = res.Profile.Interp.output;
-    checksum = Profile.Interp.checksum res.Profile.Interp.output;
-    dynamic_instrs = res.Profile.Interp.steps;
-    branches = predictor.Profile.Predictor.branches;
-    mispredicts = predictor.Profile.Predictor.mispredicts;
-    cache = Cache.stats cache;
-  }
+  (result, if Trace.complete tr then Some tr else None)
+
+(* Re-time a recorded run under (possibly different) schedule lengths by
+   walking the event array instead of re-interpreting.  Noise-free. *)
+let replay ~(config : Config.t) ~(schedule_cycles : int array) (tr : Trace.t) :
+    result =
+  if Array.length schedule_cycles < tr.Trace.n_blocks then
+    invalid_arg "Simulate.replay: schedule_cycles too short";
+  let cache = Cache.create config in
+  let predictor = Profile.Predictor.create ~n_sites:tr.Trace.n_branch_sites in
+  let cycles = ref 0.0 in
+  let observer = timing_observer ~config ~schedule_cycles ~cache ~predictor cycles in
+  Trace.replay tr observer;
+  assemble ~cycles:!cycles ~output:tr.Trace.output
+    ~dynamic_instrs:tr.Trace.steps ~predictor ~cache

@@ -1,0 +1,132 @@
+(* Compact dynamic-event traces for simulation replay.
+
+   One interpreter run's observer stream — block entries, branch
+   outcomes, resolved memory addresses, dynamic calls — is packed into a
+   single int array, one event per int: the tag lives in the low 3 bits,
+   the payload (uid / site / address / callee index) in the rest.  Word
+   addresses and ids are far below 2^60, and a pre-trap address can be
+   negative, which [asr] preserves.
+
+   Replaying a trace through a fresh timing observer performs the exact
+   event sequence of the original run, so `Cache`/`Predictor` state — and
+   therefore cycles — are bit-identical to re-interpreting, at the cost
+   of a tight array walk instead of tens of millions of interpreter
+   steps.  A trace is only valid for the same (program, dataset, fuel)
+   triple it was recorded from; keying is the caller's job
+   (`Driver.Simcache`). *)
+
+let tag_block = 0
+let tag_branch_nt = 1
+let tag_branch_t = 2
+let tag_load = 3
+let tag_store = 4
+let tag_prefetch = 5
+let tag_call = 6
+
+type t = {
+  mutable events : int array;
+  mutable n : int;
+  max_events : int;
+  mutable overflowed : bool;
+  (* Sized from the layout so replay can rebuild the timing model. *)
+  n_blocks : int;
+  n_branch_sites : int;
+  (* Interpreter result captured alongside the events. *)
+  mutable output : float list;
+  mutable return_value : float;
+  mutable steps : int;
+  mutable calls : int;
+  mutable complete : bool;
+}
+
+let default_max_events = 1 lsl 23
+
+let create ?(max_events = default_max_events) ~n_blocks ~n_branch_sites () =
+  {
+    events = Array.make 4096 0;
+    n = 0;
+    max_events;
+    overflowed = false;
+    n_blocks;
+    n_branch_sites;
+    output = [];
+    return_value = 0.0;
+    steps = 0;
+    calls = 0;
+    complete = false;
+  }
+
+let push tr v =
+  if not tr.overflowed then begin
+    let cap = Array.length tr.events in
+    if tr.n = cap then
+      if cap >= tr.max_events then tr.overflowed <- true
+      else begin
+        let events = Array.make (min tr.max_events (2 * cap)) 0 in
+        Array.blit tr.events 0 events 0 tr.n;
+        tr.events <- events
+      end;
+    if not tr.overflowed then begin
+      tr.events.(tr.n) <- v;
+      tr.n <- tr.n + 1
+    end
+  end
+
+(* Record into [tr] while forwarding every event to [inner] unchanged, so
+   a live simulation can be traced without perturbing its timing. *)
+let recording_observer tr (inner : Profile.Interp.observer) :
+    Profile.Interp.observer =
+  {
+    Profile.Interp.block_enter =
+      (fun uid ->
+        push tr ((uid lsl 3) lor tag_block);
+        inner.Profile.Interp.block_enter uid);
+    branch =
+      (fun site taken ->
+        push tr ((site lsl 3) lor (if taken then tag_branch_t else tag_branch_nt));
+        inner.Profile.Interp.branch site taken);
+    mem =
+      (fun kind addr ->
+        let tag =
+          match kind with
+          | Profile.Interp.Mload -> tag_load
+          | Profile.Interp.Mstore -> tag_store
+          | Profile.Interp.Mprefetch -> tag_prefetch
+        in
+        push tr ((addr lsl 3) lor tag);
+        inner.Profile.Interp.mem kind addr);
+    call =
+      (fun findex ->
+        tr.calls <- tr.calls + 1;
+        push tr ((findex lsl 3) lor tag_call);
+        inner.Profile.Interp.call findex);
+  }
+
+let finish tr (res : Profile.Interp.result) =
+  tr.output <- res.Profile.Interp.output;
+  tr.return_value <- res.Profile.Interp.return_value;
+  tr.steps <- res.Profile.Interp.steps;
+  tr.complete <- not tr.overflowed;
+  if tr.complete && Array.length tr.events > tr.n then
+    tr.events <- Array.sub tr.events 0 tr.n
+
+let complete tr = tr.complete
+let events tr = tr.n
+let calls tr = tr.calls
+
+let replay tr (obs : Profile.Interp.observer) =
+  if not tr.complete then invalid_arg "Trace.replay: incomplete trace";
+  let events = tr.events in
+  for i = 0 to tr.n - 1 do
+    let v = events.(i) in
+    let payload = v asr 3 in
+    match v land 7 with
+    | 0 (* tag_block *) -> obs.Profile.Interp.block_enter payload
+    | 1 (* tag_branch_nt *) -> obs.Profile.Interp.branch payload false
+    | 2 (* tag_branch_t *) -> obs.Profile.Interp.branch payload true
+    | 3 (* tag_load *) -> obs.Profile.Interp.mem Profile.Interp.Mload payload
+    | 4 (* tag_store *) -> obs.Profile.Interp.mem Profile.Interp.Mstore payload
+    | 5 (* tag_prefetch *) ->
+      obs.Profile.Interp.mem Profile.Interp.Mprefetch payload
+    | _ (* tag_call *) -> obs.Profile.Interp.call payload
+  done

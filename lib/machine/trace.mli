@@ -1,0 +1,44 @@
+(** Compact dynamic-event traces for simulation replay.
+
+    An interpreter run's observer stream is packed into one int array
+    (tag in the low 3 bits, payload above).  Replaying it through a
+    fresh timing observer reproduces the exact event sequence, so
+    cycles are bit-identical to re-interpreting.  A trace is only valid
+    for the (program, dataset, fuel) it was recorded from — keying is
+    the caller's job ({!Driver.Simcache}). *)
+
+type t = {
+  mutable events : int array;
+  mutable n : int;
+  max_events : int;
+  mutable overflowed : bool;
+  n_blocks : int;
+  n_branch_sites : int;
+  mutable output : float list;
+  mutable return_value : float;
+  mutable steps : int;
+  mutable calls : int;
+  mutable complete : bool;
+}
+
+val default_max_events : int
+(** 2^23 events (64 MiB of ints); longer runs overflow and record no
+    trace, degrading gracefully to full simulation. *)
+
+val create : ?max_events:int -> n_blocks:int -> n_branch_sites:int -> unit -> t
+
+val recording_observer : t -> Profile.Interp.observer -> Profile.Interp.observer
+(** Record every event while forwarding it to the inner observer
+    unchanged, so a live simulation is traced without timing impact. *)
+
+val finish : t -> Profile.Interp.result -> unit
+(** Capture the interpreter result; marks the trace complete unless the
+    event budget overflowed, and trims the event array. *)
+
+val complete : t -> bool
+val events : t -> int
+val calls : t -> int
+
+val replay : t -> Profile.Interp.observer -> unit
+(** Feed the recorded events through [obs] in original order.
+    @raise Invalid_argument on an incomplete trace. *)

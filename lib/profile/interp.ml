@@ -16,10 +16,16 @@ type observer = {
   block_enter : int -> unit;             (* global block uid *)
   branch : int -> bool -> unit;          (* branch site uid, taken *)
   mem : mem_kind -> int -> unit;         (* resolved word address *)
+  call : int -> unit;                    (* callee function index *)
 }
 
 let null_observer =
-  { block_enter = ignore; branch = (fun _ _ -> ()); mem = (fun _ _ -> ()) }
+  {
+    block_enter = ignore;
+    branch = (fun _ _ -> ());
+    mem = (fun _ _ -> ());
+    call = ignore;
+  }
 
 type result = {
   output : float list;                   (* emitted values, in order *)
@@ -186,7 +192,9 @@ let rec exec_func (st : state) (pf : Layout.pfunc) (args : float array) : float
             st.obs.mem Mprefetch addr
         | Ir.Instr.Call (d, name, args, _) ->
           let argv = Array.of_list (List.map ev args) in
-          let res = exec_func st (Layout.func st.layout name) argv in
+          let callee = Layout.func st.layout name in
+          st.obs.call callee.Layout.findex;
+          let res = exec_func st callee argv in
           (match d with Some d -> regs.(d) <- res | None -> ())
         | Ir.Instr.Emit v -> st.out_rev <- ev v :: st.out_rev
         | Ir.Instr.Pdef (c, pt, pf_, a, bb) ->
@@ -252,9 +260,135 @@ let rec exec_func (st : state) (pf : Layout.pfunc) (args : float array) : float
   run_block 0;
   !return_value
 
+(* Fast engine: executes the pre-decoded mirror that [Layout.prepare]
+   builds.  Must stay observably bit-identical to [exec_func] above —
+   same register/predicate/memory updates, same observer event order,
+   same fuel and step accounting, same exceptions at the same points. *)
+let rec exec_fast (st : state) (pf : Layout.pfunc) (args : float array) : float
+    =
+  let regs = Array.make (max 1 pf.Layout.n_regs) 0.0 in
+  let preds = Array.make (max 1 pf.Layout.n_preds) false in
+  preds.(Ir.Types.p_true) <- true;
+  Array.iteri (fun i v -> regs.(i + 1) <- v) args;
+  let ev = function
+    | Ir.Types.Reg r -> regs.(r)
+    | Ir.Types.Imm k -> float_of_int k
+    | Ir.Types.Fimm f -> f
+  in
+  let evi o = int_of_float (ev o) in
+  let return_value = ref 0.0 in
+  let bi = ref 0 in
+  let running = ref true in
+  while !running do
+    let b = pf.Layout.blocks.(!bi) in
+    st.fuel <- st.fuel - 1;
+    if st.fuel <= 0 then raise Out_of_fuel;
+    st.obs.block_enter b.Layout.uid;
+    let dinstrs = b.Layout.dinstrs and dguards = b.Layout.dguards in
+    let n = Array.length dinstrs in
+    let next = ref (-1) in
+    let pc = ref 0 in
+    while !next < 0 && !pc < n do
+      st.fuel <- st.fuel - 1;
+      if st.fuel <= 0 then raise Out_of_fuel;
+      st.steps <- st.steps + 1;
+      (if preds.(dguards.(!pc)) then
+         match dinstrs.(!pc) with
+         | Layout.Dibin (op, d, a, bb) ->
+           regs.(d) <- float_of_int (eval_ibin op (evi a) (evi bb))
+         | Layout.Dfbin (op, d, a, bb) -> regs.(d) <- eval_fbin op (ev a) (ev bb)
+         | Layout.Dfunop (op, d, a) ->
+           regs.(d) <-
+             (match op with
+             | Ir.Types.Fneg -> -.ev a
+             | Ir.Types.Fabs -> Float.abs (ev a)
+             | Ir.Types.Fsqrt -> sqrt (Float.abs (ev a)))
+         | Layout.Dicmp (c, d, a, bb) ->
+           regs.(d) <- (if eval_icmp c (evi a) (evi bb) then 1.0 else 0.0)
+         | Layout.Dfcmp (c, d, a, bb) ->
+           regs.(d) <- (if eval_fcmp c (ev a) (ev bb) then 1.0 else 0.0)
+         | Layout.Dmov (d, a) -> regs.(d) <- ev a
+         | Layout.Ditof (d, a) -> regs.(d) <- ev a
+         | Layout.Dftoi (d, a) -> regs.(d) <- Float.of_int (int_of_float (ev a))
+         | Layout.Dintrin1 (intr, d, a) ->
+           regs.(d) <-
+             (match intr with
+             | Ir.Types.Isin -> sin (ev a)
+             | Ir.Types.Icos -> cos (ev a)
+             | Ir.Types.Iexp -> exp (Float.min (ev a) 700.0)
+             | Ir.Types.Ilog ->
+               let x = ev a in
+               if x <= 0.0 then 0.0 else log x
+             | _ -> raise (Trap "intrinsic arity mismatch"))
+         | Layout.Dintrin2 (intr, d, a, bb) ->
+           regs.(d) <-
+             (match intr with
+             | Ir.Types.Imin ->
+               float_of_int (min (int_of_float (ev a)) (int_of_float (ev bb)))
+             | Ir.Types.Imax ->
+               float_of_int (max (int_of_float (ev a)) (int_of_float (ev bb)))
+             | Ir.Types.Ifmin -> Float.min (ev a) (ev bb)
+             | Ir.Types.Ifmax -> Float.max (ev a) (ev bb)
+             | _ -> raise (Trap "intrinsic arity mismatch"))
+         | Layout.Dgaddr (d, base) -> regs.(d) <- base
+         | Layout.Dload (d, a) ->
+           let addr = a.Layout.dframe + evi a.Layout.dbase + evi a.Layout.doffset in
+           st.obs.mem Mload addr;
+           regs.(d) <- st.memory.%(addr)
+         | Layout.Dstore (a, v) ->
+           let addr = a.Layout.dframe + evi a.Layout.dbase + evi a.Layout.doffset in
+           st.obs.mem Mstore addr;
+           st.memory.%(addr) <- ev v
+         | Layout.Dprefetch a ->
+           let addr = a.Layout.dframe + evi a.Layout.dbase + evi a.Layout.doffset in
+           if addr >= 0 && addr < Array.length st.memory then
+             st.obs.mem Mprefetch addr
+         | Layout.Dcall (d, fi, cargs) ->
+           let argv = Array.map ev cargs in
+           st.obs.call fi;
+           let res = exec_fast st st.layout.Layout.funcs.(fi) argv in
+           if d >= 0 then regs.(d) <- res
+         | Layout.Demit v -> st.out_rev <- ev v :: st.out_rev
+         | Layout.Dpdef (c, pt, pf_, a, bb) ->
+           let v = eval_icmp c (evi a) (evi bb) in
+           preds.(pt) <- v;
+           preds.(pf_) <- not v
+         | Layout.Dpclear p -> preds.(p) <- false
+         | Layout.Dpset (c, p, a, bb) -> preds.(p) <- eval_icmp c (evi a) (evi bb)
+         | Layout.Dpor (c, p, a, bb) ->
+           if eval_icmp c (evi a) (evi bb) then preds.(p) <- true
+         | Layout.Dexit (site, target) ->
+           st.obs.branch site true;
+           next := target
+         | Layout.Draise_notfound -> raise Not_found
+         | Layout.Draise_invalid m -> invalid_arg m
+         | Layout.Dtrap_arity -> raise (Trap "intrinsic arity mismatch")
+       else
+         match dinstrs.(!pc) with
+         | Layout.Dpset (_, p, _, _) -> preds.(p) <- false
+         | Layout.Dexit (site, _) -> st.obs.branch site false
+         | _ -> ());
+      if !next < 0 then incr pc
+    done;
+    if !next >= 0 then bi := !next
+    else
+      match b.Layout.term with
+      | Ir.Func.Jmp _ -> bi := fst b.Layout.term_targets
+      | Ir.Func.Br (c, _, _) ->
+        let taken = ev c <> 0.0 in
+        st.obs.branch b.Layout.branch_site taken;
+        bi :=
+          (if taken then fst b.Layout.term_targets
+           else snd b.Layout.term_targets)
+      | Ir.Func.Ret v ->
+        return_value := (match v with Some v -> ev v | None -> 0.0);
+        running := false
+  done;
+  !return_value
+
 (* Run a program.  [overrides] replaces the initial contents of named
    globals (benchmark datasets).  [fuel] bounds dynamic instructions. *)
-let run ?(observer = null_observer) ?(fuel = 30_000_000)
+let run_with exec ?(observer = null_observer) ?(fuel = 30_000_000)
     ?(overrides : (string * float array) list = []) (layout : Layout.t) :
     result =
   let memory = Array.make (max 1 layout.Layout.memory_words) 0.0 in
@@ -277,5 +411,11 @@ let run ?(observer = null_observer) ?(fuel = 30_000_000)
     { layout; memory; obs = observer; fuel; out_rev = []; steps = 0 }
   in
   let main = Layout.func layout layout.Layout.prog.Ir.Func.main in
-  let ret = exec_func st main [||] in
+  let ret = exec st main [||] in
   { output = List.rev st.out_rev; return_value = ret; steps = st.steps }
+
+let run ?observer ?fuel ?overrides layout =
+  run_with exec_fast ?observer ?fuel ?overrides layout
+
+let run_reference ?observer ?fuel ?overrides layout =
+  run_with exec_func ?observer ?fuel ?overrides layout

@@ -13,6 +13,9 @@ type observer = {
   block_enter : int -> unit;       (** global block uid *)
   branch : int -> bool -> unit;    (** branch site uid, taken *)
   mem : mem_kind -> int -> unit;   (** resolved word address *)
+  call : int -> unit;              (** callee function index, after the
+                                       arguments are evaluated and before
+                                       the callee's first block *)
 }
 
 val null_observer : observer
@@ -34,9 +37,17 @@ val checksum : float list -> int
 val run :
   ?observer:observer -> ?fuel:int ->
   ?overrides:(string * float array) list -> Layout.t -> result
-(** Execute a prepared program from [main].  [overrides] replaces the
-    initial contents of named globals (benchmark datasets); [fuel] bounds
-    dynamic instructions and block entries.
+(** Execute a prepared program from [main] with the pre-decoded fast
+    engine (bit-identical to {!run_reference} in results, observer event
+    stream, fuel and step accounting, and raised exceptions).
+    [overrides] replaces the initial contents of named globals (benchmark
+    datasets); [fuel] bounds dynamic instructions and block entries.
 
     @raise Out_of_fuel when the fuel budget is exhausted.
     @raise Trap on out-of-bounds accesses. *)
+
+val run_reference :
+  ?observer:observer -> ?fuel:int ->
+  ?overrides:(string * float array) list -> Layout.t -> result
+(** The original tree-walking interpreter over [Ir.Instr.t]; the golden
+    semantics the fast engine is checked against. *)

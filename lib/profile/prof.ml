@@ -47,6 +47,7 @@ let collect ?(fuel = 30_000_000) ?(overrides = []) (layout : Layout.t) : t =
           if Predictor.observe predictor ~site ~taken then
             mispredict_counts.(site) <- mispredict_counts.(site) + 1);
       mem = (fun _ _ -> ());
+      call = ignore;
     }
   in
   let res = Interp.run ~observer ~fuel ~overrides layout in

@@ -136,3 +136,21 @@ let schedule_program ?priority ~config (p : Ir.Func.program) :
         (schedule_func ?priority ~config f))
     p.Ir.Func.funcs;
   tbl
+
+(* Schedule a whole program; returns lengths indexed by the dense global
+   block uid [Profile.Layout.prepare] will assign to the scheduled
+   program.  Both walk functions in program order and blocks in list
+   order, so position in this array IS the uid — no per-candidate
+   (fname, label) hashing. *)
+let schedule_program_cycles ?priority ~config (p : Ir.Func.program) : int array
+    =
+  let acc = ref [] in
+  List.iter
+    (fun (f : Ir.Func.t) ->
+      List.iter
+        (fun (_, len) -> acc := len :: !acc)
+        (schedule_func ?priority ~config f))
+    p.Ir.Func.funcs;
+  let lens = Array.of_list !acc in
+  let n = Array.length lens in
+  Array.init n (fun i -> lens.(n - 1 - i))

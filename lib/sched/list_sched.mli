@@ -32,3 +32,11 @@ val schedule_program :
   ?priority:(Depgraph.t -> float array) -> config:Machine.Config.t ->
   Ir.Func.program -> (string * Ir.Types.label, int) Hashtbl.t
 (** Lengths keyed by (function name, block label). *)
+
+val schedule_program_cycles :
+  ?priority:(Depgraph.t -> float array) -> config:Machine.Config.t ->
+  Ir.Func.program -> int array
+(** Like {!schedule_program}, but lengths are indexed by the dense global
+    block uid [Profile.Layout.prepare] assigns (functions in program
+    order, blocks in list order) — the layout both walk identically, so
+    no per-candidate label hashing is needed. *)

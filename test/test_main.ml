@@ -22,4 +22,5 @@ let () =
       ("regalloc-unit", Test_regalloc_unit.suite);
       ("prefetch-unit", Test_prefetch_unit.suite);
       ("misc", Test_misc.suite);
+      ("fastpath", Test_fastpath.suite);
     ]
