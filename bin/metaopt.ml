@@ -438,6 +438,53 @@ let simplify_cmd =
       const run $ study_arg
       $ Arg.(required & pos 1 (some string) None & info [] ~docv:"EXPR"))
 
+(* --- fuzz: differential oracle campaigns ------------------------------------ *)
+
+let fuzz_cmd =
+  let run seed count oracle out =
+    let oracles =
+      match oracle with
+      | None -> Fuzz.Oracle.all
+      | Some name -> (
+        match Fuzz.Oracle.find name with
+        | Some o -> [ o ]
+        | None ->
+          Fmt.epr "unknown oracle %S (available: %s)@." name
+            (String.concat ", " Fuzz.Oracle.names);
+          exit 2)
+    in
+    let summary =
+      Fuzz.run ~oracles ~progress:(fun m -> Fmt.epr "%s@." m) ~seed ~count ()
+    in
+    Fmt.pr "%a" Fuzz.pp_summary summary;
+    let n = Fuzz.divergences summary in
+    (match out with
+    | Some path when n > 0 ->
+      let oc = open_out path in
+      output_string oc (Fuzz.to_string summary);
+      close_out oc;
+      Fmt.pr "counterexamples written to %s@." path
+    | _ -> ());
+    if n > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: random programs and genomes through the six           redundancy oracles (engine, replay, cache, simplify, checkpoint,           parmap)")
+    Term.(
+      const run
+      $ Arg.(value & opt int 0 & info [ "seed" ] ~doc:"campaign base seed")
+      $ Arg.(
+          value & opt int 100
+          & info [ "count" ] ~doc:"trial budget per unit-weight oracle")
+      $ Arg.(
+          value & opt (some string) None
+          & info [ "oracle" ] ~doc:"run a single named oracle")
+      $ Arg.(
+          value & opt (some string) None
+          & info [ "out" ]
+              ~doc:"write counterexample reports to this file on failure"))
+
 (* --------------------------------------------------------------------------- *)
 
 let main =
@@ -445,6 +492,6 @@ let main =
     (Cmd.info "metaopt" ~version:"1.0.0"
        ~doc:"Meta Optimization: improving compiler heuristics with GP")
     [ list_cmd; run_cmd; ir_cmd; profile_cmd; specialize_cmd; evolve_cmd;
-      compare_cmd; features_cmd; simplify_cmd ]
+      compare_cmd; features_cmd; simplify_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -2,14 +2,90 @@
 
    The paper notes that evolved expressions contain introns and presents
    its Figure 8 "hand simplified for ease of discussion"; this pass does
-   the mechanical part automatically.  Every rewrite is semantics-
-   preserving under the *protected* evaluation semantics of [Eval]
-   (division by ~0 returns the numerator, sqrt takes |x|, non-finite
-   intermediates collapse to 0), which rules out a few textbook rules:
-   x/x is not 1 (it is x when x ~ 0), and constant folding must clamp
-   non-finite results to 0 exactly as the evaluator would. *)
+   the mechanical part automatically.  Every rewrite preserves the exact
+   bits [Eval] would produce on any finite feature environment — the
+   evaluator cache keys on the simplified form, so even a sign-of-zero
+   drift between a genome and its simplification would let one cache
+   entry answer for two observably different values.
+
+   Bit-exactness under IEEE-754 makes the zero rules subtle.  For finite
+   w (the domain: finite constants, finite environments, and [Eval]
+   protects every operator result):
+
+     -0.0 + w  =  w                 always — droppable;
+     +0.0 + w  =  w                 unless w = -0.0 (then it is +0.0);
+     w - +0.0  =  w                 always — droppable;
+     w - -0.0  =  w                 unless w = -0.0 (then it is +0.0);
+     (+-0) * w =  +-0               only when w >= 0 and w is not -0.0
+                                    (negative or -0.0 w flips the sign);
+     w - w     =  +0.0              always, but only for *bit-identical*
+                                    trees: structural equality via
+                                    polymorphic (=) treats 0.0 and -0.0
+                                    as equal, and sign-twin trees like
+                                    (x + -0.0) vs (x + +0.0) evaluate to
+                                    different zeros at x = -0.0;
+     a + b     = -0.0               only when both a and b are -0.0.
+
+   The conditional rules ([nonneg], [never_nzero]) prove the "unless"
+   sides away syntactically; everything unprovable simply stays.  The
+   other protected-semantics caveats from before remain: x/x is not 1
+   (protected division returns the numerator near zero), and constant
+   folding clamps non-finite results to 0 exactly as the evaluator
+   would. *)
 
 let protect x = if Float.is_finite x then x else 0.0
+
+let bits = Int64.bits_of_float
+let pzero c = bits c = 0L
+let nzero c = bits c = Int64.min_int
+
+(* [nonneg e]: evaluation provably yields a value >= 0 that is never
+   -0.0, on every finite environment.  Conservative by construction. *)
+let rec nonneg (e : Expr.rexpr) : bool =
+  match e with
+  | Expr.Rconst c -> Float.is_finite c && (c > 0.0 || pzero c)
+  | Expr.Rsqrt _ -> true (* sqrt |x| >= +0.0, and protect keeps the sign *)
+  | Expr.Radd (a, b) | Expr.Rmul (a, b) -> nonneg a && nonneg b
+  | Expr.Rtern (_, a, b) | Expr.Rcmul (_, a, b) -> nonneg a && nonneg b
+  | Expr.Rarg _ | Expr.Rsub _ | Expr.Rdiv _ -> false
+
+(* [never_nzero e]: evaluation provably never yields -0.0 (it may still
+   be negative).  A sum is -0.0 only when both operands are. *)
+let never_nzero (e : Expr.rexpr) : bool =
+  match e with
+  | Expr.Rconst c -> not (nzero c)
+  | Expr.Radd (a, b) -> nonneg a || nonneg b
+  | Expr.Rtern (_, a, b) -> nonneg a && nonneg b
+  | e -> nonneg e
+
+(* Bit-exact structural equality: the polymorphic (=) on which the old
+   [a' = b' -> Rconst 0.0] folds relied considers 0.0 equal to -0.0, so
+   it folded sign-twin trees whose values differ bitwise. *)
+let rec req (a : Expr.rexpr) (b : Expr.rexpr) : bool =
+  match (a, b) with
+  | Expr.Rconst x, Expr.Rconst y -> bits x = bits y
+  | Expr.Rarg i, Expr.Rarg j -> i = j
+  | Expr.Radd (a1, a2), Expr.Radd (b1, b2)
+  | Expr.Rsub (a1, a2), Expr.Rsub (b1, b2)
+  | Expr.Rmul (a1, a2), Expr.Rmul (b1, b2)
+  | Expr.Rdiv (a1, a2), Expr.Rdiv (b1, b2) -> req a1 b1 && req a2 b2
+  | Expr.Rsqrt a1, Expr.Rsqrt b1 -> req a1 b1
+  | Expr.Rtern (ac, a1, a2), Expr.Rtern (bc, b1, b2)
+  | Expr.Rcmul (ac, a1, a2), Expr.Rcmul (bc, b1, b2) ->
+    beq ac bc && req a1 b1 && req a2 b2
+  | _ -> false
+
+and beq (a : Expr.bexpr) (b : Expr.bexpr) : bool =
+  match (a, b) with
+  | Expr.Bconst x, Expr.Bconst y -> x = y
+  | Expr.Barg i, Expr.Barg j -> i = j
+  | Expr.Band (a1, a2), Expr.Band (b1, b2)
+  | Expr.Bor (a1, a2), Expr.Bor (b1, b2) -> beq a1 b1 && beq a2 b2
+  | Expr.Bnot a1, Expr.Bnot b1 -> beq a1 b1
+  | Expr.Blt (a1, a2), Expr.Blt (b1, b2)
+  | Expr.Bgt (a1, a2), Expr.Bgt (b1, b2)
+  | Expr.Beq (a1, a2), Expr.Beq (b1, b2) -> req a1 b1 && req a2 b2
+  | _ -> false
 
 let rec rexpr (e : Expr.rexpr) : Expr.rexpr =
   match e with
@@ -17,21 +93,22 @@ let rec rexpr (e : Expr.rexpr) : Expr.rexpr =
   | Expr.Radd (a, b) -> (
     match (rexpr a, rexpr b) with
     | Expr.Rconst x, Expr.Rconst y -> Expr.Rconst (protect (x +. y))
-    | Expr.Rconst 0.0, b' -> b'
-    | a', Expr.Rconst 0.0 -> a'
+    | Expr.Rconst z, b' when nzero z || (pzero z && never_nzero b') -> b'
+    | a', Expr.Rconst z when nzero z || (pzero z && never_nzero a') -> a'
     | a', b' -> Expr.Radd (a', b'))
   | Expr.Rsub (a, b) -> (
     match (rexpr a, rexpr b) with
     | Expr.Rconst x, Expr.Rconst y -> Expr.Rconst (protect (x -. y))
-    | a', Expr.Rconst 0.0 -> a'
-    | a', b' when a' = b' -> Expr.Rconst 0.0
+    | a', Expr.Rconst z when pzero z || (nzero z && never_nzero a') -> a'
+    | a', b' when req a' b' -> Expr.Rconst 0.0
     | a', b' -> Expr.Rsub (a', b'))
   | Expr.Rmul (a, b) -> (
     match (rexpr a, rexpr b) with
     | Expr.Rconst x, Expr.Rconst y -> Expr.Rconst (protect (x *. y))
     | Expr.Rconst 1.0, b' -> b'
     | a', Expr.Rconst 1.0 -> a'
-    | (Expr.Rconst 0.0 as z), _ | _, (Expr.Rconst 0.0 as z) -> z
+    | (Expr.Rconst z as zc), w when (pzero z || nzero z) && nonneg w -> zc
+    | w, (Expr.Rconst z as zc) when (pzero z || nzero z) && nonneg w -> zc
     | a', b' -> Expr.Rmul (a', b'))
   | Expr.Rdiv (a, b) -> (
     match (rexpr a, rexpr b) with
@@ -48,7 +125,7 @@ let rec rexpr (e : Expr.rexpr) : Expr.rexpr =
     match (bexpr c, rexpr a, rexpr b) with
     | Expr.Bconst true, a', _ -> a'
     | Expr.Bconst false, _, b' -> b'
-    | c', a', b' when a' = b' -> ignore c'; a'
+    | c', a', b' when req a' b' -> ignore c'; a'
     | c', a', b' -> Expr.Rtern (c', a', b'))
   | Expr.Rcmul (c, a, b) -> (
     (* Table 1: if c then a*b else b. *)
@@ -66,14 +143,14 @@ and bexpr (e : Expr.bexpr) : Expr.bexpr =
     | Expr.Bconst false, _ | _, Expr.Bconst false -> Expr.Bconst false
     | Expr.Bconst true, b' -> b'
     | a', Expr.Bconst true -> a'
-    | a', b' when a' = b' -> a'
+    | a', b' when beq a' b' -> a'
     | a', b' -> Expr.Band (a', b'))
   | Expr.Bor (a, b) -> (
     match (bexpr a, bexpr b) with
     | Expr.Bconst true, _ | _, Expr.Bconst true -> Expr.Bconst true
     | Expr.Bconst false, b' -> b'
     | a', Expr.Bconst false -> a'
-    | a', b' when a' = b' -> a'
+    | a', b' when beq a' b' -> a'
     | a', b' -> Expr.Bor (a', b'))
   | Expr.Bnot a -> (
     match bexpr a with
@@ -83,18 +160,18 @@ and bexpr (e : Expr.bexpr) : Expr.bexpr =
   | Expr.Blt (a, b) -> (
     match (rexpr a, rexpr b) with
     | Expr.Rconst x, Expr.Rconst y -> Expr.Bconst (x < y)
-    | a', b' when a' = b' -> Expr.Bconst false
+    | a', b' when req a' b' -> Expr.Bconst false
     | a', b' -> Expr.Blt (a', b'))
   | Expr.Bgt (a, b) -> (
     match (rexpr a, rexpr b) with
     | Expr.Rconst x, Expr.Rconst y -> Expr.Bconst (x > y)
-    | a', b' when a' = b' -> Expr.Bconst false
+    | a', b' when req a' b' -> Expr.Bconst false
     | a', b' -> Expr.Bgt (a', b'))
   | Expr.Beq (a, b) -> (
     match (rexpr a, rexpr b) with
     | Expr.Rconst x, Expr.Rconst y ->
       Expr.Bconst (Float.abs (x -. y) < Eval.div_epsilon)
-    | a', b' when a' = b' -> Expr.Bconst true
+    | a', b' when req a' b' -> Expr.Bconst true
     | a', b' -> Expr.Beq (a', b'))
 
 (* Iterate to a fixed point (each pass strictly shrinks or stabilizes). *)
@@ -103,10 +180,8 @@ let genome (g : Expr.genome) : Expr.genome =
     | Expr.Real e -> Expr.Real (rexpr e)
     | Expr.Bool e -> Expr.Bool (bexpr e)
   in
-  let rec fix g n =
-    if n = 0 then g
-    else
+  let rec fix g n = if n = 0 then g else
       let g' = step g in
-      if Expr.equal_genome g g' then g else fix g' (n - 1)
+      if g' = g then g else fix g' (n - 1)
   in
   fix g 10

@@ -1,11 +1,18 @@
 (** Algebraic simplification of GP expressions — the mechanical part of
     the paper's "hand simplified for ease of discussion", sound under the
     protected evaluation semantics (notably, x/x is *not* rewritten to 1:
-    protected division returns the numerator near zero). *)
+    protected division returns the numerator near zero).
+
+    Soundness is bit-exact ([Int64.bits_of_float]-equal results), which
+    the evaluator cache keying depends on; in particular zero-sign
+    rewrites ([0 * x], [0 + x], [x - 0]) only fire when IEEE-754 signed
+    zeros provably cannot distinguish the two sides.  The assumed input
+    domain is genomes with finite constants evaluated on finite feature
+    environments ([Gen] and constant folding maintain the former). *)
 
 val rexpr : Expr.rexpr -> Expr.rexpr
 val bexpr : Expr.bexpr -> Expr.bexpr
 
 val genome : Expr.genome -> Expr.genome
-(** Fixed-point simplification; never changes the value computed on any
-    environment. *)
+(** Fixed-point simplification; never changes the bits of the value
+    computed on any finite environment. *)

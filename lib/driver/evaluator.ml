@@ -110,8 +110,28 @@ let load_disk path tbl =
 
 (* Append under an advisory [lockf] so two runs sharing a --cache-dir
    cannot interleave torn lines; the whole batch goes out in one write.
-   Closing the descriptor releases the lock. *)
+   Closing the descriptor releases the lock.
+
+   Writes are symmetric with reads: [parse_cache_line] skips non-finite
+   values on load, so persisting one would only poison the file for
+   other tools and waste a warning on the next run.  Entries normally
+   arrive pre-sanitized ([record_ok]); the filter here makes the write
+   path reject NaN/inf no matter how the entry was produced. *)
 let append_disk t entries =
+  let entries =
+    List.filter
+      (fun (digest, v) ->
+        if Float.is_finite v then true
+        else begin
+          Logs.warn (fun m ->
+              m "fitness cache: refusing to persist non-finite value %h \
+                 for %s" v digest);
+          false
+        end)
+      entries
+  in
+  if entries = [] then ()
+  else
   match t.cache_file with
   | None -> ()
   | Some path ->

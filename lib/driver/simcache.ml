@@ -45,17 +45,20 @@ type t = {
   enabled : bool;
   max_artifacts : int;
   max_traces : int;
+  max_trace_events : int option;  (* None = Trace.default_max_events *)
   artifacts : (string, Machine.Simulate.result) Hashtbl.t;
   traces : (string, Machine.Trace.t) Hashtbl.t;
   mutable trace_order : string list;  (* newest first, for eviction *)
   stats : stats;
 }
 
-let create ?(enabled = true) ?(max_artifacts = 8192) ?(max_traces = 8) () =
+let create ?(enabled = true) ?(max_artifacts = 8192) ?(max_traces = 8)
+    ?max_trace_events () =
   {
     enabled;
     max_artifacts;
     max_traces;
+    max_trace_events;
     artifacts = Hashtbl.create 256;
     traces = Hashtbl.create 8;
     trace_order = [];
@@ -136,6 +139,13 @@ let artifact_key ~(machine : Machine.Config.t) (tk : string)
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
 let store_trace t key tr =
+  (* Replaying a truncated event stream would under-count cycles for
+     every later artifact sharing this trace key; an incomplete trace
+     must never enter the table.  [simulate] below only ever passes
+     complete traces (run_traced returns None on overflow) — this guard
+     keeps the invariant local instead of relying on the caller. *)
+  if not (Machine.Trace.complete tr) then
+    invalid_arg "Simcache.store_trace: incomplete trace";
   if Hashtbl.length t.traces >= t.max_traces then begin
     match List.rev t.trace_order with
     | [] -> ()
@@ -187,6 +197,7 @@ let simulate (t : t) ~(machine : Machine.Config.t)
           let res, tr =
             Gp.Telemetry.span "study.simulate_s" (fun () ->
                 Machine.Simulate.run_traced ~config:machine
+                  ?max_trace_events:t.max_trace_events
                   ~schedule_cycles:c.Compiler.schedule_cycles ~overrides
                   c.Compiler.layout)
           in

@@ -20,12 +20,16 @@ type stats = {
 type t
 
 val create :
-  ?enabled:bool -> ?max_artifacts:int -> ?max_traces:int -> unit -> t
+  ?enabled:bool -> ?max_artifacts:int -> ?max_traces:int ->
+  ?max_trace_events:int -> unit -> t
 (** [enabled = false] turns every {!simulate} into a fresh
     reference-engine simulation — the golden slow path the fast paths
     are tested against.  Table sizes are bounded: artifacts reset at
     [max_artifacts] (default 8192), traces evict oldest-first past
-    [max_traces] (default 8). *)
+    [max_traces] (default 8).  [max_trace_events] caps the per-trace
+    event budget (default {!Machine.Trace.default_max_events}); a run
+    that overflows it is still measured exactly but yields no stored
+    trace — incomplete traces never enter the table. *)
 
 val stats : t -> stats
 
@@ -40,6 +44,12 @@ val trace_key :
 val artifact_key : machine:Machine.Config.t -> string -> int array -> string
 (** [artifact_key ~machine trace_key schedule_cycles]: the result-sharing
     key; same key implies the same noise-free simulation result. *)
+
+val store_trace : t -> string -> Machine.Trace.t -> unit
+(** Insert a recorded trace under its trace key, evicting oldest-first
+    past the table bound.  Exposed for tests.
+    @raise Invalid_argument on an incomplete trace — an overflowed event
+    stream must never be replayed. *)
 
 val simulate :
   t -> machine:Machine.Config.t -> dataset:Benchmarks.Bench.dataset ->

@@ -1,0 +1,87 @@
+(* Campaign driver: run each requested oracle for its share of the
+   trial budget, collect failures (capped per oracle so one systematic
+   bug doesn't flood the report), and render a summary. *)
+
+(* [fuzz.ml] is the library's root module, so the submodules must be
+   re-exported to be visible outside [lib/fuzz]. *)
+module Oracle = Oracle
+module Minic_gen = Minic_gen
+module Genome_gen = Genome_gen
+module Shrink = Shrink
+
+let max_failures_per_oracle = 5
+
+type oracle_summary = {
+  oracle : string;
+  trials : int;
+  passed : int;
+  skipped : int;
+  failures : string list;  (* full reports, oldest first *)
+}
+
+type summary = {
+  seed : int;
+  count : int;
+  oracles : oracle_summary list;
+}
+
+let divergences s =
+  List.fold_left (fun n o -> n + List.length o.failures) 0 s.oracles
+
+let run_oracle ~seed ~count (o : Oracle.t) : oracle_summary =
+  let trials = max 1 (count / o.weight) in
+  let passed = ref 0 and skipped = ref 0 and failures = ref [] in
+  (try
+     for i = 0 to trials - 1 do
+       match o.Oracle.check (seed + i) with
+       | Oracle.Pass -> incr passed
+       | Oracle.Skip _ -> incr skipped
+       | Oracle.Fail report ->
+         failures := report :: !failures;
+         if List.length !failures >= max_failures_per_oracle then
+           raise Exit
+     done
+   with Exit -> ());
+  {
+    oracle = o.Oracle.name;
+    trials = !passed + !skipped + List.length !failures;
+    passed = !passed;
+    skipped = !skipped;
+    failures = List.rev !failures;
+  }
+
+let run ?(oracles = Oracle.all) ?(progress = fun _ -> ()) ~seed ~count () :
+    summary =
+  let oracles =
+    List.map
+      (fun o ->
+        progress
+          (Printf.sprintf "fuzzing oracle %s (%d trials)" o.Oracle.name
+             (max 1 (count / o.Oracle.weight)));
+        run_oracle ~seed ~count o)
+      oracles
+  in
+  { seed; count; oracles }
+
+let pp_summary ppf (s : summary) =
+  Format.fprintf ppf "differential fuzzing: seed %d, budget %d@." s.seed
+    s.count;
+  List.iter
+    (fun o ->
+      Format.fprintf ppf "  %-10s %4d trials  %4d pass  %3d skip  %d fail@."
+        o.oracle o.trials o.passed o.skipped
+        (List.length o.failures))
+    s.oracles;
+  let n = divergences s in
+  if n = 0 then Format.fprintf ppf "no divergences.@."
+  else begin
+    Format.fprintf ppf "%d divergence(s):@." n;
+    List.iter
+      (fun o ->
+        List.iter
+          (fun r -> Format.fprintf ppf "@.--- %s ---@.%s@." o.oracle r)
+          o.failures)
+      s.oracles
+  end
+
+let to_string s = Format.asprintf "%a" pp_summary s

@@ -1,0 +1,34 @@
+(** Differential fuzzing campaigns over the {!Oracle} registry. *)
+
+module Oracle = Oracle
+module Minic_gen = Minic_gen
+module Genome_gen = Genome_gen
+module Shrink = Shrink
+
+val max_failures_per_oracle : int
+
+type oracle_summary = {
+  oracle : string;
+  trials : int;
+  passed : int;
+  skipped : int;
+  failures : string list;  (** full shrunk counterexample reports *)
+}
+
+type summary = {
+  seed : int;
+  count : int;
+  oracles : oracle_summary list;
+}
+
+val divergences : summary -> int
+
+val run :
+  ?oracles:Oracle.t list -> ?progress:(string -> unit) ->
+  seed:int -> count:int -> unit -> summary
+(** [run ~seed ~count ()] gives each oracle [count / weight] seeded
+    trials ([seed], [seed + 1], ...), stopping an oracle early after
+    {!max_failures_per_oracle} failures. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+val to_string : summary -> string

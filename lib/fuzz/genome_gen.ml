@@ -1,0 +1,108 @@
+(* Random GP genomes and feature environments for the simplify oracle.
+
+   Genomes come from the engine's own generator (Gp.Gen, ramped
+   grow/full) and are then "zero-enriched": a few random subtrees are
+   wrapped in, or replaced by, the algebraic-identity patterns the
+   simplifier rewrites — 0 + e, e - 0, 0 * e, 1 * e, with both signs of
+   zero.  Plain random constants almost never hit those patterns, so the
+   enrichment is what gives the Eval = Eval . Simplify oracle its power:
+   re-introducing an unsound zero rewrite must produce a counterexample
+   within a few seeds.
+
+   Environments are finite-only (the documented domain of the
+   equivalence), drawn from a pool of adversarial values — both zero
+   signs, huge, tiny and ordinary magnitudes. *)
+
+let fs =
+  Gp.Feature_set.make ~reals:[ "x"; "y"; "z" ] ~bools:[ "p"; "q" ]
+
+let zero_patterns rng sub =
+  let z = if Random.State.bool rng then 0.0 else -0.0 in
+  match Random.State.int rng 6 with
+  | 0 -> Gp.Expr.Rconst z
+  | 1 -> Gp.Expr.Rconst 1.0
+  | 2 -> Gp.Expr.Radd (Gp.Expr.Rconst z, sub)
+  | 3 -> Gp.Expr.Rsub (sub, Gp.Expr.Rconst z)
+  | 4 -> Gp.Expr.Rmul (Gp.Expr.Rconst z, sub)
+  | _ -> Gp.Expr.Rmul (sub, Gp.Expr.Rconst 1.0)
+
+let enrich rng (g : Gp.Expr.genome) : Gp.Expr.genome =
+  let steps = 1 + Random.State.int rng 3 in
+  let rec go g n =
+    if n = 0 then g
+    else
+      match Gp.Tree.pick_depth_fair rng ~sort:Gp.Tree.S_real g with
+      | None -> g
+      | Some node ->
+        let sub = Gp.Tree.subtree g node.Gp.Tree.path in
+        let sub_r =
+          match sub with Gp.Expr.Real e -> e | Gp.Expr.Bool _ -> assert false
+        in
+        let repl = Gp.Expr.Real (zero_patterns rng sub_r) in
+        go (Gp.Tree.replace g node.Gp.Tree.path repl) (n - 1)
+  in
+  go g steps
+
+let genome rng ~sort : Gp.Expr.genome =
+  let cfg = Gp.Gen.default_config fs in
+  let depth = 2 + Random.State.int rng 4 in
+  let g = Gp.Gen.genome cfg rng ~sort ~full:(Random.State.bool rng) depth in
+  enrich rng g
+
+let value_pool =
+  [|
+    0.0; -0.0; 1.0; -1.0; 0.5; -2.0; 2.0; 1e-9; -1e-9; 1e-300; -1e-300;
+    1e300; -1e300; 3.141592653589793; 42.0; -17.25;
+  |]
+
+let random_value rng =
+  (* zeros get outsized weight: they are the values the simplifier's
+     rewrite rules are judged against, and a uniform draw would almost
+     never produce one *)
+  match Random.State.int rng 6 with
+  | 0 -> 0.0
+  | 1 -> -0.0
+  | 2 | 3 -> value_pool.(Random.State.int rng (Array.length value_pool))
+  | _ -> Random.State.float rng 200.0 -. 100.0
+
+let env rng : Gp.Feature_set.env =
+  let e = Gp.Feature_set.empty_env fs in
+  Array.iteri (fun i _ -> e.Gp.Feature_set.real_values.(i) <- random_value rng)
+    e.Gp.Feature_set.real_values;
+  Array.iteri (fun i _ -> e.Gp.Feature_set.bool_values.(i) <- Random.State.bool rng)
+    e.Gp.Feature_set.bool_values;
+  e
+
+let envs rng ~n = List.init n (fun _ -> env rng)
+
+(* Shrink candidates: hoist any same-sorted subtree to the root, or
+   replace any node by a minimal leaf of its sort. *)
+let shrink (g : Gp.Expr.genome) : Gp.Expr.genome list =
+  let root_sort =
+    match g with Gp.Expr.Real _ -> Gp.Tree.S_real | Gp.Expr.Bool _ -> Gp.Tree.S_bool
+  in
+  let nodes = Gp.Tree.nodes g in
+  let hoists =
+    List.filter_map
+      (fun (n : Gp.Tree.node) ->
+        if n.Gp.Tree.path <> [] && n.Gp.Tree.sort = root_sort then
+          Some (Gp.Tree.subtree g n.Gp.Tree.path)
+        else None)
+      nodes
+  in
+  let leaves =
+    List.filter_map
+      (fun (n : Gp.Tree.node) ->
+        if n.Gp.Tree.path = [] then None
+        else
+          let leaf =
+            match n.Gp.Tree.sort with
+            | Gp.Tree.S_real -> Gp.Expr.Real (Gp.Expr.Rconst 0.0)
+            | Gp.Tree.S_bool -> Gp.Expr.Bool (Gp.Expr.Bconst false)
+          in
+          let sub = Gp.Tree.subtree g n.Gp.Tree.path in
+          if sub = leaf then None
+          else Some (Gp.Tree.replace g n.Gp.Tree.path leaf))
+      nodes
+  in
+  hoists @ leaves

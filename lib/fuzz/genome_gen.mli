@@ -1,0 +1,22 @@
+(** Random GP genomes (zero-enriched) and finite adversarial feature
+    environments for the [Eval = Eval . Simplify] oracle. *)
+
+val fs : Gp.Feature_set.t
+(** Three reals (x, y, z), two bools (p, q). *)
+
+val genome : Random.State.t -> sort:[ `Real | `Bool ] -> Gp.Expr.genome
+(** A [Gp.Gen] tree with a few subtrees wrapped in algebraic-identity
+    patterns (0 + e, e - 0, 0 * e, 1 * e — both zero signs), so the
+    simplifier's rewrite rules actually fire on generated input. *)
+
+val random_value : Random.State.t -> float
+(** One finite value from the adversarial pool or a uniform range. *)
+
+val env : Random.State.t -> Gp.Feature_set.env
+(** Finite feature values only, biased to adversarial magnitudes
+    (both zero signs, 1e-300, 1e300, ...). *)
+
+val envs : Random.State.t -> n:int -> Gp.Feature_set.env list
+
+val shrink : Gp.Expr.genome -> Gp.Expr.genome list
+(** One-step shrink candidates: subtree hoists and leaf replacements. *)

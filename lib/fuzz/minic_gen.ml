@@ -1,0 +1,499 @@
+(* Random well-typed MiniC programs for differential fuzzing.
+
+   Programs are generated into a small structured representation (not
+   straight to text) so the shrinker can remove statements, collapse
+   loops and replace expressions while staying well-typed by
+   construction:
+
+   - every loop has a literal trip count and loop counters are never
+     assignment targets, so every program terminates;
+   - every array access is bounded by a double-mod index wrap;
+   - conditions, bitwise/modulo/shift/logical operands are int-typed and
+     float-to-int conversions go through an explicit cast, matching the
+     typechecker's rules;
+   - shift amounts are small literals;
+   - helpers never call other functions (no recursion).
+
+   The fixed skeleton declares two 64-element globals (int A[], float
+   B[]), three int and two float scalars and a pool of loop counters;
+   generated statements read and write only those, so any statement can
+   be deleted and the program stays closed. *)
+
+let array_size = 64
+let n_counters = 4 (* i0..i3, covering the nesting cap below *)
+
+type ty = Int | Flt
+
+type expr =
+  | Iconst of int
+  | Fconst of float
+  | Var of ty * string
+  | Load of ty * string * expr            (* array, raw index (wrapped at print) *)
+  | Bin of ty * string * expr * expr      (* result type, op token *)
+  | Neg of ty * expr
+  | Intrin of ty * string * expr list
+  | CallH of ty * int * expr list         (* return type, helper index *)
+  | Cast of ty * expr                     (* int(e) / float(e) *)
+
+type stmt =
+  | Assign of ty * string * expr
+  | Store of ty * string * expr * expr    (* element ty, array, index, value *)
+  | If of expr * stmt list * stmt list
+  | For of int * int * stmt list          (* counter level, trip count *)
+  | While of int * int * stmt list        (* same loop, while-form *)
+  | Emit of expr
+
+type helper = {
+  h_ret : ty;
+  h_params : (ty * string) list;
+  h_body : stmt list;                     (* assignments to t / tf only *)
+  h_ret_expr : expr;
+}
+
+type prog = {
+  seed : int;
+  helpers : helper list;
+  body : stmt list;
+  train : (string * float array) list;
+  novel : (string * float array) list;
+}
+
+(* --- Generation -------------------------------------------------------- *)
+
+type config = {
+  max_stmts : int;   (* top-level statements in main *)
+  max_depth : int;   (* expression depth *)
+  max_helpers : int;
+}
+
+let default_config = { max_stmts = 8; max_depth = 4; max_helpers = 2 }
+
+type ctx = {
+  ivars : string list;   (* int assignment targets *)
+  fvars : string list;   (* float assignment targets *)
+  rvars : string list;   (* read-only ints: enclosing loop counters *)
+  helpers : helper list;
+  allow_calls : bool;
+}
+
+let pick rng xs = List.nth xs (Random.State.int rng (List.length xs))
+
+let float_pool =
+  [ 0.0; -0.0; 1.0; -1.0; 0.5; -2.5; 3.1415; 1e-9; -1e-9; 1e9; 100.25 ]
+
+let gen_iconst rng =
+  match Random.State.int rng 4 with
+  | 0 -> Random.State.int rng 8
+  | 1 -> Random.State.int rng 1000
+  | 2 -> -Random.State.int rng 100
+  | _ -> pick rng [ 0; 1; -1; 63; 64; 255 ]
+
+let gen_fconst rng =
+  if Random.State.int rng 3 = 0 then
+    Float.of_int (Random.State.int rng 200 - 100) /. 8.0
+  else pick rng float_pool
+
+let int_intrinsics = [ ("abs", 1); ("min", 2); ("max", 2) ]
+
+let float_intrinsics =
+  [ ("sqrt", 1); ("sin", 1); ("cos", 1); ("fabs", 1); ("exp", 1); ("log", 1);
+    ("fmin", 2); ("fmax", 2) ]
+
+let rec gen_expr cfg ctx rng ~(ty : ty) ~depth : expr =
+  if depth <= 0 || Random.State.int rng 4 = 0 then gen_leaf ctx rng ~ty
+  else
+    let sub t = gen_expr cfg ctx rng ~ty:t ~depth:(depth - 1) in
+    match ty with
+    | Int -> (
+      match Random.State.int rng 10 with
+      | 0 | 1 -> Bin (Int, pick rng [ "+"; "-"; "*" ], sub Int, sub Int)
+      | 2 -> Bin (Int, pick rng [ "/"; "%" ], sub Int, sub Int)
+      | 3 -> Bin (Int, pick rng [ "&"; "|"; "^" ], sub Int, sub Int)
+      | 4 ->
+        (* shifts: small literal amounts only *)
+        Bin (Int, pick rng [ "<<"; ">>" ], sub Int,
+             Iconst (Random.State.int rng 8))
+      | 5 ->
+        let cty = if Random.State.bool rng then Int else Flt in
+        Bin (Int, pick rng [ "<"; ">"; "<="; ">="; "=="; "!=" ],
+             sub cty, sub cty)
+      | 6 -> Load (Int, "A", sub Int)
+      | 7 ->
+        let name, arity = pick rng int_intrinsics in
+        Intrin (Int, name, List.init arity (fun _ -> sub Int))
+      | 8 -> gen_call cfg ctx rng ~ty ~depth
+      | _ -> Cast (Int, sub Flt))
+    | Flt -> (
+      match Random.State.int rng 8 with
+      | 0 | 1 | 2 ->
+        Bin (Flt, pick rng [ "+"; "-"; "*"; "/" ],
+             sub (if Random.State.int rng 4 = 0 then Int else Flt), sub Flt)
+      | 3 -> Load (Flt, "B", sub Int)
+      | 4 ->
+        let name, arity = pick rng float_intrinsics in
+        Intrin (Flt, name, List.init arity (fun _ -> sub Flt))
+      | 5 -> gen_call cfg ctx rng ~ty ~depth
+      | 6 -> Neg (Flt, sub Flt)
+      | _ -> Cast (Flt, sub Int))
+
+and gen_leaf ctx rng ~ty =
+  match ty with
+  | Int ->
+    let reads = ctx.ivars @ ctx.rvars in
+    if Random.State.bool rng || reads = [] then Iconst (gen_iconst rng)
+    else Var (Int, pick rng reads)
+  | Flt ->
+    if Random.State.bool rng || ctx.fvars = [] then Fconst (gen_fconst rng)
+    else Var (Flt, pick rng ctx.fvars)
+
+and gen_call cfg ctx rng ~ty ~depth =
+  let indexed =
+    List.mapi (fun i h -> (i, h)) ctx.helpers
+    |> List.filter (fun (_, h) -> ctx.allow_calls && h.h_ret = ty)
+  in
+  match indexed with
+  | [] -> gen_leaf ctx rng ~ty
+  | _ ->
+    let i, h = pick rng indexed in
+    CallH
+      ( ty, i,
+        List.map
+          (fun (pty, _) -> gen_expr cfg ctx rng ~ty:pty ~depth:(depth - 1))
+          h.h_params )
+
+(* Statements.  [level] is the loop nesting depth: a loop at level l
+   uses counter i<l>, so sequential loops share counters and nested
+   loops never clash; bodies may *read* enclosing counters. *)
+let rec gen_stmts cfg ctx rng ~level ~budget : stmt list =
+  List.init budget (fun _ -> gen_stmt cfg ctx rng ~level)
+
+and gen_stmt cfg ctx rng ~level : stmt =
+  let expr ty = gen_expr cfg ctx rng ~ty ~depth:cfg.max_depth in
+  match Random.State.int rng (if level >= 2 then 8 else 10) with
+  | 0 | 1 | 2 ->
+    if Random.State.bool rng then Assign (Int, pick rng ctx.ivars, expr Int)
+    else Assign (Flt, pick rng ctx.fvars, expr Flt)
+  | 3 ->
+    if Random.State.bool rng then Store (Int, "A", expr Int, expr Int)
+    else Store (Flt, "B", expr Int, expr Flt)
+  | 4 | 5 ->
+    let nthen = 1 + Random.State.int rng 2 in
+    let nelse = Random.State.int rng 2 in
+    If
+      ( gen_expr cfg ctx rng ~ty:Int ~depth:(cfg.max_depth - 1),
+        gen_stmts cfg ctx rng ~level ~budget:nthen,
+        gen_stmts cfg ctx rng ~level ~budget:nelse )
+  | 6 | 7 -> Emit (expr (if Random.State.bool rng then Int else Flt))
+  | n ->
+    let body_ctx =
+      { ctx with rvars = Printf.sprintf "i%d" level :: ctx.rvars }
+    in
+    let body =
+      gen_stmts cfg body_ctx rng ~level:(level + 1)
+        ~budget:(1 + Random.State.int rng 3)
+    in
+    if n = 8 then For (level, 1 + Random.State.int rng 8, body)
+    else While (level, 1 + Random.State.int rng 6, body)
+
+let gen_helper cfg rng : helper =
+  let h_ret = if Random.State.bool rng then Int else Flt in
+  let n_params = 1 + Random.State.int rng 2 in
+  let h_params =
+    List.init n_params (fun i ->
+        ((if Random.State.bool rng then Int else Flt),
+         Printf.sprintf "a%d" i))
+  in
+  let ivars =
+    "t"
+    :: List.filter_map (fun (t, n) -> if t = Int then Some n else None)
+         h_params
+  and fvars =
+    "tf"
+    :: List.filter_map (fun (t, n) -> if t = Flt then Some n else None)
+         h_params
+  in
+  let ctx = { ivars; fvars; rvars = []; helpers = []; allow_calls = false } in
+  let h_body =
+    List.init (Random.State.int rng 3) (fun _ ->
+        if Random.State.bool rng then
+          Assign (Int, "t", gen_expr cfg ctx rng ~ty:Int ~depth:2)
+        else Assign (Flt, "tf", gen_expr cfg ctx rng ~ty:Flt ~depth:2))
+  in
+  let h_ret_expr = gen_expr cfg ctx rng ~ty:h_ret ~depth:3 in
+  { h_ret; h_params; h_body; h_ret_expr }
+
+let main_ivars = [ "v0"; "v1"; "v2" ]
+let main_fvars = [ "f0"; "f1" ]
+
+let gen_overrides rng =
+  if Random.State.int rng 3 <> 0 then ([], [])
+  else
+    let arr () =
+      Array.init array_size (fun _ ->
+          Float.of_int (Random.State.int rng 200 - 100))
+    in
+    ([ ("A", arr ()) ], [ ("A", arr ()) ])
+
+let generate ?(cfg = default_config) seed : prog =
+  let rng = Random.State.make [| 0x5eed; seed |] in
+  let n_helpers = Random.State.int rng (cfg.max_helpers + 1) in
+  let helpers = List.init n_helpers (fun _ -> gen_helper cfg rng) in
+  let ctx =
+    {
+      ivars = main_ivars;
+      fvars = main_fvars;
+      rvars = [];
+      helpers;
+      allow_calls = true;
+    }
+  in
+  (* Seed the arrays with a deterministic init loop, then random
+     statements, then emit every scalar so runs always produce output. *)
+  let k1 = 1 + Random.State.int rng 13 and k2 = Random.State.int rng 29 in
+  let init =
+    For
+      ( 0,
+        array_size,
+        [
+          Store (Int, "A", Var (Int, "i0"),
+                 Bin (Int, "-",
+                      Bin (Int, "*", Var (Int, "i0"), Iconst k1),
+                      Iconst k2));
+          Store (Flt, "B", Var (Int, "i0"),
+                 Bin (Flt, "*", Cast (Flt, Var (Int, "i0")),
+                      Fconst (gen_fconst rng)));
+        ] )
+  in
+  let n = 2 + Random.State.int rng (cfg.max_stmts - 1) in
+  let stmts = gen_stmts cfg ctx rng ~level:0 ~budget:n in
+  let emits =
+    List.map (fun v -> Emit (Var (Int, v))) main_ivars
+    @ List.map (fun v -> Emit (Var (Flt, v))) main_fvars
+  in
+  let train, novel = gen_overrides rng in
+  { seed; helpers; body = (init :: stmts) @ emits; train; novel }
+
+(* --- Printing ---------------------------------------------------------- *)
+
+let counter l = Printf.sprintf "i%d" l
+let ty_name = function Int -> "int" | Flt -> "float"
+
+let rec print_expr buf = function
+  | Iconst k ->
+    if k < 0 then Buffer.add_string buf (Printf.sprintf "(-%d)" (-k))
+    else Buffer.add_string buf (string_of_int k)
+  | Fconst f ->
+    (* Uneg lowers to a true float negation, so a leading '-' preserves
+       the sign of zero.  The MiniC lexer only accepts decimal literals
+       (digits [. digits] [e[+-]digits]), so fall back to %.17g — which
+       round-trips every finite double — and force a '.' so the token
+       can't collapse to an int literal. *)
+    let mag = Printf.sprintf "%.6f" (Float.abs f) in
+    let mag =
+      if float_of_string mag = Float.abs f then mag
+      else
+        let g = Printf.sprintf "%.17g" (Float.abs f) in
+        if String.contains g '.' || String.contains g 'e' then g
+        else g ^ ".0"
+    in
+    if f < 0.0 || (f = 0.0 && 1.0 /. f < 0.0) then
+      Buffer.add_string buf (Printf.sprintf "(-%s)" mag)
+    else Buffer.add_string buf mag
+  | Var (_, n) -> Buffer.add_string buf n
+  | Load (_, a, i) ->
+    Buffer.add_string buf (a ^ "[(((");
+    print_expr buf i;
+    Buffer.add_string buf
+      (Printf.sprintf ") %% %d + %d) %% %d)]" array_size array_size array_size)
+  | Bin (_, op, a, b) ->
+    Buffer.add_char buf '(';
+    print_expr buf a;
+    Buffer.add_string buf (" " ^ op ^ " ");
+    print_expr buf b;
+    Buffer.add_char buf ')'
+  | Neg (_, a) ->
+    Buffer.add_string buf "(-";
+    print_expr buf a;
+    Buffer.add_char buf ')'
+  | Intrin (_, n, args) ->
+    Buffer.add_string buf (n ^ "(");
+    List.iteri
+      (fun i a ->
+        if i > 0 then Buffer.add_string buf ", ";
+        print_expr buf a)
+      args;
+    Buffer.add_char buf ')'
+  | CallH (_, i, args) ->
+    Buffer.add_string buf (Printf.sprintf "h%d(" i);
+    List.iteri
+      (fun j a ->
+        if j > 0 then Buffer.add_string buf ", ";
+        print_expr buf a)
+      args;
+    Buffer.add_char buf ')'
+  | Cast (ty, a) ->
+    Buffer.add_string buf (if ty = Int then "int(" else "float(");
+    print_expr buf a;
+    Buffer.add_char buf ')'
+
+let pe e =
+  let b = Buffer.create 64 in
+  print_expr b e;
+  Buffer.contents b
+
+let rec print_stmt buf ~indent s =
+  let pad = String.make indent ' ' in
+  match s with
+  | Assign (_, v, e) ->
+    Buffer.add_string buf (Printf.sprintf "%s%s = %s;\n" pad v (pe e))
+  | Store (_, a, i, e) ->
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s[(((%s) %% %d + %d) %% %d)] = %s;\n" pad a (pe i)
+         array_size array_size array_size (pe e))
+  | Emit e -> Buffer.add_string buf (Printf.sprintf "%semit(%s);\n" pad (pe e))
+  | If (c, t, e) ->
+    Buffer.add_string buf (Printf.sprintf "%sif (%s) {\n" pad (pe c));
+    List.iter (print_stmt buf ~indent:(indent + 2)) t;
+    if e <> [] then begin
+      Buffer.add_string buf (pad ^ "} else {\n");
+      List.iter (print_stmt buf ~indent:(indent + 2)) e
+    end;
+    Buffer.add_string buf (pad ^ "}\n")
+  | For (l, n, body) ->
+    let i = counter l in
+    Buffer.add_string buf
+      (Printf.sprintf "%sfor (%s = 0; %s < %d; %s = %s + 1) {\n" pad i i n i i);
+    List.iter (print_stmt buf ~indent:(indent + 2)) body;
+    Buffer.add_string buf (pad ^ "}\n")
+  | While (l, n, body) ->
+    let i = counter l in
+    Buffer.add_string buf (Printf.sprintf "%s%s = 0;\n" pad i);
+    Buffer.add_string buf (Printf.sprintf "%swhile (%s < %d) {\n" pad i n);
+    List.iter (print_stmt buf ~indent:(indent + 2)) body;
+    Buffer.add_string buf (Printf.sprintf "%s  %s = %s + 1;\n" pad i i);
+    Buffer.add_string buf (pad ^ "}\n")
+
+let source (p : prog) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "global int A[%d];\nglobal float B[%d];\n\n" array_size
+       array_size);
+  List.iteri
+    (fun i (h : helper) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s h%d(%s) {\n" (ty_name h.h_ret) i
+           (String.concat ", "
+              (List.map (fun (t, n) -> ty_name t ^ " " ^ n) h.h_params)));
+      Buffer.add_string buf "  int t = 0;\n  float tf = 0.0;\n";
+      List.iter (print_stmt buf ~indent:2) h.h_body;
+      Buffer.add_string buf (Printf.sprintf "  return %s;\n}\n\n" (pe h.h_ret_expr)))
+    p.helpers;
+  Buffer.add_string buf "int main() {\n";
+  for l = 0 to n_counters - 1 do
+    Buffer.add_string buf (Printf.sprintf "  int %s = 0;\n" (counter l))
+  done;
+  List.iter
+    (fun v -> Buffer.add_string buf (Printf.sprintf "  int %s = 0;\n" v))
+    main_ivars;
+  List.iter
+    (fun v -> Buffer.add_string buf (Printf.sprintf "  float %s = 0.0;\n" v))
+    main_fvars;
+  List.iter (print_stmt buf ~indent:2) p.body;
+  Buffer.add_string buf "  return v0;\n}\n";
+  Buffer.contents buf
+
+(* --- Shrinking --------------------------------------------------------- *)
+
+(* One-change candidate programs: drop a statement, inline a branch,
+   collapse a loop to one trip, replace an expression by a leaf, drop
+   the overrides.  [Shrink.greedy] keeps a candidate only if it still
+   fails the oracle, so none of these need to preserve semantics — only
+   well-typedness. *)
+
+let leaf_of = function Int -> Iconst 1 | Flt -> Fconst 1.0
+
+let ty_of = function
+  | Iconst _ -> Int
+  | Fconst _ -> Flt
+  | Var (t, _) | Load (t, _, _) | Bin (t, _, _, _) | Neg (t, _)
+  | Intrin (t, _, _) | CallH (t, _, _) | Cast (t, _) -> t
+
+(* All variants of a statement list with exactly one change applied. *)
+let rec stmts_variants (ss : stmt list) : stmt list list =
+  match ss with
+  | [] -> []
+  | s :: rest ->
+    let inlined =
+      match s with
+      | If (_, a, b) -> [ a @ rest; b @ rest ]
+      | For (_, _, body) | While (_, _, body) -> [ body @ rest ]
+      | _ -> []
+    in
+    ([ rest ] @ inlined)
+    @ List.map (fun s' -> s' :: rest) (stmt_variants s)
+    @ List.map (fun rest' -> s :: rest') (stmts_variants rest)
+
+and stmt_variants (s : stmt) : stmt list =
+  match s with
+  | Assign (t, v, e) -> List.map (fun e' -> Assign (t, v, e')) (expr_variants e)
+  | Store (t, a, i, e) ->
+    List.map (fun i' -> Store (t, a, i', e)) (expr_variants i)
+    @ List.map (fun e' -> Store (t, a, i, e')) (expr_variants e)
+  | Emit e -> List.map (fun e' -> Emit e') (expr_variants e)
+  | If (c, a, b) ->
+    List.map (fun c' -> If (c', a, b)) (expr_variants c)
+    @ List.map (fun a' -> If (c, a', b)) (stmts_variants a)
+    @ List.map (fun b' -> If (c, a, b')) (stmts_variants b)
+  | For (l, n, body) ->
+    (if n > 1 then [ For (l, 1, body) ] else [])
+    @ List.map (fun body' -> For (l, n, body')) (stmts_variants body)
+  | While (l, n, body) ->
+    [ For (l, n, body) ]
+    @ (if n > 1 then [ While (l, 1, body) ] else [])
+    @ List.map (fun body' -> While (l, n, body')) (stmts_variants body)
+
+(* Expression shrinking is shallow — hoist a same-typed child or drop to
+   a leaf; depth comes from iterating the whole candidate set. *)
+and expr_variants (e : expr) : expr list =
+  let t = ty_of e in
+  let hoists =
+    match e with
+    | Bin (_, _, a, b) -> List.filter (fun s -> ty_of s = t) [ a; b ]
+    | Neg (_, a) | Cast (_, a) -> List.filter (fun s -> ty_of s = t) [ a ]
+    | Intrin (_, _, args) | CallH (_, _, args) ->
+      List.filter (fun s -> ty_of s = t) args
+    | Load _ | Iconst _ | Fconst _ | Var _ -> []
+  in
+  match e with
+  | Iconst _ | Fconst _ | Var _ -> []
+  | _ -> hoists @ (if e = leaf_of t then [] else [ leaf_of t ])
+
+let rec expr_calls = function
+  | CallH _ -> true
+  | Iconst _ | Fconst _ | Var _ -> false
+  | Load (_, _, i) -> expr_calls i
+  | Bin (_, _, a, b) -> expr_calls a || expr_calls b
+  | Neg (_, a) | Cast (_, a) -> expr_calls a
+  | Intrin (_, _, args) -> List.exists expr_calls args
+
+let rec stmt_calls = function
+  | Assign (_, _, e) | Emit e -> expr_calls e
+  | Store (_, _, i, e) -> expr_calls i || expr_calls e
+  | If (c, a, b) ->
+    expr_calls c || List.exists stmt_calls a || List.exists stmt_calls b
+  | For (_, _, body) | While (_, _, body) -> List.exists stmt_calls body
+
+let candidates (p : prog) : prog list =
+  let no_overrides =
+    if p.train <> [] || p.novel <> [] then [ { p with train = []; novel = [] } ]
+    else []
+  in
+  let drop_helpers =
+    (* sound only once the body no longer calls any helper (call sites
+       shrink away first via [expr_variants] leaf replacement) *)
+    if p.helpers <> [] && not (List.exists stmt_calls p.body) then
+      [ { p with helpers = [] } ]
+    else []
+  in
+  no_overrides @ drop_helpers
+  @ List.map (fun body -> { p with body }) (stmts_variants p.body)

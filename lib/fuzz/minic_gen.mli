@@ -1,0 +1,58 @@
+(** Seeded random well-typed MiniC programs for differential fuzzing.
+
+    Generated programs always terminate (literal loop bounds, counters
+    never reassigned), keep every array access in bounds (double-mod
+    index wrap) and typecheck by construction.  The structured [prog]
+    representation exists so the shrinker can minimize a failing program
+    while preserving well-typedness; the program's semantics are defined
+    by its printed {!source}. *)
+
+type ty = Int | Flt
+
+type expr =
+  | Iconst of int
+  | Fconst of float
+  | Var of ty * string
+  | Load of ty * string * expr
+  | Bin of ty * string * expr * expr
+  | Neg of ty * expr
+  | Intrin of ty * string * expr list
+  | CallH of ty * int * expr list
+  | Cast of ty * expr
+
+type stmt =
+  | Assign of ty * string * expr
+  | Store of ty * string * expr * expr
+  | If of expr * stmt list * stmt list
+  | For of int * int * stmt list
+  | While of int * int * stmt list
+  | Emit of expr
+
+type helper = {
+  h_ret : ty;
+  h_params : (ty * string) list;
+  h_body : stmt list;
+  h_ret_expr : expr;
+}
+
+type prog = {
+  seed : int;
+  helpers : helper list;
+  body : stmt list;
+  train : (string * float array) list;   (** dataset overrides for "A" *)
+  novel : (string * float array) list;
+}
+
+type config = { max_stmts : int; max_depth : int; max_helpers : int }
+
+val default_config : config
+
+val generate : ?cfg:config -> int -> prog
+(** [generate seed]: deterministic in [seed]. *)
+
+val source : prog -> string
+(** MiniC program text; always compiles and terminates. *)
+
+val candidates : prog -> prog list
+(** One-change shrink candidates (still well-typed, not necessarily
+    semantics-preserving — the shrinker re-checks the oracle). *)

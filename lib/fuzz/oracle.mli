@@ -1,0 +1,25 @@
+(** The six differential oracles.
+
+    Each oracle runs one seeded trial of a redundancy the repo's results
+    rest on — fast vs reference interpreter, trace replay vs fresh
+    simulation, cache hit vs recomputation, [Eval] vs
+    [Eval . Simplify], checkpoint-resume vs straight evolution, and
+    [Parmap] at one vs many jobs — comparing every float through
+    [Int64.bits_of_float].  Failures come back as a replayable report
+    with a greedily shrunk counterexample. *)
+
+type verdict = Pass | Skip of string | Fail of string
+
+type t = {
+  name : string;
+  weight : int;
+      (** relative trial cost: a campaign of [count] runs
+          [count / weight] trials of this oracle *)
+  check : int -> verdict;  (** one seeded trial *)
+}
+
+val all : t list
+(** engine, replay, cache, simplify, checkpoint, parmap. *)
+
+val find : string -> t option
+val names : string list

@@ -1,0 +1,22 @@
+(* Greedy counterexample minimization.
+
+   [greedy ~candidates ~fails x] repeatedly replaces [x] with the first
+   one-change candidate that still fails, until no candidate fails or
+   the step budget runs out.  The predicate is re-run on every
+   candidate, so candidate generators need not preserve semantics —
+   only validity.  A predicate that raises counts as "does not fail":
+   shrinking must never turn a divergence into a crash report. *)
+
+let default_max_steps = 400
+
+let greedy ?(max_steps = default_max_steps) ~(candidates : 'a -> 'a list)
+    ~(fails : 'a -> bool) (x : 'a) : 'a * int =
+  let check c = try fails c with _ -> false in
+  let rec go x steps =
+    if steps >= max_steps then (x, steps)
+    else
+      match List.find_opt check (candidates x) with
+      | Some x' -> go x' (steps + 1)
+      | None -> (x, steps)
+  in
+  go x 0

@@ -1,0 +1,10 @@
+(** Greedy counterexample minimization over any candidate generator. *)
+
+val default_max_steps : int
+
+val greedy :
+  ?max_steps:int -> candidates:('a -> 'a list) -> fails:('a -> bool) ->
+  'a -> 'a * int
+(** [greedy ~candidates ~fails x] with [fails x = true]: walk to a local
+    minimum that still fails, returning it and the number of accepted
+    shrink steps.  A raising predicate counts as not failing. *)

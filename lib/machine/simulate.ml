@@ -140,6 +140,11 @@ let run_traced ?(fuel = 30_000_000) ?(overrides = []) ?max_trace_events
    walking the event array instead of re-interpreting.  Noise-free. *)
 let replay ~(config : Config.t) ~(schedule_cycles : int array) (tr : Trace.t) :
     result =
+  (* An overflowed recording is a prefix of the run: re-timing it would
+     silently under-count cycles, so reject it up front (Trace.replay
+     would also raise, but only after cache/predictor setup). *)
+  if not (Trace.complete tr) then
+    invalid_arg "Simulate.replay: incomplete trace (event budget overflowed)";
   if Array.length schedule_cycles < tr.Trace.n_blocks then
     invalid_arg "Simulate.replay: schedule_cycles too short";
   let cache = Cache.create config in

@@ -43,7 +43,10 @@ let default_max_events = 1 lsl 23
 
 let create ?(max_events = default_max_events) ~n_blocks ~n_branch_sites () =
   {
-    events = Array.make 4096 0;
+    (* never allocate past the budget, or a budget below the initial
+       capacity would not be enforced (push only overflows when the
+       array is full at >= max_events) *)
+    events = Array.make (max 1 (min 4096 max_events)) 0;
     n = 0;
     max_events;
     overflowed = false;

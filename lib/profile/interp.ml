@@ -30,7 +30,13 @@ let null_observer =
 type result = {
   output : float list;                   (* emitted values, in order *)
   return_value : float;
-  steps : int;                           (* dynamic instructions executed *)
+  steps : int;
+      (* dynamic instruction slots issued: every entered block charges its
+         full instruction count, whether or not a taken side exit cuts the
+         visit short.  Block composition is schedule-invariant (the
+         scheduler only permutes within blocks), so this count is
+         identical across schedules of the same program — which is what
+         lets a recorded trace report it during cross-schedule replay. *)
 }
 
 exception Out_of_fuel
@@ -147,13 +153,15 @@ let rec exec_func (st : state) (pf : Layout.pfunc) (args : float array) : float
     if st.fuel <= 0 then raise Out_of_fuel;
     st.obs.block_enter b.Layout.uid;
     let n = Array.length b.Layout.instrs in
+    (* Whole-block issue count: schedule-invariant (see [result.steps]),
+       unlike counting only the slots visited before a taken exit. *)
+    st.steps <- st.steps + n;
     let next = ref `Fallthrough in
     let pc = ref 0 in
     while !next = `Fallthrough && !pc < n do
       let i = b.Layout.instrs.(!pc) in
       st.fuel <- st.fuel - 1;
       if st.fuel <= 0 then raise Out_of_fuel;
-      st.steps <- st.steps + 1;
       if preds.(i.Ir.Instr.guard) then begin
         (match i.Ir.Instr.kind with
         | Ir.Instr.Ibin (op, d, a, bb) ->
@@ -286,12 +294,13 @@ let rec exec_fast (st : state) (pf : Layout.pfunc) (args : float array) : float
     st.obs.block_enter b.Layout.uid;
     let dinstrs = b.Layout.dinstrs and dguards = b.Layout.dguards in
     let n = Array.length dinstrs in
+    (* Whole-block issue count, matching the tree-walking engine. *)
+    st.steps <- st.steps + n;
     let next = ref (-1) in
     let pc = ref 0 in
     while !next < 0 && !pc < n do
       st.fuel <- st.fuel - 1;
       if st.fuel <= 0 then raise Out_of_fuel;
-      st.steps <- st.steps + 1;
       (if preds.(dguards.(!pc)) then
          match dinstrs.(!pc) with
          | Layout.Dibin (op, d, a, bb) ->

@@ -1,0 +1,286 @@
+(* The fuzzing subsystem's own tests, plus the regression tests for the
+   engine-equivalence soft spots the fuzzer targets: trace-overflow
+   handling, evaluator disk-cache hygiene, and the
+   [Eval = Eval . Simplify] property at scale. *)
+
+let bits = Int64.bits_of_float
+
+(* --- generator validity -------------------------------------------------- *)
+
+(* Every generated program must compile and terminate; its semantics are
+   whatever the printed source means, so compilation is the contract. *)
+let test_generator_validity () =
+  for seed = 0 to 149 do
+    let p = Fuzz.Minic_gen.generate seed in
+    let src = Fuzz.Minic_gen.source p in
+    (match Frontend.Minic.compile src with
+    | _ -> ()
+    | exception e ->
+      Alcotest.failf "seed %d does not compile: %s\n%s" seed
+        (Printexc.to_string e) src);
+    let layout = Profile.Layout.prepare (Frontend.Minic.compile src) in
+    (match Profile.Interp.run ~overrides:p.Fuzz.Minic_gen.train layout with
+    | _ -> ()
+    | exception e ->
+      Alcotest.failf "seed %d does not run: %s\n%s" seed
+        (Printexc.to_string e) src)
+  done
+
+(* Shrink candidates must stay compilable: the shrinker's contract is
+   well-typedness, divergence-preservation is re-checked by the oracle. *)
+let test_shrink_candidates_compile () =
+  for seed = 0 to 19 do
+    let p = Fuzz.Minic_gen.generate seed in
+    List.iter
+      (fun c ->
+        match Frontend.Minic.compile (Fuzz.Minic_gen.source c) with
+        | _ -> ()
+        | exception e ->
+          Alcotest.failf "seed %d shrink candidate does not compile: %s\n%s"
+            seed (Printexc.to_string e)
+            (Fuzz.Minic_gen.source c))
+      (Fuzz.Minic_gen.candidates p)
+  done
+
+(* --- greedy shrinker ----------------------------------------------------- *)
+
+let test_shrinker_minimizes () =
+  (* ints shrink by halving or decrement (greedy takes the first failing
+     candidate); failure = "n >= 5": greedy must land exactly on 5 *)
+  let candidates n = List.filter (fun c -> c >= 0) [ n / 2; n - 1 ] in
+  let fails n = n >= 5 in
+  let small, steps = Fuzz.Shrink.greedy ~candidates ~fails 1000 in
+  Alcotest.(check int) "local minimum" 5 small;
+  Alcotest.(check bool) "made progress" true (steps > 0);
+  (* a raising predicate counts as not failing — shrinking must not
+     escape into the raising region *)
+  let fails n = if n < 100 then failwith "boom" else true in
+  let small, _ = Fuzz.Shrink.greedy ~candidates ~fails 1000 in
+  Alcotest.(check bool) "stays in non-raising region" true (small >= 100)
+
+(* --- oracle smoke -------------------------------------------------------- *)
+
+let test_oracles_pass_on_seeds () =
+  List.iter
+    (fun (o : Fuzz.Oracle.t) ->
+      for seed = 0 to 2 do
+        match o.Fuzz.Oracle.check seed with
+        | Fuzz.Oracle.Pass | Fuzz.Oracle.Skip _ -> ()
+        | Fuzz.Oracle.Fail report ->
+          Alcotest.failf "oracle %s diverges at seed %d:\n%s"
+            o.Fuzz.Oracle.name seed report
+      done)
+    Fuzz.Oracle.all
+
+let test_campaign_summary () =
+  let s = Fuzz.run ~oracles:[ Fuzz.Oracle.all |> List.hd ] ~seed:0 ~count:2 () in
+  Alcotest.(check int) "no divergences" 0 (Fuzz.divergences s);
+  Alcotest.(check bool) "summary renders" true
+    (String.length (Fuzz.to_string s) > 0)
+
+(* --- satellite: trace overflow never accepted ---------------------------- *)
+
+let compiled_probe () =
+  (* a program long enough that a 64-event budget overflows *)
+  let p = Fuzz.Minic_gen.generate 0 in
+  let bench =
+    {
+      Benchmarks.Bench.name = "trace-overflow-probe";
+      suite = Benchmarks.Bench.Misc;
+      fp = true;
+      description = "";
+      source = Fuzz.Minic_gen.source p;
+      train = p.Fuzz.Minic_gen.train;
+      novel = p.Fuzz.Minic_gen.novel;
+    }
+  in
+  let machine = Machine.Config.table3 in
+  let prepared = Driver.Compiler.prepare bench in
+  let heuristics = Driver.Compiler.baseline () in
+  let c = Driver.Compiler.compile ~machine ~heuristics prepared in
+  (bench, machine, prepared, c)
+
+let sim_sig (r : Machine.Simulate.result) =
+  ( bits r.Machine.Simulate.cycles,
+    List.map bits r.Machine.Simulate.output,
+    r.Machine.Simulate.checksum,
+    r.Machine.Simulate.dynamic_instrs )
+
+let test_trace_overflow_rejected () =
+  let bench, machine, prepared, c = compiled_probe () in
+  let overrides = Benchmarks.Bench.overrides bench Benchmarks.Bench.Train in
+  let sched = c.Driver.Compiler.schedule_cycles in
+  let layout = c.Driver.Compiler.layout in
+  (* overflowing budget: exact result, no trace *)
+  let res, tr =
+    Machine.Simulate.run_traced ~overrides ~max_trace_events:4 ~config:machine
+      ~schedule_cycles:sched layout
+  in
+  Alcotest.(check bool) "overflowed run yields no trace" true (tr = None);
+  let fresh =
+    Machine.Simulate.run ~engine:`Fast ~overrides ~config:machine
+      ~schedule_cycles:sched layout
+  in
+  Alcotest.(check bool) "overflowed run still measured exactly" true
+    (sim_sig res = sim_sig fresh);
+  (* an incomplete trace object is rejected by replay and by the cache *)
+  let incomplete =
+    Machine.Trace.create ~max_events:4
+      ~n_blocks:(Array.length sched)
+      ~n_branch_sites:1 ()
+  in
+  Alcotest.check_raises "replay rejects incomplete trace"
+    (Invalid_argument
+       "Simulate.replay: incomplete trace (event budget overflowed)")
+    (fun () ->
+      ignore
+        (Machine.Simulate.replay ~config:machine ~schedule_cycles:sched
+           incomplete));
+  (match
+     Driver.Simcache.store_trace (Driver.Simcache.create ()) "key" incomplete
+   with
+  | () -> Alcotest.fail "store_trace accepted an incomplete trace"
+  | exception Invalid_argument _ -> ());
+  (* a cache forced into overflow still answers bit-identically, serving
+     fresh simulations instead of replays *)
+  let sim = Driver.Simcache.create ~max_trace_events:4 () in
+  let via_cache () =
+    Driver.Simcache.simulate sim ~machine ~dataset:Benchmarks.Bench.Train
+      prepared c
+  in
+  Alcotest.(check bool) "overflowing cache, first call exact" true
+    (sim_sig (via_cache ()) = sim_sig fresh);
+  Alcotest.(check bool) "overflowing cache, second call exact" true
+    (sim_sig (via_cache ()) = sim_sig fresh);
+  Alcotest.(check int) "no trace replays happened" 0
+    (Driver.Simcache.stats sim).Driver.Simcache.replays
+
+(* --- satellite: evaluator disk cache vs non-finite values ---------------- *)
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "metaopt-test-evcache-%d" (Unix.getpid ()))
+  in
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun x -> rm_rf (Filename.concat path x)) (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+    | _ -> ( try Sys.remove path with Sys_error _ -> ())
+    | exception Unix.Unix_error _ -> ()
+  in
+  rm_rf dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let test_evaluator_nonfinite_roundtrip () =
+  with_temp_dir @@ fun dir ->
+  let fs = Fuzz.Genome_gen.fs in
+  let genomes =
+    Array.map
+      (fun s -> Gp.Sexp.parse_genome fs ~sort:`Real s)
+      [| "x"; "(add x 1.0)"; "(mul x 2.0)" |]
+  in
+  (* an eval whose raw values include NaN and infinities *)
+  let eval g _case =
+    let env = Gp.Feature_set.empty_env fs in
+    env.Gp.Feature_set.real_values.(0) <- 3.0;
+    match Gp.Eval.genome env g with
+    | `Real 3.0 -> Float.nan
+    | `Real 4.0 -> Float.infinity
+    | `Real 6.0 -> Float.neg_infinity
+    | `Real v -> v
+    | `Bool _ -> 0.0
+  in
+  let mk () =
+    Driver.Evaluator.create ~cache_dir:dir ~fs ~scope:"nonfinite-test"
+      ~case_name:string_of_int ~eval ()
+  in
+  let a = Driver.Evaluator.evaluate_batch (mk ()) genomes ~cases:[ 0 ] in
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun v ->
+          Alcotest.(check (float 0.0)) "sanitized to 0" 0.0 v;
+          Alcotest.(check bool) "finite" true (Float.is_finite v))
+        row)
+    a;
+  (* whatever was persisted must round-trip: a fresh engine over the same
+     cache dir must serve the same sanitized values without choking *)
+  let ev2 = mk () in
+  let b = Driver.Evaluator.evaluate_batch ev2 genomes ~cases:[ 0 ] in
+  Alcotest.(check bool) "disk round-trip identical" true (a = b);
+  (* and the cache file itself contains only finite values *)
+  Sys.readdir dir |> Array.iter (fun f ->
+      let ic = open_in (Filename.concat dir f) in
+      (try
+         while true do
+           let line = input_line ic in
+           match String.index_opt line ' ' with
+           | Some i ->
+             let v =
+               float_of_string_opt
+                 (String.sub line (i + 1) (String.length line - i - 1))
+             in
+             (match v with
+             | Some v ->
+               Alcotest.(check bool) "persisted value finite" true
+                 (Float.is_finite v)
+             | None -> ())
+           | None -> ()
+         done
+       with End_of_file -> ());
+      close_in ic)
+
+(* --- satellite: Eval = Eval . Simplify at scale -------------------------- *)
+
+let test_eval_simplify_equivalence_1000 () =
+  let rng = Random.State.make [| 0xe15e; 42 |] in
+  let mismatches = ref [] in
+  for i = 0 to 999 do
+    let sort = if i mod 4 = 0 then `Bool else `Real in
+    let g = Fuzz.Genome_gen.genome rng ~sort in
+    let s = Gp.Simplify.genome g in
+    List.iter
+      (fun env ->
+        let show = function
+          | `Real v -> Printf.sprintf "%Lx" (bits v)
+          | `Bool b -> string_of_bool b
+        in
+        let a = show (Gp.Eval.genome env g)
+        and b = show (Gp.Eval.genome env s) in
+        if a <> b then
+          mismatches :=
+            Printf.sprintf "genome %d: %s <> %s for %s => %s" i a b
+              (Gp.Sexp.to_string Fuzz.Genome_gen.fs g)
+              (Gp.Sexp.to_string Fuzz.Genome_gen.fs s)
+            :: !mismatches)
+      (Fuzz.Genome_gen.envs rng ~n:4)
+  done;
+  match !mismatches with
+  | [] -> ()
+  | ms ->
+    Alcotest.failf "%d/4000 evaluations diverge after Simplify:\n%s"
+      (List.length ms)
+      (String.concat "\n" (List.filteri (fun i _ -> i < 5) ms))
+
+let suite =
+  [
+    Alcotest.test_case "generated programs compile and run" `Quick
+      test_generator_validity;
+    Alcotest.test_case "shrink candidates stay well-typed" `Quick
+      test_shrink_candidates_compile;
+    Alcotest.test_case "greedy shrinker minimizes" `Quick
+      test_shrinker_minimizes;
+    Alcotest.test_case "all oracles pass on seeds 0-2" `Slow
+      test_oracles_pass_on_seeds;
+    Alcotest.test_case "campaign summary" `Quick test_campaign_summary;
+    Alcotest.test_case "overflowed traces never accepted" `Quick
+      test_trace_overflow_rejected;
+    Alcotest.test_case "evaluator non-finite round-trip" `Quick
+      test_evaluator_nonfinite_roundtrip;
+    Alcotest.test_case "eval = eval . simplify on 1000 genomes" `Quick
+      test_eval_simplify_equivalence_1000;
+  ]

@@ -346,7 +346,9 @@ let test_batch_memo_on_simplified_genome () =
         | Gp.Expr.Bool _ -> 0.0)
   in
   let plain = Gp.Expr.Real (parse_r "x") in
-  let intron = Gp.Expr.Real (parse_r "(add (mul 0.0 y) x)") in
+  (* -0.0 * sqrt(y) is provably -0.0, and -0.0 + x = x bit-exactly for
+     every finite x — so this intron soundly reduces to plain [x]. *)
+  let intron = Gp.Expr.Real (parse_r "(add (mul -0.0 (sqrt y)) x)") in
   let m = ev.Gp.Evolve.evaluate_batch [| intron; plain |] ~cases:[ 0 ] in
   Alcotest.(check int) "rows" 2 (Array.length m);
   Alcotest.(check (float 1e-9)) "intron row" 4.0 m.(0).(0);
@@ -510,16 +512,22 @@ let test_evolve_reproducible () =
 
 let test_simplify_rules () =
   let simp src = Gp.Sexp.real_to_string fs (Gp.Simplify.rexpr (parse_r src)) in
-  Alcotest.(check string) "x+0" "x" (simp "(add x 0.0)");
+  (* x can evaluate to -0.0, so +0.0 may neither be dropped from x+0
+     (+0 + -0 = +0) nor absorb x*0 (0 * -1 = -0): bit-exactness keeps
+     both.  Subtraction of +0.0 is the always-sound direction. *)
+  Alcotest.(check string) "x+0 stays" "(add x 0.0000)" (simp "(add x 0.0)");
+  Alcotest.(check string) "x-0" "x" (simp "(sub x 0.0)");
   Alcotest.(check string) "x*1" "x" (simp "(mul x 1.0)");
-  Alcotest.(check string) "x*0" "0.0000" (simp "(mul x 0.0)");
+  Alcotest.(check string) "x*0 stays" "(mul x 0.0000)" (simp "(mul x 0.0)");
   Alcotest.(check string) "x-x" "0.0000" (simp "(sub x x)");
   Alcotest.(check string) "const fold" "7.0000" (simp "(add 3.0 4.0)");
   Alcotest.(check string) "tern true" "x" (simp "(tern (bconst true) x y)");
   Alcotest.(check string) "tern same" "x" (simp "(tern p x x)");
   Alcotest.(check string) "cmul false" "y" (simp "(cmul (bconst false) x y)");
+  (* sqrt is provably >= 0 and never -0.0, so the zero rules fire. *)
+  Alcotest.(check string) "0*sqrt" "0.0000" (simp "(mul 0.0 (sqrt y))");
   Alcotest.(check string) "nested intron"
-    "x" (simp "(add (mul 0.0 (div y z)) x)");
+    "1.0000" (simp "(add (mul 0.0 (sqrt y)) 1.0)");
   (* x/x must NOT fold to 1 (protected semantics). *)
   Alcotest.(check string) "x/x stays" "(div x x)" (simp "(div x x)");
   let simpb src = Gp.Sexp.bool_to_string fs (Gp.Simplify.bexpr (parse_b src)) in
@@ -527,6 +535,44 @@ let test_simplify_rules () =
   Alcotest.(check string) "and false" "false" (simpb "(and p (bconst false))");
   Alcotest.(check string) "or true" "true" (simpb "(or (bconst true) q)");
   Alcotest.(check string) "x<x" "false" (simpb "(lt x x)")
+
+(* Regression: the old [Rconst 0.0] patterns also matched -0.0, so
+   simplification could flip the sign bit of a zero result vs [Eval] —
+   breaking the [Int64.bits_of_float] equivalence the evaluator cache
+   key relies on.  Each case pins the exact bits on a witness env. *)
+let test_simplify_signed_zero () =
+  let bits = Int64.bits_of_float in
+  let check_case name src ~x =
+    let e = parse_r src in
+    let env = env_with ~x () in
+    let raw = Gp.Eval.real env e in
+    let simplified = Gp.Eval.real env (Gp.Simplify.rexpr e) in
+    Alcotest.(check int64)
+      (name ^ " bits")
+      (bits raw) (bits simplified)
+  in
+  (* -0 + x: always droppable; must still yield -0.0 when x = -0.0. *)
+  check_case "-0+x" "(add -0.0 x)" ~x:(-0.0);
+  (* +0 + x is NOT droppable: +0 + -0 = +0 but x alone is -0. *)
+  check_case "+0+x" "(add 0.0 x)" ~x:(-0.0);
+  (* 0 * x would flip the zero's sign for negative x. *)
+  check_case "0*x" "(mul 0.0 x)" ~x:(-1.0);
+  check_case "-0*x" "(mul -0.0 x)" ~x:(2.0);
+  (* x - -0.0 normalizes a -0.0 minuend to +0.0. *)
+  check_case "x--0" "(sub x -0.0)" ~x:(-0.0);
+  (* a - b with trees equal up to a zero's sign must not fold to 0.0:
+     (x + -0) - (x + +0) = -0.0 when x = -0.0. *)
+  check_case "sub of sign-twins" "(sub (add x -0.0) (add x 0.0))" ~x:(-0.0);
+  (* The sound directions must still fire (and still be bit-right). *)
+  let shows src expect =
+    Alcotest.(check string) src expect
+      (Gp.Sexp.real_to_string fs (Gp.Simplify.rexpr (parse_r src)))
+  in
+  shows "(add -0.0 x)" "x";
+  shows "(sub x 0.0)" "x";
+  shows "(mul 0.0 (sqrt x))" "0.0000";
+  shows "(mul -0.0 (sqrt x))" "-0.0000";
+  shows "(add 0.0 (sqrt x))" "(sqrt x)"
 
 let qcheck_simplify_preserves_value =
   QCheck.Test.make ~name:"simplification preserves evaluation" ~count:500
@@ -584,6 +630,8 @@ let suite =
       test_sample_distinct;
     Alcotest.test_case "evolution reproducible" `Quick test_evolve_reproducible;
     Alcotest.test_case "simplification rules" `Quick test_simplify_rules;
+    Alcotest.test_case "simplification signed zeros" `Quick
+      test_simplify_signed_zero;
     Alcotest.test_case "evolution under noise" `Slow test_evolve_under_noise;
   ]
   @ qcheck_tests

@@ -23,4 +23,5 @@ let () =
       ("prefetch-unit", Test_prefetch_unit.suite);
       ("misc", Test_misc.suite);
       ("fastpath", Test_fastpath.suite);
+      ("fuzz", Test_fuzz.suite);
     ]
