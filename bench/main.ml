@@ -17,6 +17,7 @@
      dune exec bench/main.exe -- fig4 fig5    # specific figures
      dune exec bench/main.exe -- par          # parallel-engine comparison
      dune exec bench/main.exe -- sim          # simulation fast paths
+     dune exec bench/main.exe -- evalc        # compiled eval + pool backends
      dune exec bench/main.exe -- report       # BENCH_metaopt.json report
      dune exec bench/main.exe -- micro        # Bechamel micro-benches
 *)
@@ -488,6 +489,147 @@ let sim_measurements p =
       ("artifact_hit_rate", Gp.Telemetry.Float hit_rate);
     ]
 
+(* Compiled genome evaluation (DESIGN.md §12): batch throughput of the
+   Evalc bytecode against the Eval tree-walker on a deep expression, and
+   the domains pool against the fork pool on a heavy pure workload.  The
+   fork pool is measured FIRST: the OCaml 5 runtime forbids Unix.fork in
+   any process that ever spawned a domain, so the domains measurement
+   retires the fork backend for the rest of this process — which is also
+   why the report target runs this section last.  Returns the telemetry
+   JSON embedded in the report target. *)
+let evalc_measurements () =
+  let best_of n f =
+    let rec go best i =
+      if i >= n then best
+      else begin
+        let t = Unix.gettimeofday () in
+        f ();
+        go (min best (Unix.gettimeofday () -. t)) (i + 1)
+      end
+    in
+    go infinity 0
+  in
+  let fs = Fuzz.Genome_gen.fs in
+  let rng = Random.State.make [| 0xeca1c; 7 |] in
+  (* Main workload: a deep arithmetic priority function over the feature
+     set — the shape evolved heuristics actually take (Table 1 of the
+     paper: add/sub/mul/div/sqrt over features with a handful of
+     constants).  Both evaluators visit every node, so this measures the
+     engines head to head.  A random tree full of conditionals is the
+     adversarial case for the strict batch engine (the walker skips
+     untaken arms, the batch engine computes them), recorded separately
+     as [branchy_speedup] — it is a stress figure, not the gated one. *)
+  let n_real =
+    Array.length (Gp.Feature_set.empty_env fs).Gp.Feature_set.real_values
+  in
+  let rec mk depth i =
+    if depth = 0 then
+      if i mod 3 = 2 then Gp.Expr.Rconst (float_of_int (i mod 5) +. 0.5)
+      else Gp.Expr.Rarg (i mod n_real)
+    else
+      let l = mk (depth - 1) (2 * i) and r = mk (depth - 1) ((2 * i) + 1) in
+      match i mod 4 with
+      | 0 -> Gp.Expr.Radd (l, r)
+      | 1 -> Gp.Expr.Rsub (l, r)
+      | 2 -> Gp.Expr.Rmul (l, r)
+      | _ -> Gp.Expr.Rdiv (l, r)
+  in
+  let expr = mk 8 0 in
+  let branchy = Gp.Gen.gen_real (Gp.Gen.default_config fs) rng ~full:true 8 in
+  let envs = Array.of_list (Fuzz.Genome_gen.envs rng ~n:1024) in
+  let n_env = Array.length envs in
+  let prog = Gp.Evalc.compile_real expr in
+  let branchy_prog = Gp.Evalc.compile_real branchy in
+  (* identical bits first: throughput numbers mean nothing otherwise *)
+  let identical e p =
+    let batch = Gp.Evalc.run_batch p envs in
+    let walk =
+      Array.map (fun env -> Int64.bits_of_float (Gp.Eval.real env e)) envs
+    in
+    Array.map Int64.bits_of_float batch = walk
+  in
+  let bit_identical = identical expr prog && identical branchy branchy_prog in
+  let reps = 20 in
+  let throughput e p =
+    let t_walk =
+      best_of 5 (fun () ->
+          for _ = 1 to reps do
+            Array.iter (fun env -> ignore (Gp.Eval.real env e)) envs
+          done)
+    in
+    let t_compiled =
+      best_of 5 (fun () ->
+          for _ = 1 to reps do
+            ignore (Gp.Evalc.run_batch p envs)
+          done)
+    in
+    (t_walk, t_compiled)
+  in
+  let t_walk, t_compiled = throughput expr prog in
+  let tb_walk, tb_compiled = throughput branchy branchy_prog in
+  let evals = float_of_int (n_env * reps) in
+  let compiled_speedup = t_walk /. t_compiled in
+  let branchy_speedup = tb_walk /. tb_compiled in
+  (* pool comparison: 32 heavy pure tasks, fork then domains *)
+  let tasks = Array.init 32 Fun.id in
+  let task i =
+    let acc = ref (float_of_int i) in
+    for _ = 1 to 8 do
+      Array.iter (fun v -> acc := !acc +. v) (Gp.Evalc.run_batch prog envs)
+    done;
+    !acc
+  in
+  let pool_bits backend =
+    let pool = Gp.Parmap.pool ~backend ~jobs:4 () in
+    Array.map Int64.bits_of_float
+      (Gp.Parmap.run pool ~fallback:nan task tasks)
+  in
+  let seq_bits = pool_bits `Seq in
+  let t_fork = ref infinity and fork_bits = ref seq_bits in
+  if List.mem `Fork (Gp.Parmap.capabilities ()) then begin
+    t_fork := best_of 3 (fun () -> fork_bits := pool_bits `Fork)
+  end;
+  let domains_bits = ref seq_bits in
+  let t_domains = best_of 3 (fun () -> domains_bits := pool_bits `Domains) in
+  let pools_identical = !fork_bits = seq_bits && !domains_bits = seq_bits in
+  let domains_over_fork =
+    if Float.is_finite !t_fork then !t_fork /. t_domains else 0.0
+  in
+  Fmt.pr "  bytecode     : walker %.2f Meval/s, compiled %.2f (%.2fx)@."
+    (evals /. t_walk /. 1e6)
+    (evals /. t_compiled /. 1e6)
+    compiled_speedup;
+  Fmt.pr "  branchy      : walker %.2f Meval/s, compiled %.2f (%.2fx)@."
+    (evals /. tb_walk /. 1e6)
+    (evals /. tb_compiled /. 1e6)
+    branchy_speedup;
+  Fmt.pr "  bit-identical: %s@." (if bit_identical then "yes" else "NO!");
+  if Float.is_finite !t_fork then
+    Fmt.pr "  pools        : fork %.2fs, domains %.2fs (domains %.2fx)@."
+      !t_fork t_domains domains_over_fork
+  else Fmt.pr "  pools        : fork unavailable, domains %.2fs@." t_domains;
+  Fmt.pr "  pool results : %s@."
+    (if pools_identical then "identical across backends" else "DIVERGENT!");
+  Gp.Telemetry.Obj
+    [
+      ("envs", Gp.Telemetry.Int n_env);
+      ("walk_meval_s", Gp.Telemetry.Float (evals /. t_walk /. 1e6));
+      ("compiled_meval_s", Gp.Telemetry.Float (evals /. t_compiled /. 1e6));
+      ("compiled_speedup", Gp.Telemetry.Float compiled_speedup);
+      ("branchy_speedup", Gp.Telemetry.Float branchy_speedup);
+      ("bit_identical", Gp.Telemetry.Bool bit_identical);
+      ( "fork_s",
+        Gp.Telemetry.Float (if Float.is_finite !t_fork then !t_fork else 0.0)
+      );
+      ("domains_s", Gp.Telemetry.Float t_domains);
+      ("domains_over_fork", Gp.Telemetry.Float domains_over_fork);
+      ("pools_identical", Gp.Telemetry.Bool pools_identical);
+    ]
+
+let evalc () =
+  hr "Compiled genome evaluation: Evalc bytecode + domains/fork pools";
+  ignore (evalc_measurements ())
+
 let sim () =
   hr "Simulation fast paths: pre-decoded interpreter, replay, artifact cache";
   let p =
@@ -538,6 +680,12 @@ let report () =
   let ph_sim, sim_doc =
     phase "sim fast paths" (fun () -> sim_measurements p)
   in
+  (* last on purpose: the domains measurement retires the fork backend
+     for this process, and every phase above relies on fork pools *)
+  Fmt.pr "  compiled evaluation:@.";
+  let ph_evalc, evalc_doc =
+    phase "compiled eval" (fun () -> evalc_measurements ())
+  in
   let registry = Gp.Telemetry.registry_json () in
   let recs = records () in
   Gp.Telemetry.set_sink None;
@@ -577,7 +725,7 @@ let report () =
                      ("name", Gp.Telemetry.String name);
                      ("seconds", Gp.Telemetry.Float s);
                    ])
-               [ ph_cold; ph_warm; ph_par; ph_sim ]) );
+               [ ph_cold; ph_warm; ph_par; ph_sim; ph_evalc ]) );
         ( "speedups",
           Gp.Telemetry.Obj
             [
@@ -589,6 +737,7 @@ let report () =
             ] );
         ("identical_results", Gp.Telemetry.Bool identical);
         ("sim", sim_doc);
+        ("evalc", evalc_doc);
         ( "records",
           Gp.Telemetry.Obj
             [
@@ -648,7 +797,19 @@ let report () =
           "engine_speedup"; "replay_speedup"; "evolution_speedup";
           "evolution_identical"; "artifact_hit_rate";
         ]
-    | _ -> fail "sim not an object"));
+    | _ -> fail "sim not an object");
+    (match require "evalc" with
+    | Gp.Telemetry.Obj _ as e ->
+      List.iter
+        (fun k ->
+          match Gp.Telemetry.member k e with
+          | Some _ -> ()
+          | None -> fail ("evalc section missing key " ^ k))
+        [
+          "compiled_speedup"; "branchy_speedup"; "bit_identical"; "fork_s";
+          "domains_s"; "domains_over_fork"; "pools_identical";
+        ]
+    | _ -> fail "evalc not an object"));
   Fmt.pr "@.speedups: parallel %.2fx, warm cache %.2fx@."
     (speedup (seconds ph_cold) (seconds ph_par))
     (speedup (seconds ph_cold) (seconds ph_warm));
@@ -771,8 +932,8 @@ let all_figures =
     ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("fig11", fig11);
     ("fig12", fig12); ("fig13", fig13); ("fig14", fig14); ("fig15", fig15);
     ("fig16", fig16); ("ext-sched", ext_sched); ("ablations", ablations);
-    ("par", par); ("ckpt", ckpt); ("sim", sim); ("report", report);
-    ("micro", micro); ("fuzz", fuzz_target);
+    ("par", par); ("ckpt", ckpt); ("sim", sim); ("evalc", evalc);
+    ("report", report); ("micro", micro); ("fuzz", fuzz_target);
   ]
 
 let () =

@@ -43,11 +43,54 @@ let gens =
 let seed =
   Arg.(value & opt int 42 & info [ "seed" ] ~doc:"GP random seed")
 
+(* Reject a zero or negative worker count at parse time: the old
+   behaviour (silent clamping to sequential) hid misconfigured runs. *)
+let jobs_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some n ->
+      Error
+        (`Msg (Printf.sprintf "jobs must be a positive worker count (got %d)" n))
+    | None -> Error (`Msg (Printf.sprintf "expected an integer, got %S" s))
+  in
+  Arg.conv (parse, Fmt.int)
+
 let jobs =
-  Arg.(value & opt int 1
+  Arg.(value & opt jobs_conv 1
        & info [ "j"; "jobs" ]
-           ~doc:"Evaluate candidates on $(docv) forked workers (1 = sequential)"
+           ~doc:"Evaluate candidates on $(docv) parallel workers \
+                 (1 = sequential); must be positive"
            ~docv:"N")
+
+(* Pool backend, checked against this platform's capabilities at parse
+   time so an unusable choice fails loudly instead of degrading. *)
+let backend_conv =
+  let parse s =
+    match Gp.Parmap.backend_of_name s with
+    | Some b ->
+      if List.mem b (Gp.Parmap.capabilities ()) then Ok b
+      else
+        Error
+          (`Msg
+            (Printf.sprintf
+               "backend %s is not available on this platform (available: %s)"
+               s
+               (String.concat ", "
+                  (List.map Gp.Parmap.backend_name (Gp.Parmap.capabilities ())))))
+    | None -> Error (`Msg ("unknown backend " ^ s ^ " (seq|fork|domains)"))
+  in
+  Arg.conv (parse, fun ppf b -> Fmt.string ppf (Gp.Parmap.backend_name b))
+
+let backend =
+  Arg.(value & opt backend_conv `Fork
+       & info [ "backend" ]
+           ~doc:"Worker-pool backend: $(b,fork) (processes; fault isolation \
+                 and timeouts), $(b,domains) (OCaml 5 shared-memory \
+                 domains; no kill-based timeouts), or $(b,seq) \
+                 (sequential in-process reference).  Fitness is \
+                 bit-identical across all three"
+           ~docv:"BACKEND")
 
 let cache_dir =
   Arg.(value & opt (some string) None
@@ -87,6 +130,14 @@ let no_fast_sim =
                  simulation.  Results are bit-identical either way; this \
                  flag only trades speed for the golden slow path")
 
+let no_compiled_eval =
+  Arg.(value & flag
+       & info [ "no-compiled-eval" ]
+           ~doc:"Evaluate heuristic expressions with the reference tree \
+                 walker instead of the compiled-bytecode evaluator.  \
+                 Results are bit-identical either way; this flag only \
+                 trades speed for the golden slow path")
+
 let metrics_out =
   Arg.(value & opt (some string) None
        & info [ "metrics-out" ]
@@ -104,7 +155,7 @@ let trace =
 
 (* Install the sink for the rest of the process; [at_exit] closes it so
    the last record is flushed even on an exception path. *)
-let setup_metrics study params jobs metrics_out trace =
+let setup_metrics study (cfg : Driver.Study.config) metrics_out trace =
   match metrics_out with
   | None -> ()
   | Some path ->
@@ -114,10 +165,15 @@ let setup_metrics study params jobs metrics_out trace =
     Gp.Telemetry.emit ~kind:"run_start"
       [
         ("study", Gp.Telemetry.String (Driver.Study.kind_name study));
-        ("population", Gp.Telemetry.Int params.Gp.Params.population_size);
-        ("generations", Gp.Telemetry.Int params.Gp.Params.generations);
-        ("seed", Gp.Telemetry.Int params.Gp.Params.rng_seed);
-        ("jobs", Gp.Telemetry.Int jobs);
+        ( "population",
+          Gp.Telemetry.Int cfg.Driver.Study.params.Gp.Params.population_size );
+        ( "generations",
+          Gp.Telemetry.Int cfg.Driver.Study.params.Gp.Params.generations );
+        ("seed", Gp.Telemetry.Int cfg.Driver.Study.params.Gp.Params.rng_seed);
+        ( "backend",
+          Gp.Telemetry.String
+            (Gp.Parmap.backend_name cfg.Driver.Study.backend) );
+        ("jobs", Gp.Telemetry.Int cfg.Driver.Study.jobs);
       ]
 
 let print_faults (f : Driver.Evaluator.fault_stats) =
@@ -125,13 +181,36 @@ let print_faults (f : Driver.Evaluator.fault_stats) =
     f.Driver.Evaluator.crashed f.Driver.Evaluator.timed_out
     f.Driver.Evaluator.gave_up f.Driver.Evaluator.retried
 
-let params_of pop gens seed =
+(* The single place a run's Study.config is assembled: every experiment
+   command composes [config_term] and hands the record to the [_with]
+   drivers. *)
+let config_of pop gens seed backend jobs cache_dir checkpoint_dir
+    eval_timeout eval_retries no_fast_sim no_compiled_eval :
+    Driver.Study.config =
   {
-    Gp.Params.scaled with
-    Gp.Params.population_size = pop;
-    generations = gens;
-    rng_seed = seed;
+    Driver.Study.default_config with
+    Driver.Study.params =
+      {
+        Gp.Params.scaled with
+        Gp.Params.population_size = pop;
+        generations = gens;
+        rng_seed = seed;
+      };
+    backend;
+    jobs;
+    cache_dir;
+    checkpoint_dir;
+    timeout_s = eval_timeout;
+    retries = eval_retries;
+    fast_sim = not no_fast_sim;
+    compiled_eval = not no_compiled_eval;
   }
+
+let config_term =
+  Term.(
+    const config_of $ pop $ gens $ seed $ backend $ jobs $ cache_dir
+    $ checkpoint_dir $ eval_timeout $ eval_retries $ no_fast_sim
+    $ no_compiled_eval)
 
 (* --- list ---------------------------------------------------------------- *)
 
@@ -257,16 +336,10 @@ let profile_cmd =
 
 (* --- specialize ----------------------------------------------------------- *)
 
-let specialize study bench pop gens seed jobs cache_dir checkpoint_dir
-    eval_timeout eval_retries no_fast_sim metrics_out trace save =
+let specialize study bench cfg metrics_out trace save =
   setup_logs ();
-  let params = params_of pop gens seed in
-  setup_metrics study params jobs metrics_out trace;
-  let r =
-    Driver.Study.specialize ~params ~jobs ?cache_dir ?checkpoint_dir
-      ?timeout_s:eval_timeout ~retries:eval_retries
-      ~fast_sim:(not no_fast_sim) study bench
-  in
+  setup_metrics study cfg metrics_out trace;
+  let r = Driver.Study.specialize_with cfg study bench in
   (match save with
   | Some path ->
     let fs = Driver.Study.feature_set_of study in
@@ -294,19 +367,16 @@ let specialize_cmd =
     (Cmd.info "specialize"
        ~doc:"Evolve an application-specific priority function")
     Term.(
-      const specialize $ study_arg $ bench_arg $ pop $ gens $ seed $ jobs
-      $ cache_dir $ checkpoint_dir $ eval_timeout $ eval_retries
-      $ no_fast_sim $ metrics_out $ trace
+      const specialize $ study_arg $ bench_arg $ config_term $ metrics_out
+      $ trace
       $ Arg.(value & opt (some string) None
              & info [ "save" ] ~doc:"Write the evolved heuristics to a file"))
 
 (* --- evolve (general-purpose) ---------------------------------------------- *)
 
-let evolve study pop gens seed jobs cache_dir checkpoint_dir eval_timeout
-    eval_retries no_fast_sim metrics_out trace =
+let evolve study cfg metrics_out trace =
   setup_logs ();
-  let params = params_of pop gens seed in
-  setup_metrics study params jobs metrics_out trace;
+  setup_metrics study cfg metrics_out trace;
   let benches =
     match study with
     | Driver.Study.Hyperblock_study -> Benchmarks.Registry.hyperblock_train
@@ -314,11 +384,7 @@ let evolve study pop gens seed jobs cache_dir checkpoint_dir eval_timeout
     | Driver.Study.Prefetch_study -> Benchmarks.Registry.prefetch_train
     | Driver.Study.Sched_study -> Benchmarks.Registry.hyperblock_train
   in
-  let g =
-    Driver.Study.evolve_general ~params ~jobs ?cache_dir ?checkpoint_dir
-      ?timeout_s:eval_timeout ~retries:eval_retries
-      ~fast_sim:(not no_fast_sim) study benches
-  in
+  let g = Driver.Study.evolve_general_with cfg study benches in
   Fmt.pr "best heuristic: %s@.@." g.Driver.Study.best_expr;
   print_faults g.Driver.Study.faults;
   Fmt.pr "%-16s %8s %8s@." "benchmark" "train" "novel";
@@ -336,10 +402,7 @@ let evolve study pop gens seed jobs cache_dir checkpoint_dir eval_timeout
 let evolve_cmd =
   Cmd.v
     (Cmd.info "evolve" ~doc:"Evolve a general-purpose priority function (DSS)")
-    Term.(
-      const evolve $ study_arg $ pop $ gens $ seed $ jobs $ cache_dir
-      $ checkpoint_dir $ eval_timeout $ eval_retries $ no_fast_sim
-      $ metrics_out $ trace)
+    Term.(const evolve $ study_arg $ config_term $ metrics_out $ trace)
 
 (* --- compare: one benchmark under explicit heuristic expressions ----------- *)
 
@@ -470,7 +533,7 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
-         "Differential fuzzing: random programs and genomes through the six           redundancy oracles (engine, replay, cache, simplify, checkpoint,           parmap)")
+         "Differential fuzzing: random programs and genomes through the           seven redundancy oracles (engine, replay, cache, simplify,           checkpoint, parmap, compiled_vs_walk)")
     Term.(
       const run
       $ Arg.(value & opt int 0 & info [ "seed" ] ~doc:"campaign base seed")

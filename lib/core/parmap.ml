@@ -1,21 +1,97 @@
-(* A minimal fork-based process pool, in two flavours.
+(* A minimal task pool behind a first-class backend API.
 
-   [map] is the original streaming pool: tasks are dealt round-robin,
-   worker [w] owns indices w, w+jobs, ...  Each worker writes
-   [(index, result)] pairs to its pipe as they complete, flushing after
-   every task, so a worker that dies mid-chunk loses only the tasks it
-   had not yet flushed — the parent fills those with [fallback].  The
-   parent drains the workers one at a time; pipes buffer in the kernel,
-   so slower workers simply block on write until their turn, and no
-   deadlock is possible with single-reader pipes.
+   Three backends share one [pool] configuration record:
 
-   [supervised] is the fault-tolerant pool: one fork per attempt, a
-   wall-clock deadline enforced from the parent (a worker stuck in a
-   tight loop or a blocking C call cannot be trusted to deliver its own
-   SIGALRM), exponential-backoff retries on a fresh worker, and a typed
-   outcome per task instead of a silent fallback. *)
+   - [`Seq]: in-process, sequential — the bit-identity reference.
+   - [`Fork]: the original process pool.  [run] is the streaming pool:
+     tasks are dealt round-robin, worker [w] owns indices w, w+jobs, ...
+     Each worker writes [(index, result)] pairs to its pipe as they
+     complete, flushing after every task, so a worker that dies mid-chunk
+     loses only the tasks it had not yet flushed — the parent fills those
+     with [fallback].  The parent drains the workers one at a time; pipes
+     buffer in the kernel, so slower workers simply block on write until
+     their turn, and no deadlock is possible with single-reader pipes.
+     [run_supervised] adds the fault model long evolution runs need: one
+     fork per attempt, a wall-clock deadline enforced from the parent (a
+     worker stuck in a tight loop or a blocking C call cannot be trusted
+     to deliver its own SIGALRM), exponential-backoff retries on a fresh
+     worker, and a typed outcome per task instead of a silent fallback.
+   - [`Domains]: an OCaml 5 shared-memory work pool — [Domain.spawn]ed
+     workers pulling task indices from one [Atomic] counter, no fork and
+     no [Marshal] round-trip per task.  Each result is written to a
+     distinct slot of the output array, so workers never race.  A domain
+     cannot be killed, so deadlines and retries are fork-only; the
+     domains pool offers exception isolation, like the in-process
+     degradation [`Fork] falls back to where [fork] is unavailable.
+
+   The two parallel backends are mutually exclusive per process, in one
+   direction: the OCaml 5 runtime permanently forbids [Unix.fork] once
+   any domain has ever been spawned (even after [Domain.join]).  The
+   first domains-pool run therefore retires [`Fork] for the rest of the
+   process — [capabilities] reflects that, and later [`Fork] requests
+   degrade to the sequential / in-process paths with a warning, exactly
+   as on a platform without [fork].  Fork first, domains after, or pick
+   one backend per process. *)
+
+type backend = [ `Seq | `Fork | `Domains ]
 
 let available = Sys.unix
+
+(* Sticky: set before the first Domain.spawn, never cleared (terminated
+   domains keep fork forbidden for the life of the process). *)
+let domains_used = ref false
+
+let fork_usable () = available && not !domains_used
+
+let warned_fork_after_domains = ref false
+
+let warn_fork_after_domains () =
+  if not !warned_fork_after_domains then begin
+    warned_fork_after_domains := true;
+    Logs.warn (fun m ->
+        m "parmap: the fork backend is retired once domains have run in \
+           this process (the runtime forbids fork after Domain.spawn); \
+           running in-process instead")
+  end
+
+let backend_name = function
+  | `Seq -> "seq"
+  | `Fork -> "fork"
+  | `Domains -> "domains"
+
+let backend_of_name = function
+  | "seq" -> Some `Seq
+  | "fork" -> Some `Fork
+  | "domains" -> Some `Domains
+  | _ -> None
+
+(* Domains are part of the OCaml 5 runtime and exist on every platform;
+   forking is Unix-only, and retired once a domains pool has run. *)
+let capabilities () : backend list =
+  if fork_usable () then [ `Seq; `Fork; `Domains ] else [ `Seq; `Domains ]
+
+type pool = {
+  backend : backend;
+  jobs : int;
+  timeout_s : float option;
+  retries : int;
+  backoff_s : float;
+}
+
+let pool ?(backend = `Fork) ?(jobs = 1) ?timeout_s ?(retries = 1)
+    ?(backoff_s = 0.05) () =
+  if jobs < 1 then
+    invalid_arg
+      (Printf.sprintf
+         "Parmap.pool: jobs must be a positive worker count (got %d)" jobs);
+  (match timeout_s with
+  | Some t when (not (Float.is_finite t)) || t <= 0.0 ->
+    invalid_arg "Parmap.pool: timeout_s must be a positive number of seconds"
+  | _ -> ());
+  if retries < 0 then invalid_arg "Parmap.pool: retries must be >= 0";
+  if (not (Float.is_finite backoff_s)) || backoff_s < 0.0 then
+    invalid_arg "Parmap.pool: backoff_s must be >= 0";
+  { backend; jobs; timeout_s; retries; backoff_s }
 
 (* Every blocking syscall goes through here: a signal delivered while the
    parent is reaping or draining (SIGCHLD, a profiler's SIGPROF, an
@@ -35,9 +111,21 @@ let describe_status = function
 let sequential ~fallback f xs =
   Array.map (fun x -> try f x with _ -> fallback) xs
 
-let map ?(jobs = 1) ~fallback f xs =
+let emit_map_record ~backend ~jobs ~tasks ~t_start =
+  let wall = Telemetry.now_s () -. t_start in
+  Telemetry.observe "parmap.map_wall_s" wall;
+  Telemetry.emit ~kind:"pool"
+    [
+      ("mode", Telemetry.String "map");
+      ("backend", Telemetry.String (backend_name backend));
+      ("jobs", Telemetry.Int jobs);
+      ("tasks", Telemetry.Int tasks);
+      ("wall_s", Telemetry.Float wall);
+    ]
+
+let fork_map ~jobs ~fallback f xs =
   let n = Array.length xs in
-  let jobs = if available then min jobs (max 1 n) else 1 in
+  let jobs = min jobs (max 1 n) in
   if n = 0 || jobs <= 1 then sequential ~fallback f xs
   else begin
     (* Anything buffered in the parent must not be replayed by children
@@ -96,19 +184,67 @@ let map ?(jobs = 1) ~fallback f xs =
               m "parmap: worker %d %s" pid (describe_status status))
         | exception Unix.Unix_error _ -> ()))
       workers;
-    if tel then begin
-      let wall = Telemetry.now_s () -. t_start in
-      Telemetry.observe "parmap.map_wall_s" wall;
-      Telemetry.emit ~kind:"pool"
-        [
-          ("mode", Telemetry.String "map");
-          ("jobs", Telemetry.Int jobs);
-          ("tasks", Telemetry.Int n);
-          ("wall_s", Telemetry.Float wall);
-        ]
-    end;
+    if tel then emit_map_record ~backend:`Fork ~jobs ~tasks:n ~t_start;
     results
   end
+
+(* Run [body] as one of the pool's workers on the calling domain, with
+   telemetry suppressed exactly as it is in the spawned workers (and in
+   forked children), then restore. *)
+let as_suppressed_worker body =
+  Telemetry.suppress_in_domain true;
+  Fun.protect
+    ~finally:(fun () -> Telemetry.suppress_in_domain false)
+    body
+
+let domains_map ~jobs ~fallback f xs =
+  let n = Array.length xs in
+  let jobs = min jobs (max 1 n) in
+  if n = 0 || jobs <= 1 then sequential ~fallback f xs
+  else begin
+    let tel = Telemetry.enabled () in
+    let t_start = if tel then Telemetry.now_s () else 0.0 in
+    let results = Array.make n fallback in
+    let next = Atomic.make 0 in
+    let body () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- (try f xs.(i) with _ -> fallback);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let worker () =
+      Telemetry.suppress_in_domain true;
+      body ()
+    in
+    domains_used := true;
+    let spawned = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    as_suppressed_worker body;
+    Array.iter Domain.join spawned;
+    if tel then emit_map_record ~backend:`Domains ~jobs ~tasks:n ~t_start;
+    results
+  end
+
+let run pool ~fallback f xs =
+  match pool.backend with
+  | `Seq -> sequential ~fallback f xs
+  | `Fork ->
+    if fork_usable () then fork_map ~jobs:pool.jobs ~fallback f xs
+    else begin
+      if available then warn_fork_after_domains ();
+      sequential ~fallback f xs
+    end
+  | `Domains -> domains_map ~jobs:pool.jobs ~fallback f xs
+
+let map ?(jobs = 1) ~fallback f xs =
+  if jobs < 1 then
+    invalid_arg
+      (Printf.sprintf
+         "Parmap.map: jobs must be a positive worker count (got %d)" jobs);
+  run (pool ~backend:`Fork ~jobs ()) ~fallback f xs
 
 (* --- Supervised evaluation ---------------------------------------------- *)
 
@@ -144,7 +280,92 @@ let insert_delayed ((t, _, _) as entry) l =
   in
   go l
 
-let supervised ?(jobs = 1) ?timeout_s ?(retries = 1) ?(backoff_s = 0.05) f xs =
+(* No fork (or [`Seq] requested): in-process evaluation.  Exceptions
+   still isolate per task, but hangs cannot be interrupted and retries
+   are pointless against a deterministic in-process failure. *)
+let inprocess_supervised f xs =
+  let n = Array.length xs in
+  let outcomes = Array.make n Gave_up in
+  let completed = ref 0 in
+  let crashes = ref 0 in
+  Array.iteri
+    (fun i x ->
+      outcomes.(i) <-
+        (match f x with
+        | v ->
+          incr completed;
+          Ok v
+        | exception e ->
+          incr crashes;
+          Crashed (Printexc.to_string e)))
+    xs;
+  ( outcomes,
+    { completed = !completed; crashes = !crashes; timeouts = 0; retries = 0 } )
+
+(* Shared-memory supervision: parallel exception isolation.  A domain
+   cannot be SIGKILLed and an arbitrary task cannot be safely interrupted
+   mid-mutation, so deadlines are not enforced here — callers that need
+   hang protection use [`Fork].  Retries are skipped for the same reason
+   the in-process path skips them: an in-domain exception is
+   deterministic. *)
+let domains_supervised ~jobs ~timeout_s f xs =
+  if timeout_s <> None then
+    Logs.warn (fun m ->
+        m
+          "parmap: the domains backend cannot enforce timeouts (a domain \
+           cannot be killed); running without deadlines");
+  let n = Array.length xs in
+  let outcomes = Array.make n Gave_up in
+  let jobs = min jobs (max 1 n) in
+  let tel = Telemetry.enabled () in
+  let t_start = if tel then Telemetry.now_s () else 0.0 in
+  let completed = Atomic.make 0 in
+  let crashes = Atomic.make 0 in
+  let next = Atomic.make 0 in
+  let body () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (match f xs.(i) with
+        | v ->
+          outcomes.(i) <- Ok v;
+          Atomic.incr completed
+        | exception e ->
+          outcomes.(i) <- Crashed (Printexc.to_string e);
+          Atomic.incr crashes);
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let worker () =
+    Telemetry.suppress_in_domain true;
+    body ()
+  in
+  domains_used := true;
+  let spawned = Array.init (max 0 (jobs - 1)) (fun _ -> Domain.spawn worker) in
+  as_suppressed_worker body;
+  Array.iter Domain.join spawned;
+  let completed = Atomic.get completed and crashes = Atomic.get crashes in
+  if tel then begin
+    let wall = Telemetry.now_s () -. t_start in
+    Telemetry.incr ~by:crashes "parmap.crashes";
+    Telemetry.emit ~kind:"pool"
+      [
+        ("mode", Telemetry.String "supervised");
+        ("backend", Telemetry.String "domains");
+        ("jobs", Telemetry.Int jobs);
+        ("tasks", Telemetry.Int n);
+        ("completed", Telemetry.Int completed);
+        ("crashes", Telemetry.Int crashes);
+        ("timeouts", Telemetry.Int 0);
+        ("retries", Telemetry.Int 0);
+        ("wall_s", Telemetry.Float wall);
+      ]
+  end;
+  (outcomes, { completed; crashes; timeouts = 0; retries = 0 })
+
+let fork_supervised ~jobs ~timeout_s ~retries ~backoff_s f xs =
   let n = Array.length xs in
   let outcomes = Array.make n Gave_up in
   let completed = ref 0 in
@@ -159,273 +380,281 @@ let supervised ?(jobs = 1) ?timeout_s ?(retries = 1) ?(backoff_s = 0.05) f xs =
       retries = !retried;
     }
   in
-  if n = 0 then ([||], mk_stats ())
-  else if not available then begin
-    (* No fork: in-process degradation.  Exceptions still isolate per
-       task, but hangs cannot be interrupted and retries are pointless
-       against a deterministic in-process failure. *)
-    Array.iteri
-      (fun i x ->
-        outcomes.(i) <-
-          (match f x with
-          | v ->
-            incr completed;
-            Ok v
-          | exception e ->
-            incr crashes;
-            Crashed (Printexc.to_string e)))
-      xs;
-    (outcomes, mk_stats ())
-  end
-  else begin
-    flush stdout;
-    flush stderr;
-    let jobs = max 1 (min jobs n) in
-    let now () = Unix.gettimeofday () in
-    (* Telemetry: per-task latency and queue wait are observed from the
-       parent (spawn-to-EOF wall clock), so they cover the forked path the
-       in-process spans cannot see.  All of it is guarded: when disabled,
-       the pool never reads the clock on its behalf. *)
-    let tel = Telemetry.enabled () in
-    let t_start = if tel then Telemetry.now_s () else 0.0 in
-    let task_hist = Telemetry.Histogram.create () in
-    let queue_hist = Telemetry.Histogram.create () in
-    let busy = ref 0.0 in
-    let note_done slot =
-      if tel && slot.spawned > 0.0 then begin
-        let d = now () -. slot.spawned in
-        Telemetry.Histogram.add task_hist d;
-        Telemetry.observe "parmap.task_s" d;
-        busy := !busy +. d
-      end
+  flush stdout;
+  flush stderr;
+  let jobs = max 1 (min jobs n) in
+  let now () = Unix.gettimeofday () in
+  (* Telemetry: per-task latency and queue wait are observed from the
+     parent (spawn-to-EOF wall clock), so they cover the forked path the
+     in-process spans cannot see.  All of it is guarded: when disabled,
+     the pool never reads the clock on its behalf. *)
+  let tel = Telemetry.enabled () in
+  let t_start = if tel then Telemetry.now_s () else 0.0 in
+  let task_hist = Telemetry.Histogram.create () in
+  let queue_hist = Telemetry.Histogram.create () in
+  let busy = ref 0.0 in
+  let note_done slot =
+    if tel && slot.spawned > 0.0 then begin
+      let d = now () -. slot.spawned in
+      Telemetry.Histogram.add task_hist d;
+      Telemetry.observe "parmap.task_s" d;
+      busy := !busy +. d
+    end
+  in
+  (* Tasks awaiting dispatch, FIFO, stamped with the time they became
+     ready; failed attempts wait out their backoff in [delayed] (sorted
+     by wake-up time). *)
+  let ready : (int * int * float) Queue.t = Queue.create () in
+  let enq0 = if tel then now () else 0.0 in
+  for i = 0 to n - 1 do
+    Queue.add (i, 0, enq0) ready
+  done;
+  let delayed = ref [] in
+  let active = ref [] in
+  let remaining = ref n in
+  let chunk = Bytes.create 65536 in
+  let wait_status pid =
+    match retry_eintr (fun () -> Unix.waitpid [] pid) with
+    | _, status -> Some status
+    | exception Unix.Unix_error _ -> None
+  in
+  let finish_failure slot kind =
+    (match kind with
+    | `Crash msg ->
+      incr crashes;
+      Logs.warn (fun m ->
+          m "parmap: task %d attempt %d crashed: %s" slot.task
+            (slot.attempt + 1) msg)
+    | `Timeout ->
+      incr timeouts;
+      Logs.warn (fun m ->
+          m "parmap: task %d attempt %d timed out after %.1fs" slot.task
+            (slot.attempt + 1)
+            (Option.value ~default:0.0 timeout_s)));
+    if slot.attempt < retries then begin
+      incr retried;
+      let delay = backoff_s *. (2.0 ** float_of_int slot.attempt) in
+      delayed :=
+        insert_delayed (now () +. delay, slot.task, slot.attempt + 1) !delayed
+    end
+    else begin
+      outcomes.(slot.task) <-
+        (if retries = 0 then
+           match kind with
+           | `Crash msg -> Crashed msg
+           | `Timeout -> Timed_out
+         else Gave_up);
+      decr remaining
+    end
+  in
+  let finish_eof slot =
+    (try Unix.close slot.fd with Unix.Unix_error _ -> ());
+    let status = wait_status slot.pid in
+    let data = Buffer.to_bytes slot.buf in
+    let reply =
+      if Bytes.length data = 0 then None
+      else
+        match (Marshal.from_bytes data 0 : _ reply) with
+        | r -> Some r
+        | exception _ -> None
     in
-    (* Tasks awaiting dispatch, FIFO, stamped with the time they became
-       ready; failed attempts wait out their backoff in [delayed] (sorted
-       by wake-up time). *)
-    let ready : (int * int * float) Queue.t = Queue.create () in
-    let enq0 = if tel then now () else 0.0 in
-    for i = 0 to n - 1 do
-      Queue.add (i, 0, enq0) ready
-    done;
-    let delayed = ref [] in
-    let active = ref [] in
-    let remaining = ref n in
-    let chunk = Bytes.create 65536 in
-    let wait_status pid =
-      match retry_eintr (fun () -> Unix.waitpid [] pid) with
-      | _, status -> Some status
-      | exception Unix.Unix_error _ -> None
-    in
-    let finish_failure slot kind =
-      (match kind with
-      | `Crash msg ->
-        incr crashes;
-        Logs.warn (fun m ->
-            m "parmap: task %d attempt %d crashed: %s" slot.task
-              (slot.attempt + 1) msg)
-      | `Timeout ->
-        incr timeouts;
-        Logs.warn (fun m ->
-            m "parmap: task %d attempt %d timed out after %.1fs" slot.task
-              (slot.attempt + 1)
-              (Option.value ~default:0.0 timeout_s)));
-      if slot.attempt < retries then begin
-        incr retried;
-        let delay = backoff_s *. (2.0 ** float_of_int slot.attempt) in
-        delayed :=
-          insert_delayed (now () +. delay, slot.task, slot.attempt + 1) !delayed
-      end
-      else begin
-        outcomes.(slot.task) <-
-          (if retries = 0 then
-             match kind with
-             | `Crash msg -> Crashed msg
-             | `Timeout -> Timed_out
-           else Gave_up);
-        decr remaining
-      end
-    in
-    let finish_eof slot =
-      (try Unix.close slot.fd with Unix.Unix_error _ -> ());
-      let status = wait_status slot.pid in
-      let data = Buffer.to_bytes slot.buf in
+    match reply with
+    | Some (Value v) ->
+      outcomes.(slot.task) <- Ok v;
+      incr completed;
+      decr remaining
+    | Some (Raised msg) -> finish_failure slot (`Crash ("task raised: " ^ msg))
+    | None ->
+      let msg =
+        match status with
+        | Some (Unix.WEXITED 0) -> "worker exited before writing a result"
+        | Some status -> "worker " ^ describe_status status
+        | None -> "worker vanished"
+      in
+      finish_failure slot (`Crash msg)
+  in
+  let kill_slot slot =
+    (try Unix.kill slot.pid Sys.sigkill with Unix.Unix_error _ -> ());
+    (try Unix.close slot.fd with Unix.Unix_error _ -> ());
+    ignore (wait_status slot.pid)
+  in
+  let spawn (task, attempt, enq) =
+    let rd, wr = Unix.pipe () in
+    match Unix.fork () with
+    | exception Unix.Unix_error _ ->
+      (* Fork pressure (EAGAIN): try again shortly, no attempt charged. *)
+      Unix.close rd;
+      Unix.close wr;
+      delayed := insert_delayed (now () +. 0.05, task, attempt) !delayed
+    | 0 ->
+      Telemetry.set_sink None;
+      Unix.close rd;
+      List.iter
+        (fun s -> try Unix.close s.fd with Unix.Unix_error _ -> ())
+        !active;
       let reply =
-        if Bytes.length data = 0 then None
-        else
-          match (Marshal.from_bytes data 0 : _ reply) with
-          | r -> Some r
-          | exception _ -> None
+        match f xs.(task) with
+        | v -> Value v
+        | exception e -> Raised (Printexc.to_string e)
       in
-      match reply with
-      | Some (Value v) ->
-        outcomes.(slot.task) <- Ok v;
-        incr completed;
-        decr remaining
-      | Some (Raised msg) -> finish_failure slot (`Crash ("task raised: " ^ msg))
-      | None ->
-        let msg =
-          match status with
-          | Some (Unix.WEXITED 0) -> "worker exited before writing a result"
-          | Some status -> "worker " ^ describe_status status
-          | None -> "worker vanished"
-        in
-        finish_failure slot (`Crash msg)
-    in
-    let kill_slot slot =
-      (try Unix.kill slot.pid Sys.sigkill with Unix.Unix_error _ -> ());
-      (try Unix.close slot.fd with Unix.Unix_error _ -> ());
-      ignore (wait_status slot.pid)
-    in
-    let spawn (task, attempt, enq) =
-      let rd, wr = Unix.pipe () in
-      match Unix.fork () with
-      | exception Unix.Unix_error _ ->
-        (* Fork pressure (EAGAIN): try again shortly, no attempt charged. *)
-        Unix.close rd;
-        Unix.close wr;
-        delayed := insert_delayed (now () +. 0.05, task, attempt) !delayed
-      | 0 ->
-        Telemetry.set_sink None;
-        Unix.close rd;
-        List.iter
-          (fun s -> try Unix.close s.fd with Unix.Unix_error _ -> ())
-          !active;
-        let reply =
-          match f xs.(task) with
-          | v -> Value v
-          | exception e -> Raised (Printexc.to_string e)
-        in
-        let b = Marshal.to_bytes (reply : _ reply) [] in
-        let len = Bytes.length b in
-        (try
-           let off = ref 0 in
-           while !off < len do
-             off := !off + retry_eintr (fun () -> Unix.write wr b !off (len - !off))
-           done;
-           Unix.close wr
-         with _ -> ());
-        Unix._exit 0
-      | pid ->
-        Unix.close wr;
-        let spawned = if tel then now () else 0.0 in
-        if tel && enq > 0.0 then begin
-          let w = spawned -. enq in
-          Telemetry.Histogram.add queue_hist w;
-          Telemetry.observe "parmap.queue_wait_s" w
-        end;
-        let deadline =
-          match timeout_s with Some t -> now () +. t | None -> infinity
-        in
-        active :=
-          { pid; fd = rd; task; attempt; deadline; spawned;
-            buf = Buffer.create 256 }
-          :: !active
-    in
-    while !remaining > 0 do
-      let t = now () in
-      (* Promote delayed retries whose backoff has elapsed. *)
-      let rec promote () =
-        match !delayed with
-        | (nb, task, att) :: rest when nb <= t ->
-          delayed := rest;
-          Queue.add (task, att, if tel then t else 0.0) ready;
-          promote ()
-        | _ -> ()
+      let b = Marshal.to_bytes (reply : _ reply) [] in
+      let len = Bytes.length b in
+      (try
+         let off = ref 0 in
+         while !off < len do
+           off := !off + retry_eintr (fun () -> Unix.write wr b !off (len - !off))
+         done;
+         Unix.close wr
+       with _ -> ());
+      Unix._exit 0
+    | pid ->
+      Unix.close wr;
+      let spawned = if tel then now () else 0.0 in
+      if tel && enq > 0.0 then begin
+        let w = spawned -. enq in
+        Telemetry.Histogram.add queue_hist w;
+        Telemetry.observe "parmap.queue_wait_s" w
+      end;
+      let deadline =
+        match timeout_s with Some t -> now () +. t | None -> infinity
       in
-      promote ();
-      while (not (Queue.is_empty ready)) && List.length !active < jobs do
-        spawn (Queue.pop ready)
-      done;
-      if !active = [] then begin
-        match !delayed with
-        | (nb, _, _) :: _ ->
-          let d = nb -. now () in
-          if d > 0.0 then (
-            (* An interrupted sleep just re-enters the loop, which
-               recomputes the remaining backoff. *)
-            try Unix.sleepf d
-            with Unix.Unix_error (Unix.EINTR, _, _) -> ())
-        | [] ->
-          (* Unreachable: remaining > 0 implies work somewhere. *)
-          remaining := 0
-      end
-      else begin
-        let fds = List.map (fun s -> s.fd) !active in
-        let nearest_deadline =
-          List.fold_left (fun acc s -> Float.min acc s.deadline) infinity
-            !active
-        in
-        let nearest_retry =
-          match !delayed with (nb, _, _) :: _ -> nb | [] -> infinity
-        in
-        let until = Float.min nearest_deadline nearest_retry in
-        let tmo =
-          if until = infinity then -1.0 else Float.max 0.0 (until -. now ())
-        in
-        let readable =
-          match Unix.select fds [] [] tmo with
-          | r, _, _ -> r
-          | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
-        in
-        List.iter
-          (fun fd ->
-            match List.find_opt (fun s -> s.fd = fd) !active with
-            | None -> ()
-            | Some slot -> (
-              match retry_eintr (fun () -> Unix.read fd chunk 0 (Bytes.length chunk)) with
-              | 0 ->
-                active := List.filter (fun s -> s != slot) !active;
-                note_done slot;
-                finish_eof slot
-              | k -> Buffer.add_subbytes slot.buf chunk 0 k
-              | exception Unix.Unix_error _ ->
-                active := List.filter (fun s -> s != slot) !active;
-                (try Unix.close fd with Unix.Unix_error _ -> ());
-                ignore (wait_status slot.pid);
-                note_done slot;
-                finish_failure slot (`Crash "read error on result pipe")))
-          readable;
-        let t = now () in
-        let expired, alive =
-          List.partition (fun s -> s.deadline <= t) !active
-        in
-        active := alive;
-        List.iter
-          (fun slot ->
-            kill_slot slot;
-            note_done slot;
-            finish_failure slot `Timeout)
-          expired
-      end
+      active :=
+        { pid; fd = rd; task; attempt; deadline; spawned;
+          buf = Buffer.create 256 }
+        :: !active
+  in
+  while !remaining > 0 do
+    let t = now () in
+    (* Promote delayed retries whose backoff has elapsed. *)
+    let rec promote () =
+      match !delayed with
+      | (nb, task, att) :: rest when nb <= t ->
+        delayed := rest;
+        Queue.add (task, att, if tel then t else 0.0) ready;
+        promote ()
+      | _ -> ()
+    in
+    promote ();
+    while (not (Queue.is_empty ready)) && List.length !active < jobs do
+      spawn (Queue.pop ready)
     done;
-    if tel then begin
-      let wall = Telemetry.now_s () -. t_start in
-      Telemetry.incr ~by:!crashes "parmap.crashes";
-      Telemetry.incr ~by:!timeouts "parmap.timeouts";
-      Telemetry.incr ~by:!retried "parmap.retries";
-      let pct h p = Telemetry.Histogram.percentile h p in
-      Telemetry.emit ~kind:"pool"
-        [
-          ("mode", Telemetry.String "supervised");
-          ("jobs", Telemetry.Int jobs);
-          ("tasks", Telemetry.Int n);
-          ("completed", Telemetry.Int !completed);
-          ("crashes", Telemetry.Int !crashes);
-          ("timeouts", Telemetry.Int !timeouts);
-          ("retries", Telemetry.Int !retried);
-          ("wall_s", Telemetry.Float wall);
-          ("busy_s", Telemetry.Float !busy);
-          ( "utilization",
-            Telemetry.Float
-              (if wall > 0.0 then !busy /. (wall *. float_of_int jobs) else 0.0)
-          );
-          ("task_p50_s", Telemetry.Float (pct task_hist 50.0));
-          ("task_p95_s", Telemetry.Float (pct task_hist 95.0));
-          ("task_max_s", Telemetry.Float (Telemetry.Histogram.max task_hist));
-          ("queue_p50_s", Telemetry.Float (pct queue_hist 50.0));
-          ("queue_p95_s", Telemetry.Float (pct queue_hist 95.0));
-          ("queue_max_s", Telemetry.Float (Telemetry.Histogram.max queue_hist));
-        ]
-    end;
-    (outcomes, mk_stats ())
-  end
+    if !active = [] then begin
+      match !delayed with
+      | (nb, _, _) :: _ ->
+        let d = nb -. now () in
+        if d > 0.0 then (
+          (* An interrupted sleep just re-enters the loop, which
+             recomputes the remaining backoff. *)
+          try Unix.sleepf d
+          with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+      | [] ->
+        (* Unreachable: remaining > 0 implies work somewhere. *)
+        remaining := 0
+    end
+    else begin
+      let fds = List.map (fun s -> s.fd) !active in
+      let nearest_deadline =
+        List.fold_left (fun acc s -> Float.min acc s.deadline) infinity
+          !active
+      in
+      let nearest_retry =
+        match !delayed with (nb, _, _) :: _ -> nb | [] -> infinity
+      in
+      let until = Float.min nearest_deadline nearest_retry in
+      let tmo =
+        if until = infinity then -1.0 else Float.max 0.0 (until -. now ())
+      in
+      let readable =
+        match Unix.select fds [] [] tmo with
+        | r, _, _ -> r
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+      in
+      List.iter
+        (fun fd ->
+          match List.find_opt (fun s -> s.fd = fd) !active with
+          | None -> ()
+          | Some slot -> (
+            match retry_eintr (fun () -> Unix.read fd chunk 0 (Bytes.length chunk)) with
+            | 0 ->
+              active := List.filter (fun s -> s != slot) !active;
+              note_done slot;
+              finish_eof slot
+            | k -> Buffer.add_subbytes slot.buf chunk 0 k
+            | exception Unix.Unix_error _ ->
+              active := List.filter (fun s -> s != slot) !active;
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              ignore (wait_status slot.pid);
+              note_done slot;
+              finish_failure slot (`Crash "read error on result pipe")))
+        readable;
+      let t = now () in
+      let expired, alive =
+        List.partition (fun s -> s.deadline <= t) !active
+      in
+      active := alive;
+      List.iter
+        (fun slot ->
+          kill_slot slot;
+          note_done slot;
+          finish_failure slot `Timeout)
+        expired
+    end
+  done;
+  if tel then begin
+    let wall = Telemetry.now_s () -. t_start in
+    Telemetry.incr ~by:!crashes "parmap.crashes";
+    Telemetry.incr ~by:!timeouts "parmap.timeouts";
+    Telemetry.incr ~by:!retried "parmap.retries";
+    let pct h p = Telemetry.Histogram.percentile h p in
+    Telemetry.emit ~kind:"pool"
+      [
+        ("mode", Telemetry.String "supervised");
+        ("backend", Telemetry.String "fork");
+        ("jobs", Telemetry.Int jobs);
+        ("tasks", Telemetry.Int n);
+        ("completed", Telemetry.Int !completed);
+        ("crashes", Telemetry.Int !crashes);
+        ("timeouts", Telemetry.Int !timeouts);
+        ("retries", Telemetry.Int !retried);
+        ("wall_s", Telemetry.Float wall);
+        ("busy_s", Telemetry.Float !busy);
+        ( "utilization",
+          Telemetry.Float
+            (if wall > 0.0 then !busy /. (wall *. float_of_int jobs) else 0.0)
+        );
+        ("task_p50_s", Telemetry.Float (pct task_hist 50.0));
+        ("task_p95_s", Telemetry.Float (pct task_hist 95.0));
+        ("task_max_s", Telemetry.Float (Telemetry.Histogram.max task_hist));
+        ("queue_p50_s", Telemetry.Float (pct queue_hist 50.0));
+        ("queue_p95_s", Telemetry.Float (pct queue_hist 95.0));
+        ("queue_max_s", Telemetry.Float (Telemetry.Histogram.max queue_hist));
+      ]
+  end;
+  (outcomes, mk_stats ())
+
+let empty_stats = { completed = 0; crashes = 0; timeouts = 0; retries = 0 }
+
+let run_supervised pool f xs =
+  if Array.length xs = 0 then ([||], empty_stats)
+  else
+    match pool.backend with
+    | `Seq -> inprocess_supervised f xs
+    | `Domains ->
+      domains_supervised ~jobs:pool.jobs ~timeout_s:pool.timeout_s f xs
+    | `Fork ->
+      if fork_usable () then
+        fork_supervised ~jobs:pool.jobs ~timeout_s:pool.timeout_s
+          ~retries:pool.retries ~backoff_s:pool.backoff_s f xs
+      else begin
+        if available then warn_fork_after_domains ();
+        inprocess_supervised f xs
+      end
+
+let supervised ?(jobs = 1) ?timeout_s ?(retries = 1) ?(backoff_s = 0.05) f xs =
+  if jobs < 1 then
+    invalid_arg
+      (Printf.sprintf
+         "Parmap.supervised: jobs must be a positive worker count (got %d)"
+         jobs);
+  run_supervised (pool ~backend:`Fork ~jobs ?timeout_s ~retries ~backoff_s ())
+    f xs

@@ -1,28 +1,80 @@
-(** A minimal [Unix.fork]-based process pool for fitness evaluation.
+(** A task pool for fitness evaluation, behind a first-class backend API.
 
-    The paper ran its fitness loop on a 15-20 machine cluster; this module
-    is the single-machine analogue: [map] fans an array of independent
-    tasks out over [jobs] forked workers and reassembles the results in
-    input order.  Workers inherit the parent's heap, so tasks need no
-    input serialization — only results cross a pipe, via [Marshal], and
-    must therefore contain no closures.
+    The paper ran its fitness loop on a 15-20 machine cluster; this
+    module is the single-machine analogue.  A {!pool} names a backend and
+    carries every knob the two entry points share:
 
-    Failure isolation: a task that raises, or a worker that dies outright
-    (segfault, [kill -9]), never takes the run down.  Every result the
-    worker managed to flush before dying is kept; the missing ones become
-    [fallback] — the paper's "wrong output gets fitness 0" rule at the
-    process level.
+    - [`Seq] runs in-process and sequentially — the bit-identity
+      reference every parallel backend is tested against.
+    - [`Fork] is the original [Unix.fork] process pool: full fault
+      isolation (a segfaulting or [kill -9]ed worker never takes the run
+      down) and the only backend that can enforce wall-clock deadlines,
+      at the cost of a fork and a [Marshal] round-trip per batch or task.
+    - [`Domains] is an OCaml 5 shared-memory work pool: [Domain.spawn]ed
+      workers pull task indices from one atomic counter — no fork, no
+      marshalling, results written in place.  A domain cannot be killed,
+      so it offers exception isolation only: timeouts and retries are
+      fork-specific.  Tasks must be thread-safe (the evaluation pipeline's
+      shared caches are; see DESIGN.md §12).
 
-    [supervised] adds the fault model long evolution runs need: per-task
-    wall-clock deadlines enforced by the parent, retries with exponential
-    backoff on a respawned worker, and a typed {!outcome} per task so the
-    caller can tell an infrastructure failure from a genuinely bad
-    candidate. *)
+    For pure tasks all backends produce bit-identical results at any job
+    count: [`Fork] workers own disjoint round-robin index slices,
+    [`Domains] workers write disjoint slots, and task functions receive
+    the same inputs regardless of scheduling.
+
+    One runtime rule couples the two parallel backends: the OCaml 5
+    runtime forbids [Unix.fork] in any process that has ever spawned a
+    domain — even one that has since been joined.  The first [`Domains]
+    pool therefore {e retires} [`Fork] for the rest of the process:
+    {!capabilities} stops listing it and later [`Fork] requests degrade
+    to the in-process paths with a one-time warning.  Fork first and
+    domains after, or pick one parallel backend per process. *)
+
+type backend = [ `Seq | `Fork | `Domains ]
 
 val available : bool
-(** Whether forking is supported on this platform.  When [false], [map]
-    always degrades to the sequential path and [supervised] runs
-    in-process (exception isolation only — no timeouts). *)
+(** Whether forking is supported on this platform.  A static probe: it
+    stays [true] even after domains have retired [`Fork] for this
+    process — prefer {!capabilities}, which accounts for both.  When
+    [false], [`Fork] degrades to the sequential / in-process paths. *)
+
+val capabilities : unit -> backend list
+(** The backends usable {e right now}.  [`Seq] and [`Domains] are always
+    present (domains are part of the OCaml 5 runtime); [`Fork] requires
+    Unix and disappears permanently once any [`Domains] pool has run in
+    this process (see the fork-retirement rule above). *)
+
+val backend_name : backend -> string
+(** ["seq" | "fork" | "domains"]. *)
+
+val backend_of_name : string -> backend option
+(** Inverse of {!backend_name}. *)
+
+(** The one configuration record shared by {!run} and {!run_supervised},
+    replacing the [?jobs ?timeout_s ?retries ?backoff_s] sprawl that was
+    duplicated across [map], [supervised], [Study] and the CLI. *)
+type pool = private {
+  backend : backend;
+  jobs : int;
+  timeout_s : float option;  (** per-task deadline; [`Fork] only *)
+  retries : int;             (** re-runs after crash/timeout; [`Fork] only *)
+  backoff_s : float;         (** initial retry backoff, doubling *)
+}
+
+val pool :
+  ?backend:backend ->
+  ?jobs:int ->
+  ?timeout_s:float ->
+  ?retries:int ->
+  ?backoff_s:float ->
+  unit ->
+  pool
+(** Validating constructor (defaults: [`Fork], 1 job, no timeout, 1
+    retry, 0.05s backoff).  Rejects [jobs < 1] — a zero or negative
+    worker count is a configuration error, not a request for sequential
+    execution — as well as non-positive [timeout_s], negative [retries]
+    and negative [backoff_s].
+    @raise Invalid_argument on any of the above. *)
 
 val retry_eintr : (unit -> 'a) -> 'a
 (** [retry_eintr f] runs [f], restarting it as long as it fails with
@@ -32,31 +84,40 @@ val retry_eintr : (unit -> 'a) -> 'a
     misreport a healthy worker as lost.  Exported because callers doing
     their own [waitpid]/[read] around a pool need the same discipline. *)
 
-val map : ?jobs:int -> fallback:'b -> ('a -> 'b) -> 'a array -> 'b array
-(** [map ~jobs ~fallback f xs] is [Array.map f xs], computed by [jobs]
-    forked workers (tasks are dealt round-robin).  Results arrive in input
-    order.  Any task whose result cannot be obtained — [f] raised, or its
-    worker crashed — yields [fallback] instead.  A worker that exits
-    abnormally (non-zero code or signal) or tears its result stream
-    mid-write is reported through [Logs.warn].
+val run : pool -> fallback:'b -> ('a -> 'b) -> 'a array -> 'b array
+(** [run pool ~fallback f xs] is [Array.map f xs] computed by the pool's
+    backend; results arrive in input order.  Any task whose result cannot
+    be obtained — [f] raised, or its forked worker crashed — yields
+    [fallback] instead.
 
-    [jobs <= 1] (the default) runs sequentially in-process, with the same
-    per-task exception isolation and no forking.  Results must be
-    marshalable when [jobs > 1].  Not reentrant from inside a task. *)
+    [`Fork]: tasks are dealt round-robin over forked workers; a worker
+    that exits abnormally or tears its result stream is reported through
+    [Logs.warn], and results must be marshalable.  [`Domains]: workers
+    share the heap, so nothing is marshalled and crash isolation is
+    exception-level only.  Both degrade to the sequential path when the
+    batch is empty or effectively single-worker; [`Fork] also degrades
+    when forking is unavailable.  Not reentrant from inside a task. *)
+
+val map : ?jobs:int -> fallback:'b -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs ~fallback f xs] is
+    [run (pool ~backend:`Fork ~jobs ()) ~fallback f xs] — the historical
+    fork-pool interface.  @raise Invalid_argument when [jobs < 1].
+    @deprecated Build a {!pool} and use {!run}. *)
 
 (** The outcome of one supervised task.
 
     - [Ok v]: some attempt returned [v].
-    - [Crashed msg]: [retries = 0] and the single attempt failed —
-      the task raised, or its worker died ([msg] says how).
+    - [Crashed msg]: no retries were configured (or possible) and the
+      attempt failed — the task raised, or its worker died ([msg] says
+      how).
     - [Timed_out]: [retries = 0] and the single attempt exceeded
-      [timeout_s].
+      [timeout_s] ([`Fork] only).
     - [Gave_up]: [retries >= 1] and every one of the [1 + retries]
       attempts failed (each attempt's crash or timeout is logged and
       counted in {!stats}). *)
 type 'b outcome = Ok of 'b | Crashed of string | Timed_out | Gave_up
 
-(** Attempt-level telemetry for one [supervised] call: [completed] tasks
+(** Attempt-level telemetry for one supervised call: [completed] tasks
     returned a value; [crashes] and [timeouts] count {e attempts} (a task
     retried twice after crashing contributes 2 to [crashes]); [retries]
     counts rescheduled attempts. *)
@@ -67,6 +128,33 @@ type stats = {
   retries : int;
 }
 
+val run_supervised :
+  pool -> ('a -> 'b) -> 'a array -> 'b outcome array * stats
+(** [run_supervised pool f xs] evaluates every task under the pool's
+    fault model and returns typed outcomes in input order; no fallback
+    value is ever invented.
+
+    [`Fork]: one disposable forked worker per attempt under a wall-clock
+    deadline of [timeout_s] seconds, checked and enforced from the parent
+    — a worker that hangs or dies is SIGKILLed and its task retried on a
+    fresh worker up to [retries] times with exponential backoff starting
+    at [backoff_s].  [f]'s side effects stay in the child, even at one
+    job.  [`Domains]: parallel in-process evaluation with per-task
+    exception isolation; deadlines cannot be enforced (a warning is
+    logged if one is configured) and retries are skipped — an in-domain
+    exception is deterministic.  [`Seq] (and [`Fork] without fork
+    support): the same exception-isolation contract, sequentially, with
+    [f]'s side effects observable.  Deterministic for pure [f]: outcomes
+    depend only on [f] and [xs], not on scheduling.
+
+    With {!Telemetry} enabled, both entry points emit one [kind = "pool"]
+    record per call (now carrying a ["backend"] field); the fork
+    supervisor additionally observes parent-measured per-task latency
+    ([parmap.task_s]), dispatch queue wait ([parmap.queue_wait_s]) and
+    worker utilization.  Forked workers drop the inherited sink and
+    domain workers suppress instrumentation domain-locally, so
+    worker-side records never interleave into the parent's stream. *)
+
 val supervised :
   ?jobs:int ->
   ?timeout_s:float ->
@@ -75,22 +163,7 @@ val supervised :
   ('a -> 'b) ->
   'a array ->
   'b outcome array * stats
-(** [supervised ~jobs ~timeout_s ~retries f xs] evaluates every task in a
-    disposable forked worker (one fork per attempt; [jobs] concurrent
-    workers, default 1) under a wall-clock deadline of [timeout_s] seconds
-    (default: none), checked and enforced from the parent: a worker that
-    hangs or dies is SIGKILLed and its task is retried on a fresh worker
-    up to [retries] times (default 1) with exponential backoff starting at
-    [backoff_s] seconds (default 0.05, doubling per attempt).
-
-    Results arrive in input order as typed outcomes; no fallback value is
-    ever invented.  [f] runs in a child process, so its side effects are
-    invisible to the parent — even at [jobs = 1].  Deterministic for pure
-    [f]: outcomes depend only on [f] and [xs], not on scheduling.
-
-    With {!Telemetry} enabled, both pools emit one [kind = "pool"] record
-    per call; [supervised] additionally observes parent-measured per-task
-    latency ([parmap.task_s]) and dispatch queue wait
-    ([parmap.queue_wait_s]), and reports worker utilization (busy time
-    over [wall * jobs]).  Forked workers drop the inherited sink, so
-    child-side instrumentation never reaches the parent's stream. *)
+(** [supervised ~jobs ~timeout_s ~retries f xs] is {!run_supervised} over
+    [pool ~backend:`Fork ...] — the historical interface.
+    @raise Invalid_argument when [jobs < 1].
+    @deprecated Build a {!pool} and use {!run_supervised}. *)

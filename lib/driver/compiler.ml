@@ -49,8 +49,9 @@ type compiled = {
 }
 
 let compile ?(hb_config = Hyperblock.Form.default_config)
-    ~(machine : Machine.Config.t) ~(heuristics : heuristics) (p : prepared) :
-    compiled =
+    ?(compiled_eval = true) ~(machine : Machine.Config.t)
+    ~(heuristics : heuristics) (p : prepared) : compiled =
+  let compiled = compiled_eval in
   let prog = Ir.Func.copy_program p.optimized in
   (* Prefetch insertion runs first (mirroring ORC, where prefetching is an
      early loop-nest phase): induction-variable analysis sees clean loop
@@ -61,23 +62,24 @@ let compile ?(hb_config = Hyperblock.Form.default_config)
     | None -> { Prefetch.Insert.candidates = 0; inserted = 0 }
     | Some conf ->
       Prefetch.Insert.run
-        ~decision:(Prefetch.Insert.decision_of_expr ~machine prog conf)
+        ~decision:
+          (Prefetch.Insert.decision_of_expr ~compiled ~machine prog conf)
         prog
   in
   let hb_stats =
-    Hyperblock.Form.run ~config:hb_config ~machine ~prof:p.prof
+    Hyperblock.Form.run ~config:hb_config ~compiled ~machine ~prof:p.prof
       ~priority:heuristics.hb_priority prog
   in
   let spills =
     Regalloc.Alloc.run
-      ~savings:(Regalloc.Alloc.savings_of_expr heuristics.ra_savings)
+      ~savings:(Regalloc.Alloc.savings_of_expr ~compiled heuristics.ra_savings)
       ~machine prog
   in
   (* The baseline ranking skips the expression interpreter. *)
   let sched_pri =
     if heuristics.sched_priority = Sched.Priority.baseline_expr then
       Sched.Priority.baseline
-    else Sched.Priority.of_expr heuristics.sched_priority
+    else Sched.Priority.of_expr ~compiled heuristics.sched_priority
   in
   (* The scheduler emits lengths in the same traversal order Layout.prepare
      assigns block uids, so the array needs no per-candidate label hashing. *)

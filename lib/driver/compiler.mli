@@ -39,8 +39,14 @@ type compiled = {
 }
 
 val compile :
-  ?hb_config:Hyperblock.Form.config -> machine:Machine.Config.t ->
-  heuristics:heuristics -> prepared -> compiled
+  ?hb_config:Hyperblock.Form.config -> ?compiled_eval:bool ->
+  machine:Machine.Config.t -> heuristics:heuristics -> prepared -> compiled
+(** [compiled_eval] (default [true]) evaluates all four heuristic
+    expressions through the {!Gp.Evalc} bytecode compiler — each pass
+    compiles its expression once and amortizes it over every decision
+    point.  [~compiled_eval:false] routes every evaluation through the
+    {!Gp.Eval} tree-walker instead, the bit-identical executable
+    reference ([--no-compiled-eval] at the CLI). *)
 
 val simulate :
   ?noise:Random.State.t * float -> machine:Machine.Config.t ->

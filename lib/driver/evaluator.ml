@@ -24,6 +24,8 @@ let merge_faults a b =
 let total_faults f = f.crashed + f.timed_out + f.gave_up
 
 type t = {
+  backend : Gp.Parmap.backend;
+  pool : Gp.Parmap.pool;
   jobs : int;
   timeout_s : float option;
   retries : int;
@@ -160,8 +162,14 @@ let append_disk t entries =
        Logs.warn (fun m ->
            m "fitness cache not written: %s" (Unix.error_message e)))
 
-let create ?(jobs = 1) ?cache_dir ?timeout_s ?(retries = 1) ~fs ~scope
-    ~case_name ~eval () =
+let create ?(backend = `Fork) ?(jobs = 1) ?cache_dir ?timeout_s ?(retries = 1)
+    ~fs ~scope ~case_name ~eval () =
+  if jobs < 1 then
+    invalid_arg
+      (Printf.sprintf
+         "Evaluator.create: jobs must be a positive worker count (got %d)"
+         jobs);
+  let pool = Gp.Parmap.pool ~backend ~jobs ?timeout_s ~retries () in
   let cache_file =
     Option.map
       (fun dir ->
@@ -173,7 +181,9 @@ let create ?(jobs = 1) ?cache_dir ?timeout_s ?(retries = 1) ~fs ~scope
   let disk = Hashtbl.create 1024 in
   Option.iter (fun p -> if Sys.file_exists p then load_disk p disk) cache_file;
   {
-    jobs = max 1 jobs;
+    backend;
+    pool;
+    jobs;
     timeout_s;
     retries = max 0 retries;
     fs;
@@ -194,6 +204,7 @@ let create ?(jobs = 1) ?cache_dir ?timeout_s ?(retries = 1) ~fs ~scope
   }
 
 let jobs t = t.jobs
+let backend t = t.backend
 
 let faults t =
   {
@@ -247,8 +258,15 @@ let lookup t key case =
 (* A task's worker is supervised whenever its failure would otherwise be
    invisible or fatal: any multi-worker run, or any run with a deadline.
    Plain sequential evaluation stays in-process (cheap, side effects
-   observable — tests rely on it) with exception isolation only. *)
-let supervision_on t = Gp.Parmap.available && (t.jobs > 1 || t.timeout_s <> None)
+   observable — tests rely on it) with exception isolation only.  The
+   [`Seq] backend is the always-sequential reference; [`Fork] degrades to
+   in-process when fork is unavailable on the platform. *)
+let supervision_on t =
+  (match t.backend with
+  | `Seq -> false
+  | `Fork -> Gp.Parmap.available
+  | `Domains -> true)
+  && (t.jobs > 1 || t.timeout_s <> None)
 
 let evaluate_batch t genomes ~cases =
   let tel = Gp.Telemetry.enabled () in
@@ -310,8 +328,7 @@ let evaluate_batch t genomes ~cases =
   in
   if supervision_on t then begin
     let outcomes, stats =
-      Gp.Parmap.supervised ~jobs:t.jobs ?timeout_s:t.timeout_s
-        ~retries:t.retries
+      Gp.Parmap.run_supervised t.pool
         (fun (cg, _, case) -> t.eval cg case)
         tasks
     in

@@ -67,6 +67,7 @@ val total_faults : fault_stats -> int
 (** [crashed + timed_out + gave_up] (retries are attempts, not tasks). *)
 
 val create :
+  ?backend:Gp.Parmap.backend ->
   ?jobs:int ->
   ?cache_dir:string ->
   ?timeout_s:float ->
@@ -76,21 +77,30 @@ val create :
   case_name:(int -> string) ->
   eval:(Gp.Expr.genome -> int -> float) ->
   unit -> t
-(** [create ~jobs ~cache_dir ~timeout_s ~retries ~fs ~scope ~case_name
-    ~eval ()] builds an engine over the raw single evaluation [eval] (one
-    compile-and-simulate cycle; called on the canonical genome, in a
-    worker process when supervised, so it must not rely on observable
-    global mutation).  [scope] namespaces the persistent cache — include
-    everything the fitness depends on besides the genome and case: study,
-    machine, dataset.  [timeout_s] (default: none) bounds one evaluation's
-    wall clock; [retries] (default 1) is how many times a crashed or hung
+(** [create ~backend ~jobs ~cache_dir ~timeout_s ~retries ~fs ~scope
+    ~case_name ~eval ()] builds an engine over the raw single evaluation
+    [eval] (one compile-and-simulate cycle; called on the canonical
+    genome, in a worker process or domain when supervised, so it must not
+    rely on observable global mutation).  [backend] (default [`Fork])
+    selects the {!Gp.Parmap} pool flavor: [`Fork] gives per-task fault
+    isolation and deadlines, [`Domains] shared-memory parallelism without
+    kill-based timeouts, [`Seq] the in-process sequential reference.
+    [scope] namespaces the persistent cache — include everything the
+    fitness depends on besides the genome and case: study, machine,
+    dataset.  [timeout_s] (default: none) bounds one evaluation's wall
+    clock; [retries] (default 1) is how many times a crashed or hung
     evaluation is re-run on a fresh worker before being abandoned.
     Results are sanitized: non-finite or negative values score 0.  With
-    [jobs <= 1] and no [timeout_s], evaluation is sequential in-process
-    (side effects of [eval] remain observable; a raising [eval] is
-    recorded as a crash fault). *)
+    [jobs <= 1] and no [timeout_s] (or [`Seq]), evaluation is sequential
+    in-process (side effects of [eval] remain observable; a raising
+    [eval] is recorded as a crash fault).
+
+    @raise Invalid_argument if [jobs < 1] or the pool parameters are
+    rejected by {!Gp.Parmap.pool}. *)
 
 val jobs : t -> int
+
+val backend : t -> Gp.Parmap.backend
 
 val faults : t -> fault_stats
 (** Fault counters accumulated over this engine's lifetime. *)

@@ -33,7 +33,13 @@
    In a forked worker pool the tables fill in the parent (baseline
    measurement during Study.create) and are inherited read-only through
    fork; worker-side inserts die with the worker.  Hit rates drop but
-   results cannot diverge, so bit-identity holds at any -j. *)
+   results cannot diverge, so bit-identity holds at any -j.
+
+   In a domains pool the tables are shared memory, so every table and
+   stats access goes through one mutex.  Simulation and replay run
+   outside the lock; two domains racing on the same key at worst both
+   simulate (deterministically, to the same result) and the second store
+   overwrites the first with an equal value — slower, never divergent. *)
 
 type stats = {
   mutable artifact_hits : int;
@@ -50,7 +56,12 @@ type t = {
   traces : (string, Machine.Trace.t) Hashtbl.t;
   mutable trace_order : string list;  (* newest first, for eviction *)
   stats : stats;
+  lock : Mutex.t;  (* guards the tables, trace_order and stats *)
 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let create ?(enabled = true) ?(max_artifacts = 8192) ?(max_traces = 8)
     ?max_trace_events () =
@@ -63,6 +74,7 @@ let create ?(enabled = true) ?(max_artifacts = 8192) ?(max_traces = 8)
     traces = Hashtbl.create 8;
     trace_order = [];
     stats = { artifact_hits = 0; replays = 0; simulations = 0 };
+    lock = Mutex.create ();
   }
 
 let stats t = t.stats
@@ -178,32 +190,46 @@ let simulate (t : t) ~(machine : Machine.Config.t)
   else begin
     let tk = trace_key ~dataset p c in
     let ak = artifact_key ~machine tk c.Compiler.schedule_cycles in
-    match Hashtbl.find_opt t.artifacts ak with
-    | Some res ->
-      t.stats.artifact_hits <- t.stats.artifact_hits + 1;
+    (* One locked lookup classifies the call; the expensive work (full
+       simulation or replay) then runs unlocked on the hashed-out values. *)
+    let hit =
+      locked t (fun () ->
+          match Hashtbl.find_opt t.artifacts ak with
+          | Some res ->
+            t.stats.artifact_hits <- t.stats.artifact_hits + 1;
+            `Artifact res
+          | None -> (
+            match Hashtbl.find_opt t.traces tk with
+            | Some tr ->
+              t.stats.replays <- t.stats.replays + 1;
+              `Trace tr
+            | None ->
+              t.stats.simulations <- t.stats.simulations + 1;
+              `Miss))
+    in
+    match hit with
+    | `Artifact res ->
       Gp.Telemetry.incr "evaluator.artifact_hits";
       res
-    | None ->
+    | `Trace tr ->
+      Gp.Telemetry.incr "study.replayed";
       let res =
-        match Hashtbl.find_opt t.traces tk with
-        | Some tr ->
-          t.stats.replays <- t.stats.replays + 1;
-          Gp.Telemetry.incr "study.replayed";
-          Gp.Telemetry.span "study.replay_s" (fun () ->
-              Machine.Simulate.replay ~config:machine
-                ~schedule_cycles:c.Compiler.schedule_cycles tr)
-        | None ->
-          t.stats.simulations <- t.stats.simulations + 1;
-          let res, tr =
-            Gp.Telemetry.span "study.simulate_s" (fun () ->
-                Machine.Simulate.run_traced ~config:machine
-                  ?max_trace_events:t.max_trace_events
-                  ~schedule_cycles:c.Compiler.schedule_cycles ~overrides
-                  c.Compiler.layout)
-          in
-          Option.iter (store_trace t tk) tr;
-          res
+        Gp.Telemetry.span "study.replay_s" (fun () ->
+            Machine.Simulate.replay ~config:machine
+              ~schedule_cycles:c.Compiler.schedule_cycles tr)
       in
-      store_artifact t ak res;
+      locked t (fun () -> store_artifact t ak res);
+      res
+    | `Miss ->
+      let res, tr =
+        Gp.Telemetry.span "study.simulate_s" (fun () ->
+            Machine.Simulate.run_traced ~config:machine
+              ?max_trace_events:t.max_trace_events
+              ~schedule_cycles:c.Compiler.schedule_cycles ~overrides
+              c.Compiler.layout)
+      in
+      locked t (fun () ->
+          Option.iter (store_trace t tk) tr;
+          store_artifact t ak res);
       res
   end

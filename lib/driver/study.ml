@@ -62,11 +62,63 @@ let heuristics_with (kind : kind) (g : Gp.Expr.genome) : Compiler.heuristics =
   | Prefetch_study, Gp.Expr.Bool e ->
     { base with Compiler.pf_confidence = Some e }
 
+(* --- Run configuration ---------------------------------------------------- *)
+
+(* One record for everything an experiment run shares: GP scale, machine
+   override, pool shape, caches, supervision, and the two
+   reference-vs-fast switches.  Built in one place by the CLI; the
+   legacy per-driver optional arguments are thin wrappers over this. *)
+type config = {
+  params : Gp.Params.t;
+  machine : Machine.Config.t option;
+  backend : Gp.Parmap.backend;
+  jobs : int;
+  cache_dir : string option;
+  checkpoint_dir : string option;
+  timeout_s : float option;
+  retries : int;
+  fast_sim : bool;
+  compiled_eval : bool;
+}
+
+let default_config =
+  {
+    params = Gp.Params.scaled;
+    machine = None;
+    backend = `Fork;
+    jobs = 1;
+    cache_dir = None;
+    checkpoint_dir = None;
+    timeout_s = None;
+    retries = 1;
+    fast_sim = true;
+    compiled_eval = true;
+  }
+
+(* Legacy optional-argument prefix -> config, for the deprecated driver
+   wrappers below. *)
+let config_of ?params ?machine ?jobs ?cache_dir ?timeout_s ?retries
+    ?checkpoint_dir ?fast_sim () =
+  let d = default_config in
+  {
+    params = Option.value ~default:d.params params;
+    machine;
+    backend = d.backend;
+    jobs = Option.value ~default:d.jobs jobs;
+    cache_dir;
+    checkpoint_dir;
+    timeout_s;
+    retries = Option.value ~default:d.retries retries;
+    fast_sim = Option.value ~default:d.fast_sim fast_sim;
+    compiled_eval = d.compiled_eval;
+  }
+
 (* --- Evaluation context -------------------------------------------------- *)
 
 type context = {
   kind : kind;
   machine : Machine.Config.t;
+  compiled_eval : bool;
   prepared : Compiler.prepared array;
   (* Baseline results per (case, dataset): cycles and output checksum. *)
   baseline_train : (float * int) array;
@@ -101,13 +153,15 @@ let noise_rng_of kind genome case =
    operations the direct simulation would perform — so sharing is sound
    under noise and a candidate whose artifact equals the baseline's
    scores speedup exactly 1.0 in the noise-free studies. *)
-let run_raw ~kind ~machine ~(prepared : Compiler.prepared array)
-    ~(sim : Simcache.t) (g : Gp.Expr.genome) ~case
-    ~(dataset : Benchmarks.Bench.dataset) : float * int =
+let run_raw ?(compiled_eval = true) ~kind ~machine
+    ~(prepared : Compiler.prepared array) ~(sim : Simcache.t)
+    (g : Gp.Expr.genome) ~case ~(dataset : Benchmarks.Bench.dataset) :
+    float * int =
   let p = prepared.(case) in
   let compiled =
     Gp.Telemetry.span "study.compile_s" (fun () ->
-        Compiler.compile ~machine ~heuristics:(heuristics_with kind g) p)
+        Compiler.compile ~compiled_eval ~machine
+          ~heuristics:(heuristics_with kind g) p)
   in
   let res = Simcache.simulate sim ~machine ~dataset p compiled in
   let noise = noise_rng_of kind g case in
@@ -118,9 +172,12 @@ let run_raw ~kind ~machine ~(prepared : Compiler.prepared array)
    program produces different output than the baseline is a
    compiler-correctness bug; it receives fitness 0 so evolution discards
    it (the paper: "Our system can also be used to uncover bugs!"). *)
-let speedup_against ~kind ~machine ~prepared ~sim ~baselines g ~case ~dataset =
+let speedup_against ?compiled_eval ~kind ~machine ~prepared ~sim ~baselines g
+    ~case ~dataset =
   let base_cycles, base_sum = baselines.(case) in
-  let cycles, sum = run_raw ~kind ~machine ~prepared ~sim g ~case ~dataset in
+  let cycles, sum =
+    run_raw ?compiled_eval ~kind ~machine ~prepared ~sim g ~case ~dataset
+  in
   if sum <> base_sum then begin
     Logs.warn (fun m ->
         m "candidate heuristic broke %s (checksum mismatch)"
@@ -134,10 +191,11 @@ let dataset_name = function
   | Benchmarks.Bench.Train -> "train"
   | Benchmarks.Bench.Novel -> "novel"
 
-let create ?machine ?(jobs = 1) ?cache_dir ?timeout_s ?retries
-    ?(fast_sim = true) (kind : kind) (bench_names : string list) : context =
-  let machine = Option.value ~default:(machine_of kind) machine in
-  let sim = Simcache.create ~enabled:fast_sim () in
+let create_with (cfg : config) (kind : kind) (bench_names : string list) :
+    context =
+  let machine = Option.value ~default:(machine_of kind) cfg.machine in
+  let compiled_eval = cfg.compiled_eval in
+  let sim = Simcache.create ~enabled:cfg.fast_sim () in
   (* The prefetching study compiles without unrolling (ORC's prefetch
      phase runs on clean loop nests; unrolled loops defeat the
      induction-variable analysis exactly as they would ORC's). *)
@@ -153,25 +211,30 @@ let create ?machine ?(jobs = 1) ?cache_dir ?timeout_s ?retries
          bench_names)
   in
   let base = baseline_genome_of kind in
+  let baseline_pool = Gp.Parmap.pool ~backend:cfg.backend ~jobs:cfg.jobs () in
   let baseline_for dataset =
     (* Parallel like any other batch; a failed cell (worker crash) is
        recomputed sequentially because baselines must exist. *)
     let cells =
-      Gp.Parmap.map ~jobs ~fallback:(Float.nan, 0)
-        (fun case -> run_raw ~kind ~machine ~prepared ~sim base ~case ~dataset)
+      Gp.Parmap.run baseline_pool ~fallback:(Float.nan, 0)
+        (fun case ->
+          run_raw ~compiled_eval ~kind ~machine ~prepared ~sim base ~case
+            ~dataset)
         (Array.init (Array.length prepared) Fun.id)
     in
     Array.mapi
       (fun case cell ->
         if Float.is_nan (fst cell) then
-          run_raw ~kind ~machine ~prepared ~sim base ~case ~dataset
+          run_raw ~compiled_eval ~kind ~machine ~prepared ~sim base ~case
+            ~dataset
         else cell)
       cells
   in
   let baseline_train = baseline_for Benchmarks.Bench.Train in
   let baseline_novel = baseline_for Benchmarks.Bench.Novel in
   let evaluator_for baselines dataset =
-    Evaluator.create ~jobs ?cache_dir ?timeout_s ?retries
+    Evaluator.create ~backend:cfg.backend ~jobs:cfg.jobs
+      ?cache_dir:cfg.cache_dir ?timeout_s:cfg.timeout_s ~retries:cfg.retries
       ~fs:(feature_set_of kind)
       ~scope:
         (Printf.sprintf "%s/%s/%s" (kind_name kind)
@@ -179,13 +242,14 @@ let create ?machine ?(jobs = 1) ?cache_dir ?timeout_s ?retries
       ~case_name:(fun i ->
         prepared.(i).Compiler.bench.Benchmarks.Bench.name)
       ~eval:(fun g case ->
-        speedup_against ~kind ~machine ~prepared ~sim ~baselines g ~case
-          ~dataset)
+        speedup_against ~compiled_eval ~kind ~machine ~prepared ~sim
+          ~baselines g ~case ~dataset)
       ()
   in
   {
     kind;
     machine;
+    compiled_eval;
     prepared;
     baseline_train;
     baseline_novel;
@@ -193,6 +257,12 @@ let create ?machine ?(jobs = 1) ?cache_dir ?timeout_s ?retries
     eval_novel = evaluator_for baseline_novel Benchmarks.Bench.Novel;
     sim;
   }
+
+let create ?machine ?(jobs = 1) ?cache_dir ?timeout_s ?retries
+    ?(fast_sim = true) (kind : kind) (bench_names : string list) : context =
+  create_with
+    (config_of ?machine ~jobs ?cache_dir ?timeout_s ?retries ~fast_sim ())
+    kind bench_names
 
 let evaluator_of (ctx : context) = function
   | Benchmarks.Bench.Train -> ctx.eval_train
@@ -213,8 +283,9 @@ let speedup (ctx : context) (g : Gp.Expr.genome) ~case
     | Benchmarks.Bench.Train -> ctx.baseline_train
     | Benchmarks.Bench.Novel -> ctx.baseline_novel
   in
-  speedup_against ~kind:ctx.kind ~machine:ctx.machine ~prepared:ctx.prepared
-    ~sim:ctx.sim ~baselines g ~case ~dataset
+  speedup_against ~compiled_eval:ctx.compiled_eval ~kind:ctx.kind
+    ~machine:ctx.machine ~prepared:ctx.prepared ~sim:ctx.sim ~baselines g
+    ~case ~dataset
 
 let problem_of (ctx : context) : Gp.Evolve.problem =
   {
@@ -312,15 +383,13 @@ let emit_run_summary ~driver ~kind ~benches ~ctx ~elapsed_s ~evaluations
 
 (* Figure 4 / 9 / 13: evolve a priority function for one benchmark, then
    measure on the training and the novel datasets. *)
-let specialize ?(params = Gp.Params.scaled) ?jobs ?cache_dir ?timeout_s
-    ?retries ?checkpoint_dir ?on_generation ?fast_sim (kind : kind)
+let specialize_with ?on_generation (cfg : config) (kind : kind)
     (bench : string) : specialization =
   let t0 = if Gp.Telemetry.enabled () then Gp.Telemetry.now_s () else 0.0 in
-  let ctx =
-    create ?jobs ?cache_dir ?timeout_s ?retries ?fast_sim kind [ bench ]
-  in
+  let ctx = create_with cfg kind [ bench ] in
   let result =
-    Gp.Evolve.run ~params ?on_generation ?checkpoint_dir (problem_of ctx)
+    Gp.Evolve.run ~params:cfg.params ?on_generation
+      ?checkpoint_dir:cfg.checkpoint_dir (problem_of ctx)
   in
   let train_speedup = Evaluator.evaluate ctx.eval_train result.Gp.Evolve.best 0 in
   let novel_speedup = Evaluator.evaluate ctx.eval_novel result.Gp.Evolve.best 0 in
@@ -341,6 +410,13 @@ let specialize ?(params = Gp.Params.scaled) ?jobs ?cache_dir ?timeout_s
     faults = faults ctx;
   }
 
+let specialize ?params ?jobs ?cache_dir ?timeout_s ?retries ?checkpoint_dir
+    ?on_generation ?fast_sim (kind : kind) (bench : string) : specialization =
+  specialize_with ?on_generation
+    (config_of ?params ?jobs ?cache_dir ?timeout_s ?retries ?checkpoint_dir
+       ?fast_sim ())
+    kind bench
+
 type general = {
   best : Gp.Expr.genome;
   best_expr : string;
@@ -351,13 +427,13 @@ type general = {
 
 (* Figure 6 / 11 / 15: evolve one priority function over a training suite
    with DSS, then measure every training benchmark on both datasets. *)
-let evolve_general ?(params = Gp.Params.scaled) ?jobs ?cache_dir ?timeout_s
-    ?retries ?checkpoint_dir ?on_generation ?fast_sim (kind : kind)
+let evolve_general_with ?on_generation (cfg : config) (kind : kind)
     (benches : string list) : general =
   let t0 = if Gp.Telemetry.enabled () then Gp.Telemetry.now_s () else 0.0 in
-  let ctx = create ?jobs ?cache_dir ?timeout_s ?retries ?fast_sim kind benches in
+  let ctx = create_with cfg kind benches in
   let result =
-    Gp.Evolve.run ~params ?on_generation ?checkpoint_dir (problem_of ctx)
+    Gp.Evolve.run ~params:cfg.params ?on_generation
+      ?checkpoint_dir:cfg.checkpoint_dir (problem_of ctx)
   in
   let best_expr =
     Gp.Sexp.to_string (feature_set_of kind)
@@ -376,13 +452,26 @@ let evolve_general ?(params = Gp.Params.scaled) ?jobs ?cache_dir ?timeout_s
     faults = faults ctx;
   }
 
+let evolve_general ?params ?jobs ?cache_dir ?timeout_s ?retries
+    ?checkpoint_dir ?on_generation ?fast_sim (kind : kind)
+    (benches : string list) : general =
+  evolve_general_with ?on_generation
+    (config_of ?params ?jobs ?cache_dir ?timeout_s ?retries ?checkpoint_dir
+       ?fast_sim ())
+    kind benches
+
 (* Figure 7 / 12 / 16: apply a fixed evolved priority function to a suite
-   it was not trained on.  [?params] is accepted for prefix uniformity
-   with the other drivers; no evolution happens here. *)
-let cross_validate ?params:(_ : Gp.Params.t option) ?jobs ?cache_dir
-    ?timeout_s ?retries ?machine ?fast_sim (kind : kind) (g : Gp.Expr.genome)
+   it was not trained on.  [cfg.params] and [cfg.checkpoint_dir] are
+   ignored; no evolution happens here. *)
+let cross_validate_with (cfg : config) (kind : kind) (g : Gp.Expr.genome)
     (benches : string list) : (string * float * float) list =
-  let ctx =
-    create ?machine ?jobs ?cache_dir ?timeout_s ?retries ?fast_sim kind benches
-  in
+  let ctx = create_with cfg kind benches in
   measure_rows ctx g
+
+let cross_validate ?params ?jobs ?cache_dir ?timeout_s ?retries ?machine
+    ?fast_sim (kind : kind) (g : Gp.Expr.genome) (benches : string list) :
+    (string * float * float) list =
+  cross_validate_with
+    (config_of ?params ?machine ?jobs ?cache_dir ?timeout_s ?retries
+       ?fast_sim ())
+    kind g benches

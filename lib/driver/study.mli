@@ -33,9 +33,35 @@ val noise_of : kind -> float option
 val heuristics_with : kind -> Gp.Expr.genome -> Compiler.heuristics
 (** @raise Invalid_argument on a genome of the wrong sort. *)
 
+(** One record for everything an experiment run shares: GP scale, machine
+    override, {!Gp.Parmap} pool shape, caches, supervision, and the two
+    reference-vs-fast switches.  Build it in one place (the CLI does) and
+    hand it to the [_with] drivers; the per-driver optional-argument
+    prefixes survive as thin wrappers for existing callers. *)
+type config = {
+  params : Gp.Params.t;          (** GP scale (population, generations) *)
+  machine : Machine.Config.t option;  (** [None] = the study's default *)
+  backend : Gp.Parmap.backend;   (** pool flavor, default [`Fork] *)
+  jobs : int;                    (** pool width, default 1 *)
+  cache_dir : string option;     (** persistent fitness cache *)
+  checkpoint_dir : string option;  (** per-generation checkpointing *)
+  timeout_s : float option;      (** per-evaluation deadline (fork only) *)
+  retries : int;                 (** re-runs of a crashed/hung task *)
+  fast_sim : bool;               (** {!Simcache} fast paths, default on *)
+  compiled_eval : bool;
+      (** evaluate heuristic expressions through the {!Gp.Evalc} bytecode
+          compiler (default) rather than the {!Gp.Eval} tree-walker;
+          fitness is bit-identical either way *)
+}
+
+val default_config : config
+(** Sequential [`Fork]-backed run at {!Gp.Params.scaled}, no caches, no
+    deadline, 1 retry, fast-sim and compiled-eval on. *)
+
 type context = {
   kind : kind;
   machine : Machine.Config.t;
+  compiled_eval : bool;  (** how heuristic expressions are evaluated *)
   prepared : Compiler.prepared array;
   baseline_train : (float * int) array;  (** cycles, checksum per case *)
   baseline_novel : (float * int) array;
@@ -44,20 +70,29 @@ type context = {
   sim : Simcache.t;  (** shared artifact/trace simulation cache *)
 }
 
+val create_with : config -> kind -> string list -> context
+(** Prepare the named benchmarks, compile + simulate the baseline on both
+    datasets (over the configured pool), and build one cached batch
+    evaluator per dataset.  [timeout_s] and [retries] configure the
+    evaluators' supervision (see {!Evaluator.create}): a candidate
+    compile that hangs or crashes its worker is killed, retried, and
+    ultimately scored 0 without poisoning the persistent cache.
+    [fast_sim] (default true) enables the {!Simcache} fast paths —
+    artifact-keyed result sharing, trace replay, and the pre-decoded
+    interpreter; disabling it routes every measurement through a fresh
+    reference-engine simulation.  [compiled_eval] selects {!Gp.Evalc}
+    bytecode (default) versus the {!Gp.Eval} tree-walker for heuristic
+    expressions.  Results are bit-identical across all of these
+    switches. *)
+
 val create :
   ?machine:Machine.Config.t -> ?jobs:int -> ?cache_dir:string ->
   ?timeout_s:float -> ?retries:int -> ?fast_sim:bool ->
   kind -> string list -> context
-(** Prepare the named benchmarks, compile + simulate the baseline on both
-    datasets ([jobs]-wide), and build one cached batch evaluator per
-    dataset.  [timeout_s] and [retries] configure the evaluators'
-    supervision (see {!Evaluator.create}): a candidate compile that hangs
-    or crashes its worker is killed, retried, and ultimately scored 0
-    without poisoning the persistent cache.  [fast_sim] (default true)
-    enables the {!Simcache} fast paths — artifact-keyed result sharing,
-    trace replay, and the pre-decoded interpreter; disabling it routes
-    every measurement through a fresh reference-engine simulation.
-    Results are bit-identical either way. *)
+(** [create ...] is {!create_with} over {!default_config} with the given
+    overrides.
+    @deprecated new callers should build a {!config} and use
+    {!create_with}. *)
 
 val evaluator_of : context -> Benchmarks.Bench.dataset -> Evaluator.t
 
@@ -83,18 +118,25 @@ type specialization = {
   faults : Evaluator.fault_stats;  (** infra failures during the run *)
 }
 
+val specialize_with :
+  ?on_generation:(Gp.Evolve.generation_stats -> unit) ->
+  config -> kind -> string -> specialization
+(** Figures 4 / 9 / 13: evolve for a single benchmark, measure on both
+    datasets.  [config.checkpoint_dir] enables per-generation
+    checkpointing and resume, and [on_generation] is forwarded to the
+    evolution loop (see {!Gp.Evolve.run}).  With {!Gp.Telemetry} enabled,
+    emits one [kind = "run_summary"] record (evaluations, cache hit
+    counts, fault counters, elapsed seconds, best expression) at the end
+    of the run, as does {!evolve_general_with}. *)
+
 val specialize :
   ?params:Gp.Params.t -> ?jobs:int -> ?cache_dir:string ->
   ?timeout_s:float -> ?retries:int -> ?checkpoint_dir:string ->
   ?on_generation:(Gp.Evolve.generation_stats -> unit) -> ?fast_sim:bool ->
   kind -> string -> specialization
-(** Figures 4 / 9 / 13: evolve for a single benchmark, measure on both
-    datasets.  [checkpoint_dir] enables per-generation checkpointing and
-    resume, and [on_generation] is forwarded to the evolution loop (see
-    {!Gp.Evolve.run}).  With {!Gp.Telemetry} enabled, emits one
-    [kind = "run_summary"] record (evaluations, cache hit counts, fault
-    counters, elapsed seconds, best expression) at the end of the run,
-    as does {!evolve_general}. *)
+(** {!specialize_with} over {!default_config} with the given overrides.
+    @deprecated new callers should build a {!config} and use
+    {!specialize_with}. *)
 
 type general = {
   best : Gp.Expr.genome;
@@ -104,15 +146,30 @@ type general = {
   faults : Evaluator.fault_stats;  (** infra failures during the run *)
 }
 
+val evolve_general_with :
+  ?on_generation:(Gp.Evolve.generation_stats -> unit) ->
+  config -> kind -> string list -> general
+(** Figures 6 / 11 / 15: one priority function over a training suite with
+    dynamic subset selection.  [config.checkpoint_dir] enables
+    per-generation checkpointing and resume, and [on_generation] is
+    forwarded to the evolution loop (see {!Gp.Evolve.run}). *)
+
 val evolve_general :
   ?params:Gp.Params.t -> ?jobs:int -> ?cache_dir:string ->
   ?timeout_s:float -> ?retries:int -> ?checkpoint_dir:string ->
   ?on_generation:(Gp.Evolve.generation_stats -> unit) -> ?fast_sim:bool ->
   kind -> string list -> general
-(** Figures 6 / 11 / 15: one priority function over a training suite with
-    dynamic subset selection.  [checkpoint_dir] enables per-generation
-    checkpointing and resume, and [on_generation] is forwarded to the
-    evolution loop (see {!Gp.Evolve.run}). *)
+(** {!evolve_general_with} over {!default_config} with the given
+    overrides.
+    @deprecated new callers should build a {!config} and use
+    {!evolve_general_with}. *)
+
+val cross_validate_with :
+  config -> kind -> Gp.Expr.genome -> string list ->
+  (string * float * float) list
+(** Figures 7 / 12 / 16: a fixed evolved function applied to benchmarks
+    it was not trained on.  [config.params] and [config.checkpoint_dir]
+    are ignored — no evolution happens here. *)
 
 val cross_validate :
   ?params:Gp.Params.t -> ?jobs:int -> ?cache_dir:string ->
@@ -120,6 +177,7 @@ val cross_validate :
   ?machine:Machine.Config.t -> ?fast_sim:bool ->
   kind -> Gp.Expr.genome -> string list ->
   (string * float * float) list
-(** Figures 7 / 12 / 16: a fixed evolved function applied to benchmarks
-    it was not trained on.  [?params] is accepted only for prefix
-    uniformity. *)
+(** {!cross_validate_with} over {!default_config} with the given
+    overrides.
+    @deprecated new callers should build a {!config} and use
+    {!cross_validate_with}. *)

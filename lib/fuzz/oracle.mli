@@ -1,12 +1,13 @@
-(** The six differential oracles.
+(** The seven differential oracles.
 
     Each oracle runs one seeded trial of a redundancy the repo's results
     rest on — fast vs reference interpreter, trace replay vs fresh
     simulation, cache hit vs recomputation, [Eval] vs
-    [Eval . Simplify], checkpoint-resume vs straight evolution, and
-    [Parmap] at one vs many jobs — comparing every float through
-    [Int64.bits_of_float].  Failures come back as a replayable report
-    with a greedily shrunk counterexample. *)
+    [Eval . Simplify], checkpoint-resume vs straight evolution,
+    [Parmap] at one vs many jobs (fork and domains backends), and
+    [Evalc] compiled bytecode vs the [Eval] tree-walker — comparing
+    every float through [Int64.bits_of_float].  Failures come back as a
+    replayable report with a greedily shrunk counterexample. *)
 
 type verdict = Pass | Skip of string | Fail of string
 
@@ -19,7 +20,8 @@ type t = {
 }
 
 val all : t list
-(** engine, replay, cache, simplify, checkpoint, parmap. *)
+(** engine, replay, cache, simplify, checkpoint, parmap,
+    compiled_vs_walk. *)
 
 val find : string -> t option
 val names : string list

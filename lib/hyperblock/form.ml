@@ -340,21 +340,37 @@ let new_stats () =
     paths_total = 0;
   }
 
-(* Score a region's paths with the priority function. *)
-let score_region (f : Ir.Func.t) (prof : Profile.Prof.t)
-    (priority : Gp.Expr.rexpr) (region : Region.t) : scored_path list =
+(* Score a region's paths with the priority function.  A scorer maps all
+   of a region's path environments to priorities at once: the compiled
+   instance is [Gp.Evalc.run_batch] over one pre-compiled program (no
+   per-path re-dispatch); the reference instance tree-walks per path. *)
+let score_region_with (scorer : Gp.Feature_set.env list -> float list)
+    (f : Ir.Func.t) (prof : Profile.Prof.t) (region : Region.t) :
+    scored_path list =
   let feats = List.map (path_features f prof) region.Region.paths in
   let total_ops = ops_of_labels f region.Region.mergeable in
   let envs = Features.environments feats ~total_ops in
   List.map2
-    (fun (path, fe) env ->
-      { path; feats = fe; priority = Gp.Eval.real env priority })
+    (fun (path, fe) pr -> { path; feats = fe; priority = pr })
     (List.combine region.Region.paths feats)
-    envs
+    (scorer envs)
 
-let run_func ?(config = default_config) ~(machine : Machine.Config.t)
-    ~(prof : Profile.Prof.t) ~(priority : Gp.Expr.rexpr) (f : Ir.Func.t)
-    (stats : stats) : unit =
+let scorer_of ~compiled (priority : Gp.Expr.rexpr) =
+  if compiled then begin
+    let prog = Gp.Evalc.compile_real priority in
+    fun envs ->
+      Array.to_list (Gp.Evalc.run_batch prog (Array.of_list envs))
+  end
+  else fun envs -> List.map (fun env -> Gp.Eval.real env priority) envs
+
+let score_region ?(compiled = true) (f : Ir.Func.t) (prof : Profile.Prof.t)
+    (priority : Gp.Expr.rexpr) (region : Region.t) : scored_path list =
+  score_region_with (scorer_of ~compiled priority) f prof region
+
+let run_func ?(config = default_config) ?(compiled = true)
+    ~(machine : Machine.Config.t) ~(prof : Profile.Prof.t)
+    ~(priority : Gp.Expr.rexpr) (f : Ir.Func.t) (stats : stats) : unit =
+  let scorer = scorer_of ~compiled priority in
   (* Regions are re-discovered after each conversion; entries already
      attempted are skipped. *)
   let attempted = Hashtbl.create 16 in
@@ -372,7 +388,7 @@ let run_func ?(config = default_config) ~(machine : Machine.Config.t)
       Hashtbl.replace attempted region.Region.entry ();
       stats.regions_seen <- stats.regions_seen + 1;
       stats.paths_total <- stats.paths_total + List.length region.Region.paths;
-      let scored = score_region f prof priority region in
+      let scored = score_region_with scorer f prof region in
       let selected = select ~config ~machine f scored in
       let merged =
         convert f region (List.map (fun s -> s.path) selected)
@@ -384,12 +400,12 @@ let run_func ?(config = default_config) ~(machine : Machine.Config.t)
       end
   done
 
-let run ?(config = default_config) ~machine ~prof ~priority
-    (p : Ir.Func.program) : stats =
+let run ?(config = default_config) ?(compiled = true) ~machine ~prof
+    ~priority (p : Ir.Func.program) : stats =
   let stats = new_stats () in
   List.iter
     (fun f ->
-      run_func ~config ~machine ~prof ~priority f stats;
+      run_func ~config ~compiled ~machine ~prof ~priority f stats;
       Opt.Simplify_cfg.remove_unreachable f;
       Ir.Func.renumber f)
     p.Ir.Func.funcs;

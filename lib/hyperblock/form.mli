@@ -33,10 +33,14 @@ type scored_path = {
 }
 
 val score_region :
+  ?compiled:bool ->
   Ir.Func.t -> Profile.Prof.t -> Gp.Expr.rexpr -> Region.t ->
   scored_path list
 (** Evaluate the priority function on every path of a region (aggregate
-    features are shared across the region). *)
+    features are shared across the region).  By default the expression is
+    compiled once through {!Gp.Evalc} and run as a batch over the region's
+    path environments; [~compiled:false] keeps the {!Gp.Eval} tree-walker,
+    the bit-identical executable reference. *)
 
 val select :
   config:config -> machine:Machine.Config.t -> Ir.Func.t ->
@@ -58,7 +62,9 @@ type stats = {
 }
 
 val run :
-  ?config:config -> machine:Machine.Config.t -> prof:Profile.Prof.t ->
-  priority:Gp.Expr.rexpr -> Ir.Func.program -> stats
+  ?config:config -> ?compiled:bool -> machine:Machine.Config.t ->
+  prof:Profile.Prof.t -> priority:Gp.Expr.rexpr -> Ir.Func.program -> stats
 (** Form hyperblocks over every function, re-discovering regions after
-    each conversion; prunes unreachable blocks and renumbers. *)
+    each conversion; prunes unreachable blocks and renumbers.  [compiled]
+    selects the {!Gp.Evalc} path (default) versus the {!Gp.Eval}
+    tree-walker for priority evaluation; see {!score_region}. *)

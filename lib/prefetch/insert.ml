@@ -21,9 +21,13 @@ let baseline_decision ~machine (p : Ir.Func.program) : decision_fn =
  fun c ->
   Gp.Eval.bool (Features.environment ~machine p c) Features.baseline_expr
 
-let decision_of_expr ~machine (p : Ir.Func.program) (e : Gp.Expr.bexpr) :
-    decision_fn =
- fun c -> Gp.Eval.bool (Features.environment ~machine p c) e
+(* Compiled once per [decision_of_expr]; evaluated per candidate load. *)
+let decision_of_expr ?(compiled = true) ~machine (p : Ir.Func.program)
+    (e : Gp.Expr.bexpr) : decision_fn =
+  let eval =
+    if compiled then Gp.Evalc.bool_fn e else fun env -> Gp.Eval.bool env e
+  in
+  fun c -> eval (Features.environment ~machine p c)
 
 type stats = {
   candidates : int;

@@ -17,7 +17,11 @@ val baseline_decision :
   machine:Machine.Config.t -> Ir.Func.program -> decision_fn
 
 val decision_of_expr :
+  ?compiled:bool ->
   machine:Machine.Config.t -> Ir.Func.program -> Gp.Expr.bexpr -> decision_fn
+(** Compiles the confidence function once through {!Gp.Evalc} (default);
+    [~compiled:false] keeps the {!Gp.Eval} tree-walker, the bit-identical
+    executable reference. *)
 
 type stats = {
   candidates : int;

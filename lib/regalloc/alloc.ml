@@ -42,8 +42,10 @@ type savings_fn = Gp.Feature_set.env -> float
 let baseline_savings : savings_fn =
  fun env -> Gp.Eval.real env Features.baseline_expr
 
-let savings_of_expr (e : Gp.Expr.rexpr) : savings_fn =
- fun env -> Gp.Eval.real env e
+(* Compiled once per [savings_of_expr]; the allocator calls the result
+   for every (live range, block) pair. *)
+let savings_of_expr ?(compiled = true) (e : Gp.Expr.rexpr) : savings_fn =
+  if compiled then Gp.Evalc.real_fn e else fun env -> Gp.Eval.real env e
 
 let block_weight depth = 10.0 ** float_of_int (min depth 3)
 

@@ -39,7 +39,10 @@ type savings_fn = Gp.Feature_set.env -> float
 val baseline_savings : savings_fn
 (** Equation (2). *)
 
-val savings_of_expr : Gp.Expr.rexpr -> savings_fn
+val savings_of_expr : ?compiled:bool -> Gp.Expr.rexpr -> savings_fn
+(** Compiles [e] once through {!Gp.Evalc} (default); [~compiled:false]
+    keeps the {!Gp.Eval} tree-walker, the bit-identical executable
+    reference. *)
 
 val block_weight : int -> float
 (** Static execution-frequency estimate from loop depth (10^depth,

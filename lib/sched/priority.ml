@@ -60,8 +60,15 @@ let height_above (g : Depgraph.t) : int array =
   done;
   above
 
-let of_expr (expr : Gp.Expr.rexpr) : fn =
- fun g ->
+let of_expr ?(compiled = true) (expr : Gp.Expr.rexpr) : fn =
+  (* Compile once per [of_expr]; every block of every function then pays
+     array indexing per instruction instead of a tree walk.  The
+     tree-walker stays selectable as the executable reference. *)
+  let eval =
+    if compiled then Gp.Evalc.real_fn expr
+    else fun env -> Gp.Eval.real env expr
+  in
+  fun g ->
   let n = Array.length g.Depgraph.instrs in
   let lwd = Depgraph.latency_weighted_depth g in
   let above = height_above g in
@@ -90,4 +97,4 @@ let of_expr (expr : Gp.Expr.rexpr) : fn =
       setb "is_branch" (Ir.Instr.is_branch_like k);
       setb "is_call" (Ir.Instr.is_call k);
       setb "is_guarded" (instr.Ir.Instr.guard <> Ir.Types.p_true);
-      Gp.Eval.real env expr)
+      eval env)

@@ -24,4 +24,8 @@ val height_above : Depgraph.t -> int array
 (** Earliest possible issue cycle of each node (longest latency-weighted
     path from any source, excluding the node's own latency). *)
 
-val of_expr : Gp.Expr.rexpr -> fn
+val of_expr : ?compiled:bool -> Gp.Expr.rexpr -> fn
+(** [of_expr expr] compiles [expr] once through {!Gp.Evalc} (default) and
+    scores instructions by array-indexed bytecode; [~compiled:false]
+    keeps the {!Gp.Eval} tree-walker — the executable reference the
+    compiled path is bit-identical to. *)

@@ -163,6 +163,45 @@ let test_study_fast_vs_slow () =
     (fun i (f, s) -> check_bits (Printf.sprintf "genome %d" i) f s)
     (List.combine fast slow)
 
+(* The compiled-eval golden path: a study context with Evalc on vs off
+   (the [--no-compiled-eval] tree-walker reference) must score every
+   candidate bit-identically, across two studies whose decision sites
+   route through different Evalc entry points — batch scoring in
+   hyperblock formation, per-node priorities in scheduling. *)
+let test_study_compiled_vs_walk () =
+  let cases =
+    [
+      ( Driver.Study.Sched_study, "codrle4",
+        [ "(sub 0.0 lwd)"; "(add slack latency)"; "(mul critical_path 0.5)" ] );
+      ( Driver.Study.Hyperblock_study, "codrle4",
+        [ "(mul exec_ratio 2.0)"; "(sub num_ops dep_height)" ] );
+    ]
+  in
+  List.iter
+    (fun (kind, bench, exprs) ->
+      let fs = Driver.Study.feature_set_of kind in
+      let genomes =
+        Driver.Study.baseline_genome_of kind
+        :: List.map (fun s -> Gp.Expr.Real (Gp.Sexp.parse_real fs s)) exprs
+      in
+      let measure ~compiled_eval =
+        let cfg = { Driver.Study.default_config with compiled_eval } in
+        let ctx = Driver.Study.create_with cfg kind [ bench ] in
+        List.map
+          (fun g ->
+            Driver.Study.speedup ctx g ~case:0 ~dataset:Benchmarks.Bench.Train)
+          genomes
+      in
+      let compiled = measure ~compiled_eval:true
+      and walked = measure ~compiled_eval:false in
+      List.iteri
+        (fun i (c, w) ->
+          check_bits
+            (Printf.sprintf "%s genome %d" (Driver.Study.kind_name kind) i)
+            c w)
+        (List.combine compiled walked))
+    cases
+
 (* Two different genomes that induce the same compilation decisions must
    share one simulation (the artifact hit), and a genome whose decisions
    equal the baseline's scores speedup exactly 1.0 off the baseline's
@@ -272,6 +311,8 @@ let suite =
       test_replay_equivalence;
     Alcotest.test_case "study results identical fast vs slow" `Slow
       test_study_fast_vs_slow;
+    Alcotest.test_case "study results identical compiled vs walk" `Slow
+      test_study_compiled_vs_walk;
     Alcotest.test_case "artifact collision shares one simulation" `Slow
       test_artifact_collision;
     Alcotest.test_case "uid-indexed schedule lengths" `Quick

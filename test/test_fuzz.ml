@@ -1,7 +1,7 @@
 (* The fuzzing subsystem's own tests, plus the regression tests for the
    engine-equivalence soft spots the fuzzer targets: trace-overflow
    handling, evaluator disk-cache hygiene, and the
-   [Eval = Eval . Simplify] property at scale. *)
+   [Eval = Eval . Simplify = Evalc] property at scale. *)
 
 let bits = Int64.bits_of_float
 
@@ -234,8 +234,12 @@ let test_evaluator_nonfinite_roundtrip () =
        with End_of_file -> ());
       close_in ic)
 
-(* --- satellite: Eval = Eval . Simplify at scale -------------------------- *)
+(* --- satellite: Eval = Eval . Simplify = Evalc at scale ------------------ *)
 
+(* One rng-stream extension of the original 1000-genome Simplify suite:
+   every genome is additionally compiled by Evalc and the bytecode must
+   agree with the tree-walker bit-for-bit — on the raw genome and on its
+   simplified form (exercising whatever shapes Simplify produces). *)
 let test_eval_simplify_equivalence_1000 () =
   let rng = Random.State.make [| 0xe15e; 42 |] in
   let mismatches = ref [] in
@@ -243,26 +247,30 @@ let test_eval_simplify_equivalence_1000 () =
     let sort = if i mod 4 = 0 then `Bool else `Real in
     let g = Fuzz.Genome_gen.genome rng ~sort in
     let s = Gp.Simplify.genome g in
+    let cg = Gp.Evalc.compile g and cs = Gp.Evalc.compile s in
     List.iter
       (fun env ->
         let show = function
           | `Real v -> Printf.sprintf "%Lx" (bits v)
           | `Bool b -> string_of_bool b
         in
-        let a = show (Gp.Eval.genome env g)
-        and b = show (Gp.Eval.genome env s) in
-        if a <> b then
-          mismatches :=
-            Printf.sprintf "genome %d: %s <> %s for %s => %s" i a b
-              (Gp.Sexp.to_string Fuzz.Genome_gen.fs g)
-              (Gp.Sexp.to_string Fuzz.Genome_gen.fs s)
-            :: !mismatches)
+        let record tag a b sub =
+          if a <> b then
+            mismatches :=
+              Printf.sprintf "genome %d (%s): %s <> %s for %s" i tag a b
+                (Gp.Sexp.to_string Fuzz.Genome_gen.fs sub)
+              :: !mismatches
+        in
+        let a = show (Gp.Eval.genome env g) in
+        record "simplify" a (show (Gp.Eval.genome env s)) s;
+        record "evalc raw" a (show (Gp.Evalc.run cg env)) g;
+        record "evalc simplified" a (show (Gp.Evalc.run cs env)) s)
       (Fuzz.Genome_gen.envs rng ~n:4)
   done;
   match !mismatches with
   | [] -> ()
   | ms ->
-    Alcotest.failf "%d/4000 evaluations diverge after Simplify:\n%s"
+    Alcotest.failf "%d/12000 evaluations diverge across Simplify/Evalc:\n%s"
       (List.length ms)
       (String.concat "\n" (List.filteri (fun i _ -> i < 5) ms))
 
@@ -281,6 +289,6 @@ let suite =
       test_trace_overflow_rejected;
     Alcotest.test_case "evaluator non-finite round-trip" `Quick
       test_evaluator_nonfinite_roundtrip;
-    Alcotest.test_case "eval = eval . simplify on 1000 genomes" `Quick
+    Alcotest.test_case "eval = simplify = evalc on 1000 genomes" `Quick
       test_eval_simplify_equivalence_1000;
   ]

@@ -1,7 +1,10 @@
-(* Tests for the fork-based process pool and the parallel fitness engine:
-   result ordering, the j=1 fallback, failure isolation (both raising
-   tasks and hard worker crashes), the persistent cache, and bit-identical
-   determinism of a parallel evolution run against a sequential one. *)
+(* Tests for the task pool (fork and domains backends behind the pool
+   API) and the parallel fitness engine: result ordering, the j=1
+   fallback, failure isolation (both raising tasks and hard worker
+   crashes), pool validation and capabilities, domains bit-identity
+   against the sequential reference, the persistent cache, and
+   bit-identical determinism of a parallel evolution run against a
+   sequential one. *)
 
 let squares n = Array.init n (fun i -> i * i)
 
@@ -99,6 +102,157 @@ let test_eintr_storm () =
           outcomes;
         Alcotest.(check int) "no spurious crashes" 0 stats.Gp.Parmap.crashes;
         Alcotest.(check int) "no spurious timeouts" 0 stats.Gp.Parmap.timeouts)
+  end
+
+(* --- The backend/pool API ------------------------------------------------- *)
+
+let test_pool_validation () =
+  let expect_invalid name f =
+    match f () with
+    | _ -> Alcotest.failf "%s was accepted" name
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid "jobs = 0" (fun () -> Gp.Parmap.pool ~jobs:0 ());
+  expect_invalid "jobs = -3" (fun () -> Gp.Parmap.pool ~jobs:(-3) ());
+  expect_invalid "timeout_s = 0" (fun () -> Gp.Parmap.pool ~timeout_s:0.0 ());
+  expect_invalid "timeout_s < 0" (fun () ->
+      Gp.Parmap.pool ~timeout_s:(-1.0) ());
+  expect_invalid "retries < 0" (fun () -> Gp.Parmap.pool ~retries:(-1) ());
+  expect_invalid "backoff_s < 0" (fun () -> Gp.Parmap.pool ~backoff_s:(-0.1) ());
+  (* the legacy wrappers and the evaluator validate too — a zero worker
+     count is a configuration error, not a request for sequential runs *)
+  expect_invalid "map ~jobs:0" (fun () ->
+      Gp.Parmap.map ~jobs:0 ~fallback:0 Fun.id [| 1 |]);
+  expect_invalid "supervised ~jobs:0" (fun () ->
+      Gp.Parmap.supervised ~jobs:0 Fun.id [| 1 |]);
+  expect_invalid "Evaluator.create ~jobs:0" (fun () ->
+      Driver.Evaluator.create ~jobs:0 ~fs:Hyperblock.Features.feature_set
+        ~scope:"invalid" ~case_name:string_of_int
+        ~eval:(fun _ _ -> 0.0)
+        ());
+  let p = Gp.Parmap.pool ~backend:`Seq ~jobs:3 ~retries:2 () in
+  Alcotest.(check int) "valid pool keeps jobs" 3 p.Gp.Parmap.jobs;
+  Alcotest.(check int) "valid pool keeps retries" 2 p.Gp.Parmap.retries
+
+let test_capabilities () =
+  let caps = Gp.Parmap.capabilities () in
+  Alcotest.(check bool) "seq always present" true (List.mem `Seq caps);
+  Alcotest.(check bool) "domains always present" true (List.mem `Domains caps);
+  (* this process never spawns a domain directly (the domains tests fork
+     first), so fork capability tracks the platform probe *)
+  Alcotest.(check bool) "fork tracks availability" Gp.Parmap.available
+    (List.mem `Fork caps);
+  List.iter
+    (fun b ->
+      Alcotest.(check bool)
+        (Gp.Parmap.backend_name b ^ " name round-trips")
+        true
+        (Gp.Parmap.backend_of_name (Gp.Parmap.backend_name b) = Some b))
+    [ `Seq; `Fork; `Domains ];
+  Alcotest.(check bool) "unknown backend name rejected" true
+    (Gp.Parmap.backend_of_name "threads" = None)
+
+(* The domains-backend comparison, shared by the forked-child and inline
+   paths below: [`Domains] at several widths must match the sequential
+   reference bit-for-bit, plain and supervised, and once domains have
+   run, [`Fork] must be retired from [capabilities] yet still answer
+   correctly through its degraded in-process path. *)
+let domains_identity_check () : (unit, string) result =
+  let rng = Random.State.make [| 0xd0a1 |] in
+  let tasks = Array.init 64 (fun _ -> Random.State.float rng 2.0 -. 1.0) in
+  let f x = sin (x *. 12.9898) *. 43758.5453 in
+  let seq =
+    Array.map Int64.bits_of_float
+      (Gp.Parmap.run (Gp.Parmap.pool ~backend:`Seq ()) ~fallback:nan f tasks)
+  in
+  let check_width jobs =
+    let pool = Gp.Parmap.pool ~backend:`Domains ~jobs () in
+    let par =
+      Array.map Int64.bits_of_float (Gp.Parmap.run pool ~fallback:nan f tasks)
+    in
+    if par <> seq then Error (Printf.sprintf "domains run -j%d diverges" jobs)
+    else
+      let outcomes, stats = Gp.Parmap.run_supervised pool f tasks in
+      let sup =
+        Array.map
+          (function Gp.Parmap.Ok v -> Int64.bits_of_float v | _ -> Int64.zero)
+          outcomes
+      in
+      if sup <> seq then
+        Error (Printf.sprintf "domains supervised -j%d diverges" jobs)
+      else if stats.Gp.Parmap.completed <> Array.length tasks then
+        Error (Printf.sprintf "domains -j%d lost tasks" jobs)
+      else Ok ()
+  in
+  let rec widths = function
+    | [] -> Ok ()
+    | j :: rest -> ( match check_width j with Ok () -> widths rest | e -> e)
+  in
+  match widths [ 1; 2; 3; 8 ] with
+  | Error _ as e -> e
+  | Ok () ->
+    (* domains exception isolation: a raising task is Crashed, others Ok *)
+    let boom = Gp.Parmap.pool ~backend:`Domains ~jobs:2 () in
+    let outcomes, _ =
+      Gp.Parmap.run_supervised boom
+        (fun x -> if x = 3 then failwith "boom" else x)
+        (Array.init 6 Fun.id)
+    in
+    let isolated =
+      Array.for_all2
+        (fun i o ->
+          match o with
+          | Gp.Parmap.Ok v -> i <> 3 && v = i
+          | Gp.Parmap.Crashed _ -> i = 3
+          | _ -> false)
+        (Array.init 6 Fun.id) outcomes
+    in
+    if not isolated then Error "domains supervised isolation broken"
+    else if List.mem `Fork (Gp.Parmap.capabilities ()) then
+      Error "fork still advertised after domains ran"
+    else
+      let degraded =
+        Array.map Int64.bits_of_float
+          (Gp.Parmap.run
+             (Gp.Parmap.pool ~backend:`Fork ~jobs:4 ())
+             ~fallback:nan f tasks)
+      in
+      if degraded <> seq then Error "retired fork backend diverges" else Ok ()
+
+(* The check spawns domains, and the OCaml 5 runtime forbids Unix.fork
+   in any process that ever did — so where fork works, run it inside a
+   forked child to keep the fork backend alive for every later suite. *)
+let test_domains_bit_identity () =
+  if not Gp.Parmap.available then
+    match domains_identity_check () with
+    | Ok () -> ()
+    | Error msg -> Alcotest.fail msg
+  else begin
+    flush stdout;
+    flush stderr;
+    let r, w = Unix.pipe () in
+    match Unix.fork () with
+    | 0 ->
+      Unix.close r;
+      let result =
+        try domains_identity_check ()
+        with e -> Error ("exception: " ^ Printexc.to_string e)
+      in
+      let oc = Unix.out_channel_of_descr w in
+      Marshal.to_channel oc result [];
+      flush oc;
+      Unix._exit 0
+    | pid ->
+      Unix.close w;
+      let ic = Unix.in_channel_of_descr r in
+      let result =
+        match (Marshal.from_channel ic : (unit, string) result) with
+        | r -> r
+        | exception _ -> Error "domains child died before reporting"
+      in
+      close_in_noerr ic;
+      ignore (Gp.Parmap.retry_eintr (fun () -> Unix.waitpid [] pid));
+      (match result with Ok () -> () | Error msg -> Alcotest.fail msg)
   end
 
 (* --- The driver-level engine --------------------------------------------- *)
@@ -357,6 +511,9 @@ let suite =
     Alcotest.test_case "exception isolation" `Quick test_exception_isolation;
     Alcotest.test_case "worker crash -> fallback" `Quick test_worker_crash;
     Alcotest.test_case "EINTR storm" `Quick test_eintr_storm;
+    Alcotest.test_case "pool validation" `Quick test_pool_validation;
+    Alcotest.test_case "capabilities" `Quick test_capabilities;
+    Alcotest.test_case "domains bit-identity" `Quick test_domains_bit_identity;
     Alcotest.test_case "parallel run deterministic" `Slow
       test_parallel_run_is_deterministic;
     Alcotest.test_case "noisy study deterministic" `Quick
