@@ -86,10 +86,11 @@ let backend =
   Arg.(value & opt backend_conv `Fork
        & info [ "backend" ]
            ~doc:"Worker-pool backend: $(b,fork) (processes; fault isolation \
-                 and timeouts), $(b,domains) (OCaml 5 shared-memory \
-                 domains; no kill-based timeouts), or $(b,seq) \
-                 (sequential in-process reference).  Fitness is \
-                 bit-identical across all three"
+                 and kill-based timeouts), $(b,domains) (OCaml 5 \
+                 shared-memory domains; cooperative safepoint deadlines, \
+                 with unresponsive workers quarantined), or $(b,seq) \
+                 (sequential in-process reference; deadlines inert).  \
+                 Fitness is bit-identical across all three"
            ~docv:"BACKEND")
 
 let cache_dir =
@@ -533,7 +534,7 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
-         "Differential fuzzing: random programs and genomes through the           seven redundancy oracles (engine, replay, cache, simplify,           checkpoint, parmap, compiled_vs_walk)")
+         "Differential fuzzing: random programs and genomes through the           eight redundancy oracles (engine, replay, cache, simplify,           checkpoint, parmap, compiled_vs_walk, chaos_vs_clean)")
     Term.(
       const run
       $ Arg.(value & opt int 0 & info [ "seed" ] ~doc:"campaign base seed")
@@ -548,6 +549,61 @@ let fuzz_cmd =
           & info [ "out" ]
               ~doc:"write counterexample reports to this file on failure"))
 
+(* --- chaos: deterministic fault-injection trials ---------------------------- *)
+
+let chaos_cmd =
+  let run seed count plan =
+    let plan =
+      match plan with
+      | None -> None
+      | Some spec -> (
+        match Gp.Chaos.plan_of_string ~seed spec with
+        | Ok p -> Some p
+        | Error msg ->
+          Fmt.epr "bad --plan: %s@." msg;
+          exit 2)
+    in
+    let failures = ref 0 in
+    for i = 0 to count - 1 do
+      let s = seed + i in
+      let p =
+        match plan with Some p -> p | None -> Gp.Chaos.seeded ~seed:s
+      in
+      Fmt.epr "chaos seed %d: %s@." s (Gp.Chaos.plan_to_string p);
+      match Fuzz.Oracle.chaos_trial ?plan s with
+      | None -> Fmt.pr "seed %d: ok@." s
+      | Some why ->
+        incr failures;
+        Fmt.pr "seed %d: DIVERGED — %s@." s why;
+        Fmt.pr "  replay: metaopt chaos --seed %d --count 1%s@." s
+          (match plan with
+          | None -> ""
+          | Some p ->
+            Printf.sprintf " --plan %S" (Gp.Chaos.plan_to_string p))
+    done;
+    Fmt.pr "%d/%d trials diverged@." !failures count;
+    if !failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Deterministic fault injection: evolve a tiny study on the \
+          supervised domains pool while a seeded plan injects hangs, \
+          crashes, torn cache lines and truncated checkpoints, then \
+          check the result is bit-identical to a fault-free sequential \
+          run (including a resume over the damaged artifacts)")
+    Term.(
+      const run
+      $ Arg.(value & opt int 0 & info [ "seed" ] ~doc:"base trial seed")
+      $ Arg.(value & opt int 5 & info [ "count" ] ~doc:"number of trials")
+      $ Arg.(
+          value & opt (some string) None
+          & info [ "plan" ]
+              ~doc:
+                "explicit fault plan \
+                 ($(i,SITE)[:$(i,KEY)][@$(i,ATTEMPT)]=$(i,FAULT), \
+                 comma-separated) instead of the seed-derived one"))
+
 (* --------------------------------------------------------------------------- *)
 
 let main =
@@ -555,6 +611,6 @@ let main =
     (Cmd.info "metaopt" ~version:"1.0.0"
        ~doc:"Meta Optimization: improving compiler heuristics with GP")
     [ list_cmd; run_cmd; ir_cmd; profile_cmd; specialize_cmd; evolve_cmd;
-      compare_cmd; features_cmd; simplify_cmd; fuzz_cmd ]
+      compare_cmd; features_cmd; simplify_cmd; fuzz_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -910,8 +910,12 @@ let run_batch p envs =
        overwritten below *)
     let f = Array.create_float (max 1 (s.s_nf * width)) in
     let bl = Array.make (max 1 (s.s_nb * width)) false in
+    (* Cancellation safepoint per chunk: one check every [batch_chunk]
+       environments keeps the cost invisible next to [vexec]. *)
+    let tok = Cancel.current () in
     let off = ref 0 in
     while !off < total do
+      Cancel.check tok;
       let m = min batch_chunk (total - !off) in
       vexec s envs ~off:!off ~m f bl;
       let rb = s.s_root * m in
@@ -928,6 +932,9 @@ let real_fn (e : Expr.rexpr) : Feature_set.env -> float =
   let fregs, bregs = scratch p in
   let root = p.root in
   fun env ->
+    (* Call-grained safepoint: these closures run once per heuristic
+       decision inside loops we do not own (hyperblock formation). *)
+    Cancel.tick ();
     exec p fregs bregs env;
     Array.unsafe_get fregs root
 
@@ -936,5 +943,6 @@ let bool_fn (e : Expr.bexpr) : Feature_set.env -> bool =
   let fregs, bregs = scratch p in
   let root = p.root in
   fun env ->
+    Cancel.tick ();
     exec p fregs bregs env;
     Array.unsafe_get bregs root

@@ -118,9 +118,20 @@ let better ~eps a b =
    Checkpoints are versioned and fingerprinted over (params, n_cases,
    sort); a file from another format version or another run configuration
    is ignored with a warning, as is a torn or corrupt file — the loader
-   walks newest-first until it finds a valid one. *)
+   walks newest-first until it finds a valid one.
+
+   Integrity is checked before [Marshal] gets near the bytes: the writer
+   appends a footer (magic, payload length, MD5 digest of the payload),
+   so the loader can tell a truncated or bit-rotted file — warned as
+   corrupt and counted in the [evolve.checkpoints_skipped] telemetry
+   counter — from a healthy file written by another version or another
+   run configuration, which is a mismatch, not damage. *)
 
 let checkpoint_version = 1
+
+(* 8-byte magic + 8-byte payload length + 16-byte raw MD5 of payload. *)
+let ck_magic = "MOCKPT01"
+let ck_footer_len = 8 + 8 + 16
 
 type checkpoint = {
   ck_version : int;
@@ -151,31 +162,90 @@ let write_checkpoint dir ck =
   | exception Sys_error e ->
     Logs.warn (fun m -> m "checkpoint not written: %s" e)
   | oc ->
-    Marshal.to_channel oc ck [];
+    let payload = Marshal.to_string ck [] in
+    output_string oc payload;
+    output_string oc ck_magic;
+    let len = Bytes.create 8 in
+    Bytes.set_int64_le len 0 (Int64.of_int (String.length payload));
+    output_bytes oc len;
+    output_string oc (Digest.string payload);
     close_out oc;
     (try Sys.rename tmp final
-     with Sys_error e -> Logs.warn (fun m -> m "checkpoint rename failed: %s" e))
+     with Sys_error e ->
+       Logs.warn (fun m -> m "checkpoint rename failed: %s" e));
+    (* Chaos site: a crash between the rename and the next generation can
+       leave a truncated file on disk; the injected fault produces
+       exactly that artifact. *)
+    (match
+       Chaos.fire ~site:Chaos.site_checkpoint_write ~key:ck.ck_next_gen
+         ~attempt:1
+     with
+    | Some Chaos.Truncated -> (
+      try
+        let sz = (Unix.stat final).Unix.st_size in
+        let fd = Unix.openfile final [ Unix.O_WRONLY ] 0o644 in
+        Unix.ftruncate fd (sz / 2);
+        Unix.close fd
+      with Unix.Unix_error _ -> ())
+    | _ -> ())
+
+(* Why a file can be rejected: damage (short read, bad magic, wrong
+   length, digest mismatch, unmarshalable payload) vs. a healthy file
+   that simply belongs to another format version or run configuration. *)
+type ck_reject = Corrupt of string | Mismatch
+
+let read_checkpoint path : (checkpoint, ck_reject) Stdlib.result =
+  match open_in_bin path with
+  | exception Sys_error e -> Error (Corrupt e)
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let size = in_channel_length ic in
+        if size < ck_footer_len then Error (Corrupt "file shorter than footer")
+        else begin
+          seek_in ic (size - ck_footer_len);
+          let footer = really_input_string ic ck_footer_len in
+          let magic = String.sub footer 0 8 in
+          let len = Int64.to_int (String.get_int64_le footer 8) in
+          let digest = String.sub footer 16 16 in
+          if magic <> ck_magic then Error (Corrupt "missing footer magic")
+          else if len < 0 || len <> size - ck_footer_len then
+            Error (Corrupt "payload length mismatch")
+          else begin
+            seek_in ic 0;
+            let payload = really_input_string ic len in
+            if Digest.string payload <> digest then
+              Error (Corrupt "payload digest mismatch")
+            else
+              match (Marshal.from_string payload 0 : checkpoint) with
+              | ck -> Ok ck
+              | exception _ -> Error (Corrupt "unmarshalable payload")
+          end
+        end)
 
 let load_checkpoint ~fingerprint:fp path =
-  match open_in_bin path with
-  | exception Sys_error _ -> None
-  | ic ->
-    let ck =
-      try Some (Marshal.from_channel ic : checkpoint) with _ -> None
-    in
-    close_in ic;
-    (match ck with
-    | Some ck when ck.ck_version = checkpoint_version && ck.ck_fingerprint = fp
-      ->
-      Some ck
-    | Some _ ->
-      Logs.warn (fun m ->
-          m "ignoring checkpoint %s (version or run fingerprint mismatch)"
-            path);
-      None
-    | None ->
-      Logs.warn (fun m -> m "ignoring corrupt checkpoint %s" path);
-      None)
+  let verdict =
+    match read_checkpoint path with
+    | Ok ck
+      when ck.ck_version = checkpoint_version && ck.ck_fingerprint = fp ->
+      Ok ck
+    | Ok _ -> Error Mismatch
+    | Error _ as e -> e
+  in
+  match verdict with
+  | Ok ck -> Some ck
+  | Error Mismatch ->
+    Telemetry.incr "evolve.checkpoints_skipped";
+    Logs.warn (fun m ->
+        m "ignoring checkpoint %s (version or run fingerprint mismatch)" path);
+    None
+  | Error (Corrupt why) ->
+    Telemetry.incr "evolve.checkpoints_skipped";
+    Logs.warn (fun m ->
+        m "ignoring corrupt checkpoint %s (%s) — resuming from an older one"
+          path why);
+    None
 
 (* Newest first: higher generation numbers are tried before lower ones, so
    a corrupt latest checkpoint costs one generation, not the run. *)

@@ -94,10 +94,16 @@ val run :
     newest valid checkpoint, skipping completed generations and producing
     a bit-identical result to an uninterrupted run (evaluations are pure
     per (genome, case); only the [evaluations] counter, which restarts
-    with the process, may differ).  Corrupt or mismatched checkpoint
-    files are skipped with a warning; checkpoint I/O failures degrade to
-    warnings and never abort the run.  One run configuration per
-    directory: files are named by generation and will be overwritten.
+    with the process, may differ).  Each file carries an integrity
+    footer (magic, payload length, payload digest), so the loader
+    distinguishes damage — a truncated or bit-rotted file, warned as
+    corrupt — from a healthy checkpoint of another version or run
+    configuration, warned as a mismatch; both are skipped (walking
+    newest-first to the next older file) and counted in the
+    [evolve.checkpoints_skipped] telemetry counter, and checkpoint I/O
+    failures degrade to warnings and never abort the run.  One run
+    configuration per directory: files are named by generation and will
+    be overwritten.
 
     With {!Telemetry} enabled, the driver emits one [kind = "generation"]
     record per generation (fitness best/mean/std, genome size

@@ -20,9 +20,15 @@
      workers pulling task indices from one [Atomic] counter, no fork and
      no [Marshal] round-trip per task.  Each result is written to a
      distinct slot of the output array, so workers never race.  A domain
-     cannot be killed, so deadlines and retries are fork-only; the
-     domains pool offers exception isolation, like the in-process
-     degradation [`Fork] falls back to where [fork] is unavailable.
+     cannot be killed, so [run_supervised] enforces deadlines
+     cooperatively: the supervisor installs a [Cancel] token around each
+     attempt, the evaluation stack polls it at safepoints and the
+     resulting [Cancelled] becomes a [Timed_out], with the same retry /
+     backoff schedule as the fork supervisor.  A task that ignores its
+     token past a grace period gets its worker {e quarantined}: the
+     domain is marked poisoned and abandoned (it exits on its own if the
+     task ever returns) and a fresh domain takes over its slot, so one
+     runaway cannot absorb the pool.
 
    The two parallel backends are mutually exclusive per process, in one
    direction: the OCaml 5 runtime permanently forbids [Unix.fork] once
@@ -76,7 +82,10 @@ type pool = {
   timeout_s : float option;
   retries : int;
   backoff_s : float;
+  ignored_limits : string list;
 }
+
+let warned_ignored_limits = ref false
 
 let pool ?(backend = `Fork) ?(jobs = 1) ?timeout_s ?(retries = 1)
     ?(backoff_s = 0.05) () =
@@ -91,7 +100,27 @@ let pool ?(backend = `Fork) ?(jobs = 1) ?timeout_s ?(retries = 1)
   if retries < 0 then invalid_arg "Parmap.pool: retries must be >= 0";
   if (not (Float.is_finite backoff_s)) || backoff_s < 0.0 then
     invalid_arg "Parmap.pool: backoff_s must be >= 0";
-  { backend; jobs; timeout_s; retries; backoff_s }
+  (* Supervision limits the chosen backend cannot honor.  Both parallel
+     backends now enforce deadlines and retries; only [`Seq] runs
+     unsupervised.  [retries = 1] is the constructor default, so only a
+     value that must have been chosen deliberately is flagged. *)
+  let ignored_limits =
+    match backend with
+    | `Seq ->
+      (if timeout_s <> None then [ "timeout_s" ] else [])
+      @ (if retries > 1 then [ "retries" ] else [])
+    | `Fork | `Domains -> []
+  in
+  if ignored_limits <> [] && not !warned_ignored_limits then begin
+    warned_ignored_limits := true;
+    Logs.warn (fun m ->
+        m
+          "parmap: %s configured on the seq backend, which runs \
+           unsupervised (no deadlines, no retries); the limits will be \
+           ignored"
+          (String.concat "/" ignored_limits))
+  end;
+  { backend; jobs; timeout_s; retries; backoff_s; ignored_limits }
 
 (* Every blocking syscall goes through here: a signal delivered while the
    parent is reaping or draining (SIGCHLD, a profiler's SIGPROF, an
@@ -255,6 +284,7 @@ type stats = {
   crashes : int;
   timeouts : int;
   retries : int;
+  quarantined : int;
 }
 
 (* Worker -> parent message.  A worker that dies before writing a full
@@ -300,70 +330,315 @@ let inprocess_supervised f xs =
           Crashed (Printexc.to_string e)))
     xs;
   ( outcomes,
-    { completed = !completed; crashes = !crashes; timeouts = 0; retries = 0 } )
+    {
+      completed = !completed;
+      crashes = !crashes;
+      timeouts = 0;
+      retries = 0;
+      quarantined = 0;
+    } )
 
-(* Shared-memory supervision: parallel exception isolation.  A domain
-   cannot be SIGKILLed and an arbitrary task cannot be safely interrupted
-   mid-mutation, so deadlines are not enforced here — callers that need
-   hang protection use [`Fork].  Retries are skipped for the same reason
-   the in-process path skips them: an in-domain exception is
-   deterministic. *)
-let domains_supervised ~jobs ~timeout_s f xs =
-  if timeout_s <> None then
-    Logs.warn (fun m ->
-        m
-          "parmap: the domains backend cannot enforce timeouts (a domain \
-           cannot be killed); running without deadlines");
+(* Shared-memory supervision.  A domain cannot be SIGKILLed, so the
+   fault model is cooperative: the calling domain acts as the
+   supervisor, worker domains pull (task, attempt) pairs from a shared
+   queue and run each attempt under a [Cancel] token carrying the
+   deadline.  The evaluation stack polls the token at safepoints and
+   raises [Cancelled] past the deadline, which the worker reports as a
+   timeout; retries and exponential backoff then follow exactly the
+   fork supervisor's schedule.
+
+   Tasks that never reach a safepoint (a blocking C call, a chaos
+   [Hang]) get the quarantine path: each running attempt carries a
+   wall-clock quarantine time — deadline plus a grace period of half
+   the timeout (min 50ms), so a hung task is cut off within 1.5x its
+   deadline.  The supervisor sweeps for overdue attempts, wins the
+   attempt's [settled] CAS so any late worker result is discarded,
+   charges the task a timeout, marks the worker poisoned and spawns a
+   fresh domain in its slot.  A poisoned domain is abandoned, never
+   joined: it exits on its own if the hung task ever returns (its next
+   dequeue sees the poison flag), and a domain parked in a blocking
+   section does not obstruct the runtime.
+
+   Results travel back through a settled-CAS-guarded record plus a
+   mutex-protected done-queue; a self-pipe wakes the supervisor's
+   [select], whose timeout is the nearest of the pending quarantine
+   times and retry wake-ups. *)
+
+type 'b attempt_result = Done of 'b | Failed of string | Deadline
+
+type 'b running = {
+  r_task : int;
+  r_attempt : int; (* 0-based *)
+  r_quarantine_at : float; (* absolute; [infinity] when no timeout *)
+  r_settled : bool Atomic.t; (* CAS-won by worker or quarantine sweep *)
+  mutable r_result : 'b attempt_result; (* written before the worker's CAS *)
+}
+
+type 'b wstate = {
+  w_poisoned : bool Atomic.t;
+  w_current : 'b running option Atomic.t;
+}
+
+let domains_supervised ~jobs ~timeout_s ~retries ~backoff_s f xs =
   let n = Array.length xs in
   let outcomes = Array.make n Gave_up in
-  let jobs = min jobs (max 1 n) in
+  let jobs = max 1 (min jobs n) in
+  let now () = Unix.gettimeofday () in
   let tel = Telemetry.enabled () in
   let t_start = if tel then Telemetry.now_s () else 0.0 in
-  let completed = Atomic.make 0 in
-  let crashes = Atomic.make 0 in
-  let next = Atomic.make 0 in
-  let body () =
+  let completed = ref 0 in
+  let crashes = ref 0 in
+  let timeouts = ref 0 in
+  let retried = ref 0 in
+  let quarantined = ref 0 in
+  let grace =
+    match timeout_s with
+    | Some t -> Float.max 0.05 (0.5 *. t)
+    | None -> infinity
+  in
+  let m = Mutex.create () in
+  let c = Condition.create () in
+  let work_q : (int * int) Queue.t = Queue.create () in
+  let done_q : 'b running Queue.t = Queue.create () in
+  let stop = ref false in
+  let note_r, note_w = Unix.pipe () in
+  let notify =
+    let b = Bytes.make 1 '!' in
+    fun () -> ignore (retry_eintr (fun () -> Unix.write note_w b 0 1))
+  in
+  (* Queue every first attempt before any worker starts, so workers find
+     work without waiting on a signal. *)
+  for i = 0 to n - 1 do
+    Queue.add (i, 0) work_q
+  done;
+  let worker ws () =
+    Telemetry.suppress_in_domain true;
+    let take () =
+      Mutex.lock m;
+      let rec go () =
+        if !stop then None
+        else
+          match Queue.take_opt work_q with
+          | Some t -> Some t
+          | None ->
+            Condition.wait c m;
+            go ()
+      in
+      let t = go () in
+      Mutex.unlock m;
+      t
+    in
     let rec loop () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        (match f xs.(i) with
-        | v ->
-          outcomes.(i) <- Ok v;
-          Atomic.incr completed
-        | exception e ->
-          outcomes.(i) <- Crashed (Printexc.to_string e);
-          Atomic.incr crashes);
-        loop ()
-      end
+      if not (Atomic.get ws.w_poisoned) then
+        match take () with
+        | None -> ()
+        | Some (task, attempt) ->
+          let tok = Cancel.create ?deadline_s:timeout_s () in
+          let r =
+            {
+              r_task = task;
+              r_attempt = attempt;
+              r_quarantine_at = Cancel.deadline tok +. grace;
+              r_settled = Atomic.make false;
+              r_result = Deadline;
+            }
+          in
+          Atomic.set ws.w_current (Some r);
+          let res =
+            match
+              Cancel.with_token tok (fun () ->
+                  Chaos.task_point ~isolated:false ~key:task
+                    ~attempt:(attempt + 1);
+                  f xs.(task))
+            with
+            | v -> Done v
+            | exception Cancel.Cancelled ->
+              (* Only a cancelled token makes [Cancelled] a timeout; a
+                 task raising it spuriously is a crash. *)
+              if Cancel.cancelled tok then Deadline
+              else Failed "task raised Cancelled"
+            | exception e -> Failed (Printexc.to_string e)
+          in
+          Atomic.set ws.w_current None;
+          r.r_result <- res;
+          if Atomic.compare_and_set r.r_settled false true then begin
+            Mutex.lock m;
+            Queue.add r done_q;
+            Mutex.unlock m;
+            notify ()
+          end;
+          (* A lost CAS means the sweep quarantined this attempt — the
+             poison flag ends the loop above. *)
+          loop ()
     in
     loop ()
   in
-  let worker () =
-    Telemetry.suppress_in_domain true;
-    body ()
-  in
   domains_used := true;
-  let spawned = Array.init (max 0 (jobs - 1)) (fun _ -> Domain.spawn worker) in
-  as_suppressed_worker body;
-  Array.iter Domain.join spawned;
-  let completed = Atomic.get completed and crashes = Atomic.get crashes in
+  let spawn_worker () =
+    let ws =
+      { w_poisoned = Atomic.make false; w_current = Atomic.make None }
+    in
+    (ws, Domain.spawn (worker ws))
+  in
+  let live = ref (List.init jobs (fun _ -> spawn_worker ())) in
+  let delayed = ref [] in
+  let remaining = ref n in
+  let handle_failure ~task ~attempt kind =
+    (match kind with
+    | `Crash msg ->
+      incr crashes;
+      Logs.warn (fun m ->
+          m "parmap: task %d attempt %d crashed: %s" task (attempt + 1) msg)
+    | `Timeout ->
+      incr timeouts;
+      Logs.warn (fun m ->
+          m "parmap: task %d attempt %d timed out after %.1fs" task
+            (attempt + 1)
+            (Option.value ~default:0.0 timeout_s)));
+    if attempt < retries then begin
+      incr retried;
+      let delay = backoff_s *. (2.0 ** float_of_int attempt) in
+      delayed := insert_delayed (now () +. delay, task, attempt + 1) !delayed
+    end
+    else begin
+      outcomes.(task) <-
+        (if retries = 0 then
+           match kind with `Crash msg -> Crashed msg | `Timeout -> Timed_out
+         else Gave_up);
+      decr remaining
+    end
+  in
+  let handle_result r =
+    match r.r_result with
+    | Done v ->
+      outcomes.(r.r_task) <- Ok v;
+      incr completed;
+      decr remaining
+    | Failed msg -> handle_failure ~task:r.r_task ~attempt:r.r_attempt (`Crash msg)
+    | Deadline -> handle_failure ~task:r.r_task ~attempt:r.r_attempt `Timeout
+  in
+  let drain_buf = Bytes.create 512 in
+  while !remaining > 0 do
+    let t = now () in
+    (* Promote delayed retries whose backoff has elapsed. *)
+    let promoted = ref false in
+    let rec promote () =
+      match !delayed with
+      | (nb, task, att) :: rest when nb <= t ->
+        delayed := rest;
+        Mutex.lock m;
+        Queue.add (task, att) work_q;
+        Mutex.unlock m;
+        promoted := true;
+        promote ()
+      | _ -> ()
+    in
+    promote ();
+    if !promoted then begin
+      Mutex.lock m;
+      Condition.broadcast c;
+      Mutex.unlock m
+    end;
+    (* Sleep until the nearest quarantine time or retry wake-up, or
+       until a worker pokes the pipe. *)
+    let nearest_quarantine =
+      List.fold_left
+        (fun acc (ws, _) ->
+          match Atomic.get ws.w_current with
+          | Some r when not (Atomic.get r.r_settled) ->
+            Float.min acc r.r_quarantine_at
+          | _ -> acc)
+        infinity !live
+    in
+    let nearest_retry =
+      match !delayed with (nb, _, _) :: _ -> nb | [] -> infinity
+    in
+    let until = Float.min nearest_quarantine nearest_retry in
+    let tmo =
+      match timeout_s with
+      | None -> if until = infinity then -1.0 else Float.max 0.0 (until -. now ())
+      | Some _ ->
+        (* A deadline is in force, and a worker may pick up a queued
+           task and hang before the supervisor ever sees the attempt —
+           never sleep past a 50ms poll, or the quarantine sweep could
+           miss it. *)
+        Float.min 0.05 (Float.max 0.0 (until -. now ()))
+    in
+    (match Unix.select [ note_r ] [] [] tmo with
+    | [], _, _ -> ()
+    | _ ->
+      ignore
+        (retry_eintr (fun () ->
+             Unix.read note_r drain_buf 0 (Bytes.length drain_buf)))
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    (* Collect finished attempts. *)
+    let finished = ref [] in
+    Mutex.lock m;
+    Queue.iter (fun r -> finished := r :: !finished) done_q;
+    Queue.clear done_q;
+    Mutex.unlock m;
+    List.iter handle_result (List.rev !finished);
+    (* Quarantine sweep: any attempt past its quarantine time whose
+       settled CAS we win is charged a timeout, its worker poisoned and
+       replaced. *)
+    let t = now () in
+    live :=
+      List.map
+        (fun ((ws, _) as w) ->
+          match Atomic.get ws.w_current with
+          | Some r
+            when r.r_quarantine_at <= t
+                 && Atomic.compare_and_set r.r_settled false true ->
+            incr quarantined;
+            Atomic.set ws.w_poisoned true;
+            Logs.warn (fun m ->
+                m
+                  "parmap: task %d attempt %d ignored its deadline past the \
+                   grace period; quarantining its worker and respawning the \
+                   slot"
+                  r.r_task (r.r_attempt + 1));
+            handle_failure ~task:r.r_task ~attempt:r.r_attempt `Timeout;
+            spawn_worker ()
+          | _ -> w)
+        !live
+  done;
+  Mutex.lock m;
+  stop := true;
+  Condition.broadcast c;
+  Mutex.unlock m;
+  List.iter
+    (fun (ws, d) -> if not (Atomic.get ws.w_poisoned) then Domain.join d)
+    !live;
+  (try Unix.close note_r with Unix.Unix_error _ -> ());
+  (try Unix.close note_w with Unix.Unix_error _ -> ());
   if tel then begin
     let wall = Telemetry.now_s () -. t_start in
-    Telemetry.incr ~by:crashes "parmap.crashes";
+    Telemetry.incr ~by:!crashes "parmap.crashes";
+    Telemetry.incr ~by:!timeouts "parmap.timeouts";
+    Telemetry.incr ~by:!retried "parmap.retries";
+    Telemetry.incr ~by:!quarantined "parmap.quarantined";
     Telemetry.emit ~kind:"pool"
       [
         ("mode", Telemetry.String "supervised");
         ("backend", Telemetry.String "domains");
         ("jobs", Telemetry.Int jobs);
         ("tasks", Telemetry.Int n);
-        ("completed", Telemetry.Int completed);
-        ("crashes", Telemetry.Int crashes);
-        ("timeouts", Telemetry.Int 0);
-        ("retries", Telemetry.Int 0);
+        ("completed", Telemetry.Int !completed);
+        ("crashes", Telemetry.Int !crashes);
+        ("timeouts", Telemetry.Int !timeouts);
+        ("retries", Telemetry.Int !retried);
+        ("quarantined", Telemetry.Int !quarantined);
         ("wall_s", Telemetry.Float wall);
       ]
   end;
-  (outcomes, { completed; crashes; timeouts = 0; retries = 0 })
+  ( outcomes,
+    {
+      completed = !completed;
+      crashes = !crashes;
+      timeouts = !timeouts;
+      retries = !retried;
+      quarantined = !quarantined;
+    } )
 
 let fork_supervised ~jobs ~timeout_s ~retries ~backoff_s f xs =
   let n = Array.length xs in
@@ -378,6 +653,7 @@ let fork_supervised ~jobs ~timeout_s ~retries ~backoff_s f xs =
       crashes = !crashes;
       timeouts = !timeouts;
       retries = !retried;
+      quarantined = 0;
     }
   in
   flush stdout;
@@ -493,7 +769,10 @@ let fork_supervised ~jobs ~timeout_s ~retries ~backoff_s f xs =
         (fun s -> try Unix.close s.fd with Unix.Unix_error _ -> ())
         !active;
       let reply =
-        match f xs.(task) with
+        match
+          Chaos.task_point ~isolated:true ~key:task ~attempt:(attempt + 1);
+          f xs.(task)
+        with
         | v -> Value v
         | exception e -> Raised (Printexc.to_string e)
       in
@@ -632,7 +911,8 @@ let fork_supervised ~jobs ~timeout_s ~retries ~backoff_s f xs =
   end;
   (outcomes, mk_stats ())
 
-let empty_stats = { completed = 0; crashes = 0; timeouts = 0; retries = 0 }
+let empty_stats =
+  { completed = 0; crashes = 0; timeouts = 0; retries = 0; quarantined = 0 }
 
 let run_supervised pool f xs =
   if Array.length xs = 0 then ([||], empty_stats)
@@ -640,7 +920,8 @@ let run_supervised pool f xs =
     match pool.backend with
     | `Seq -> inprocess_supervised f xs
     | `Domains ->
-      domains_supervised ~jobs:pool.jobs ~timeout_s:pool.timeout_s f xs
+      domains_supervised ~jobs:pool.jobs ~timeout_s:pool.timeout_s
+        ~retries:pool.retries ~backoff_s:pool.backoff_s f xs
     | `Fork ->
       if fork_usable () then
         fork_supervised ~jobs:pool.jobs ~timeout_s:pool.timeout_s

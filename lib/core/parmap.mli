@@ -13,9 +13,15 @@
     - [`Domains] is an OCaml 5 shared-memory work pool: [Domain.spawn]ed
       workers pull task indices from one atomic counter — no fork, no
       marshalling, results written in place.  A domain cannot be killed,
-      so it offers exception isolation only: timeouts and retries are
-      fork-specific.  Tasks must be thread-safe (the evaluation pipeline's
-      shared caches are; see DESIGN.md §12).
+      so {!run_supervised} enforces deadlines {e cooperatively}: each
+      attempt runs under a {!Cancel} token which the evaluation stack
+      polls at safepoints, a poll past the deadline becomes a
+      [Timed_out], and retries follow the fork supervisor's schedule.  A
+      task that ignores its token past a grace period (half the timeout,
+      min 50ms) has its worker quarantined — poisoned, abandoned, its
+      slot respawned — so hangs are cut off within 1.5x the deadline
+      even when no safepoint is ever reached.  Tasks must be thread-safe
+      (the evaluation pipeline's shared caches are; see DESIGN.md §12).
 
     For pure tasks all backends produce bit-identical results at any job
     count: [`Fork] workers own disjoint round-robin index slices,
@@ -56,9 +62,19 @@ val backend_of_name : string -> backend option
 type pool = private {
   backend : backend;
   jobs : int;
-  timeout_s : float option;  (** per-task deadline; [`Fork] only *)
-  retries : int;             (** re-runs after crash/timeout; [`Fork] only *)
-  backoff_s : float;         (** initial retry backoff, doubling *)
+  timeout_s : float option;
+      (** per-task deadline; parent-enforced on [`Fork], cooperatively
+          enforced (safepoint polling + quarantine) on [`Domains] *)
+  retries : int;  (** re-runs after crash/timeout; [`Fork] and [`Domains] *)
+  backoff_s : float;  (** initial retry backoff, doubling *)
+  ignored_limits : string list;
+      (** supervision limits this backend cannot honor, recorded at
+          construction time and warned about once per process.  After
+          the domains supervisor, only [`Seq] populates this: a
+          [timeout_s] or a deliberate [retries > 1] configured there
+          will be silently inert at run time, and this field says so
+          up front ([retries = 1] is the constructor default and is
+          not flagged). *)
 }
 
 val pool :
@@ -111,7 +127,7 @@ val map : ?jobs:int -> fallback:'b -> ('a -> 'b) -> 'a array -> 'b array
       attempt failed — the task raised, or its worker died ([msg] says
       how).
     - [Timed_out]: [retries = 0] and the single attempt exceeded
-      [timeout_s] ([`Fork] only).
+      [timeout_s] ([`Fork] and [`Domains]).
     - [Gave_up]: [retries >= 1] and every one of the [1 + retries]
       attempts failed (each attempt's crash or timeout is logged and
       counted in {!stats}). *)
@@ -120,12 +136,16 @@ type 'b outcome = Ok of 'b | Crashed of string | Timed_out | Gave_up
 (** Attempt-level telemetry for one supervised call: [completed] tasks
     returned a value; [crashes] and [timeouts] count {e attempts} (a task
     retried twice after crashing contributes 2 to [crashes]); [retries]
-    counts rescheduled attempts. *)
+    counts rescheduled attempts; [quarantined] counts domains workers
+    poisoned and respawned because their task ignored its deadline past
+    the grace period (each such attempt is also counted in [timeouts]).
+    Always 0 outside the [`Domains] backend. *)
 type stats = {
   completed : int;
   crashes : int;
   timeouts : int;
   retries : int;
+  quarantined : int;
 }
 
 val run_supervised :
@@ -139,13 +159,20 @@ val run_supervised :
     — a worker that hangs or dies is SIGKILLed and its task retried on a
     fresh worker up to [retries] times with exponential backoff starting
     at [backoff_s].  [f]'s side effects stay in the child, even at one
-    job.  [`Domains]: parallel in-process evaluation with per-task
-    exception isolation; deadlines cannot be enforced (a warning is
-    logged if one is configured) and retries are skipped — an in-domain
-    exception is deterministic.  [`Seq] (and [`Fork] without fork
-    support): the same exception-isolation contract, sequentially, with
-    [f]'s side effects observable.  Deterministic for pure [f]: outcomes
-    depend only on [f] and [xs], not on scheduling.
+    job.  [`Domains]: worker domains run each attempt under a {!Cancel}
+    token carrying the deadline; the evaluation hot loops poll it at
+    safepoints, so a timed-out attempt raises [Cancel.Cancelled] and is
+    retried on the same schedule as [`Fork].  An attempt that reaches no
+    safepoint for a grace period past its deadline gets its worker
+    quarantined and the slot respawned (see {!stats.quarantined});
+    hangs are thus bounded by 1.5x the deadline.  [f]'s side effects are
+    shared-memory — tasks must be thread-safe — and a task's [Cancelled]
+    must propagate to the worker (catching it swallows the deadline).
+    [`Seq] (and [`Fork] without fork support): exception isolation only,
+    sequentially, with [f]'s side effects observable; deadlines and
+    retries are inert there (see {!pool.ignored_limits}).  Deterministic
+    for pure [f]: outcomes depend only on [f] and [xs], not on
+    scheduling.
 
     With {!Telemetry} enabled, both entry points emit one [kind = "pool"]
     record per call (now carrying a ["backend"] field); the fork

@@ -46,6 +46,11 @@ type t = {
   mutable h_memo : int;
   mutable h_disk : int;
   mutable h_miss : int;
+  (* Disk-cache write degradation: after the first failed append
+     (ENOSPC, EACCES, a revoked mount...) the engine runs memo-only —
+     one warning, one telemetry count per failure, never an abort. *)
+  mutable disk_failed : bool;
+  mutable appends : int; (* 1-based append counter; chaos-site key *)
 }
 
 type cache_stats = { memo_hits : int; disk_hits : int; misses : int }
@@ -132,35 +137,61 @@ let append_disk t entries =
         end)
       entries
   in
-  if entries = [] then ()
+  if entries = [] || t.disk_failed then ()
   else
   match t.cache_file with
   | None -> ()
-  | Some path ->
-    (try
-       let fd =
-         Unix.openfile path
-           [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ]
-           0o644
-       in
-       Fun.protect
-         ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-         (fun () ->
-           (try Unix.lockf fd Unix.F_LOCK 0 with Unix.Unix_error _ -> ());
-           let buf = Buffer.create 256 in
-           List.iter
-             (fun (digest, v) ->
-               Buffer.add_string buf (Printf.sprintf "%s %h\n" digest v))
-             entries;
-           let b = Buffer.to_bytes buf in
-           let len = Bytes.length b in
-           let off = ref 0 in
-           while !off < len do
-             off := !off + Unix.write fd b !off (len - !off)
-           done)
-     with Unix.Unix_error (e, _, _) ->
-       Logs.warn (fun m ->
-           m "fitness cache not written: %s" (Unix.error_message e)))
+  | Some path -> (
+    t.appends <- t.appends + 1;
+    let fault =
+      Gp.Chaos.fire ~site:Gp.Chaos.site_cache_write ~key:t.appends ~attempt:1
+    in
+    try
+      (match fault with
+      | Some (Gp.Chaos.Raise _) ->
+        raise (Unix.Unix_error (Unix.ENOSPC, "write", path))
+      | Some (Gp.Chaos.Torn_write) | Some _ | None -> ());
+      let fd =
+        Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+      in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (try Unix.lockf fd Unix.F_LOCK 0 with Unix.Unix_error _ -> ());
+          let buf = Buffer.create 256 in
+          List.iter
+            (fun (digest, v) ->
+              Buffer.add_string buf (Printf.sprintf "%s %h\n" digest v))
+            entries;
+          let b = Buffer.to_bytes buf in
+          let len = Bytes.length b in
+          (* A chaos-injected torn write persists only half the batch,
+             cut mid-line — the recoverable corruption the strict loader
+             must skip on the next run. *)
+          let len =
+            match fault with Some Gp.Chaos.Torn_write -> len / 2 | _ -> len
+          in
+          let off = ref 0 in
+          while !off < len do
+            off := !off + Unix.write fd b !off (len - !off)
+          done)
+    with
+    | Unix.Unix_error (e, _, _) ->
+      t.disk_failed <- true;
+      Gp.Telemetry.incr "evaluator.cache_write_errors";
+      Logs.warn (fun m ->
+          m
+            "fitness cache %s not writable (%s); continuing memo-only — \
+             results from this run will not be persisted"
+            path (Unix.error_message e))
+    | Sys_error msg ->
+      t.disk_failed <- true;
+      Gp.Telemetry.incr "evaluator.cache_write_errors";
+      Logs.warn (fun m ->
+          m
+            "fitness cache %s not writable (%s); continuing memo-only — \
+             results from this run will not be persisted"
+            path msg))
 
 let create ?(backend = `Fork) ?(jobs = 1) ?cache_dir ?timeout_s ?(retries = 1)
     ~fs ~scope ~case_name ~eval () =
@@ -201,6 +232,8 @@ let create ?(backend = `Fork) ?(jobs = 1) ?cache_dir ?timeout_s ?(retries = 1)
     h_memo = 0;
     h_disk = 0;
     h_miss = 0;
+    disk_failed = false;
+    appends = 0;
   }
 
 let jobs t = t.jobs
@@ -216,6 +249,8 @@ let faults t =
 
 let cache_stats t =
   { memo_hits = t.h_memo; disk_hits = t.h_disk; misses = t.h_miss }
+
+let disk_degraded t = t.disk_failed
 
 let canon t g =
   let cg = Gp.Simplify.genome g in

@@ -32,7 +32,11 @@
     torn lines.  The reader validates every line (32-hex digest, finite
     value) and skips anything torn or truncated — e.g. the partial final
     line of a cache written by a killed pre-lockf run — with one summary
-    warning rather than aborting the run.
+    warning rather than aborting the run.  A {e failed} append (ENOSPC,
+    EACCES, a revoked mount) degrades the engine to memo-only operation:
+    one warning, an [evaluator.cache_write_errors] telemetry count, no
+    further append attempts ({!disk_degraded}), and never an abort — a
+    full disk must not kill a week-long campaign.
 
     With {!Gp.Telemetry} enabled, every batch emits one [kind = "cache"]
     record (memo/disk hit counts, misses, hit rate, evaluations, faults,
@@ -63,6 +67,11 @@ type cache_stats = { memo_hits : int; disk_hits : int; misses : int }
 
 val cache_stats : t -> cache_stats
 
+val disk_degraded : t -> bool
+(** Whether a failed disk-cache append has switched this engine to
+    memo-only operation (see the failure model above).  Reads are
+    unaffected; the flag never resets for the engine's lifetime. *)
+
 val total_faults : fault_stats -> int
 (** [crashed + timed_out + gave_up] (retries are attempts, not tasks). *)
 
@@ -83,8 +92,9 @@ val create :
     genome, in a worker process or domain when supervised, so it must not
     rely on observable global mutation).  [backend] (default [`Fork])
     selects the {!Gp.Parmap} pool flavor: [`Fork] gives per-task fault
-    isolation and deadlines, [`Domains] shared-memory parallelism without
-    kill-based timeouts, [`Seq] the in-process sequential reference.
+    isolation and kill-based deadlines, [`Domains] shared-memory
+    parallelism with cooperative (safepoint-polled) deadlines and worker
+    quarantine, [`Seq] the in-process sequential reference.
     [scope] namespaces the persistent cache — include everything the
     fitness depends on besides the genome and case: study, machine,
     dataset.  [timeout_s] (default: none) bounds one evaluation's wall

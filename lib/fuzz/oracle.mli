@@ -1,13 +1,15 @@
-(** The seven differential oracles.
+(** The eight differential oracles.
 
     Each oracle runs one seeded trial of a redundancy the repo's results
     rest on — fast vs reference interpreter, trace replay vs fresh
     simulation, cache hit vs recomputation, [Eval] vs
     [Eval . Simplify], checkpoint-resume vs straight evolution,
-    [Parmap] at one vs many jobs (fork and domains backends), and
-    [Evalc] compiled bytecode vs the [Eval] tree-walker — comparing
-    every float through [Int64.bits_of_float].  Failures come back as a
-    replayable report with a greedily shrunk counterexample. *)
+    [Parmap] at one vs many jobs (fork and domains backends),
+    [Evalc] compiled bytecode vs the [Eval] tree-walker, and a
+    chaos-injected supervised run vs the fault-free [`Seq] -j1
+    reference — comparing every float through [Int64.bits_of_float].
+    Failures come back as a replayable report with a greedily shrunk
+    counterexample. *)
 
 type verdict = Pass | Skip of string | Fail of string
 
@@ -21,7 +23,17 @@ type t = {
 
 val all : t list
 (** engine, replay, cache, simplify, checkpoint, parmap,
-    compiled_vs_walk. *)
+    compiled_vs_walk, chaos_vs_clean. *)
 
 val find : string -> t option
 val names : string list
+
+val chaos_trial : ?plan:Gp.Chaos.plan -> int -> string option
+(** One chaos_vs_clean trial: evolve under [plan] (default
+    [Gp.Chaos.seeded ~seed]) on the supervised [`Domains] pool, compare
+    bit-for-bit against the fault-free [`Seq] -j1 run, then resume over
+    the faulted run's cache and checkpoint artifacts and compare again.
+    [None] on identity, [Some description] on divergence.  Runs in a
+    forked child where possible so the domains it spawns do not retire
+    the fork backend for the calling process.  Exposed for
+    [metaopt chaos], which replays plans outside a fuzz campaign. *)

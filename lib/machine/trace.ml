@@ -120,7 +120,13 @@ let calls tr = tr.calls
 let replay tr (obs : Profile.Interp.observer) =
   if not tr.complete then invalid_arg "Trace.replay: incomplete trace";
   let events = tr.events in
+  (* Cancellation safepoint: replay dispatch is much cheaper than a
+     simulated block, so poll at a coarser stride than the interpreter;
+     the token is fetched once and skipped entirely when inert. *)
+  let tok = Gp.Cancel.current () in
+  let polled = Gp.Cancel.active tok in
   for i = 0 to tr.n - 1 do
+    if polled && i land 0xFFFF = 0xFFFF then Gp.Cancel.check tok;
     let v = events.(i) in
     let payload = v asr 3 in
     match v land 7 with

@@ -58,6 +58,8 @@ type state = {
   mutable fuel : int;
   mutable out_rev : float list;
   mutable steps : int;
+  tok : Gp.Cancel.token;  (* the supervising pool's cancellation token *)
+  mutable poll : int;  (* block entries until the next token check *)
 }
 
 let ( .%() ) m a =
@@ -151,6 +153,14 @@ let rec exec_func (st : state) (pf : Layout.pfunc) (args : float array) : float
        infinite loops still run out of fuel. *)
     st.fuel <- st.fuel - 1;
     if st.fuel <= 0 then raise Out_of_fuel;
+    (* Cancellation safepoint, identical in both engines (a decrement
+       and a compare; the token is really checked every
+       [Cancel.poll_interval] block entries). *)
+    st.poll <- st.poll - 1;
+    if st.poll <= 0 then begin
+      st.poll <- Gp.Cancel.poll_interval;
+      Gp.Cancel.check st.tok
+    end;
     st.obs.block_enter b.Layout.uid;
     let n = Array.length b.Layout.instrs in
     (* Whole-block issue count: schedule-invariant (see [result.steps]),
@@ -291,6 +301,14 @@ let rec exec_fast (st : state) (pf : Layout.pfunc) (args : float array) : float
     let b = pf.Layout.blocks.(!bi) in
     st.fuel <- st.fuel - 1;
     if st.fuel <= 0 then raise Out_of_fuel;
+    (* Cancellation safepoint — same cadence and position as the
+       tree-walking engine's, so both engines observe a deadline at the
+       same block entry. *)
+    st.poll <- st.poll - 1;
+    if st.poll <= 0 then begin
+      st.poll <- Gp.Cancel.poll_interval;
+      Gp.Cancel.check st.tok
+    end;
     st.obs.block_enter b.Layout.uid;
     let dinstrs = b.Layout.dinstrs and dguards = b.Layout.dguards in
     let n = Array.length dinstrs in
@@ -417,7 +435,16 @@ let run_with exec ?(observer = null_observer) ?(fuel = 30_000_000)
         Array.iteri (fun i v -> memory.(base + i) <- v) data)
     overrides;
   let st =
-    { layout; memory; obs = observer; fuel; out_rev = []; steps = 0 }
+    {
+      layout;
+      memory;
+      obs = observer;
+      fuel;
+      out_rev = [];
+      steps = 0;
+      tok = Gp.Cancel.current ();
+      poll = Gp.Cancel.poll_interval;
+    }
   in
   let main = Layout.func layout layout.Layout.prog.Ir.Func.main in
   let ret = exec st main [||] in

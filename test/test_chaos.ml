@@ -1,0 +1,444 @@
+(* Chaos-injection tests: the plan language round-trips, the supervised
+   domains pool survives slow, raising and hanging tasks under its
+   cooperative deadline model, the evaluator's disk cache degrades to
+   memo-only instead of dying, and a damaged checkpoint directory still
+   resumes bit-identically.
+
+   Ordering matters: this suite is registered LAST in test_main, and
+   within it every test that needs [Unix.fork] (the chaos_vs_clean
+   trial runs in a forked child) comes before the in-process domains
+   tests, because the first [Domain.spawn] retires fork for the rest of
+   the process. *)
+
+module C = Gp.Chaos
+
+let bits = Int64.bits_of_float
+
+let with_dir tag f =
+  let dir = C.Ledger.fresh_dir tag in
+  Fun.protect ~finally:(fun () -> C.Ledger.cleanup dir) (fun () -> f dir)
+
+let outcome_label = function
+  | Gp.Parmap.Ok _ -> "Ok"
+  | Gp.Parmap.Crashed _ -> "Crashed"
+  | Gp.Parmap.Timed_out -> "Timed_out"
+  | Gp.Parmap.Gave_up -> "Gave_up"
+
+(* --- the plan language ---------------------------------------------------- *)
+
+let test_plan_round_trip () =
+  let spec =
+    "parmap.task:3@1=hang,parmap.task=slow:0.5,evaluator.cache_write:2=torn,"
+    ^ "evolve.checkpoint_write@2=truncate,parmap.task:0=raise:boom"
+  in
+  (match C.plan_of_string ~seed:7 spec with
+  | Error e -> Alcotest.failf "spec rejected: %s" e
+  | Ok p ->
+    Alcotest.(check int) "seed carried" 7 p.C.seed;
+    Alcotest.(check int) "five rules" 5 (List.length p.C.rules);
+    Alcotest.(check string) "round trip" spec (C.plan_to_string p);
+    (match C.plan_of_string ~seed:7 (C.plan_to_string p) with
+    | Ok p2 -> Alcotest.(check string) "idempotent"
+                 (C.plan_to_string p) (C.plan_to_string p2)
+    | Error e -> Alcotest.failf "re-parse rejected: %s" e));
+  List.iter
+    (fun bad ->
+      match C.plan_of_string bad with
+      | Ok _ -> Alcotest.failf "accepted bad spec %S" bad
+      | Error _ -> ())
+    [ "nosuchsite=hang"; "parmap.task=frobnicate"; "parmap.task:x=hang";
+      "parmap.task"; "" ]
+
+let test_seeded_plans_deterministic () =
+  let a = C.seeded ~seed:42 and b = C.seeded ~seed:42 in
+  Alcotest.(check string) "same seed, same plan" (C.plan_to_string a)
+    (C.plan_to_string b);
+  (* every seeded rule is first-attempt-only and recoverable: a pool with
+     retries >= 1 must absorb all of it *)
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun r ->
+          if r.C.r_site = C.site_parmap_task then
+            Alcotest.(check (option int))
+              "seeded task rules are attempt-1 only" (Some 1) r.C.r_attempt;
+          match r.C.r_fault with
+          | C.Hang | C.Exit _ | C.Kill _ ->
+            Alcotest.failf "seeded plan %d injects unrecoverable %s" seed
+              (C.fault_to_string r.C.r_fault)
+          | C.Slow _ | C.Raise _ | C.Torn_write | C.Truncated -> ())
+        (C.seeded ~seed).C.rules)
+    [ 0; 1; 2; 17; 123 ]
+
+let test_fire_matching () =
+  let p =
+    match C.plan_of_string "parmap.task:3@1=hang,parmap.task=slow:0.1" with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "spec: %s" e
+  in
+  C.arm p;
+  Fun.protect ~finally:C.disarm (fun () ->
+      C.reset_counts ();
+      (match C.fire ~site:C.site_parmap_task ~key:3 ~attempt:1 with
+      | Some C.Hang -> ()
+      | f ->
+        Alcotest.failf "expected hang, got %s"
+          (match f with None -> "none" | Some f -> C.fault_to_string f));
+      (* attempt 2 falls through the keyed rule to the catch-all *)
+      (match C.fire ~site:C.site_parmap_task ~key:3 ~attempt:2 with
+      | Some (C.Slow _) -> ()
+      | _ -> Alcotest.fail "catch-all should match attempt 2");
+      Alcotest.(check (option string)) "other sites untouched" None
+        (Option.map C.fault_to_string
+           (C.fire ~site:C.site_cache_write ~key:1 ~attempt:1));
+      Alcotest.(check int) "hits counted" 2
+        (C.fired ~site:C.site_parmap_task ~key:3));
+  Alcotest.(check bool) "disarmed" true (C.armed () = None);
+  Alcotest.(check (option string)) "nothing fires disarmed" None
+    (Option.map C.fault_to_string
+       (C.fire ~site:C.site_parmap_task ~key:3 ~attempt:1))
+
+(* --- satellite: pools announce the limits they cannot honor --------------- *)
+
+let test_pool_ignored_limits () =
+  let p = Gp.Parmap.pool ~backend:`Seq ~timeout_s:1.0 ~retries:3 () in
+  Alcotest.(check (list string))
+    "seq cannot honor deadlines or retries" [ "retries"; "timeout_s" ]
+    (List.sort compare p.Gp.Parmap.ignored_limits);
+  let q = Gp.Parmap.pool ~backend:`Domains ~timeout_s:1.0 ~retries:3 () in
+  Alcotest.(check (list string)) "domains honors both" []
+    q.Gp.Parmap.ignored_limits;
+  let r = Gp.Parmap.pool ~backend:`Seq () in
+  Alcotest.(check (list string)) "defaults are clean" []
+    r.Gp.Parmap.ignored_limits
+
+(* --- study-level bit-identity under seeded chaos (forks first) ------------ *)
+
+let test_chaos_vs_clean () =
+  match Fuzz.Oracle.chaos_trial 1 with
+  | None -> ()
+  | Some why -> Alcotest.failf "chaos run diverged from clean run: %s" why
+
+(* --- satellite: cache write degradation ----------------------------------- *)
+
+let with_cache_dir tag f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "metaopt-chaoscache-%s-%d" tag (Unix.getpid ()))
+  in
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun x -> rm_rf (Filename.concat path x)) (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+    | _ -> ( try Sys.remove path with Sys_error _ -> ())
+    | exception Unix.Unix_error _ -> ()
+  in
+  rm_rf dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let count_lines path =
+  if not (Sys.file_exists path) then 0
+  else begin
+    let ic = open_in path in
+    let n = ref 0 in
+    (try
+       while true do
+         ignore (input_line ic);
+         incr n
+       done
+     with End_of_file -> ());
+    close_in ic;
+    !n
+  end
+
+let mk_cache_evaluator ?(eval = fun _ case -> float_of_int (case + 1)) dir =
+  Driver.Evaluator.create ~backend:`Seq ~cache_dir:dir
+    ~fs:Fuzz.Genome_gen.fs ~scope:"chaos/cache"
+    ~case_name:(fun i -> "case" ^ string_of_int i)
+    ~eval ()
+
+let genome = Gp.Expr.Real (Gp.Expr.Rarg 0)
+
+let test_cache_degrades_on_enospc () =
+  with_cache_dir "enospc" @@ fun dir ->
+  let sink, records = Gp.Telemetry.memory_sink () in
+  Gp.Telemetry.set_sink (Some sink);
+  Fun.protect
+    ~finally:(fun () -> Gp.Telemetry.set_sink None)
+    (fun () ->
+      let p =
+        match C.plan_of_string "evaluator.cache_write:2=raise:enospc" with
+        | Ok p -> p
+        | Error e -> Alcotest.failf "spec: %s" e
+      in
+      C.arm p;
+      Fun.protect ~finally:C.disarm (fun () ->
+          let e = mk_cache_evaluator dir in
+          Alcotest.(check bool) "healthy at birth" false
+            (Driver.Evaluator.disk_degraded e);
+          (* one disk append per batch: the first lands, the second hits
+             the injected ENOSPC *)
+          let row0 =
+            (Driver.Evaluator.evaluate_batch e [| genome |] ~cases:[ 0 ]).(0)
+          in
+          Alcotest.(check (array (float 0.0))) "first batch" [| 1.0 |] row0;
+          let row =
+            (Driver.Evaluator.evaluate_batch e [| genome |]
+               ~cases:[ 1; 2 ]).(0)
+          in
+          Alcotest.(check (array (float 0.0)))
+            "results unaffected by the dead disk" [| 2.0; 3.0 |] row;
+          Alcotest.(check bool) "degraded to memo-only" true
+            (Driver.Evaluator.disk_degraded e);
+          let file = Filename.concat dir "fitness-cache.tsv" in
+          Alcotest.(check int) "only the pre-failure append persisted" 1
+            (count_lines file);
+          Alcotest.(check int) "error counted once" 1
+            (Gp.Telemetry.Counter.value
+               (Gp.Telemetry.counter "evaluator.cache_write_errors"));
+          ignore (records ());
+          (* memoization still works in the degraded engine *)
+          let row2 =
+            (Driver.Evaluator.evaluate_batch e [| genome |]
+               ~cases:[ 0; 1; 2 ]).(0)
+          in
+          Alcotest.(check (array (float 0.0))) "memo intact"
+            [| 1.0; 2.0; 3.0 |] row2))
+
+let test_cache_survives_torn_append () =
+  with_cache_dir "torn" @@ fun dir ->
+  let p =
+    match C.plan_of_string "evaluator.cache_write:1=torn" with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "spec: %s" e
+  in
+  C.arm p;
+  let row =
+    Fun.protect ~finally:C.disarm (fun () ->
+        let e = mk_cache_evaluator dir in
+        (Driver.Evaluator.evaluate_batch e [| genome |] ~cases:[ 0; 1; 2 ]).(0))
+  in
+  Alcotest.(check (array (float 0.0))) "faulted run correct"
+    [| 1.0; 2.0; 3.0 |] row;
+  (* a fresh engine over the damaged cache skips the torn line, serves
+     what survived, and recomputes the rest *)
+  let recomputed = ref 0 in
+  let e2 =
+    mk_cache_evaluator
+      ~eval:(fun _ case ->
+        incr recomputed;
+        float_of_int (case + 1))
+      dir
+  in
+  let row2 =
+    (Driver.Evaluator.evaluate_batch e2 [| genome |] ~cases:[ 0; 1; 2 ]).(0)
+  in
+  Alcotest.(check (array (float 0.0))) "reload bit-identical" row row2;
+  Alcotest.(check bool)
+    (Printf.sprintf "torn line recomputed (%d)" !recomputed)
+    true
+    (!recomputed >= 1 && !recomputed <= 3)
+
+(* --- satellite: checkpoint integrity -------------------------------------- *)
+
+let check_same_result name (a : Gp.Evolve.result) (b : Gp.Evolve.result) =
+  Alcotest.(check string)
+    (name ^ ": best genome")
+    (Gp.Sexp.to_string Test_gp.fs a.Gp.Evolve.best)
+    (Gp.Sexp.to_string Test_gp.fs b.Gp.Evolve.best);
+  Alcotest.(check int64)
+    (name ^ ": best fitness bits")
+    (bits a.Gp.Evolve.best_fitness)
+    (bits b.Gp.Evolve.best_fitness);
+  Array.iter2
+    (fun (ca, va) (cb, vb) ->
+      Alcotest.(check string) (name ^ ": case") ca cb;
+      Alcotest.(check int64) (name ^ ": case bits") (bits va) (bits vb))
+    a.Gp.Evolve.per_case b.Gp.Evolve.per_case
+
+let newest_checkpoints dir n =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".ckpt")
+  |> List.sort (fun a b -> compare b a)
+  |> List.filteri (fun i _ -> i < n)
+  |> List.map (Filename.concat dir)
+
+let test_damaged_checkpoints_resume () =
+  with_dir "ckpt-damage" @@ fun dir ->
+  let params = Gp.Params.tiny in
+  let straight = Gp.Evolve.run ~params (Test_gp.synthetic_problem ()) in
+  let first =
+    Gp.Evolve.run ~params ~checkpoint_dir:dir (Test_gp.synthetic_problem ())
+  in
+  check_same_result "checkpointed = straight" straight first;
+  (* damage the two newest checkpoints two different ways: truncate one
+     (a crash mid-write) and bit-flip the other (rot under the digest) *)
+  (match newest_checkpoints dir 2 with
+  | [ newest; second ] ->
+    let sz = (Unix.stat newest).Unix.st_size in
+    let fd = Unix.openfile newest [ Unix.O_WRONLY ] 0o644 in
+    Unix.ftruncate fd (sz / 2);
+    Unix.close fd;
+    let fd = Unix.openfile second [ Unix.O_WRONLY ] 0o644 in
+    ignore (Unix.lseek fd 2 Unix.SEEK_SET);
+    ignore (Unix.write fd (Bytes.of_string "\xff") 0 1);
+    Unix.close fd
+  | l -> Alcotest.failf "expected >= 2 checkpoints, found %d" (List.length l));
+  let sink, _ = Gp.Telemetry.memory_sink () in
+  Gp.Telemetry.set_sink (Some sink);
+  Fun.protect
+    ~finally:(fun () -> Gp.Telemetry.set_sink None)
+    (fun () ->
+      let resumed =
+        Gp.Evolve.run ~params ~checkpoint_dir:dir
+          (Test_gp.synthetic_problem ())
+      in
+      check_same_result "resumed over damage = straight" straight resumed;
+      Alcotest.(check int) "both damaged files counted" 2
+        (Gp.Telemetry.Counter.value
+           (Gp.Telemetry.counter "evolve.checkpoints_skipped")))
+
+(* --- the supervised domains pool (retires fork: keep these last) ---------- *)
+
+let domains_pool ?timeout_s ?(retries = 0) ?(jobs = 2) () =
+  Gp.Parmap.pool ~backend:`Domains ~jobs ?timeout_s ~retries ~backoff_s:0.01 ()
+
+let test_domains_slow_times_out () =
+  with_dir "dom-slow" @@ fun dir ->
+  let plan t n = if t = 1 && n = 1 then Some (C.Slow 30.0) else None in
+  let f = C.Ledger.wrap ~isolated:false ~dir ~plan (fun x -> x * 10) in
+  let t0 = Unix.gettimeofday () in
+  let outcomes, stats =
+    Gp.Parmap.run_supervised (domains_pool ~timeout_s:0.3 ()) f
+      (Array.init 4 Fun.id)
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check string) "cooperative deadline fired" "Timed_out"
+    (outcome_label outcomes.(1));
+  Array.iteri
+    (fun i o ->
+      if i <> 1 then
+        match o with
+        | Gp.Parmap.Ok v -> Alcotest.(check int) "neighbour value" (i * 10) v
+        | o -> Alcotest.failf "task %d: %s" i (outcome_label o))
+    outcomes;
+  Alcotest.(check int) "one timeout" 1 stats.Gp.Parmap.timeouts;
+  Alcotest.(check int) "no quarantine: the nap polled its token" 0
+    stats.Gp.Parmap.quarantined;
+  Alcotest.(check int) "single attempt" 1 (C.Ledger.attempts dir 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "cut off within 2x the deadline (%.2fs)" elapsed)
+    true (elapsed < 1.5)
+
+let test_domains_slow_retry_recovers () =
+  with_dir "dom-retry" @@ fun dir ->
+  let plan t n = if t = 2 && n = 1 then Some (C.Slow 30.0) else None in
+  let f = C.Ledger.wrap ~isolated:false ~dir ~plan (fun x -> x + 100) in
+  let outcomes, stats =
+    Gp.Parmap.run_supervised
+      (domains_pool ~timeout_s:0.25 ~retries:2 ())
+      f (Array.init 5 Fun.id)
+  in
+  Array.iteri
+    (fun i o ->
+      match o with
+      | Gp.Parmap.Ok v -> Alcotest.(check int) "value" (i + 100) v
+      | o -> Alcotest.failf "task %d: %s" i (outcome_label o))
+    outcomes;
+  Alcotest.(check int) "one timed-out attempt" 1 stats.Gp.Parmap.timeouts;
+  Alcotest.(check int) "one retry" 1 stats.Gp.Parmap.retries;
+  Alcotest.(check int) "task 2 took two attempts" 2 (C.Ledger.attempts dir 2);
+  Alcotest.(check int) "task 0 took one attempt" 1 (C.Ledger.attempts dir 0)
+
+let test_domains_raise_retries () =
+  with_dir "dom-raise" @@ fun dir ->
+  let plan _ n = if n = 1 then Some (C.Raise "flaky") else None in
+  let f = C.Ledger.wrap ~isolated:false ~dir ~plan (fun x -> x * x) in
+  let outcomes, stats =
+    Gp.Parmap.run_supervised
+      (domains_pool ~retries:1 ())
+      f (Array.init 3 Fun.id)
+  in
+  Array.iteri
+    (fun i o ->
+      match o with
+      | Gp.Parmap.Ok v -> Alcotest.(check int) "value" (i * i) v
+      | o -> Alcotest.failf "task %d: %s" i (outcome_label o))
+    outcomes;
+  Alcotest.(check int) "three crashed attempts" 3 stats.Gp.Parmap.crashes;
+  Alcotest.(check int) "three retries" 3 stats.Gp.Parmap.retries;
+  Alcotest.(check int) "no timeouts" 0 stats.Gp.Parmap.timeouts
+
+let test_domains_raise_exhausts () =
+  let outcomes, stats =
+    Gp.Parmap.run_supervised
+      (domains_pool ~retries:1 ())
+      (fun _ -> failwith "always")
+      [| 0 |]
+  in
+  Alcotest.(check string) "gave up" "Gave_up" (outcome_label outcomes.(0));
+  Alcotest.(check int) "both attempts crashed" 2 stats.Gp.Parmap.crashes;
+  Alcotest.(check int) "one retry" 1 stats.Gp.Parmap.retries
+
+(* A hanging task never reaches a safepoint: the supervisor must
+   quarantine its worker, respawn the slot, and still finish every other
+   task — at one job, completion is itself the proof of respawn. *)
+let test_domains_hang_quarantined () =
+  with_dir "dom-hang" @@ fun dir ->
+  let plan t n = if t = 0 && n = 1 then Some C.Hang else None in
+  let f = C.Ledger.wrap ~isolated:false ~dir ~plan (fun x -> x + 1) in
+  let t0 = Unix.gettimeofday () in
+  let outcomes, stats =
+    Gp.Parmap.run_supervised
+      (domains_pool ~jobs:1 ~timeout_s:0.2 ~retries:1 ())
+      f (Array.init 3 Fun.id)
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Array.iteri
+    (fun i o ->
+      match o with
+      | Gp.Parmap.Ok v -> Alcotest.(check int) "value" (i + 1) v
+      | o -> Alcotest.failf "task %d: %s" i (outcome_label o))
+    outcomes;
+  Alcotest.(check int) "one worker quarantined" 1 stats.Gp.Parmap.quarantined;
+  Alcotest.(check int) "the hung attempt counts as a timeout" 1
+    stats.Gp.Parmap.timeouts;
+  Alcotest.(check int) "one retry" 1 stats.Gp.Parmap.retries;
+  Alcotest.(check int) "hung task took two attempts" 2
+    (C.Ledger.attempts dir 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "hang cut off promptly (%.2fs)" elapsed)
+    true (elapsed < 2.0)
+
+let suite =
+  [
+    Alcotest.test_case "plan language round-trips" `Quick test_plan_round_trip;
+    Alcotest.test_case "seeded plans deterministic and recoverable" `Quick
+      test_seeded_plans_deterministic;
+    Alcotest.test_case "fire: first match wins, counted" `Quick
+      test_fire_matching;
+    Alcotest.test_case "pool records ignored limits" `Quick
+      test_pool_ignored_limits;
+    Alcotest.test_case "chaos run bit-identical to clean run" `Slow
+      test_chaos_vs_clean;
+    Alcotest.test_case "cache degrades to memo-only on ENOSPC" `Quick
+      test_cache_degrades_on_enospc;
+    Alcotest.test_case "cache survives a torn append" `Quick
+      test_cache_survives_torn_append;
+    Alcotest.test_case "damaged checkpoints skipped, resume identical" `Quick
+      test_damaged_checkpoints_resume;
+    (* domains from here on: fork is retired for the rest of the run *)
+    Alcotest.test_case "domains: slow task times out cooperatively" `Quick
+      test_domains_slow_times_out;
+    Alcotest.test_case "domains: slow first attempt recovers" `Quick
+      test_domains_slow_retry_recovers;
+    Alcotest.test_case "domains: raising attempts retried" `Quick
+      test_domains_raise_retries;
+    Alcotest.test_case "domains: persistent failure gives up" `Quick
+      test_domains_raise_exhausts;
+    Alcotest.test_case "domains: hang quarantined, slot respawned" `Quick
+      test_domains_hang_quarantined;
+  ]

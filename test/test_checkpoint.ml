@@ -8,8 +8,8 @@
 exception Abort
 
 let with_dir tag f =
-  let dir = Fault_inject.fresh_dir tag in
-  Fun.protect ~finally:(fun () -> Fault_inject.cleanup dir) (fun () -> f dir)
+  let dir = Gp.Chaos.Ledger.fresh_dir tag in
+  Fun.protect ~finally:(fun () -> Gp.Chaos.Ledger.cleanup dir) (fun () -> f dir)
 
 let params =
   { Gp.Params.tiny with Gp.Params.population_size = 20; generations = 6 }

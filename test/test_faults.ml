@@ -3,9 +3,12 @@
    die and get SIGKILLed here; deadlines are kept short so the suite
    stays fast.  All injections are deterministic: a plan decides per
    (task, attempt), and attempts are counted through the filesystem (see
-   Fault_inject). *)
+   Gp.Chaos.Ledger). *)
 
-module FI = Fault_inject
+module FI = struct
+  include Gp.Chaos
+  include Gp.Chaos.Ledger
+end
 
 let jobs =
   match Sys.getenv_opt "METAOPT_TEST_JOBS" with

@@ -24,4 +24,6 @@ let () =
       ("misc", Test_misc.suite);
       ("fastpath", Test_fastpath.suite);
       ("fuzz", Test_fuzz.suite);
+      (* last: its domains tests retire the fork backend for the process *)
+      ("chaos", Test_chaos.suite);
     ]

@@ -191,8 +191,10 @@ let domains_identity_check () : (unit, string) result =
   match widths [ 1; 2; 3; 8 ] with
   | Error _ as e -> e
   | Ok () ->
-    (* domains exception isolation: a raising task is Crashed, others Ok *)
-    let boom = Gp.Parmap.pool ~backend:`Domains ~jobs:2 () in
+    (* domains exception isolation: a raising task is Crashed (at
+       retries = 0; the default single retry would report Gave_up, as
+       on the fork backend), others Ok *)
+    let boom = Gp.Parmap.pool ~backend:`Domains ~jobs:2 ~retries:0 () in
     let outcomes, _ =
       Gp.Parmap.run_supervised boom
         (fun x -> if x = 3 then failwith "boom" else x)
