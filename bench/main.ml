@@ -278,34 +278,68 @@ let ablations () =
 
 (* ------------------------------------------------------------------ *)
 
+let detected_cores () =
+  try
+    let ic = Unix.open_process_in "getconf _NPROCESSORS_ONLN" in
+    let n = int_of_string (String.trim (input_line ic)) in
+    ignore (Unix.close_process_in ic);
+    max 1 n
+  with _ -> 1
+
+(* Wall clock of bringing up a warm pool: spawn [jobs] resident fork
+   workers through a persistent handle (spawn happens lazily, inside the
+   first batch) and run one trivial task per worker. *)
+let pool_startup_s jobs =
+  if not (List.mem `Fork (Gp.Parmap.capabilities ())) then 0.0
+  else begin
+    let pool = Gp.Parmap.pool ~backend:`Fork ~jobs () in
+    let h = Gp.Parmap.create pool ~f:Fun.id in
+    let t = Unix.gettimeofday () in
+    ignore (Gp.Parmap.run_batch h (Array.init jobs Fun.id));
+    let dt = Unix.gettimeofday () -. t in
+    Gp.Parmap.shutdown h;
+    dt
+  end
+
+(* Mean steady-state seconds per generation from a run's generation
+   completion stamps: the first generation — which pays the one-time
+   pool spawn and the initial population's compiles — is excluded, so
+   the figure reflects the warm-pool regime a long campaign lives in. *)
+let steady_gen_s stamps =
+  let a = Array.of_list (List.rev stamps) in
+  let n = Array.length a in
+  if n >= 2 then (a.(n - 1) -. a.(0)) /. float_of_int (n - 1) else 0.0
+
 (* The parallel, cached fitness engine: the same small evolve_general run
    at -j 1 and -j 4 must produce identical evolved results for the same
-   seed; wall-clock improves with the core count (the container running
-   this may be single-core, in which case forking buys nothing and the
-   ratio honestly reports ~1x). *)
+   seed.  The headline figure is the steady-state per-generation ratio —
+   generations on the resident warm pool, excluding the first — next to
+   the one-time pool startup cost; it scales with the core count (the
+   container running this may be single-core, in which case forking buys
+   nothing and the steady ratio honestly reports ~1x). *)
 let par () =
   hr "Parallel fitness engine: evolve_general at -j 1 vs -j 4";
-  Fmt.pr "same seed, identical results required; speedup scales with cores@.";
-  Fmt.pr "(detected cores: %d)@.@."
-    (try
-       let ic = Unix.open_process_in "getconf _NPROCESSORS_ONLN" in
-       let n = int_of_string (String.trim (input_line ic)) in
-       ignore (Unix.close_process_in ic);
-       n
-     with _ -> 1);
+  Fmt.pr "same seed, identical results required; steady-state speedup \
+          scales with cores@.";
+  Fmt.pr "(detected cores: %d)@.@." (detected_cores ());
   let p =
     { params with Gp.Params.population_size = min 24 params.Gp.Params.population_size;
       generations = min 6 params.Gp.Params.generations }
   in
   let benches = [ "codrle4"; "decodrle4"; "rawcaudio"; "huff_enc" ] in
   let timed j =
-    let t = Unix.gettimeofday () in
-    let g = Driver.Study.evolve_general ~params:p ~jobs:j
-        Driver.Study.Hyperblock_study benches in
-    (Unix.gettimeofday () -. t, g)
+    let stamps = ref [] in
+    let t0 = Unix.gettimeofday () in
+    let g =
+      Driver.Study.evolve_general ~params:p ~jobs:j
+        ~on_generation:(fun _ -> stamps := Unix.gettimeofday () :: !stamps)
+        Driver.Study.Hyperblock_study benches
+    in
+    let total = Unix.gettimeofday () -. t0 in
+    (total, steady_gen_s !stamps, g)
   in
-  let t1, g1 = timed 1 in
-  let t4, g4 = timed 4 in
+  let t1, s1, g1 = timed 1 in
+  let t4, s4, g4 = timed 4 in
   let same =
     g1.Driver.Study.best_expr = g4.Driver.Study.best_expr
     && List.for_all2
@@ -313,8 +347,12 @@ let par () =
            n1 = n2 && tr1 = tr2 && no1 = no2)
          g1.Driver.Study.train_rows g4.Driver.Study.train_rows
   in
-  Fmt.pr "-j 1: %6.2fs@." t1;
-  Fmt.pr "-j 4: %6.2fs   speedup %.2fx@." t4 (t1 /. t4);
+  Fmt.pr "-j 1: %6.2fs total, %6.3fs/gen steady@." t1 s1;
+  Fmt.pr "-j 4: %6.2fs total, %6.3fs/gen steady   steady speedup %.2fx@." t4
+    s4
+    (if s4 > 0.0 then s1 /. s4 else 0.0);
+  Fmt.pr "pool startup (4 warm fork workers, one-time): %.3fs@."
+    (pool_startup_s 4);
   Fmt.pr "identical evolved results: %s@." (if same then "yes" else "NO!");
   Fmt.pr "best: %s@." g1.Driver.Study.best_expr
 
@@ -570,28 +608,50 @@ let evalc_measurements () =
   let evals = float_of_int (n_env * reps) in
   let compiled_speedup = t_walk /. t_compiled in
   let branchy_speedup = tb_walk /. tb_compiled in
-  (* pool comparison: 32 heavy pure tasks, fork then domains *)
-  let tasks = Array.init 32 Fun.id in
+  (* pool comparison, in the regime evolution actually runs in: one
+     batch per generation against a long-lived warm pool.  Each backend
+     gets a persistent handle, pays its spawn once in an untimed warm-up
+     batch, then times steady-state batches of 512 small pure tasks —
+     small enough that per-task dispatch cost (the transports' real
+     difference: pipe syscalls and Marshal framing for fork, an
+     in-process queue for domains) is visible next to the work.  Fork
+     first: the domains leg retires the fork backend for this process. *)
+  let tasks = Array.init 512 Fun.id in
+  let pool_envs = Array.sub envs 0 32 in
   let task i =
     let acc = ref (float_of_int i) in
-    for _ = 1 to 8 do
-      Array.iter (fun v -> acc := !acc +. v) (Gp.Evalc.run_batch prog envs)
-    done;
+    Array.iter
+      (fun v -> acc := !acc +. v)
+      (Gp.Evalc.run_batch prog pool_envs);
     !acc
   in
-  let pool_bits backend =
+  let seq_bits = Array.map (fun i -> Int64.bits_of_float (task i)) tasks in
+  let warm_pool_bits backend =
     let pool = Gp.Parmap.pool ~backend ~jobs:4 () in
-    Array.map Int64.bits_of_float
-      (Gp.Parmap.run pool ~fallback:nan task tasks)
+    let h = Gp.Parmap.create pool ~f:task in
+    let bits = ref [||] in
+    let batch () =
+      let outcomes, _ = Gp.Parmap.run_batch h tasks in
+      bits :=
+        Array.map
+          (function
+            | Gp.Parmap.Ok v -> Int64.bits_of_float v
+            | _ -> Int64.bits_of_float Float.nan)
+          outcomes
+    in
+    batch () (* untimed warm-up: spawns the resident workers *);
+    let t = best_of 3 batch in
+    Gp.Parmap.shutdown h;
+    (t, !bits)
   in
-  let seq_bits = pool_bits `Seq in
   let t_fork = ref infinity and fork_bits = ref seq_bits in
   if List.mem `Fork (Gp.Parmap.capabilities ()) then begin
-    t_fork := best_of 3 (fun () -> fork_bits := pool_bits `Fork)
+    let t, b = warm_pool_bits `Fork in
+    t_fork := t;
+    fork_bits := b
   end;
-  let domains_bits = ref seq_bits in
-  let t_domains = best_of 3 (fun () -> domains_bits := pool_bits `Domains) in
-  let pools_identical = !fork_bits = seq_bits && !domains_bits = seq_bits in
+  let t_domains, domains_bits = warm_pool_bits `Domains in
+  let pools_identical = !fork_bits = seq_bits && domains_bits = seq_bits in
   let domains_over_fork =
     if Float.is_finite !t_fork then !t_fork /. t_domains else 0.0
   in
@@ -605,9 +665,13 @@ let evalc_measurements () =
     branchy_speedup;
   Fmt.pr "  bit-identical: %s@." (if bit_identical then "yes" else "NO!");
   if Float.is_finite !t_fork then
-    Fmt.pr "  pools        : fork %.2fs, domains %.2fs (domains %.2fx)@."
+    Fmt.pr
+      "  pools (warm) : fork %.3fs/batch, domains %.3fs/batch (domains \
+       %.2fx)@."
       !t_fork t_domains domains_over_fork
-  else Fmt.pr "  pools        : fork unavailable, domains %.2fs@." t_domains;
+  else
+    Fmt.pr "  pools (warm) : fork unavailable, domains %.3fs/batch@."
+      t_domains;
   Fmt.pr "  pool results : %s@."
     (if pools_identical then "identical across backends" else "DIVERGENT!");
   Gp.Telemetry.Obj
@@ -642,10 +706,15 @@ let sim () =
 (* The observability report: run a small evolve twice (cold and warm
    cache) at -j 1 and once at -j 4 with telemetry capturing every record,
    then write BENCH_metaopt.json — per-phase wall-clock timings,
-   end-to-end speedups (parallel over sequential, warm cache over cold),
-   the full metric registry, and record counts.  The file is re-read and
-   schema-validated before the target reports success, so CI can fail on
-   a malformed report rather than archiving garbage. *)
+   end-to-end speedups (steady-state parallel over sequential, warm cache
+   over cold, warm domains pool over warm fork pool), the one-time pool
+   startup cost, the full metric registry, and record counts.  The
+   parallel figure is steady-state on purpose: generations against the
+   resident warm pool, excluding the first generation's pool spawn, which
+   is reported separately as pool_startup_s.  The file is re-read and
+   schema-validated — including core-count-aware speedup gates — before
+   the target reports success, so CI can fail on a malformed or regressed
+   report rather than archiving garbage. *)
 let report () =
   hr "Observability report: phase timings + speedups -> BENCH_metaopt.json";
   let out =
@@ -668,14 +737,31 @@ let report () =
     ((name, dt), v)
   in
   let run_on ctx =
-    Gp.Evolve.run ~params:p (Driver.Study.problem_of ctx)
+    let stamps = ref [] in
+    let r =
+      Gp.Evolve.run ~params:p
+        ~on_generation:(fun _ -> stamps := Unix.gettimeofday () :: !stamps)
+        (Driver.Study.problem_of ctx)
+    in
+    (r, steady_gen_s !stamps)
   in
   let ctx1 = Driver.Study.create ~jobs:1 Driver.Study.Hyperblock_study benches in
-  let ph_cold, r_cold = phase "evolve -j1 (cold)" (fun () -> run_on ctx1) in
+  let ph_cold, (r_cold, steady_j1) =
+    phase "evolve -j1 (cold)" (fun () -> run_on ctx1)
+  in
   (* Same engine, same params: every request is a memo hit. *)
-  let ph_warm, r_warm = phase "evolve -j1 (warm cache)" (fun () -> run_on ctx1) in
+  let ph_warm, (r_warm, _) =
+    phase "evolve -j1 (warm cache)" (fun () -> run_on ctx1)
+  in
   let ctx4 = Driver.Study.create ~jobs:4 Driver.Study.Hyperblock_study benches in
-  let ph_par, r_par = phase "evolve -j4 (cold)" (fun () -> run_on ctx4) in
+  let ph_par, (r_par, steady_j4) =
+    phase "evolve -j4 (cold)" (fun () -> run_on ctx4)
+  in
+  Driver.Study.close ctx1;
+  Driver.Study.close ctx4;
+  (* Fork must still be available here: the evalc phase below retires it. *)
+  let startup_s = pool_startup_s 4 in
+  Fmt.pr "  %-24s %8.3fs@." "pool startup (4 workers)" startup_s;
   Fmt.pr "  simulation fast paths:@.";
   let ph_sim, sim_doc =
     phase "sim fast paths" (fun () -> sim_measurements p)
@@ -702,6 +788,12 @@ let report () =
   in
   let seconds (_, s) = s in
   let speedup num den = if den > 0.0 then num /. den else 0.0 in
+  let cores = detected_cores () in
+  let domains_over_fork =
+    match Gp.Telemetry.member "domains_over_fork" evalc_doc with
+    | Some (Gp.Telemetry.Float f) -> f
+    | _ -> 0.0
+  in
   let doc =
     Gp.Telemetry.Obj
       [
@@ -712,6 +804,7 @@ let report () =
               ("population", Gp.Telemetry.Int p.Gp.Params.population_size);
               ("generations", Gp.Telemetry.Int p.Gp.Params.generations);
               ("seed", Gp.Telemetry.Int p.Gp.Params.rng_seed);
+              ("detected_cores", Gp.Telemetry.Int cores);
               ( "benches",
                 Gp.Telemetry.List
                   (List.map (fun b -> Gp.Telemetry.String b) benches) );
@@ -729,11 +822,16 @@ let report () =
         ( "speedups",
           Gp.Telemetry.Obj
             [
+              (* steady-state per-generation ratio on the resident warm
+                 pool; the first generation's one-time spawn cost is
+                 pool_startup_s, not folded into the speedup *)
               ( "parallel_j4_over_j1",
-                Gp.Telemetry.Float (speedup (seconds ph_cold) (seconds ph_par)) );
+                Gp.Telemetry.Float (speedup steady_j1 steady_j4) );
               ( "warm_cache_over_cold",
                 Gp.Telemetry.Float (speedup (seconds ph_cold) (seconds ph_warm))
               );
+              ("domains_over_fork", Gp.Telemetry.Float domains_over_fork);
+              ("pool_startup_s", Gp.Telemetry.Float startup_s);
             ] );
         ("identical_results", Gp.Telemetry.Bool identical);
         ("sim", sim_doc);
@@ -781,9 +879,44 @@ let report () =
         ps
     | _ -> fail "phases missing or empty");
     (match require "speedups" with
-    | Gp.Telemetry.Obj _ -> ()
+    | Gp.Telemetry.Obj _ as s ->
+      let fnum k =
+        match Gp.Telemetry.member k s with
+        | Some (Gp.Telemetry.Float f) -> f
+        | _ -> fail ("speedups." ^ k ^ " missing or not a float")
+      in
+      let par = fnum "parallel_j4_over_j1" in
+      let dof = fnum "domains_over_fork" in
+      ignore (fnum "warm_cache_over_cold");
+      ignore (fnum "pool_startup_s");
+      (* Speedup gates, scaled to the cores this container actually has:
+         the full 1.5x CI gate applies from 4 cores up (the hosted CI
+         runners).  A single-core container cannot make anything faster
+         — at report scale the tasks are ~1ms of simulation, so fork
+         dispatch overhead honestly costs ~2x with no parallelism to
+         reclaim it — but the warm pools must still keep steady-state
+         overhead bounded (>= 0.4x of sequential); the 5x inversion this
+         section exists to catch lands far below that.
+         domains_over_fork is 0 when fork is unavailable. *)
+      let par_gate = Float.min 1.5 (0.4 *. float_of_int cores) in
+      if par < par_gate then
+        fail
+          (Printf.sprintf
+             "parallel_j4_over_j1 %.2f below gate %.2f (%d cores)" par
+             par_gate cores);
+      if dof > 0.0 && dof < 1.0 then
+        fail
+          (Printf.sprintf
+             "domains_over_fork %.2f below gate 1.00: warm domains pool \
+              slower than warm fork pool"
+             dof)
     | _ -> fail "speedups not an object");
-    ignore (require "config");
+    (match require "config" with
+    | Gp.Telemetry.Obj _ as c ->
+      (match Gp.Telemetry.member "detected_cores" c with
+      | Some (Gp.Telemetry.Int n) when n >= 1 -> ()
+      | _ -> fail "config.detected_cores missing or < 1")
+    | _ -> fail "config not an object");
     ignore (require "records");
     ignore (require "telemetry");
     (match require "sim" with
@@ -810,9 +943,13 @@ let report () =
           "domains_s"; "domains_over_fork"; "pools_identical";
         ]
     | _ -> fail "evalc not an object"));
-  Fmt.pr "@.speedups: parallel %.2fx, warm cache %.2fx@."
-    (speedup (seconds ph_cold) (seconds ph_par))
-    (speedup (seconds ph_cold) (seconds ph_warm));
+  Fmt.pr
+    "@.speedups: parallel %.2fx steady (%d cores), warm cache %.2fx, \
+     domains/fork %.2fx, pool startup %.3fs@."
+    (speedup steady_j1 steady_j4)
+    cores
+    (speedup (seconds ph_cold) (seconds ph_warm))
+    domains_over_fork startup_s;
   Fmt.pr "identical evolved results across engines: %s@."
     (if identical then "yes" else "NO!");
   Fmt.pr "records: %d generation, %d pool, %d cache@." (count "generation")

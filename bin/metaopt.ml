@@ -101,6 +101,16 @@ let cache_dir =
                  across runs"
            ~docv:"DIR")
 
+let cache_shards =
+  Arg.(value & opt int Driver.Shardstore.default_shards
+       & info [ "cache-shards" ]
+           ~doc:"Spread the on-disk fitness cache over $(docv) append-only \
+                 shard files (1-256), each under its own lock, so \
+                 concurrent runs sharing a --cache-dir only contend when \
+                 they write the same shard.  Use the same value for every \
+                 run sharing a directory"
+           ~docv:"N")
+
 let checkpoint_dir =
   Arg.(value & opt (some string) None
        & info [ "checkpoint-dir" ]
@@ -185,8 +195,8 @@ let print_faults (f : Driver.Evaluator.fault_stats) =
 (* The single place a run's Study.config is assembled: every experiment
    command composes [config_term] and hands the record to the [_with]
    drivers. *)
-let config_of pop gens seed backend jobs cache_dir checkpoint_dir
-    eval_timeout eval_retries no_fast_sim no_compiled_eval :
+let config_of pop gens seed backend jobs cache_dir cache_shards
+    checkpoint_dir eval_timeout eval_retries no_fast_sim no_compiled_eval :
     Driver.Study.config =
   {
     Driver.Study.default_config with
@@ -200,6 +210,7 @@ let config_of pop gens seed backend jobs cache_dir checkpoint_dir
     backend;
     jobs;
     cache_dir;
+    cache_shards;
     checkpoint_dir;
     timeout_s = eval_timeout;
     retries = eval_retries;
@@ -210,8 +221,8 @@ let config_of pop gens seed backend jobs cache_dir checkpoint_dir
 let config_term =
   Term.(
     const config_of $ pop $ gens $ seed $ backend $ jobs $ cache_dir
-    $ checkpoint_dir $ eval_timeout $ eval_retries $ no_fast_sim
-    $ no_compiled_eval)
+    $ cache_shards $ checkpoint_dir $ eval_timeout $ eval_retries
+    $ no_fast_sim $ no_compiled_eval)
 
 (* --- list ---------------------------------------------------------------- *)
 
@@ -534,7 +545,7 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
-         "Differential fuzzing: random programs and genomes through the           eight redundancy oracles (engine, replay, cache, simplify,           checkpoint, parmap, compiled_vs_walk, chaos_vs_clean)")
+         "Differential fuzzing: random programs and genomes through the           nine redundancy oracles (engine, replay, cache, simplify,           checkpoint, parmap, compiled_vs_walk, chaos_vs_clean,           warm_vs_cold)")
     Term.(
       const run
       $ Arg.(value & opt int 0 & info [ "seed" ] ~doc:"campaign base seed")

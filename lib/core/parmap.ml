@@ -11,11 +11,14 @@
      with [fallback].  The parent drains the workers one at a time; pipes
      buffer in the kernel, so slower workers simply block on write until
      their turn, and no deadlock is possible with single-reader pipes.
-     [run_supervised] adds the fault model long evolution runs need: one
-     fork per attempt, a wall-clock deadline enforced from the parent (a
+     Supervised evaluation ([create]/[run_batch]/[shutdown], with
+     [run_supervised] as the one-shot composition) adds the fault model
+     long evolution runs need: pre-forked workers kept alive on pipes
+     across batches, a wall-clock deadline enforced from the parent (a
      worker stuck in a tight loop or a blocking C call cannot be trusted
-     to deliver its own SIGALRM), exponential-backoff retries on a fresh
-     worker, and a typed outcome per task instead of a silent fallback.
+     to deliver its own SIGALRM), exponential-backoff retries on a
+     respawned slot, and a typed outcome per task instead of a silent
+     fallback.
    - [`Domains]: an OCaml 5 shared-memory work pool — [Domain.spawn]ed
      workers pulling task indices from one [Atomic] counter, no fork and
      no [Marshal] round-trip per task.  Each result is written to a
@@ -292,16 +295,6 @@ type stats = {
    as a truncated buffer at EOF. *)
 type 'b reply = Value of 'b | Raised of string
 
-type slot = {
-  pid : int;
-  fd : Unix.file_descr;
-  task : int;
-  attempt : int; (* 0-based *)
-  deadline : float; (* absolute; [infinity] when no timeout *)
-  spawned : float; (* absolute; 0 when telemetry is off *)
-  buf : Buffer.t;
-}
-
 let insert_delayed ((t, _, _) as entry) l =
   let rec go = function
     | [] -> [ entry ]
@@ -369,6 +362,9 @@ type 'b attempt_result = Done of 'b | Failed of string | Deadline
 type 'b running = {
   r_task : int;
   r_attempt : int; (* 0-based *)
+  r_enq : float; (* absolute enqueue time; 0 when telemetry is off *)
+  mutable r_dispatched : float; (* absolute; 0 when telemetry is off *)
+  mutable r_done : float; (* absolute; 0 until settled by the worker *)
   r_quarantine_at : float; (* absolute; [infinity] when no timeout *)
   r_settled : bool Atomic.t; (* CAS-won by worker or quarantine sweep *)
   mutable r_result : 'b attempt_result; (* written before the worker's CAS *)
@@ -379,11 +375,148 @@ type 'b wstate = {
   w_current : 'b running option Atomic.t;
 }
 
-let domains_supervised ~jobs ~timeout_s ~retries ~backoff_s f xs =
+let now () = Unix.gettimeofday ()
+
+(* Persistent domains pool: the worker domains, the work/done queues and
+   the notify pipe outlive any single batch.  Workers read the current
+   batch's input array out of [d_xs] under the work-queue mutex, so the
+   supervisor's assignment is visible before any of that batch's tasks
+   can be taken. *)
+type ('a, 'b) dom_state = {
+  d_m : Mutex.t;
+  d_c : Condition.t;
+  d_work : (int * int * float) Queue.t; (* task, attempt, enqueue time *)
+  d_done : 'b running Queue.t;
+  mutable d_stop : bool;
+  mutable d_xs : 'a array;
+  d_note_r : Unix.file_descr;
+  d_note_w : Unix.file_descr;
+  mutable d_live : ('b wstate * unit Domain.t) list;
+  d_f : 'a -> 'b;
+  d_jobs : int;
+  d_timeout_s : float option;
+  d_retries : int;
+  d_backoff_s : float;
+  d_grace : float;
+}
+
+let dom_worker st ws () =
+  Telemetry.suppress_in_domain true;
+  let take () =
+    Mutex.lock st.d_m;
+    let rec go () =
+      if st.d_stop then None
+      else
+        match Queue.take_opt st.d_work with
+        | Some t -> Some (t, st.d_xs)
+        | None ->
+          Condition.wait st.d_c st.d_m;
+          go ()
+    in
+    let t = go () in
+    Mutex.unlock st.d_m;
+    t
+  in
+  let rec loop () =
+    if not (Atomic.get ws.w_poisoned) then
+      match take () with
+      | None -> ()
+      | Some ((task, attempt, enq), xs) ->
+        let tok = Cancel.create ?deadline_s:st.d_timeout_s () in
+        let r =
+          {
+            r_task = task;
+            r_attempt = attempt;
+            r_enq = enq;
+            r_dispatched = (if enq > 0.0 then now () else 0.0);
+            r_done = 0.0;
+            r_quarantine_at = Cancel.deadline tok +. st.d_grace;
+            r_settled = Atomic.make false;
+            r_result = Deadline;
+          }
+        in
+        Atomic.set ws.w_current (Some r);
+        let res =
+          match
+            Cancel.with_token tok (fun () ->
+                Chaos.task_point ~isolated:false ~key:task
+                  ~attempt:(attempt + 1);
+                st.d_f xs.(task))
+          with
+          | v -> Done v
+          | exception Cancel.Cancelled ->
+            (* Only a cancelled token makes [Cancelled] a timeout; a
+               task raising it spuriously is a crash. *)
+            if Cancel.cancelled tok then Deadline
+            else Failed "task raised Cancelled"
+          | exception e -> Failed (Printexc.to_string e)
+        in
+        Atomic.set ws.w_current None;
+        if r.r_enq > 0.0 then r.r_done <- now ();
+        r.r_result <- res;
+        if Atomic.compare_and_set r.r_settled false true then begin
+          Mutex.lock st.d_m;
+          Queue.add r st.d_done;
+          Mutex.unlock st.d_m;
+          let b = Bytes.make 1 '!' in
+          ignore (retry_eintr (fun () -> Unix.write st.d_note_w b 0 1))
+        end;
+        (* A lost CAS means the sweep quarantined this attempt — the
+           poison flag ends the loop above. *)
+        loop ()
+  in
+  loop ()
+
+let dom_spawn_worker st =
+  let ws = { w_poisoned = Atomic.make false; w_current = Atomic.make None } in
+  (ws, Domain.spawn (dom_worker st ws))
+
+let init_domains (p : pool) f =
+  let note_r, note_w = Unix.pipe () in
+  let st =
+    {
+      d_m = Mutex.create ();
+      d_c = Condition.create ();
+      d_work = Queue.create ();
+      d_done = Queue.create ();
+      d_stop = false;
+      d_xs = [||];
+      d_note_r = note_r;
+      d_note_w = note_w;
+      d_live = [];
+      d_f = f;
+      d_jobs = p.jobs;
+      d_timeout_s = p.timeout_s;
+      d_retries = p.retries;
+      d_backoff_s = p.backoff_s;
+      d_grace =
+        (match p.timeout_s with
+        | Some t -> Float.max 0.05 (0.5 *. t)
+        | None -> infinity);
+    }
+  in
+  domains_used := true;
+  let tel = Telemetry.enabled () in
+  let t0 = if tel then Telemetry.now_s () else 0.0 in
+  st.d_live <- List.init p.jobs (fun _ -> dom_spawn_worker st);
+  if tel then Telemetry.observe "parmap.pool_spawn_s" (Telemetry.now_s () -. t0);
+  st
+
+let shutdown_domains st =
+  Mutex.lock st.d_m;
+  st.d_stop <- true;
+  Condition.broadcast st.d_c;
+  Mutex.unlock st.d_m;
+  List.iter
+    (fun (ws, d) -> if not (Atomic.get ws.w_poisoned) then Domain.join d)
+    st.d_live;
+  st.d_live <- [];
+  (try Unix.close st.d_note_r with Unix.Unix_error _ -> ());
+  (try Unix.close st.d_note_w with Unix.Unix_error _ -> ())
+
+let domains_batch (st : ('a, 'b) dom_state) (xs : 'a array) =
   let n = Array.length xs in
   let outcomes = Array.make n Gave_up in
-  let jobs = max 1 (min jobs n) in
-  let now () = Unix.gettimeofday () in
   let tel = Telemetry.enabled () in
   let t_start = if tel then Telemetry.now_s () else 0.0 in
   let completed = ref 0 in
@@ -391,98 +524,43 @@ let domains_supervised ~jobs ~timeout_s ~retries ~backoff_s f xs =
   let timeouts = ref 0 in
   let retried = ref 0 in
   let quarantined = ref 0 in
-  let grace =
-    match timeout_s with
-    | Some t -> Float.max 0.05 (0.5 *. t)
-    | None -> infinity
-  in
-  let m = Mutex.create () in
-  let c = Condition.create () in
-  let work_q : (int * int) Queue.t = Queue.create () in
-  let done_q : 'b running Queue.t = Queue.create () in
-  let stop = ref false in
-  let note_r, note_w = Unix.pipe () in
-  let notify =
-    let b = Bytes.make 1 '!' in
-    fun () -> ignore (retry_eintr (fun () -> Unix.write note_w b 0 1))
-  in
-  (* Queue every first attempt before any worker starts, so workers find
-     work without waiting on a signal. *)
+  let task_hist = Telemetry.Histogram.create () in
+  let queue_hist = Telemetry.Histogram.create () in
+  let busy = ref 0.0 in
+  let timeout_s = st.d_timeout_s in
+  let retries = st.d_retries in
+  let backoff_s = st.d_backoff_s in
+  (* Install the batch and queue every first attempt before waking the
+     workers, so they find work without waiting on a second signal. *)
+  Mutex.lock st.d_m;
+  st.d_xs <- xs;
+  let enq0 = if tel then now () else 0.0 in
   for i = 0 to n - 1 do
-    Queue.add (i, 0) work_q
+    Queue.add (i, 0, enq0) st.d_work
   done;
-  let worker ws () =
-    Telemetry.suppress_in_domain true;
-    let take () =
-      Mutex.lock m;
-      let rec go () =
-        if !stop then None
-        else
-          match Queue.take_opt work_q with
-          | Some t -> Some t
-          | None ->
-            Condition.wait c m;
-            go ()
-      in
-      let t = go () in
-      Mutex.unlock m;
-      t
-    in
-    let rec loop () =
-      if not (Atomic.get ws.w_poisoned) then
-        match take () with
-        | None -> ()
-        | Some (task, attempt) ->
-          let tok = Cancel.create ?deadline_s:timeout_s () in
-          let r =
-            {
-              r_task = task;
-              r_attempt = attempt;
-              r_quarantine_at = Cancel.deadline tok +. grace;
-              r_settled = Atomic.make false;
-              r_result = Deadline;
-            }
-          in
-          Atomic.set ws.w_current (Some r);
-          let res =
-            match
-              Cancel.with_token tok (fun () ->
-                  Chaos.task_point ~isolated:false ~key:task
-                    ~attempt:(attempt + 1);
-                  f xs.(task))
-            with
-            | v -> Done v
-            | exception Cancel.Cancelled ->
-              (* Only a cancelled token makes [Cancelled] a timeout; a
-                 task raising it spuriously is a crash. *)
-              if Cancel.cancelled tok then Deadline
-              else Failed "task raised Cancelled"
-            | exception e -> Failed (Printexc.to_string e)
-          in
-          Atomic.set ws.w_current None;
-          r.r_result <- res;
-          if Atomic.compare_and_set r.r_settled false true then begin
-            Mutex.lock m;
-            Queue.add r done_q;
-            Mutex.unlock m;
-            notify ()
-          end;
-          (* A lost CAS means the sweep quarantined this attempt — the
-             poison flag ends the loop above. *)
-          loop ()
-    in
-    loop ()
-  in
-  domains_used := true;
-  let spawn_worker () =
-    let ws =
-      { w_poisoned = Atomic.make false; w_current = Atomic.make None }
-    in
-    (ws, Domain.spawn (worker ws))
-  in
-  let live = ref (List.init jobs (fun _ -> spawn_worker ())) in
+  Condition.broadcast st.d_c;
+  Mutex.unlock st.d_m;
   let delayed = ref [] in
   let remaining = ref n in
+  (* Attempt latency, observed from the supervisor side: queue wait is
+     enqueue-to-dispatch (the worker stamps the dispatch time when it
+     takes the task), task time dispatch-to-settle. *)
+  let note_attempt ?end_ r =
+    if tel && r.r_dispatched > 0.0 then begin
+      let w = r.r_dispatched -. r.r_enq in
+      Telemetry.Histogram.add queue_hist w;
+      Telemetry.observe "parmap.queue_wait_s" w;
+      let stop =
+        match end_ with
+        | Some t -> t
+        | None -> if r.r_done > 0.0 then r.r_done else now ()
+      in
+      let d = Float.max 0.0 (stop -. r.r_dispatched) in
+      Telemetry.Histogram.add task_hist d;
+      Telemetry.observe "parmap.task_s" d;
+      busy := !busy +. d
+    end
+  in
   let handle_failure ~task ~attempt kind =
     (match kind with
     | `Crash msg ->
@@ -509,6 +587,7 @@ let domains_supervised ~jobs ~timeout_s ~retries ~backoff_s f xs =
     end
   in
   let handle_result r =
+    note_attempt r;
     match r.r_result with
     | Done v ->
       outcomes.(r.r_task) <- Ok v;
@@ -526,18 +605,18 @@ let domains_supervised ~jobs ~timeout_s ~retries ~backoff_s f xs =
       match !delayed with
       | (nb, task, att) :: rest when nb <= t ->
         delayed := rest;
-        Mutex.lock m;
-        Queue.add (task, att) work_q;
-        Mutex.unlock m;
+        Mutex.lock st.d_m;
+        Queue.add (task, att, if tel then t else 0.0) st.d_work;
+        Mutex.unlock st.d_m;
         promoted := true;
         promote ()
       | _ -> ()
     in
     promote ();
     if !promoted then begin
-      Mutex.lock m;
-      Condition.broadcast c;
-      Mutex.unlock m
+      Mutex.lock st.d_m;
+      Condition.broadcast st.d_c;
+      Mutex.unlock st.d_m
     end;
     (* Sleep until the nearest quarantine time or retry wake-up, or
        until a worker pokes the pipe. *)
@@ -548,7 +627,7 @@ let domains_supervised ~jobs ~timeout_s ~retries ~backoff_s f xs =
           | Some r when not (Atomic.get r.r_settled) ->
             Float.min acc r.r_quarantine_at
           | _ -> acc)
-        infinity !live
+        infinity st.d_live
     in
     let nearest_retry =
       match !delayed with (nb, _, _) :: _ -> nb | [] -> infinity
@@ -564,25 +643,26 @@ let domains_supervised ~jobs ~timeout_s ~retries ~backoff_s f xs =
            miss it. *)
         Float.min 0.05 (Float.max 0.0 (until -. now ()))
     in
-    (match Unix.select [ note_r ] [] [] tmo with
+    (match Unix.select [ st.d_note_r ] [] [] tmo with
     | [], _, _ -> ()
     | _ ->
       ignore
         (retry_eintr (fun () ->
-             Unix.read note_r drain_buf 0 (Bytes.length drain_buf)))
+             Unix.read st.d_note_r drain_buf 0 (Bytes.length drain_buf)))
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
     (* Collect finished attempts. *)
     let finished = ref [] in
-    Mutex.lock m;
-    Queue.iter (fun r -> finished := r :: !finished) done_q;
-    Queue.clear done_q;
-    Mutex.unlock m;
+    Mutex.lock st.d_m;
+    Queue.iter (fun r -> finished := r :: !finished) st.d_done;
+    Queue.clear st.d_done;
+    Mutex.unlock st.d_m;
     List.iter handle_result (List.rev !finished);
     (* Quarantine sweep: any attempt past its quarantine time whose
        settled CAS we win is charged a timeout, its worker poisoned and
-       replaced. *)
+       replaced.  The replacement joins the persistent pool and serves
+       later batches too. *)
     let t = now () in
-    live :=
+    st.d_live <-
       List.map
         (fun ((ws, _) as w) ->
           match Atomic.get ws.w_current with
@@ -597,31 +677,24 @@ let domains_supervised ~jobs ~timeout_s ~retries ~backoff_s f xs =
                    grace period; quarantining its worker and respawning the \
                    slot"
                   r.r_task (r.r_attempt + 1));
+            note_attempt ~end_:t r;
             handle_failure ~task:r.r_task ~attempt:r.r_attempt `Timeout;
-            spawn_worker ()
+            dom_spawn_worker st
           | _ -> w)
-        !live
+        st.d_live
   done;
-  Mutex.lock m;
-  stop := true;
-  Condition.broadcast c;
-  Mutex.unlock m;
-  List.iter
-    (fun (ws, d) -> if not (Atomic.get ws.w_poisoned) then Domain.join d)
-    !live;
-  (try Unix.close note_r with Unix.Unix_error _ -> ());
-  (try Unix.close note_w with Unix.Unix_error _ -> ());
   if tel then begin
     let wall = Telemetry.now_s () -. t_start in
     Telemetry.incr ~by:!crashes "parmap.crashes";
     Telemetry.incr ~by:!timeouts "parmap.timeouts";
     Telemetry.incr ~by:!retried "parmap.retries";
     Telemetry.incr ~by:!quarantined "parmap.quarantined";
+    let pct h p = Telemetry.Histogram.percentile h p in
     Telemetry.emit ~kind:"pool"
       [
         ("mode", Telemetry.String "supervised");
         ("backend", Telemetry.String "domains");
-        ("jobs", Telemetry.Int jobs);
+        ("jobs", Telemetry.Int st.d_jobs);
         ("tasks", Telemetry.Int n);
         ("completed", Telemetry.Int !completed);
         ("crashes", Telemetry.Int !crashes);
@@ -629,6 +702,18 @@ let domains_supervised ~jobs ~timeout_s ~retries ~backoff_s f xs =
         ("retries", Telemetry.Int !retried);
         ("quarantined", Telemetry.Int !quarantined);
         ("wall_s", Telemetry.Float wall);
+        ("busy_s", Telemetry.Float !busy);
+        ( "utilization",
+          Telemetry.Float
+            (if wall > 0.0 then
+               !busy /. (wall *. float_of_int st.d_jobs)
+             else 0.0) );
+        ("task_p50_s", Telemetry.Float (pct task_hist 50.0));
+        ("task_p95_s", Telemetry.Float (pct task_hist 95.0));
+        ("task_max_s", Telemetry.Float (Telemetry.Histogram.max task_hist));
+        ("queue_p50_s", Telemetry.Float (pct queue_hist 50.0));
+        ("queue_p95_s", Telemetry.Float (pct queue_hist 95.0));
+        ("queue_max_s", Telemetry.Float (Telemetry.Histogram.max queue_hist));
       ]
   end;
   ( outcomes,
@@ -640,29 +725,216 @@ let domains_supervised ~jobs ~timeout_s ~retries ~backoff_s f xs =
       quarantined = !quarantined;
     } )
 
-let fork_supervised ~jobs ~timeout_s ~retries ~backoff_s f xs =
+(* --- Persistent fork pool ------------------------------------------------ *)
+
+(* One pre-forked worker per slot, kept alive across batches on a pair of
+   pipes: the parent marshals [(task, attempt, input)] down the task
+   pipe, the child replies with one marshalled [reply] per task and
+   blocks reading the next.  At most one task is ever in flight per
+   slot, so the parent can frame replies with [Marshal.header_size] /
+   [Marshal.data_size] out of a per-slot buffer.  A worker that dies
+   (crash, chaos kill, SIGKILL on deadline) is reaped and its slot
+   respawned without disturbing the rest of the pool — warm state in the
+   surviving children (decoded layouts, simulation caches) stays
+   resident. *)
+type fslot = {
+  mutable s_pid : int;
+  mutable s_to : Unix.file_descr; (* parent -> child task pipe *)
+  mutable s_from : Unix.file_descr; (* child -> parent result pipe *)
+  mutable s_alive : bool;
+  s_buf : Buffer.t; (* partial reply bytes *)
+  mutable s_busy : bool;
+  mutable s_task : int;
+  mutable s_attempt : int; (* 0-based *)
+  mutable s_deadline : float; (* absolute; [infinity] when no timeout *)
+  mutable s_dispatched : float; (* absolute; 0 when telemetry is off *)
+}
+
+type ('a, 'b) fork_state = {
+  k_f : 'a -> 'b;
+  k_slots : fslot array;
+  k_jobs : int;
+  k_timeout_s : float option;
+  k_retries : int;
+  k_backoff_s : float;
+}
+
+(* The parent writes to task pipes whose child may have died; without
+   this, the resulting SIGPIPE would kill the whole run instead of
+   surfacing as an EPIPE the dispatcher handles by respawning the slot.
+   Set once, never restored: writers in this codebase check their write
+   results. *)
+let sigpipe_ignored = ref false
+
+let ignore_sigpipe () =
+  if not !sigpipe_ignored then begin
+    sigpipe_ignored := true;
+    try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
+  end
+
+let write_all fd b =
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + retry_eintr (fun () -> Unix.write fd b !off (len - !off))
+  done
+
+let wait_status pid =
+  match retry_eintr (fun () -> Unix.waitpid [] pid) with
+  | _, status -> Some status
+  | exception Unix.Unix_error _ -> None
+
+(* The worker loop run in each forked child: read one task, evaluate it,
+   write one reply, repeat until the parent closes the task pipe. *)
+let fork_child_loop (type a b) (f : a -> b) rd wr =
+  let ic = Unix.in_channel_of_descr rd in
+  let oc = Unix.out_channel_of_descr wr in
+  (try
+     while true do
+       let (task, attempt, x) : int * int * a = Marshal.from_channel ic in
+       let reply : b reply =
+         match
+           Chaos.task_point ~isolated:true ~key:task ~attempt:(attempt + 1);
+           f x
+         with
+         | v -> Value v
+         | exception e -> Raised (Printexc.to_string e)
+       in
+       Marshal.to_channel oc reply [];
+       flush oc
+     done
+   with _ -> ());
+  Unix._exit 0
+
+let fork_spawn_into st slot =
+  (* Anything buffered in the parent must not be replayed by children
+     (children exit through [Unix._exit], which skips flushing). *)
+  flush stdout;
+  flush stderr;
+  let t_r, t_w = Unix.pipe () in
+  let r_r, r_w = Unix.pipe () in
+  let rec do_fork tries =
+    match Unix.fork () with
+    | pid -> pid
+    | exception Unix.Unix_error (Unix.EAGAIN, _, _) when tries > 0 ->
+      (try Unix.sleepf 0.05 with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      do_fork (tries - 1)
+  in
+  match do_fork 100 with
+  | 0 ->
+    (* The child inherits the parent's sink descriptor; writing to it
+       would interleave torn lines into the parent's stream.  It also
+       inherits the other slots' pipe ends, which would keep dead
+       siblings' pipes open — close them all. *)
+    Telemetry.set_sink None;
+    Unix.close t_w;
+    Unix.close r_r;
+    Array.iter
+      (fun s ->
+        if s != slot && s.s_alive then begin
+          (try Unix.close s.s_to with Unix.Unix_error _ -> ());
+          (try Unix.close s.s_from with Unix.Unix_error _ -> ())
+        end)
+      st.k_slots;
+    fork_child_loop st.k_f t_r r_w
+  | pid ->
+    Unix.close t_r;
+    Unix.close r_w;
+    slot.s_pid <- pid;
+    slot.s_to <- t_w;
+    slot.s_from <- r_r;
+    slot.s_alive <- true;
+    slot.s_busy <- false;
+    Buffer.clear slot.s_buf;
+    slot.s_deadline <- infinity;
+    slot.s_dispatched <- 0.0
+
+let init_fork (p : pool) f =
+  ignore_sigpipe ();
+  let fresh_slot () =
+    {
+      s_pid = -1;
+      s_to = Unix.stdin;
+      s_from = Unix.stdin;
+      s_alive = false;
+      s_buf = Buffer.create 256;
+      s_busy = false;
+      s_task = -1;
+      s_attempt = 0;
+      s_deadline = infinity;
+      s_dispatched = 0.0;
+    }
+  in
+  let st =
+    {
+      k_f = f;
+      k_slots = Array.init p.jobs (fun _ -> fresh_slot ());
+      k_jobs = p.jobs;
+      k_timeout_s = p.timeout_s;
+      k_retries = p.retries;
+      k_backoff_s = p.backoff_s;
+    }
+  in
+  let tel = Telemetry.enabled () in
+  let t0 = if tel then Telemetry.now_s () else 0.0 in
+  Array.iter (fun s -> fork_spawn_into st s) st.k_slots;
+  if tel then Telemetry.observe "parmap.pool_spawn_s" (Telemetry.now_s () -. t0);
+  st
+
+(* Close the slot's pipes and reap the child, returning its exit status.
+   Used on worker death and deadline kills; the slot is left dead for
+   [fork_spawn_into] to repopulate. *)
+let retire_slot slot =
+  (try Unix.close slot.s_to with Unix.Unix_error _ -> ());
+  (try Unix.close slot.s_from with Unix.Unix_error _ -> ());
+  slot.s_alive <- false;
+  slot.s_busy <- false;
+  Buffer.clear slot.s_buf;
+  wait_status slot.s_pid
+
+let shutdown_fork st =
+  Array.iter
+    (fun s ->
+      if s.s_alive then begin
+        s.s_alive <- false;
+        (* Closing the task pipe EOFs the idle child's blocking read; it
+           exits on its own.  A child that does not (wedged in a task no
+           batch is waiting on) is killed after a short grace. *)
+        (try Unix.close s.s_to with Unix.Unix_error _ -> ());
+        (try Unix.close s.s_from with Unix.Unix_error _ -> ());
+        let rec wait tries =
+          match retry_eintr (fun () -> Unix.waitpid [ Unix.WNOHANG ] s.s_pid) with
+          | 0, _ ->
+            if tries > 0 then begin
+              (try Unix.sleepf 0.01
+               with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+              wait (tries - 1)
+            end
+            else begin
+              (try Unix.kill s.s_pid Sys.sigkill with Unix.Unix_error _ -> ());
+              ignore (wait_status s.s_pid)
+            end
+          | _ -> ()
+          | exception Unix.Unix_error _ -> ()
+        in
+        wait 50
+      end)
+    st.k_slots
+
+let fork_batch (st : ('a, 'b) fork_state) (xs : 'a array) =
   let n = Array.length xs in
   let outcomes = Array.make n Gave_up in
   let completed = ref 0 in
   let crashes = ref 0 in
   let timeouts = ref 0 in
   let retried = ref 0 in
-  let mk_stats () =
-    {
-      completed = !completed;
-      crashes = !crashes;
-      timeouts = !timeouts;
-      retries = !retried;
-      quarantined = 0;
-    }
-  in
-  flush stdout;
-  flush stderr;
-  let jobs = max 1 (min jobs n) in
-  let now () = Unix.gettimeofday () in
+  let timeout_s = st.k_timeout_s in
+  let retries = st.k_retries in
+  let backoff_s = st.k_backoff_s in
   (* Telemetry: per-task latency and queue wait are observed from the
-     parent (spawn-to-EOF wall clock), so they cover the forked path the
-     in-process spans cannot see.  All of it is guarded: when disabled,
+     parent.  [queue_wait_s] is enqueue-to-dispatch only — pool spawn
+     cost lives under [parmap.pool_spawn_s] — and [task_s] is
+     dispatch-to-reply wall clock.  All of it is guarded: when disabled,
      the pool never reads the clock on its behalf. *)
   let tel = Telemetry.enabled () in
   let t_start = if tel then Telemetry.now_s () else 0.0 in
@@ -670,8 +942,8 @@ let fork_supervised ~jobs ~timeout_s ~retries ~backoff_s f xs =
   let queue_hist = Telemetry.Histogram.create () in
   let busy = ref 0.0 in
   let note_done slot =
-    if tel && slot.spawned > 0.0 then begin
-      let d = now () -. slot.spawned in
+    if tel && slot.s_dispatched > 0.0 then begin
+      let d = now () -. slot.s_dispatched in
       Telemetry.Histogram.add task_hist d;
       Telemetry.observe "parmap.task_s" d;
       busy := !busy +. d
@@ -686,35 +958,27 @@ let fork_supervised ~jobs ~timeout_s ~retries ~backoff_s f xs =
     Queue.add (i, 0, enq0) ready
   done;
   let delayed = ref [] in
-  let active = ref [] in
   let remaining = ref n in
   let chunk = Bytes.create 65536 in
-  let wait_status pid =
-    match retry_eintr (fun () -> Unix.waitpid [] pid) with
-    | _, status -> Some status
-    | exception Unix.Unix_error _ -> None
-  in
-  let finish_failure slot kind =
+  let finish_failure ~task ~attempt kind =
     (match kind with
     | `Crash msg ->
       incr crashes;
       Logs.warn (fun m ->
-          m "parmap: task %d attempt %d crashed: %s" slot.task
-            (slot.attempt + 1) msg)
+          m "parmap: task %d attempt %d crashed: %s" task (attempt + 1) msg)
     | `Timeout ->
       incr timeouts;
       Logs.warn (fun m ->
-          m "parmap: task %d attempt %d timed out after %.1fs" slot.task
-            (slot.attempt + 1)
+          m "parmap: task %d attempt %d timed out after %.1fs" task
+            (attempt + 1)
             (Option.value ~default:0.0 timeout_s)));
-    if slot.attempt < retries then begin
+    if attempt < retries then begin
       incr retried;
-      let delay = backoff_s *. (2.0 ** float_of_int slot.attempt) in
-      delayed :=
-        insert_delayed (now () +. delay, slot.task, slot.attempt + 1) !delayed
+      let delay = backoff_s *. (2.0 ** float_of_int attempt) in
+      delayed := insert_delayed (now () +. delay, task, attempt + 1) !delayed
     end
     else begin
-      outcomes.(slot.task) <-
+      outcomes.(task) <-
         (if retries = 0 then
            match kind with
            | `Crash msg -> Crashed msg
@@ -723,84 +987,76 @@ let fork_supervised ~jobs ~timeout_s ~retries ~backoff_s f xs =
       decr remaining
     end
   in
-  let finish_eof slot =
-    (try Unix.close slot.fd with Unix.Unix_error _ -> ());
-    let status = wait_status slot.pid in
-    let data = Buffer.to_bytes slot.buf in
-    let reply =
-      if Bytes.length data = 0 then None
-      else
-        match (Marshal.from_bytes data 0 : _ reply) with
-        | r -> Some r
-        | exception _ -> None
-    in
+  (* Extract one framed reply from the slot's buffer, if complete. *)
+  let try_extract_reply slot : 'b reply option =
+    let len = Buffer.length slot.s_buf in
+    if len < Marshal.header_size then None
+    else begin
+      let hdr = Bytes.of_string (Buffer.sub slot.s_buf 0 Marshal.header_size) in
+      let total = Marshal.header_size + Marshal.data_size hdr 0 in
+      if len < total then None
+      else begin
+        let data = Bytes.of_string (Buffer.contents slot.s_buf) in
+        let v = (Marshal.from_bytes data 0 : 'b reply) in
+        Buffer.clear slot.s_buf;
+        if len > total then Buffer.add_subbytes slot.s_buf data total (len - total);
+        Some v
+      end
+    end
+  in
+  let handle_reply slot reply =
+    let task = slot.s_task and attempt = slot.s_attempt in
+    note_done slot;
+    slot.s_busy <- false;
+    slot.s_deadline <- infinity;
+    slot.s_dispatched <- 0.0;
     match reply with
-    | Some (Value v) ->
-      outcomes.(slot.task) <- Ok v;
+    | Value v ->
+      outcomes.(task) <- Ok v;
       incr completed;
       decr remaining
-    | Some (Raised msg) -> finish_failure slot (`Crash ("task raised: " ^ msg))
-    | None ->
-      let msg =
-        match status with
-        | Some (Unix.WEXITED 0) -> "worker exited before writing a result"
-        | Some status -> "worker " ^ describe_status status
-        | None -> "worker vanished"
-      in
-      finish_failure slot (`Crash msg)
+    | Raised msg -> finish_failure ~task ~attempt (`Crash ("task raised: " ^ msg))
   in
-  let kill_slot slot =
-    (try Unix.kill slot.pid Sys.sigkill with Unix.Unix_error _ -> ());
-    (try Unix.close slot.fd with Unix.Unix_error _ -> ());
-    ignore (wait_status slot.pid)
+  (* The worker died mid-task: any partial reply is torn.  Classify by
+     exit status, charge the attempt, and respawn the slot so the pool
+     keeps its capacity. *)
+  let handle_death slot =
+    let task = slot.s_task and attempt = slot.s_attempt in
+    note_done slot;
+    let status = retire_slot slot in
+    let msg =
+      match status with
+      | Some (Unix.WEXITED 0) -> "worker exited before writing a result"
+      | Some status -> "worker " ^ describe_status status
+      | None -> "worker vanished"
+    in
+    finish_failure ~task ~attempt (`Crash msg);
+    fork_spawn_into st slot
   in
-  let spawn (task, attempt, enq) =
-    let rd, wr = Unix.pipe () in
-    match Unix.fork () with
-    | exception Unix.Unix_error _ ->
-      (* Fork pressure (EAGAIN): try again shortly, no attempt charged. *)
-      Unix.close rd;
-      Unix.close wr;
-      delayed := insert_delayed (now () +. 0.05, task, attempt) !delayed
-    | 0 ->
-      Telemetry.set_sink None;
-      Unix.close rd;
-      List.iter
-        (fun s -> try Unix.close s.fd with Unix.Unix_error _ -> ())
-        !active;
-      let reply =
-        match
-          Chaos.task_point ~isolated:true ~key:task ~attempt:(attempt + 1);
-          f xs.(task)
-        with
-        | v -> Value v
-        | exception e -> Raised (Printexc.to_string e)
-      in
-      let b = Marshal.to_bytes (reply : _ reply) [] in
-      let len = Bytes.length b in
-      (try
-         let off = ref 0 in
-         while !off < len do
-           off := !off + retry_eintr (fun () -> Unix.write wr b !off (len - !off))
-         done;
-         Unix.close wr
-       with _ -> ());
-      Unix._exit 0
-    | pid ->
-      Unix.close wr;
-      let spawned = if tel then now () else 0.0 in
+  let rec dispatch slot (task, attempt, enq) ~tries =
+    let msg = Marshal.to_bytes (task, attempt, xs.(task)) [] in
+    match write_all slot.s_to msg with
+    | () ->
+      let t = now () in
       if tel && enq > 0.0 then begin
-        let w = spawned -. enq in
+        let w = t -. enq in
         Telemetry.Histogram.add queue_hist w;
         Telemetry.observe "parmap.queue_wait_s" w
       end;
-      let deadline =
-        match timeout_s with Some t -> now () +. t | None -> infinity
-      in
-      active :=
-        { pid; fd = rd; task; attempt; deadline; spawned;
-          buf = Buffer.create 256 }
-        :: !active
+      slot.s_busy <- true;
+      slot.s_task <- task;
+      slot.s_attempt <- attempt;
+      slot.s_dispatched <- (if tel then t else 0.0);
+      slot.s_deadline <-
+        (match timeout_s with Some d -> now () +. d | None -> infinity)
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.EBADF), _, _) ->
+      (* The idle worker died since its last task (a chaos kill landing
+         between batches, the OOM killer): reap it, respawn the slot and
+         redispatch without charging the task an attempt. *)
+      ignore (retire_slot slot);
+      fork_spawn_into st slot;
+      if tries > 0 then dispatch slot (task, attempt, enq) ~tries:(tries - 1)
+      else finish_failure ~task ~attempt (`Crash "worker unavailable")
   in
   while !remaining > 0 do
     let t = now () in
@@ -814,10 +1070,17 @@ let fork_supervised ~jobs ~timeout_s ~retries ~backoff_s f xs =
       | _ -> ()
     in
     promote ();
-    while (not (Queue.is_empty ready)) && List.length !active < jobs do
-      spawn (Queue.pop ready)
-    done;
-    if !active = [] then begin
+    Array.iter
+      (fun s ->
+        if s.s_alive && (not s.s_busy) && not (Queue.is_empty ready) then
+          dispatch s (Queue.pop ready) ~tries:2)
+      st.k_slots;
+    let pending =
+      Array.fold_left
+        (fun acc s -> if s.s_busy then (s, s.s_from) :: acc else acc)
+        [] st.k_slots
+    in
+    if pending = [] then begin
       match !delayed with
       | (nb, _, _) :: _ ->
         let d = nb -. now () in
@@ -831,10 +1094,11 @@ let fork_supervised ~jobs ~timeout_s ~retries ~backoff_s f xs =
         remaining := 0
     end
     else begin
-      let fds = List.map (fun s -> s.fd) !active in
+      let fds = List.map snd pending in
       let nearest_deadline =
-        List.fold_left (fun acc s -> Float.min acc s.deadline) infinity
-          !active
+        List.fold_left
+          (fun acc (s, _) -> Float.min acc s.s_deadline)
+          infinity pending
       in
       let nearest_retry =
         match !delayed with (nb, _, _) :: _ -> nb | [] -> infinity
@@ -850,33 +1114,37 @@ let fork_supervised ~jobs ~timeout_s ~retries ~backoff_s f xs =
       in
       List.iter
         (fun fd ->
-          match List.find_opt (fun s -> s.fd = fd) !active with
+          match
+            List.find_opt (fun (s, f) -> f = fd && s.s_busy && s.s_alive) pending
+          with
           | None -> ()
-          | Some slot -> (
-            match retry_eintr (fun () -> Unix.read fd chunk 0 (Bytes.length chunk)) with
-            | 0 ->
-              active := List.filter (fun s -> s != slot) !active;
-              note_done slot;
-              finish_eof slot
-            | k -> Buffer.add_subbytes slot.buf chunk 0 k
-            | exception Unix.Unix_error _ ->
-              active := List.filter (fun s -> s != slot) !active;
-              (try Unix.close fd with Unix.Unix_error _ -> ());
-              ignore (wait_status slot.pid);
-              note_done slot;
-              finish_failure slot (`Crash "read error on result pipe")))
+          | Some (slot, _) -> (
+            match
+              retry_eintr (fun () -> Unix.read fd chunk 0 (Bytes.length chunk))
+            with
+            | 0 -> handle_death slot
+            | k -> (
+              Buffer.add_subbytes slot.s_buf chunk 0 k;
+              match try_extract_reply slot with
+              | Some reply -> handle_reply slot reply
+              | None -> ()
+              | exception _ ->
+                (* Garbage on the wire: treat as a worker fault. *)
+                handle_death slot)
+            | exception Unix.Unix_error _ -> handle_death slot))
         readable;
       let t = now () in
-      let expired, alive =
-        List.partition (fun s -> s.deadline <= t) !active
-      in
-      active := alive;
-      List.iter
+      Array.iter
         (fun slot ->
-          kill_slot slot;
-          note_done slot;
-          finish_failure slot `Timeout)
-        expired
+          if slot.s_busy && slot.s_deadline <= t then begin
+            let task = slot.s_task and attempt = slot.s_attempt in
+            note_done slot;
+            (try Unix.kill slot.s_pid Sys.sigkill with Unix.Unix_error _ -> ());
+            ignore (retire_slot slot);
+            finish_failure ~task ~attempt `Timeout;
+            fork_spawn_into st slot
+          end)
+        st.k_slots
     end
   done;
   if tel then begin
@@ -889,7 +1157,7 @@ let fork_supervised ~jobs ~timeout_s ~retries ~backoff_s f xs =
       [
         ("mode", Telemetry.String "supervised");
         ("backend", Telemetry.String "fork");
-        ("jobs", Telemetry.Int jobs);
+        ("jobs", Telemetry.Int st.k_jobs);
         ("tasks", Telemetry.Int n);
         ("completed", Telemetry.Int !completed);
         ("crashes", Telemetry.Int !crashes);
@@ -899,8 +1167,9 @@ let fork_supervised ~jobs ~timeout_s ~retries ~backoff_s f xs =
         ("busy_s", Telemetry.Float !busy);
         ( "utilization",
           Telemetry.Float
-            (if wall > 0.0 then !busy /. (wall *. float_of_int jobs) else 0.0)
-        );
+            (if wall > 0.0 then
+               !busy /. (wall *. float_of_int st.k_jobs)
+             else 0.0) );
         ("task_p50_s", Telemetry.Float (pct task_hist 50.0));
         ("task_p95_s", Telemetry.Float (pct task_hist 95.0));
         ("task_max_s", Telemetry.Float (Telemetry.Histogram.max task_hist));
@@ -909,27 +1178,79 @@ let fork_supervised ~jobs ~timeout_s ~retries ~backoff_s f xs =
         ("queue_max_s", Telemetry.Float (Telemetry.Histogram.max queue_hist));
       ]
   end;
-  (outcomes, mk_stats ())
+  ( outcomes,
+    {
+      completed = !completed;
+      crashes = !crashes;
+      timeouts = !timeouts;
+      retries = !retried;
+      quarantined = 0;
+    } )
 
 let empty_stats =
   { completed = 0; crashes = 0; timeouts = 0; retries = 0; quarantined = 0 }
 
+(* --- Persistent pool handles --------------------------------------------- *)
+
+type ('a, 'b) impl =
+  | Uninit
+  | Inproc
+  | Forked of ('a, 'b) fork_state
+  | Domained of ('a, 'b) dom_state
+
+type ('a, 'b) handle = {
+  h_pool : pool;
+  h_f : 'a -> 'b;
+  mutable h_impl : ('a, 'b) impl;
+  mutable h_closed : bool;
+}
+
+let create pool ~f = { h_pool = pool; h_f = f; h_impl = Uninit; h_closed = false }
+
+(* Workers are spawned lazily on the first batch, not at [create]: a
+   handle for a study that never evaluates costs nothing, a [`Domains]
+   handle does not retire [`Fork] until it actually runs, and state the
+   workers must inherit (an armed chaos plan, the warmed caches of the
+   creating process) is captured as late as possible. *)
+let init_impl h =
+  match h.h_pool.backend with
+  | `Seq -> Inproc
+  | `Domains -> Domained (init_domains h.h_pool h.h_f)
+  | `Fork ->
+    if fork_usable () then Forked (init_fork h.h_pool h.h_f)
+    else begin
+      if available then warn_fork_after_domains ();
+      Inproc
+    end
+
+let run_batch h xs =
+  if h.h_closed then invalid_arg "Parmap.run_batch: handle is shut down";
+  if Array.length xs = 0 then ([||], empty_stats)
+  else begin
+    (match h.h_impl with Uninit -> h.h_impl <- init_impl h | _ -> ());
+    match h.h_impl with
+    | Uninit -> assert false
+    | Inproc -> inprocess_supervised h.h_f xs
+    | Forked st -> fork_batch st xs
+    | Domained st -> domains_batch st xs
+  end
+
+let shutdown h =
+  if not h.h_closed then begin
+    h.h_closed <- true;
+    (match h.h_impl with
+    | Uninit | Inproc -> ()
+    | Forked st -> shutdown_fork st
+    | Domained st -> shutdown_domains st);
+    h.h_impl <- Uninit
+  end
+
 let run_supervised pool f xs =
   if Array.length xs = 0 then ([||], empty_stats)
-  else
-    match pool.backend with
-    | `Seq -> inprocess_supervised f xs
-    | `Domains ->
-      domains_supervised ~jobs:pool.jobs ~timeout_s:pool.timeout_s
-        ~retries:pool.retries ~backoff_s:pool.backoff_s f xs
-    | `Fork ->
-      if fork_usable () then
-        fork_supervised ~jobs:pool.jobs ~timeout_s:pool.timeout_s
-          ~retries:pool.retries ~backoff_s:pool.backoff_s f xs
-      else begin
-        if available then warn_fork_after_domains ();
-        inprocess_supervised f xs
-      end
+  else begin
+    let h = create pool ~f in
+    Fun.protect ~finally:(fun () -> shutdown h) (fun () -> run_batch h xs)
+  end
 
 let supervised ?(jobs = 1) ?timeout_s ?(retries = 1) ?(backoff_s = 0.05) f xs =
   if jobs < 1 then

@@ -148,11 +148,53 @@ type stats = {
   quarantined : int;
 }
 
+type ('a, 'b) handle
+(** A long-lived worker pool bound to one task function.  Creating a
+    handle is free; the workers are spawned lazily on the first
+    {!run_batch} and then stay resident across batches: [`Domains]
+    keeps its spawned domains parked on the work queue, [`Fork] keeps
+    pre-forked workers alive on pipes (the parent marshals each task's
+    input down, the child streams one reply back per task).  Warm state
+    in the workers — decoded layout artifacts, simulation-cache
+    entries, anything the task function memoizes — survives from batch
+    to batch instead of being re-derived per call, which is what makes
+    the parallel path beat [-j1] on real workloads.  Worker death,
+    deadline kills and quarantines respawn the affected slot without
+    disturbing the rest of the pool.  Handles are not thread-safe and
+    {!run_batch} is not reentrant; drive one batch at a time. *)
+
+val create : pool -> f:('a -> 'b) -> ('a, 'b) handle
+(** [create pool ~f] binds a pool configuration to a task function.  No
+    worker exists until the first {!run_batch}; the spawn cost is then
+    recorded once under [parmap.pool_spawn_s] instead of polluting the
+    queue-wait histogram.  On [`Fork], [f] is captured by the workers at
+    that first batch via [fork], so warm parent state (caches, an armed
+    chaos plan) is inherited; task inputs and results must be
+    marshalable.  A [`Fork] handle whose first batch runs after domains
+    have retired fork degrades to the in-process path with a warning,
+    like {!run}. *)
+
+val run_batch : ('a, 'b) handle -> 'a array -> 'b outcome array * stats
+(** [run_batch h xs] evaluates one batch on the handle's resident
+    workers under exactly the fault model documented on
+    {!run_supervised}; outcomes arrive in input order and [stats] covers
+    this batch only.  An empty batch returns immediately without
+    spawning anything.
+    @raise Invalid_argument once the handle has been {!shutdown}. *)
+
+val shutdown : ('a, 'b) handle -> unit
+(** Tear the pool down: [`Fork] workers are EOFed (then killed after a
+    short grace if unresponsive) and reaped, [`Domains] workers are
+    joined (quarantined ones stay abandoned, as during a run).
+    Idempotent; a fresh handle must be created to evaluate again. *)
+
 val run_supervised :
   pool -> ('a -> 'b) -> 'a array -> 'b outcome array * stats
 (** [run_supervised pool f xs] evaluates every task under the pool's
     fault model and returns typed outcomes in input order; no fallback
-    value is ever invented.
+    value is ever invented.  Equivalent to {!create}, one {!run_batch}
+    and a {!shutdown} — callers with more than one batch should hold a
+    {!handle} instead and amortize the pool spawn.
 
     [`Fork]: one disposable forked worker per attempt under a wall-clock
     deadline of [timeout_s] seconds, checked and enforced from the parent
@@ -174,13 +216,15 @@ val run_supervised :
     for pure [f]: outcomes depend only on [f] and [xs], not on
     scheduling.
 
-    With {!Telemetry} enabled, both entry points emit one [kind = "pool"]
-    record per call (now carrying a ["backend"] field); the fork
-    supervisor additionally observes parent-measured per-task latency
-    ([parmap.task_s]), dispatch queue wait ([parmap.queue_wait_s]) and
-    worker utilization.  Forked workers drop the inherited sink and
-    domain workers suppress instrumentation domain-locally, so
-    worker-side records never interleave into the parent's stream. *)
+    With {!Telemetry} enabled, every supervised batch emits one
+    [kind = "pool"] record (carrying a ["backend"] field), and both
+    parallel supervisors observe per-task latency ([parmap.task_s],
+    dispatch-to-result) and queue wait ([parmap.queue_wait_s],
+    enqueue-to-dispatch only — worker spawn cost is recorded separately
+    under [parmap.pool_spawn_s] when a handle first populates its
+    pool).  Forked workers drop the inherited sink and domain workers
+    suppress instrumentation domain-locally, so worker-side records
+    never interleave into the parent's stream. *)
 
 val supervised :
   ?jobs:int ->

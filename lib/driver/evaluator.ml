@@ -34,8 +34,13 @@ type t = {
   case_name : int -> string;
   eval : Gp.Expr.genome -> int -> float;
   memo : (string * int, float) Hashtbl.t;   (* (canonical key, case) *)
-  disk : (string, float) Hashtbl.t;         (* digest -> fitness *)
-  cache_file : string option;
+  store : Shardstore.t option;              (* sharded digest -> fitness *)
+  (* The persistent worker pool, spawned lazily on the first supervised
+     batch and reused for the engine's lifetime — the warm state its
+     workers accumulate (decoded layouts, simulation caches) is the
+     whole point of keeping it alive between batches. *)
+  mutable handle :
+    (Gp.Expr.genome * string * int, float) Gp.Parmap.handle option;
   mutable evaluations : int;
   mutable f_crashed : int;
   mutable f_timed_out : int;
@@ -46,11 +51,6 @@ type t = {
   mutable h_memo : int;
   mutable h_disk : int;
   mutable h_miss : int;
-  (* Disk-cache write degradation: after the first failed append
-     (ENOSPC, EACCES, a revoked mount...) the engine runs memo-only —
-     one warning, one telemetry count per failure, never an abort. *)
-  mutable disk_failed : bool;
-  mutable appends : int; (* 1-based append counter; chaos-site key *)
 }
 
 type cache_stats = { memo_hits : int; disk_hits : int; misses : int }
@@ -64,136 +64,12 @@ let digest_key t key case =
   Digest.to_hex
     (Digest.string (t.scope ^ "\x00" ^ t.case_name case ^ "\x00" ^ key))
 
-(* One "digest value" pair per line, hex floats for exact round-trips.
-   The shared read lock pairs with the writer's exclusive lock below so a
-   concurrent append is never observed half-written. *)
+(* Persistence lives in {!Shardstore}: "digest value" lines, hex floats
+   for exact round-trips, sharded by digest prefix with per-shard
+   locking, compaction-on-load and per-shard write degradation. *)
 
-(* Strict line validation: the digest must be exactly the 32 lowercase
-   hex characters [digest_key] produces and the value must parse to a
-   finite float.  Anything else — a line torn by a killed pre-lockf
-   writer, a truncated final line, binary junk — is rejected rather than
-   poisoning the table with a half-digest key or a garbage fitness. *)
-let is_hex_digest s =
-  String.length s = 32
-  && String.for_all
-       (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
-       s
-
-let parse_cache_line line =
-  match String.index_opt line ' ' with
-  | None -> None
-  | Some i ->
-    let digest = String.sub line 0 i in
-    let value = String.sub line (i + 1) (String.length line - i - 1) in
-    if not (is_hex_digest digest) then None
-    else (
-      match float_of_string_opt value with
-      | Some v when Float.is_finite v -> Some (digest, v)
-      | _ -> None)
-
-let load_disk path tbl =
-  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
-  | exception Unix.Unix_error _ -> ()
-  | fd ->
-    (try Unix.lockf fd Unix.F_RLOCK 0 with Unix.Unix_error _ -> ());
-    let ic = Unix.in_channel_of_descr fd in
-    let malformed = ref 0 in
-    (try
-       while true do
-         let line = input_line ic in
-         if line <> "" then
-           match parse_cache_line line with
-           | Some (digest, v) -> Hashtbl.replace tbl digest v
-           | None -> incr malformed
-       done
-     with End_of_file -> ());
-    if !malformed > 0 then
-      Logs.warn (fun m ->
-          m "fitness cache %s: skipped %d malformed line%s (torn or \
-             truncated writes from an earlier run)"
-            path !malformed
-            (if !malformed = 1 then "" else "s"));
-    close_in ic
-
-(* Append under an advisory [lockf] so two runs sharing a --cache-dir
-   cannot interleave torn lines; the whole batch goes out in one write.
-   Closing the descriptor releases the lock.
-
-   Writes are symmetric with reads: [parse_cache_line] skips non-finite
-   values on load, so persisting one would only poison the file for
-   other tools and waste a warning on the next run.  Entries normally
-   arrive pre-sanitized ([record_ok]); the filter here makes the write
-   path reject NaN/inf no matter how the entry was produced. *)
-let append_disk t entries =
-  let entries =
-    List.filter
-      (fun (digest, v) ->
-        if Float.is_finite v then true
-        else begin
-          Logs.warn (fun m ->
-              m "fitness cache: refusing to persist non-finite value %h \
-                 for %s" v digest);
-          false
-        end)
-      entries
-  in
-  if entries = [] || t.disk_failed then ()
-  else
-  match t.cache_file with
-  | None -> ()
-  | Some path -> (
-    t.appends <- t.appends + 1;
-    let fault =
-      Gp.Chaos.fire ~site:Gp.Chaos.site_cache_write ~key:t.appends ~attempt:1
-    in
-    try
-      (match fault with
-      | Some (Gp.Chaos.Raise _) ->
-        raise (Unix.Unix_error (Unix.ENOSPC, "write", path))
-      | Some (Gp.Chaos.Torn_write) | Some _ | None -> ());
-      let fd =
-        Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
-      in
-      Fun.protect
-        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-        (fun () ->
-          (try Unix.lockf fd Unix.F_LOCK 0 with Unix.Unix_error _ -> ());
-          let buf = Buffer.create 256 in
-          List.iter
-            (fun (digest, v) ->
-              Buffer.add_string buf (Printf.sprintf "%s %h\n" digest v))
-            entries;
-          let b = Buffer.to_bytes buf in
-          let len = Bytes.length b in
-          (* A chaos-injected torn write persists only half the batch,
-             cut mid-line — the recoverable corruption the strict loader
-             must skip on the next run. *)
-          let len =
-            match fault with Some Gp.Chaos.Torn_write -> len / 2 | _ -> len
-          in
-          let off = ref 0 in
-          while !off < len do
-            off := !off + Unix.write fd b !off (len - !off)
-          done)
-    with
-    | Unix.Unix_error (e, _, _) ->
-      t.disk_failed <- true;
-      Gp.Telemetry.incr "evaluator.cache_write_errors";
-      Logs.warn (fun m ->
-          m
-            "fitness cache %s not writable (%s); continuing memo-only — \
-             results from this run will not be persisted"
-            path (Unix.error_message e))
-    | Sys_error msg ->
-      t.disk_failed <- true;
-      Gp.Telemetry.incr "evaluator.cache_write_errors";
-      Logs.warn (fun m ->
-          m
-            "fitness cache %s not writable (%s); continuing memo-only — \
-             results from this run will not be persisted"
-            path msg))
-
-let create ?(backend = `Fork) ?(jobs = 1) ?cache_dir ?timeout_s ?(retries = 1)
+let create ?(backend = `Fork) ?(jobs = 1) ?cache_dir
+    ?(cache_shards = Shardstore.default_shards) ?timeout_s ?(retries = 1)
     ~fs ~scope ~case_name ~eval () =
   if jobs < 1 then
     invalid_arg
@@ -201,16 +77,10 @@ let create ?(backend = `Fork) ?(jobs = 1) ?cache_dir ?timeout_s ?(retries = 1)
          "Evaluator.create: jobs must be a positive worker count (got %d)"
          jobs);
   let pool = Gp.Parmap.pool ~backend ~jobs ?timeout_s ~retries () in
-  let cache_file =
-    Option.map
-      (fun dir ->
-        (try if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
-         with Unix.Unix_error _ -> ());
-        Filename.concat dir "fitness-cache.tsv")
+  let store =
+    Option.map (fun dir -> Shardstore.open_store ~shards:cache_shards dir)
       cache_dir
   in
-  let disk = Hashtbl.create 1024 in
-  Option.iter (fun p -> if Sys.file_exists p then load_disk p disk) cache_file;
   {
     backend;
     pool;
@@ -222,8 +92,8 @@ let create ?(backend = `Fork) ?(jobs = 1) ?cache_dir ?timeout_s ?(retries = 1)
     case_name;
     eval;
     memo = Hashtbl.create 4096;
-    disk;
-    cache_file;
+    store;
+    handle = None;
     evaluations = 0;
     f_crashed = 0;
     f_timed_out = 0;
@@ -232,8 +102,6 @@ let create ?(backend = `Fork) ?(jobs = 1) ?cache_dir ?timeout_s ?(retries = 1)
     h_memo = 0;
     h_disk = 0;
     h_miss = 0;
-    disk_failed = false;
-    appends = 0;
   }
 
 let jobs t = t.jobs
@@ -250,7 +118,17 @@ let faults t =
 let cache_stats t =
   { memo_hits = t.h_memo; disk_hits = t.h_disk; misses = t.h_miss }
 
-let disk_degraded t = t.disk_failed
+let disk_degraded t =
+  match t.store with
+  | Some s -> Shardstore.mem_any_degraded s
+  | None -> false
+
+let shutdown t =
+  match t.handle with
+  | Some h ->
+    Gp.Parmap.shutdown h;
+    t.handle <- None
+  | None -> ()
 
 let canon t g =
   let cg = Gp.Simplify.genome g in
@@ -267,9 +145,9 @@ let lookup_counted t key case =
     true
   | None -> (
     match
-      if t.cache_file <> None then
-        Hashtbl.find_opt t.disk (digest_key t key case)
-      else None
+      match t.store with
+      | Some s -> Shardstore.find s (digest_key t key case)
+      | None -> None
     with
     | Some v ->
       t.h_disk <- t.h_disk + 1;
@@ -282,13 +160,16 @@ let lookup_counted t key case =
 let lookup t key case =
   match Hashtbl.find_opt t.memo (key, case) with
   | Some _ as hit -> hit
-  | None when t.cache_file <> None -> (
-    match Hashtbl.find_opt t.disk (digest_key t key case) with
+  | None -> (
+    match
+      match t.store with
+      | Some s -> Shardstore.find s (digest_key t key case)
+      | None -> None
+    with
     | Some v ->
       Hashtbl.replace t.memo (key, case) v;
       Some v
     | None -> None)
-  | None -> None
 
 (* A task's worker is supervised whenever its failure would otherwise be
    invisible or fatal: any multi-worker run, or any run with a deadline.
@@ -335,8 +216,7 @@ let evaluate_batch t genomes ~cases =
     let v = sanitize v in
     t.evaluations <- t.evaluations + 1;
     Hashtbl.replace t.memo (key, case) v;
-    if t.cache_file <> None then
-      entries := (digest_key t key case, v) :: !entries
+    if t.store <> None then entries := (digest_key t key case, v) :: !entries
   in
   (* An infrastructure failure: scores 0 so evolution discards the
      candidate, is memoized so one hung genome cannot stall every
@@ -362,11 +242,17 @@ let evaluate_batch t genomes ~cases =
     Hashtbl.replace t.memo (key, case) 0.0
   in
   if supervision_on t then begin
-    let outcomes, stats =
-      Gp.Parmap.run_supervised t.pool
-        (fun (cg, _, case) -> t.eval cg case)
-        tasks
+    let handle =
+      match t.handle with
+      | Some h -> h
+      | None ->
+        let h =
+          Gp.Parmap.create t.pool ~f:(fun (cg, _, case) -> t.eval cg case)
+        in
+        t.handle <- Some h;
+        h
     in
+    let outcomes, stats = Gp.Parmap.run_batch handle tasks in
     t.f_retried <- t.f_retried + stats.Gp.Parmap.retries;
     Array.iteri
       (fun i task ->
@@ -384,7 +270,8 @@ let evaluate_batch t genomes ~cases =
         | v -> record_ok task v
         | exception e -> record_fault task (`Crashed (Printexc.to_string e)))
       tasks;
-  if !entries <> [] then append_disk t (List.rev !entries);
+  if !entries <> [] then
+    Option.iter (fun s -> Shardstore.append s (List.rev !entries)) t.store;
   if tel then begin
     let wall = Gp.Telemetry.now_s () -. t_batch in
     let s = cache_stats t in

@@ -8,11 +8,15 @@
       share one compile;
     + (key, case) pairs already known to the in-memory memo or the
       optional on-disk cache are answered without compiling;
-    + the remaining unique tasks fan out over a {!Gp.Parmap} pool
-      ([jobs] workers) — supervised whenever [jobs > 1] or a [timeout_s]
-      is set: each task runs in a disposable forked worker under a
-      wall-clock deadline and is retried on a fresh worker (exponential
-      backoff) when its worker crashes or hangs;
+    + the remaining unique tasks fan out over a persistent
+      {!Gp.Parmap.handle} ([jobs] workers) — supervised whenever
+      [jobs > 1] or a [timeout_s] is set.  The pool is created on the
+      first supervised batch and its workers then stay resident for the
+      engine's lifetime, keeping warm state (decoded layout artifacts,
+      simulation-cache entries) between batches; a worker that crashes
+      or exceeds the wall-clock deadline has its slot respawned and the
+      task retried there (exponential backoff) without disturbing the
+      rest of the pool;
     + fresh results are folded back into both caches.
 
     The fault model separates candidate failures from infrastructure
@@ -24,19 +28,24 @@
     never written to the disk cache — a transient OOM or hang must not
     poison future runs.  Only real results increment {!evaluations}.
 
-    The on-disk cache is a flat append-only file under [cache_dir], keyed
-    by a digest of (scope, case name, canonical expression), so it
-    survives across runs and is shared by any study pointing at the same
-    directory.  Appends hold an advisory [lockf] and go out in a single
-    write, so concurrent runs sharing a cache directory cannot interleave
-    torn lines.  The reader validates every line (32-hex digest, finite
-    value) and skips anything torn or truncated — e.g. the partial final
-    line of a cache written by a killed pre-lockf run — with one summary
-    warning rather than aborting the run.  A {e failed} append (ENOSPC,
-    EACCES, a revoked mount) degrades the engine to memo-only operation:
-    one warning, an [evaluator.cache_write_errors] telemetry count, no
-    further append attempts ({!disk_degraded}), and never an abort — a
-    full disk must not kill a week-long campaign.
+    The on-disk cache is a {!Shardstore}: a content-addressed store
+    under [cache_dir], keyed by a digest of (scope, case name, canonical
+    expression) and sharded by digest prefix over [cache_shards]
+    append-only files (default 16), each under its own advisory [lockf].
+    It survives across runs and is shared by any study pointing at the
+    same directory; concurrent runs only contend when a batch touches
+    the same shard, and each shard group goes out in one locked write,
+    so torn interleavings are impossible.  Loading validates every line
+    (32-hex digest, finite value) and {e compacts} a shard holding torn
+    or superseded lines in place, counting the dropped lines as
+    evictions.  A {e failed} shard append (ENOSPC, EACCES, a revoked
+    mount) degrades {e that shard} to memo-only operation: one warning,
+    an [evaluator.cache_write_errors] telemetry count, no further
+    appends to that shard ({!disk_degraded}) — the other shards keep
+    persisting, and never an abort — a full disk must not kill a
+    week-long campaign.  The pre-shard single-file cache
+    (fitness-cache.tsv) is still read on open, so old cache directories
+    keep serving hits.
 
     With {!Gp.Telemetry} enabled, every batch emits one [kind = "cache"]
     record (memo/disk hit counts, misses, hit rate, evaluations, faults,
@@ -68,9 +77,10 @@ type cache_stats = { memo_hits : int; disk_hits : int; misses : int }
 val cache_stats : t -> cache_stats
 
 val disk_degraded : t -> bool
-(** Whether a failed disk-cache append has switched this engine to
-    memo-only operation (see the failure model above).  Reads are
-    unaffected; the flag never resets for the engine's lifetime. *)
+(** Whether at least one shard of the disk cache has stopped persisting
+    after a failed append (see the failure model above).  Reads and the
+    remaining shards are unaffected; the flag never resets for the
+    engine's lifetime. *)
 
 val total_faults : fault_stats -> int
 (** [crashed + timed_out + gave_up] (retries are attempts, not tasks). *)
@@ -79,6 +89,7 @@ val create :
   ?backend:Gp.Parmap.backend ->
   ?jobs:int ->
   ?cache_dir:string ->
+  ?cache_shards:int ->
   ?timeout_s:float ->
   ?retries:int ->
   fs:Gp.Feature_set.t ->
@@ -86,8 +97,9 @@ val create :
   case_name:(int -> string) ->
   eval:(Gp.Expr.genome -> int -> float) ->
   unit -> t
-(** [create ~backend ~jobs ~cache_dir ~timeout_s ~retries ~fs ~scope
-    ~case_name ~eval ()] builds an engine over the raw single evaluation
+(** [create ~backend ~jobs ~cache_dir ~cache_shards ~timeout_s ~retries
+    ~fs ~scope ~case_name ~eval ()] builds an engine over the raw single
+    evaluation
     [eval] (one compile-and-simulate cycle; called on the canonical
     genome, in a worker process or domain when supervised, so it must not
     rely on observable global mutation).  [backend] (default [`Fork])
@@ -97,7 +109,9 @@ val create :
     quarantine, [`Seq] the in-process sequential reference.
     [scope] namespaces the persistent cache — include everything the
     fitness depends on besides the genome and case: study, machine,
-    dataset.  [timeout_s] (default: none) bounds one evaluation's wall
+    dataset.  [cache_shards] (default {!Shardstore.default_shards})
+    sets the store's shard count and only matters with [cache_dir].
+    [timeout_s] (default: none) bounds one evaluation's wall
     clock; [retries] (default 1) is how many times a crashed or hung
     evaluation is re-run on a fresh worker before being abandoned.
     Results are sanitized: non-finite or negative values score 0.  With
@@ -128,3 +142,8 @@ val evaluations : t -> int
 
 val evolve_evaluator : t -> Gp.Evolve.evaluator
 (** The engine as an {!Gp.Evolve.evaluator}, for {!Gp.Evolve.problem}. *)
+
+val shutdown : t -> unit
+(** Tear down the engine's persistent worker pool, if one was spawned
+    (see {!Gp.Parmap.shutdown}).  Idempotent; a later supervised batch
+    spawns a fresh pool.  Caches and counters are unaffected. *)

@@ -1,0 +1,287 @@
+(* A content-addressed fitness store sharded by digest prefix.
+
+   The evaluator's disk cache used to be one append-only file under one
+   advisory lock, so every study sharing a --cache-dir serialized every
+   batch append on that single lockf.  This module splits the store into
+   [shards] append-only files (shard-00.tsv .. shard-0f.tsv by default),
+   each under its own per-shard lockf: writers touching disjoint shards
+   never contend, and a shard whose filesystem fails degrades alone
+   instead of silencing the whole store.
+
+   Layout is unchanged per line — "digest value\n", 32-hex-char digest,
+   hex float — so lines are exact round-trips and strict validation can
+   reject torn writes.  A digest's shard is its first byte (two hex
+   chars) mod [shards], a pure function of content, so any process with
+   the same shard count finds entries where any other left them.  The
+   legacy single-file cache (fitness-cache.tsv) is still read on open,
+   read-only, so stores written by older runs keep serving hits.
+
+   Compaction happens on load: a shard whose file contains malformed
+   lines (torn by a killed writer) or superseded duplicate digests is
+   rewritten in place under its exclusive lock — truncate and rewrite
+   through the same descriptor, never rename, so a concurrent appender
+   holding the path cannot be left appending to an unlinked inode.
+   Dropped lines are counted as evictions.  Compacting a clean shard is
+   a no-op, so compaction is idempotent. *)
+
+type t = {
+  dir : string;
+  shards : int;
+  tbl : (string, float) Hashtbl.t; (* digest -> fitness, all shards merged *)
+  degraded : bool array; (* per shard, sticky for the store's lifetime *)
+  mutable appends : int; (* 1-based per-shard-write counter; chaos-site key *)
+  mutable evictions : int; (* lines dropped by compaction *)
+  mutable write_errors : int;
+}
+
+let default_shards = 16
+
+let shard_file t i = Filename.concat t.dir (Printf.sprintf "shard-%02x.tsv" i)
+
+let legacy_file dir = Filename.concat dir "fitness-cache.tsv"
+
+(* Strict line validation, identical to the legacy loader's: the digest
+   must be exactly the 32 lowercase hex characters [Digest.to_hex]
+   produces and the value must parse to a finite float. *)
+let is_hex_digest s =
+  String.length s = 32
+  && String.for_all
+       (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+       s
+
+let parse_line line =
+  match String.index_opt line ' ' with
+  | None -> None
+  | Some i ->
+    let digest = String.sub line 0 i in
+    let value = String.sub line (i + 1) (String.length line - i - 1) in
+    if not (is_hex_digest digest) then None
+    else (
+      match float_of_string_opt value with
+      | Some v when Float.is_finite v -> Some (digest, v)
+      | _ -> None)
+
+let hex_val c =
+  if c >= '0' && c <= '9' then Char.code c - Char.code '0'
+  else Char.code c - Char.code 'a' + 10
+
+let shard_of t digest = ((hex_val digest.[0] * 16) + hex_val digest.[1]) mod t.shards
+
+let render entries =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (digest, v) -> Buffer.add_string buf (Printf.sprintf "%s %h\n" digest v))
+    entries;
+  Buffer.to_bytes buf
+
+let write_fully fd b len =
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd b !off (len - !off)
+  done
+
+(* Load one shard file, compacting it in place when it holds malformed
+   or superseded lines.  The whole pass runs under the shard's exclusive
+   lock so a concurrent appender can neither tear our read nor lose an
+   append between our read and the rewrite. *)
+let load_shard_path t path =
+  match Unix.openfile path [ Unix.O_RDWR ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        (try Unix.lockf fd Unix.F_LOCK 0 with Unix.Unix_error _ -> ());
+        let ic = Unix.in_channel_of_descr fd in
+        let order = ref [] in (* first-seen order of digests *)
+        let local : (string, float) Hashtbl.t = Hashtbl.create 64 in
+        let lines = ref 0 in
+        let malformed = ref 0 in
+        let dups = ref 0 in
+        (try
+           while true do
+             let line = input_line ic in
+             if line <> "" then begin
+               incr lines;
+               match parse_line line with
+               | Some (digest, v) ->
+                 if Hashtbl.mem local digest then incr dups
+                 else order := digest :: !order;
+                 Hashtbl.replace local digest v (* last write wins *)
+               | None -> incr malformed
+             end
+           done
+         with End_of_file -> ());
+        Hashtbl.iter (fun d v -> Hashtbl.replace t.tbl d v) local;
+        if !malformed > 0 || !dups > 0 then begin
+          (* Compact: rewrite the surviving entries through the same
+             descriptor.  Anything dropped is an eviction. *)
+          let survivors =
+            List.rev_map (fun d -> (d, Hashtbl.find local d)) !order
+          in
+          let b = render (List.rev survivors) in
+          (try
+             Unix.ftruncate fd 0;
+             ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+             write_fully fd b (Bytes.length b)
+           with Unix.Unix_error _ -> ());
+          t.evictions <- t.evictions + !malformed + !dups;
+          Logs.warn (fun m ->
+              m
+                "fitness shard %s: compacted on load (%d malformed, %d \
+                 superseded of %d lines)"
+                path !malformed !dups !lines)
+        end)
+
+(* The legacy single-file store is only ever read (shared lock), never
+   compacted or appended: new results go to the shards. *)
+let load_legacy t =
+  let path = legacy_file t.dir in
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.lockf fd Unix.F_RLOCK 0 with Unix.Unix_error _ -> ());
+    let ic = Unix.in_channel_of_descr fd in
+    let malformed = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         if line <> "" then
+           match parse_line line with
+           | Some (digest, v) -> Hashtbl.replace t.tbl digest v
+           | None -> incr malformed
+       done
+     with End_of_file -> ());
+    if !malformed > 0 then
+      Logs.warn (fun m ->
+          m "fitness cache %s: skipped %d malformed line%s" path !malformed
+            (if !malformed = 1 then "" else "s"));
+    close_in ic
+
+let open_store ?(shards = default_shards) dir =
+  if shards < 1 || shards > 256 then
+    invalid_arg
+      (Printf.sprintf "Shardstore.open_store: shards must be in 1..256 (got %d)"
+         shards);
+  (try if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+   with Unix.Unix_error _ -> ());
+  let t =
+    {
+      dir;
+      shards;
+      tbl = Hashtbl.create 1024;
+      degraded = Array.make shards false;
+      appends = 0;
+      evictions = 0;
+      write_errors = 0;
+    }
+  in
+  load_legacy t;
+  for i = 0 to shards - 1 do
+    load_shard_path t (shard_file t i)
+  done;
+  (* Shard files left by a run with a larger shard count sit above this
+     store's addressing range; load them too so their entries keep
+     serving hits (new appends of those digests land in range). *)
+  Array.iter
+    (fun f ->
+      if
+        String.length f = 12
+        && String.sub f 0 6 = "shard-"
+        && Filename.check_suffix f ".tsv"
+      then
+        match int_of_string_opt ("0x" ^ String.sub f 6 2) with
+        | Some i when i >= shards ->
+          load_shard_path t (Filename.concat dir f)
+        | _ -> ())
+    (try Sys.readdir dir with Sys_error _ -> [||]);
+  if t.evictions > 0 then
+    Gp.Telemetry.incr ~by:t.evictions "evaluator.cache_evictions";
+  t
+
+let find t digest = Hashtbl.find_opt t.tbl digest
+
+let mem_any_degraded t = Array.exists Fun.id t.degraded
+
+let all_degraded t = Array.for_all Fun.id t.degraded
+
+let evictions t = t.evictions
+
+let write_errors t = t.write_errors
+
+let shards t = t.shards
+
+let degrade t i reason =
+  t.degraded.(i) <- true;
+  t.write_errors <- t.write_errors + 1;
+  Gp.Telemetry.incr "evaluator.cache_write_errors";
+  Logs.warn (fun m ->
+      m
+        "fitness shard %s not writable (%s); that shard continues \
+         memo-only — its results from this run will not be persisted"
+        (shard_file t i) reason)
+
+(* Append one shard's entries under its exclusive lock; the whole group
+   goes out in one write so concurrent appenders never interleave torn
+   lines.  The chaos site fires once per shard write with the store-wide
+   append counter as its key, so plans can target the Nth write. *)
+let append_shard t i entries =
+  if entries = [] || t.degraded.(i) then ()
+  else begin
+    t.appends <- t.appends + 1;
+    let fault =
+      Gp.Chaos.fire ~site:Gp.Chaos.site_cache_write ~key:t.appends ~attempt:1
+    in
+    let path = shard_file t i in
+    try
+      (match fault with
+      | Some (Gp.Chaos.Raise _) ->
+        raise (Unix.Unix_error (Unix.ENOSPC, "write", path))
+      | Some Gp.Chaos.Torn_write | Some _ | None -> ());
+      let fd =
+        Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+      in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (try Unix.lockf fd Unix.F_LOCK 0 with Unix.Unix_error _ -> ());
+          let b = render entries in
+          let len = Bytes.length b in
+          (* A chaos-injected torn write persists only half the group,
+             cut mid-line — the recoverable corruption compaction must
+             evict on the next open. *)
+          let len =
+            match fault with Some Gp.Chaos.Torn_write -> len / 2 | _ -> len
+          in
+          write_fully fd b len)
+    with
+    | Unix.Unix_error (e, _, _) -> degrade t i (Unix.error_message e)
+    | Sys_error msg -> degrade t i msg
+  end
+
+(* Entries arrive pre-validated for finiteness by the evaluator's write
+   path; the filter here keeps the store self-defending no matter who
+   calls it.  Grouping preserves first-seen order within each shard. *)
+let append t entries =
+  let entries =
+    List.filter
+      (fun (digest, v) ->
+        if Float.is_finite v then true
+        else begin
+          Logs.warn (fun m ->
+              m "fitness cache: refusing to persist non-finite value %h for %s"
+                v digest);
+          false
+        end)
+      entries
+  in
+  if entries <> [] then begin
+    let groups = Array.make t.shards [] in
+    List.iter
+      (fun ((digest, v) as e) ->
+        Hashtbl.replace t.tbl digest v;
+        let i = shard_of t digest in
+        groups.(i) <- e :: groups.(i))
+      entries;
+    Array.iteri (fun i g -> append_shard t i (List.rev g)) groups
+  end

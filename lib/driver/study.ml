@@ -74,6 +74,7 @@ type config = {
   backend : Gp.Parmap.backend;
   jobs : int;
   cache_dir : string option;
+  cache_shards : int;
   checkpoint_dir : string option;
   timeout_s : float option;
   retries : int;
@@ -88,6 +89,7 @@ let default_config =
     backend = `Fork;
     jobs = 1;
     cache_dir = None;
+    cache_shards = Shardstore.default_shards;
     checkpoint_dir = None;
     timeout_s = None;
     retries = 1;
@@ -106,6 +108,7 @@ let config_of ?params ?machine ?jobs ?cache_dir ?timeout_s ?retries
     backend = d.backend;
     jobs = Option.value ~default:d.jobs jobs;
     cache_dir;
+    cache_shards = d.cache_shards;
     checkpoint_dir;
     timeout_s;
     retries = Option.value ~default:d.retries retries;
@@ -234,7 +237,8 @@ let create_with (cfg : config) (kind : kind) (bench_names : string list) :
   let baseline_novel = baseline_for Benchmarks.Bench.Novel in
   let evaluator_for baselines dataset =
     Evaluator.create ~backend:cfg.backend ~jobs:cfg.jobs
-      ?cache_dir:cfg.cache_dir ?timeout_s:cfg.timeout_s ~retries:cfg.retries
+      ?cache_dir:cfg.cache_dir ~cache_shards:cfg.cache_shards
+      ?timeout_s:cfg.timeout_s ~retries:cfg.retries
       ~fs:(feature_set_of kind)
       ~scope:
         (Printf.sprintf "%s/%s/%s" (kind_name kind)
@@ -272,6 +276,15 @@ let faults (ctx : context) =
   Evaluator.merge_faults
     (Evaluator.faults ctx.eval_train)
     (Evaluator.faults ctx.eval_novel)
+
+(* Shut down the persistent worker pools behind both dataset engines.
+   The experiment drivers below call this on every exit path; contexts
+   handed out by [create_with] directly are the caller's to close.  Safe
+   to call twice, and a context remains usable afterwards (the next
+   supervised batch spawns a fresh pool). *)
+let close (ctx : context) =
+  Evaluator.shutdown ctx.eval_train;
+  Evaluator.shutdown ctx.eval_novel
 
 (* A raw, uncached single measurement (diagnostics and tests).  Note the
    noise draw is keyed on the genome exactly as given; the cached engines
@@ -387,28 +400,36 @@ let specialize_with ?on_generation (cfg : config) (kind : kind)
     (bench : string) : specialization =
   let t0 = if Gp.Telemetry.enabled () then Gp.Telemetry.now_s () else 0.0 in
   let ctx = create_with cfg kind [ bench ] in
-  let result =
-    Gp.Evolve.run ~params:cfg.params ?on_generation
-      ?checkpoint_dir:cfg.checkpoint_dir (problem_of ctx)
-  in
-  let train_speedup = Evaluator.evaluate ctx.eval_train result.Gp.Evolve.best 0 in
-  let novel_speedup = Evaluator.evaluate ctx.eval_novel result.Gp.Evolve.best 0 in
-  let best_expr =
-    Gp.Sexp.to_string (feature_set_of kind)
-      (Gp.Simplify.genome result.Gp.Evolve.best)
-  in
-  emit_run_summary ~driver:"specialize" ~kind ~benches:[ bench ] ~ctx
-    ~elapsed_s:(if Gp.Telemetry.enabled () then Gp.Telemetry.now_s () -. t0 else 0.0)
-    ~evaluations:result.Gp.Evolve.evaluations ~best_expr
-    ~best_fitness:result.Gp.Evolve.best_fitness;
-  {
-    bench;
-    train_speedup;
-    novel_speedup;
-    best_expr;
-    history = result.Gp.Evolve.history;
-    faults = faults ctx;
-  }
+  Fun.protect
+    ~finally:(fun () -> close ctx)
+    (fun () ->
+      let result =
+        Gp.Evolve.run ~params:cfg.params ?on_generation
+          ?checkpoint_dir:cfg.checkpoint_dir (problem_of ctx)
+      in
+      let train_speedup =
+        Evaluator.evaluate ctx.eval_train result.Gp.Evolve.best 0
+      in
+      let novel_speedup =
+        Evaluator.evaluate ctx.eval_novel result.Gp.Evolve.best 0
+      in
+      let best_expr =
+        Gp.Sexp.to_string (feature_set_of kind)
+          (Gp.Simplify.genome result.Gp.Evolve.best)
+      in
+      emit_run_summary ~driver:"specialize" ~kind ~benches:[ bench ] ~ctx
+        ~elapsed_s:
+          (if Gp.Telemetry.enabled () then Gp.Telemetry.now_s () -. t0 else 0.0)
+        ~evaluations:result.Gp.Evolve.evaluations ~best_expr
+        ~best_fitness:result.Gp.Evolve.best_fitness;
+      {
+        bench;
+        train_speedup;
+        novel_speedup;
+        best_expr;
+        history = result.Gp.Evolve.history;
+        faults = faults ctx;
+      })
 
 let specialize ?params ?jobs ?cache_dir ?timeout_s ?retries ?checkpoint_dir
     ?on_generation ?fast_sim (kind : kind) (bench : string) : specialization =
@@ -431,26 +452,30 @@ let evolve_general_with ?on_generation (cfg : config) (kind : kind)
     (benches : string list) : general =
   let t0 = if Gp.Telemetry.enabled () then Gp.Telemetry.now_s () else 0.0 in
   let ctx = create_with cfg kind benches in
-  let result =
-    Gp.Evolve.run ~params:cfg.params ?on_generation
-      ?checkpoint_dir:cfg.checkpoint_dir (problem_of ctx)
-  in
-  let best_expr =
-    Gp.Sexp.to_string (feature_set_of kind)
-      (Gp.Simplify.genome result.Gp.Evolve.best)
-  in
-  let train_rows = measure_rows ctx result.Gp.Evolve.best in
-  emit_run_summary ~driver:"evolve_general" ~kind ~benches ~ctx
-    ~elapsed_s:(if Gp.Telemetry.enabled () then Gp.Telemetry.now_s () -. t0 else 0.0)
-    ~evaluations:result.Gp.Evolve.evaluations ~best_expr
-    ~best_fitness:result.Gp.Evolve.best_fitness;
-  {
-    best = result.Gp.Evolve.best;
-    best_expr;
-    train_rows;
-    history = result.Gp.Evolve.history;
-    faults = faults ctx;
-  }
+  Fun.protect
+    ~finally:(fun () -> close ctx)
+    (fun () ->
+      let result =
+        Gp.Evolve.run ~params:cfg.params ?on_generation
+          ?checkpoint_dir:cfg.checkpoint_dir (problem_of ctx)
+      in
+      let best_expr =
+        Gp.Sexp.to_string (feature_set_of kind)
+          (Gp.Simplify.genome result.Gp.Evolve.best)
+      in
+      let train_rows = measure_rows ctx result.Gp.Evolve.best in
+      emit_run_summary ~driver:"evolve_general" ~kind ~benches ~ctx
+        ~elapsed_s:
+          (if Gp.Telemetry.enabled () then Gp.Telemetry.now_s () -. t0 else 0.0)
+        ~evaluations:result.Gp.Evolve.evaluations ~best_expr
+        ~best_fitness:result.Gp.Evolve.best_fitness;
+      {
+        best = result.Gp.Evolve.best;
+        best_expr;
+        train_rows;
+        history = result.Gp.Evolve.history;
+        faults = faults ctx;
+      })
 
 let evolve_general ?params ?jobs ?cache_dir ?timeout_s ?retries
     ?checkpoint_dir ?on_generation ?fast_sim (kind : kind)
@@ -466,7 +491,7 @@ let evolve_general ?params ?jobs ?cache_dir ?timeout_s ?retries
 let cross_validate_with (cfg : config) (kind : kind) (g : Gp.Expr.genome)
     (benches : string list) : (string * float * float) list =
   let ctx = create_with cfg kind benches in
-  measure_rows ctx g
+  Fun.protect ~finally:(fun () -> close ctx) (fun () -> measure_rows ctx g)
 
 let cross_validate ?params ?jobs ?cache_dir ?timeout_s ?retries ?machine
     ?fast_sim (kind : kind) (g : Gp.Expr.genome) (benches : string list) :

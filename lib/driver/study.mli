@@ -44,6 +44,9 @@ type config = {
   backend : Gp.Parmap.backend;   (** pool flavor, default [`Fork] *)
   jobs : int;                    (** pool width, default 1 *)
   cache_dir : string option;     (** persistent fitness cache *)
+  cache_shards : int;
+      (** shard count of the fitness cache (see {!Shardstore}); default
+          {!Shardstore.default_shards}, only meaningful with [cache_dir] *)
   checkpoint_dir : string option;  (** per-generation checkpointing *)
   timeout_s : float option;      (** per-evaluation deadline (fork only) *)
   retries : int;                 (** re-runs of a crashed/hung task *)
@@ -73,7 +76,10 @@ type context = {
 val create_with : config -> kind -> string list -> context
 (** Prepare the named benchmarks, compile + simulate the baseline on both
     datasets (over the configured pool), and build one cached batch
-    evaluator per dataset.  [timeout_s] and [retries] configure the
+    evaluator per dataset.  Each evaluator keeps a persistent worker pool
+    alive across its batches (spawned lazily on first use); callers that
+    build a context directly own its lifetime and should {!close} it —
+    the [_with] experiment drivers below do so on every exit path.  [timeout_s] and [retries] configure the
     evaluators' supervision (see {!Evaluator.create}): a candidate
     compile that hangs or crashes its worker is killed, retried, and
     ultimately scored 0 without poisoning the persistent cache.
@@ -98,6 +104,13 @@ val evaluator_of : context -> Benchmarks.Bench.dataset -> Evaluator.t
 
 val faults : context -> Evaluator.fault_stats
 (** Combined fault counters of both dataset evaluators. *)
+
+val close : context -> unit
+(** Shut down the persistent worker pools behind both dataset engines
+    (see {!Evaluator.shutdown}).  Idempotent, and the context stays
+    usable — a later supervised batch spawns a fresh pool.  The [_with]
+    drivers call this themselves; only direct {!create_with} /
+    {!create} callers need to. *)
 
 val speedup :
   context -> Gp.Expr.genome -> case:int ->

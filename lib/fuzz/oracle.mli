@@ -1,13 +1,15 @@
-(** The eight differential oracles.
+(** The nine differential oracles.
 
     Each oracle runs one seeded trial of a redundancy the repo's results
     rest on — fast vs reference interpreter, trace replay vs fresh
     simulation, cache hit vs recomputation, [Eval] vs
     [Eval . Simplify], checkpoint-resume vs straight evolution,
     [Parmap] at one vs many jobs (fork and domains backends),
-    [Evalc] compiled bytecode vs the [Eval] tree-walker, and a
+    [Evalc] compiled bytecode vs the [Eval] tree-walker, a
     chaos-injected supervised run vs the fault-free [`Seq] -j1
-    reference — comparing every float through [Int64.bits_of_float].
+    reference, and a warm persistent worker pool over several batches
+    vs a cold one-shot pool — comparing every float through
+    [Int64.bits_of_float].
     Failures come back as a replayable report with a greedily shrunk
     counterexample. *)
 
@@ -23,7 +25,7 @@ type t = {
 
 val all : t list
 (** engine, replay, cache, simplify, checkpoint, parmap,
-    compiled_vs_walk, chaos_vs_clean. *)
+    compiled_vs_walk, chaos_vs_clean, warm_vs_cold. *)
 
 val find : string -> t option
 val names : string list

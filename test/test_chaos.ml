@@ -169,6 +169,24 @@ let test_cache_degrades_on_enospc () =
   Fun.protect
     ~finally:(fun () -> Gp.Telemetry.set_sink None)
     (fun () ->
+      (* Mirror the evaluator's content addressing so cases can be placed
+         in chosen shards: an entry's shard is a pure function of the
+         digest of (scope, case name, canonical expression). *)
+      let store = Driver.Shardstore.open_store dir in
+      let key =
+        Gp.Sexp.to_string Fuzz.Genome_gen.fs (Gp.Simplify.genome genome)
+      in
+      let shard case =
+        Driver.Shardstore.shard_of store
+          (Digest.to_hex
+             (Digest.string
+                (Printf.sprintf "chaos/cache\x00case%d\x00%s" case key)))
+      in
+      let rec pick p c = if p c then c else pick p (c + 1) in
+      (* case 0 seeds its shard; [bad] lives in a different shard (the
+         one the injected ENOSPC kills); [good] shares case 0's shard. *)
+      let bad = pick (fun c -> shard c <> shard 0) 1 in
+      let good = pick (fun c -> shard c = shard 0) 1 in
       let p =
         match C.plan_of_string "evaluator.cache_write:2=raise:enospc" with
         | Ok p -> p
@@ -179,34 +197,46 @@ let test_cache_degrades_on_enospc () =
           let e = mk_cache_evaluator dir in
           Alcotest.(check bool) "healthy at birth" false
             (Driver.Evaluator.disk_degraded e);
-          (* one disk append per batch: the first lands, the second hits
-             the injected ENOSPC *)
+          (* one shard write per batch here: the first lands in case 0's
+             shard, the second hits the injected ENOSPC in [bad]'s *)
           let row0 =
             (Driver.Evaluator.evaluate_batch e [| genome |] ~cases:[ 0 ]).(0)
           in
           Alcotest.(check (array (float 0.0))) "first batch" [| 1.0 |] row0;
           let row =
-            (Driver.Evaluator.evaluate_batch e [| genome |]
-               ~cases:[ 1; 2 ]).(0)
+            (Driver.Evaluator.evaluate_batch e [| genome |] ~cases:[ bad ]).(0)
           in
           Alcotest.(check (array (float 0.0)))
-            "results unaffected by the dead disk" [| 2.0; 3.0 |] row;
+            "results unaffected by the dead shard"
+            [| float_of_int (bad + 1) |] row;
           Alcotest.(check bool) "degraded to memo-only" true
             (Driver.Evaluator.disk_degraded e);
-          let file = Filename.concat dir "fitness-cache.tsv" in
-          Alcotest.(check int) "only the pre-failure append persisted" 1
-            (count_lines file);
           Alcotest.(check int) "error counted once" 1
+            (Gp.Telemetry.Counter.value
+               (Gp.Telemetry.counter "evaluator.cache_write_errors"));
+          (* one dead shard must not disable the other fifteen: a case
+             addressed to case 0's shard still persists... *)
+          let row_good =
+            (Driver.Evaluator.evaluate_batch e [| genome |] ~cases:[ good ]).(0)
+          in
+          Alcotest.(check (array (float 0.0))) "healthy shard still serves"
+            [| float_of_int (good + 1) |] row_good;
+          Alcotest.(check int) "healthy shard kept persisting" 2
+            (count_lines (Driver.Shardstore.shard_file store (shard 0)));
+          (* ...while the degraded shard dropped its append silently *)
+          Alcotest.(check int) "degraded shard persisted nothing" 0
+            (count_lines (Driver.Shardstore.shard_file store (shard bad)));
+          Alcotest.(check int) "still only one write error" 1
             (Gp.Telemetry.Counter.value
                (Gp.Telemetry.counter "evaluator.cache_write_errors"));
           ignore (records ());
           (* memoization still works in the degraded engine *)
           let row2 =
             (Driver.Evaluator.evaluate_batch e [| genome |]
-               ~cases:[ 0; 1; 2 ]).(0)
+               ~cases:[ 0; bad; good ]).(0)
           in
           Alcotest.(check (array (float 0.0))) "memo intact"
-            [| 1.0; 2.0; 3.0 |] row2))
+            [| 1.0; float_of_int (bad + 1); float_of_int (good + 1) |] row2))
 
 let test_cache_survives_torn_append () =
   with_cache_dir "torn" @@ fun dir ->

@@ -171,12 +171,23 @@ let test_evaluator_fault_split () =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "metaopt-faultcache-%d" (Unix.getpid ()))
   in
-  let cache_file = Filename.concat cache_dir "fitness-cache.tsv" in
+  (* Persisted results are sharded over shard-NN.tsv files under the
+     cache dir; read and clean the whole store. *)
+  let store_lines () =
+    Sys.readdir cache_dir |> Array.to_list
+    |> List.filter (fun f ->
+           String.length f > 6 && String.sub f 0 6 = "shard-")
+    |> List.concat_map (fun f -> read_lines (Filename.concat cache_dir f))
+  in
   Fun.protect
     ~finally:(fun () ->
       FI.cleanup fault_dir;
-      if Sys.file_exists cache_file then Sys.remove cache_file;
-      if Sys.file_exists cache_dir then Unix.rmdir cache_dir)
+      if Sys.file_exists cache_dir then begin
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat cache_dir f))
+          (Sys.readdir cache_dir);
+        Unix.rmdir cache_dir
+      end)
     (fun () ->
       let g = Hyperblock.Baseline.genome in
       let plan c _ = if c = 2 then Some FI.Hang else None in
@@ -216,7 +227,7 @@ let test_evaluator_fault_split () =
       Alcotest.(check int) "fault counters unchanged" 1
         (Driver.Evaluator.faults e).Driver.Evaluator.gave_up;
       (* Disk: exactly the three real results, including the genuine 0. *)
-      let lines = read_lines cache_file in
+      let lines = store_lines () in
       Alcotest.(check int) "three persisted results" 3 (List.length lines);
       Alcotest.(check int) "the genuine zero is persisted" 1
         (List.length

@@ -6,6 +6,7 @@ let () =
       ("gp", Test_gp.suite);
       ("telemetry", Test_telemetry.suite);
       ("parmap", Test_parmap.suite);
+      ("shardstore", Test_shardstore.suite);
       ("faults", Test_faults.suite);
       ("checkpoint", Test_checkpoint.suite);
       ("ir", Test_ir.suite);

@@ -219,7 +219,31 @@ let domains_identity_check () : (unit, string) result =
              (Gp.Parmap.pool ~backend:`Fork ~jobs:4 ())
              ~fallback:nan f tasks)
       in
-      if degraded <> seq then Error "retired fork backend diverges" else Ok ()
+      if degraded <> seq then Error "retired fork backend diverges"
+      else begin
+        (* a persistent domains handle over several batches must match
+           the sequential reference bit-for-bit too — the workers stay
+           warm between batches but the results must not know it *)
+        let pool = Gp.Parmap.pool ~backend:`Domains ~jobs:3 () in
+        let h = Gp.Parmap.create pool ~f in
+        let warm =
+          List.concat_map
+            (fun b ->
+              let outcomes, _ = Gp.Parmap.run_batch h b in
+              Array.to_list
+                (Array.map
+                   (function
+                     | Gp.Parmap.Ok v -> Int64.bits_of_float v
+                     | _ -> Int64.zero)
+                   outcomes))
+            [ Array.sub tasks 0 20; Array.sub tasks 20 20;
+              Array.sub tasks 40 24 ]
+        in
+        Gp.Parmap.shutdown h;
+        if Array.of_list warm <> seq then
+          Error "warm domains handle diverges from the sequential reference"
+        else Ok ()
+      end
 
 (* The check spawns domains, and the OCaml 5 runtime forbids Unix.fork
    in any process that ever did — so where fork works, run it inside a
@@ -303,6 +327,37 @@ let test_parallel_noisy_study_deterministic () =
   Alcotest.(check (float 0.0)) "noise independent of jobs" (measure 1)
     (measure 3)
 
+(* The persistent cache is a {!Driver.Shardstore}: entries land in
+   shard-NN.tsv files under [dir].  These helpers clean up and read the
+   whole store regardless of which shards a test's digests landed in. *)
+let rm_cache_dir dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let store_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f ->
+         String.length f > 6 && String.sub f 0 6 = "shard-")
+  |> List.sort compare
+  |> List.map (Filename.concat dir)
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+let store_lines dir = List.concat_map read_lines (store_files dir)
+
 let test_disk_cache_roundtrip () =
   let dir =
     Filename.concat (Filename.get_temp_dir_name ())
@@ -319,10 +374,7 @@ let test_disk_cache_roundtrip () =
       ()
   in
   Fun.protect
-    ~finally:(fun () ->
-      let file = Filename.concat dir "fitness-cache.tsv" in
-      if Sys.file_exists file then Sys.remove file;
-      if Sys.file_exists dir then Unix.rmdir dir)
+    ~finally:(fun () -> rm_cache_dir dir)
     (fun () ->
       let g = Hyperblock.Baseline.genome in
       let e1 = mk () in
@@ -340,6 +392,10 @@ let test_disk_cache_roundtrip () =
       Alcotest.(check int) "no new compiles" 2 !count;
       Alcotest.(check int) "disk hits are not evaluations" 0
         (Driver.Evaluator.evaluations e2);
+      Alcotest.(check int) "entries persisted in shard files" 2
+        (List.length (store_lines dir));
+      Alcotest.(check bool) "legacy single file never written" false
+        (Sys.file_exists (Driver.Shardstore.legacy_file dir));
       (* A different scope misses. *)
       let e3 =
         Driver.Evaluator.create ~cache_dir:dir
@@ -364,7 +420,6 @@ let test_corrupted_cache_lines () =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "metaopt-corrupt-cache-%d" (Unix.getpid ()))
   in
-  let file = Filename.concat dir "fitness-cache.tsv" in
   let count = ref 0 in
   let mk () =
     Driver.Evaluator.create ~cache_dir:dir
@@ -376,29 +431,37 @@ let test_corrupted_cache_lines () =
       ()
   in
   Fun.protect
-    ~finally:(fun () ->
-      if Sys.file_exists file then Sys.remove file;
-      if Sys.file_exists dir then Unix.rmdir dir)
+    ~finally:(fun () -> rm_cache_dir dir)
     (fun () ->
       let g = Hyperblock.Baseline.genome in
       let e1 = mk () in
       ignore (Driver.Evaluator.evaluate_batch e1 [| g |] ~cases:[ 0; 1 ]);
       Alcotest.(check int) "two computed" 2 !count;
-      (* Corrupt the file with every malformed flavour the reader must
-         survive: free text, a short digest, non-hex, a non-finite value,
-         an unparsable value, binary junk, an empty line, and a truncated
-         final line with no newline. *)
-      let oc = open_out_gen [ Open_append ] 0o644 file in
-      output_string oc "this is not a cache line\n";
-      output_string oc "0123456789abcdef 1.5\n";
-      output_string oc "XYZJKLMNOPQRSTUVWXYZ0123456789ab 2.0\n";
-      output_string oc "00112233445566778899aabbccddeeff nan\n";
-      output_string oc "00112233445566778899aabbccddeeff not-a-float\n";
-      output_string oc "\x00\x01\x7f binary junk\n";
-      output_string oc "\n";
-      output_string oc "00112233445566778899aabbccddeef";
-      close_out oc;
-      (* A fresh engine over the damaged file loads without raising and
+      (* Corrupt every shard file holding an entry with every malformed
+         flavour the reader must survive: free text, a short digest,
+         non-hex, a non-finite value, an unparsable value, binary junk,
+         an empty line, and a truncated final line with no newline.  Also
+         drop in a legacy single-file cache of pure garbage — it must be
+         skipped (with a warning), never compacted. *)
+      let damage file =
+        let oc = open_out_gen [ Open_append; Open_creat ] 0o644 file in
+        output_string oc "this is not a cache line\n";
+        output_string oc "0123456789abcdef 1.5\n";
+        output_string oc "XYZJKLMNOPQRSTUVWXYZ0123456789ab 2.0\n";
+        output_string oc "00112233445566778899aabbccddeeff nan\n";
+        output_string oc "00112233445566778899aabbccddeeff not-a-float\n";
+        output_string oc "\x00\x01\x7f binary junk\n";
+        output_string oc "\n";
+        output_string oc "00112233445566778899aabbccddeef";
+        close_out oc
+      in
+      let damaged = store_files dir in
+      Alcotest.(check bool) "entries were persisted" true (damaged <> []);
+      List.iter damage damaged;
+      let legacy = Driver.Shardstore.legacy_file dir in
+      damage legacy;
+      let legacy_size = (Unix.stat legacy).Unix.st_size in
+      (* A fresh engine over the damaged store loads without raising and
          still serves the two intact entries from disk. *)
       let e2 = mk () in
       let m = Driver.Evaluator.evaluate_batch e2 [| g |] ~cases:[ 0; 1 ] in
@@ -409,7 +472,26 @@ let test_corrupted_cache_lines () =
         (Driver.Evaluator.evaluations e2);
       let cs = Driver.Evaluator.cache_stats e2 in
       Alcotest.(check int) "both were disk hits" 2 cs.Driver.Evaluator.disk_hits;
-      Alcotest.(check int) "no misses" 0 cs.Driver.Evaluator.misses)
+      Alcotest.(check int) "no misses" 0 cs.Driver.Evaluator.misses;
+      (* Loading compacted each damaged shard in place: only whole,
+         parseable lines remain, and the intact entries survived. *)
+      List.iter
+        (fun file ->
+          List.iter
+            (fun line ->
+              match String.index_opt line ' ' with
+              | Some 32
+                when float_of_string_opt
+                       (String.sub line 33 (String.length line - 33))
+                     <> None ->
+                ()
+              | _ -> Alcotest.failf "uncompacted line %S in %s" line file)
+            (read_lines file))
+        damaged;
+      Alcotest.(check int) "compacted shards hold the intact entries" 2
+        (List.length (store_lines dir));
+      Alcotest.(check int) "legacy file untouched" legacy_size
+        (Unix.stat legacy).Unix.st_size)
 
 (* Two concurrent runs appending to one shared --cache-dir: the advisory
    [lockf] plus single-write appends must keep every line whole.  Each
@@ -422,22 +504,8 @@ let test_concurrent_cache_writers () =
       Filename.concat (Filename.get_temp_dir_name ())
         (Printf.sprintf "metaopt-shared-cache-%d" (Unix.getpid ()))
     in
-    let file = Filename.concat dir "fitness-cache.tsv" in
-    let read_lines path =
-      let ic = open_in path in
-      let rec go acc =
-        match input_line ic with
-        | line -> go (line :: acc)
-        | exception End_of_file ->
-          close_in ic;
-          List.rev acc
-      in
-      go []
-    in
     Fun.protect
-      ~finally:(fun () ->
-        if Sys.file_exists file then Sys.remove file;
-        if Sys.file_exists dir then Unix.rmdir dir)
+      ~finally:(fun () -> rm_cache_dir dir)
       (fun () ->
         let g = Hyperblock.Baseline.genome in
         let engine scope eval =
@@ -469,8 +537,12 @@ let test_concurrent_cache_writers () =
         in
         Alcotest.(check bool) "writer 1 exited cleanly" true (clean p1);
         Alcotest.(check bool) "writer 2 exited cleanly" true (clean p2);
-        (* Every line survived whole: 32-hex digest, one space, a float. *)
-        let lines = read_lines file in
+        (* Every line, across every shard the two writers' digests landed
+           in, survived whole: 32-hex digest, one space, a float.  100
+           digests spread over 16 shards, so the writers collided on most
+           shards and wrote others alone — both interleavings are
+           exercised in one run. *)
+        let lines = store_lines dir in
         Alcotest.(check int) "one line per evaluation" 100 (List.length lines);
         List.iter
           (fun line ->
@@ -504,6 +576,87 @@ let test_concurrent_cache_writers () =
         check_scope "w2/scope" 200.0)
   end
 
+(* --- Persistent warm pools ------------------------------------------------ *)
+
+(* A handle keeps its forked workers alive between batches: worker-local
+   state written during batch 1 is still there for batch 3.  With one
+   slot the counter is deterministic — and the parent's copy of the ref
+   must stay untouched, proving the work ran in the resident child. *)
+let test_handle_keeps_workers_warm () =
+  if Gp.Parmap.available then begin
+    let pool = Gp.Parmap.pool ~backend:`Fork ~jobs:1 () in
+    let warmth = ref 0 in
+    let h =
+      Gp.Parmap.create pool ~f:(fun x ->
+          incr warmth;
+          (x, !warmth))
+    in
+    Fun.protect
+      ~finally:(fun () -> Gp.Parmap.shutdown h)
+      (fun () ->
+        let o1, s1 = Gp.Parmap.run_batch h [| 10; 20 |] in
+        let o2, _ = Gp.Parmap.run_batch h [| 30 |] in
+        let get = function Gp.Parmap.Ok v -> v | _ -> (-1, -1) in
+        Alcotest.(check (list (pair int int)))
+          "worker state persists across batches"
+          [ (10, 1); (20, 2); (30, 3) ]
+          (List.map get (Array.to_list o1 @ Array.to_list o2));
+        Alcotest.(check int) "first batch complete" 2 s1.Gp.Parmap.completed;
+        Alcotest.(check int) "parent state untouched" 0 !warmth)
+  end
+
+(* A worker death mid-batch respawns only that slot: the rest of the
+   batch completes, and the same handle serves later batches cleanly. *)
+let test_handle_survives_worker_death () =
+  if Gp.Parmap.available then begin
+    let pool = Gp.Parmap.pool ~backend:`Fork ~jobs:2 ~retries:0 () in
+    let h =
+      Gp.Parmap.create pool ~f:(fun x ->
+          if x < 0 then Unix._exit 3;
+          x * 2)
+    in
+    Fun.protect
+      ~finally:(fun () -> Gp.Parmap.shutdown h)
+      (fun () ->
+        let o1, s1 = Gp.Parmap.run_batch h [| 1; -1; 2; 3 |] in
+        Alcotest.(check int) "crash counted" 1 s1.Gp.Parmap.crashes;
+        (match o1.(1) with
+        | Gp.Parmap.Crashed _ -> ()
+        | _ -> Alcotest.fail "dead worker not reported as a crash");
+        List.iter
+          (fun (i, want) ->
+            match o1.(i) with
+            | Gp.Parmap.Ok v -> Alcotest.(check int) "survivor" want v
+            | _ -> Alcotest.failf "task %d lost to the crash" i)
+          [ (0, 2); (2, 4); (3, 6) ];
+        let o2, s2 = Gp.Parmap.run_batch h [| 5; 6; 7 |] in
+        Alcotest.(check int) "second batch complete" 3 s2.Gp.Parmap.completed;
+        Alcotest.(check int) "no stale crashes" 0 s2.Gp.Parmap.crashes;
+        Array.iteri
+          (fun i o ->
+            match o with
+            | Gp.Parmap.Ok v ->
+              Alcotest.(check int) "second batch value" ((i + 5) * 2) v
+            | _ -> Alcotest.failf "second batch lost task %d" i)
+          o2)
+  end
+
+let test_handle_shutdown_semantics () =
+  let pool = Gp.Parmap.pool ~backend:`Seq () in
+  let h = Gp.Parmap.create pool ~f:(fun x -> x + 1) in
+  let o, _ = Gp.Parmap.run_batch h [| 41 |] in
+  (match o.(0) with
+  | Gp.Parmap.Ok 42 -> ()
+  | _ -> Alcotest.fail "seq handle miscomputed");
+  let empty, _ = Gp.Parmap.run_batch h [||] in
+  Alcotest.(check int) "empty batch on a live handle" 0 (Array.length empty);
+  Gp.Parmap.shutdown h;
+  Gp.Parmap.shutdown h;
+  (* idempotent *)
+  match Gp.Parmap.run_batch h [| 1 |] with
+  | _ -> Alcotest.fail "run_batch after shutdown must raise"
+  | exception Invalid_argument _ -> ()
+
 let suite =
   [
     Alcotest.test_case "ordered results" `Quick test_ordering;
@@ -525,4 +678,10 @@ let suite =
       test_corrupted_cache_lines;
     Alcotest.test_case "concurrent cache writers" `Quick
       test_concurrent_cache_writers;
+    Alcotest.test_case "warm pool: state persists" `Quick
+      test_handle_keeps_workers_warm;
+    Alcotest.test_case "warm pool: survives worker death" `Quick
+      test_handle_survives_worker_death;
+    Alcotest.test_case "warm pool: shutdown semantics" `Quick
+      test_handle_shutdown_semantics;
   ]

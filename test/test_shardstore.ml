@@ -1,0 +1,233 @@
+(* Tests for the sharded fitness store underneath the evaluator's disk
+   cache: digest addressing, per-shard locking under concurrent writers
+   (on disjoint shards and on one colliding shard), compaction of
+   damaged shards and its idempotence, legacy single-file reading, and
+   parameter validation. *)
+
+module S = Driver.Shardstore
+
+let with_dir tag f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "metaopt-shardstore-%s-%d" tag (Unix.getpid ()))
+  in
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun x -> rm_rf (Filename.concat path x)) (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+    | _ -> ( try Sys.remove path with Sys_error _ -> ())
+    | exception Unix.Unix_error _ -> ()
+  in
+  rm_rf dir;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* A crafted 32-hex-char digest whose first byte — and so, at 16 shards,
+   whose shard — is [prefix]. *)
+let digest_in prefix n = Printf.sprintf "%02x%030x" prefix n
+
+let read_lines path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let rec go acc =
+      match input_line ic with
+      | line -> go (line :: acc)
+      | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+    in
+    go []
+  end
+
+let whole_line line =
+  match String.index_opt line ' ' with
+  | Some 32 ->
+    float_of_string_opt (String.sub line 33 (String.length line - 33)) <> None
+  | _ -> false
+
+let test_addressing () =
+  with_dir "addr" @@ fun dir ->
+  let s = S.open_store dir in
+  Alcotest.(check int) "default shard count" 16 (S.shards s);
+  (* first-byte addressing: at 16 shards, prefix i lands in shard i *)
+  for i = 0 to 15 do
+    Alcotest.(check int)
+      (Printf.sprintf "prefix %02x" i)
+      i
+      (S.shard_of s (digest_in i 7))
+  done;
+  Alcotest.(check int) "prefix wraps mod shards" 0 (S.shard_of s (digest_in 16 7));
+  (* one entry per shard: each shard file holds exactly its line, and
+     awkward values round-trip exactly through the hex-float rendering *)
+  let value i = 1.0 +. (Float.of_int i /. 3.0) in
+  S.append s (List.init 16 (fun i -> (digest_in i i, value i)));
+  for i = 0 to 15 do
+    let lines = read_lines (S.shard_file s i) in
+    Alcotest.(check int) (Printf.sprintf "shard %d holds one line" i) 1
+      (List.length lines)
+  done;
+  let s2 = S.open_store dir in
+  for i = 0 to 15 do
+    Alcotest.(check (float 0.0))
+      (Printf.sprintf "entry %d round-trips" i)
+      (value i)
+      (Option.get (S.find s2 (digest_in i i)))
+  done;
+  (* a different shard count moves entries but still finds them on load
+     (load reads every shard file) *)
+  let s4 = S.open_store ~shards:4 dir in
+  Alcotest.(check int) "ff at 4 shards" 3 (S.shard_of s4 (digest_in 0xff 0));
+  Alcotest.(check (float 0.0)) "entries survive a count change" (value 9)
+    (Option.get (S.find s4 (digest_in 9 9)))
+
+(* Two forked writers on the same store.  [spread = false] sends both
+   writers to one shard (every append contends on that shard's lock);
+   [spread = true] gives each writer its own shard (appends never
+   contend).  Either way every line must survive whole and every value
+   must round-trip. *)
+let concurrent_writers ~spread () =
+  if Gp.Parmap.available then begin
+    let tag = if spread then "disjoint" else "colliding" in
+    with_dir tag @@ fun dir ->
+    let n = 40 in
+    let prefix_of w = if spread then w else 0 in
+    let value w i = Float.of_int ((w * 1000) + i) /. 7.0 in
+    flush stdout;
+    flush stderr;
+    let writer w =
+      match Unix.fork () with
+      | 0 ->
+        (try
+           let s = S.open_store dir in
+           (* one append call per entry, to maximize interleaving *)
+           for i = 0 to n - 1 do
+             S.append s [ (digest_in (prefix_of w) ((w * 1000) + i), value w i) ]
+           done;
+           Unix._exit (if S.write_errors s = 0 then 0 else 1)
+         with _ -> Unix._exit 1)
+      | pid -> pid
+    in
+    let p1 = writer 1 in
+    let p2 = writer 2 in
+    let clean pid =
+      match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> true
+      | _ -> false
+    in
+    Alcotest.(check bool) "writer 1 exited cleanly" true (clean p1);
+    Alcotest.(check bool) "writer 2 exited cleanly" true (clean p2);
+    let s = S.open_store dir in
+    (if spread then begin
+       Alcotest.(check int) "writer 1's shard complete" n
+         (List.length (read_lines (S.shard_file s 1)));
+       Alcotest.(check int) "writer 2's shard complete" n
+         (List.length (read_lines (S.shard_file s 2)))
+     end
+     else
+       Alcotest.(check int) "both writers' lines in the one shard" (2 * n)
+         (List.length (read_lines (S.shard_file s 0))));
+    List.iter
+      (fun w ->
+        let file = S.shard_file s (prefix_of w) in
+        List.iter
+          (fun line ->
+            if not (whole_line line) then
+              Alcotest.failf "torn line %S in %s" line file)
+          (read_lines file);
+        for i = 0 to n - 1 do
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "writer %d entry %d round-trips" w i)
+            (value w i)
+            (Option.get (S.find s (digest_in (prefix_of w) ((w * 1000) + i))))
+        done)
+      [ 1; 2 ];
+    Alcotest.(check int) "no compaction was needed" 0 (S.evictions s)
+  end
+
+let test_concurrent_disjoint () = concurrent_writers ~spread:true ()
+let test_concurrent_colliding () = concurrent_writers ~spread:false ()
+
+let test_compaction_idempotent () =
+  with_dir "compact" @@ fun dir ->
+  (* seed one shard with a keeper, a superseded duplicate, and a torn
+     final line (a killed writer's half-append) *)
+  let s = S.open_store dir in
+  let d_keep = digest_in 5 1 and d_dup = digest_in 5 2 in
+  let oc = open_out (S.shard_file s 5) in
+  Printf.fprintf oc "%s %h\n" d_keep 2.5;
+  Printf.fprintf oc "%s %h\n" d_dup 1.0;
+  Printf.fprintf oc "%s %h\n" d_dup 9.0;
+  output_string oc "00112233445566778899aabbccddeef";
+  close_out oc;
+  (* first open: the dup and the torn line are evicted, last write wins,
+     and the shard is rewritten with only whole lines *)
+  let s1 = S.open_store dir in
+  Alcotest.(check int) "two lines evicted" 2 (S.evictions s1);
+  Alcotest.(check (float 0.0)) "keeper served" 2.5
+    (Option.get (S.find s1 d_keep));
+  Alcotest.(check (float 0.0)) "last write wins for the dup" 9.0
+    (Option.get (S.find s1 d_dup));
+  let compacted = read_lines (S.shard_file s1 5) in
+  Alcotest.(check int) "compacted to the survivors" 2 (List.length compacted);
+  List.iter
+    (fun l ->
+      if not (whole_line l) then Alcotest.failf "uncompacted line %S" l)
+    compacted;
+  (* second open: nothing left to evict and the file is untouched —
+     compaction is idempotent *)
+  let s2 = S.open_store dir in
+  Alcotest.(check int) "clean reload evicts nothing" 0 (S.evictions s2);
+  Alcotest.(check (list string)) "file byte-stable" compacted
+    (read_lines (S.shard_file s2 5));
+  Alcotest.(check (float 0.0)) "still served after reload" 9.0
+    (Option.get (S.find s2 d_dup))
+
+let test_legacy_read () =
+  with_dir "legacy" @@ fun dir ->
+  Unix.mkdir dir 0o755;
+  let legacy = S.legacy_file dir in
+  let d_old = digest_in 3 42 in
+  let oc = open_out legacy in
+  Printf.fprintf oc "%s %h\n" d_old 4.25;
+  output_string oc "not a cache line\n";
+  close_out oc;
+  let before = read_lines legacy in
+  let s = S.open_store dir in
+  Alcotest.(check (float 0.0)) "legacy entry served" 4.25
+    (Option.get (S.find s d_old));
+  (* legacy damage is skipped, never compacted, and appends go to the
+     shards — the legacy file stays byte-identical *)
+  Alcotest.(check int) "legacy damage is not an eviction" 0 (S.evictions s);
+  S.append s [ (digest_in 3 43, 1.5) ];
+  Alcotest.(check (list string)) "legacy file untouched" before
+    (read_lines legacy);
+  Alcotest.(check int) "append went to the shard" 1
+    (List.length (read_lines (S.shard_file s 3)))
+
+let test_validation () =
+  with_dir "valid" @@ fun dir ->
+  let expect_invalid name f =
+    match f () with
+    | (_ : S.t) -> Alcotest.failf "%s: expected Invalid_argument" name
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid "shards = 0" (fun () -> S.open_store ~shards:0 dir);
+  expect_invalid "shards = 257" (fun () -> S.open_store ~shards:257 dir);
+  let s = S.open_store ~shards:256 dir in
+  Alcotest.(check int) "256 shards accepted" 256 (S.shards s);
+  Alcotest.(check bool) "healthy" false (S.mem_any_degraded s)
+
+let suite =
+  [
+    Alcotest.test_case "digest addressing" `Quick test_addressing;
+    Alcotest.test_case "concurrent writers, disjoint shards" `Quick
+      test_concurrent_disjoint;
+    Alcotest.test_case "concurrent writers, colliding shard" `Quick
+      test_concurrent_colliding;
+    Alcotest.test_case "compaction idempotent" `Quick
+      test_compaction_idempotent;
+    Alcotest.test_case "legacy single-file read" `Quick test_legacy_read;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]
