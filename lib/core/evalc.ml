@@ -927,6 +927,30 @@ let run_batch p envs =
   end;
   out
 
+let run_batch_bool p envs =
+  if p.sort <> `Bool then invalid_arg "Evalc.run_batch_bool: real program";
+  let s = p.strict in
+  let total = Array.length envs in
+  let out = Array.make total false in
+  if total > 0 then begin
+    let width = min batch_chunk total in
+    let f = Array.create_float (max 1 (s.s_nf * width)) in
+    let bl = Array.make (max 1 (s.s_nb * width)) false in
+    let tok = Cancel.current () in
+    let off = ref 0 in
+    while !off < total do
+      Cancel.check tok;
+      let m = min batch_chunk (total - !off) in
+      vexec s envs ~off:!off ~m f bl;
+      let rb = s.s_root * m in
+      for j = 0 to m - 1 do
+        out.(!off + j) <- Array.unsafe_get bl (rb + j)
+      done;
+      off := !off + m
+    done
+  end;
+  out
+
 let real_fn (e : Expr.rexpr) : Feature_set.env -> float =
   let p = compile_real e in
   let fregs, bregs = scratch p in

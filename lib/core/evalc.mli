@@ -67,6 +67,12 @@ val run_batch : t -> Feature_set.env array -> float array
     expression mentions even where the walker would short-circuit.
     @raise Invalid_argument on a boolean program. *)
 
+val run_batch_bool : t -> Feature_set.env array -> bool array
+(** Boolean counterpart of {!run_batch}: one compiled predicate genome
+    over an array of feature vectors, bit-identical to [Eval.bool] on
+    every point.
+    @raise Invalid_argument on a real program. *)
+
 val real_fn : Expr.rexpr -> Feature_set.env -> float
 (** [real_fn e] compiles [e] once and returns a closure bit-identical to
     [Eval.real _ e].  The closure owns its scratch registers: reuse it

@@ -85,13 +85,17 @@ type pool = {
   timeout_s : float option;
   retries : int;
   backoff_s : float;
+  chunk_target_ms : float;
+  chunk_min : int;
+  chunk_max : int;
   ignored_limits : string list;
 }
 
 let warned_ignored_limits = ref false
 
 let pool ?(backend = `Fork) ?(jobs = 1) ?timeout_s ?(retries = 1)
-    ?(backoff_s = 0.05) () =
+    ?(backoff_s = 0.05) ?(chunk_target_ms = 2.0) ?(chunk_min = 1)
+    ?(chunk_max = 64) () =
   if jobs < 1 then
     invalid_arg
       (Printf.sprintf
@@ -103,6 +107,11 @@ let pool ?(backend = `Fork) ?(jobs = 1) ?timeout_s ?(retries = 1)
   if retries < 0 then invalid_arg "Parmap.pool: retries must be >= 0";
   if (not (Float.is_finite backoff_s)) || backoff_s < 0.0 then
     invalid_arg "Parmap.pool: backoff_s must be >= 0";
+  if (not (Float.is_finite chunk_target_ms)) || chunk_target_ms <= 0.0 then
+    invalid_arg "Parmap.pool: chunk_target_ms must be a positive number";
+  if chunk_min < 1 then invalid_arg "Parmap.pool: chunk_min must be >= 1";
+  if chunk_max < chunk_min then
+    invalid_arg "Parmap.pool: chunk_max must be >= chunk_min";
   (* Supervision limits the chosen backend cannot honor.  Both parallel
      backends now enforce deadlines and retries; only [`Seq] runs
      unsupervised.  [retries = 1] is the constructor default, so only a
@@ -123,7 +132,17 @@ let pool ?(backend = `Fork) ?(jobs = 1) ?timeout_s ?(retries = 1)
            ignored"
           (String.concat "/" ignored_limits))
   end;
-  { backend; jobs; timeout_s; retries; backoff_s; ignored_limits }
+  {
+    backend;
+    jobs;
+    timeout_s;
+    retries;
+    backoff_s;
+    chunk_target_ms;
+    chunk_min;
+    chunk_max;
+    ignored_limits;
+  }
 
 (* Every blocking syscall goes through here: a signal delivered while the
    parent is reaping or draining (SIGCHLD, a profiler's SIGPROF, an
@@ -303,6 +322,56 @@ let insert_delayed ((t, _, _) as entry) l =
   in
   go l
 
+(* --- Adaptive chunk sizing ----------------------------------------------- *)
+
+(* The dispatcher amortizes one round-trip (a Marshal write on the fork
+   pool, a mutex/condition handoff on the domains pool) over a chunk of
+   tasks sized so a chunk is worth ~[chunk_target_ms] of work, using an
+   EWMA of observed per-task cost.  The estimate is seeded from the
+   process-wide [parmap.task_s] telemetry when available, refined on
+   every completed task, and kept per pool so batches re-estimate as the
+   workload drifts.  With no estimate at all the first batch runs at
+   [chunk_min] — the default, 1, is exactly the pre-chunking protocol
+   and the [`Seq]/-j1-compatible reference. *)
+
+let seed_ewma () =
+  if Telemetry.enabled () then begin
+    let h = Telemetry.histogram "parmap.task_s" in
+    if Telemetry.Histogram.count h > 0 then
+      Telemetry.Histogram.percentile h 50.0
+    else 0.0
+  end
+  else 0.0
+
+let ewma_update cur sample =
+  if (not (Float.is_finite sample)) || sample <= 0.0 then cur
+  else if cur <= 0.0 then sample
+  else (0.7 *. cur) +. (0.3 *. sample)
+
+(* Chunk length for a batch of [tasks] over [jobs] workers: the adaptive
+   estimate clamped to the pool's floor/ceiling, then capped so the
+   batch still splits into at least [jobs] chunks — a floor above that
+   cap would serialize the whole batch onto one worker. *)
+let chunk_length ~target_s ~cmin ~cmax ~jobs ~ewma ~tasks =
+  let base =
+    if ewma > 0.0 then int_of_float (Float.round (target_s /. ewma)) else cmin
+  in
+  let c = max cmin (min base cmax) in
+  let cap = max 1 ((tasks + jobs - 1) / jobs) in
+  max 1 (min c cap)
+
+(* Task ids [0, n) as consecutive chunks of at most [len]. *)
+let partition_chunks n len =
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let l = min len (n - !i) in
+    let base = !i in
+    out := Array.init l (fun k -> base + k) :: !out;
+    i := !i + l
+  done;
+  List.rev !out
+
 (* No fork (or [`Seq] requested): in-process evaluation.  Exceptions
    still isolate per task, but hangs cannot be interrupted and retries
    are pointless against a deterministic in-process failure. *)
@@ -333,24 +402,35 @@ let inprocess_supervised f xs =
 
 (* Shared-memory supervision.  A domain cannot be SIGKILLed, so the
    fault model is cooperative: the calling domain acts as the
-   supervisor, worker domains pull (task, attempt) pairs from a shared
-   queue and run each attempt under a [Cancel] token carrying the
-   deadline.  The evaluation stack polls the token at safepoints and
-   raises [Cancelled] past the deadline, which the worker reports as a
-   timeout; retries and exponential backoff then follow exactly the
-   fork supervisor's schedule.
+   supervisor, worker domains pull chunks — [(task ids, attempt,
+   enqueue time)] — from per-worker deques and run each member under
+   its own [Cancel] token carrying the per-task deadline.  The
+   evaluation stack polls the token at safepoints and raises
+   [Cancelled] past the deadline, which the worker records as that
+   member's timeout and moves on to the chunk's next member; retries
+   and exponential backoff then follow exactly the fork supervisor's
+   schedule, per task.
+
+   A worker whose own deque runs dry steals the younger half of the
+   fullest other deque (Chase–Lev in spirit; the deques share the pool
+   mutex rather than a lock-free protocol because chunks change hands
+   a few times per batch, not per task), so one slow worker cannot
+   strand the chunks queued behind it.
 
    Tasks that never reach a safepoint (a blocking C call, a chaos
-   [Hang]) get the quarantine path: each running attempt carries a
-   wall-clock quarantine time — deadline plus a grace period of half
-   the timeout (min 50ms), so a hung task is cut off within 1.5x its
-   deadline.  The supervisor sweeps for overdue attempts, wins the
-   attempt's [settled] CAS so any late worker result is discarded,
-   charges the task a timeout, marks the worker poisoned and spawns a
-   fresh domain in its slot.  A poisoned domain is abandoned, never
-   joined: it exits on its own if the hung task ever returns (its next
-   dequeue sees the poison flag), and a domain parked in a blocking
-   section does not obstruct the runtime.
+   [Hang]) get the quarantine path: the running chunk publishes a
+   wall-clock quarantine time for its current member — deadline plus a
+   grace period of half the timeout (min 50ms), so a hung task is cut
+   off within 1.5x its deadline no matter how long its chunk is.  The
+   supervisor sweeps for overdue members, wins the chunk's [settled]
+   CAS so any late worker result is discarded, salvages the chunk —
+   members with a recorded partial result keep it, the hung member is
+   charged a timeout, members never started are re-enqueued uncharged
+   as singleton chunks — marks the worker poisoned and spawns a fresh
+   domain in its slot.  A poisoned domain is abandoned, never joined:
+   it exits on its own if the hung task ever returns (its next dequeue
+   sees the poison flag), and a domain parked in a blocking section
+   does not obstruct the runtime.
 
    Results travel back through a settled-CAS-guarded record plus a
    mutex-protected done-queue; a self-pipe wakes the supervisor's
@@ -359,15 +439,21 @@ let inprocess_supervised f xs =
 
 type 'b attempt_result = Done of 'b | Failed of string | Deadline
 
+(* One dispatched chunk.  [r_partial.(k)] is written before
+   [r_progress] advances past member [k], so when the quarantine sweep
+   wins the CAS it can trust every recorded partial: member values are
+   deterministic, so a partial observed mid-race equals what a re-run
+   would compute. *)
 type 'b running = {
-  r_task : int;
-  r_attempt : int; (* 0-based *)
+  r_tasks : int array;
+  r_attempt : int; (* 0-based; one chunk is all one attempt *)
   r_enq : float; (* absolute enqueue time; 0 when telemetry is off *)
-  mutable r_dispatched : float; (* absolute; 0 when telemetry is off *)
+  r_dispatched : float; (* absolute take-time *)
   mutable r_done : float; (* absolute; 0 until settled by the worker *)
-  r_quarantine_at : float; (* absolute; [infinity] when no timeout *)
+  r_qat : float Atomic.t; (* current member's quarantine time *)
   r_settled : bool Atomic.t; (* CAS-won by worker or quarantine sweep *)
-  mutable r_result : 'b attempt_result; (* written before the worker's CAS *)
+  r_progress : int Atomic.t; (* index of the member being evaluated *)
+  r_partial : 'b attempt_result option array; (* per-member results *)
 }
 
 type 'b wstate = {
@@ -377,83 +463,138 @@ type 'b wstate = {
 
 let now () = Unix.gettimeofday ()
 
-(* Persistent domains pool: the worker domains, the work/done queues and
-   the notify pipe outlive any single batch.  Workers read the current
-   batch's input array out of [d_xs] under the work-queue mutex, so the
-   supervisor's assignment is visible before any of that batch's tasks
-   can be taken. *)
+(* Persistent domains pool: the worker domains, the deques, the done
+   queue and the notify pipe outlive any single batch.  Workers read
+   the current batch's input array out of [d_xs] under the pool mutex,
+   so the supervisor's assignment is visible before any of that batch's
+   chunks can be taken. *)
 type ('a, 'b) dom_state = {
   d_m : Mutex.t;
   d_c : Condition.t;
-  d_work : (int * int * float) Queue.t; (* task, attempt, enqueue time *)
+  d_deques : (int array * int * float) list ref array; (* per-slot chunks *)
   d_done : 'b running Queue.t;
   mutable d_stop : bool;
   mutable d_xs : 'a array;
   d_note_r : Unix.file_descr;
   d_note_w : Unix.file_descr;
-  mutable d_live : ('b wstate * unit Domain.t) list;
+  mutable d_live : ('b wstate * unit Domain.t) array;
   d_f : 'a -> 'b;
   d_jobs : int;
   d_timeout_s : float option;
   d_retries : int;
   d_backoff_s : float;
   d_grace : float;
+  d_target_s : float; (* chunk budget, seconds *)
+  d_cmin : int;
+  d_cmax : int;
+  d_steals : int Atomic.t;
+  mutable d_ewma : float; (* per-task cost estimate, seconds *)
 }
 
-let dom_worker st ws () =
-  Telemetry.suppress_in_domain true;
-  let take () =
-    Mutex.lock st.d_m;
-    let rec go () =
-      if st.d_stop then None
-      else
-        match Queue.take_opt st.d_work with
-        | Some t -> Some (t, st.d_xs)
-        | None ->
+(* Take the next chunk: own deque first, then steal the younger half of
+   the fullest other deque (the first stolen chunk is run, the rest
+   land on the taker's deque), else wait. *)
+let dom_take st idx =
+  Mutex.lock st.d_m;
+  let rec go () =
+    if st.d_stop then None
+    else begin
+      let dq = st.d_deques.(idx) in
+      match !dq with
+      | c :: rest ->
+        dq := rest;
+        Some (c, st.d_xs)
+      | [] ->
+        let best = ref (-1) and blen = ref 0 in
+        Array.iteri
+          (fun j q ->
+            if j <> idx then begin
+              let l = List.length !q in
+              if l > !blen then begin
+                best := j;
+                blen := l
+              end
+            end)
+          st.d_deques;
+        if !best >= 0 then begin
+          let q = st.d_deques.(!best) in
+          let keep = !blen - ((!blen + 1) / 2) in
+          let rec split i acc rest =
+            if i = keep then (List.rev acc, rest)
+            else
+              match rest with
+              | x :: tl -> split (i + 1) (x :: acc) tl
+              | [] -> (List.rev acc, [])
+          in
+          let kept, stolen = split 0 [] !q in
+          q := kept;
+          Atomic.incr st.d_steals;
+          match stolen with
+          | c :: mine ->
+            st.d_deques.(idx) := mine;
+            Some (c, st.d_xs)
+          | [] -> go ()
+        end
+        else begin
           Condition.wait st.d_c st.d_m;
           go ()
-    in
-    let t = go () in
-    Mutex.unlock st.d_m;
-    t
+        end
+    end
   in
+  let t = go () in
+  Mutex.unlock st.d_m;
+  t
+
+let dom_worker st ws idx () =
+  Telemetry.suppress_in_domain true;
   let rec loop () =
     if not (Atomic.get ws.w_poisoned) then
-      match take () with
+      match dom_take st idx with
       | None -> ()
-      | Some ((task, attempt, enq), xs) ->
-        let tok = Cancel.create ?deadline_s:st.d_timeout_s () in
+      | Some ((tasks, attempt, enq), xs) ->
+        let len = Array.length tasks in
         let r =
           {
-            r_task = task;
+            r_tasks = tasks;
             r_attempt = attempt;
             r_enq = enq;
-            r_dispatched = (if enq > 0.0 then now () else 0.0);
+            r_dispatched = now ();
             r_done = 0.0;
-            r_quarantine_at = Cancel.deadline tok +. st.d_grace;
+            r_qat = Atomic.make infinity;
             r_settled = Atomic.make false;
-            r_result = Deadline;
+            r_progress = Atomic.make 0;
+            r_partial = Array.make len None;
           }
         in
         Atomic.set ws.w_current (Some r);
-        let res =
-          match
-            Cancel.with_token tok (fun () ->
-                Chaos.task_point ~isolated:false ~key:task
-                  ~attempt:(attempt + 1);
-                st.d_f xs.(task))
-          with
-          | v -> Done v
-          | exception Cancel.Cancelled ->
-            (* Only a cancelled token makes [Cancelled] a timeout; a
-               task raising it spuriously is a crash. *)
-            if Cancel.cancelled tok then Deadline
-            else Failed "task raised Cancelled"
-          | exception e -> Failed (Printexc.to_string e)
-        in
+        Array.iteri
+          (fun k task ->
+            Atomic.set r.r_progress k;
+            (* One token per member: a chunk does not widen any single
+               task's deadline, and one timed-out member does not
+               abort the rest of its chunk. *)
+            let tok = Cancel.create ?deadline_s:st.d_timeout_s () in
+            Atomic.set r.r_qat (Cancel.deadline tok +. st.d_grace);
+            r.r_partial.(k) <-
+              Some
+                (match
+                   Cancel.with_token tok (fun () ->
+                       Chaos.task_point ~isolated:false ~key:task
+                         ~attempt:(attempt + 1);
+                       st.d_f xs.(task))
+                 with
+                | v -> Done v
+                | exception Cancel.Cancelled ->
+                  (* Only a cancelled token makes [Cancelled] a
+                     timeout; a task raising it spuriously is a
+                     crash. *)
+                  if Cancel.cancelled tok then Deadline
+                  else Failed "task raised Cancelled"
+                | exception e -> Failed (Printexc.to_string e)))
+          tasks;
+        Atomic.set r.r_progress len;
         Atomic.set ws.w_current None;
-        if r.r_enq > 0.0 then r.r_done <- now ();
-        r.r_result <- res;
+        r.r_done <- now ();
         if Atomic.compare_and_set r.r_settled false true then begin
           Mutex.lock st.d_m;
           Queue.add r st.d_done;
@@ -461,15 +602,15 @@ let dom_worker st ws () =
           let b = Bytes.make 1 '!' in
           ignore (retry_eintr (fun () -> Unix.write st.d_note_w b 0 1))
         end;
-        (* A lost CAS means the sweep quarantined this attempt — the
+        (* A lost CAS means the sweep quarantined this chunk — the
            poison flag ends the loop above. *)
         loop ()
   in
   loop ()
 
-let dom_spawn_worker st =
+let dom_spawn_worker st idx =
   let ws = { w_poisoned = Atomic.make false; w_current = Atomic.make None } in
-  (ws, Domain.spawn (dom_worker st ws))
+  (ws, Domain.spawn (dom_worker st ws idx))
 
 let init_domains (p : pool) f =
   let note_r, note_w = Unix.pipe () in
@@ -477,13 +618,13 @@ let init_domains (p : pool) f =
     {
       d_m = Mutex.create ();
       d_c = Condition.create ();
-      d_work = Queue.create ();
+      d_deques = Array.init p.jobs (fun _ -> ref []);
       d_done = Queue.create ();
       d_stop = false;
       d_xs = [||];
       d_note_r = note_r;
       d_note_w = note_w;
-      d_live = [];
+      d_live = [||];
       d_f = f;
       d_jobs = p.jobs;
       d_timeout_s = p.timeout_s;
@@ -493,12 +634,17 @@ let init_domains (p : pool) f =
         (match p.timeout_s with
         | Some t -> Float.max 0.05 (0.5 *. t)
         | None -> infinity);
+      d_target_s = p.chunk_target_ms /. 1000.0;
+      d_cmin = p.chunk_min;
+      d_cmax = p.chunk_max;
+      d_steals = Atomic.make 0;
+      d_ewma = seed_ewma ();
     }
   in
   domains_used := true;
   let tel = Telemetry.enabled () in
   let t0 = if tel then Telemetry.now_s () else 0.0 in
-  st.d_live <- List.init p.jobs (fun _ -> dom_spawn_worker st);
+  st.d_live <- Array.init p.jobs (fun idx -> dom_spawn_worker st idx);
   if tel then Telemetry.observe "parmap.pool_spawn_s" (Telemetry.now_s () -. t0);
   st
 
@@ -507,10 +653,10 @@ let shutdown_domains st =
   st.d_stop <- true;
   Condition.broadcast st.d_c;
   Mutex.unlock st.d_m;
-  List.iter
+  Array.iter
     (fun (ws, d) -> if not (Atomic.get ws.w_poisoned) then Domain.join d)
     st.d_live;
-  st.d_live <- [];
+  st.d_live <- [||];
   (try Unix.close st.d_note_r with Unix.Unix_error _ -> ());
   (try Unix.close st.d_note_w with Unix.Unix_error _ -> ())
 
@@ -530,36 +676,53 @@ let domains_batch (st : ('a, 'b) dom_state) (xs : 'a array) =
   let timeout_s = st.d_timeout_s in
   let retries = st.d_retries in
   let backoff_s = st.d_backoff_s in
-  (* Install the batch and queue every first attempt before waking the
-     workers, so they find work without waiting on a second signal. *)
+  let steals0 = Atomic.get st.d_steals in
+  let dispatch_s = ref 0.0 in
+  (* Size the batch's chunks from the running cost estimate and install
+     them round-robin across the worker deques before the broadcast, so
+     every worker finds local work first; imbalance from mis-estimation
+     is what stealing corrects. *)
+  if st.d_ewma <= 0.0 then st.d_ewma <- seed_ewma ();
+  let clen =
+    chunk_length ~target_s:st.d_target_s ~cmin:st.d_cmin ~cmax:st.d_cmax
+      ~jobs:st.d_jobs ~ewma:st.d_ewma ~tasks:n
+  in
+  let chunks = partition_chunks n clen in
+  let t_disp0 = now () in
   Mutex.lock st.d_m;
   st.d_xs <- xs;
-  let enq0 = if tel then now () else 0.0 in
-  for i = 0 to n - 1 do
-    Queue.add (i, 0, enq0) st.d_work
-  done;
+  let enq0 = if tel then t_disp0 else 0.0 in
+  List.iteri
+    (fun i c ->
+      if tel then
+        Telemetry.observe "parmap.chunk_size" (float_of_int (Array.length c));
+      let dq = st.d_deques.(i mod st.d_jobs) in
+      dq := !dq @ [ (c, 0, enq0) ])
+    chunks;
   Condition.broadcast st.d_c;
   Mutex.unlock st.d_m;
+  dispatch_s := now () -. t_disp0;
   let delayed = ref [] in
   let remaining = ref n in
-  (* Attempt latency, observed from the supervisor side: queue wait is
-     enqueue-to-dispatch (the worker stamps the dispatch time when it
-     takes the task), task time dispatch-to-settle. *)
-  let note_attempt ?end_ r =
-    if tel && r.r_dispatched > 0.0 then begin
-      let w = r.r_dispatched -. r.r_enq in
-      Telemetry.Histogram.add queue_hist w;
-      Telemetry.observe "parmap.queue_wait_s" w;
-      let stop =
-        match end_ with
-        | Some t -> t
-        | None -> if r.r_done > 0.0 then r.r_done else now ()
-      in
-      let d = Float.max 0.0 (stop -. r.r_dispatched) in
-      Telemetry.Histogram.add task_hist d;
-      Telemetry.observe "parmap.task_s" d;
-      busy := !busy +. d
-    end
+  (* Retries and salvage re-entries go to the shortest deque: they are
+     late-batch work, and the emptiest worker reaches them soonest. *)
+  let push_chunk tasks attempt enq =
+    let t0 = now () in
+    Mutex.lock st.d_m;
+    let best = ref 0 and blen = ref max_int in
+    Array.iteri
+      (fun j q ->
+        let l = List.length !q in
+        if l < !blen then begin
+          best := j;
+          blen := l
+        end)
+      st.d_deques;
+    let dq = st.d_deques.(!best) in
+    dq := !dq @ [ (tasks, attempt, enq) ];
+    Condition.broadcast st.d_c;
+    Mutex.unlock st.d_m;
+    dispatch_s := !dispatch_s +. (now () -. t0)
   in
   let handle_failure ~task ~attempt kind =
     (match kind with
@@ -586,46 +749,78 @@ let domains_batch (st : ('a, 'b) dom_state) (xs : 'a array) =
       decr remaining
     end
   in
-  let handle_result r =
-    note_attempt r;
-    match r.r_result with
-    | Done v ->
-      outcomes.(r.r_task) <- Ok v;
-      incr completed;
-      decr remaining
-    | Failed msg -> handle_failure ~task:r.r_task ~attempt:r.r_attempt (`Crash msg)
-    | Deadline -> handle_failure ~task:r.r_task ~attempt:r.r_attempt `Timeout
+  (* Settle a chunk whose CAS was won (by its worker or by the
+     quarantine sweep).  Members with a recorded partial keep it —
+     member values are deterministic, so a partial snapshotted mid-race
+     equals what a re-run would compute.  Members never started are
+     re-enqueued uncharged at the same attempt; only a forced quarantine
+     charges the member it was stuck on. *)
+  let salvage ?(forced_timeout = false) ?end_ (r : 'b running) =
+    let len = Array.length r.r_tasks in
+    let parts = Array.init len (fun k -> r.r_partial.(k)) in
+    let progress = Atomic.get r.r_progress in
+    let stop =
+      match end_ with
+      | Some t -> t
+      | None -> if r.r_done > 0.0 then r.r_done else now ()
+    in
+    let dur = Float.max 0.0 (stop -. r.r_dispatched) in
+    busy := !busy +. dur;
+    let finished =
+      Array.fold_left (fun a p -> if p <> None then a + 1 else a) 0 parts
+    in
+    let per = if finished > 0 then dur /. float_of_int finished else 0.0 in
+    st.d_ewma <- ewma_update st.d_ewma per;
+    if tel then begin
+      if r.r_enq > 0.0 then begin
+        let w = Float.max 0.0 (r.r_dispatched -. r.r_enq) in
+        for _ = 1 to len do
+          Telemetry.Histogram.add queue_hist w;
+          Telemetry.observe "parmap.queue_wait_s" w
+        done
+      end;
+      for _ = 1 to finished do
+        Telemetry.Histogram.add task_hist per;
+        Telemetry.observe "parmap.task_s" per
+      done
+    end;
+    Array.iteri
+      (fun k task ->
+        match parts.(k) with
+        | Some (Done v) ->
+          outcomes.(task) <- Ok v;
+          incr completed;
+          decr remaining
+        | Some (Failed msg) -> handle_failure ~task ~attempt:r.r_attempt (`Crash msg)
+        | Some Deadline -> handle_failure ~task ~attempt:r.r_attempt `Timeout
+        | None ->
+          if forced_timeout && k = progress then
+            handle_failure ~task ~attempt:r.r_attempt `Timeout
+          else
+            push_chunk [| task |] r.r_attempt (if tel then now () else 0.0))
+      r.r_tasks
   in
   let drain_buf = Bytes.create 512 in
   while !remaining > 0 do
     let t = now () in
     (* Promote delayed retries whose backoff has elapsed. *)
-    let promoted = ref false in
     let rec promote () =
       match !delayed with
       | (nb, task, att) :: rest when nb <= t ->
         delayed := rest;
-        Mutex.lock st.d_m;
-        Queue.add (task, att, if tel then t else 0.0) st.d_work;
-        Mutex.unlock st.d_m;
-        promoted := true;
+        push_chunk [| task |] att (if tel then t else 0.0);
         promote ()
       | _ -> ()
     in
     promote ();
-    if !promoted then begin
-      Mutex.lock st.d_m;
-      Condition.broadcast st.d_c;
-      Mutex.unlock st.d_m
-    end;
     (* Sleep until the nearest quarantine time or retry wake-up, or
        until a worker pokes the pipe. *)
     let nearest_quarantine =
-      List.fold_left
+      Array.fold_left
         (fun acc (ws, _) ->
           match Atomic.get ws.w_current with
           | Some r when not (Atomic.get r.r_settled) ->
-            Float.min acc r.r_quarantine_at
+            Float.min acc (Atomic.get r.r_qat)
           | _ -> acc)
         infinity st.d_live
     in
@@ -638,9 +833,9 @@ let domains_batch (st : ('a, 'b) dom_state) (xs : 'a array) =
       | None -> if until = infinity then -1.0 else Float.max 0.0 (until -. now ())
       | Some _ ->
         (* A deadline is in force, and a worker may pick up a queued
-           task and hang before the supervisor ever sees the attempt —
-           never sleep past a 50ms poll, or the quarantine sweep could
-           miss it. *)
+           chunk and hang before the supervisor ever sees it — never
+           sleep past a 50ms poll, or the quarantine sweep could miss
+           it. *)
         Float.min 0.05 (Float.max 0.0 (until -. now ()))
     in
     (match Unix.select [ st.d_note_r ] [] [] tmo with
@@ -650,45 +845,50 @@ let domains_batch (st : ('a, 'b) dom_state) (xs : 'a array) =
         (retry_eintr (fun () ->
              Unix.read st.d_note_r drain_buf 0 (Bytes.length drain_buf)))
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-    (* Collect finished attempts. *)
+    (* Collect settled chunks. *)
     let finished = ref [] in
     Mutex.lock st.d_m;
     Queue.iter (fun r -> finished := r :: !finished) st.d_done;
     Queue.clear st.d_done;
     Mutex.unlock st.d_m;
-    List.iter handle_result (List.rev !finished);
-    (* Quarantine sweep: any attempt past its quarantine time whose
-       settled CAS we win is charged a timeout, its worker poisoned and
-       replaced.  The replacement joins the persistent pool and serves
-       later batches too. *)
+    List.iter (fun r -> salvage r) (List.rev !finished);
+    (* Quarantine sweep: any chunk whose current member is past its
+       quarantine time and whose settled CAS we win is salvaged — the
+       hung member charged, finished members kept, unstarted members
+       re-enqueued — its worker poisoned and replaced.  The replacement
+       joins the persistent pool and serves later batches too. *)
     let t = now () in
-    st.d_live <-
-      List.map
-        (fun ((ws, _) as w) ->
-          match Atomic.get ws.w_current with
-          | Some r
-            when r.r_quarantine_at <= t
-                 && Atomic.compare_and_set r.r_settled false true ->
-            incr quarantined;
-            Atomic.set ws.w_poisoned true;
-            Logs.warn (fun m ->
-                m
-                  "parmap: task %d attempt %d ignored its deadline past the \
-                   grace period; quarantining its worker and respawning the \
-                   slot"
-                  r.r_task (r.r_attempt + 1));
-            note_attempt ~end_:t r;
-            handle_failure ~task:r.r_task ~attempt:r.r_attempt `Timeout;
-            dom_spawn_worker st
-          | _ -> w)
-        st.d_live
+    Array.iteri
+      (fun idx ((ws, _) as _w) ->
+        match Atomic.get ws.w_current with
+        | Some r
+          when Atomic.get r.r_qat <= t
+               && Atomic.compare_and_set r.r_settled false true ->
+          incr quarantined;
+          Atomic.set ws.w_poisoned true;
+          let len = Array.length r.r_tasks in
+          let progress = Atomic.get r.r_progress in
+          let hung = if progress < len then r.r_tasks.(progress) else -1 in
+          Logs.warn (fun m ->
+              m
+                "parmap: task %d attempt %d ignored its deadline past the \
+                 grace period; quarantining its worker and respawning the \
+                 slot"
+                hung (r.r_attempt + 1));
+          salvage ~forced_timeout:true ~end_:t r;
+          st.d_live.(idx) <- dom_spawn_worker st idx
+        | _ -> ())
+      st.d_live
   done;
+  let steals = Atomic.get st.d_steals - steals0 in
   if tel then begin
     let wall = Telemetry.now_s () -. t_start in
     Telemetry.incr ~by:!crashes "parmap.crashes";
     Telemetry.incr ~by:!timeouts "parmap.timeouts";
     Telemetry.incr ~by:!retried "parmap.retries";
     Telemetry.incr ~by:!quarantined "parmap.quarantined";
+    Telemetry.incr ~by:steals "parmap.steals";
+    Telemetry.observe "parmap.dispatch_s" !dispatch_s;
     let pct h p = Telemetry.Histogram.percentile h p in
     Telemetry.emit ~kind:"pool"
       [
@@ -701,6 +901,9 @@ let domains_batch (st : ('a, 'b) dom_state) (xs : 'a array) =
         ("timeouts", Telemetry.Int !timeouts);
         ("retries", Telemetry.Int !retried);
         ("quarantined", Telemetry.Int !quarantined);
+        ("chunk_len", Telemetry.Int clen);
+        ("steals", Telemetry.Int steals);
+        ("dispatch_s", Telemetry.Float !dispatch_s);
         ("wall_s", Telemetry.Float wall);
         ("busy_s", Telemetry.Float !busy);
         ( "utilization",
@@ -727,16 +930,20 @@ let domains_batch (st : ('a, 'b) dom_state) (xs : 'a array) =
 
 (* --- Persistent fork pool ------------------------------------------------ *)
 
-(* One pre-forked worker per slot, kept alive across batches on a pair of
-   pipes: the parent marshals [(task, attempt, input)] down the task
-   pipe, the child replies with one marshalled [reply] per task and
-   blocks reading the next.  At most one task is ever in flight per
-   slot, so the parent can frame replies with [Marshal.header_size] /
-   [Marshal.data_size] out of a per-slot buffer.  A worker that dies
-   (crash, chaos kill, SIGKILL on deadline) is reaped and its slot
-   respawned without disturbing the rest of the pool — warm state in the
-   surviving children (decoded layouts, simulation caches) stays
-   resident. *)
+(* One pre-forked worker per slot, kept alive across batches on a pair
+   of pipes: the parent marshals a length-prefixed [(task ids, attempt,
+   inputs)] chunk down the task pipe, the child streams back one framed
+   [(task, reply)] per member and blocks reading the next chunk.  At
+   most one chunk is ever in flight per slot, members reply strictly in
+   chunk order, so the parent frames replies with [Marshal.header_size]
+   / [Marshal.data_size] out of a per-slot buffer and resets the slot's
+   per-task deadline after every member — a chunk never widens any one
+   task's deadline.  A worker that dies (crash, chaos kill, SIGKILL on
+   deadline) is reaped and its slot respawned without disturbing the
+   rest of the pool — warm state in the surviving children (decoded
+   layouts, simulation caches) stays resident; the dead chunk's
+   finished members keep their results, its unfinished tail is
+   re-enqueued as uncharged singletons. *)
 type fslot = {
   mutable s_pid : int;
   mutable s_to : Unix.file_descr; (* parent -> child task pipe *)
@@ -744,10 +951,12 @@ type fslot = {
   mutable s_alive : bool;
   s_buf : Buffer.t; (* partial reply bytes *)
   mutable s_busy : bool;
-  mutable s_task : int;
-  mutable s_attempt : int; (* 0-based *)
+  mutable s_tasks : int array; (* in-flight chunk, dispatch order *)
+  mutable s_done : int; (* members already replied *)
+  mutable s_attempt : int; (* 0-based; a chunk is all one attempt *)
+  mutable s_dup : bool; (* chunk involved in a steal *)
   mutable s_deadline : float; (* absolute; [infinity] when no timeout *)
-  mutable s_dispatched : float; (* absolute; 0 when telemetry is off *)
+  mutable s_last : float; (* dispatch / latest-reply time, absolute *)
 }
 
 type ('a, 'b) fork_state = {
@@ -757,6 +966,10 @@ type ('a, 'b) fork_state = {
   k_timeout_s : float option;
   k_retries : int;
   k_backoff_s : float;
+  k_target_s : float; (* chunk budget, seconds *)
+  k_cmin : int;
+  k_cmax : int;
+  mutable k_ewma : float; (* per-task cost estimate, seconds *)
 }
 
 (* The parent writes to task pipes whose child may have died; without
@@ -784,24 +997,31 @@ let wait_status pid =
   | _, status -> Some status
   | exception Unix.Unix_error _ -> None
 
-(* The worker loop run in each forked child: read one task, evaluate it,
-   write one reply, repeat until the parent closes the task pipe. *)
+(* The worker loop run in each forked child: read one chunk, evaluate
+   its members in order streaming one flushed reply each — so the parent
+   sees progress (and can reset the deadline) per task, not per chunk —
+   repeat until the parent closes the task pipe. *)
 let fork_child_loop (type a b) (f : a -> b) rd wr =
   let ic = Unix.in_channel_of_descr rd in
   let oc = Unix.out_channel_of_descr wr in
   (try
      while true do
-       let (task, attempt, x) : int * int * a = Marshal.from_channel ic in
-       let reply : b reply =
-         match
-           Chaos.task_point ~isolated:true ~key:task ~attempt:(attempt + 1);
-           f x
-         with
-         | v -> Value v
-         | exception e -> Raised (Printexc.to_string e)
+       let (tasks, attempt, inputs) : int array * int * a array =
+         Marshal.from_channel ic
        in
-       Marshal.to_channel oc reply [];
-       flush oc
+       Array.iteri
+         (fun k task ->
+           let reply : b reply =
+             match
+               Chaos.task_point ~isolated:true ~key:task ~attempt:(attempt + 1);
+               f inputs.(k)
+             with
+             | v -> Value v
+             | exception e -> Raised (Printexc.to_string e)
+           in
+           Marshal.to_channel oc (task, reply) [];
+           flush oc)
+         tasks
      done
    with _ -> ());
   Unix._exit 0
@@ -846,8 +1066,11 @@ let fork_spawn_into st slot =
     slot.s_alive <- true;
     slot.s_busy <- false;
     Buffer.clear slot.s_buf;
+    slot.s_tasks <- [||];
+    slot.s_done <- 0;
+    slot.s_dup <- false;
     slot.s_deadline <- infinity;
-    slot.s_dispatched <- 0.0
+    slot.s_last <- 0.0
 
 let init_fork (p : pool) f =
   ignore_sigpipe ();
@@ -859,10 +1082,12 @@ let init_fork (p : pool) f =
       s_alive = false;
       s_buf = Buffer.create 256;
       s_busy = false;
-      s_task = -1;
+      s_tasks = [||];
+      s_done = 0;
       s_attempt = 0;
+      s_dup = false;
       s_deadline = infinity;
-      s_dispatched = 0.0;
+      s_last = 0.0;
     }
   in
   let st =
@@ -873,6 +1098,10 @@ let init_fork (p : pool) f =
       k_timeout_s = p.timeout_s;
       k_retries = p.retries;
       k_backoff_s = p.backoff_s;
+      k_target_s = p.chunk_target_ms /. 1000.0;
+      k_cmin = p.chunk_min;
+      k_cmax = p.chunk_max;
+      k_ewma = seed_ewma ();
     }
   in
   let tel = Telemetry.enabled () in
@@ -928,39 +1157,49 @@ let fork_batch (st : ('a, 'b) fork_state) (xs : 'a array) =
   let crashes = ref 0 in
   let timeouts = ref 0 in
   let retried = ref 0 in
+  let steals = ref 0 in
   let timeout_s = st.k_timeout_s in
   let retries = st.k_retries in
   let backoff_s = st.k_backoff_s in
   (* Telemetry: per-task latency and queue wait are observed from the
      parent.  [queue_wait_s] is enqueue-to-dispatch only — pool spawn
-     cost lives under [parmap.pool_spawn_s] — and [task_s] is
-     dispatch-to-reply wall clock.  All of it is guarded: when disabled,
-     the pool never reads the clock on its behalf. *)
+     cost lives under [parmap.pool_spawn_s] — and [task_s] is the
+     reply-to-reply wall clock within a chunk (dispatch-to-first-reply
+     for its head).  The clock itself is read unconditionally: the
+     chunk-size EWMA needs the samples whether or not telemetry records
+     them, and neither chunking nor stealing can change a task's value,
+     only when it is computed. *)
   let tel = Telemetry.enabled () in
   let t_start = if tel then Telemetry.now_s () else 0.0 in
   let task_hist = Telemetry.Histogram.create () in
   let queue_hist = Telemetry.Histogram.create () in
   let busy = ref 0.0 in
-  let note_done slot =
-    if tel && slot.s_dispatched > 0.0 then begin
-      let d = now () -. slot.s_dispatched in
-      Telemetry.Histogram.add task_hist d;
-      Telemetry.observe "parmap.task_s" d;
-      busy := !busy +. d
-    end
+  let dispatch_s = ref 0.0 in
+  (* Per-task supervision state, shared by every dispatched copy of the
+     task: its current attempt, whether it settled, and how many live
+     copies are in flight (2 while a stolen tail runs twice; the first
+     reply wins, later ones are stale).  A copy from a superseded
+     attempt is also stale: retries bump [cur_attempt]. *)
+  let cur_attempt = Array.make n 0 in
+  let acked = Array.make n false in
+  let copies = Array.make n 0 in
+  let stale task attempt = acked.(task) || attempt <> cur_attempt.(task) in
+  if st.k_ewma <= 0.0 then st.k_ewma <- seed_ewma ();
+  let clen =
+    chunk_length ~target_s:st.k_target_s ~cmin:st.k_cmin ~cmax:st.k_cmax
+      ~jobs:st.k_jobs ~ewma:st.k_ewma ~tasks:n
   in
-  (* Tasks awaiting dispatch, FIFO, stamped with the time they became
+  (* Chunks awaiting dispatch, FIFO, stamped with the time they became
      ready; failed attempts wait out their backoff in [delayed] (sorted
-     by wake-up time). *)
-  let ready : (int * int * float) Queue.t = Queue.create () in
+     by wake-up time) and return as singletons. *)
+  let ready : (int array * int * float) Queue.t = Queue.create () in
   let enq0 = if tel then now () else 0.0 in
-  for i = 0 to n - 1 do
-    Queue.add (i, 0, enq0) ready
-  done;
+  List.iter (fun c -> Queue.add (c, 0, enq0) ready) (partition_chunks n clen);
   let delayed = ref [] in
   let remaining = ref n in
   let chunk = Bytes.create 65536 in
   let finish_failure ~task ~attempt kind =
+    acked.(task) <- true;
     (match kind with
     | `Crash msg ->
       incr crashes;
@@ -987,8 +1226,9 @@ let fork_batch (st : ('a, 'b) fork_state) (xs : 'a array) =
       decr remaining
     end
   in
-  (* Extract one framed reply from the slot's buffer, if complete. *)
-  let try_extract_reply slot : 'b reply option =
+  (* Extract one framed [(task, reply)] from the slot's buffer, if
+     complete. *)
+  let try_extract_reply slot : (int * 'b reply) option =
     let len = Buffer.length slot.s_buf in
     if len < Marshal.header_size then None
     else begin
@@ -997,32 +1237,77 @@ let fork_batch (st : ('a, 'b) fork_state) (xs : 'a array) =
       if len < total then None
       else begin
         let data = Bytes.of_string (Buffer.contents slot.s_buf) in
-        let v = (Marshal.from_bytes data 0 : 'b reply) in
+        let v = (Marshal.from_bytes data 0 : int * 'b reply) in
         Buffer.clear slot.s_buf;
         if len > total then Buffer.add_subbytes slot.s_buf data total (len - total);
         Some v
       end
     end
   in
-  let handle_reply slot reply =
-    let task = slot.s_task and attempt = slot.s_attempt in
-    note_done slot;
-    slot.s_busy <- false;
-    slot.s_deadline <- infinity;
-    slot.s_dispatched <- 0.0;
-    match reply with
-    | Value v ->
-      outcomes.(task) <- Ok v;
-      incr completed;
-      decr remaining
-    | Raised msg -> finish_failure ~task ~attempt (`Crash ("task raised: " ^ msg))
+  (* A member replied: feed the reply-to-reply gap to the EWMA, push the
+     slot's deadline out for its next member, and settle the task unless
+     a sibling copy got there first. *)
+  let note_event slot =
+    let t = now () in
+    let d = Float.max 0.0 (t -. slot.s_last) in
+    slot.s_last <- t;
+    st.k_ewma <- ewma_update st.k_ewma d;
+    if tel then begin
+      Telemetry.Histogram.add task_hist d;
+      Telemetry.observe "parmap.task_s" d;
+      busy := !busy +. d
+    end
   in
-  (* The worker died mid-task: any partial reply is torn.  Classify by
-     exit status, charge the attempt, and respawn the slot so the pool
+  let handle_reply slot (task, reply) =
+    note_event slot;
+    slot.s_done <- slot.s_done + 1;
+    if slot.s_done >= Array.length slot.s_tasks then begin
+      slot.s_busy <- false;
+      slot.s_deadline <- infinity
+    end
+    else
+      slot.s_deadline <-
+        (match timeout_s with Some d -> slot.s_last +. d | None -> infinity);
+    if not (stale task slot.s_attempt) then begin
+      copies.(task) <- copies.(task) - 1;
+      match reply with
+      | Value v ->
+        acked.(task) <- true;
+        outcomes.(task) <- Ok v;
+        incr completed;
+        decr remaining
+      | Raised msg ->
+        finish_failure ~task ~attempt:slot.s_attempt
+          (`Crash ("task raised: " ^ msg))
+    end
+  in
+  (* The slot's chunk is dead (worker death or deadline kill).  The
+     member it was executing is charged [kind] — unless a live sibling
+     copy still covers it — and the never-started tail is re-enqueued
+     uncharged as singletons at the same attempt, so a seeded chaos plan
+     keyed on attempt numbers fires identically under any chunking. *)
+  let salvage_members slot kind =
+    let len = Array.length slot.s_tasks in
+    for k = slot.s_done to len - 1 do
+      let task = slot.s_tasks.(k) in
+      if not (stale task slot.s_attempt) then begin
+        copies.(task) <- copies.(task) - 1;
+        if copies.(task) <= 0 then begin
+          if k = slot.s_done then
+            finish_failure ~task ~attempt:slot.s_attempt kind
+          else
+            Queue.add
+              ([| task |], slot.s_attempt, if tel then now () else 0.0)
+              ready
+        end
+      end
+    done
+  in
+  (* The worker died mid-chunk: any partial reply is torn.  Classify by
+     exit status, salvage the chunk, and respawn the slot so the pool
      keeps its capacity. *)
   let handle_death slot =
-    let task = slot.s_task and attempt = slot.s_attempt in
-    note_done slot;
+    note_event slot;
     let status = retire_slot slot in
     let msg =
       match status with
@@ -1030,42 +1315,68 @@ let fork_batch (st : ('a, 'b) fork_state) (xs : 'a array) =
       | Some status -> "worker " ^ describe_status status
       | None -> "worker vanished"
     in
-    finish_failure ~task ~attempt (`Crash msg);
+    salvage_members slot (`Crash msg);
     fork_spawn_into st slot
   in
-  let rec dispatch slot (task, attempt, enq) ~tries =
-    let msg = Marshal.to_bytes (task, attempt, xs.(task)) [] in
+  let rec dispatch slot ((tasks, attempt, enq) as job) ~tries =
+    let inputs = Array.map (fun t -> xs.(t)) tasks in
+    let t0 = now () in
+    let msg = Marshal.to_bytes (tasks, attempt, inputs) [] in
     match write_all slot.s_to msg with
     | () ->
       let t = now () in
-      if tel && enq > 0.0 then begin
-        let w = t -. enq in
-        Telemetry.Histogram.add queue_hist w;
-        Telemetry.observe "parmap.queue_wait_s" w
+      dispatch_s := !dispatch_s +. (t -. t0);
+      if tel then begin
+        Telemetry.observe "parmap.chunk_size"
+          (float_of_int (Array.length tasks));
+        if enq > 0.0 then begin
+          let w = Float.max 0.0 (t -. enq) in
+          Array.iter
+            (fun _ ->
+              Telemetry.Histogram.add queue_hist w;
+              Telemetry.observe "parmap.queue_wait_s" w)
+            tasks
+        end
       end;
+      Array.iter (fun task -> copies.(task) <- copies.(task) + 1) tasks;
       slot.s_busy <- true;
-      slot.s_task <- task;
+      slot.s_tasks <- tasks;
       slot.s_attempt <- attempt;
-      slot.s_dispatched <- (if tel then t else 0.0);
+      slot.s_done <- 0;
+      slot.s_dup <- false;
+      slot.s_last <- t;
       slot.s_deadline <-
-        (match timeout_s with Some d -> now () +. d | None -> infinity)
+        (match timeout_s with Some d -> t +. d | None -> infinity)
     | exception Unix.Unix_error ((Unix.EPIPE | Unix.EBADF), _, _) ->
       (* The idle worker died since its last task (a chaos kill landing
          between batches, the OOM killer): reap it, respawn the slot and
-         redispatch without charging the task an attempt. *)
+         redispatch without charging the tasks an attempt. *)
       ignore (retire_slot slot);
       fork_spawn_into st slot;
-      if tries > 0 then dispatch slot (task, attempt, enq) ~tries:(tries - 1)
-      else finish_failure ~task ~attempt (`Crash "worker unavailable")
+      if tries > 0 then dispatch slot job ~tries:(tries - 1)
+      else
+        Array.iter
+          (fun task ->
+            if
+              (not acked.(task))
+              && cur_attempt.(task) = attempt
+              && copies.(task) <= 0
+            then finish_failure ~task ~attempt (`Crash "worker unavailable"))
+          tasks
   in
   while !remaining > 0 do
     let t = now () in
-    (* Promote delayed retries whose backoff has elapsed. *)
+    (* Promote delayed retries whose backoff has elapsed.  The
+       promotion is what invalidates any still-running copy of the old
+       attempt: [cur_attempt] moves on, [copies] restarts at zero. *)
     let rec promote () =
       match !delayed with
       | (nb, task, att) :: rest when nb <= t ->
         delayed := rest;
-        Queue.add (task, att, if tel then t else 0.0) ready;
+        cur_attempt.(task) <- att;
+        acked.(task) <- false;
+        copies.(task) <- 0;
+        Queue.add ([| task |], att, if tel then t else 0.0) ready;
         promote ()
       | _ -> ()
     in
@@ -1075,6 +1386,63 @@ let fork_batch (st : ('a, 'b) fork_state) (xs : 'a array) =
         if s.s_alive && (not s.s_busy) && not (Queue.is_empty ready) then
           dispatch s (Queue.pop ready) ~tries:2)
       st.k_slots;
+    (* Work stealing: with nothing left to dispatch and a slot sitting
+       idle, re-dispatch the undone remainder of the slowest busy
+       chunk — the member in the straggler's hands included, since that
+       member is exactly the one a slow worker is sitting on — to the
+       idle slot.  First reply per task wins; the loser's is stale.
+       Guarded by the cost estimate (no steal before a chunk is ~4
+       expected tasks late) so healthy in-progress chunks are not
+       duplicated, and [s_dup] keeps any chunk from being stolen
+       twice. *)
+    if Queue.is_empty ready && !delayed = [] && !remaining > 0 then begin
+      let idle =
+        Array.fold_left
+          (fun acc s ->
+            match acc with
+            | Some _ -> acc
+            | None -> if s.s_alive && not s.s_busy then Some s else None)
+          None st.k_slots
+      in
+      match idle with
+      | None -> ()
+      | Some idle ->
+        let t = now () in
+        let late = Float.max 0.002 (4.0 *. st.k_ewma) in
+        let victim =
+          Array.fold_left
+            (fun acc s ->
+              if
+                s.s_busy && (not s.s_dup)
+                && Array.length s.s_tasks > s.s_done
+                && t -. s.s_last > late
+              then
+                match acc with
+                | Some v when v.s_last <= s.s_last -> acc
+                | _ -> Some s
+              else acc)
+            None st.k_slots
+        in
+        (match victim with
+        | None -> ()
+        | Some v ->
+          let tail =
+            Array.sub v.s_tasks v.s_done (Array.length v.s_tasks - v.s_done)
+          in
+          let tail =
+            Array.of_list
+              (List.filter
+                 (fun task -> not (stale task v.s_attempt))
+                 (Array.to_list tail))
+          in
+          if Array.length tail > 0 then begin
+            incr steals;
+            v.s_dup <- true;
+            (* enq 0: a stolen copy's wait is not a fresh queue wait. *)
+            dispatch idle (tail, v.s_attempt, 0.0) ~tries:2;
+            if idle.s_busy then idle.s_dup <- true
+          end)
+    end;
     let pending =
       Array.fold_left
         (fun acc s -> if s.s_busy then (s, s.s_from) :: acc else acc)
@@ -1123,35 +1491,54 @@ let fork_batch (st : ('a, 'b) fork_state) (xs : 'a array) =
               retry_eintr (fun () -> Unix.read fd chunk 0 (Bytes.length chunk))
             with
             | 0 -> handle_death slot
-            | k -> (
+            | k ->
               Buffer.add_subbytes slot.s_buf chunk 0 k;
-              match try_extract_reply slot with
-              | Some reply -> handle_reply slot reply
-              | None -> ()
-              | exception _ ->
-                (* Garbage on the wire: treat as a worker fault. *)
-                handle_death slot)
+              (* One read may carry several framed member replies. *)
+              let rec drain () =
+                if slot.s_busy then
+                  match try_extract_reply slot with
+                  | Some tr ->
+                    handle_reply slot tr;
+                    drain ()
+                  | None -> ()
+                  | exception _ ->
+                    (* Garbage on the wire: treat as a worker fault. *)
+                    handle_death slot
+              in
+              drain ()
             | exception Unix.Unix_error _ -> handle_death slot))
         readable;
       let t = now () in
       Array.iter
         (fun slot ->
           if slot.s_busy && slot.s_deadline <= t then begin
-            let task = slot.s_task and attempt = slot.s_attempt in
-            note_done slot;
+            note_event slot;
             (try Unix.kill slot.s_pid Sys.sigkill with Unix.Unix_error _ -> ());
             ignore (retire_slot slot);
-            finish_failure ~task ~attempt `Timeout;
+            salvage_members slot `Timeout;
             fork_spawn_into st slot
           end)
         st.k_slots
     end
   done;
+  (* Every task has settled, but a stolen chunk's slower copy may still
+     be running stale members.  Its replies must not leak into the next
+     batch's framing, so the slot is recycled rather than drained. *)
+  Array.iter
+    (fun slot ->
+      if slot.s_busy then begin
+        (try Unix.kill slot.s_pid Sys.sigkill with Unix.Unix_error _ -> ());
+        ignore (retire_slot slot);
+        fork_spawn_into st slot
+      end)
+    st.k_slots;
   if tel then begin
     let wall = Telemetry.now_s () -. t_start in
     Telemetry.incr ~by:!crashes "parmap.crashes";
     Telemetry.incr ~by:!timeouts "parmap.timeouts";
     Telemetry.incr ~by:!retried "parmap.retries";
+    Telemetry.incr ~by:!steals "parmap.steals";
+    Telemetry.observe "parmap.dispatch_s" !dispatch_s;
     let pct h p = Telemetry.Histogram.percentile h p in
     Telemetry.emit ~kind:"pool"
       [
@@ -1163,6 +1550,9 @@ let fork_batch (st : ('a, 'b) fork_state) (xs : 'a array) =
         ("crashes", Telemetry.Int !crashes);
         ("timeouts", Telemetry.Int !timeouts);
         ("retries", Telemetry.Int !retried);
+        ("chunk_len", Telemetry.Int clen);
+        ("steals", Telemetry.Int !steals);
+        ("dispatch_s", Telemetry.Float !dispatch_s);
         ("wall_s", Telemetry.Float wall);
         ("busy_s", Telemetry.Float !busy);
         ( "utilization",

@@ -67,6 +67,17 @@ type pool = private {
           enforced (safepoint polling + quarantine) on [`Domains] *)
   retries : int;  (** re-runs after crash/timeout; [`Fork] and [`Domains] *)
   backoff_s : float;  (** initial retry backoff, doubling *)
+  chunk_target_ms : float;
+      (** how much estimated work one dispatch round-trip should
+          amortize: the supervised dispatchers group tasks into chunks
+          of ~[chunk_target_ms] milliseconds, using an EWMA of observed
+          per-task cost (seeded from [parmap.task_s] telemetry when
+          available, re-estimated every batch) *)
+  chunk_min : int;
+      (** chunk-length floor.  The default, 1, makes an unseeded first
+          batch dispatch single tasks — exactly the pre-chunking
+          protocol and the [-j1]-compatible reference. *)
+  chunk_max : int;  (** chunk-length ceiling *)
   ignored_limits : string list;
       (** supervision limits this backend cannot honor, recorded at
           construction time and warned about once per process.  After
@@ -83,13 +94,21 @@ val pool :
   ?timeout_s:float ->
   ?retries:int ->
   ?backoff_s:float ->
+  ?chunk_target_ms:float ->
+  ?chunk_min:int ->
+  ?chunk_max:int ->
   unit ->
   pool
 (** Validating constructor (defaults: [`Fork], 1 job, no timeout, 1
-    retry, 0.05s backoff).  Rejects [jobs < 1] — a zero or negative
-    worker count is a configuration error, not a request for sequential
-    execution — as well as non-positive [timeout_s], negative [retries]
-    and negative [backoff_s].
+    retry, 0.05s backoff, 2ms chunk target, chunk bounds [1, 64]).
+    Rejects [jobs < 1] — a zero or negative worker count is a
+    configuration error, not a request for sequential execution — as
+    well as non-positive [timeout_s], negative [retries], negative
+    [backoff_s], non-positive or non-finite [chunk_target_ms],
+    [chunk_min < 1] and [chunk_max < chunk_min].  Force
+    [~chunk_min:1 ~chunk_max:1] to pin the pre-chunking one-task
+    protocol (useful when tasks are so coarse or so variable that any
+    grouping risks imbalance the stealer must then undo).
     @raise Invalid_argument on any of the above. *)
 
 val retry_eintr : (unit -> 'a) -> 'a
@@ -152,9 +171,9 @@ type ('a, 'b) handle
 (** A long-lived worker pool bound to one task function.  Creating a
     handle is free; the workers are spawned lazily on the first
     {!run_batch} and then stay resident across batches: [`Domains]
-    keeps its spawned domains parked on the work queue, [`Fork] keeps
-    pre-forked workers alive on pipes (the parent marshals each task's
-    input down, the child streams one reply back per task).  Warm state
+    keeps its spawned domains parked on their deques, [`Fork] keeps
+    pre-forked workers alive on pipes (the parent marshals task chunks
+    down, the child streams one reply back per member).  Warm state
     in the workers — decoded layout artifacts, simulation-cache
     entries, anything the task function memoizes — survives from batch
     to batch instead of being re-derived per call, which is what makes
@@ -212,19 +231,34 @@ val run_supervised :
     must propagate to the worker (catching it swallows the deadline).
     [`Seq] (and [`Fork] without fork support): exception isolation only,
     sequentially, with [f]'s side effects observable; deadlines and
-    retries are inert there (see {!pool.ignored_limits}).  Deterministic
-    for pure [f]: outcomes depend only on [f] and [xs], not on
-    scheduling.
+    retries are inert there (see {!pool.ignored_limits}).
+
+    Both parallel dispatchers group tasks into chunks sized by
+    {!pool.chunk_target_ms} and rebalance stragglers: [`Domains]
+    workers steal the younger half of the fullest sibling deque when
+    their own runs dry, and the [`Fork] parent re-dispatches the
+    unfinished remainder of the slowest chunk to an idle worker (first
+    reply per task wins, duplicates are discarded by task id).
+    Supervision stays per task: deadlines reset member by member, a
+    failure re-splits only the affected chunk, and retry attempt
+    numbers are preserved across re-splits.  Deterministic for pure
+    [f]: outcomes depend only on [f] and [xs] — not on scheduling,
+    chunk size, or which copy of a stolen task replied first, because
+    every copy computes the same value and results are reassembled in
+    input order.
 
     With {!Telemetry} enabled, every supervised batch emits one
-    [kind = "pool"] record (carrying a ["backend"] field), and both
-    parallel supervisors observe per-task latency ([parmap.task_s],
-    dispatch-to-result) and queue wait ([parmap.queue_wait_s],
+    [kind = "pool"] record (carrying ["backend"], ["chunk_len"],
+    ["steals"] and ["dispatch_s"] fields), and both parallel
+    supervisors observe per-task latency ([parmap.task_s],
+    reply-to-reply within a chunk), queue wait ([parmap.queue_wait_s],
     enqueue-to-dispatch only — worker spawn cost is recorded separately
     under [parmap.pool_spawn_s] when a handle first populates its
-    pool).  Forked workers drop the inherited sink and domain workers
-    suppress instrumentation domain-locally, so worker-side records
-    never interleave into the parent's stream. *)
+    pool), dispatched chunk sizes ([parmap.chunk_size]), per-batch
+    dispatch overhead ([parmap.dispatch_s]) and a process-wide steal
+    count ([parmap.steals]).  Forked workers drop the inherited sink
+    and domain workers suppress instrumentation domain-locally, so
+    worker-side records never interleave into the parent's stream. *)
 
 val supervised :
   ?jobs:int ->

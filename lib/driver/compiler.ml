@@ -57,13 +57,17 @@ let compile ?(hb_config = Hyperblock.Form.default_config)
      early loop-nest phase): induction-variable analysis sees clean loop
      structure, and inserted prefetches then flow through if-conversion,
      allocation and scheduling like any other instruction. *)
+  (* Both the compiled and the walker paths batch per function: the
+     batched entry points take the same per-point interpreter when
+     [compiled] is off, so toggling [compiled_eval] compares evaluators,
+     not pass structure — and both are bit-identical anyway. *)
   let prefetches =
     match heuristics.pf_confidence with
     | None -> { Prefetch.Insert.candidates = 0; inserted = 0 }
     | Some conf ->
-      Prefetch.Insert.run
-        ~decision:
-          (Prefetch.Insert.decision_of_expr ~compiled ~machine prog conf)
+      Prefetch.Insert.run_batched
+        ~decision_batch:
+          (Prefetch.Insert.decision_batch_of_expr ~compiled ~machine prog conf)
         prog
   in
   let hb_stats =
@@ -72,7 +76,8 @@ let compile ?(hb_config = Hyperblock.Form.default_config)
   in
   let spills =
     Regalloc.Alloc.run
-      ~savings:(Regalloc.Alloc.savings_of_expr ~compiled heuristics.ra_savings)
+      ~savings_batch:
+        (Regalloc.Alloc.savings_batch_of_expr ~compiled heuristics.ra_savings)
       ~machine prog
   in
   (* The baseline ranking skips the expression interpreter. *)

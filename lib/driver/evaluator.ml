@@ -70,13 +70,16 @@ let digest_key t key case =
 
 let create ?(backend = `Fork) ?(jobs = 1) ?cache_dir
     ?(cache_shards = Shardstore.default_shards) ?timeout_s ?(retries = 1)
-    ~fs ~scope ~case_name ~eval () =
+    ?chunk_target_ms ?chunk_min ?chunk_max ~fs ~scope ~case_name ~eval () =
   if jobs < 1 then
     invalid_arg
       (Printf.sprintf
          "Evaluator.create: jobs must be a positive worker count (got %d)"
          jobs);
-  let pool = Gp.Parmap.pool ~backend ~jobs ?timeout_s ~retries () in
+  let pool =
+    Gp.Parmap.pool ~backend ~jobs ?timeout_s ~retries ?chunk_target_ms
+      ?chunk_min ?chunk_max ()
+  in
   let store =
     Option.map (fun dir -> Shardstore.open_store ~shards:cache_shards dir)
       cache_dir

@@ -92,6 +92,9 @@ val create :
   ?cache_shards:int ->
   ?timeout_s:float ->
   ?retries:int ->
+  ?chunk_target_ms:float ->
+  ?chunk_min:int ->
+  ?chunk_max:int ->
   fs:Gp.Feature_set.t ->
   scope:string ->
   case_name:(int -> string) ->
@@ -114,6 +117,9 @@ val create :
     [timeout_s] (default: none) bounds one evaluation's wall
     clock; [retries] (default 1) is how many times a crashed or hung
     evaluation is re-run on a fresh worker before being abandoned.
+    [chunk_target_ms] / [chunk_min] / [chunk_max] tune the pool's
+    adaptive chunked dispatch (see {!Gp.Parmap.pool}); defaults are the
+    pool's own.
     Results are sanitized: non-finite or negative values score 0.  With
     [jobs <= 1] and no [timeout_s] (or [`Seq]), evaluation is sequential
     in-process (side effects of [eval] remain observable; a raising

@@ -78,6 +78,9 @@ type config = {
   checkpoint_dir : string option;
   timeout_s : float option;
   retries : int;
+  chunk_target_ms : float option;
+  chunk_min : int option;
+  chunk_max : int option;
   fast_sim : bool;
   compiled_eval : bool;
 }
@@ -93,6 +96,9 @@ let default_config =
     checkpoint_dir = None;
     timeout_s = None;
     retries = 1;
+    chunk_target_ms = None;
+    chunk_min = None;
+    chunk_max = None;
     fast_sim = true;
     compiled_eval = true;
   }
@@ -112,6 +118,9 @@ let config_of ?params ?machine ?jobs ?cache_dir ?timeout_s ?retries
     checkpoint_dir;
     timeout_s;
     retries = Option.value ~default:d.retries retries;
+    chunk_target_ms = d.chunk_target_ms;
+    chunk_min = d.chunk_min;
+    chunk_max = d.chunk_max;
     fast_sim = Option.value ~default:d.fast_sim fast_sim;
     compiled_eval = d.compiled_eval;
   }
@@ -239,7 +248,8 @@ let create_with (cfg : config) (kind : kind) (bench_names : string list) :
     Evaluator.create ~backend:cfg.backend ~jobs:cfg.jobs
       ?cache_dir:cfg.cache_dir ~cache_shards:cfg.cache_shards
       ?timeout_s:cfg.timeout_s ~retries:cfg.retries
-      ~fs:(feature_set_of kind)
+      ?chunk_target_ms:cfg.chunk_target_ms ?chunk_min:cfg.chunk_min
+      ?chunk_max:cfg.chunk_max ~fs:(feature_set_of kind)
       ~scope:
         (Printf.sprintf "%s/%s/%s" (kind_name kind)
            machine.Machine.Config.name (dataset_name dataset))

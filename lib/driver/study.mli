@@ -50,6 +50,11 @@ type config = {
   checkpoint_dir : string option;  (** per-generation checkpointing *)
   timeout_s : float option;      (** per-evaluation deadline (fork only) *)
   retries : int;                 (** re-runs of a crashed/hung task *)
+  chunk_target_ms : float option;
+      (** target per-chunk wall clock of the pool's adaptive dispatch
+          (see {!Gp.Parmap.pool}); [None] = the pool's default *)
+  chunk_min : int option;        (** chunk-length floor; [None] = default *)
+  chunk_max : int option;        (** chunk-length ceiling; [None] = default *)
   fast_sim : bool;               (** {!Simcache} fast paths, default on *)
   compiled_eval : bool;
       (** evaluate heuristic expressions through the {!Gp.Evalc} bytecode

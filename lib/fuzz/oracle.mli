@@ -1,4 +1,4 @@
-(** The nine differential oracles.
+(** The ten differential oracles.
 
     Each oracle runs one seeded trial of a redundancy the repo's results
     rest on — fast vs reference interpreter, trace replay vs fresh
@@ -7,9 +7,11 @@
     [Parmap] at one vs many jobs (fork and domains backends),
     [Evalc] compiled bytecode vs the [Eval] tree-walker, a
     chaos-injected supervised run vs the fault-free [`Seq] -j1
-    reference, and a warm persistent worker pool over several batches
-    vs a cold one-shot pool — comparing every float through
-    [Int64.bits_of_float].
+    reference, a warm persistent worker pool over several batches
+    vs a cold one-shot pool, and chunked dispatch under a random
+    chunk floor/ceiling with a napping straggler (steal/reassign
+    exercised) vs the sequential reference — comparing every float
+    through [Int64.bits_of_float].
     Failures come back as a replayable report with a greedily shrunk
     counterexample. *)
 
@@ -25,7 +27,7 @@ type t = {
 
 val all : t list
 (** engine, replay, cache, simplify, checkpoint, parmap,
-    compiled_vs_walk, chaos_vs_clean, warm_vs_cold. *)
+    compiled_vs_walk, chaos_vs_clean, warm_vs_cold, chunked_vs_seq. *)
 
 val find : string -> t option
 val names : string list

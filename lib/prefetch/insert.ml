@@ -29,27 +29,61 @@ let decision_of_expr ?(compiled = true) ~machine (p : Ir.Func.program)
   in
   fun c -> eval (Features.environment ~machine p c)
 
+(* Vectorized form: all of a function's eligible candidates through one
+   batch evaluation. *)
+type decision_batch = Analysis.candidate array -> bool array
+
+let decision_batch_of_expr ?(compiled = true) ~machine (p : Ir.Func.program)
+    (e : Gp.Expr.bexpr) : decision_batch =
+  if compiled then begin
+    let prog = Gp.Evalc.compile_bool e in
+    fun cs ->
+      Gp.Evalc.run_batch_bool prog
+        (Array.map (fun c -> Features.environment ~machine p c) cs)
+  end
+  else
+    fun cs ->
+      Array.map
+        (fun c -> Gp.Eval.bool (Features.environment ~machine p c) e)
+        cs
+
 type stats = {
   candidates : int;
   inserted : int;
 }
 
-let run ?(config = default_config) ~(decision : decision_fn)
-    (p : Ir.Func.program) : stats =
+let run_with ?(config = default_config)
+    ~(decide : Analysis.candidate array -> bool array) (p : Ir.Func.program) :
+    stats =
   let candidates = ref 0 and inserted = ref 0 in
   List.iter
     (fun (f : Ir.Func.t) ->
       let cands = Analysis.candidates f in
       candidates := !candidates + List.length cands;
-      (* Group accepted candidates by (block, instr id). *)
+      (* Only candidates with a known non-zero stride can be prefetched:
+         the confidence function is consulted for those alone, in
+         candidate order, one batch per function.  Group the accepted
+         ones by (block, instr id). *)
+      let eligible =
+        Array.of_list
+          (List.filter
+             (fun (c : Analysis.candidate) ->
+               match c.Analysis.stride with Some s -> s <> 0 | None -> false)
+             cands)
+      in
+      let verdicts =
+        if Array.length eligible = 0 then [||] else decide eligible
+      in
       let accepted = Hashtbl.create 16 in
-      List.iter
-        (fun (c : Analysis.candidate) ->
-          match c.Analysis.stride with
-          | Some s when s <> 0 && decision c ->
-            Hashtbl.replace accepted (c.Analysis.block_label, c.Analysis.instr_id) s
-          | _ -> ())
-        cands;
+      Array.iteri
+        (fun k (c : Analysis.candidate) ->
+          if verdicts.(k) then
+            match c.Analysis.stride with
+            | Some s ->
+              Hashtbl.replace accepted
+                (c.Analysis.block_label, c.Analysis.instr_id) s
+            | None -> ())
+        eligible;
       if Hashtbl.length accepted > 0 then begin
         List.iter
           (fun (b : Ir.Func.block) ->
@@ -96,3 +130,10 @@ let run ?(config = default_config) ~(decision : decision_fn)
       end)
     p.Ir.Func.funcs;
   { candidates = !candidates; inserted = !inserted }
+
+let run ?config ~(decision : decision_fn) (p : Ir.Func.program) : stats =
+  run_with ?config ~decide:(fun cs -> Array.map decision cs) p
+
+let run_batched ?config ~(decision_batch : decision_batch)
+    (p : Ir.Func.program) : stats =
+  run_with ?config ~decide:decision_batch p

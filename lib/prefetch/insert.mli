@@ -23,9 +23,30 @@ val decision_of_expr :
     [~compiled:false] keeps the {!Gp.Eval} tree-walker, the bit-identical
     executable reference. *)
 
+type decision_batch = Analysis.candidate array -> bool array
+(** Vectorized confidence: one call judges many candidates.  With
+    {!run_batched} the pass batches all of a function's eligible
+    candidates (known non-zero stride) through a single evaluation —
+    same verdicts, bit-identical insertions to {!decision_fn}. *)
+
+val decision_batch_of_expr :
+  ?compiled:bool ->
+  machine:Machine.Config.t ->
+  Ir.Func.program ->
+  Gp.Expr.bexpr ->
+  decision_batch
+(** Batch counterpart of {!decision_of_expr}:
+    {!Gp.Evalc.run_batch_bool} when [compiled] (default), a per-point
+    tree walk otherwise. *)
+
 type stats = {
   candidates : int;
   inserted : int;
 }
 
 val run : ?config:config -> decision:decision_fn -> Ir.Func.program -> stats
+
+val run_batched :
+  ?config:config -> decision_batch:decision_batch -> Ir.Func.program -> stats
+(** {!run} with the confidence function consulted once per function
+    over the eligible-candidate array instead of once per candidate. *)

@@ -47,6 +47,19 @@ let baseline_savings : savings_fn =
 let savings_of_expr ?(compiled = true) (e : Gp.Expr.rexpr) : savings_fn =
   if compiled then Gp.Evalc.real_fn e else fun env -> Gp.Eval.real env e
 
+(* Vectorized form: all of a function's (range, block) feature vectors
+   through one batch evaluation, instruction dispatch amortised across
+   the function instead of paid per pair. *)
+type savings_batch = Gp.Feature_set.env array -> float array
+
+let savings_batch_of_expr ?(compiled = true) (e : Gp.Expr.rexpr) :
+    savings_batch =
+  if compiled then begin
+    let p = Gp.Evalc.compile_real e in
+    fun envs -> Gp.Evalc.run_batch p envs
+  end
+  else fun envs -> Array.map (fun env -> Gp.Eval.real env e) envs
+
 let block_weight depth = 10.0 ** float_of_int (min depth 3)
 
 let build_ranges (f : Ir.Func.t) (g : Ir.Cfg.t) (live : Liveness.t) :
@@ -108,33 +121,37 @@ let build_ranges (f : Ir.Func.t) (g : Ir.Cfg.t) (live : Liveness.t) :
 let interferes (a : live_range) (b : live_range) =
   List.exists (fun bi -> List.mem bi b.blocks) a.blocks
 
+(* The feature vector of one (range, block) pair. *)
+let block_env (g : Ir.Cfg.t) depth (calls_per_block : int array)
+    (lr : live_range) ~n_blocks bi : Gp.Feature_set.env =
+  let fs = Features.feature_set in
+  let env = Gp.Feature_set.empty_env fs in
+  let set = Gp.Feature_set.set_real fs env in
+  set "uses" (float_of_int lr.uses_per_block.(bi));
+  set "defs" (float_of_int lr.defs_per_block.(bi));
+  set "w" (block_weight depth.(bi));
+  set "loop_depth" (float_of_int depth.(bi));
+  set "block_ops"
+    (float_of_int (List.length (Ir.Cfg.block_of g bi).Ir.Func.instrs));
+  set "calls_in_block" (float_of_int calls_per_block.(bi));
+  set "range_blocks" n_blocks;
+  set "range_uses" (float_of_int lr.total_uses);
+  set "range_defs" (float_of_int lr.total_defs);
+  set "degree" (float_of_int lr.degree);
+  let setb = Gp.Feature_set.set_bool fs env in
+  setb "is_param" lr.is_param;
+  setb "spans_call" lr.spans_call;
+  setb "in_loop" (depth.(bi) > 0);
+  env
+
 (* Evaluate the priority of one range: Equation (3). *)
 let range_priority (savings : savings_fn) (g : Ir.Cfg.t) depth
     (calls_per_block : int array) (lr : live_range) : float =
-  let fs = Features.feature_set in
   let n_blocks = float_of_int (List.length lr.blocks) in
   let total =
     List.fold_left
       (fun acc bi ->
-        let env = Gp.Feature_set.empty_env fs in
-        let set = Gp.Feature_set.set_real fs env in
-        set "uses" (float_of_int lr.uses_per_block.(bi));
-        set "defs" (float_of_int lr.defs_per_block.(bi));
-        set "w" (block_weight depth.(bi));
-        set "loop_depth" (float_of_int depth.(bi));
-        set "block_ops"
-          (float_of_int
-             (List.length (Ir.Cfg.block_of g bi).Ir.Func.instrs));
-        set "calls_in_block" (float_of_int calls_per_block.(bi));
-        set "range_blocks" n_blocks;
-        set "range_uses" (float_of_int lr.total_uses);
-        set "range_defs" (float_of_int lr.total_defs);
-        set "degree" (float_of_int lr.degree);
-        let setb = Gp.Feature_set.set_bool fs env in
-        setb "is_param" lr.is_param;
-        setb "spans_call" lr.spans_call;
-        setb "in_loop" (depth.(bi) > 0);
-        acc +. savings env)
+        acc +. savings (block_env g depth calls_per_block lr ~n_blocks bi))
       0.0 lr.blocks
   in
   total /. Float.max 1.0 n_blocks
@@ -201,8 +218,8 @@ let insert_spills (f : Ir.Func.t) (spilled : Ir.Types.reg list) : unit =
 
 (* --- Driver ------------------------------------------------------------- *)
 
-let run_func ?(savings = baseline_savings) ~(machine : Machine.Config.t)
-    (f : Ir.Func.t) : result =
+let run_func ?(savings = baseline_savings) ?savings_batch
+    ~(machine : Machine.Config.t) (f : Ir.Func.t) : result =
   let g = Ir.Cfg.build f in
   let live = Liveness.compute f g in
   let depth = Ir.Cfg.loop_depth g in
@@ -230,9 +247,41 @@ let run_func ?(savings = baseline_savings) ~(machine : Machine.Config.t)
   Array.iteri
     (fun i lr -> lr.degree <- List.length neighbors.(i))
     arr;
-  Array.iter
-    (fun lr -> lr.priority <- range_priority savings g depth calls_per_block lr)
-    arr;
+  (match savings_batch with
+  | None ->
+    Array.iter
+      (fun lr ->
+        lr.priority <- range_priority savings g depth calls_per_block lr)
+      arr
+  | Some batch ->
+    (* Vectorized Equation (3): every (range, block) pair's feature
+       vector in range-then-block order through one batch call, then
+       per-range sums folded left in exactly [range_priority]'s
+       order — bit-identical to the pointwise path. *)
+    let envs =
+      Array.concat
+        (Array.to_list
+           (Array.map
+              (fun lr ->
+                let n_blocks = float_of_int (List.length lr.blocks) in
+                Array.of_list
+                  (List.map
+                     (block_env g depth calls_per_block lr ~n_blocks)
+                     lr.blocks))
+              arr))
+    in
+    let vals = batch envs in
+    let off = ref 0 in
+    Array.iter
+      (fun lr ->
+        let nb = List.length lr.blocks in
+        let total = ref 0.0 in
+        for j = !off to !off + nb - 1 do
+          total := !total +. vals.(j)
+        done;
+        off := !off + nb;
+        lr.priority <- !total /. Float.max 1.0 (float_of_int nb))
+      arr);
   (* Color in priority order. *)
   let k = machine.Machine.Config.gpr in
   let order = Array.init m Fun.id in
@@ -270,9 +319,10 @@ let run_func ?(savings = baseline_savings) ~(machine : Machine.Config.t)
     n_colors_used = !max_color + 1;
   }
 
-let run ?savings ~machine (p : Ir.Func.program) : int (* total spills *) =
+let run ?savings ?savings_batch ~machine (p : Ir.Func.program) :
+    int (* total spills *) =
   List.fold_left
     (fun acc f ->
-      let r = run_func ?savings ~machine f in
+      let r = run_func ?savings ?savings_batch ~machine f in
       acc + List.length r.spilled)
     0 p.Ir.Func.funcs

@@ -44,6 +44,17 @@ val savings_of_expr : ?compiled:bool -> Gp.Expr.rexpr -> savings_fn
     keeps the {!Gp.Eval} tree-walker, the bit-identical executable
     reference. *)
 
+type savings_batch = Gp.Feature_set.env array -> float array
+(** Vectorized savings: one call scores many (range, block) feature
+    vectors.  Passed to {!run_func} / {!run}, the allocator batches all
+    of a function's pairs through a single evaluation instead of one
+    interpreter entry per pair — same sums, same priorities, bit
+    identical to {!savings_fn}. *)
+
+val savings_batch_of_expr : ?compiled:bool -> Gp.Expr.rexpr -> savings_batch
+(** Batch counterpart of {!savings_of_expr}: {!Gp.Evalc.run_batch} when
+    [compiled] (default), a per-point tree walk otherwise. *)
+
 val block_weight : int -> float
 (** Static execution-frequency estimate from loop depth (10^depth,
     capped). *)
@@ -51,9 +62,20 @@ val block_weight : int -> float
 val insert_spills : Ir.Func.t -> Ir.Types.reg list -> unit
 
 val run_func :
-  ?savings:savings_fn -> machine:Machine.Config.t -> Ir.Func.t -> result
+  ?savings:savings_fn ->
+  ?savings_batch:savings_batch ->
+  machine:Machine.Config.t ->
+  Ir.Func.t ->
+  result
+(** When [savings_batch] is given it supersedes [savings]: priorities
+    come from one vectorized evaluation over every (range, block) pair
+    of the function. *)
 
 val run :
-  ?savings:savings_fn -> machine:Machine.Config.t -> Ir.Func.program -> int
+  ?savings:savings_fn ->
+  ?savings_batch:savings_batch ->
+  machine:Machine.Config.t ->
+  Ir.Func.program ->
+  int
 (** Allocates every function; returns the total number of spilled
     ranges. *)

@@ -119,6 +119,16 @@ let test_pool_validation () =
       Gp.Parmap.pool ~timeout_s:(-1.0) ());
   expect_invalid "retries < 0" (fun () -> Gp.Parmap.pool ~retries:(-1) ());
   expect_invalid "backoff_s < 0" (fun () -> Gp.Parmap.pool ~backoff_s:(-0.1) ());
+  expect_invalid "chunk_min = 0" (fun () -> Gp.Parmap.pool ~chunk_min:0 ());
+  expect_invalid "chunk_min < 0" (fun () -> Gp.Parmap.pool ~chunk_min:(-2) ());
+  expect_invalid "chunk_max < chunk_min" (fun () ->
+      Gp.Parmap.pool ~chunk_min:4 ~chunk_max:2 ());
+  expect_invalid "chunk_target_ms = 0" (fun () ->
+      Gp.Parmap.pool ~chunk_target_ms:0.0 ());
+  expect_invalid "chunk_target_ms < 0" (fun () ->
+      Gp.Parmap.pool ~chunk_target_ms:(-1.0) ());
+  expect_invalid "chunk_target_ms nan" (fun () ->
+      Gp.Parmap.pool ~chunk_target_ms:nan ());
   (* the legacy wrappers and the evaluator validate too — a zero worker
      count is a configuration error, not a request for sequential runs *)
   expect_invalid "map ~jobs:0" (fun () ->
@@ -130,9 +140,20 @@ let test_pool_validation () =
         ~scope:"invalid" ~case_name:string_of_int
         ~eval:(fun _ _ -> 0.0)
         ());
-  let p = Gp.Parmap.pool ~backend:`Seq ~jobs:3 ~retries:2 () in
+  let p =
+    Gp.Parmap.pool ~backend:`Seq ~jobs:3 ~retries:2 ~chunk_target_ms:5.0
+      ~chunk_min:2 ~chunk_max:32 ()
+  in
   Alcotest.(check int) "valid pool keeps jobs" 3 p.Gp.Parmap.jobs;
-  Alcotest.(check int) "valid pool keeps retries" 2 p.Gp.Parmap.retries
+  Alcotest.(check int) "valid pool keeps retries" 2 p.Gp.Parmap.retries;
+  Alcotest.(check (float 0.0)) "valid pool keeps chunk target" 5.0
+    p.Gp.Parmap.chunk_target_ms;
+  Alcotest.(check int) "valid pool keeps chunk floor" 2 p.Gp.Parmap.chunk_min;
+  Alcotest.(check int) "valid pool keeps chunk ceiling" 32
+    p.Gp.Parmap.chunk_max;
+  (* a pinned chunk of one is the pre-chunking reference protocol and
+     must be accepted *)
+  ignore (Gp.Parmap.pool ~chunk_min:1 ~chunk_max:1 ())
 
 let test_capabilities () =
   let caps = Gp.Parmap.capabilities () in
@@ -657,6 +678,143 @@ let test_handle_shutdown_semantics () =
   | _ -> Alcotest.fail "run_batch after shutdown must raise"
   | exception Invalid_argument _ -> ()
 
+(* --- Chunked dispatch ----------------------------------------------------- *)
+
+(* Chunk-geometry edge cases: a pinned chunk of 1 (the pre-chunking
+   reference protocol), a chunk longer than the whole batch, an uneven
+   remainder, and an oversubscribed pool must all return every result,
+   in canonical order, exactly once. *)
+let test_chunk_boundaries () =
+  if Gp.Parmap.available then begin
+    let f x = (x * 3) + 1 in
+    let check name ~jobs ~cmin ~cmax n =
+      let pool =
+        Gp.Parmap.pool ~backend:`Fork ~jobs ~retries:0 ~chunk_min:cmin
+          ~chunk_max:cmax ()
+      in
+      let xs = Array.init n Fun.id in
+      let h = Gp.Parmap.create pool ~f in
+      Fun.protect
+        ~finally:(fun () -> Gp.Parmap.shutdown h)
+        (fun () ->
+          let outcomes, stats = Gp.Parmap.run_batch h xs in
+          Alcotest.(check int)
+            (name ^ ": every task completed exactly once")
+            n stats.Gp.Parmap.completed;
+          Array.iteri
+            (fun i o ->
+              match o with
+              | Gp.Parmap.Ok v ->
+                Alcotest.(check int) (Printf.sprintf "%s: task %d" name i)
+                  (f i) v
+              | _ -> Alcotest.failf "%s: task %d not Ok" name i)
+            outcomes)
+    in
+    check "chunk pinned to 1" ~jobs:2 ~cmin:1 ~cmax:1 10;
+    check "chunk longer than the batch" ~jobs:2 ~cmin:16 ~cmax:16 5;
+    check "uneven remainder" ~jobs:3 ~cmin:4 ~cmax:4 10;
+    check "oversubscribed" ~jobs:8 ~cmin:2 ~cmax:8 3
+  end
+
+(* A straggler napping mid-batch must not stall it: the parent reassigns
+   the slow worker's unacked chunk members to idle workers, every task
+   still completes exactly once (first reply wins, so the duplicate
+   copies cannot double-report), and the wall clock is bounded by one
+   nap, not the nap times the chunk length. *)
+let test_straggler_slow () =
+  if Gp.Parmap.available then begin
+    let n = 24 in
+    let plan =
+      {
+        Gp.Chaos.seed = 0;
+        rules =
+          [
+            {
+              Gp.Chaos.r_site = Gp.Chaos.site_parmap_task;
+              r_key = Some 3;
+              r_attempt = Some 1;
+              r_fault = Gp.Chaos.Slow 0.3;
+            };
+          ];
+      }
+    in
+    let pool =
+      Gp.Parmap.pool ~backend:`Fork ~jobs:2 ~retries:0 ~chunk_min:4
+        ~chunk_max:8 ()
+    in
+    let h = Gp.Parmap.create pool ~f:(fun x -> x * x) in
+    Fun.protect
+      ~finally:(fun () ->
+        Gp.Chaos.disarm ();
+        Gp.Parmap.shutdown h)
+      (fun () ->
+        Gp.Chaos.arm plan;
+        let t0 = Unix.gettimeofday () in
+        let outcomes, stats = Gp.Parmap.run_batch h (Array.init n Fun.id) in
+        let wall = Unix.gettimeofday () -. t0 in
+        Alcotest.(check int) "every task completed exactly once" n
+          stats.Gp.Parmap.completed;
+        Array.iteri
+          (fun i o ->
+            match o with
+            | Gp.Parmap.Ok v ->
+              Alcotest.(check int) (Printf.sprintf "task %d" i) (i * i) v
+            | _ -> Alcotest.failf "task %d lost to the straggler" i)
+          outcomes;
+        Alcotest.(check bool)
+          (Printf.sprintf "bounded wall clock (%.2fs)" wall)
+          true (wall < 10.0))
+  end
+
+(* A worker hanging mid-chunk is killed at the deadline: only the hung
+   task times out, the rest of its chunk is re-run elsewhere, and the
+   batch ends in bounded time with no task lost or duplicated. *)
+let test_straggler_hang () =
+  if Gp.Parmap.available then begin
+    let n = 12 in
+    let plan =
+      {
+        Gp.Chaos.seed = 0;
+        rules =
+          [
+            {
+              Gp.Chaos.r_site = Gp.Chaos.site_parmap_task;
+              r_key = Some 5;
+              r_attempt = None;
+              r_fault = Gp.Chaos.Hang;
+            };
+          ];
+      }
+    in
+    let pool =
+      Gp.Parmap.pool ~backend:`Fork ~jobs:2 ~timeout_s:0.4 ~retries:0
+        ~chunk_min:3 ~chunk_max:6 ()
+    in
+    let h = Gp.Parmap.create pool ~f:(fun x -> x + 100) in
+    Fun.protect
+      ~finally:(fun () ->
+        Gp.Chaos.disarm ();
+        Gp.Parmap.shutdown h)
+      (fun () ->
+        Gp.Chaos.arm plan;
+        let t0 = Unix.gettimeofday () in
+        let outcomes, stats = Gp.Parmap.run_batch h (Array.init n Fun.id) in
+        let wall = Unix.gettimeofday () -. t0 in
+        Array.iteri
+          (fun i o ->
+            match (i, o) with
+            | 5, Gp.Parmap.Timed_out -> ()
+            | 5, _ -> Alcotest.fail "hung task not reported as a timeout"
+            | _, Gp.Parmap.Ok v ->
+              Alcotest.(check int) (Printf.sprintf "task %d" i) (i + 100) v
+            | _, _ -> Alcotest.failf "task %d lost to the hang" i)
+          outcomes;
+        Alcotest.(check int) "exactly one timeout" 1 stats.Gp.Parmap.timeouts;
+        Alcotest.(check bool)
+          (Printf.sprintf "bounded wall clock (%.2fs)" wall)
+          true (wall < 10.0))
+  end
+
 let suite =
   [
     Alcotest.test_case "ordered results" `Quick test_ordering;
@@ -684,4 +842,7 @@ let suite =
       test_handle_survives_worker_death;
     Alcotest.test_case "warm pool: shutdown semantics" `Quick
       test_handle_shutdown_semantics;
+    Alcotest.test_case "chunk boundaries" `Quick test_chunk_boundaries;
+    Alcotest.test_case "straggler: slow worker" `Quick test_straggler_slow;
+    Alcotest.test_case "straggler: hang mid-chunk" `Quick test_straggler_hang;
   ]
