@@ -6,6 +6,7 @@
      metaopt profile BENCH              show profile statistics
      metaopt specialize STUDY BENCH     evolve a specialized heuristic
      metaopt evolve STUDY               evolve a general-purpose heuristic
+     metaopt serve SOCK                 run the shared evaluation daemon
 *)
 
 open Cmdliner
@@ -171,6 +172,17 @@ let no_compiled_eval =
                  Results are bit-identical either way; this flag only \
                  trades speed for the golden slow path")
 
+let connect =
+  Arg.(value & opt (some string) None
+       & info [ "connect" ]
+           ~doc:"Evaluate candidates against the shared $(b,metaopt serve) \
+                 daemon listening on Unix-domain socket $(docv) instead of \
+                 a local worker pool.  Fitness is bit-identical to local \
+                 evaluation; the daemon owns the store and the pool, so \
+                 --cache-dir, --backend and --jobs describe the daemon's \
+                 configuration, not this process's"
+           ~docv:"SOCK")
+
 let metrics_out =
   Arg.(value & opt (some string) None
        & info [ "metrics-out" ]
@@ -219,7 +231,7 @@ let print_faults (f : Driver.Evaluator.fault_stats) =
    drivers. *)
 let config_of pop gens seed backend jobs cache_dir cache_shards
     checkpoint_dir eval_timeout eval_retries chunk_target_ms chunk_min
-    chunk_max no_fast_sim no_compiled_eval : Driver.Study.config =
+    chunk_max no_fast_sim no_compiled_eval connect : Driver.Study.config =
   {
     Driver.Study.default_config with
     Driver.Study.params =
@@ -241,6 +253,7 @@ let config_of pop gens seed backend jobs cache_dir cache_shards
     chunk_max;
     fast_sim = not no_fast_sim;
     compiled_eval = not no_compiled_eval;
+    remote = connect;
   }
 
 let config_term =
@@ -248,7 +261,7 @@ let config_term =
     const config_of $ pop $ gens $ seed $ backend $ jobs $ cache_dir
     $ cache_shards $ checkpoint_dir $ eval_timeout $ eval_retries
     $ chunk_target_ms $ chunk_min $ chunk_max
-    $ no_fast_sim $ no_compiled_eval)
+    $ no_fast_sim $ no_compiled_eval $ connect)
 
 (* --- list ---------------------------------------------------------------- *)
 
@@ -571,7 +584,7 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
-         "Differential fuzzing: random programs and genomes through the           ten redundancy oracles (engine, replay, cache, simplify,           checkpoint, parmap, compiled_vs_walk, chaos_vs_clean,           warm_vs_cold, chunked_vs_seq)")
+         "Differential fuzzing: random programs and genomes through the           eleven redundancy oracles (engine, replay, cache, simplify,           checkpoint, parmap, compiled_vs_walk, chaos_vs_clean,           warm_vs_cold, chunked_vs_seq, served_vs_local)")
     Term.(
       const run
       $ Arg.(value & opt int 0 & info [ "seed" ] ~doc:"campaign base seed")
@@ -641,6 +654,87 @@ let chaos_cmd =
                  ($(i,SITE)[:$(i,KEY)][@$(i,ATTEMPT)]=$(i,FAULT), \
                  comma-separated) instead of the seed-derived one"))
 
+(* --- serve: the shared evaluation daemon ------------------------------------ *)
+
+let serve_cmd =
+  let run socket backend jobs eval_timeout eval_retries cache_dir cache_shards
+      queue_cap inflight_cap idle_timeout metrics_out chaos_plan chaos_seed =
+    setup_logs ();
+    (match chaos_plan with
+    | None -> ()
+    | Some spec -> (
+      match Gp.Chaos.plan_of_string ~seed:chaos_seed spec with
+      | Ok p -> Gp.Chaos.arm p
+      | Error msg ->
+        Fmt.epr "bad --chaos-plan: %s@." msg;
+        exit 2));
+    let pool =
+      Gp.Parmap.pool ~backend ~jobs ?timeout_s:eval_timeout
+        ~retries:eval_retries ()
+    in
+    let cfg =
+      {
+        Serve.Server.socket;
+        pool;
+        cache_dir;
+        cache_shards;
+        queue_cap;
+        inflight_cap;
+        idle_timeout_s = idle_timeout;
+        metrics_out;
+      }
+    in
+    Fmt.epr "metaopt serve: listening on %s (%s backend, %d jobs)@." socket
+      (Gp.Parmap.backend_name backend) jobs;
+    Serve.Server.run cfg;
+    Fmt.epr "metaopt serve: drained and stopped@."
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the shared evaluation daemon: studies started with \
+          $(b,--connect) $(i,SOCK) evaluate candidates here, sharing one \
+          persistent fitness store and one warm worker pool.  Misses from \
+          all clients coalesce into single pool dispatches; identical \
+          work is evaluated once.  SIGTERM drains queued work, flushes \
+          the store and exits")
+    Term.(
+      const run
+      $ Arg.(required & pos 0 (some string) None
+             & info [] ~docv:"SOCK"
+                 ~doc:"Unix-domain socket path to listen on")
+      $ backend $ jobs $ eval_timeout $ eval_retries $ cache_dir
+      $ cache_shards
+      $ Arg.(value & opt int 4096
+             & info [ "queue-cap" ]
+                 ~doc:"Reject evaluation batches that would push the \
+                       pending-work queue past $(docv) tasks"
+                 ~docv:"N")
+      $ Arg.(value & opt int 8
+             & info [ "inflight-cap" ]
+                 ~doc:"Reject a client's batch while it already has \
+                       $(docv) unanswered requests"
+                 ~docv:"N")
+      $ Arg.(value & opt (some float) None
+             & info [ "idle-timeout" ]
+                 ~doc:"Disconnect a client quiet for $(docv) seconds \
+                       with nothing in flight"
+                 ~docv:"SECONDS")
+      $ Arg.(value & opt (some string) None
+             & info [ "metrics-out" ]
+                 ~doc:"Write a one-line JSON counter summary (requests, \
+                       batched, rejected, store hits, coalesced, \
+                       evaluated) to $(docv) on shutdown"
+                 ~docv:"FILE")
+      $ Arg.(value & opt (some string) None
+             & info [ "chaos-plan" ]
+                 ~doc:"Arm a deterministic fault plan in the daemon \
+                       (same syntax as $(b,metaopt chaos --plan)), for \
+                       testing served evaluation under injected faults"
+                 ~docv:"PLAN")
+      $ Arg.(value & opt int 0
+             & info [ "chaos-seed" ] ~doc:"seed for --chaos-plan"))
+
 (* --------------------------------------------------------------------------- *)
 
 let main =
@@ -648,6 +742,11 @@ let main =
     (Cmd.info "metaopt" ~version:"1.0.0"
        ~doc:"Meta Optimization: improving compiler heuristics with GP")
     [ list_cmd; run_cmd; ir_cmd; profile_cmd; specialize_cmd; evolve_cmd;
-      compare_cmd; features_cmd; simplify_cmd; fuzz_cmd; chaos_cmd ]
+      compare_cmd; features_cmd; simplify_cmd; fuzz_cmd; chaos_cmd;
+      serve_cmd ]
 
-let () = exit (Cmd.eval main)
+let () =
+  (* Make --connect work: install the serve client as the study layer's
+     remote dialer (the driver library cannot depend on serve). *)
+  Serve.Client.register ();
+  exit (Cmd.eval main)

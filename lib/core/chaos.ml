@@ -72,9 +72,11 @@ let fault_of_string s =
 
 let site_parmap_task = "parmap.task"
 let site_cache_write = "evaluator.cache_write"
+let site_cache_lock = "evaluator.cache_lock"
 let site_checkpoint_write = "evolve.checkpoint_write"
 
-let sites = [ site_parmap_task; site_cache_write; site_checkpoint_write ]
+let sites =
+  [ site_parmap_task; site_cache_write; site_cache_lock; site_checkpoint_write ]
 
 (* --- Plans --------------------------------------------------------------- *)
 

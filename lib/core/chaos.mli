@@ -38,6 +38,14 @@ val site_cache_write : string
 (** ["evaluator.cache_write"] — before the evaluator's disk-cache
     append (key = 1-based append number within the process). *)
 
+val site_cache_lock : string
+(** ["evaluator.cache_lock"] — around the per-shard [lockf] guarding a
+    disk-cache append (key = the same store-wide append counter as
+    {!site_cache_write}).  [raise:eintr] interrupts the first lock wait
+    with EINTR (must be retried, not written through unlocked); any
+    other [raise:MSG] is a persistent lock failure (the append must be
+    skipped, never performed unlocked). *)
+
 val site_checkpoint_write : string
 (** ["evolve.checkpoint_write"] — after a checkpoint file lands (key =
     the checkpoint's next_gen). *)

@@ -162,6 +162,11 @@ let write_checkpoint dir ck =
   | exception Sys_error e ->
     Logs.warn (fun m -> m "checkpoint not written: %s" e)
   | oc ->
+    (* Close-on-exec: a pre-forked pool worker spawned while this
+       channel is open must not hold the half-written checkpoint (or
+       its flushed-but-unrenamed tmp file) past the parent's write. *)
+    (try Unix.set_close_on_exec (Unix.descr_of_out_channel oc)
+     with Unix.Unix_error _ -> ());
     let payload = Marshal.to_string ck [] in
     output_string oc payload;
     output_string oc ck_magic;
@@ -183,7 +188,7 @@ let write_checkpoint dir ck =
     | Some Chaos.Truncated -> (
       try
         let sz = (Unix.stat final).Unix.st_size in
-        let fd = Unix.openfile final [ Unix.O_WRONLY ] 0o644 in
+        let fd = Unix.openfile final [ Unix.O_WRONLY; Unix.O_CLOEXEC ] 0o644 in
         Unix.ftruncate fd (sz / 2);
         Unix.close fd
       with Unix.Unix_error _ -> ())

@@ -23,12 +23,22 @@ let merge_faults a b =
 
 let total_faults f = f.crashed + f.timed_out + f.gave_up
 
+(* A remote dispatcher: receives (digest, canonical genome, case) for
+   every miss and returns one Parmap-shaped outcome per task.  The
+   digest is the same persistent key the local store would use, so the
+   far side can serve shared hits; the canonical genome rides along so
+   the far side evaluates exactly what a local pool would have (it must
+   NOT re-canonicalize — noise seeding keys on the genome structure). *)
+type remote =
+  (string * Gp.Expr.genome * int) array -> float Gp.Parmap.outcome array
+
 type t = {
   backend : Gp.Parmap.backend;
   pool : Gp.Parmap.pool;
   jobs : int;
   timeout_s : float option;
   retries : int;
+  remote : remote option;
   fs : Gp.Feature_set.t;
   scope : string;
   case_name : int -> string;
@@ -70,7 +80,8 @@ let digest_key t key case =
 
 let create ?(backend = `Fork) ?(jobs = 1) ?cache_dir
     ?(cache_shards = Shardstore.default_shards) ?timeout_s ?(retries = 1)
-    ?chunk_target_ms ?chunk_min ?chunk_max ~fs ~scope ~case_name ~eval () =
+    ?chunk_target_ms ?chunk_min ?chunk_max ?remote ~fs ~scope ~case_name ~eval
+    () =
   if jobs < 1 then
     invalid_arg
       (Printf.sprintf
@@ -90,6 +101,7 @@ let create ?(backend = `Fork) ?(jobs = 1) ?cache_dir
     jobs;
     timeout_s;
     retries = max 0 retries;
+    remote;
     fs;
     scope;
     case_name;
@@ -244,6 +256,32 @@ let evaluate_batch t genomes ~cases =
             (t.case_name case)));
     Hashtbl.replace t.memo (key, case) 0.0
   in
+  let record_outcomes outcomes =
+    Array.iteri
+      (fun i task ->
+        match outcomes.(i) with
+        | Gp.Parmap.Ok v -> record_ok task v
+        | Gp.Parmap.Crashed msg -> record_fault task (`Crashed msg)
+        | Gp.Parmap.Timed_out -> record_fault task `Timed_out
+        | Gp.Parmap.Gave_up -> record_fault task `Gave_up)
+      tasks
+  in
+  (match t.remote with
+  | Some dispatch when Array.length tasks > 0 ->
+    (* Served mode: the daemon owns the pool and the store; this side
+       only ships digested misses and records the outcomes. *)
+    let rtasks =
+      Array.map (fun (cg, key, case) -> (digest_key t key case, cg, case)) tasks
+    in
+    let outcomes = dispatch rtasks in
+    if Array.length outcomes <> Array.length tasks then
+      failwith
+        (Printf.sprintf
+           "Evaluator: remote dispatcher returned %d outcomes for %d tasks"
+           (Array.length outcomes) (Array.length tasks));
+    record_outcomes outcomes
+  | Some _ -> ()
+  | None ->
   if supervision_on t then begin
     let handle =
       match t.handle with
@@ -257,14 +295,7 @@ let evaluate_batch t genomes ~cases =
     in
     let outcomes, stats = Gp.Parmap.run_batch handle tasks in
     t.f_retried <- t.f_retried + stats.Gp.Parmap.retries;
-    Array.iteri
-      (fun i task ->
-        match outcomes.(i) with
-        | Gp.Parmap.Ok v -> record_ok task v
-        | Gp.Parmap.Crashed msg -> record_fault task (`Crashed msg)
-        | Gp.Parmap.Timed_out -> record_fault task `Timed_out
-        | Gp.Parmap.Gave_up -> record_fault task `Gave_up)
-      tasks
+    record_outcomes outcomes
   end
   else
     Array.iter
@@ -272,7 +303,7 @@ let evaluate_batch t genomes ~cases =
         match t.eval cg case with
         | v -> record_ok task v
         | exception e -> record_fault task (`Crashed (Printexc.to_string e)))
-      tasks;
+      tasks);
   if !entries <> [] then
     Option.iter (fun s -> Shardstore.append s (List.rev !entries)) t.store;
   if tel then begin

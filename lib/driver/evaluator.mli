@@ -85,6 +85,23 @@ val disk_degraded : t -> bool
 val total_faults : fault_stats -> int
 (** [crashed + timed_out + gave_up] (retries are attempts, not tasks). *)
 
+val sanitize : float -> float
+(** The engine's result policy: non-finite or non-positive fitness
+    scores 0.  Exposed so the serve daemon stores exactly what a local
+    engine would. *)
+
+type remote =
+  (string * Gp.Expr.genome * int) array -> float Gp.Parmap.outcome array
+(** A remote dispatcher for served evaluation ([metaopt serve]): called
+    with every cache miss of a batch as [(digest, canonical genome,
+    case)] — [digest] is exactly the persistent store key this engine
+    would use locally, so the far side can share hits across clients —
+    and must return one outcome per task, in order.  The far side
+    evaluates the canonical genome as sent (re-canonicalizing would
+    perturb noise seeding and break the served-vs-local determinism
+    contract).  Non-[Ok] outcomes are recorded as infrastructure faults
+    exactly as a local pool's would be. *)
+
 val create :
   ?backend:Gp.Parmap.backend ->
   ?jobs:int ->
@@ -95,6 +112,7 @@ val create :
   ?chunk_target_ms:float ->
   ?chunk_min:int ->
   ?chunk_max:int ->
+  ?remote:remote ->
   fs:Gp.Feature_set.t ->
   scope:string ->
   case_name:(int -> string) ->
@@ -124,6 +142,10 @@ val create :
     [jobs <= 1] and no [timeout_s] (or [`Seq]), evaluation is sequential
     in-process (side effects of [eval] remain observable; a raising
     [eval] is recorded as a crash fault).
+    With [remote] (see {!type:remote}), misses are shipped to the
+    dispatcher instead of any local pool — [eval] is then never called
+    and no worker pool is spawned; the memo and hit accounting work
+    unchanged.
 
     @raise Invalid_argument if [jobs < 1] or the pool parameters are
     rejected by {!Gp.Parmap.pool}. *)

@@ -74,24 +74,42 @@ let render entries =
     entries;
   Buffer.to_bytes buf
 
+(* Every syscall on the append/compact path goes through
+   [Parmap.retry_eintr]: the supervised pools' SIGCHLD/SIGKILL traffic
+   routinely interrupts a blocked lockf or write, and an EINTR is a
+   retryable non-event, not a reason to degrade a shard. *)
+let retry_eintr = Gp.Parmap.retry_eintr
+
 let write_fully fd b len =
   let off = ref 0 in
   while !off < len do
-    off := !off + Unix.write fd b !off (len - !off)
+    off := !off + retry_eintr (fun () -> Unix.write fd b !off (len - !off))
   done
+
+(* Take the shard's exclusive lock, restarting interrupted waits.
+   [Ok ()] means the lock is held; [Error e] is a persistent failure
+   (ENOLCK and friends) and the caller must not touch the file —
+   appending unlocked is exactly the torn-line interleaving the lock
+   exists to prevent. *)
+let lock_exclusive fd =
+  match retry_eintr (fun () -> Unix.lockf fd Unix.F_LOCK 0) with
+  | () -> Ok ()
+  | exception Unix.Unix_error (e, _, _) -> Error e
 
 (* Load one shard file, compacting it in place when it holds malformed
    or superseded lines.  The whole pass runs under the shard's exclusive
    lock so a concurrent appender can neither tear our read nor lose an
    append between our read and the rewrite. *)
 let load_shard_path t path =
-  match Unix.openfile path [ Unix.O_RDWR ] 0 with
+  match
+    retry_eintr (fun () -> Unix.openfile path [ Unix.O_RDWR; Unix.O_CLOEXEC ] 0)
+  with
   | exception Unix.Unix_error _ -> ()
   | fd ->
     Fun.protect
       ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
       (fun () ->
-        (try Unix.lockf fd Unix.F_LOCK 0 with Unix.Unix_error _ -> ());
+        let locked = lock_exclusive fd = Ok () in
         let ic = Unix.in_channel_of_descr fd in
         let order = ref [] in (* first-seen order of digests *)
         let local : (string, float) Hashtbl.t = Hashtbl.create 64 in
@@ -113,7 +131,10 @@ let load_shard_path t path =
            done
          with End_of_file -> ());
         Hashtbl.iter (fun d v -> Hashtbl.replace t.tbl d v) local;
-        if !malformed > 0 || !dups > 0 then begin
+        (* Rewriting without the lock could drop a concurrent writer's
+           append between our read and the truncate; an unlocked load
+           still serves hits but leaves compaction to a later opener. *)
+        if locked && (!malformed > 0 || !dups > 0) then begin
           (* Compact: rewrite the surviving entries through the same
              descriptor.  Anything dropped is an eviction. *)
           let survivors =
@@ -121,7 +142,7 @@ let load_shard_path t path =
           in
           let b = render (List.rev survivors) in
           (try
-             Unix.ftruncate fd 0;
+             retry_eintr (fun () -> Unix.ftruncate fd 0);
              ignore (Unix.lseek fd 0 Unix.SEEK_SET);
              write_fully fd b (Bytes.length b)
            with Unix.Unix_error _ -> ());
@@ -137,10 +158,14 @@ let load_shard_path t path =
    compacted or appended: new results go to the shards. *)
 let load_legacy t =
   let path = legacy_file t.dir in
-  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  match
+    retry_eintr (fun () ->
+        Unix.openfile path [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0)
+  with
   | exception Unix.Unix_error _ -> ()
   | fd ->
-    (try Unix.lockf fd Unix.F_RLOCK 0 with Unix.Unix_error _ -> ());
+    (try retry_eintr (fun () -> Unix.lockf fd Unix.F_RLOCK 0)
+     with Unix.Unix_error _ -> ());
     let ic = Unix.in_channel_of_descr fd in
     let malformed = ref 0 in
     (try
@@ -221,6 +246,41 @@ let degrade t i reason =
          memo-only — its results from this run will not be persisted"
         (shard_file t i) reason)
 
+(* A persistent lockf failure is softer than an unwritable shard: this
+   one group is skipped (the memo keeps serving its values) but the
+   shard is not degraded — the next append tries the lock again. *)
+let skip_unlocked t i err =
+  t.write_errors <- t.write_errors + 1;
+  Gp.Telemetry.incr "evaluator.cache_write_errors";
+  Logs.warn (fun m ->
+      m
+        "fitness shard %s: could not take the append lock (%s); skipping \
+         this append rather than writing unlocked — the values stay \
+         memo-only"
+        (shard_file t i) (Unix.error_message err))
+
+(* The shard lock, with the chaos lock site in front: [raise:eintr]
+   interrupts the first wait (the retry discipline must reacquire), any
+   other [raise:MSG] simulates a persistent ENOLCK-class failure. *)
+let lock_for_append t fd =
+  match
+    Gp.Chaos.fire ~site:Gp.Chaos.site_cache_lock ~key:t.appends ~attempt:1
+  with
+  | Some (Gp.Chaos.Raise msg) when String.lowercase_ascii msg = "eintr" ->
+    let interrupted = ref false in
+    (match
+       retry_eintr (fun () ->
+           if not !interrupted then begin
+             interrupted := true;
+             raise (Unix.Unix_error (Unix.EINTR, "lockf", ""))
+           end;
+           Unix.lockf fd Unix.F_LOCK 0)
+     with
+    | () -> Ok ()
+    | exception Unix.Unix_error (e, _, _) -> Error e)
+  | Some (Gp.Chaos.Raise _) -> Error Unix.ENOLCK
+  | Some _ | None -> lock_exclusive fd
+
 (* Append one shard's entries under its exclusive lock; the whole group
    goes out in one write so concurrent appenders never interleave torn
    lines.  The chaos site fires once per shard write with the store-wide
@@ -239,21 +299,26 @@ let append_shard t i entries =
         raise (Unix.Unix_error (Unix.ENOSPC, "write", path))
       | Some Gp.Chaos.Torn_write | Some _ | None -> ());
       let fd =
-        Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+        retry_eintr (fun () ->
+            Unix.openfile path
+              [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT; Unix.O_CLOEXEC ]
+              0o644)
       in
       Fun.protect
         ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
         (fun () ->
-          (try Unix.lockf fd Unix.F_LOCK 0 with Unix.Unix_error _ -> ());
-          let b = render entries in
-          let len = Bytes.length b in
-          (* A chaos-injected torn write persists only half the group,
-             cut mid-line — the recoverable corruption compaction must
-             evict on the next open. *)
-          let len =
-            match fault with Some Gp.Chaos.Torn_write -> len / 2 | _ -> len
-          in
-          write_fully fd b len)
+          match lock_for_append t fd with
+          | Error e -> skip_unlocked t i e
+          | Ok () ->
+            let b = render entries in
+            let len = Bytes.length b in
+            (* A chaos-injected torn write persists only half the group,
+               cut mid-line — the recoverable corruption compaction must
+               evict on the next open. *)
+            let len =
+              match fault with Some Gp.Chaos.Torn_write -> len / 2 | _ -> len
+            in
+            write_fully fd b len)
     with
     | Unix.Unix_error (e, _, _) -> degrade t i (Unix.error_message e)
     | Sys_error msg -> degrade t i msg

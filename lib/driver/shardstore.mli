@@ -21,7 +21,16 @@
     Failed shard writes are counted under [evaluator.cache_write_errors]
     and warned about once per shard; the chaos site
     [evaluator.cache_write] fires once per shard write, keyed by the
-    store-wide append counter. *)
+    store-wide append counter, and [evaluator.cache_lock] fires around
+    the per-shard append lock with the same key.
+
+    Every lockf/open/write on the append and compaction paths restarts
+    on EINTR ({!Gp.Parmap.retry_eintr}): signals from the supervised
+    pools never degrade a shard.  A {e persistent} lock failure skips
+    that one append (counted, warned, values stay memo-only) rather than
+    writing unlocked, and does not degrade the shard.  All descriptors
+    are opened [O_CLOEXEC] so pre-forked pool workers and daemon
+    children never inherit store fds. *)
 
 type t
 
@@ -70,4 +79,6 @@ val evictions : t -> int
 (** Lines dropped by compaction on load. *)
 
 val write_errors : t -> int
-(** Failed shard writes since open (each also degraded its shard). *)
+(** Failed or skipped shard writes since open.  A genuine write error
+    also degrades its shard; a persistent lock failure only skips the
+    one append. *)

@@ -83,6 +83,7 @@ type config = {
   chunk_max : int option;
   fast_sim : bool;
   compiled_eval : bool;
+  remote : string option;  (* serve daemon socket path (--connect) *)
 }
 
 let default_config =
@@ -101,6 +102,7 @@ let default_config =
     chunk_max = None;
     fast_sim = true;
     compiled_eval = true;
+    remote = None;
   }
 
 (* Legacy optional-argument prefix -> config, for the deprecated driver
@@ -123,7 +125,45 @@ let config_of ?params ?machine ?jobs ?cache_dir ?timeout_s ?retries
     chunk_max = d.chunk_max;
     fast_sim = Option.value ~default:d.fast_sim fast_sim;
     compiled_eval = d.compiled_eval;
+    remote = d.remote;
   }
+
+(* --- Served evaluation (metaopt serve) ------------------------------------ *)
+
+(* The study shape a client ships to the evaluation daemon: enough for
+   the far side to rebuild the identical evaluation closure.  The
+   resolved machine rides along whole (it is pure data) so a --machine
+   override on the client is honored by the daemon's workers. *)
+type remote_desc = {
+  rd_kind : kind;
+  rd_benches : string list;
+  rd_machine : Machine.Config.t;
+  rd_fast_sim : bool;
+  rd_compiled_eval : bool;
+}
+
+type remote_handle = {
+  rh_eval : Benchmarks.Bench.dataset -> Evaluator.remote;
+  rh_close : unit -> unit;
+}
+
+(* The serve client lives above this library (it needs studies to
+   describe itself); it injects its dialer here at startup.  [Study]
+   itself never dials — with no dialer registered, [remote] configs
+   fail loudly. *)
+let remote_dialer : (socket:string -> remote_desc -> remote_handle) option ref
+    =
+  ref None
+
+let set_remote_dialer d = remote_dialer := Some d
+
+let dial_remote ~socket desc =
+  match !remote_dialer with
+  | Some d -> d ~socket desc
+  | None ->
+    failwith
+      "Study: config.remote is set but no serve client is registered \
+       (Serve.Client.register () installs the dialer)"
 
 (* --- Evaluation context -------------------------------------------------- *)
 
@@ -138,6 +178,7 @@ type context = {
   eval_train : Evaluator.t;
   eval_novel : Evaluator.t;
   sim : Simcache.t;
+  remote : remote_handle option;
 }
 
 let noise_rng_of kind genome case =
@@ -203,6 +244,64 @@ let dataset_name = function
   | Benchmarks.Bench.Train -> "train"
   | Benchmarks.Bench.Novel -> "novel"
 
+(* --- Daemon-side evaluation service --------------------------------------- *)
+
+type service = {
+  svc_n_cases : int;
+  svc_case_name : int -> string;
+  svc_eval : Benchmarks.Bench.dataset -> Gp.Expr.genome -> int -> float;
+}
+
+(* Build the evaluation closure a daemon worker runs for one study
+   shape: prepared benches, sequential baselines, and the exact
+   [speedup_against] pipeline a local context's engines dispatch —
+   called with the client's canonical genome, never re-canonicalized, so
+   a served result is bit-identical to the local one.  Baselines here
+   are sequential: the caller IS a pool worker (or lazily building in
+   the daemon parent) and must not nest pools. *)
+let service_of ?machine:machine_override ?(fast_sim = true)
+    ?(compiled_eval = true) (kind : kind) (bench_names : string list) :
+    service =
+  let machine = Option.value ~default:(machine_of kind) machine_override in
+  let sim = Simcache.create ~enabled:fast_sim () in
+  let opt_config =
+    match kind with
+    | Prefetch_study -> Opt.Pipeline.no_unroll
+    | Hyperblock_study | Regalloc_study | Sched_study -> Opt.Pipeline.default
+  in
+  let prepared =
+    Array.of_list
+      (List.map
+         (fun n -> Compiler.prepare ~opt_config (Benchmarks.Registry.find n))
+         bench_names)
+  in
+  let base = baseline_genome_of kind in
+  let baseline_for dataset =
+    Array.init (Array.length prepared) (fun case ->
+        run_raw ~compiled_eval ~kind ~machine ~prepared ~sim base ~case
+          ~dataset)
+  in
+  let baseline_train = baseline_for Benchmarks.Bench.Train in
+  let baseline_novel = baseline_for Benchmarks.Bench.Novel in
+  {
+    svc_n_cases = Array.length prepared;
+    svc_case_name =
+      (fun i -> prepared.(i).Compiler.bench.Benchmarks.Bench.name);
+    svc_eval =
+      (fun dataset g case ->
+        let baselines =
+          match dataset with
+          | Benchmarks.Bench.Train -> baseline_train
+          | Benchmarks.Bench.Novel -> baseline_novel
+        in
+        speedup_against ~compiled_eval ~kind ~machine ~prepared ~sim
+          ~baselines g ~case ~dataset);
+  }
+
+let service_of_desc (d : remote_desc) =
+  service_of ~machine:d.rd_machine ~fast_sim:d.rd_fast_sim
+    ~compiled_eval:d.rd_compiled_eval d.rd_kind d.rd_benches
+
 let create_with (cfg : config) (kind : kind) (bench_names : string list) :
     context =
   let machine = Option.value ~default:(machine_of kind) cfg.machine in
@@ -223,7 +322,27 @@ let create_with (cfg : config) (kind : kind) (bench_names : string list) :
          bench_names)
   in
   let base = baseline_genome_of kind in
-  let baseline_pool = Gp.Parmap.pool ~backend:cfg.backend ~jobs:cfg.jobs () in
+  let remote_h =
+    Option.map
+      (fun socket ->
+        dial_remote ~socket
+          {
+            rd_kind = kind;
+            rd_benches = bench_names;
+            rd_machine = machine;
+            rd_fast_sim = cfg.fast_sim;
+            rd_compiled_eval = compiled_eval;
+          })
+      cfg.remote
+  in
+  (* In served mode this process does no candidate evaluation, so the
+     baselines (cheap, one genome) are computed sequentially rather
+     than spinning up a local pool just for them. *)
+  let baseline_pool =
+    match remote_h with
+    | Some _ -> Gp.Parmap.pool ~backend:`Seq ~jobs:1 ()
+    | None -> Gp.Parmap.pool ~backend:cfg.backend ~jobs:cfg.jobs ()
+  in
   let baseline_for dataset =
     (* Parallel like any other batch; a failed cell (worker crash) is
        recomputed sequentially because baselines must exist. *)
@@ -246,10 +365,12 @@ let create_with (cfg : config) (kind : kind) (bench_names : string list) :
   let baseline_novel = baseline_for Benchmarks.Bench.Novel in
   let evaluator_for baselines dataset =
     Evaluator.create ~backend:cfg.backend ~jobs:cfg.jobs
-      ?cache_dir:cfg.cache_dir ~cache_shards:cfg.cache_shards
-      ?timeout_s:cfg.timeout_s ~retries:cfg.retries
-      ?chunk_target_ms:cfg.chunk_target_ms ?chunk_min:cfg.chunk_min
-      ?chunk_max:cfg.chunk_max ~fs:(feature_set_of kind)
+      ?cache_dir:(if remote_h = None then cfg.cache_dir else None)
+      ~cache_shards:cfg.cache_shards ?timeout_s:cfg.timeout_s
+      ~retries:cfg.retries ?chunk_target_ms:cfg.chunk_target_ms
+      ?chunk_min:cfg.chunk_min ?chunk_max:cfg.chunk_max
+      ?remote:(Option.map (fun h -> h.rh_eval dataset) remote_h)
+      ~fs:(feature_set_of kind)
       ~scope:
         (Printf.sprintf "%s/%s/%s" (kind_name kind)
            machine.Machine.Config.name (dataset_name dataset))
@@ -270,6 +391,7 @@ let create_with (cfg : config) (kind : kind) (bench_names : string list) :
     eval_train = evaluator_for baseline_train Benchmarks.Bench.Train;
     eval_novel = evaluator_for baseline_novel Benchmarks.Bench.Novel;
     sim;
+    remote = remote_h;
   }
 
 let create ?machine ?(jobs = 1) ?cache_dir ?timeout_s ?retries
@@ -294,7 +416,10 @@ let faults (ctx : context) =
    supervised batch spawns a fresh pool). *)
 let close (ctx : context) =
   Evaluator.shutdown ctx.eval_train;
-  Evaluator.shutdown ctx.eval_novel
+  Evaluator.shutdown ctx.eval_novel;
+  (* Closing the served connection is equally non-final: the client
+     handle redials on the next batch. *)
+  Option.iter (fun h -> h.rh_close ()) ctx.remote
 
 (* A raw, uncached single measurement (diagnostics and tests).  Note the
    noise draw is keyed on the genome exactly as given; the cached engines

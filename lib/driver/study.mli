@@ -60,11 +60,65 @@ type config = {
       (** evaluate heuristic expressions through the {!Gp.Evalc} bytecode
           compiler (default) rather than the {!Gp.Eval} tree-walker;
           fitness is bit-identical either way *)
+  remote : string option;
+      (** socket path of a [metaopt serve] daemon ([--connect]): cache
+          misses are shipped there instead of any local pool, and
+          [backend]/[jobs]/[cache_dir] stop applying to candidate
+          evaluation (the daemon owns the pool and the store).  Requires
+          the serve client's dialer to be registered (see
+          {!set_remote_dialer}); results are bit-identical to a local
+          run of the same study. *)
 }
 
 val default_config : config
 (** Sequential [`Fork]-backed run at {!Gp.Params.scaled}, no caches, no
-    deadline, 1 retry, fast-sim and compiled-eval on. *)
+    deadline, 1 retry, fast-sim and compiled-eval on, not remote. *)
+
+(** {1 Served evaluation}
+
+    [lib/serve] sits above this library, so the client is injected: the
+    daemon client registers a dialer once at startup and a [config] with
+    [remote = Some socket] dials through it. *)
+
+(** What a client ships to the daemon to identify a study shape: the
+    resolved machine travels whole (pure data), so client-side [--machine]
+    overrides are honored by the daemon's workers. *)
+type remote_desc = {
+  rd_kind : kind;
+  rd_benches : string list;
+  rd_machine : Machine.Config.t;
+  rd_fast_sim : bool;
+  rd_compiled_eval : bool;
+}
+
+type remote_handle = {
+  rh_eval : Benchmarks.Bench.dataset -> Evaluator.remote;
+      (** per-dataset miss dispatcher, plugged into the evaluators *)
+  rh_close : unit -> unit;
+      (** drop the connection; a later [rh_eval] redials *)
+}
+
+val set_remote_dialer : (socket:string -> remote_desc -> remote_handle) -> unit
+
+(** The daemon-side evaluation closure for one study shape. *)
+type service = {
+  svc_n_cases : int;
+  svc_case_name : int -> string;
+  svc_eval : Benchmarks.Bench.dataset -> Gp.Expr.genome -> int -> float;
+}
+
+val service_of :
+  ?machine:Machine.Config.t -> ?fast_sim:bool -> ?compiled_eval:bool ->
+  kind -> string list -> service
+(** Prepare the benchmarks, compute sequential baselines on both
+    datasets, and return the exact evaluation pipeline a local context's
+    engines would dispatch.  Genomes passed to [svc_eval] must already be
+    canonical (the client canonicalized before digesting); they are
+    evaluated as given.  Safe to call lazily inside a pool worker — it
+    spawns no pools of its own. *)
+
+val service_of_desc : remote_desc -> service
+(** {!service_of} over a wire-received description. *)
 
 type context = {
   kind : kind;
@@ -76,6 +130,7 @@ type context = {
   eval_train : Evaluator.t;  (** cached batch engine, training dataset *)
   eval_novel : Evaluator.t;  (** cached batch engine, novel dataset *)
   sim : Simcache.t;  (** shared artifact/trace simulation cache *)
+  remote : remote_handle option;  (** the served connection, if any *)
 }
 
 val create_with : config -> kind -> string list -> context

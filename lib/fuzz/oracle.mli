@@ -1,4 +1,4 @@
-(** The ten differential oracles.
+(** The eleven differential oracles.
 
     Each oracle runs one seeded trial of a redundancy the repo's results
     rest on — fast vs reference interpreter, trace replay vs fresh
@@ -8,10 +8,12 @@
     [Evalc] compiled bytecode vs the [Eval] tree-walker, a
     chaos-injected supervised run vs the fault-free [`Seq] -j1
     reference, a warm persistent worker pool over several batches
-    vs a cold one-shot pool, and chunked dispatch under a random
+    vs a cold one-shot pool, chunked dispatch under a random
     chunk floor/ceiling with a napping straggler (steal/reassign
-    exercised) vs the sequential reference — comparing every float
-    through [Int64.bits_of_float].
+    exercised) vs the sequential reference, and a study evaluated
+    against a [metaopt serve] daemon (with a worker kill injected in
+    the daemon on odd seeds) vs the same study on a local pool —
+    comparing every float through [Int64.bits_of_float].
     Failures come back as a replayable report with a greedily shrunk
     counterexample. *)
 
@@ -27,7 +29,8 @@ type t = {
 
 val all : t list
 (** engine, replay, cache, simplify, checkpoint, parmap,
-    compiled_vs_walk, chaos_vs_clean, warm_vs_cold, chunked_vs_seq. *)
+    compiled_vs_walk, chaos_vs_clean, warm_vs_cold, chunked_vs_seq,
+    served_vs_local. *)
 
 val find : string -> t option
 val names : string list

@@ -1,0 +1,162 @@
+(* The thin client behind `metaopt <study> --connect SOCK`.
+
+   One connection per study context, dialed lazily and redialed after
+   a drop: the daemon deduplicates Open_study by content, so
+   reconnect-and-reopen is idempotent.  Eval requests are synchronous —
+   one outstanding request per handle, which is exactly the evaluator's
+   batch cadence — and typed rejections (queue full, in-flight cap) are
+   retried with exponential backoff: backpressure from the daemon slows
+   a client down, it never fails a study.  A daemon that is gone
+   mid-run (connection refused and redial fails, or it answers
+   Shutting_down) fails the study loudly; no silent fallback to local
+   evaluation, which would desynchronize the shared store. *)
+
+type t = {
+  socket : string;
+  desc : Driver.Study.remote_desc;
+  mutable fd : Unix.file_descr option;
+  mutable study : int option;  (* server id, valid for the connection *)
+  mutable next_req : int;
+}
+
+let backoff_base_s = 0.01
+let backoff_cap_s = 0.5
+let max_rejections = 10_000
+
+let disconnect t =
+  Option.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.fd;
+  t.fd <- None;
+  t.study <- None
+
+let connect_fd socket =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match
+    Gp.Parmap.retry_eintr (fun () -> Unix.connect fd (Unix.ADDR_UNIX socket))
+  with
+  | () ->
+    Protocol.client_handshake fd;
+    fd
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+let daemon_gone t what =
+  disconnect t;
+  failwith
+    (Printf.sprintf
+       "serve client: evaluation daemon on %s is gone (%s); rerun without \
+        --connect for local evaluation"
+       t.socket what)
+
+(* Connection + study registration, dialing if needed.  Returns the
+   connected fd and the server's study id. *)
+let ensure t =
+  let fd =
+    match t.fd with
+    | Some fd -> fd
+    | None ->
+      let fd =
+        try connect_fd t.socket
+        with
+        | Unix.Unix_error (e, _, _) ->
+          failwith
+            (Printf.sprintf "serve client: cannot reach daemon on %s (%s)"
+               t.socket (Unix.error_message e))
+        | Failure msg -> failwith (Printf.sprintf "serve client: %s" msg)
+      in
+      t.fd <- Some fd;
+      t.study <- None;
+      fd
+  in
+  match t.study with
+  | Some id -> (fd, id)
+  | None -> (
+    Protocol.send_request fd (Protocol.Open_study t.desc);
+    match Protocol.read_response fd with
+    | Protocol.Study_opened { study } ->
+      t.study <- Some study;
+      (fd, study)
+    | Protocol.Shutting_down -> daemon_gone t "shutting down"
+    | Protocol.Server_error msg ->
+      disconnect t;
+      failwith (Printf.sprintf "serve client: daemon refused the study: %s" msg)
+    | Protocol.Eval_result _ | Protocol.Rejected _ ->
+      disconnect t;
+      failwith "serve client: protocol error: unexpected response to Open_study"
+    | exception End_of_file -> daemon_gone t "closed the connection"
+    | exception Failure msg -> disconnect t; failwith ("serve client: " ^ msg))
+
+let nap s = ignore (Unix.select [] [] [] s)
+
+(* One evaluator batch: ship the misses, block for the outcomes.
+   Retries typed rejections with backoff and survives one connection
+   drop per attempt by redialing (the request was either never accepted
+   or fully answered — Eval is atomic on the daemon side — so resending
+   is safe: results are cached by digest and evaluation is pure). *)
+let eval t dataset (batch : (string * Gp.Expr.genome * int) array) :
+    float Gp.Parmap.outcome array =
+  let tasks =
+    Array.map
+      (fun (digest, genome, case) ->
+        { Protocol.t_digest = digest; t_genome = genome; t_case = case })
+      batch
+  in
+  let rec attempt ~rejections ~redials =
+    let fd, study = ensure t in
+    let req = t.next_req in
+    t.next_req <- req + 1;
+    let retry_rejected reason =
+      if rejections >= max_rejections then
+        failwith
+          (Printf.sprintf
+             "serve client: daemon on %s still rejects after %d attempts (%s)"
+             t.socket rejections (Protocol.reject_to_string reason))
+      else begin
+        nap
+          (Float.min backoff_cap_s
+             (backoff_base_s *. Float.of_int (1 lsl min rejections 10)));
+        attempt ~rejections:(rejections + 1) ~redials
+      end
+    in
+    let redial what =
+      disconnect t;
+      if redials >= 1 then daemon_gone t what
+      else attempt ~rejections ~redials:(redials + 1)
+    in
+    match
+      Protocol.send_request fd (Protocol.Eval { req; study; dataset; tasks });
+      Protocol.read_response fd
+    with
+    | Protocol.Eval_result { req = r; outcomes } ->
+      if r <> req then begin
+        disconnect t;
+        failwith "serve client: protocol error: response for a different \
+                  request"
+      end
+      else outcomes
+    | Protocol.Rejected { reason; _ } -> retry_rejected reason
+    | Protocol.Shutting_down -> daemon_gone t "shutting down"
+    | Protocol.Server_error msg ->
+      disconnect t;
+      failwith (Printf.sprintf "serve client: daemon error: %s" msg)
+    | Protocol.Study_opened _ ->
+      disconnect t;
+      failwith "serve client: protocol error: unexpected Study_opened"
+    | exception End_of_file -> redial "closed the connection"
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+      redial "dropped the connection"
+  in
+  attempt ~rejections:0 ~redials:0
+
+let dial ~socket (desc : Driver.Study.remote_desc) : Driver.Study.remote_handle
+    =
+  let t = { socket; desc; fd = None; study = None; next_req = 1 } in
+  (* Dial eagerly so an unreachable daemon fails at context creation,
+     not somewhere inside the first generation. *)
+  ignore (ensure t);
+  {
+    Driver.Study.rh_eval = (fun dataset batch -> eval t dataset batch);
+    rh_close = (fun () -> disconnect t);
+  }
+
+let register () = Driver.Study.set_remote_dialer dial

@@ -1,0 +1,19 @@
+(** The study-side client of the [metaopt serve] daemon.
+
+    {!register} installs the dialer {!Driver.Study.set_remote_dialer}
+    expects; after that, any [Study.config] with [remote = Some socket]
+    transparently evaluates against the shared daemon.  The connection
+    is dialed eagerly at context creation (an unreachable daemon fails
+    fast), redialed once per batch after a drop (Open_study is
+    idempotent and Eval atomic, so resending is safe), and typed
+    rejections are retried with exponential backoff — daemon
+    backpressure slows a client, it never fails a study.  A daemon that
+    is genuinely gone raises [Failure] with a hint to rerun without
+    [--connect]; there is no silent local fallback. *)
+
+val dial : socket:string -> Driver.Study.remote_desc -> Driver.Study.remote_handle
+(** Connect, handshake, and register the study shape.  Exposed for
+    tests; normal use goes through {!register}. *)
+
+val register : unit -> unit
+(** Install {!dial} as the process-wide remote dialer. *)

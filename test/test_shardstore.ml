@@ -206,6 +206,133 @@ let test_legacy_read () =
   Alcotest.(check int) "append went to the shard" 1
     (List.length (read_lines (S.shard_file s 3)))
 
+(* Regression: a signal landing while an append blocks in lockf (or
+   mid-write) used to raise Unix_error (EINTR, ...) out of the append
+   path and permanently degrade the shard — or, worse, the swallowed
+   lockf failure let the append proceed unlocked.  Here a forked child
+   holds the shard's lock while the parent appends under a SIGALRM storm
+   (interval timer into a no-op handler; timers are not inherited across
+   fork, so only the parent is stormed): the parent's lock wait is
+   interrupted over and over and must be restarted, never abandoned and
+   never bypassed. *)
+let test_eintr_storm_append () =
+  if Gp.Parmap.available then begin
+    with_dir "eintr" @@ fun dir ->
+    let s = S.open_store dir in
+    (* materialize the shard file so the child can lock it *)
+    S.append s [ (digest_in 4 0, 0.5) ];
+    let path = S.shard_file s 4 in
+    let r, w = Unix.pipe () in
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+      (try
+         Unix.close r;
+         let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+         Unix.lockf fd Unix.F_LOCK 0;
+         (* tell the parent the lock is held, then sit on it *)
+         ignore (Unix.write w (Bytes.of_string "k") 0 1);
+         ignore (Unix.select [] [] [] 0.4);
+         Unix._exit 0
+       with _ -> Unix._exit 1)
+    | pid ->
+      Unix.close w;
+      ignore (Unix.read r (Bytes.create 1) 0 1);
+      Unix.close r;
+      let old_handler =
+        Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> ()))
+      in
+      let storm = { Unix.it_interval = 0.002; it_value = 0.002 } in
+      ignore (Unix.setitimer Unix.ITIMER_REAL storm);
+      Fun.protect
+        ~finally:(fun () ->
+          ignore
+            (Unix.setitimer Unix.ITIMER_REAL
+               { Unix.it_interval = 0.0; it_value = 0.0 });
+          Sys.set_signal Sys.sigalrm old_handler)
+        (fun () ->
+          (* blocks on the child's lock; the storm interrupts the wait *)
+          for i = 1 to 8 do
+            S.append s [ (digest_in 4 i, Float.of_int i /. 3.0) ]
+          done);
+      ignore (Unix.waitpid [] pid);
+      Alcotest.(check int) "no write errors under the storm" 0
+        (S.write_errors s);
+      Alcotest.(check bool) "no shard degraded" false (S.mem_any_degraded s);
+      List.iter
+        (fun line ->
+          if not (whole_line line) then Alcotest.failf "torn line %S" line)
+        (read_lines path);
+      let s2 = S.open_store dir in
+      Alcotest.(check int) "every append persisted whole" 9
+        (List.length (read_lines path));
+      Alcotest.(check int) "reload evicts nothing" 0 (S.evictions s2);
+      for i = 0 to 8 do
+        Alcotest.(check (float 0.0))
+          (Printf.sprintf "entry %d round-trips" i)
+          (if i = 0 then 0.5 else Float.of_int i /. 3.0)
+          (Option.get (S.find s2 (digest_in 4 i)))
+      done
+  end
+
+let arm_plan spec =
+  match Gp.Chaos.plan_of_string ~seed:0 spec with
+  | Ok plan -> Gp.Chaos.arm plan
+  | Error e -> Alcotest.failf "bad chaos plan %S: %s" spec e
+
+(* Regression: a persistent lockf failure used to be swallowed and the
+   group written unlocked.  Now the one append is skipped (counted,
+   memo keeps the value), the file never sees an unlocked write, and the
+   shard is not degraded — the next append takes the lock again. *)
+let test_lock_failure_skips_append () =
+  with_dir "lockfail" @@ fun dir ->
+  Fun.protect ~finally:Gp.Chaos.disarm @@ fun () ->
+  (* the second store-wide append's lock fails persistently *)
+  arm_plan "evaluator.cache_lock:2@1=raise:enolck";
+  let s = S.open_store dir in
+  let d1 = digest_in 7 1 and d2 = digest_in 7 2 and d3 = digest_in 7 3 in
+  S.append s [ (d1, 1.5) ];
+  S.append s [ (d2, 2.5) ];
+  (* skipped, not written unlocked *)
+  S.append s [ (d3, 3.5) ];
+  Alcotest.(check int) "the skipped append is counted" 1 (S.write_errors s);
+  Alcotest.(check bool) "shard not degraded" false (S.mem_any_degraded s);
+  Alcotest.(check (float 0.0)) "memo still serves the skipped value" 2.5
+    (Option.get (S.find s d2));
+  let lines = read_lines (S.shard_file s 7) in
+  Alcotest.(check int) "only the locked appends reached disk" 2
+    (List.length lines);
+  List.iter
+    (fun l -> if not (whole_line l) then Alcotest.failf "torn line %S" l)
+    lines;
+  Gp.Chaos.disarm ();
+  let s2 = S.open_store dir in
+  Alcotest.(check (float 0.0)) "first append persisted" 1.5
+    (Option.get (S.find s2 d1));
+  Alcotest.(check (float 0.0)) "post-failure append persisted" 3.5
+    (Option.get (S.find s2 d3));
+  Alcotest.(check bool) "skipped value is gone after reopen" true
+    (S.find s2 d2 = None)
+
+(* An injected EINTR out of the first lock wait on every append: the
+   retry discipline must reacquire and write locked, with no errors. *)
+let test_lock_eintr_injected () =
+  with_dir "lockeintr" @@ fun dir ->
+  Fun.protect ~finally:Gp.Chaos.disarm @@ fun () ->
+  arm_plan "evaluator.cache_lock@1=raise:eintr";
+  let s = S.open_store dir in
+  for i = 1 to 5 do
+    S.append s [ (digest_in 9 i, Float.of_int i) ]
+  done;
+  Alcotest.(check int) "interrupted locks retried, not failed" 0
+    (S.write_errors s);
+  Alcotest.(check int) "every append landed" 5
+    (List.length (read_lines (S.shard_file s 9)));
+  Gp.Chaos.disarm ();
+  let s2 = S.open_store dir in
+  Alcotest.(check int) "reload evicts nothing" 0 (S.evictions s2)
+
 let test_validation () =
   with_dir "valid" @@ fun dir ->
   let expect_invalid name f =
@@ -229,5 +356,11 @@ let suite =
     Alcotest.test_case "compaction idempotent" `Quick
       test_compaction_idempotent;
     Alcotest.test_case "legacy single-file read" `Quick test_legacy_read;
+    Alcotest.test_case "EINTR storm during contended append" `Quick
+      test_eintr_storm_append;
+    Alcotest.test_case "persistent lock failure skips the append" `Quick
+      test_lock_failure_skips_append;
+    Alcotest.test_case "injected lock EINTR is retried" `Quick
+      test_lock_eintr_injected;
     Alcotest.test_case "validation" `Quick test_validation;
   ]
